@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Fig. 6 + Table 5: secure system-call auditing overhead (CS3). Five
+ * application analogues run with (a) auditing off, (b) Kaudit keeping
+ * records in kernel memory, and (c) VeilS-LOG execute-ahead protection.
+ * The auditctl ruleset follows the prior-work configuration the paper
+ * cites; benchmark load drivers (memaslap / ab) are outside the audited
+ * set, as in the paper's testbed.
+ *
+ * Wall-clock overhead is normalized by the paper's worker counts
+ * (Table 5: memcached 4 workers, NGINX 2): audit work parallelizes
+ * across workers on the paper's 4-VCPU guest, while this simulator
+ * serializes on one VCPU.
+ */
+#include "common.hh"
+
+#include <functional>
+
+#include "base/log.hh"
+#include "workloads/vcached.hh"
+#include "workloads/vcrypt.hh"
+#include "workloads/vdb.hh"
+#include "workloads/vhttpd.hh"
+#include "workloads/vzip.hh"
+
+using namespace veil;
+using namespace veil::bench;
+using namespace veil::sdk;
+using namespace veil::wl;
+using kern::AuditBackend;
+
+namespace {
+
+struct AuditRun
+{
+    uint64_t cycles = 0;
+    uint64_t records = 0;
+};
+
+struct AppSpec
+{
+    const char *name;
+    const char *table5;
+    int workers; ///< paper worker threads (normalization)
+    const char *paperKaudit;
+    const char *paperVeil;
+    const char *paperRate;
+    std::function<void(kern::Kernel &, kern::Process &)> run;
+};
+
+AuditRun
+runWith(const AppSpec &app, AuditBackend backend)
+{
+    VmConfig cfg = veilConfig(96);
+    cfg.kernel.auditBackend = backend;
+    cfg.kernel.auditRules = kern::priorWorkAuditRuleset();
+    VeilVm vm(cfg);
+    AuditRun out;
+    auto r = vm.run([&](kern::Kernel &k, kern::Process &p) {
+        uint64_t t0 = k.cpu().rdtsc();
+        app.run(k, p);
+        out.cycles = k.cpu().rdtsc() - t0;
+        out.records = k.stats().auditRecords;
+    });
+    ensure(r.terminated, "audit bench CVM failed");
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    heading("Fig. 6 + Table 5: secure system auditing with VeilS-LOG "
+            "(paper: VeilS-LOG 1.4-18.7%, Kaudit(IM) 0.3-8.7%)");
+
+    const AppSpec apps[] = {
+        {"OpenSSL", "pts/openssl-style crypto battery (1400 tests)", 1,
+         "~0.3%", "~1.4%", "1.5k/s",
+         [](kern::Kernel &k, kern::Process &p) {
+             NativeEnv env(k, p);
+             VcryptParams prm;
+             prm.tests = 1400;
+             prm.testsPerPrint = 64;
+             prm.blockBytes = 3072;
+             runVcrypt(env, prm);
+         }},
+        {"7-Zip", "pts/compress-7zip-style: compress 2MB in 64KB chunks", 1,
+         "~0.4%", "~2%", "1.8k/s",
+         [](kern::Kernel &k, kern::Process &p) {
+             NativeEnv env(k, p);
+             VzipParams prm;
+             prm.chunkBytes = 64 * 1024;
+             prm.cyclesPerByte = 58;
+             vzipPrepare(env, prm, 2 * 1024 * 1024);
+             runVzip(env, prm);
+         }},
+        {"Memcached", "4 workers, memaslap 90:10 GET:SET, 1KB values", 4,
+         "~4%", "~15%", "61k/s",
+         [](kern::Kernel &k, kern::Process &p) {
+             NativeEnv server(k, p);
+             kern::Process &cp = k.makeProcess("memaslap");
+             cp.audited = false; // load driver outside the audited set
+             NativeEnv client(k, cp);
+             VcachedParams prm;
+             prm.ops = 12000;
+             prm.serverCyclesPerOp = 35000;
+             prm.clientCyclesPerOp = 8000;
+             VcachedResult r = runVcachedNative(server, client, prm);
+             ensure(r.gets + r.sets == prm.ops, "vcached failed");
+         }},
+        {"SQLite", "pts/sqlite-speedtest-style: 6k inserts, 16 rows/tx", 1,
+         "~0.5%", "~3%", "2.3k/s",
+         [](kern::Kernel &k, kern::Process &p) {
+             NativeEnv env(k, p);
+             VdbParams prm;
+             prm.inserts = 6000;
+             prm.insertsPerTx = 16;
+             prm.cyclesPerInsert = 22000;
+             runVdb(env, prm);
+         }},
+        {"NGINX", "2 workers, ab, 2000 requests of 10KB files", 2,
+         "~8.7%", "~18.7%", "38k/s",
+         [](kern::Kernel &k, kern::Process &p) {
+             NativeEnv server(k, p);
+             kern::Process &cp = k.makeProcess("ab");
+             cp.audited = false;
+             NativeEnv client(k, cp);
+             VhttpdParams prm;
+             prm.requests = 800;
+             prm.port = 8088;
+             prm.serverCyclesPerReq = 150000;
+             prm.clientCyclesPerReq = 100000;
+             vhttpdPrepare(server, prm);
+             VhttpdResult r = runVhttpdNative(server, client, prm);
+             ensure(r.completed == prm.requests, "vhttpd failed");
+         }},
+    };
+
+    Table t5("Table 5: settings for auditing real-world programs",
+             {"Program", "Parameters"});
+    for (const auto &app : apps)
+        t5.addRow({app.name, app.table5});
+    t5.print();
+
+    Table t("Fig. 6 data (wall-clock overhead, normalized by worker "
+            "count)",
+            {"Program", "Kaudit(IM)", "VeilS-LOG", "Log rate", "Paper "
+             "Kaudit", "Paper Veil", "Paper rate"});
+    double veil_pct[5], kaudit_pct[5];
+    uint64_t rates[5];
+    for (size_t i = 0; i < 5; ++i) {
+        AuditRun native = runWith(apps[i], AuditBackend::None);
+        AuditRun kaudit = runWith(apps[i], AuditBackend::KauditInMemory);
+        AuditRun veil = runWith(apps[i], AuditBackend::VeilLog);
+        double w = apps[i].workers;
+        kaudit_pct[i] =
+            overheadPct(double(kaudit.cycles), double(native.cycles)) / w;
+        veil_pct[i] =
+            overheadPct(double(veil.cycles), double(native.cycles)) / w;
+        // Log production rate under Veil (records per wall-clock second
+        // with the audit work spread over the paper's worker count).
+        double secs = 2.4e9;
+        rates[i] = uint64_t(double(veil.records) /
+                            (double(veil.cycles) / w / secs));
+        t.addRow({apps[i].name, fmt("%.1f%%", kaudit_pct[i]),
+                  fmt("%.1f%%", veil_pct[i]),
+                  fmt("%.1fk/s", rates[i] / 1000.0), apps[i].paperKaudit,
+                  apps[i].paperVeil, apps[i].paperRate});
+    }
+    t.print();
+
+    std::printf("\nFig. 6 (performance overhead %%; K = Kaudit(IM), "
+                "V = VeilS-LOG):\n");
+    double max_v = 0;
+    for (size_t i = 0; i < 5; ++i)
+        max_v = std::max(max_v, veil_pct[i]);
+    for (size_t i = 0; i < 5; ++i) {
+        printBar(std::string(apps[i].name) + " K", kaudit_pct[i], max_v,
+                 fmt("%.1f%%", kaudit_pct[i]));
+        printBar(std::string(apps[i].name) + " V", veil_pct[i], max_v,
+                 fmt("%.1f%%", veil_pct[i]));
+    }
+
+    note("");
+    note("VeilS-LOG pays one IDCB round trip per record (execute-ahead,");
+    note("§6.3); Kaudit(IM) pays only an in-kernel append. The gap");
+    note("tracks each program's audited-syscall rate, as in the paper.");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * §9.1 "Background system impact": SPEC-CPU-like kernels, memcached and
+ * NGINX analogues run in a native CVM and in a Veil CVM with no
+ * protected service in use. The paper reports <2% difference — the
+ * kernel only relies on VeilMon for boot-time functionality (§5.3).
+ */
+#include "common.hh"
+
+#include "base/log.hh"
+#include "workloads/speclike.hh"
+#include "workloads/vcached.hh"
+#include "workloads/vhttpd.hh"
+
+using namespace veil;
+using namespace veil::bench;
+using namespace veil::sdk;
+using namespace veil::wl;
+
+namespace {
+
+uint64_t
+timeWorkload(bool veil, const std::function<void(kern::Kernel &,
+                                                 kern::Process &)> &body)
+{
+    VeilVm vm(veil ? veilConfig(96) : nativeConfig(96));
+    uint64_t cycles = 0;
+    auto r = vm.run([&](kern::Kernel &k, kern::Process &p) {
+        uint64_t t0 = k.cpu().rdtsc();
+        body(k, p);
+        cycles = k.cpu().rdtsc() - t0;
+    });
+    ensure(r.terminated, "background bench CVM failed");
+    return cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    heading("§9.1 Background system impact (paper: <2% under normal "
+            "execution)");
+
+    struct Case
+    {
+        const char *name;
+        std::function<void(kern::Kernel &, kern::Process &)> body;
+    } cases[] = {
+        {"SPEC-like (matmul/hash/chase/sort)",
+         [](kern::Kernel &k, kern::Process &p) {
+             NativeEnv env(k, p);
+             SpecParams prm;
+             runSpeclike(env, prm);
+         }},
+        {"memcached-like (12k ops, 90:10)",
+         [](kern::Kernel &k, kern::Process &p) {
+             NativeEnv server(k, p);
+             kern::Process &cp = k.makeProcess("memaslap");
+             NativeEnv client(k, cp);
+             VcachedParams prm;
+             prm.ops = 12000;
+             runVcachedNative(server, client, prm);
+         }},
+        {"NGINX-like (600 requests, 10KB)",
+         [](kern::Kernel &k, kern::Process &p) {
+             NativeEnv server(k, p);
+             kern::Process &cp = k.makeProcess("ab");
+             NativeEnv client(k, cp);
+             VhttpdParams prm;
+             prm.requests = 600;
+             vhttpdPrepare(server, prm);
+             runVhttpdNative(server, client, prm);
+         }},
+    };
+
+    Table t("Workload runtime, native CVM vs Veil CVM (no service in use)",
+            {"Workload", "Native CVM (Mcyc)", "Veil CVM (Mcyc)", "Delta",
+             "Paper"});
+    for (auto &c : cases) {
+        uint64_t native = timeWorkload(false, c.body);
+        uint64_t veil = timeWorkload(true, c.body);
+        t.addRow({c.name, fmt("%.2f", native / 1e6), fmt("%.2f", veil / 1e6),
+                  fmt("%+.2f%%", overheadPct(double(veil), double(native))),
+                  "<2%"});
+    }
+    t.print();
+
+    note("");
+    note("The kernel executes at Dom-UNT throughout, but VMPL checks are");
+    note("hardware-speed and VeilMon is only involved at boot (VCPU and");
+    note("page-state delegation). In this deterministic simulator the");
+    note("steady-state instruction stream is bit-identical with and");
+    note("without Veil, so the delta is exactly zero; on hardware the");
+    note("paper measured it as below measurement noise (<2%).");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * §9.1 "Initialization time": CVM boot with and without Veil. The
+ * paper reports ~2 s of added boot time on a 2 GB guest (a 13% increase
+ * over native CVM boot), >70% of it spent in boot-time RMPADJUST. We
+ * measure a 256 MiB guest and linearly extrapolate the per-page costs
+ * to the paper's 2 GB configuration (both are reported).
+ */
+#include "common.hh"
+
+using namespace veil;
+using namespace veil::bench;
+using namespace veil::sdk;
+
+namespace {
+
+struct BootSample
+{
+    uint64_t bootCycles = 0;
+    uint64_t rmpadjustCycles = 0;
+    uint64_t pvalidateCycles = 0;
+    uint64_t pages = 0;
+};
+
+BootSample
+measureVeil(size_t mem_mb)
+{
+    VeilVm vm(veilConfig(mem_mb));
+    vm.run([](kern::Kernel &, kern::Process &) {});
+    const auto &s = vm.monitor().bootStats();
+    return BootSample{s.totalCycles, s.rmpadjustCycles, s.pvalidateCycles,
+                      s.pagesProtected};
+}
+
+uint64_t
+measureNative(size_t mem_mb)
+{
+    VeilVm vm(nativeConfig(mem_mb));
+    uint64_t boot = 0;
+    vm.run([&](kern::Kernel &k, kern::Process &) { boot = k.cpu().rdtsc(); });
+    return boot;
+}
+
+} // namespace
+
+int
+main()
+{
+    heading("§9.1 Initialization time (paper: Veil adds ~2 s, ~13%, to a "
+            "2 GB CVM boot; >70% in RMPADJUST)");
+
+    constexpr size_t kMemMb = 256;
+    constexpr double kFreqGhz = 2.4;
+
+    // Average over repeated boots (paper: 10 boot-ups).
+    constexpr int kBoots = 3;
+    BootSample veil{};
+    uint64_t native = 0;
+    for (int i = 0; i < kBoots; ++i) {
+        BootSample s = measureVeil(kMemMb);
+        veil.bootCycles += s.bootCycles / kBoots;
+        veil.rmpadjustCycles += s.rmpadjustCycles / kBoots;
+        veil.pvalidateCycles += s.pvalidateCycles / kBoots;
+        veil.pages = s.pages;
+        native += measureNative(kMemMb) / kBoots;
+    }
+
+    double veil_s = double(veil.bootCycles) / (kFreqGhz * 1e9);
+    double native_s = double(native) / (kFreqGhz * 1e9);
+    double rmp_frac = double(veil.rmpadjustCycles) / double(veil.bootCycles);
+
+    Table t(fmt("Boot cost on a %zu MiB guest (avg of %d boots)", kMemMb,
+                kBoots),
+            {"Configuration", "Guest init cycles", "Simulated time"});
+    t.addRow({"Native CVM (kernel PVALIDATEs)",
+              fmt("%llu", (unsigned long long)native),
+              fmt("%.3f s", native_s)});
+    t.addRow({"Veil CVM (VeilMon protects domains)",
+              fmt("%llu", (unsigned long long)veil.bootCycles),
+              fmt("%.3f s", veil_s)});
+    t.addRow({"Veil boot delta", fmt("%llu", (unsigned long long)(
+                                        veil.bootCycles - native)),
+              fmt("%.3f s", veil_s - native_s)});
+    t.print();
+
+    // Linear extrapolation to the paper's 2 GB guest.
+    double scale = 2048.0 / double(kMemMb);
+    Table t2("Extrapolated to the paper's 2 GB guest",
+             {"Metric", "Extrapolated", "Paper"});
+    t2.addRow({"Added boot time",
+               fmt("%.2f s", (veil_s - native_s) * scale), "~2 s"});
+    t2.addRow({"RMPADJUST share of Veil's added cost",
+               fmt("%.0f%%", rmp_frac * 100), ">70%"});
+    t2.addRow({"Pages protected",
+               fmt("%llu", (unsigned long long)(veil.pages * size_t(scale))),
+               "524288"});
+    t2.print();
+
+    note("");
+    note("The paper's '13% increase' is relative to a full native CVM");
+    note("boot (~15 s of OVMF + Linux init, not modelled here); the");
+    note("comparable quantity is the absolute delta above, which is");
+    note("entirely PVALIDATE + RMPADJUST work. One-time cost; normal");
+    note("execution afterwards shows no slowdown (bench_background).");
+    return 0;
+}

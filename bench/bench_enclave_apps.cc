@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Fig. 5 + Table 4: performance overhead while shielding real-world
+ * program analogues with VeilS-ENC. Each app runs natively in the CVM
+ * and inside an enclave; the bar is split into Syscall-Redirect
+ * (argument deep copies) and Enclave-Exit (domain-switch) costs, and
+ * the enclave exit rate per simulated second is reported — mirroring
+ * the paper's stacked plot (4.9% - 63.9% overhead).
+ */
+#include "common.hh"
+
+#include <functional>
+
+#include "base/log.hh"
+#include "workloads/vcrypt.hh"
+#include "workloads/vdb.hh"
+#include "workloads/vhttpd.hh"
+#include "workloads/vkv.hh"
+#include "workloads/vzip.hh"
+
+using namespace veil;
+using namespace veil::bench;
+using namespace veil::sdk;
+using namespace veil::wl;
+
+namespace {
+
+struct AppResult
+{
+    uint64_t nativeCycles = 0;
+    uint64_t enclaveCycles = 0;
+    uint64_t exits = 0;
+    uint64_t marshalCycles = 0;
+    double exitRateK = 0; // exits per second / 1000
+};
+
+struct AppSpec
+{
+    const char *name;
+    const char *table4;       // Table 4 parameters row
+    const char *paperOverhead;
+    const char *paperExitRate;
+    std::function<AppResult(VeilVm &, kern::Kernel &, kern::Process &)> run;
+};
+
+/** Generic native-vs-enclave driver for file-based workloads. */
+template <typename PrepFn, typename RunFn>
+AppResult
+driveApp(VeilVm &vm, kern::Kernel &k, kern::Process &p, PrepFn prepare,
+         RunFn run)
+{
+    NativeEnv env(k, p);
+    AppResult res;
+
+    prepare(env, /*suffix=*/"n");
+    uint64_t t0 = env.tsc();
+    run(env, "n");
+    res.nativeCycles = env.tsc() - t0;
+
+    prepare(env, "e");
+    EnclaveHost host(env, vm.programs());
+    EnclaveHost::Params eparams;
+    eparams.heapPages = 1536; // 6 MiB: fits the compressor's buffers
+    ensure(host.create([&run](Env &e) -> int64_t {
+        run(e, "e");
+        return 0;
+    }, eparams),
+           "enclave create failed");
+    uint64_t intr0 = vm.hypervisor().stats().intrRedirects;
+    uint64_t t1 = env.tsc();
+    ensure(host.call() == 0, "enclave run failed");
+    res.enclaveCycles = env.tsc() - t1;
+    uint64_t intr = vm.hypervisor().stats().intrRedirects - intr0;
+
+    res.exits = host.ocallsServed() + host.faultsServed() + intr + 1;
+    res.marshalCycles = host.lastRunStats().marshalCycles;
+    double secs = vm.machine().costs().seconds(res.enclaveCycles);
+    res.exitRateK = double(res.exits) / secs / 1000.0;
+    host.destroy();
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    heading("Fig. 5 + Table 4: shielding real-world programs with "
+            "VeilS-ENC (paper: 4.9% - 63.9% overhead)");
+
+    const AppSpec apps[] = {
+        {"GZip",
+         "Compress a 2MB file generated from a compressible corpus "
+         "(paper: 10MB /dev/urandom)",
+         "~4.9%", "0.08k/s",
+         [](VeilVm &vm, kern::Kernel &k, kern::Process &p) {
+             return driveApp(
+                 vm, k, p,
+                 [](Env &e, const char *sfx) {
+                     VzipParams prm;
+                     prm.inputPath = std::string("/gz_in_") + sfx;
+                     prm.outputPath = std::string("/gz_out_") + sfx;
+                     vzipPrepare(e, prm, 2 * 1024 * 1024);
+                 },
+                 [](Env &e, const char *sfx) {
+                     VzipParams prm;
+                     prm.inputPath = std::string("/gz_in_") + sfx;
+                     prm.outputPath = std::string("/gz_out_") + sfx;
+                     prm.cyclesPerByte = 58; // gzip -6 class
+                     runVzip(e, prm);
+                 });
+         }},
+        {"UnQlite",
+         "huge-db style: 40k random inserts into the hash store "
+         "(paper: 1M)",
+         "~30%", "35.5k/s",
+         [](VeilVm &vm, kern::Kernel &k, kern::Process &p) {
+             return driveApp(
+                 vm, k, p, [](Env &, const char *) {},
+                 [](Env &e, const char *sfx) {
+                     VkvParams prm;
+                     prm.journalPath = std::string("/kv_") + sfx;
+                     prm.inserts = 40000;
+                     prm.recordsPerFlush = 24;
+                     prm.cyclesPerInsert = 1800;
+                     runVkv(e, prm);
+                 });
+         }},
+        {"MbedTLS",
+         "self-test battery: 1400 AES/SHA/HMAC/DRBG tests over 4KB "
+         "blocks (paper: 2.8k tests)",
+         "~15%", "9.3k/s",
+         [](VeilVm &vm, kern::Kernel &k, kern::Process &p) {
+             return driveApp(
+                 vm, k, p, [](Env &, const char *) {},
+                 [](Env &e, const char *) {
+                     VcryptParams prm;
+                     prm.tests = 1400;
+                     prm.testsPerPrint = 2;
+                     prm.blockBytes = 3072;
+                     runVcrypt(e, prm);
+                 });
+         }},
+        {"Lighttpd",
+         "1 worker, ab-style client, 400 requests of 10KB files "
+         "(paper: 10,000 requests)",
+         "~35%", "4.8k/s",
+         [](VeilVm &vm, kern::Kernel &k, kern::Process &p) -> AppResult {
+             NativeEnv env(k, p);
+             AppResult res;
+             VhttpdParams prm;
+             prm.requests = 400;
+             prm.serverCyclesPerReq = 150000;
+             prm.clientCyclesPerReq = 100000;
+             vhttpdPrepare(env, prm);
+
+             // Native: server + client interleaved.
+             uint64_t t0 = env.tsc();
+             VhttpdResult nat = runVhttpdNative(env, env, prm);
+             res.nativeCycles = env.tsc() - t0;
+             ensure(nat.completed == prm.requests, "native httpd failed");
+
+             // Enclave: server inside, ab client pumped via ocall hook.
+             VhttpdParams eprm = prm;
+             eprm.port = 8081;
+             EnclaveHost host(env, vm.programs());
+             ensure(host.create([eprm](Env &e) -> int64_t {
+                 HttpServer server(e, eprm);
+                 server.runToCompletion();
+                 return int64_t(server.served());
+             }),
+                    "enclave create failed");
+             HttpClient client(env, eprm);
+             host.setOcallHook([&client] { client.pump(); });
+             uint64_t intr0 = vm.hypervisor().stats().intrRedirects;
+             uint64_t t1 = env.tsc();
+             int64_t served = host.call();
+             res.enclaveCycles = env.tsc() - t1;
+             ensure(served == int64_t(eprm.requests), "enclave httpd failed");
+             uint64_t intr = vm.hypervisor().stats().intrRedirects - intr0;
+             res.exits = host.ocallsServed() + host.faultsServed() + intr + 1;
+             res.marshalCycles = host.lastRunStats().marshalCycles;
+             res.exitRateK =
+                 double(res.exits) /
+                 vm.machine().costs().seconds(res.enclaveCycles) / 1000.0;
+             host.destroy();
+             return res;
+         }},
+        {"SQLite",
+         "insert 6k random rows, 4 rows/tx, checkpoint every 16 tx "
+         "(paper: 10k rows)",
+         "~63.9%", "22.4k/s",
+         [](VeilVm &vm, kern::Kernel &k, kern::Process &p) {
+             return driveApp(
+                 vm, k, p, [](Env &, const char *) {},
+                 [](Env &e, const char *sfx) {
+                     VdbParams prm;
+                     prm.dbPath = std::string("/db_") + sfx;
+                     prm.walPath = std::string("/wal_") + sfx;
+                     prm.inserts = 6000;
+                     prm.cyclesPerInsert = 22000; // SQL parse/plan class
+                     runVdb(e, prm);
+                 });
+         }},
+    };
+
+    Table t4("Table 4: settings for running enclave programs",
+             {"Program", "Parameters"});
+    for (const auto &app : apps)
+        t4.addRow({app.name, app.table4});
+    t4.print();
+
+    AppResult results[5];
+    for (size_t i = 0; i < 5; ++i) {
+        VeilVm vm(veilConfig(96));
+        auto r = vm.run([&](kern::Kernel &k, kern::Process &p) {
+            results[i] = apps[i].run(vm, k, p);
+        });
+        ensure(r.terminated, "CVM failed");
+    }
+
+    Table t("Fig. 5 data", {"Program", "Native (Mcyc)", "Enclave (Mcyc)",
+                            "Overhead", "Redirect/Exit split",
+                            "Exit rate", "Paper ovh", "Paper rate"});
+    double max_ovh = 0;
+    double ovh[5], redirect_share[5];
+    for (size_t i = 0; i < 5; ++i) {
+        const AppResult &r = results[i];
+        ovh[i] = overheadPct(double(r.enclaveCycles), double(r.nativeCycles));
+        max_ovh = std::max(max_ovh, ovh[i]);
+        uint64_t exit_cycles =
+            r.exits * 2 * 7135; // two transitions per exit
+        uint64_t redirect_cycles = r.marshalCycles;
+        redirect_share[i] =
+            double(redirect_cycles) /
+            double(std::max<uint64_t>(1, exit_cycles + redirect_cycles));
+        t.addRow({apps[i].name, fmt("%.1f", r.nativeCycles / 1e6),
+                  fmt("%.1f", r.enclaveCycles / 1e6),
+                  fmt("%.1f%%", ovh[i]),
+                  fmt("%.0f%%/%.0f%%", redirect_share[i] * 100,
+                      (1 - redirect_share[i]) * 100),
+                  fmt("%.1fk/s", results[i].exitRateK), apps[i].paperOverhead,
+                  apps[i].paperExitRate});
+    }
+    t.print();
+
+    std::printf("\nFig. 5 (performance overhead %%, R=syscall-redirect "
+                "share, X=enclave-exit share):\n");
+    for (size_t i = 0; i < 5; ++i) {
+        int width = 44;
+        int fill = int(ovh[i] / max_ovh * width + 0.5);
+        int rpart = int(redirect_share[i] * fill + 0.5);
+        std::string bar = std::string(size_t(rpart), 'R') +
+                          std::string(size_t(fill - rpart), 'X');
+        bar.resize(size_t(width), ' ');
+        std::printf("  %-10s |%s| %.1f%%\n", apps[i].name, bar.c_str(),
+                    ovh[i]);
+    }
+
+    note("");
+    note("Enclave-exit cost dominates except where large buffers are");
+    note("copied at syscalls (Lighttpd's 10KB responses) — §9.2 CS2.");
+    note("Exit rates exceed the paper's absolute numbers because this");
+    note("substrate's baseline syscalls are leaner than full Linux; the");
+    note("overhead ordering (GZip lowest ... SQLite highest) is the");
+    note("reproduced shape.");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * CS1 (§9.2): secure module load/unload overhead. The paper loads a
+ * tiny module (4728-byte image, 24 KB installed) 100 times and measures
+ * +55k cycles at load and unload under VeilS-KCI (+5.7% / +4.2%).
+ */
+#include "common.hh"
+
+#include "base/log.hh"
+
+#include "base/rng.hh"
+#include "veil/module_format.hh"
+
+using namespace veil;
+using namespace veil::bench;
+using namespace veil::sdk;
+
+namespace {
+
+Bytes
+buildTestModule(const Bytes &key)
+{
+    // ~4.7 KB image installing to 24 KB (text padded to 20 KB + 4 KB
+    // data), mirroring the paper's module geometry.
+    Rng rng(0x6d6f64);
+    core::VkoBuildSpec spec;
+    spec.text = rng.bytes(4 * 1024);
+    spec.text.resize(20 * 1024, 0); // zero padding installs to 5 pages
+    spec.data = rng.bytes(4 * 1024);
+    spec.relocs = {{16, "printk"}, {128, "kmalloc"}, {256, "audit_log_end"}};
+    spec.entryOffset = 0x40;
+    return core::vkoBuild(spec, key);
+}
+
+struct LoadCosts
+{
+    uint64_t load = 0;
+    uint64_t unload = 0;
+};
+
+LoadCosts
+measure(bool veil_enabled, const Bytes &image, int iters)
+{
+    VmConfig cfg = veil_enabled ? veilConfig(32) : nativeConfig(32);
+    VeilVm vm(cfg);
+    LoadCosts costs;
+    vm.run([&](kern::Kernel &k, kern::Process &) {
+        for (int i = 0; i < iters; ++i) {
+            uint64_t t0 = k.cpu().rdtsc();
+            int64_t handle = k.loadModule(image);
+            uint64_t t1 = k.cpu().rdtsc();
+            ensure(handle > 0, "module load failed");
+            ensure(k.invokeModule(handle) == 0, "module exec failed");
+            uint64_t t2 = k.cpu().rdtsc();
+            ensure(k.unloadModule(handle) == 0, "module unload failed");
+            uint64_t t3 = k.cpu().rdtsc();
+            costs.load += (t1 - t0) / iters;
+            costs.unload += (t3 - t2) / iters;
+        }
+    });
+    return costs;
+}
+
+} // namespace
+
+int
+main()
+{
+    heading("CS1 (§9.2): secure module load/unload with VeilS-KCI "
+            "(paper: +~55k cycles, +5.7% load / +4.2% unload)");
+
+    kern::KernelConfig kc;
+    Bytes image = buildTestModule(kc.moduleKey);
+    note(fmt("module image: %zu bytes, installs to %u pages",
+             image.size(), 6u));
+
+    constexpr int kIters = 100;
+    LoadCosts native = measure(false, image, kIters);
+    LoadCosts veil = measure(true, image, kIters);
+
+    Table t(fmt("Module load/unload (avg over %d iterations)", kIters),
+            {"Path", "Load (cycles)", "Unload (cycles)"});
+    t.addRow({"Native kernel loader (TOCTOU-exposed)",
+              fmt("%llu", (unsigned long long)native.load),
+              fmt("%llu", (unsigned long long)native.unload)});
+    t.addRow({"VeilS-KCI (staged, verified, W^X)",
+              fmt("%llu", (unsigned long long)veil.load),
+              fmt("%llu", (unsigned long long)veil.unload)});
+    t.addRow({"Delta",
+              fmt("+%llu", (unsigned long long)(veil.load - native.load)),
+              fmt("+%llu", (unsigned long long)(veil.unload - native.unload))});
+    t.print();
+
+    Table t2("Comparison with the paper", {"Metric", "Measured", "Paper"});
+    t2.addRow({"Added cycles at load",
+               fmt("%llu", (unsigned long long)(veil.load - native.load)),
+               "~55k"});
+    t2.addRow({"Added cycles at unload",
+               fmt("%llu", (unsigned long long)(veil.unload - native.unload)),
+               "~55k"});
+    t2.addRow({"Load slowdown",
+               fmt("%.1f%%", overheadPct(double(veil.load),
+                                         double(native.load))),
+               "5.7%"});
+    t2.addRow({"Unload slowdown",
+               fmt("%.1f%%", overheadPct(double(veil.unload),
+                                         double(native.unload))),
+               "4.2%"});
+    t2.print();
+    note("");
+    note("The delta decomposes as one IDCB round trip (~14.9k) plus six");
+    note("cold RMPADJUSTs (~39k) plus staging copies; the native baseline");
+    note("models Linux's load_module machinery (ELF parse, kallsyms,");
+    note("stop_machine) so the percentages are comparable to the paper's.");
+    return 0;
+}

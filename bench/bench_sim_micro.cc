@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Simulator micro-benchmarks (google-benchmark, wall-clock): throughput
+ * of the substrate's primitives — RMP checks, page walks, checked guest
+ * memory access, fiber switches, full domain-switch round trips, and
+ * the crypto kernels. Not a paper figure; this keeps the harness honest
+ * about its own costs.
+ */
+#include <benchmark/benchmark.h>
+
+#include "base/log.hh"
+#include "crypto/aes.hh"
+#include "crypto/sha256.hh"
+#include "sdk/vm.hh"
+#include "snp/fault.hh"
+
+using namespace veil;
+using namespace veil::snp;
+
+namespace {
+
+MachineConfig
+microConfig()
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    MachineConfig cfg;
+    cfg.memBytes = 16 * 1024 * 1024;
+    cfg.numVcpus = 1;
+    cfg.interruptsEnabled = false;
+    return cfg;
+}
+
+void
+BM_RmpCheck(benchmark::State &state)
+{
+    RmpTable rmp(4096);
+    rmp.hvAssign(0x1000);
+    rmp.pvalidate(Vmpl::Vmpl0, 0x1000, true);
+    rmp.rmpadjust(Vmpl::Vmpl0, 0x1000, Vmpl::Vmpl3, kPermRw);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            rmp.allowed(Vmpl::Vmpl3, 0x1234, Access::Read, Cpl::Supervisor));
+    }
+}
+BENCHMARK(BM_RmpCheck);
+
+void
+BM_PageWalk(benchmark::State &state)
+{
+    GuestMemory mem(8 * 1024 * 1024);
+    Gpa next = 0x100000;
+    PageTableEditor editor(
+        mem, [&next] { Gpa f = next; next += kPageSize; return f; },
+        [](Gpa) {});
+    Gpa cr3 = editor.createRoot();
+    editor.map(cr3, 0x400000, 0x200000, PageFlags{true, true, false});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tryWalk(mem, cr3, 0x400123, Access::Read, Cpl::User));
+    }
+}
+BENCHMARK(BM_PageWalk);
+
+void
+BM_CheckedGuestRead4K(benchmark::State &state)
+{
+    Machine m(microConfig());
+    for (Gpa p = 0; p < 64 * kPageSize; p += kPageSize) {
+        m.rmp().hvAssign(p);
+        m.rmp().pvalidate(Vmpl::Vmpl0, p, true);
+    }
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.entry = [](Vcpu &) {};
+    VmsaId id = m.addVmsa(std::move(v));
+    Vcpu cpu(m, id);
+    std::vector<uint8_t> buf(4096);
+    for (auto _ : state)
+        cpu.readPhys(8 * kPageSize, buf.data(), buf.size());
+    state.SetBytesProcessed(int64_t(state.iterations()) * 4096);
+}
+BENCHMARK(BM_CheckedGuestRead4K);
+
+void
+BM_FiberSwitch(benchmark::State &state)
+{
+    Fiber f([] {
+        for (;;)
+            Fiber::yieldToScheduler();
+    });
+    for (auto _ : state)
+        f.resume();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_DomainSwitchRoundTrip(benchmark::State &state)
+{
+    sdk::VmConfig cfg;
+    cfg.machine.memBytes = 32 * 1024 * 1024;
+    cfg.machine.numVcpus = 1;
+    LogConfig::setThreshold(LogLevel::Silent);
+    sdk::VeilVm vm(cfg);
+    vm.run([&](kern::Kernel &k, kern::Process &) {
+        core::IdcbMessage ping;
+        ping.op = static_cast<uint32_t>(core::VeilOp::Ping);
+        for (auto _ : state)
+            k.callMonitor(ping);
+    });
+}
+BENCHMARK(BM_DomainSwitchRoundTrip)->Iterations(2000);
+
+void
+BM_Sha256_4K(benchmark::State &state)
+{
+    std::vector<uint8_t> data(4096, 0xab);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crypto::Sha256::hash(data.data(),
+                                                      data.size()));
+    state.SetBytesProcessed(int64_t(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha256_4K);
+
+void
+BM_AesCtr4K(benchmark::State &state)
+{
+    crypto::AesKey key{};
+    crypto::Aes128 aes(key);
+    std::vector<uint8_t> in(4096, 0x11), out(4096);
+    for (auto _ : state)
+        crypto::aesCtrXor(aes, 1, 0, in.data(), out.data(), in.size());
+    state.SetBytesProcessed(int64_t(state.iterations()) * 4096);
+}
+BENCHMARK(BM_AesCtr4K);
+
+void
+BM_FullVeilBoot(benchmark::State &state)
+{
+    sdk::VmConfig cfg;
+    cfg.machine.memBytes = 32 * 1024 * 1024;
+    cfg.machine.numVcpus = 1;
+    LogConfig::setThreshold(LogLevel::Silent);
+    for (auto _ : state) {
+        sdk::VeilVm vm(cfg);
+        vm.run([](kern::Kernel &, kern::Process &) {});
+    }
+}
+BENCHMARK(BM_FullVeilBoot)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+#include "common.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "base/log.hh"
+
+namespace veil::bench {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print() const
+{
+    std::vector<size_t> widths(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i)
+        widths[i] = columns_[i].size();
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    std::printf("\n%s\n", title_.c_str());
+    size_t total = 0;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+        std::printf("%-*s  ", int(widths[i]), columns_[i].c_str());
+        total += widths[i] + 2;
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < total; ++i)
+        std::printf("-");
+    std::printf("\n");
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            std::printf("%-*s  ", int(widths[i]), row[i].c_str());
+        std::printf("\n");
+    }
+}
+
+void
+printBar(const std::string &label, double value, double max_value,
+         const std::string &suffix, int width)
+{
+    int fill = max_value > 0
+                   ? static_cast<int>(value / max_value * width + 0.5)
+                   : 0;
+    fill = std::min(fill, width);
+    std::string bar(static_cast<size_t>(fill), '#');
+    std::printf("  %-12s |%-*s| %s\n", label.c_str(), width, bar.c_str(),
+                suffix.c_str());
+}
+
+void
+heading(const std::string &text)
+{
+    std::printf("\n=== %s ===\n", text.c_str());
+}
+
+void
+note(const std::string &text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+std::string
+fmt(const char *f, ...)
+{
+    va_list ap;
+    va_start(ap, f);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+double
+overheadPct(double value, double base)
+{
+    if (base <= 0)
+        return 0;
+    return (value - base) / base * 100.0;
+}
+
+sdk::VmConfig
+veilConfig(size_t mem_mb)
+{
+    LogConfig::setThreshold(LogLevel::Warn);
+    sdk::VmConfig cfg;
+    cfg.machine.memBytes = mem_mb * 1024 * 1024;
+    cfg.machine.numVcpus = 1;
+    cfg.veilEnabled = true;
+    return cfg;
+}
+
+sdk::VmConfig
+nativeConfig(size_t mem_mb)
+{
+    sdk::VmConfig cfg = veilConfig(mem_mb);
+    cfg.veilEnabled = false;
+    return cfg;
+}
+
+} // namespace veil::bench

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared benchmark harness utilities: aligned table printing, ASCII bar
+ * "figures" mirroring the paper's plots, and VM factory helpers used by
+ * every per-table/per-figure benchmark binary.
+ */
+#ifndef VEIL_BENCH_COMMON_HH_
+#define VEIL_BENCH_COMMON_HH_
+
+#include <string>
+#include <vector>
+
+#include "sdk/remote.hh"
+#include "sdk/vm.hh"
+
+namespace veil::bench {
+
+/** Column-aligned console table. */
+class Table
+{
+  public:
+    Table(std::string title, std::vector<std::string> columns);
+
+    void addRow(std::vector<std::string> cells);
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a horizontal ASCII bar (for figure reproduction). */
+void printBar(const std::string &label, double value, double max_value,
+              const std::string &suffix, int width = 44);
+
+/** Section header. */
+void heading(const std::string &text);
+
+/** Free-form note line. */
+void note(const std::string &text);
+
+std::string fmt(const char *f, ...) __attribute__((format(printf, 1, 2)));
+
+/** Percentage overhead of @p value over @p base. */
+double overheadPct(double value, double base);
+
+/** Default Veil VM config for benches. */
+sdk::VmConfig veilConfig(size_t mem_mb = 64);
+
+/** Native CVM config (no Veil). */
+sdk::VmConfig nativeConfig(size_t mem_mb = 64);
+
+} // namespace veil::bench
+
+#endif // VEIL_BENCH_COMMON_HH_

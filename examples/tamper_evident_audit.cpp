@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tamper-evident system auditing (§6.3): audit a web server's syscalls
+ * into VeilS-LOG, let an "attacker" compromise the kernel and try to
+ * destroy the evidence, then retrieve the intact log over the sealed
+ * remote channel.
+ *
+ * Build & run:  ./build/examples/tamper_evident_audit
+ */
+#include <cstdio>
+
+#include "base/log.hh"
+
+#include "sdk/remote.hh"
+#include "sdk/vm.hh"
+#include "workloads/vhttpd.hh"
+
+using namespace veil;
+using namespace veil::sdk;
+using namespace veil::wl;
+
+int
+main()
+{
+    LogConfig::setThreshold(LogLevel::Warn);
+    VmConfig cfg;
+    cfg.machine.memBytes = 64 * 1024 * 1024;
+    cfg.machine.numVcpus = 1;
+    cfg.kernel.auditBackend = kern::AuditBackend::VeilLog;
+    cfg.kernel.auditRules = kern::priorWorkAuditRuleset();
+    VeilVm vm(cfg);
+    RemoteUser user(vm);
+
+    std::vector<std::string> recovered;
+    auto result = vm.run([&](kern::Kernel &kernel, kern::Process &proc) {
+        if (!user.establishChannel(kernel)) {
+            std::printf("attestation failed\n");
+            return;
+        }
+
+        // Serve some web traffic; every audited syscall is protected in
+        // Dom-SRV storage *before* it executes (execute-ahead).
+        NativeEnv server(kernel, proc);
+        kern::Process &cp = kernel.makeProcess("ab");
+        cp.audited = false;
+        NativeEnv client(kernel, cp);
+        VhttpdParams params;
+        params.requests = 30;
+        vhttpdPrepare(server, params);
+        runVhttpdNative(server, client, params);
+        std::printf("[guest] served %llu requests; %llu audit records "
+                    "protected by VeilS-LOG\n",
+                    (unsigned long long)params.requests,
+                    (unsigned long long)kernel.stats().auditRecords);
+
+        // --- The attacker now controls the kernel. ---
+        // 1. They stop sending new records (allowed — logs are only
+        //    guaranteed up to the compromise point, §6.3).
+        kernel.audit().setRules({});
+        // 2. They try to scrub the stored evidence directly: the log
+        //    store lives in Dom-SRV memory. Probe the RMP rather than
+        //    halting the demo CVM with the inevitable #NPF:
+        bool can_scrub = vm.machine().rmp().allowed(
+            snp::Vmpl::Vmpl3, vm.layout().logStore, snp::Access::Write,
+            snp::Cpl::Supervisor);
+        std::printf("[attacker] overwrite stored log buffer? %s\n",
+                    can_scrub ? "YES (bug!)" : "no — #NPF, CVM would halt");
+        // 3. They try to forge a retrieval/clear request: without the
+        //    session keys the sealed request fails authentication.
+        core::SecureChannel forged(
+            crypto::deriveSessionKeys(Bytes(32, 0xEE)), true);
+        Bytes bogus = forged.seal({uint8_t(core::LogQueryCmd::Clear), 0, 0,
+                                   0, 0, 0, 0, 0, 0});
+        core::IdcbMessage m;
+        m.op = static_cast<uint32_t>(core::VeilOp::LogQuery);
+        memcpy(m.payload, bogus.data(), bogus.size());
+        m.payloadLen = uint32_t(bogus.size());
+        auto reply = kernel.callService(m);
+        std::printf("[attacker] forged clear request: %s\n",
+                    reply.status ==
+                            uint64_t(core::VeilStatus::VerifyFailed)
+                        ? "rejected (bad MAC)"
+                        : "ACCEPTED (bug!)");
+
+        // --- The investigator retrieves the evidence. ---
+        recovered = user.retrieveAllRecords(kernel);
+    });
+
+    std::printf("[user]  recovered %zu intact audit records, e.g.:\n",
+                recovered.size());
+    for (size_t i = 0; i < recovered.size() && i < 3; ++i)
+        std::printf("          %s\n", recovered[i].c_str());
+    return result.terminated && !recovered.empty() ? 0 : 1;
+}

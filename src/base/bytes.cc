@@ -1,0 +1,70 @@
+#include "base/bytes.hh"
+
+#include "base/log.hh"
+
+namespace veil {
+
+namespace {
+const char kHexDigits[] = "0123456789abcdef";
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+} // namespace
+
+std::string
+hexEncode(const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    std::string out;
+    out.reserve(len * 2);
+    for (size_t i = 0; i < len; ++i) {
+        out.push_back(kHexDigits[p[i] >> 4]);
+        out.push_back(kHexDigits[p[i] & 0xf]);
+    }
+    return out;
+}
+
+std::string
+hexEncode(const Bytes &data)
+{
+    return hexEncode(data.data(), data.size());
+}
+
+Bytes
+hexDecode(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        fatal("hexDecode: odd-length input");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexNibble(hex[i]);
+        int lo = hexNibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            fatal("hexDecode: invalid hex digit");
+        out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+bool
+ctEqual(const void *a, const void *b, size_t len)
+{
+    const auto *pa = static_cast<const uint8_t *>(a);
+    const auto *pb = static_cast<const uint8_t *>(b);
+    uint8_t acc = 0;
+    for (size_t i = 0; i < len; ++i)
+        acc |= static_cast<uint8_t>(pa[i] ^ pb[i]);
+    return acc == 0;
+}
+
+} // namespace veil

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small byte-buffer helpers shared across modules: hex encoding,
+ * constant-time comparison, and little-endian (de)serialization used by
+ * guest-visible structures.
+ */
+#ifndef VEIL_BASE_BYTES_HH_
+#define VEIL_BASE_BYTES_HH_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace veil {
+
+using Bytes = std::vector<uint8_t>;
+
+/** Lower-case hex encoding of @p data. */
+std::string hexEncode(const void *data, size_t len);
+std::string hexEncode(const Bytes &data);
+
+/** Inverse of hexEncode; throws FatalError on malformed input. */
+Bytes hexDecode(const std::string &hex);
+
+/**
+ * Constant-time equality. Used for MAC/signature comparison so the
+ * simulated services do not exhibit trivially timing-dependent accepts.
+ */
+bool ctEqual(const void *a, const void *b, size_t len);
+
+/** Append a little-endian integer to a byte vector. */
+template <typename T>
+void
+appendLe(Bytes &out, T value)
+{
+    for (size_t i = 0; i < sizeof(T); ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+/** Read a little-endian integer from raw memory. */
+template <typename T>
+T
+loadLe(const uint8_t *p)
+{
+    T v = 0;
+    std::memcpy(&v, p, sizeof(T));
+    return v; // Host is little-endian x86-64; documented assumption.
+}
+
+/** Append a raw buffer. */
+inline void
+appendBytes(Bytes &out, const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    out.insert(out.end(), p, p + len);
+}
+
+} // namespace veil
+
+#endif // VEIL_BASE_BYTES_HH_

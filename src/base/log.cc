@@ -1,0 +1,77 @@
+#include "base/log.hh"
+
+#include <cstdio>
+#include <vector>
+
+namespace veil {
+
+namespace {
+LogLevel g_threshold = LogLevel::Info;
+} // namespace
+
+LogLevel
+LogConfig::threshold()
+{
+    return g_threshold;
+}
+
+void
+LogConfig::setThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return "<format error>";
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+void
+logMessage(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_threshold))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage(LogLevel::Info, "info", msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, "warn", msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage(LogLevel::Error, "panic", msg);
+    throw PanicError(msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage(LogLevel::Error, "fatal", msg);
+    throw FatalError(msg);
+}
+
+} // namespace veil

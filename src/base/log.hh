@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the Veil reproduction.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in this codebase), fatal() is for unrecoverable user
+ * errors (bad configuration), warn()/inform() are advisory.
+ */
+#ifndef VEIL_BASE_LOG_HH_
+#define VEIL_BASE_LOG_HH_
+
+#include <cstdarg>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace veil {
+
+/** Severity of a log record. */
+enum class LogLevel : int {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Silent = 4,
+};
+
+/**
+ * Process-wide log configuration.
+ *
+ * Tests lower the threshold to Silent to keep output clean; examples and
+ * benches leave it at Info.
+ */
+class LogConfig
+{
+  public:
+    static LogLevel threshold();
+    static void setThreshold(LogLevel level);
+};
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a log record if @p level passes the configured threshold. */
+void logMessage(LogLevel level, const char *tag, const std::string &msg);
+
+/** Informative status message (never indicates a problem). */
+void inform(const std::string &msg);
+
+/** Something looks off but the simulation can continue. */
+void warn(const std::string &msg);
+
+/**
+ * Exception thrown by panic(): an internal invariant of the simulator or
+ * of Veil itself was violated. Tests assert on these.
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what) : std::logic_error(what) {}
+};
+
+/**
+ * Exception thrown by fatal(): the caller (user of the library) supplied
+ * an impossible configuration or request.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Report an internal bug and throw PanicError. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report an unrecoverable user error and throw FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Assert an invariant; panics with @p msg on failure. */
+inline void
+ensure(bool cond, const char *msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace veil
+
+#endif // VEIL_BASE_LOG_HH_

@@ -1,0 +1,100 @@
+#include "base/rng.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+
+namespace veil {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    ensure(bound != 0, "Rng::below: zero bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+uint64_t
+Rng::range(uint64_t lo, uint64_t hi)
+{
+    ensure(lo <= hi, "Rng::range: lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::real()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+void
+Rng::fill(void *out, size_t len)
+{
+    auto *p = static_cast<uint8_t *>(out);
+    while (len >= 8) {
+        uint64_t v = next();
+        std::memcpy(p, &v, 8);
+        p += 8;
+        len -= 8;
+    }
+    if (len > 0) {
+        uint64_t v = next();
+        std::memcpy(p, &v, len);
+    }
+}
+
+std::vector<uint8_t>
+Rng::bytes(size_t len)
+{
+    std::vector<uint8_t> out(len);
+    fill(out.data(), len);
+    return out;
+}
+
+} // namespace veil

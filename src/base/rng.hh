@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic element of the simulation (workload keys, synthetic
+ * file contents, module images) draws from a seeded Rng so that runs are
+ * bit-reproducible.
+ */
+#ifndef VEIL_BASE_RNG_HH_
+#define VEIL_BASE_RNG_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace veil {
+
+/** xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next 64 uniformly-random bits. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t range(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+    /** Fill @p out with @p len random bytes. */
+    void fill(void *out, size_t len);
+
+    /** Convenience: vector of @p len random bytes. */
+    std::vector<uint8_t> bytes(size_t len);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace veil
+
+#endif // VEIL_BASE_RNG_HH_

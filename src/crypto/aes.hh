@@ -1,0 +1,46 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS 197) with CTR-mode streaming. VeilS-ENC
+ * encrypts evicted enclave pages with a per-enclave AES-128-CTR key
+ * before releasing them to the untrusted OS (§6.2).
+ */
+#ifndef VEIL_CRYPTO_AES_HH_
+#define VEIL_CRYPTO_AES_HH_
+
+#include <array>
+#include <cstdint>
+
+#include "base/bytes.hh"
+
+namespace veil::crypto {
+
+using AesKey = std::array<uint8_t, 16>;
+using AesBlock = std::array<uint8_t, 16>;
+
+/** AES-128 with precomputed round keys. */
+class Aes128
+{
+  public:
+    explicit Aes128(const AesKey &key);
+
+    /** Encrypt a single 16-byte block. */
+    AesBlock encryptBlock(const AesBlock &in) const;
+
+    /** Decrypt a single 16-byte block. */
+    AesBlock decryptBlock(const AesBlock &in) const;
+
+  private:
+    uint8_t roundKeys_[11][16];
+};
+
+/**
+ * CTR-mode keystream XOR. Encryption and decryption are the same
+ * operation; @p nonce selects the keystream (do not reuse a nonce with
+ * the same key for different plaintexts).
+ */
+void aesCtrXor(const Aes128 &cipher, uint64_t nonce, uint64_t counter0,
+               const uint8_t *in, uint8_t *out, size_t len);
+
+} // namespace veil::crypto
+
+#endif // VEIL_CRYPTO_AES_HH_

@@ -1,0 +1,294 @@
+#include "crypto/bignum.hh"
+
+#include <algorithm>
+
+#include "base/log.hh"
+
+namespace veil::crypto {
+
+BigInt::BigInt(uint64_t v)
+{
+    if (v != 0)
+        limbs_.push_back(static_cast<uint32_t>(v));
+    if (v >> 32)
+        limbs_.push_back(static_cast<uint32_t>(v >> 32));
+}
+
+void
+BigInt::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+BigInt
+BigInt::fromHex(const std::string &hex)
+{
+    std::string h = hex;
+    if (h.size() % 2 != 0)
+        h.insert(h.begin(), '0');
+    return fromBytes(hexDecode(h));
+}
+
+BigInt
+BigInt::fromBytes(const Bytes &be)
+{
+    BigInt out;
+    size_t nbytes = be.size();
+    out.limbs_.assign((nbytes + 3) / 4, 0);
+    for (size_t i = 0; i < nbytes; ++i) {
+        // be[0] is the most significant byte.
+        size_t byte_index = nbytes - 1 - i; // significance of be position
+        size_t pos = i;                     // position from the end
+        (void)byte_index;
+        uint8_t b = be[nbytes - 1 - pos];
+        out.limbs_[pos / 4] |= static_cast<uint32_t>(b) << (8 * (pos % 4));
+    }
+    out.trim();
+    return out;
+}
+
+Bytes
+BigInt::toBytes(size_t len) const
+{
+    size_t nbits = bitLength();
+    size_t minimal = (nbits + 7) / 8;
+    if (minimal == 0)
+        minimal = 1;
+    size_t total = len == 0 ? minimal : len;
+    ensure(total >= minimal, "BigInt::toBytes: value does not fit");
+    Bytes out(total, 0);
+    for (size_t pos = 0; pos < total; ++pos) {
+        size_t limb = pos / 4;
+        if (limb >= limbs_.size())
+            break;
+        out[total - 1 - pos] =
+            static_cast<uint8_t>(limbs_[limb] >> (8 * (pos % 4)));
+    }
+    return out;
+}
+
+std::string
+BigInt::toHex() const
+{
+    if (isZero())
+        return "0";
+    std::string s = hexEncode(toBytes());
+    size_t i = 0;
+    while (i + 1 < s.size() && s[i] == '0')
+        ++i;
+    return s.substr(i);
+}
+
+size_t
+BigInt::bitLength() const
+{
+    if (limbs_.empty())
+        return 0;
+    uint32_t top = limbs_.back();
+    size_t bits = (limbs_.size() - 1) * 32;
+    while (top) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+bool
+BigInt::bit(size_t i) const
+{
+    size_t limb = i / 32;
+    if (limb >= limbs_.size())
+        return false;
+    return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int
+BigInt::cmp(const BigInt &a, const BigInt &b)
+{
+    if (a.limbs_.size() != b.limbs_.size())
+        return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+        if (a.limbs_[i] != b.limbs_[i])
+            return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigInt
+BigInt::add(const BigInt &a, const BigInt &b)
+{
+    BigInt out;
+    size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+    out.limbs_.assign(n + 1, 0);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t av = i < a.limbs_.size() ? a.limbs_[i] : 0;
+        uint64_t bv = i < b.limbs_.size() ? b.limbs_[i] : 0;
+        uint64_t s = av + bv + carry;
+        out.limbs_[i] = static_cast<uint32_t>(s);
+        carry = s >> 32;
+    }
+    out.limbs_[n] = static_cast<uint32_t>(carry);
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::sub(const BigInt &a, const BigInt &b)
+{
+    ensure(cmp(a, b) >= 0, "BigInt::sub: would underflow");
+    BigInt out;
+    out.limbs_.assign(a.limbs_.size(), 0);
+    int64_t borrow = 0;
+    for (size_t i = 0; i < a.limbs_.size(); ++i) {
+        int64_t av = a.limbs_[i];
+        int64_t bv = i < b.limbs_.size() ? b.limbs_[i] : 0;
+        int64_t d = av - bv - borrow;
+        if (d < 0) {
+            d += (int64_t(1) << 32);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limbs_[i] = static_cast<uint32_t>(d);
+    }
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::mul(const BigInt &a, const BigInt &b)
+{
+    if (a.isZero() || b.isZero())
+        return BigInt();
+    BigInt out;
+    out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+    for (size_t i = 0; i < a.limbs_.size(); ++i) {
+        uint64_t carry = 0;
+        for (size_t j = 0; j < b.limbs_.size(); ++j) {
+            uint64_t cur = out.limbs_[i + j] +
+                           uint64_t(a.limbs_[i]) * b.limbs_[j] + carry;
+            out.limbs_[i + j] = static_cast<uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        size_t k = i + b.limbs_.size();
+        while (carry) {
+            uint64_t cur = out.limbs_[k] + carry;
+            out.limbs_[k] = static_cast<uint32_t>(cur);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::shl(size_t bits) const
+{
+    if (isZero() || bits == 0)
+        return *this;
+    size_t limb_shift = bits / 32;
+    size_t bit_shift = bits % 32;
+    BigInt out;
+    out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        uint64_t v = uint64_t(limbs_[i]) << bit_shift;
+        out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+        out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+    }
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::shr1() const
+{
+    BigInt out;
+    out.limbs_.assign(limbs_.size(), 0);
+    uint32_t carry = 0;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        out.limbs_[i] = (limbs_[i] >> 1) | (carry << 31);
+        carry = limbs_[i] & 1;
+    }
+    out.trim();
+    return out;
+}
+
+BigInt
+BigInt::mod(const BigInt &a, const BigInt &m)
+{
+    ensure(!m.isZero(), "BigInt::mod: zero modulus");
+    if (cmp(a, m) < 0)
+        return a;
+    size_t shift = a.bitLength() - m.bitLength();
+    BigInt r = a;
+    BigInt d = m.shl(shift);
+    for (size_t i = 0; i <= shift; ++i) {
+        if (cmp(r, d) >= 0)
+            r = sub(r, d);
+        d = d.shr1();
+    }
+    return r;
+}
+
+BigInt
+BigInt::modExp(const BigInt &base, const BigInt &exp, const BigInt &m)
+{
+    ensure(!m.isZero(), "BigInt::modExp: zero modulus");
+    if (m == BigInt(1))
+        return BigInt();
+    BigInt result(1);
+    BigInt b = mod(base, m);
+    size_t nbits = exp.bitLength();
+    for (size_t i = nbits; i-- > 0;) {
+        result = mod(mul(result, result), m);
+        if (exp.bit(i))
+            result = mod(mul(result, b), m);
+    }
+    return result;
+}
+
+bool
+BigInt::isProbablePrime(const BigInt &n, int rounds)
+{
+    static const uint32_t kBases[] = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+                                      31, 37, 41, 43, 47, 53};
+    if (n.isZero() || n == BigInt(1))
+        return false;
+    for (uint32_t p : kBases) {
+        if (n == BigInt(p))
+            return true;
+        if (mod(n, BigInt(p)).isZero())
+            return false;
+    }
+    // Write n-1 = d * 2^s
+    BigInt n_minus_1 = sub(n, BigInt(1));
+    BigInt d = n_minus_1;
+    size_t s = 0;
+    while (!d.isOdd()) {
+        d = d.shr1();
+        ++s;
+    }
+    int use = std::min<int>(rounds, 16);
+    for (int r = 0; r < use; ++r) {
+        BigInt a(kBases[r]);
+        BigInt x = modExp(a, d, n);
+        if (x == BigInt(1) || x == n_minus_1)
+            continue;
+        bool witness = true;
+        for (size_t i = 1; i < s; ++i) {
+            x = mod(mul(x, x), n);
+            if (x == n_minus_1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness)
+            return false;
+    }
+    return true;
+}
+
+} // namespace veil::crypto

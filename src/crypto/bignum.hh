@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal arbitrary-precision unsigned integers — just enough for
+ * finite-field Diffie-Hellman (modexp) and Miller-Rabin self-checks.
+ * Little-endian 32-bit limbs, schoolbook multiplication, binary
+ * shift-subtract reduction. Not constant-time (simulation-strength).
+ */
+#ifndef VEIL_CRYPTO_BIGNUM_HH_
+#define VEIL_CRYPTO_BIGNUM_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/bytes.hh"
+
+namespace veil::crypto {
+
+/** Unsigned big integer. */
+class BigInt
+{
+  public:
+    BigInt() = default;
+    explicit BigInt(uint64_t v);
+
+    /** Parse big-endian hex (no 0x prefix). */
+    static BigInt fromHex(const std::string &hex);
+
+    /** Parse big-endian bytes. */
+    static BigInt fromBytes(const Bytes &be);
+
+    /** Serialize to big-endian bytes, left-padded to @p len (0 = minimal). */
+    Bytes toBytes(size_t len = 0) const;
+
+    /** Big-endian hex (minimal, "0" for zero). */
+    std::string toHex() const;
+
+    bool isZero() const { return limbs_.empty(); }
+    bool isOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+
+    /** Number of significant bits (0 for zero). */
+    size_t bitLength() const;
+
+    /** Value of bit @p i (0 = LSB). */
+    bool bit(size_t i) const;
+
+    /** Three-way comparison: -1, 0, +1. */
+    static int cmp(const BigInt &a, const BigInt &b);
+
+    bool operator==(const BigInt &o) const { return cmp(*this, o) == 0; }
+    bool operator<(const BigInt &o) const { return cmp(*this, o) < 0; }
+
+    static BigInt add(const BigInt &a, const BigInt &b);
+
+    /** a - b; requires a >= b. */
+    static BigInt sub(const BigInt &a, const BigInt &b);
+
+    static BigInt mul(const BigInt &a, const BigInt &b);
+
+    /** a mod m; m must be nonzero. */
+    static BigInt mod(const BigInt &a, const BigInt &m);
+
+    /** (base ^ exp) mod m via square-and-multiply; m must be nonzero. */
+    static BigInt modExp(const BigInt &base, const BigInt &exp, const BigInt &m);
+
+    /** Left-shift by @p bits. */
+    BigInt shl(size_t bits) const;
+
+    /** Right-shift by one bit. */
+    BigInt shr1() const;
+
+    /**
+     * Miller-Rabin probable-prime test with @p rounds deterministic
+     * small-prime bases. Used only in self-tests of the DH parameters.
+     */
+    static bool isProbablePrime(const BigInt &n, int rounds = 16);
+
+  private:
+    void trim();
+
+    std::vector<uint32_t> limbs_; // little-endian, normalized (no top zeros)
+};
+
+} // namespace veil::crypto
+
+#endif // VEIL_CRYPTO_BIGNUM_HH_

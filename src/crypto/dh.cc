@@ -1,0 +1,73 @@
+#include "crypto/dh.hh"
+
+#include "base/log.hh"
+#include "crypto/hmac.hh"
+
+namespace veil::crypto {
+
+const char kGroupPrimeHex[] =
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+
+namespace {
+
+const BigInt &
+groupPrime()
+{
+    static const BigInt p = BigInt::fromHex(kGroupPrimeHex);
+    return p;
+}
+
+} // namespace
+
+DhKeyPair
+dhGenerate(HmacDrbg &drbg)
+{
+    const BigInt &p = groupPrime();
+    DhKeyPair kp;
+    for (;;) {
+        Bytes raw = drbg.generate(32);
+        kp.secret = BigInt::fromBytes(raw);
+        // Require 2 <= secret < p - 1.
+        if (BigInt::cmp(kp.secret, BigInt(2)) >= 0 &&
+            BigInt::cmp(kp.secret, BigInt::sub(p, BigInt(1))) < 0) {
+            break;
+        }
+    }
+    BigInt pub = BigInt::modExp(BigInt(kGroupGenerator), kp.secret, p);
+    kp.publicKey = pub.toBytes(32);
+    return kp;
+}
+
+Bytes
+dhSharedSecret(const BigInt &secret, const Bytes &their_public)
+{
+    const BigInt &p = groupPrime();
+    BigInt their = BigInt::fromBytes(their_public);
+    if (their.isZero() || BigInt::cmp(their, p) >= 0)
+        fatal("dhSharedSecret: peer public key out of range");
+    BigInt shared = BigInt::modExp(their, secret, p);
+    return shared.toBytes(32);
+}
+
+SessionKeys
+deriveSessionKeys(const Bytes &shared_secret)
+{
+    // HKDF-style: PRK = HMAC(salt="veil-channel-v1", secret),
+    // then two expansion blocks.
+    Bytes salt(reinterpret_cast<const uint8_t *>("veil-channel-v1"),
+               reinterpret_cast<const uint8_t *>("veil-channel-v1") + 15);
+    Digest prk = HmacSha256::mac(salt, shared_secret);
+    Bytes prk_key(prk.begin(), prk.end());
+
+    Bytes info_enc = {'e', 'n', 'c', 0x01};
+    Digest enc_block = HmacSha256::mac(prk_key, info_enc);
+    Bytes info_mac = {'m', 'a', 'c', 0x02};
+    Digest mac_block = HmacSha256::mac(prk_key, info_mac);
+
+    SessionKeys keys;
+    std::copy(enc_block.begin(), enc_block.begin() + 16, keys.encKey.begin());
+    std::copy(mac_block.begin(), mac_block.end(), keys.macKey.begin());
+    return keys;
+}
+
+} // namespace veil::crypto

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Finite-field Diffie-Hellman key agreement for the VeilMon secure user
+ * channel (§5.1): the remote user and VeilMon exchange public keys via
+ * the attestation report's report-data field, derive a shared secret,
+ * and expand it into AES + HMAC session keys.
+ *
+ * Simulation-strength parameters: the group modulus is the 256-bit
+ * secp256k1 field prime with generator 5. Swap kGroupPrimeHex for an
+ * RFC 3526 group in a production port.
+ */
+#ifndef VEIL_CRYPTO_DH_HH_
+#define VEIL_CRYPTO_DH_HH_
+
+#include "crypto/bignum.hh"
+#include "crypto/drbg.hh"
+
+namespace veil::crypto {
+
+/** 256-bit prime modulus (secp256k1 field prime). */
+extern const char kGroupPrimeHex[];
+
+/** Group generator. */
+constexpr uint32_t kGroupGenerator = 5;
+
+/** One party's DH key pair. */
+struct DhKeyPair
+{
+    BigInt secret;  ///< private exponent (256 bits)
+    Bytes publicKey; ///< g^secret mod p, big-endian, 32 bytes
+};
+
+/** Derived symmetric session keys. */
+struct SessionKeys
+{
+    std::array<uint8_t, 16> encKey; ///< AES-128 key
+    std::array<uint8_t, 32> macKey; ///< HMAC-SHA256 key
+};
+
+/** Generate a key pair from DRBG output. */
+DhKeyPair dhGenerate(HmacDrbg &drbg);
+
+/** Compute the 32-byte shared secret from our secret and their public. */
+Bytes dhSharedSecret(const BigInt &secret, const Bytes &their_public);
+
+/** HKDF-like expansion of the shared secret into session keys. */
+SessionKeys deriveSessionKeys(const Bytes &shared_secret);
+
+} // namespace veil::crypto
+
+#endif // VEIL_CRYPTO_DH_HH_

@@ -1,0 +1,73 @@
+#include "crypto/drbg.hh"
+
+namespace veil::crypto {
+
+HmacDrbg::HmacDrbg(const Bytes &seed_material)
+{
+    k_.fill(0x00);
+    v_.fill(0x01);
+    update(seed_material);
+}
+
+void
+HmacDrbg::update(const Bytes &provided)
+{
+    // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+    {
+        HmacSha256 h(k_.data(), k_.size());
+        h.update(v_.data(), v_.size());
+        uint8_t zero = 0x00;
+        h.update(&zero, 1);
+        h.update(provided);
+        Digest d = h.finish();
+        std::copy(d.begin(), d.end(), k_.begin());
+    }
+    {
+        HmacSha256 h(k_.data(), k_.size());
+        h.update(v_.data(), v_.size());
+        Digest d = h.finish();
+        std::copy(d.begin(), d.end(), v_.begin());
+    }
+    if (provided.empty())
+        return;
+    {
+        HmacSha256 h(k_.data(), k_.size());
+        h.update(v_.data(), v_.size());
+        uint8_t one = 0x01;
+        h.update(&one, 1);
+        h.update(provided);
+        Digest d = h.finish();
+        std::copy(d.begin(), d.end(), k_.begin());
+    }
+    {
+        HmacSha256 h(k_.data(), k_.size());
+        h.update(v_.data(), v_.size());
+        Digest d = h.finish();
+        std::copy(d.begin(), d.end(), v_.begin());
+    }
+}
+
+Bytes
+HmacDrbg::generate(size_t len)
+{
+    Bytes out;
+    out.reserve(len);
+    while (out.size() < len) {
+        HmacSha256 h(k_.data(), k_.size());
+        h.update(v_.data(), v_.size());
+        Digest d = h.finish();
+        std::copy(d.begin(), d.end(), v_.begin());
+        size_t take = std::min(d.size(), len - out.size());
+        out.insert(out.end(), v_.begin(), v_.begin() + take);
+    }
+    update({});
+    return out;
+}
+
+void
+HmacDrbg::reseed(const Bytes &material)
+{
+    update(material);
+}
+
+} // namespace veil::crypto

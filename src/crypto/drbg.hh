@@ -1,0 +1,47 @@
+/**
+ * @file
+ * HMAC-DRBG with SHA-256 (NIST SP 800-90A). Deterministic random bit
+ * generator used wherever the real system would query a hardware RNG:
+ * per-enclave paging keys, DH ephemeral secrets, freshness nonces.
+ */
+#ifndef VEIL_CRYPTO_DRBG_HH_
+#define VEIL_CRYPTO_DRBG_HH_
+
+#include "crypto/hmac.hh"
+
+namespace veil::crypto {
+
+/** HMAC-DRBG instance. Reseed by constructing a new instance. */
+class HmacDrbg
+{
+  public:
+    /** Instantiate from seed material (entropy || nonce || personalization). */
+    explicit HmacDrbg(const Bytes &seed_material);
+
+    /** Generate @p len pseudorandom bytes. */
+    Bytes generate(size_t len);
+
+    /** Generate into a fixed array. */
+    template <size_t N>
+    std::array<uint8_t, N>
+    generateArray()
+    {
+        std::array<uint8_t, N> out;
+        Bytes b = generate(N);
+        std::copy(b.begin(), b.end(), out.begin());
+        return out;
+    }
+
+    /** Mix additional input into the state. */
+    void reseed(const Bytes &material);
+
+  private:
+    void update(const Bytes &provided);
+
+    std::array<uint8_t, 32> k_;
+    std::array<uint8_t, 32> v_;
+};
+
+} // namespace veil::crypto
+
+#endif // VEIL_CRYPTO_DRBG_HH_

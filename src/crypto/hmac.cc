@@ -1,0 +1,50 @@
+#include "crypto/hmac.hh"
+
+#include <cstring>
+
+namespace veil::crypto {
+
+HmacSha256::HmacSha256(const void *key, size_t key_len)
+{
+    uint8_t k[64];
+    std::memset(k, 0, sizeof(k));
+    if (key_len > 64) {
+        Digest d = Sha256::hash(key, key_len);
+        std::memcpy(k, d.data(), d.size());
+    } else {
+        std::memcpy(k, key, key_len);
+    }
+
+    uint8_t ipad[64];
+    for (int i = 0; i < 64; ++i) {
+        ipad[i] = static_cast<uint8_t>(k[i] ^ 0x36);
+        opad_[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+    }
+    inner_.update(ipad, sizeof(ipad));
+}
+
+Digest
+HmacSha256::finish()
+{
+    Digest inner = inner_.finish();
+    Sha256 outer;
+    outer.update(opad_, sizeof(opad_));
+    outer.update(inner.data(), inner.size());
+    return outer.finish();
+}
+
+Digest
+HmacSha256::mac(const Bytes &key, const Bytes &msg)
+{
+    return mac(key, msg.data(), msg.size());
+}
+
+Digest
+HmacSha256::mac(const Bytes &key, const void *msg, size_t len)
+{
+    HmacSha256 ctx(key);
+    ctx.update(msg, len);
+    return ctx.finish();
+}
+
+} // namespace veil::crypto

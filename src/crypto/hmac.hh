@@ -1,0 +1,37 @@
+/**
+ * @file
+ * HMAC-SHA256 (RFC 2104 / FIPS 198-1). Used for the simulated PSP report
+ * signature, module signatures, paging integrity tags, and the secure
+ * user channel's message authentication.
+ */
+#ifndef VEIL_CRYPTO_HMAC_HH_
+#define VEIL_CRYPTO_HMAC_HH_
+
+#include "crypto/sha256.hh"
+
+namespace veil::crypto {
+
+/** Incremental HMAC-SHA256 context. */
+class HmacSha256
+{
+  public:
+    HmacSha256(const void *key, size_t key_len);
+    explicit HmacSha256(const Bytes &key) : HmacSha256(key.data(), key.size()) {}
+
+    void update(const void *data, size_t len) { inner_.update(data, len); }
+    void update(const Bytes &data) { inner_.update(data); }
+
+    Digest finish();
+
+    /** One-shot convenience. */
+    static Digest mac(const Bytes &key, const Bytes &msg);
+    static Digest mac(const Bytes &key, const void *msg, size_t len);
+
+  private:
+    Sha256 inner_;
+    uint8_t opad_[64];
+};
+
+} // namespace veil::crypto
+
+#endif // VEIL_CRYPTO_HMAC_HH_

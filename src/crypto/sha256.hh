@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4). Used for CVM launch measurement, enclave
+ * measurement, module digests, and paging integrity hashes — the same
+ * roles SHA-256 plays in the paper (§5.1, §6.2).
+ */
+#ifndef VEIL_CRYPTO_SHA256_HH_
+#define VEIL_CRYPTO_SHA256_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/bytes.hh"
+
+namespace veil::crypto {
+
+/** A 256-bit digest. */
+using Digest = std::array<uint8_t, 32>;
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes. */
+    void update(const void *data, size_t len);
+    void update(const Bytes &data) { update(data.data(), data.size()); }
+    void update(const std::string &s) { update(s.data(), s.size()); }
+
+    /** Finalize and return the digest. The context must not be reused. */
+    Digest finish();
+
+    /** One-shot convenience. */
+    static Digest hash(const void *data, size_t len);
+    static Digest hash(const Bytes &data);
+
+  private:
+    void compress(const uint8_t block[64]);
+
+    uint32_t h_[8];
+    uint64_t totalLen_;
+    uint8_t buf_[64];
+    size_t bufLen_;
+};
+
+/** Hex string of a digest (for reports and logs). */
+std::string digestHex(const Digest &d);
+
+} // namespace veil::crypto
+
+#endif // VEIL_CRYPTO_SHA256_HH_

@@ -1,0 +1,27 @@
+#include "crypto/sig.hh"
+
+namespace veil::crypto {
+
+Signature
+signDigest(const Bytes &key, const std::string &domain, const Digest &digest)
+{
+    HmacSha256 ctx(key);
+    ctx.update(domain.data(), domain.size());
+    uint8_t sep = 0x00;
+    ctx.update(&sep, 1);
+    ctx.update(digest.data(), digest.size());
+    Digest mac = ctx.finish();
+    Signature sig;
+    std::copy(mac.begin(), mac.end(), sig.begin());
+    return sig;
+}
+
+bool
+verifyDigest(const Bytes &key, const std::string &domain, const Digest &digest,
+             const Signature &sig)
+{
+    Signature expect = signDigest(key, domain, digest);
+    return ctEqual(expect.data(), sig.data(), sig.size());
+}
+
+} // namespace veil::crypto

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Symmetric "signatures" over digests. The paper leaves both the PSP
+ * report signature scheme and the kernel-module signature scheme
+ * abstract (its prototype implements neither); we realize them as
+ * HMAC-SHA256 under provisioned keys, which preserves the verification
+ * logic (measure → sign → verify → TOCTOU-safe install) without pulling
+ * in an asymmetric-crypto implementation.
+ */
+#ifndef VEIL_CRYPTO_SIG_HH_
+#define VEIL_CRYPTO_SIG_HH_
+
+#include "crypto/hmac.hh"
+
+namespace veil::crypto {
+
+/** A detached signature over a digest. */
+using Signature = std::array<uint8_t, 32>;
+
+/** Sign @p digest with @p key in the given domain ("psp", "module", ...). */
+Signature signDigest(const Bytes &key, const std::string &domain,
+                     const Digest &digest);
+
+/** Constant-time verification. */
+bool verifyDigest(const Bytes &key, const std::string &domain,
+                  const Digest &digest, const Signature &sig);
+
+} // namespace veil::crypto
+
+#endif // VEIL_CRYPTO_SIG_HH_

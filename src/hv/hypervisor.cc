@@ -1,0 +1,196 @@
+#include "hv/hypervisor.hh"
+
+#include "base/log.hh"
+
+namespace veil::hv {
+
+using namespace snp;
+
+Hypervisor::Hypervisor(Machine &machine) : machine_(machine), view_(machine)
+{
+    current_.assign(machine.config().numVcpus, kInvalidVmsa);
+}
+
+void
+Hypervisor::restrictGhcbToEnclaveSwitches(Gpa ghcb_page)
+{
+    enclaveOnlyGhcbs_.insert(pageAlignDown(ghcb_page));
+}
+
+void
+Hypervisor::registerVmsa(uint32_t vcpu, Vmpl vmpl, VmsaId id)
+{
+    registry_[{vcpu, vmplIndex(vmpl)}] = id;
+    ++stats_.vmsaRegistrations;
+}
+
+VmsaId
+Hypervisor::lookupVmsa(uint32_t vcpu, Vmpl vmpl) const
+{
+    auto it = registry_.find({vcpu, vmplIndex(vmpl)});
+    return it == registry_.end() ? kInvalidVmsa : it->second;
+}
+
+Hypervisor::RunResult
+Hypervisor::run(VmsaId boot_vmsa)
+{
+    const Vmsa &boot = machine_.vmsaState(boot_vmsa);
+    registerVmsa(boot.vcpuId, boot.vmpl, boot_vmsa);
+    current_.assign(machine_.config().numVcpus, kInvalidVmsa);
+    current_[boot.vcpuId] = boot_vmsa;
+    terminated_ = false;
+
+    uint32_t n = static_cast<uint32_t>(current_.size());
+    uint32_t rr = 0;
+    while (!terminated_ && !machine_.halted()) {
+        // Round-robin over online VCPUs.
+        uint32_t vcpu = n;
+        for (uint32_t i = 0; i < n; ++i) {
+            uint32_t cand = (rr + i) % n;
+            if (current_[cand] != kInvalidVmsa) {
+                vcpu = cand;
+                break;
+            }
+        }
+        if (vcpu == n)
+            break; // all VCPUs offline
+        rr = (vcpu + 1) % n;
+
+        VmExit e = machine_.enter(current_[vcpu]);
+        machine_.charge(machine_.costs().hvDispatch);
+        ++stats_.exits;
+
+        switch (e.reason) {
+          case ExitReason::Halted:
+            current_[vcpu] = kInvalidVmsa;
+            break;
+          case ExitReason::NpfHalt:
+            return RunResult{false, 0, true};
+          case ExitReason::AutomaticIntr:
+            handleIntrExit(vcpu, e.vmsa);
+            break;
+          case ExitReason::NonAutomatic:
+            handleGhcbExit(vcpu, e.vmsa);
+            break;
+        }
+    }
+    return RunResult{terminated_, status_, machine_.halted()};
+}
+
+void
+Hypervisor::handleIntrExit(uint32_t vcpu, VmsaId exiting)
+{
+    const Vmsa &st = machine_.vmsaState(exiting);
+    VmsaId target = exiting;
+
+    if (st.vmpl == Vmpl::Vmpl2) {
+        // Veil instructs the hypervisor to relay enclave interrupts to
+        // DomUNT (§6.2). A malicious host that refuses re-enters the
+        // enclave context, where the OS interrupt handler is
+        // inaccessible — the CVM halts (Table 2).
+        if (relayIntr_) {
+            VmsaId unt = lookupVmsa(vcpu, Vmpl::Vmpl3);
+            if (unt != kInvalidVmsa) {
+                target = unt;
+                ++stats_.intrRedirects;
+                const Vmsa &unt_state = machine_.vmsaState(unt);
+                if (unt_state.ghcbGpa != kNoGhcb) {
+                    Ghcb g = view_.readGhcb(unt_state.ghcbGpa);
+                    g.result = static_cast<uint64_t>(HvResult::IntrRedirect);
+                    view_.writeGhcb(unt_state.ghcbGpa, g);
+                }
+            }
+        }
+    }
+
+    machine_.injectVector(target);
+    current_[vcpu] = target;
+}
+
+void
+Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
+{
+    const Vmsa &st = machine_.vmsaState(exiting);
+    if (st.ghcbGpa == kNoGhcb)
+        panic("hypervisor: non-automatic exit without a GHCB");
+
+    Ghcb g = view_.readGhcb(st.ghcbGpa);
+    auto code = static_cast<GhcbExit>(g.exitCode);
+    g.result = static_cast<uint64_t>(HvResult::Ok);
+
+    switch (code) {
+      case GhcbExit::DomainSwitch: {
+          uint32_t target_vcpu = static_cast<uint32_t>(g.info[0]);
+          Vmpl target_vmpl = static_cast<Vmpl>(g.info[1] & 3);
+          bool allowed = true;
+          if (enclaveOnlyGhcbs_.count(pageAlignDown(st.ghcbGpa)) &&
+              target_vmpl != Vmpl::Vmpl2 && target_vmpl != Vmpl::Vmpl3) {
+              allowed = false; // §6.2 errant-hypercall defense
+          }
+          if (target_vcpu != st.vcpuId)
+              allowed = false; // switches replicate the *same* VCPU
+          VmsaId target = allowed ? lookupVmsa(target_vcpu, target_vmpl)
+                                  : kInvalidVmsa;
+          if (target == kInvalidVmsa) {
+              g.result = static_cast<uint64_t>(HvResult::Denied);
+              ++stats_.deniedSwitches;
+          } else {
+              current_[vcpu] = target;
+              ++stats_.domainSwitches;
+          }
+          break;
+      }
+      case GhcbExit::RegisterVmsa: {
+          uint32_t target_vcpu = static_cast<uint32_t>(g.info[1]);
+          Vmpl vmpl = static_cast<Vmpl>(g.info[2] & 3);
+          VmsaId id = static_cast<VmsaId>(g.info[3]);
+          registerVmsa(target_vcpu, vmpl, id);
+          break;
+      }
+      case GhcbExit::StartVcpu: {
+          uint32_t target_vcpu = static_cast<uint32_t>(g.info[0]);
+          Vmpl vmpl = static_cast<Vmpl>(g.info[1] & 3);
+          VmsaId id = lookupVmsa(target_vcpu, vmpl);
+          if (id == kInvalidVmsa || target_vcpu >= current_.size()) {
+              g.result = static_cast<uint64_t>(HvResult::Denied);
+          } else {
+              current_[target_vcpu] = id;
+              ++stats_.vcpuStarts;
+          }
+          break;
+      }
+      case GhcbExit::PageStateChange: {
+          Gpa page = pageAlignDown(g.info[0]);
+          bool to_shared = g.info[1] != 0;
+          machine_.rmp().hvSetShared(page, to_shared);
+          ++stats_.pageStateChanges;
+          break;
+      }
+      case GhcbExit::ConsoleWrite: {
+          Gpa buf = g.info[0];
+          size_t len = static_cast<size_t>(g.info[1]);
+          if (len > kPageSize) {
+              g.result = static_cast<uint64_t>(HvResult::Denied);
+              break;
+          }
+          std::string text(len, '\0');
+          view_.read(buf, text.data(), len);
+          console_ += text;
+          ++stats_.consoleWrites;
+          break;
+      }
+      case GhcbExit::Terminate:
+        terminated_ = true;
+        status_ = g.info[0];
+        break;
+      case GhcbExit::RestrictGhcb:
+        restrictGhcbToEnclaveSwitches(g.info[0]);
+        break;
+      case GhcbExit::None:
+        break;
+    }
+
+    view_.writeGhcb(st.ghcbGpa, g);
+}
+
+} // namespace veil::hv

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The (untrusted) host hypervisor. Mirrors the paper's ~400-line KVM
+ * modification (§7): it maintains the VMSAs of newly-created domains,
+ * installs hypercall handling for hypervisor-relayed domain switches
+ * (§5.2), and redirects automatic interrupt exits taken during enclave
+ * execution to DomUNT (§6.2).
+ *
+ * Policy knobs let security tests play a *malicious* hypervisor:
+ * refusing interrupt relay, attempting to touch private memory, etc. —
+ * the attacks of Table 2.
+ */
+#ifndef VEIL_HV_HYPERVISOR_HH_
+#define VEIL_HV_HYPERVISOR_HH_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hv/hvview.hh"
+#include "snp/vcpu.hh"
+
+namespace veil::hv {
+
+/** Values the hypervisor writes into Ghcb::result. */
+enum class HvResult : uint64_t {
+    Ok = 0,
+    Denied = 1,
+    /// The context was resumed because an interrupt was redirected to
+    /// it, not because its own request completed.
+    IntrRedirect = 2,
+};
+
+/** Host-side event counters. */
+struct HvStats
+{
+    uint64_t exits = 0;
+    uint64_t domainSwitches = 0;
+    uint64_t deniedSwitches = 0;
+    uint64_t intrRedirects = 0;
+    uint64_t pageStateChanges = 0;
+    uint64_t consoleWrites = 0;
+    uint64_t vmsaRegistrations = 0;
+    uint64_t vcpuStarts = 0;
+};
+
+/** The hypervisor for one machine. */
+class Hypervisor
+{
+  public:
+    explicit Hypervisor(snp::Machine &machine);
+
+    snp::Machine &machine() { return machine_; }
+    HvView &view() { return view_; }
+
+    // ---- Policy (default = what Veil instructs, §6.2) ----
+
+    /** Relay enclave interrupt exits to DomUNT (true) or force them
+     *  back into the enclave context (malicious, halts the CVM). */
+    void setRelayInterruptsToUnt(bool relay) { relayIntr_ = relay; }
+
+    /** Only allow DomUNT <-> DomENC switches via this (user-mapped)
+     *  GHCB page — the errant-hypercall defense of §6.2. */
+    void restrictGhcbToEnclaveSwitches(snp::Gpa ghcb_page);
+
+    // ---- VMSA registry (struct vcpu_svm analogue) ----
+
+    void registerVmsa(uint32_t vcpu, snp::Vmpl vmpl, snp::VmsaId id);
+    snp::VmsaId lookupVmsa(uint32_t vcpu, snp::Vmpl vmpl) const;
+
+    // ---- Execution ----
+
+    struct RunResult
+    {
+        bool terminated = false; ///< orderly Terminate hypercall
+        uint64_t status = 0;     ///< Terminate status
+        bool halted = false;     ///< CVM halted (#NPF etc.)
+    };
+
+    /** Run the CVM from its boot VMSA until termination or halt. */
+    RunResult run(snp::VmsaId boot_vmsa);
+
+    const HvStats &stats() const { return stats_; }
+    const std::string &console() const { return console_; }
+
+  private:
+    void handleIntrExit(uint32_t vcpu, snp::VmsaId exiting);
+    void handleGhcbExit(uint32_t vcpu, snp::VmsaId exiting);
+
+    snp::Machine &machine_;
+    HvView view_;
+    std::map<std::pair<uint32_t, int>, snp::VmsaId> registry_;
+    std::vector<snp::VmsaId> current_;
+    std::set<snp::Gpa> enclaveOnlyGhcbs_;
+    bool relayIntr_ = true;
+    bool terminated_ = false;
+    uint64_t status_ = 0;
+    HvStats stats_;
+    std::string console_;
+};
+
+} // namespace veil::hv
+
+#endif // VEIL_HV_HYPERVISOR_HH_

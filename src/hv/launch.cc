@@ -1,0 +1,58 @@
+#include "hv/launch.hh"
+
+#include "base/log.hh"
+#include "crypto/sha256.hh"
+
+namespace veil::hv {
+
+using namespace snp;
+
+VmsaId
+launchCvm(Machine &machine, Hypervisor &hypervisor, const LaunchParams &params)
+{
+    ensure(isPageAligned(params.imageBase), "launch: unaligned image base");
+    ensure(isPageAligned(params.bootVmsaPage), "launch: unaligned VMSA page");
+    ensure(isPageAligned(params.bootGhcb), "launch: unaligned GHCB page");
+    ensure(params.bootEntry != nullptr, "launch: missing boot entry");
+    ensure(!params.bootImage.empty(), "launch: empty boot image");
+
+    GuestMemory &mem = machine.memory();
+    RmpTable &rmp = machine.rmp();
+
+    // RMPUPDATE: assign every guest page to this CVM.
+    for (Gpa p = 0; p < mem.size(); p += kPageSize)
+        rmp.hvAssign(p);
+
+    // LAUNCH_UPDATE: load + measure the boot image; its pages are
+    // pre-validated by the platform.
+    mem.write(params.imageBase, params.bootImage.data(),
+              params.bootImage.size());
+    machine.psp().setLaunchDigest(crypto::Sha256::hash(params.bootImage));
+    Gpa image_end = pageAlignUp(params.imageBase + params.bootImage.size());
+    for (Gpa p = params.imageBase; p < image_end; p += kPageSize)
+        rmp.pvalidate(Vmpl::Vmpl0, p, true);
+
+    // Boot VMSA page: validated, then marked as a VMSA.
+    rmp.pvalidate(Vmpl::Vmpl0, params.bootVmsaPage, true);
+    rmp.rmpadjust(Vmpl::Vmpl0, params.bootVmsaPage, Vmpl::Vmpl1, kPermNone,
+                  /*make_vmsa=*/true);
+
+    // Boot GHCB (and any configured extra GHCBs): shared with the host.
+    rmp.hvSetShared(params.bootGhcb, true);
+    for (Gpa p : params.extraSharedPages)
+        rmp.hvSetShared(p, true);
+
+    Vmsa boot;
+    boot.vcpuId = 0;
+    boot.vmpl = Vmpl::Vmpl0;
+    boot.cpl = Cpl::Supervisor;
+    boot.page = params.bootVmsaPage;
+    boot.ghcbGpa = params.bootGhcb;
+    boot.irqMasked = params.bootIrqMasked;
+    boot.entry = params.bootEntry;
+    VmsaId id = machine.addVmsa(std::move(boot));
+    hypervisor.registerVmsa(0, Vmpl::Vmpl0, id);
+    return id;
+}
+
+} // namespace veil::hv

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CVM launch: load the measured boot image, record the launch digest in
+ * the PSP, pre-validate the image region, pre-share the boot GHCB, and
+ * create the boot VCPU's VMSA at VMPL-0 (§5.1: "the hypervisor creates
+ * a single VCPU ... at the highest CVM privilege"; Veil puts VeilMon
+ * there, a native CVM puts the kernel there).
+ */
+#ifndef VEIL_HV_LAUNCH_HH_
+#define VEIL_HV_LAUNCH_HH_
+
+#include "hv/hypervisor.hh"
+
+namespace veil::hv {
+
+/** Launch-time parameters. */
+struct LaunchParams
+{
+    /// Measured boot image contents (code + initial data).
+    Bytes bootImage;
+    /// Where the image is loaded in guest-physical memory.
+    snp::Gpa imageBase = 0;
+    /// Page backing the boot VMSA.
+    snp::Gpa bootVmsaPage = 0;
+    /// Pre-shared GHCB page for the boot VCPU.
+    snp::Gpa bootGhcb = 0;
+    /// Simulated entry point of the boot image.
+    snp::GuestEntry bootEntry;
+    /// Boot context interrupt masking (true for VeilMon, false for a
+    /// native kernel boot).
+    bool bootIrqMasked = true;
+    /// Additional pages the platform marks hypervisor-shared at launch
+    /// (per-VCPU GHCBs configured in the boot image's metadata).
+    std::vector<snp::Gpa> extraSharedPages;
+};
+
+/**
+ * Launch the CVM. Assigns all guest pages, loads + measures the boot
+ * image, pre-validates its pages for VMPL-0, shares the boot GHCB, and
+ * returns the boot VMSA id (already registered with the hypervisor).
+ */
+snp::VmsaId launchCvm(snp::Machine &machine, Hypervisor &hypervisor,
+                      const LaunchParams &params);
+
+} // namespace veil::hv
+
+#endif // VEIL_HV_LAUNCH_HH_

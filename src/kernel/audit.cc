@@ -1,0 +1,49 @@
+#include "kernel/audit.hh"
+
+#include "base/log.hh"
+#include "kernel/uapi.hh"
+
+namespace veil::kern {
+
+std::set<uint32_t>
+priorWorkAuditRuleset()
+{
+    // The paper's CS3 footnote lists read/write/send/recv/mmap/
+    // mprotect/open/close/creat/rename/unlink/socket-family calls etc.;
+    // this is the intersection with the syscalls our kernel implements.
+    return {
+        kSysRead,   kSysWrite,  kSysSendto, kSysRecvfrom, kSysMmap,
+        kSysMprotect, kSysOpen, kSysClose,  kSysCreat,    kSysRename,
+        kSysUnlink, kSysSocket, kSysBind,   kSysAccept,   kSysConnect,
+        kSysFtruncate,
+    };
+}
+
+std::string
+AuditSubsystem::format(int pid, const std::string &comm, uint32_t sysno,
+                       const uint64_t args[6], uint64_t tsc,
+                       uint64_t seq) const
+{
+    // Mirrors Linux audit SYSCALL record structure (fields the paper's
+    // forensic analyses rely on: timestamp, syscall, args, process).
+    return strfmt("type=SYSCALL msg=audit(%llu.%03llu:%llu): arch=c000003e "
+                  "syscall=%u a0=%llx a1=%llx a2=%llx a3=%llx pid=%d "
+                  "comm=\"%s\"",
+                  (unsigned long long)(tsc / 2'400'000'000ULL),
+                  (unsigned long long)((tsc / 2'400'000ULL) % 1000),
+                  (unsigned long long)seq, sysno,
+                  (unsigned long long)args[0], (unsigned long long)args[1],
+                  (unsigned long long)args[2], (unsigned long long)args[3],
+                  pid, comm.c_str());
+}
+
+void
+AuditSubsystem::kauditAppend(std::string record)
+{
+    buffer_.push_back(std::move(record));
+    // Bounded like a real in-memory backlog; oldest entries rotate out.
+    if (buffer_.size() > 200000)
+        buffer_.erase(buffer_.begin(), buffer_.begin() + 100000);
+}
+
+} // namespace veil::kern

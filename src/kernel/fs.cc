@@ -1,0 +1,159 @@
+#include "kernel/fs.hh"
+
+#include "base/log.hh"
+
+namespace veil::kern {
+
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : path) {
+        if (c == '/') {
+            if (!cur.empty()) {
+                parts.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        parts.push_back(cur);
+    return parts;
+}
+
+RamFs::RamFs()
+{
+    Inode root;
+    root.ino = kRoot;
+    root.dir = true;
+    inodes_[kRoot] = std::move(root);
+}
+
+Inode &
+RamFs::inode(Ino ino)
+{
+    auto it = inodes_.find(ino);
+    if (it == inodes_.end())
+        panic("RamFs: dangling inode");
+    return it->second;
+}
+
+const Inode &
+RamFs::inode(Ino ino) const
+{
+    return const_cast<RamFs *>(this)->inode(ino);
+}
+
+std::optional<Ino>
+RamFs::resolve(const std::string &path) const
+{
+    Ino cur = kRoot;
+    for (const auto &part : splitPath(path)) {
+        const Inode &n = inode(cur);
+        if (!n.dir)
+            return std::nullopt;
+        auto it = n.children.find(part);
+        if (it == n.children.end())
+            return std::nullopt;
+        cur = it->second;
+    }
+    return cur;
+}
+
+std::optional<std::pair<Ino, std::string>>
+RamFs::resolveParent(const std::string &path) const
+{
+    auto parts = splitPath(path);
+    if (parts.empty())
+        return std::nullopt;
+    std::string leaf = parts.back();
+    parts.pop_back();
+    Ino cur = kRoot;
+    for (const auto &part : parts) {
+        const Inode &n = inode(cur);
+        if (!n.dir)
+            return std::nullopt;
+        auto it = n.children.find(part);
+        if (it == n.children.end())
+            return std::nullopt;
+        cur = it->second;
+    }
+    if (!inode(cur).dir)
+        return std::nullopt;
+    return std::make_pair(cur, leaf);
+}
+
+std::optional<Ino>
+RamFs::createFile(Ino parent, const std::string &name)
+{
+    Inode &p = inode(parent);
+    if (!p.dir || p.children.count(name))
+        return std::nullopt;
+    Ino ino = next_++;
+    Inode n;
+    n.ino = ino;
+    n.dir = false;
+    inodes_[ino] = std::move(n);
+    p.children[name] = ino;
+    return ino;
+}
+
+std::optional<Ino>
+RamFs::createDir(Ino parent, const std::string &name)
+{
+    Inode &p = inode(parent);
+    if (!p.dir || p.children.count(name))
+        return std::nullopt;
+    Ino ino = next_++;
+    Inode n;
+    n.ino = ino;
+    n.dir = true;
+    inodes_[ino] = std::move(n);
+    p.children[name] = ino;
+    return ino;
+}
+
+bool
+RamFs::remove(Ino parent, const std::string &name)
+{
+    Inode &p = inode(parent);
+    auto it = p.children.find(name);
+    if (it == p.children.end())
+        return false;
+    Inode &victim = inode(it->second);
+    if (victim.dir && !victim.children.empty())
+        return false;
+    inodes_.erase(it->second);
+    p.children.erase(it);
+    return true;
+}
+
+bool
+RamFs::rename(Ino old_parent, const std::string &old_name, Ino new_parent,
+              const std::string &new_name)
+{
+    Inode &op = inode(old_parent);
+    auto it = op.children.find(old_name);
+    if (it == op.children.end())
+        return false;
+    Ino victim = it->second;
+    Inode &np = inode(new_parent);
+    if (!np.dir)
+        return false;
+    // POSIX rename silently replaces an existing (non-directory) target.
+    auto existing = np.children.find(new_name);
+    if (existing != np.children.end()) {
+        if (inode(existing->second).dir)
+            return false;
+        inodes_.erase(existing->second);
+        np.children.erase(existing);
+    }
+    op.children.erase(old_name);
+    np.children[new_name] = victim;
+    return true;
+}
+
+} // namespace veil::kern

@@ -1,0 +1,1262 @@
+#include "kernel/kernel.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/rng.hh"
+#include "snp/fault.hh"
+#include "veil/services/enc.hh" // kUserVaLo/Hi
+#include "veil/services/kci.hh" // KciSymbolEntry
+
+namespace veil::kern {
+
+using namespace snp;
+using core::IdcbMessage;
+using core::VeilOp;
+using core::VeilStatus;
+using core::vkoParse;
+using core::vkoVerify;
+
+namespace {
+
+constexpr uint64_t kSyscallEntryCycles = 350;
+constexpr uint64_t kAuditFormatCycles = 1400;
+constexpr uint64_t kKauditAppendCycles = 600;
+constexpr uint64_t kPageZeroCycles = 550;
+constexpr uint64_t kPageUnmapCycles = 900;
+/// Common load_module()/free_module() machinery (ELF parsing, kallsyms
+/// resolution, sysfs registration, stop_machine on unload) modelled
+/// after Linux: the paper's +55k-cycle KCI delta is 5.7% / 4.2% of
+/// these baselines (§9.2 CS1).
+constexpr uint64_t kModuleLoadKernelWork = 950'000;
+constexpr uint64_t kModuleUnloadKernelWork = 1'150'000;
+constexpr size_t kKernelTextPages = 32;
+constexpr size_t kKernelDataPages = 64;
+
+bool
+okStatus(const IdcbMessage &m)
+{
+    return m.status == static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+} // namespace
+
+Kernel::Kernel(Machine &machine, const core::CvmLayout &layout,
+               KernelConfig config)
+    : machine_(machine), layout_(layout), config_(std::move(config))
+{
+    audit_.setBackend(config_.auditBackend);
+    audit_.setRules(config_.auditRules);
+}
+
+Kernel::~Kernel() = default;
+
+Vcpu &
+Kernel::cpu()
+{
+    ensure(cpu_ != nullptr, "Kernel: not booted");
+    return *cpu_;
+}
+
+GuestEntry
+Kernel::bspEntry()
+{
+    return [this](Vcpu &cpu) { bspMain(cpu); };
+}
+
+GuestEntry
+Kernel::apEntry(uint32_t vcpu)
+{
+    return [this, vcpu](Vcpu &cpu) {
+        // AP bring-up handshake: per-CPU areas + online marker, then
+        // the AP parks (our workloads are driven from the BSP).
+        cpu.burn(50'000);
+        onlineVcpus_.insert(vcpu);
+    };
+}
+
+void
+Kernel::validateAllMemoryNative(Vcpu &cpu)
+{
+    RmpTable &rmp = machine_.rmp();
+    for (Gpa p = 0; p < layout_.memEnd; p += kPageSize) {
+        if (rmp.isShared(p) || rmp.isValidated(p) || rmp.isVmsaPage(p))
+            continue;
+        cpu.pvalidate(p, true);
+    }
+}
+
+void
+Kernel::bspMain(Vcpu &cpu)
+{
+    cpu_ = &cpu;
+    onlineVcpus_.insert(cpu.vcpuId());
+
+    if (!config_.veilEnabled) {
+        // Native CVM: the kernel boots at VMPL-0 and validates its own
+        // memory (the baseline boot cost, §9.1).
+        validateAllMemoryNative(cpu);
+    }
+
+    // Kernel image layout at the base of Dom-UNT memory.
+    textLo_ = layout_.kernelBase;
+    textHi_ = textLo_ + kKernelTextPages * kPageSize;
+    dataLo_ = textHi_;
+    dataHi_ = dataLo_ + kKernelDataPages * kPageSize;
+    frames_ = std::make_unique<FrameAllocator>(dataHi_, layout_.memEnd);
+
+    // "Load" the kernel text (deterministic synthetic code bytes).
+    Rng rng(0x6b65726eULL);
+    Bytes text = rng.bytes(kKernelTextPages * kPageSize);
+    machine_.memory().write(textLo_, text.data(), text.size());
+
+    // Exported symbols for module relocation (protected table, §6.1).
+    kernelSymbols_ = {
+        {"printk", textLo_ + 0x200},
+        {"kmalloc", textLo_ + 0x340},
+        {"kfree", textLo_ + 0x380},
+        {"audit_log_end", textLo_ + 0x400},
+        {"register_chrdev", textLo_ + 0x500},
+    };
+
+    // Install the interrupt handler (LIDT analogue).
+    idtHandlerVa_ = textLo_ + 0x100;
+    cpu.vmsa().idtHandlerVa = idtHandlerVa_;
+
+    if (config_.veilEnabled && config_.activateKci) {
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::KciActivate);
+        m.args[0] = textLo_;
+        m.args[1] = textHi_;
+        m.args[2] = dataLo_;
+        m.args[3] = dataHi_;
+        size_t off = 0;
+        for (const auto &[name, addr] : kernelSymbols_) {
+            core::KciSymbolEntry e{};
+            std::memcpy(e.name, name.data(),
+                        std::min(name.size(), sizeof(e.name) - 1));
+            e.addr = addr;
+            std::memcpy(m.payload + off, &e, sizeof(e));
+            off += sizeof(e);
+        }
+        m.payloadLen = static_cast<uint32_t>(off);
+        IdcbMessage reply = callService(m);
+        ensure(okStatus(reply), "Kernel: KCI activation failed");
+    }
+
+    booted_ = true;
+    console_ += "[kernel] boot complete\n";
+
+    Process &init = makeProcess("init");
+    if (init_)
+        init_(*this, init);
+    terminate(0);
+}
+
+Process &
+Kernel::makeProcess(const std::string &comm)
+{
+    auto proc = std::make_unique<Process>();
+    proc->pid = nextPid_++;
+    proc->comm = comm;
+    proc->as = std::make_unique<AddressSpace>(machine_, *frames_);
+    // fds 0/1/2: console.
+    for (int i = 0; i < 3; ++i) {
+        FdEntry e;
+        e.type = FdEntry::Type::Console;
+        proc->fds.push_back(e);
+    }
+    processes_.push_back(std::move(proc));
+    return *processes_.back();
+}
+
+void
+Kernel::terminate(uint64_t status)
+{
+    Vcpu &c = cpu();
+    c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
+    Ghcb g;
+    g.exitCode = static_cast<uint64_t>(GhcbExit::Terminate);
+    g.info[0] = status;
+    c.writeGhcb(g);
+    c.vmgexit();
+}
+
+// ---- Delegation (§5.3) ----
+
+IdcbMessage
+Kernel::callMonitor(const IdcbMessage &req)
+{
+    ++stats_.monitorCalls;
+    Vcpu &c = cpu();
+    Gpa saved_ghcb = c.vmsa().ghcbGpa;
+    Cpl saved_cpl = c.cpl();
+    c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
+    c.setCpl(Cpl::Supervisor);
+    IdcbMessage reply =
+        core::idcbCall(c, layout_.osMonIdcb(c.vcpuId()), Vmpl::Vmpl0, req);
+    c.vmsa().ghcbGpa = saved_ghcb;
+    c.setCpl(saved_cpl);
+    return reply;
+}
+
+IdcbMessage
+Kernel::callService(const IdcbMessage &req)
+{
+    ++stats_.serviceCalls;
+    Vcpu &c = cpu();
+    Gpa saved_ghcb = c.vmsa().ghcbGpa;
+    Cpl saved_cpl = c.cpl();
+    c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
+    c.setCpl(Cpl::Supervisor);
+    IdcbMessage reply =
+        core::idcbCall(c, layout_.osSrvIdcb(c.vcpuId()), Vmpl::Vmpl1, req);
+    c.vmsa().ghcbGpa = saved_ghcb;
+    c.setCpl(saved_cpl);
+    return reply;
+}
+
+bool
+Kernel::bootVcpu(uint32_t vcpu)
+{
+    if (!config_.veilEnabled)
+        return false; // native AP boot not modelled
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::BootVcpu);
+    m.args[0] = vcpu;
+    return okStatus(callMonitor(m));
+}
+
+void
+Kernel::pageStateChange(Gpa page, bool shared)
+{
+    if (config_.veilEnabled) {
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::PageStateChange);
+        m.args[0] = page;
+        m.args[1] = shared ? 1 : 0;
+        IdcbMessage reply = callMonitor(m);
+        ensure(okStatus(reply), "Kernel: PSC delegation failed");
+        return;
+    }
+    // Native: the VMPL-0 kernel performs PVALIDATE + PSC itself.
+    Vcpu &c = cpu();
+    Ghcb g;
+    g.exitCode = static_cast<uint64_t>(GhcbExit::PageStateChange);
+    g.info[0] = page;
+    g.info[1] = shared ? 1 : 0;
+    if (shared) {
+        if (machine_.rmp().isValidated(page))
+            c.pvalidate(page, false);
+        c.hypercall(g);
+    } else {
+        c.hypercall(g);
+        c.pvalidate(page, true);
+    }
+}
+
+// ---- Modules (§6.1) ----
+
+int64_t
+Kernel::loadModule(const Bytes &image)
+{
+    Vcpu &c = cpu();
+    c.burn(kModuleLoadKernelWork);
+
+    auto parsed = vkoParse(image);
+    if (!parsed)
+        return -kEINVAL;
+    uint32_t dest_pages = static_cast<uint32_t>(
+        pageAlignUp(parsed->installedSize()) / kPageSize);
+    if (dest_pages == 0)
+        dest_pages = 1;
+    Gpa dest = frames_->allocRange(dest_pages);
+
+    Module mod;
+    mod.dest = dest;
+    mod.destPages = dest_pages;
+
+    bool use_kci = config_.veilEnabled && config_.activateKci;
+    if (use_kci) {
+        // Stage the image in kernel memory for VeilS-KCI.
+        uint32_t img_pages =
+            static_cast<uint32_t>(pageAlignUp(image.size()) / kPageSize);
+        Gpa img = frames_->allocRange(img_pages);
+        c.writePhys(img, image.data(), image.size());
+
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::KciModuleLoad);
+        m.args[0] = img;
+        m.args[1] = image.size();
+        m.args[2] = dest;
+        m.args[3] = dest_pages;
+        IdcbMessage reply = callService(m);
+        for (uint32_t i = 0; i < img_pages; ++i)
+            frames_->free(img + Gpa(i) * kPageSize);
+        if (!okStatus(reply))
+            return -kEACCES;
+        mod.kciHandle = reply.ret[0];
+        mod.entry = reply.ret[1];
+    } else {
+        // Native path: kernel-side verification (TOCTOU-exposed, §6.1).
+        if (!vkoVerify(image, config_.moduleKey))
+            return -kEACCES;
+        Bytes text = parsed->text;
+        for (const auto &r : parsed->relocs) {
+            auto it = kernelSymbols_.find(parsed->symbols[r.symIndex]);
+            if (it == kernelSymbols_.end())
+                return -kEINVAL;
+            uint64_t addr = it->second;
+            std::memcpy(text.data() + r.offset, &addr, sizeof(addr));
+        }
+        c.writePhys(dest, text.data(), text.size());
+        if (!parsed->data.empty()) {
+            c.writePhys(dest + pageAlignUp(text.size()), parsed->data.data(),
+                        parsed->data.size());
+        }
+        c.burn(1200); // set_memory_ro analogue (PT-based only)
+        mod.entry = dest + parsed->header.entryOffset;
+    }
+
+    int64_t handle = nextModule_++;
+    modules_[handle] = mod;
+    ++stats_.modulesLoaded;
+    return handle;
+}
+
+int64_t
+Kernel::unloadModule(int64_t handle)
+{
+    auto it = modules_.find(handle);
+    if (it == modules_.end())
+        return -kENOENT;
+    Vcpu &c = cpu();
+    c.burn(kModuleUnloadKernelWork);
+    if (it->second.kciHandle != 0) {
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::KciModuleUnload);
+        m.args[0] = it->second.kciHandle;
+        IdcbMessage reply = callService(m);
+        if (!okStatus(reply))
+            return -kEACCES;
+    }
+    for (uint32_t i = 0; i < it->second.destPages; ++i)
+        frames_->free(it->second.dest + Gpa(i) * kPageSize);
+    modules_.erase(it);
+    return 0;
+}
+
+int64_t
+Kernel::invokeModule(int64_t handle)
+{
+    auto it = modules_.find(handle);
+    if (it == modules_.end())
+        return -kENOENT;
+    Vcpu &c = cpu();
+    // Instruction fetch from the module's text (RMP-exec-checked).
+    c.checkExec(it->second.entry);
+    c.burn(2000);
+    console_ += strfmt("[module %lld] hello from module\n",
+                       (long long)handle);
+    return 0;
+}
+
+Gva
+Kernel::moduleEntry(int64_t handle) const
+{
+    auto it = modules_.find(handle);
+    return it == modules_.end() ? 0 : it->second.entry;
+}
+
+Gpa
+Kernel::moduleText(int64_t handle) const
+{
+    auto it = modules_.find(handle);
+    return it == modules_.end() ? 0 : it->second.dest;
+}
+
+// ---- Enclave driver (§6.2) ----
+
+int64_t
+Kernel::enclaveCreate(Process &proc, VeilEnclaveCreateArgs &args)
+{
+    if (!config_.veilEnabled || proc.enclave)
+        return -kEPERM;
+    if (!isPageAligned(args.vaLo) || !isPageAligned(args.vaHi) ||
+        args.vaLo >= args.vaHi || !isPageAligned(args.ghcbGva) ||
+        !isPageAligned(args.ocallGva)) {
+        return -kEINVAL;
+    }
+
+    Vcpu &c = cpu();
+    // Per-thread GHCB: fresh frame, made hypervisor-shared via VeilMon,
+    // mapped into the process address space (§6.2).
+    Gpa ghcb_frame = frames_->alloc();
+    pageStateChange(ghcb_frame, /*shared=*/true);
+    proc.as->mapUser(args.ghcbGva, ghcb_frame, kPROT_READ | kPROT_WRITE);
+
+    // Instruct the hypervisor to only allow UNT<->ENC switches on it.
+    {
+        Gpa saved = c.vmsa().ghcbGpa;
+        c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
+        Ghcb g;
+        g.exitCode = static_cast<uint64_t>(GhcbExit::RestrictGhcb);
+        g.info[0] = ghcb_frame;
+        c.hypercall(g);
+        c.vmsa().ghcbGpa = saved;
+    }
+
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::EncCreate);
+    m.args[0] = proc.as->cr3();
+    m.args[1] = args.vaLo;
+    m.args[2] = args.vaHi;
+    m.args[3] = ghcb_frame;
+    m.args[4] = c.vcpuId();
+    m.args[5] = args.programId;
+    m.args[6] = args.ocallGva;
+    m.args[7] = idtHandlerVa_;
+    IdcbMessage reply = callService(m);
+    if (!okStatus(reply)) {
+        proc.as->unmapUser(args.ghcbGva);
+        pageStateChange(ghcb_frame, /*shared=*/false);
+        frames_->free(ghcb_frame);
+        return -kEACCES;
+    }
+
+    EnclaveState st;
+    st.id = reply.ret[0];
+    st.vmsa = static_cast<VmsaId>(reply.ret[1]);
+    st.ghcbGpa = ghcb_frame;
+    st.ghcbGva = args.ghcbGva;
+    st.ocallGva = args.ocallGva;
+    st.lo = args.vaLo;
+    st.hi = args.vaHi;
+    st.alive = true;
+    proc.enclave = st;
+
+    for (auto &[lo, vma] : proc.as->vmas()) {
+        if (vma.lo >= args.vaLo && vma.hi <= args.vaHi)
+            const_cast<VmArea &>(vma).enclave = true;
+    }
+
+    args.enclaveId = st.id;
+    args.vmsaId = st.vmsa;
+    return 0;
+}
+
+int64_t
+Kernel::enclaveDestroy(Process &proc)
+{
+    if (!proc.enclave || !proc.enclave->alive)
+        return -kENOENT;
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::EncDestroy);
+    m.args[0] = proc.enclave->id;
+    IdcbMessage reply = callService(m);
+    if (!okStatus(reply))
+        return -kEACCES;
+    proc.enclave->alive = false;
+    for (auto &[lo, vma] : proc.as->vmas())
+        const_cast<VmArea &>(vma).enclave = false;
+    return 0;
+}
+
+int64_t
+Kernel::enclaveFreePage(Process &proc, Gva va)
+{
+    if (!proc.enclave || !proc.enclave->alive)
+        return -kENOENT;
+    auto leaf = proc.as->userLeaf(va);
+    if (!leaf)
+        return -kENOENT;
+    Gpa pa = *leaf & kPteAddrMask;
+
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::EncFreePage);
+    m.args[0] = proc.enclave->id;
+    m.args[1] = va;
+    IdcbMessage reply = callService(m);
+    if (!okStatus(reply))
+        return -kEACCES;
+
+    // "Swap out" the (now encrypted) page contents, then reuse the
+    // frame. The OS tracks which page backs which enclave VA (§6.2).
+    Bytes swapped(kPageSize);
+    cpu().readPhys(pa, swapped.data(), swapped.size());
+    proc.enclave->swapStore[va] = std::move(swapped);
+    proc.as->unmapUser(va);
+    frames_->free(pa);
+    return 0;
+}
+
+int64_t
+Kernel::enclaveHandleFault(Process &proc, Gva va)
+{
+    if (!proc.enclave || !proc.enclave->alive)
+        return -kENOENT;
+    ++stats_.enclaveFaults;
+    va = pageAlignDown(va);
+    EnclaveState &st = *proc.enclave;
+
+    // The fault handler runs in ring 0 (trap entry).
+    Vcpu &c = cpu();
+    Cpl saved_cpl = c.cpl();
+    c.setCpl(Cpl::Supervisor);
+    struct CplRestore
+    {
+        Vcpu &c;
+        Cpl saved;
+        ~CplRestore() { c.setCpl(saved); }
+    } restore{c, saved_cpl};
+
+    auto swap_it = st.swapStore.find(va);
+    if (swap_it != st.swapStore.end()) {
+        // Demand paging: fetch from "disk", let VeilS-ENC verify+remap.
+        Gpa frame = frames_->alloc();
+        cpu().writePhys(frame, swap_it->second.data(),
+                        swap_it->second.size());
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::EncRestorePage);
+        m.args[0] = st.id;
+        m.args[1] = va;
+        m.args[2] = frame;
+        IdcbMessage reply = callService(m);
+        if (!okStatus(reply)) {
+            frames_->free(frame);
+            return -kEACCES;
+        }
+        proc.as->mapUser(va, frame, kPROT_READ | kPROT_WRITE);
+        st.swapStore.erase(swap_it);
+        return 0;
+    }
+
+    // Lazily-synchronized non-enclave mapping (e.g. fresh mmap).
+    if (va < st.lo || va >= st.hi) {
+        VmArea *vma = proc.as->findVma(va);
+        if (!vma)
+            return -kEFAULT;
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::EncSyncPerms);
+        m.args[0] = st.id;
+        m.args[1] = va;
+        m.args[2] = kPageSize;
+        m.args[3] = (vma->prot & kPROT_WRITE ? 1 : 0) |
+                    (vma->prot & kPROT_EXEC ? 2 : 0);
+        IdcbMessage reply = callService(m);
+        return okStatus(reply) ? 0 : -kEACCES;
+    }
+    return -kEFAULT;
+}
+
+void
+Kernel::prepEnclaveRun(Process &proc)
+{
+    ensure(proc.enclave && proc.enclave->alive, "prepEnclaveRun: no enclave");
+    Vcpu &c = cpu();
+    // Scheduler hook (§6.2): when a different enclave gets the VCPU,
+    // point the hypervisor's Dom-ENC slot at its VMSA.
+    if (scheduledEnclaveVmsa_ != proc.enclave->vmsa) {
+        Gpa saved = c.vmsa().ghcbGpa;
+        c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
+        Ghcb g;
+        g.exitCode = static_cast<uint64_t>(GhcbExit::RegisterVmsa);
+        g.info[1] = c.vcpuId();
+        g.info[2] = static_cast<uint64_t>(Vmpl::Vmpl2);
+        g.info[3] = proc.enclave->vmsa;
+        c.hypercall(g);
+        c.vmsa().ghcbGpa = saved;
+        scheduledEnclaveVmsa_ = proc.enclave->vmsa;
+    }
+    // Select the user-mapped GHCB and drop to user.
+    c.vmsa().ghcbGpa = proc.enclave->ghcbGpa;
+    c.setCr3(proc.as->cr3());
+    c.setCpl(Cpl::User);
+    inEnclaveSession_ = true;
+    c.burn(600);
+}
+
+void
+Kernel::finishEnclaveRun(Process &proc)
+{
+    Vcpu &c = cpu();
+    c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
+    c.setCpl(Cpl::Supervisor);
+    c.setCr3(0);
+    inEnclaveSession_ = false;
+    c.burn(400);
+}
+
+// ---- Audit (§6.3) ----
+
+void
+Kernel::auditHook(Process &proc, uint32_t no, const uint64_t args[6])
+{
+    if (audit_.backend() == AuditBackend::None || !proc.audited ||
+        !audit_.audited(no)) {
+        return;
+    }
+    Vcpu &c = cpu();
+    uint64_t t0 = c.rdtsc();
+    uint64_t seq = audit_.nextSeq();
+    std::string rec =
+        audit_.format(proc.pid, proc.comm, no, args, c.rdtsc(), seq);
+    c.burn(kAuditFormatCycles);
+
+    if (audit_.backend() == AuditBackend::KauditInMemory) {
+        audit_.kauditAppend(rec);
+        c.burn(kKauditAppendCycles);
+    } else {
+        // Execute-ahead: protect the record before the event runs.
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::LogAppend);
+        size_t len = std::min(rec.size(), core::kIdcbPayloadMax);
+        std::memcpy(m.payload, rec.data(), len);
+        m.payloadLen = static_cast<uint32_t>(len);
+        callService(m);
+    }
+    ++stats_.auditRecords;
+    stats_.auditCycles += c.rdtsc() - t0;
+}
+
+// ---- Syscalls ----
+
+int64_t
+Kernel::syscall(Process &proc, uint32_t no, const uint64_t args[6])
+{
+    Vcpu &c = cpu();
+    ++stats_.syscalls;
+    ++proc.syscalls;
+
+    // Trap into ring 0 on the process address space.
+    Cpl saved_cpl = c.cpl();
+    Gpa saved_cr3 = c.vmsa().cr3;
+    c.setCpl(Cpl::Supervisor);
+    c.setCr3(proc.as->cr3());
+    c.burn(kSyscallEntryCycles);
+
+    auditHook(proc, no, args);
+
+    int64_t ret;
+    switch (no) {
+      case kSysRead:
+        ret = sysRead(proc, int(args[0]), args[1], args[2], std::nullopt);
+        break;
+      case kSysWrite:
+        ret = sysWrite(proc, int(args[0]), args[1], args[2], std::nullopt);
+        break;
+      case kSysPread64:
+        ret = sysRead(proc, int(args[0]), args[1], args[2], args[3]);
+        break;
+      case kSysPwrite64:
+        ret = sysWrite(proc, int(args[0]), args[1], args[2], args[3]);
+        break;
+      case kSysOpen:
+        ret = sysOpen(proc, args[0], int(args[1]));
+        break;
+      case kSysCreat:
+        ret = sysOpen(proc, args[0], kO_CREAT | kO_TRUNC | kO_WRONLY);
+        break;
+      case kSysClose:
+        ret = sysClose(proc, int(args[0]));
+        break;
+      case kSysStat:
+        ret = sysStat(proc, args[0], args[1]);
+        break;
+      case kSysFstat:
+        ret = sysFstat(proc, int(args[0]), args[1]);
+        break;
+      case kSysPoll: {
+          // Readiness probe for one socket fd (epoll_wait-class cost).
+          c.burn(700);
+          FdEntry *e = proc.fd(int(args[0]));
+          if (!e || e->type != FdEntry::Type::Socket) {
+              ret = -kEBADF;
+          } else {
+              Socket &s = net_.sock(e->sock);
+              ret = (!s.backlog.empty() || !s.rx.empty() || s.peerClosed)
+                        ? 1
+                        : 0;
+          }
+          break;
+      }
+      case kSysLseek:
+        ret = sysLseek(proc, int(args[0]), int64_t(args[1]), int(args[2]));
+        break;
+      case kSysMmap:
+        ret = sysMmap(proc, args[0], args[1], int(args[2]), int(args[3]),
+                      int(int64_t(args[4])));
+        break;
+      case kSysMprotect:
+        ret = sysMprotect(proc, args[0], args[1], int(args[2]));
+        break;
+      case kSysMunmap:
+        ret = sysMunmap(proc, args[0], args[1]);
+        break;
+      case kSysIoctl:
+        ret = sysIoctl(proc, int(args[0]), args[1], args[2]);
+        break;
+      case kSysDup: {
+          c.burn(350);
+          FdEntry *e = proc.fd(int(args[0]));
+          if (!e) {
+              ret = -kEBADF;
+          } else {
+              int nfd = proc.allocFd();
+              if (nfd < 0) {
+                  ret = -kEMFILE;
+              } else {
+                  proc.fds[nfd] = *e;
+                  ret = nfd;
+              }
+          }
+          break;
+      }
+      case kSysGetpid:
+        c.burn(50);
+        ret = proc.pid;
+        break;
+      case kSysSocket:
+        ret = sysSocket(proc, int(args[0]), int(args[1]));
+        break;
+      case kSysConnect:
+        ret = sysConnect(proc, int(args[0]), args[1]);
+        break;
+      case kSysAccept:
+        ret = sysAccept(proc, int(args[0]));
+        break;
+      case kSysSendto:
+        ret = sysSendto(proc, int(args[0]), args[1], args[2]);
+        break;
+      case kSysRecvfrom:
+        ret = sysRecvfrom(proc, int(args[0]), args[1], args[2]);
+        break;
+      case kSysBind:
+        ret = sysBind(proc, int(args[0]), args[1]);
+        break;
+      case kSysListen:
+        ret = sysListen(proc, int(args[0]), int(args[1]));
+        break;
+      case kSysFsync:
+        c.burn(4650);
+        ret = proc.fd(int(args[0])) ? 0 : -kEBADF;
+        break;
+      case kSysFtruncate:
+        ret = sysFtruncate(proc, int(args[0]), args[1]);
+        break;
+      case kSysRename:
+        ret = sysRename(proc, args[0], args[1]);
+        break;
+      case kSysMkdir:
+        ret = sysMkdir(proc, args[0]);
+        break;
+      case kSysUnlink:
+        ret = sysUnlink(proc, args[0]);
+        break;
+      case kSysClockGettime:
+        ret = sysClockGettime(proc, args[1]);
+        break;
+      default:
+        ret = -kENOSYS;
+        break;
+    }
+
+    c.setCpl(saved_cpl);
+    c.setCr3(saved_cr3);
+    if (tamper_)
+        ret = tamper_(no, ret);
+    return ret;
+}
+
+int64_t
+Kernel::sysOpen(Process &p, Gva path_gva, int flags)
+{
+    Vcpu &c = cpu();
+    c.burn(3750);
+    std::string path = c.readCStr(path_gva, 512);
+    auto ino = fs_.resolve(path);
+    if (!ino) {
+        if (!(flags & kO_CREAT))
+            return -kENOENT;
+        auto parent = fs_.resolveParent(path);
+        if (!parent)
+            return -kENOENT;
+        ino = fs_.createFile(parent->first, parent->second);
+        if (!ino)
+            return -kENOENT;
+    } else if (flags & kO_TRUNC) {
+        Inode &n = fs_.inode(*ino);
+        if (n.dir)
+            return -kEISDIR;
+        n.data.clear();
+    }
+    if (fs_.inode(*ino).dir && (flags & (kO_WRONLY | kO_RDWR)))
+        return -kEISDIR;
+    int fd = p.allocFd();
+    if (fd < 0)
+        return -kEMFILE;
+    FdEntry e;
+    e.type = FdEntry::Type::File;
+    e.ino = *ino;
+    e.flags = flags;
+    e.offset = (flags & kO_APPEND) ? fs_.inode(*ino).data.size() : 0;
+    p.fds[fd] = e;
+    return fd;
+}
+
+int64_t
+Kernel::sysClose(Process &p, int fd)
+{
+    cpu().burn(550);
+    FdEntry *e = p.fd(fd);
+    if (!e)
+        return -kEBADF;
+    if (e->type == FdEntry::Type::Socket)
+        net_.close(e->sock);
+    e->type = FdEntry::Type::Free;
+    return 0;
+}
+
+int64_t
+Kernel::sysRead(Process &p, int fd, Gva buf, uint64_t len,
+                std::optional<uint64_t> at)
+{
+    Vcpu &c = cpu();
+    c.burn(3650);
+    FdEntry *e = p.fd(fd);
+    if (!e)
+        return -kEBADF;
+    if (e->type == FdEntry::Type::Socket)
+        return sysRecvfrom(p, fd, buf, len);
+    if (e->type != FdEntry::Type::File)
+        return -kEINVAL;
+    Inode &n = fs_.inode(e->ino);
+    if (n.dir)
+        return -kEISDIR;
+    uint64_t off = at.value_or(e->offset);
+    if (off >= n.data.size())
+        return 0;
+    uint64_t take = std::min<uint64_t>(len, n.data.size() - off);
+    c.write(buf, n.data.data() + off, take);
+    if (!at)
+        e->offset = off + take;
+    return static_cast<int64_t>(take);
+}
+
+int64_t
+Kernel::sysWrite(Process &p, int fd, Gva buf, uint64_t len,
+                 std::optional<uint64_t> at)
+{
+    Vcpu &c = cpu();
+    FdEntry *e = p.fd(fd);
+    if (!e)
+        return -kEBADF;
+    if (e->type == FdEntry::Type::Console) {
+        c.burn(2350);
+        std::string text(len, '\0');
+        c.read(buf, text.data(), len);
+        if (console_.size() < (1u << 20))
+            console_ += text;
+        return static_cast<int64_t>(len);
+    }
+    if (e->type == FdEntry::Type::Socket)
+        return sysSendto(p, fd, buf, len);
+    if (e->type != FdEntry::Type::File)
+        return -kEINVAL;
+    c.burn(3850);
+    Inode &n = fs_.inode(e->ino);
+    if (n.dir)
+        return -kEISDIR;
+    uint64_t off = at.value_or(e->offset);
+    if (n.data.size() < off + len)
+        n.data.resize(off + len);
+    c.read(buf, n.data.data() + off, len);
+    if (!at)
+        e->offset = off + len;
+    return static_cast<int64_t>(len);
+}
+
+int64_t
+Kernel::sysLseek(Process &p, int fd, int64_t off, int whence)
+{
+    cpu().burn(350);
+    FdEntry *e = p.fd(fd);
+    if (!e || e->type != FdEntry::Type::File)
+        return -kEBADF;
+    Inode &n = fs_.inode(e->ino);
+    int64_t base = 0;
+    switch (whence) {
+      case kSeekSet:
+        base = 0;
+        break;
+      case kSeekCur:
+        base = static_cast<int64_t>(e->offset);
+        break;
+      case kSeekEnd:
+        base = static_cast<int64_t>(n.data.size());
+        break;
+      default:
+        return -kEINVAL;
+    }
+    int64_t pos = base + off;
+    if (pos < 0)
+        return -kEINVAL;
+    e->offset = static_cast<uint64_t>(pos);
+    return pos;
+}
+
+int64_t
+Kernel::sysStat(Process &p, Gva path_gva, Gva out)
+{
+    Vcpu &c = cpu();
+    c.burn(2150);
+    std::string path = c.readCStr(path_gva, 512);
+    auto ino = fs_.resolve(path);
+    if (!ino)
+        return -kENOENT;
+    const Inode &n = fs_.inode(*ino);
+    Stat st;
+    st.ino = n.ino;
+    st.size = n.data.size();
+    st.isDir = n.dir;
+    st.mode = n.dir ? 040755 : 0100644;
+    c.writeObj(out, st);
+    return 0;
+}
+
+int64_t
+Kernel::sysFstat(Process &p, int fd, Gva out)
+{
+    Vcpu &c = cpu();
+    c.burn(550);
+    FdEntry *e = p.fd(fd);
+    if (!e)
+        return -kEBADF;
+    Stat st;
+    if (e->type == FdEntry::Type::File) {
+        const Inode &n = fs_.inode(e->ino);
+        st.ino = n.ino;
+        st.size = n.data.size();
+        st.isDir = n.dir;
+        st.mode = n.dir ? 040755 : 0100644;
+    } else {
+        st.mode = 020666; // character device-ish
+    }
+    c.writeObj(out, st);
+    return 0;
+}
+
+int64_t
+Kernel::sysMmap(Process &p, Gva addr, uint64_t len, int prot, int flags,
+                int fd)
+{
+    Vcpu &c = cpu();
+    c.burn(4500);
+    if (!(flags & kMAP_ANONYMOUS) || fd != -1)
+        return -kEINVAL; // file-backed mmap unsupported (musl-style)
+    if (len == 0)
+        return -kEINVAL;
+    size_t pages = pageAlignUp(len) / kPageSize;
+    Gva va;
+    if (flags & kMAP_FIXED) {
+        if (!isPageAligned(addr) || addr < core::kUserVaLo ||
+            addr + pages * kPageSize > core::kUserVaHi) {
+            return -kEINVAL;
+        }
+        va = addr;
+    } else {
+        va = p.as->allocUserRange(pages);
+    }
+    for (size_t i = 0; i < pages; ++i) {
+        Gpa frame = frames_->alloc();
+        machine_.memory().zeroPage(frame);
+        c.burn(kPageZeroCycles);
+        p.as->mapUser(va + i * kPageSize, frame, prot);
+    }
+    VmArea vma;
+    vma.lo = va;
+    vma.hi = va + pages * kPageSize;
+    vma.prot = prot;
+    p.as->addVma(vma);
+    // Note: new mappings reach a live enclave's cloned tables lazily,
+    // on its first (faulting) access (§6.2).
+    return static_cast<int64_t>(va);
+}
+
+int64_t
+Kernel::sysMunmap(Process &p, Gva addr, uint64_t len)
+{
+    Vcpu &c = cpu();
+    c.burn(3000);
+    if (!isPageAligned(addr) || len == 0)
+        return -kEINVAL;
+    Gva hi = addr + pageAlignUp(len);
+    VmArea *vma = p.as->findVma(addr);
+    if (!vma || vma->hi < hi)
+        return -kEINVAL;
+    if (vma->enclave)
+        return -kEINVAL; // enclave regions are pinned until destroy
+    for (Gva va = addr; va < hi; va += kPageSize) {
+        auto frame = p.as->unmapUser(va);
+        if (frame)
+            frames_->free(*frame);
+        c.burn(kPageUnmapCycles);
+    }
+    if (vma->lo == addr && vma->hi == hi) {
+        p.as->removeVma(vma->lo);
+    } else if (vma->lo == addr) {
+        VmArea rest = *vma;
+        p.as->removeVma(vma->lo);
+        rest.lo = hi;
+        p.as->addVma(rest);
+    } else {
+        vma->hi = addr;
+    }
+    // Eagerly drop the range from a live enclave's cloned tables so the
+    // enclave can never touch recycled frames (§6.2 synchronization).
+    if (p.enclave && p.enclave->alive) {
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::EncSyncPerms);
+        m.args[0] = p.enclave->id;
+        m.args[1] = addr;
+        m.args[2] = hi - addr;
+        m.args[3] = 0x80; // unmap
+        callService(m);
+    }
+    return 0;
+}
+
+int64_t
+Kernel::sysMprotect(Process &p, Gva addr, uint64_t len, int prot)
+{
+    Vcpu &c = cpu();
+    c.burn(2650);
+    if (!isPageAligned(addr) || len == 0)
+        return -kEINVAL;
+    Gva hi = addr + pageAlignUp(len);
+    VmArea *vma = p.as->findVma(addr);
+    if (!vma || vma->hi < hi)
+        return -kEINVAL;
+    if (vma->enclave) {
+        // Enclave-region permission changes are mediated by VeilS-ENC
+        // (§6.2): requests originate from the enclave (via its GHCB /
+        // ocall path) and the service bounds them to the enclave range.
+        if (!inEnclaveSession_)
+            return -kEACCES; // the OS itself may not touch enclave perms
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::EncMprotect);
+        m.args[0] = p.enclave->id;
+        m.args[1] = addr;
+        m.args[2] = hi - addr;
+        m.args[3] = (prot & kPROT_WRITE ? 1 : 0) | (prot & kPROT_EXEC ? 2 : 0);
+        IdcbMessage reply = callService(m);
+        return okStatus(reply) ? 0 : -kEACCES;
+    }
+    for (Gva va = addr; va < hi; va += kPageSize) {
+        if (p.as->userLeaf(va))
+            p.as->protectUser(va, prot);
+    }
+    vma->prot = prot;
+    if (p.enclave && p.enclave->alive) {
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::EncSyncPerms);
+        m.args[0] = p.enclave->id;
+        m.args[1] = addr;
+        m.args[2] = hi - addr;
+        m.args[3] = (prot & kPROT_WRITE ? 1 : 0) | (prot & kPROT_EXEC ? 2 : 0);
+        callService(m);
+    }
+    return 0;
+}
+
+int64_t
+Kernel::sysSocket(Process &p, int family, int type)
+{
+    cpu().burn(2300);
+    if (family != kAF_INET || type != kSOCK_STREAM)
+        return -kEINVAL;
+    int fd = p.allocFd();
+    if (fd < 0)
+        return -kEMFILE;
+    FdEntry e;
+    e.type = FdEntry::Type::Socket;
+    e.sock = net_.create();
+    p.fds[fd] = e;
+    return fd;
+}
+
+int64_t
+Kernel::sysBind(Process &p, int fd, Gva addr_gva)
+{
+    Vcpu &c = cpu();
+    c.burn(1450);
+    FdEntry *e = p.fd(fd);
+    if (!e || e->type != FdEntry::Type::Socket)
+        return -kENOTSOCK;
+    SockAddrIn sa = c.readObj<SockAddrIn>(addr_gva);
+    if (sa.family != kAF_INET)
+        return -kEINVAL;
+    return net_.bind(e->sock, sa.port);
+}
+
+int64_t
+Kernel::sysListen(Process &p, int fd, int backlog)
+{
+    cpu().burn(1150);
+    FdEntry *e = p.fd(fd);
+    if (!e || e->type != FdEntry::Type::Socket)
+        return -kENOTSOCK;
+    return net_.listen(e->sock, backlog);
+}
+
+int64_t
+Kernel::sysConnect(Process &p, int fd, Gva addr_gva)
+{
+    Vcpu &c = cpu();
+    c.burn(3150);
+    FdEntry *e = p.fd(fd);
+    if (!e || e->type != FdEntry::Type::Socket)
+        return -kENOTSOCK;
+    SockAddrIn sa = c.readObj<SockAddrIn>(addr_gva);
+    return net_.connect(e->sock, sa.port);
+}
+
+int64_t
+Kernel::sysAccept(Process &p, int fd)
+{
+    cpu().burn(2850);
+    FdEntry *e = p.fd(fd);
+    if (!e || e->type != FdEntry::Type::Socket)
+        return -kENOTSOCK;
+    int64_t conn = net_.accept(e->sock);
+    if (conn < 0)
+        return conn;
+    int nfd = p.allocFd();
+    if (nfd < 0)
+        return -kEMFILE;
+    FdEntry ne;
+    ne.type = FdEntry::Type::Socket;
+    ne.sock = conn;
+    p.fds[nfd] = ne;
+    return nfd;
+}
+
+int64_t
+Kernel::sysSendto(Process &p, int fd, Gva buf, uint64_t len)
+{
+    Vcpu &c = cpu();
+    c.burn(2550);
+    FdEntry *e = p.fd(fd);
+    if (!e || e->type != FdEntry::Type::Socket)
+        return -kENOTSOCK;
+    std::vector<uint8_t> data(len);
+    c.read(buf, data.data(), len);
+    return net_.send(e->sock, data.data(), data.size());
+}
+
+int64_t
+Kernel::sysRecvfrom(Process &p, int fd, Gva buf, uint64_t len)
+{
+    Vcpu &c = cpu();
+    c.burn(2250);
+    FdEntry *e = p.fd(fd);
+    if (!e || e->type != FdEntry::Type::Socket)
+        return -kENOTSOCK;
+    std::vector<uint8_t> data(len);
+    int64_t got = net_.recv(e->sock, data.data(), len);
+    if (got > 0)
+        c.write(buf, data.data(), static_cast<size_t>(got));
+    return got;
+}
+
+int64_t
+Kernel::sysIoctl(Process &p, int fd, uint64_t cmd, Gva arg)
+{
+    Vcpu &c = cpu();
+    c.burn(2650);
+    switch (cmd) {
+      case kVeilIocEnclaveCreate: {
+          VeilEnclaveCreateArgs a = c.readObj<VeilEnclaveCreateArgs>(arg);
+          int64_t ret = enclaveCreate(p, a);
+          if (ret == 0)
+              c.writeObj(arg, a);
+          return ret;
+      }
+      case kVeilIocEnclaveDestroy:
+        return enclaveDestroy(p);
+      default:
+        return -kENOSYS;
+    }
+}
+
+int64_t
+Kernel::sysUnlink(Process &p, Gva path_gva)
+{
+    Vcpu &c = cpu();
+    c.burn(2050);
+    std::string path = c.readCStr(path_gva, 512);
+    auto parent = fs_.resolveParent(path);
+    if (!parent)
+        return -kENOENT;
+    return fs_.remove(parent->first, parent->second) ? 0 : -kENOENT;
+}
+
+int64_t
+Kernel::sysRename(Process &p, Gva oldp, Gva newp)
+{
+    Vcpu &c = cpu();
+    c.burn(2250);
+    std::string from = c.readCStr(oldp, 512);
+    std::string to = c.readCStr(newp, 512);
+    auto op = fs_.resolveParent(from);
+    auto np = fs_.resolveParent(to);
+    if (!op || !np)
+        return -kENOENT;
+    return fs_.rename(op->first, op->second, np->first, np->second)
+               ? 0
+               : -kENOENT;
+}
+
+int64_t
+Kernel::sysMkdir(Process &p, Gva path_gva)
+{
+    Vcpu &c = cpu();
+    c.burn(2450);
+    std::string path = c.readCStr(path_gva, 512);
+    auto parent = fs_.resolveParent(path);
+    if (!parent)
+        return -kENOENT;
+    return fs_.createDir(parent->first, parent->second) ? 0 : -kEEXIST;
+}
+
+int64_t
+Kernel::sysFtruncate(Process &p, int fd, uint64_t len)
+{
+    cpu().burn(1650);
+    FdEntry *e = p.fd(fd);
+    if (!e || e->type != FdEntry::Type::File)
+        return -kEBADF;
+    fs_.inode(e->ino).data.resize(len);
+    return 0;
+}
+
+int64_t
+Kernel::sysClockGettime(Process &p, Gva out)
+{
+    Vcpu &c = cpu();
+    c.burn(150);
+    double secs = machine_.costs().seconds(c.rdtsc());
+    TimeSpec ts;
+    ts.sec = static_cast<int64_t>(secs);
+    ts.nsec = static_cast<int64_t>((secs - double(ts.sec)) * 1e9);
+    c.writeObj(out, ts);
+    return 0;
+}
+
+uint64_t
+Kernel::syscallBaseCost(uint32_t no) const
+{
+    return 2000; // unused placeholder; bodies charge their own costs
+}
+
+} // namespace veil::kern

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The mini guest kernel. Plays the role of the paper's modified Linux
+ * guest (§7): it runs at Dom-UNT under Veil (or at VMPL-0 in a native
+ * CVM), delegates VCPU boot and page-state changes to VeilMon (§5.3),
+ * hooks its audit framework into VeilS-LOG (§6.3), routes module
+ * loading through VeilS-KCI (§6.1), and ships the enclave driver that
+ * sets up VeilS-ENC enclaves (§6.2).
+ */
+#ifndef VEIL_KERNEL_KERNEL_HH_
+#define VEIL_KERNEL_KERNEL_HH_
+
+#include <functional>
+
+#include "kernel/audit.hh"
+#include "kernel/process.hh"
+#include "kernel/uapi.hh"
+#include "veil/layout.hh"
+#include "veil/module_format.hh"
+#include "veil/proto.hh"
+
+namespace veil::kern {
+
+/** Kernel configuration. */
+struct KernelConfig
+{
+    /// Running under Veil (Dom-UNT) vs native CVM (VMPL-0 boot).
+    bool veilEnabled = true;
+    /// Activate VeilS-KCI W^X + signed module loading at boot.
+    bool activateKci = true;
+    AuditBackend auditBackend = AuditBackend::None;
+    std::set<uint32_t> auditRules;
+    /// Module signing key known to the kernel build (native verify
+    /// path) and provisioned to VeilS-KCI.
+    Bytes moduleKey = {'m', 'o', 'd', '-', 'k', 'e', 'y'};
+};
+
+/** Cumulative kernel event counters. */
+struct KernelStats
+{
+    uint64_t syscalls = 0;
+    uint64_t auditRecords = 0;
+    uint64_t auditCycles = 0;    ///< cycles spent producing/sending records
+    uint64_t monitorCalls = 0;
+    uint64_t serviceCalls = 0;
+    uint64_t enclaveFaults = 0;
+    uint64_t modulesLoaded = 0;
+};
+
+/** The kernel. */
+class Kernel
+{
+  public:
+    using InitFn = std::function<void(Kernel &, Process &)>;
+
+    Kernel(snp::Machine &machine, const core::CvmLayout &layout,
+           KernelConfig config);
+    ~Kernel();
+
+    /** Boot entry for the BSP (VCPU 0). */
+    snp::GuestEntry bspEntry();
+    /** Boot entry for a hotplugged AP. */
+    snp::GuestEntry apEntry(uint32_t vcpu);
+
+    /** The "init program": the workload driver run after boot. */
+    void setInit(InitFn fn) { init_ = std::move(fn); }
+
+    // ---- Syscall interface (used by the SDK environments) ----
+
+    int64_t syscall(Process &proc, uint32_t no, const uint64_t args[6]);
+
+    // ---- Kernel services ----
+
+    Process &makeProcess(const std::string &comm);
+    snp::Vcpu &cpu();
+    bool booted() const { return booted_; }
+    const KernelStats &stats() const { return stats_; }
+    AuditSubsystem &audit() { return audit_; }
+    RamFs &fs() { return fs_; }
+    NetStack &net() { return net_; }
+    FrameAllocator &frames() { return *frames_; }
+    const KernelConfig &config() const { return config_; }
+    const core::CvmLayout &layout() const { return layout_; }
+
+    /** Buffered kernel console (printk + fd 1/2 writes). */
+    const std::string &console() const { return console_; }
+
+    // ---- §5.3 delegation clients ----
+
+    core::IdcbMessage callMonitor(const core::IdcbMessage &req);
+    core::IdcbMessage callService(const core::IdcbMessage &req);
+
+    /** Boot an additional VCPU (hotplug) through VeilMon. */
+    bool bootVcpu(uint32_t vcpu);
+    bool vcpuOnline(uint32_t vcpu) const { return onlineVcpus_.count(vcpu); }
+
+    // ---- §6.1 module loading (load_module / free_module hooks) ----
+
+    /** Load a signed VKO image; returns handle or -errno. */
+    int64_t loadModule(const Bytes &image);
+    int64_t unloadModule(int64_t handle);
+    /** Execute the module entry (exec-checked fetch + banner print). */
+    int64_t invokeModule(int64_t handle);
+    snp::Gva moduleEntry(int64_t handle) const;
+    snp::Gpa moduleText(int64_t handle) const;
+
+    // ---- §6.2 enclave driver ----
+
+    int64_t enclaveCreate(Process &proc, VeilEnclaveCreateArgs &args);
+    int64_t enclaveDestroy(Process &proc);
+    /** Memory-pressure path: evict one enclave page to "disk". */
+    int64_t enclaveFreePage(Process &proc, snp::Gva va);
+    /** #PF handler path: restore an evicted page / sync a lazy map. */
+    int64_t enclaveHandleFault(Process &proc, snp::Gva va);
+    /** Scheduler hook: select the enclave GHCB before entering (§6.2). */
+    void prepEnclaveRun(Process &proc);
+    /** Back in kernel context after an enclave session. */
+    void finishEnclaveRun(Process &proc);
+
+    /** Kernel text/data ranges (for KCI and attack tests). */
+    snp::Gpa textLo() const { return textLo_; }
+    snp::Gpa textHi() const { return textHi_; }
+    snp::Gpa dataLo() const { return dataLo_; }
+    snp::Gpa dataHi() const { return dataHi_; }
+    snp::Gva idtHandler() const { return idtHandlerVa_; }
+
+    /** Orderly shutdown (Terminate hypercall). */
+    void terminate(uint64_t status);
+
+    /**
+     * Compromised-kernel model for security experiments: rewrite
+     * syscall results before they are returned (e.g. IAGO attacks [37]
+     * returning enclave-interior pointers from mmap).
+     */
+    using SyscallTamper = std::function<int64_t(uint32_t no, int64_t ret)>;
+    void setSyscallTamper(SyscallTamper fn) { tamper_ = std::move(fn); }
+
+  private:
+    void bspMain(snp::Vcpu &cpu);
+    void validateAllMemoryNative(snp::Vcpu &cpu);
+    void pageStateChange(snp::Gpa page, bool shared);
+    void auditHook(Process &proc, uint32_t no, const uint64_t args[6]);
+    uint64_t syscallBaseCost(uint32_t no) const;
+
+    // Syscall bodies.
+    int64_t sysOpen(Process &p, snp::Gva path, int flags);
+    int64_t sysClose(Process &p, int fd);
+    int64_t sysRead(Process &p, int fd, snp::Gva buf, uint64_t len,
+                    std::optional<uint64_t> at);
+    int64_t sysWrite(Process &p, int fd, snp::Gva buf, uint64_t len,
+                     std::optional<uint64_t> at);
+    int64_t sysLseek(Process &p, int fd, int64_t off, int whence);
+    int64_t sysStat(Process &p, snp::Gva path, snp::Gva out);
+    int64_t sysFstat(Process &p, int fd, snp::Gva out);
+    int64_t sysMmap(Process &p, snp::Gva addr, uint64_t len, int prot,
+                    int flags, int fd);
+    int64_t sysMunmap(Process &p, snp::Gva addr, uint64_t len);
+    int64_t sysMprotect(Process &p, snp::Gva addr, uint64_t len, int prot);
+    int64_t sysSocket(Process &p, int family, int type);
+    int64_t sysBind(Process &p, int fd, snp::Gva addr_gva);
+    int64_t sysListen(Process &p, int fd, int backlog);
+    int64_t sysConnect(Process &p, int fd, snp::Gva addr_gva);
+    int64_t sysAccept(Process &p, int fd);
+    int64_t sysSendto(Process &p, int fd, snp::Gva buf, uint64_t len);
+    int64_t sysRecvfrom(Process &p, int fd, snp::Gva buf, uint64_t len);
+    int64_t sysIoctl(Process &p, int fd, uint64_t cmd, snp::Gva arg);
+    int64_t sysUnlink(Process &p, snp::Gva path);
+    int64_t sysRename(Process &p, snp::Gva oldp, snp::Gva newp);
+    int64_t sysMkdir(Process &p, snp::Gva path);
+    int64_t sysFtruncate(Process &p, int fd, uint64_t len);
+    int64_t sysClockGettime(Process &p, snp::Gva out);
+
+    snp::Machine &machine_;
+    core::CvmLayout layout_;
+    KernelConfig config_;
+    AuditSubsystem audit_;
+    RamFs fs_;
+    NetStack net_;
+    std::unique_ptr<FrameAllocator> frames_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    InitFn init_;
+    snp::Vcpu *cpu_ = nullptr;
+    bool booted_ = false;
+    KernelStats stats_;
+    std::string console_;
+    std::set<uint32_t> onlineVcpus_;
+
+    snp::Gpa textLo_ = 0, textHi_ = 0, dataLo_ = 0, dataHi_ = 0;
+    snp::Gva idtHandlerVa_ = 0;
+    std::map<std::string, uint64_t> kernelSymbols_;
+
+    struct Module
+    {
+        uint64_t kciHandle = 0; ///< 0 = natively loaded
+        snp::Gpa dest = 0;
+        uint32_t destPages = 0;
+        snp::Gva entry = 0;
+    };
+    std::map<int64_t, Module> modules_;
+    int64_t nextModule_ = 1;
+
+    int nextPid_ = 1;
+    uint32_t nextEphemeralPort_ = 40000;
+    uint64_t scheduledEnclaveVmsa_ = snp::kInvalidVmsa;
+    /// True while servicing an ocall from a running enclave: such
+    /// requests originate *inside* the enclave (§6.2).
+    bool inEnclaveSession_ = false;
+    SyscallTamper tamper_;
+};
+
+} // namespace veil::kern
+
+#endif // VEIL_KERNEL_KERNEL_HH_

@@ -1,0 +1,159 @@
+#include "kernel/mm.hh"
+
+#include "base/log.hh"
+#include "kernel/uapi.hh"
+#include "veil/services/enc.hh" // kUserVaLo/Hi
+
+namespace veil::kern {
+
+using namespace snp;
+
+namespace {
+/// Anonymous-mmap allocation cursor start (clear of the SDK's fixed
+/// enclave window at 0x2000000).
+constexpr Gva kUserMmapBase = 0x4000000;
+} // namespace
+
+FrameAllocator::FrameAllocator(Gpa lo, Gpa hi) : lo_(lo), hi_(hi), next_(lo)
+{
+    ensure(isPageAligned(lo) && isPageAligned(hi) && lo < hi,
+           "FrameAllocator: bad range");
+}
+
+Gpa
+FrameAllocator::alloc()
+{
+    if (!freeList_.empty()) {
+        Gpa f = freeList_.back();
+        freeList_.pop_back();
+        return f;
+    }
+    if (next_ >= hi_)
+        panic("FrameAllocator: out of physical frames");
+    Gpa f = next_;
+    next_ += kPageSize;
+    return f;
+}
+
+Gpa
+FrameAllocator::allocRange(size_t pages)
+{
+    // Contiguous ranges come from the bump region only.
+    if (next_ + pages * kPageSize > hi_)
+        panic("FrameAllocator: out of contiguous frames");
+    Gpa f = next_;
+    next_ += pages * kPageSize;
+    return f;
+}
+
+void
+FrameAllocator::free(Gpa frame)
+{
+    ensure(frame >= lo_ && frame < hi_, "FrameAllocator: foreign frame");
+    freeList_.push_back(frame);
+}
+
+size_t
+FrameAllocator::freeFrames() const
+{
+    return freeList_.size() + (hi_ - next_) / kPageSize;
+}
+
+AddressSpace::AddressSpace(Machine &machine, FrameAllocator &frames)
+    : machine_(machine),
+      frames_(frames),
+      editor_(
+          machine.memory(), [this] { return frames_.alloc(); },
+          [this](Gpa p) { frames_.free(p); }),
+      mmapCursor_(kUserMmapBase)
+{
+    cr3_ = editor_.createRoot();
+    buildKernelIdentity();
+}
+
+AddressSpace::~AddressSpace()
+{
+    editor_.destroyRoot(cr3_);
+}
+
+void
+AddressSpace::buildKernelIdentity()
+{
+    // Supervisor identity mapping of all physical memory, executable:
+    // the kernel relies on VeilS-KCI's RMP W^X, not on NX (§6.1 — the
+    // attacker may flip NX bits anyway).
+    PageFlags f;
+    f.user = false;
+    f.write = true;
+    f.exec = true;
+    for (Gpa p = kPageSize; p < machine_.memory().size(); p += kPageSize)
+        editor_.map(cr3_, p, p, f);
+}
+
+void
+AddressSpace::mapUser(Gva va, Gpa pa, int prot)
+{
+    PageFlags f;
+    f.user = true;
+    f.write = prot & kPROT_WRITE;
+    f.exec = prot & kPROT_EXEC;
+    editor_.map(cr3_, va, pa, f);
+}
+
+std::optional<Gpa>
+AddressSpace::unmapUser(Gva va)
+{
+    return editor_.unmap(cr3_, va);
+}
+
+void
+AddressSpace::protectUser(Gva va, int prot)
+{
+    PageFlags f;
+    f.user = true;
+    f.write = prot & kPROT_WRITE;
+    f.exec = prot & kPROT_EXEC;
+    editor_.protect(cr3_, va, f);
+}
+
+std::optional<uint64_t>
+AddressSpace::userLeaf(Gva va) const
+{
+    return editor_.leaf(cr3_, va);
+}
+
+VmArea *
+AddressSpace::findVma(Gva va)
+{
+    auto it = vmas_.upper_bound(va);
+    if (it == vmas_.begin())
+        return nullptr;
+    --it;
+    if (va >= it->second.lo && va < it->second.hi)
+        return &it->second;
+    return nullptr;
+}
+
+void
+AddressSpace::addVma(const VmArea &vma)
+{
+    vmas_[vma.lo] = vma;
+}
+
+void
+AddressSpace::removeVma(Gva lo)
+{
+    vmas_.erase(lo);
+}
+
+Gva
+AddressSpace::allocUserRange(size_t pages)
+{
+    Gva va = mmapCursor_;
+    mmapCursor_ += pages * kPageSize;
+    if (mmapCursor_ > core::kUserVaHi)
+        panic("AddressSpace: user VA space exhausted");
+    return va;
+}
+
+} // namespace veil::kern

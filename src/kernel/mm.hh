@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Kernel memory management: a physical frame allocator over the
+ * Dom-UNT region and per-process address spaces (4-level page tables
+ * with a supervisor identity mapping of all physical memory plus
+ * user mappings, Linux-style).
+ */
+#ifndef VEIL_KERNEL_MM_HH_
+#define VEIL_KERNEL_MM_HH_
+
+#include <map>
+#include <vector>
+
+#include "snp/paging.hh"
+#include "snp/vcpu.hh"
+
+namespace veil::kern {
+
+/** Free-list physical frame allocator. */
+class FrameAllocator
+{
+  public:
+    FrameAllocator(snp::Gpa lo, snp::Gpa hi);
+
+    snp::Gpa alloc();              ///< panics on exhaustion
+    void free(snp::Gpa frame);
+    snp::Gpa allocRange(size_t pages); ///< contiguous range
+    size_t freeFrames() const;
+    snp::Gpa lo() const { return lo_; }
+    snp::Gpa hi() const { return hi_; }
+
+  private:
+    snp::Gpa lo_, hi_, next_;
+    std::vector<snp::Gpa> freeList_;
+};
+
+/** One user mapping record (for munmap/mprotect bookkeeping). */
+struct VmArea
+{
+    snp::Gva lo = 0;
+    snp::Gva hi = 0;
+    int prot = 0;
+    bool enclave = false; ///< inside an enclave region (frames pinned)
+};
+
+/**
+ * A process address space: cr3 + page-table tree + VMA list. The
+ * supervisor identity map covers all physical memory so the kernel can
+ * run on any process cr3 (RMP still arbitrates actual access).
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace(snp::Machine &machine, FrameAllocator &frames);
+    ~AddressSpace();
+
+    snp::Gpa cr3() const { return cr3_; }
+
+    /** Map one user page (data page owned by this AS unless noted). */
+    void mapUser(snp::Gva va, snp::Gpa pa, int prot);
+    /** Unmap one user page; returns backing frame if present. */
+    std::optional<snp::Gpa> unmapUser(snp::Gva va);
+    void protectUser(snp::Gva va, int prot);
+    std::optional<uint64_t> userLeaf(snp::Gva va) const;
+
+    // VMA registry
+    VmArea *findVma(snp::Gva va);
+    void addVma(const VmArea &vma);
+    void removeVma(snp::Gva lo);
+    const std::map<snp::Gva, VmArea> &vmas() const { return vmas_; }
+
+    /** Next free user VA range of @p pages (simple bump + reuse scan). */
+    snp::Gva allocUserRange(size_t pages);
+
+  private:
+    void buildKernelIdentity();
+
+    snp::Machine &machine_;
+    FrameAllocator &frames_;
+    snp::PageTableEditor editor_;
+    snp::Gpa cr3_ = 0;
+    std::vector<snp::Gpa> tableFrames_;
+    std::map<snp::Gva, VmArea> vmas_;
+    snp::Gva mmapCursor_;
+};
+
+} // namespace veil::kern
+
+#endif // VEIL_KERNEL_MM_HH_

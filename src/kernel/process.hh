@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Process model of the mini kernel: an address space, a file-descriptor
+ * table, and optional enclave state installed by the Veil enclave
+ * driver (§7's ~700-line kernel module).
+ */
+#ifndef VEIL_KERNEL_PROCESS_HH_
+#define VEIL_KERNEL_PROCESS_HH_
+
+#include <memory>
+#include <optional>
+
+#include "kernel/fs.hh"
+#include "kernel/mm.hh"
+#include "kernel/net.hh"
+
+namespace veil::kern {
+
+/** One file-descriptor slot. */
+struct FdEntry
+{
+    enum class Type : uint8_t { Free, File, Socket, Console };
+    Type type = Type::Free;
+    Ino ino = 0;
+    uint64_t offset = 0;
+    int flags = 0;
+    SockId sock = -1;
+};
+
+/** Kernel-side enclave bookkeeping for one process. */
+struct EnclaveState
+{
+    uint64_t id = 0;
+    snp::VmsaId vmsa = snp::kInvalidVmsa;
+    snp::Gpa ghcbGpa = 0;
+    snp::Gva ghcbGva = 0;
+    snp::Gva ocallGva = 0;
+    snp::Gva lo = 0, hi = 0;
+    bool alive = false;
+    /// "Disk" swap store for evicted (encrypted) enclave pages; the OS
+    /// tracks which page belongs to which enclave VA, like SGX (§6.2).
+    std::map<snp::Gva, Bytes> swapStore;
+};
+
+/** A process. */
+struct Process
+{
+    int pid = 0;
+    std::string comm;
+    std::unique_ptr<AddressSpace> as;
+    std::vector<FdEntry> fds;
+    std::optional<EnclaveState> enclave;
+    uint64_t syscalls = 0;
+    /// Auditing applies to this process (benchmark load drivers that
+    /// the paper runs outside the audited system set this false).
+    bool audited = true;
+
+    /** Allocate the lowest free fd slot. */
+    int
+    allocFd()
+    {
+        for (size_t i = 0; i < fds.size(); ++i) {
+            if (fds[i].type == FdEntry::Type::Free)
+                return static_cast<int>(i);
+        }
+        if (fds.size() >= 1024)
+            return -1;
+        fds.emplace_back();
+        return static_cast<int>(fds.size() - 1);
+    }
+
+    FdEntry *
+    fd(int n)
+    {
+        if (n < 0 || static_cast<size_t>(n) >= fds.size() ||
+            fds[n].type == FdEntry::Type::Free) {
+            return nullptr;
+        }
+        return &fds[n];
+    }
+};
+
+} // namespace veil::kern
+
+#endif // VEIL_KERNEL_PROCESS_HH_

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * User-kernel ABI of the mini guest kernel: syscall numbers (Linux
+ * x86-64 numbering for the implemented subset), errno values, flags,
+ * and user-visible structs. Shared with the enclave SDK, whose syscall
+ * specifications are keyed by these numbers.
+ */
+#ifndef VEIL_KERNEL_UAPI_HH_
+#define VEIL_KERNEL_UAPI_HH_
+
+#include <cstdint>
+
+namespace veil::kern {
+
+// ---- errno (returned as -errno from syscalls) ----
+constexpr int64_t kEPERM = 1;
+constexpr int64_t kENOENT = 2;
+constexpr int64_t kEBADF = 9;
+constexpr int64_t kEAGAIN = 11;
+constexpr int64_t kENOMEM = 12;
+constexpr int64_t kEACCES = 13;
+constexpr int64_t kEFAULT = 14;
+constexpr int64_t kEEXIST = 17;
+constexpr int64_t kENOTDIR = 20;
+constexpr int64_t kEISDIR = 21;
+constexpr int64_t kEINVAL = 22;
+constexpr int64_t kEMFILE = 24;
+constexpr int64_t kENOSPC = 28;
+constexpr int64_t kEPIPE = 32;
+constexpr int64_t kENOSYS = 38;
+constexpr int64_t kENOTSOCK = 88;
+constexpr int64_t kEADDRINUSE = 98;
+constexpr int64_t kENOTCONN = 107;
+constexpr int64_t kECONNREFUSED = 111;
+
+// ---- syscall numbers (Linux x86-64) ----
+enum Sysno : uint32_t {
+    kSysRead = 0,
+    kSysWrite = 1,
+    kSysOpen = 2,
+    kSysClose = 3,
+    kSysStat = 4,
+    kSysFstat = 5,
+    kSysPoll = 7, ///< readiness probe (epoll-class; never audited)
+    kSysLseek = 8,
+    kSysMmap = 9,
+    kSysMprotect = 10,
+    kSysMunmap = 11,
+    kSysIoctl = 16,
+    kSysPread64 = 17,
+    kSysPwrite64 = 18,
+    kSysDup = 32,
+    kSysGetpid = 39,
+    kSysSocket = 41,
+    kSysConnect = 42,
+    kSysAccept = 43,
+    kSysSendto = 44,
+    kSysRecvfrom = 45,
+    kSysBind = 49,
+    kSysListen = 50,
+    kSysFsync = 74,
+    kSysFtruncate = 77,
+    kSysRename = 82,
+    kSysMkdir = 83,
+    kSysCreat = 85,
+    kSysUnlink = 87,
+    kSysClockGettime = 228,
+    kSysMaxNumber = 335, ///< numbering ceiling for spec tables
+};
+
+// ---- open(2) flags ----
+constexpr int kO_RDONLY = 0x0;
+constexpr int kO_WRONLY = 0x1;
+constexpr int kO_RDWR = 0x2;
+constexpr int kO_CREAT = 0x40;
+constexpr int kO_TRUNC = 0x200;
+constexpr int kO_APPEND = 0x400;
+
+// ---- lseek whence ----
+constexpr int kSeekSet = 0;
+constexpr int kSeekCur = 1;
+constexpr int kSeekEnd = 2;
+
+// ---- mmap(2) ----
+constexpr int kPROT_NONE = 0x0;
+constexpr int kPROT_READ = 0x1;
+constexpr int kPROT_WRITE = 0x2;
+constexpr int kPROT_EXEC = 0x4;
+constexpr int kMAP_SHARED = 0x01;
+constexpr int kMAP_PRIVATE = 0x02;
+constexpr int kMAP_FIXED = 0x10;
+constexpr int kMAP_ANONYMOUS = 0x20;
+
+// ---- sockets ----
+constexpr int kAF_INET = 2;
+constexpr int kSOCK_STREAM = 1;
+constexpr int kMSG_DONTWAIT = 0x40;
+
+/** sockaddr_in analogue (16 bytes). */
+struct SockAddrIn
+{
+    uint16_t family = 0;
+    uint16_t port = 0;   ///< host byte order in this simulator
+    uint32_t addr = 0;   ///< 0x7f000001 = loopback
+    uint8_t zero[8] = {};
+};
+
+/** stat(2) result (simplified). */
+struct Stat
+{
+    uint64_t ino = 0;
+    uint64_t size = 0;
+    uint32_t mode = 0;
+    uint32_t isDir = 0;
+};
+
+/** clock_gettime(2) result. */
+struct TimeSpec
+{
+    int64_t sec = 0;
+    int64_t nsec = 0;
+};
+
+// ---- ioctl: the Veil enclave driver (§7 kernel module) ----
+constexpr uint64_t kVeilIocEnclaveCreate = 0xbe110001;
+constexpr uint64_t kVeilIocEnclaveDestroy = 0xbe110002;
+
+/** ioctl argument for enclave creation. */
+struct VeilEnclaveCreateArgs
+{
+    uint64_t vaLo = 0;       ///< enclave region start (already populated)
+    uint64_t vaHi = 0;       ///< enclave region end
+    uint64_t programId = 0;  ///< host registry id of the enclave binary
+    uint64_t ocallGva = 0;   ///< shared ocall block (outside the enclave)
+    uint64_t ghcbGva = 0;    ///< where to map the per-thread GHCB
+    uint64_t enclaveId = 0;  ///< out: assigned id
+    uint64_t vmsaId = 0;     ///< out: Dom-ENC VMSA handle
+};
+
+} // namespace veil::kern
+
+#endif // VEIL_KERNEL_UAPI_HH_

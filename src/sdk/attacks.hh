@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The security-validation attack battery (§8, Tables 1 and 2, and the
+ * §8.3 experimental validation). Every attack instantiates a fresh CVM,
+ * performs the attack from the attacker's vantage point (compromised OS
+ * kernel, malicious hypervisor, or malicious enclave), and records the
+ * observed defense. Used by bench_security (table output) and the
+ * security test suite (assertions).
+ */
+#ifndef VEIL_SDK_ATTACKS_HH_
+#define VEIL_SDK_ATTACKS_HH_
+
+#include <string>
+#include <vector>
+
+namespace veil::sdk {
+
+/** Result of one attack experiment. */
+struct AttackOutcome
+{
+    std::string attack;    ///< Table 1/2 row name
+    std::string defense;   ///< defense the paper lists
+    std::string observed;  ///< what the simulator actually did
+    bool defended = false; ///< attack was stopped
+};
+
+/** Table 1: attacks against the Veil framework (§8.1, §8.3). */
+std::vector<AttackOutcome> runFrameworkAttacks();
+
+/** Table 2: attacks against VeilS-ENC enclaves (§8.2). */
+std::vector<AttackOutcome> runEnclaveAttacks();
+
+/** §8.3 experimental validation: the paper's two concrete attacks. */
+std::vector<AttackOutcome> runPaperValidationAttacks();
+
+} // namespace veil::sdk
+
+#endif // VEIL_SDK_ATTACKS_HH_

@@ -1,0 +1,299 @@
+#include "sdk/enclave_api.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/rng.hh"
+#include "veil/proto.hh"
+#include "veil/services/enc.hh"
+
+namespace veil::sdk {
+
+using namespace snp;
+using namespace kern;
+using core::IdcbMessage;
+using core::VeilOp;
+using core::VeilStatus;
+
+namespace {
+constexpr Gva kGhcbUserVa = 0x3ff0000;
+constexpr size_t kHeaderBytes = offsetof(OcallBlock, data);
+} // namespace
+
+uint64_t
+ProgramRegistry::add(EnclaveProgram program)
+{
+    uint64_t id = next_++;
+    programs_[id] = std::move(program);
+    return id;
+}
+
+const EnclaveProgram *
+ProgramRegistry::find(uint64_t id) const
+{
+    auto it = programs_.find(id);
+    return it == programs_.end() ? nullptr : &it->second;
+}
+
+void
+ProgramRegistry::setWorker(uint64_t id, ExitlessWorker worker)
+{
+    workers_[id] = std::move(worker);
+}
+
+const ExitlessWorker *
+ProgramRegistry::worker(uint64_t id) const
+{
+    auto it = workers_.find(id);
+    return it == workers_.end() ? nullptr : &it->second;
+}
+
+EnclaveHost::EnclaveHost(NativeEnv &app_env, ProgramRegistry &registry)
+    : env_(app_env),
+      registry_(registry),
+      kernel_(app_env.kernel()),
+      proc_(app_env.process())
+{
+}
+
+void
+EnclaveHost::computeExpectedMeasurement(const Bytes &config_page,
+                                        const Bytes &code_bytes,
+                                        const Params &params)
+{
+    // Replays VeilS-ENC's measurement: (va, pte-meta, contents) for
+    // every enclave page in ascending VA order (§6.2).
+    crypto::Sha256 meas;
+    Bytes zero_page(kPageSize, 0);
+    auto add_page = [&](Gva va, bool write, bool exec, const uint8_t *bytes) {
+        uint64_t meta = PteUser;
+        if (write)
+            meta |= PteWrite;
+        if (!exec)
+            meta |= PteNx;
+        meas.update(&va, sizeof(va));
+        meas.update(&meta, sizeof(meta));
+        meas.update(bytes, kPageSize);
+    };
+
+    Gva va = cfg_.enclaveLo;
+    add_page(va, false, false, config_page.data());
+    va += kPageSize;
+    for (size_t i = 0; i < params.codePages; ++i, va += kPageSize)
+        add_page(va, false, true, code_bytes.data() + i * kPageSize);
+    for (size_t i = 0; i < params.heapPages; ++i, va += kPageSize)
+        add_page(va, true, false, zero_page.data());
+    for (size_t i = 0; i < params.stackPages; ++i, va += kPageSize)
+        add_page(va, true, false, zero_page.data());
+    expected_ = meas.finish();
+}
+
+bool
+EnclaveHost::create(EnclaveProgram program, const Params &params)
+{
+    ensure(!alive_, "EnclaveHost: already created");
+    uint64_t program_id = registry_.add(std::move(program));
+
+    size_t code_pages = params.codePages;
+    size_t total_pages =
+        1 + code_pages + params.heapPages + params.stackPages;
+
+    cfg_ = EnclaveConfig{};
+    cfg_.enclaveLo = kEnclaveBase;
+    cfg_.enclaveHi = kEnclaveBase + total_pages * kPageSize;
+    cfg_.heapLo = kEnclaveBase + (1 + code_pages) * kPageSize;
+    cfg_.heapHi = cfg_.heapLo + params.heapPages * kPageSize;
+    cfg_.stackLo = cfg_.heapHi;
+    cfg_.stackHi = cfg_.stackLo + params.stackPages * kPageSize;
+    cfg_.programId = program_id;
+    cfg_.ghcbGva = kGhcbUserVa;
+    cfg_.exitless = params.exitless ? 1 : 0;
+    if (params.exitless) {
+        // The spinning worker services syscalls synchronously; it must
+        // never need a nested domain switch, so the VeilS-LOG audit
+        // backend (one IDCB round trip per record) is incompatible.
+        ensure(kernel_.audit().backend() != kern::AuditBackend::VeilLog,
+               "EnclaveHost: exitless mode is incompatible with VeilS-LOG "
+               "auditing");
+        // The worker runs in untrusted app context on another VCPU,
+        // draining posted requests from the shared ocall block.
+        registry_.setWorker(program_id, [this]() -> int64_t {
+            OcallBlock hdr = readHeader();
+            return runOcall(hdr);
+        });
+    }
+
+    // Shared ocall block (outside the enclave).
+    ocallGva_ = env_.alloc(kOcallPages * kPageSize);
+    cfg_.ocallGva = ocallGva_;
+
+    // Lay out the enclave image: config+code (later R / R+X), then
+    // heap and stack (RW). Installed by the OS, measured by VeilS-ENC.
+    int64_t r = env_.sys(kSysMmap, cfg_.enclaveLo, (1 + code_pages) * kPageSize,
+                         kPROT_READ | kPROT_WRITE,
+                         kMAP_ANONYMOUS | kMAP_PRIVATE | kMAP_FIXED,
+                         uint64_t(-1), 0);
+    if (r < 0)
+        return false;
+    r = env_.sys(kSysMmap, cfg_.heapLo,
+                 (params.heapPages + params.stackPages) * kPageSize,
+                 kPROT_READ | kPROT_WRITE,
+                 kMAP_ANONYMOUS | kMAP_PRIVATE | kMAP_FIXED, uint64_t(-1), 0);
+    if (r < 0)
+        return false;
+
+    Bytes config_page(kPageSize, 0);
+    std::memcpy(config_page.data(), &cfg_, sizeof(cfg_));
+    env_.copyIn(cfg_.enclaveLo, config_page.data(), config_page.size());
+
+    Rng code_rng(0xc0de0000ULL + program_id);
+    Bytes code = code_rng.bytes(code_pages * kPageSize);
+    env_.copyIn(cfg_.enclaveLo + kPageSize, code.data(), code.size());
+
+    // Final page permissions (captured by the measurement).
+    env_.sys(kSysMprotect, cfg_.enclaveLo, kPageSize, kPROT_READ);
+    env_.sys(kSysMprotect, cfg_.enclaveLo + kPageSize,
+             code_pages * kPageSize, kPROT_READ | kPROT_EXEC);
+
+    computeExpectedMeasurement(config_page, code, params);
+
+    // Install via the driver ioctl (§7 kernel module).
+    VeilEnclaveCreateArgs args;
+    args.vaLo = cfg_.enclaveLo;
+    args.vaHi = cfg_.enclaveHi;
+    args.programId = program_id;
+    args.ocallGva = ocallGva_;
+    args.ghcbGva = cfg_.ghcbGva;
+    Gva staged = env_.stageBytes(&args, sizeof(args));
+    int64_t ret = env_.sys(kSysIoctl, 0, kVeilIocEnclaveCreate, staged);
+    if (ret != 0)
+        return false;
+    env_.copyOut(staged, &args, sizeof(args));
+    enclaveId_ = args.enclaveId;
+    alive_ = true;
+    return true;
+}
+
+void
+EnclaveHost::writeHeader(const OcallBlock &hdr)
+{
+    env_.copyIn(ocallGva_, &hdr, kHeaderBytes);
+}
+
+OcallBlock
+EnclaveHost::readHeader()
+{
+    OcallBlock hdr{};
+    env_.copyOut(ocallGva_, &hdr, kHeaderBytes);
+    return hdr;
+}
+
+int64_t
+EnclaveHost::runOcall(const OcallBlock &hdr)
+{
+    const SyscallSpec *spec = findSpec(hdr.sysno);
+    if (!spec || !spec->supported)
+        return -kENOSYS;
+    // Rewrite wire offsets into real pointers inside the ocall data
+    // area; the kernel then reads/writes app memory directly.
+    uint64_t args[6];
+    std::memcpy(args, hdr.args, sizeof(args));
+    Gva data_base = ocallGva_ + offsetof(OcallBlock, data);
+    for (unsigned i = 0; i < spec->nargs; ++i) {
+        switch (spec->args[i].kind) {
+          case ArgKind::CStr:
+          case ArgKind::InBuf:
+          case ArgKind::OutBuf:
+          case ArgKind::InStruct:
+          case ArgKind::OutStruct:
+            args[i] = data_base + args[i];
+            break;
+          default:
+            break;
+        }
+    }
+    ++ocallsServed_;
+    return kernel_.syscall(proc_, hdr.sysno, args);
+}
+
+int64_t
+EnclaveHost::call()
+{
+    ensure(alive_, "EnclaveHost: call before create");
+    kernel_.prepEnclaveRun(proc_);
+
+    OcallBlock hdr{};
+    hdr.state = static_cast<uint32_t>(OcallState::CallReq);
+    writeHeader(hdr);
+
+    int64_t result = -1;
+    for (;;) {
+        core::domainSwitch(kernel_.cpu(), Vmpl::Vmpl2);
+        OcallBlock resp = readHeader();
+        auto state = static_cast<OcallState>(resp.state);
+        if (state == OcallState::SyscallReq) {
+            int64_t r = runOcall(resp);
+            if (ocallHook_)
+                ocallHook_();
+            OcallBlock done = resp;
+            done.ret = r;
+            done.state = static_cast<uint32_t>(OcallState::SyscallDone);
+            writeHeader(done);
+            continue;
+        }
+        if (state == OcallState::FaultReq) {
+            ++faultsServed_;
+            int64_t r = kernel_.enclaveHandleFault(proc_, resp.faultVa);
+            OcallBlock done = resp;
+            done.ret = r;
+            done.state = static_cast<uint32_t>(OcallState::FaultDone);
+            writeHeader(done);
+            continue;
+        }
+        if (state == OcallState::EnclaveDone) {
+            result = resp.ret;
+            lastStats_.ocalls = resp.statOcalls;
+            lastStats_.marshalCycles = resp.statMarshalCycles;
+            lastStats_.switchCycles = resp.statSwitchCycles;
+            lastStats_.exitlessCalls = resp.statExitless;
+            break;
+        }
+        if (state == OcallState::Killed) {
+            killed_ = true;
+            result = -kEPERM;
+            break;
+        }
+        // Spurious resume; re-enter.
+    }
+
+    kernel_.finishEnclaveRun(proc_);
+    return result;
+}
+
+int64_t
+EnclaveHost::destroy()
+{
+    if (!alive_)
+        return -kENOENT;
+    int64_t r = env_.sys(kSysIoctl, 0, kVeilIocEnclaveDestroy, 0);
+    if (r == 0)
+        alive_ = false;
+    return r;
+}
+
+crypto::Digest
+EnclaveHost::fetchMeasurement()
+{
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::EncGetMeasurement);
+    m.args[0] = enclaveId_;
+    IdcbMessage reply = kernel_.callService(m);
+    ensure(reply.status == static_cast<uint64_t>(VeilStatus::Ok) &&
+               reply.retPayloadLen >= 32,
+           "EnclaveHost: measurement fetch failed");
+    crypto::Digest d;
+    std::memcpy(d.data(), reply.retPayload, d.size());
+    return d;
+}
+
+} // namespace veil::sdk

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * EnclaveEnv: the Env backend running *inside* a VeilS-ENC enclave
+ * (Dom-ENC, CPL-3, cloned page tables). System calls are redirected to
+ * the untrusted application through the ocall block with spec-driven
+ * deep copies (§6.2/§7); page faults trigger the collaborative demand-
+ * paging protocol; IAGO-style pointer returns are sanitized.
+ */
+#ifndef VEIL_SDK_ENCLAVE_ENV_HH_
+#define VEIL_SDK_ENCLAVE_ENV_HH_
+
+#include "sdk/env.hh"
+#include "sdk/heap.hh"
+#include "sdk/ocall.hh"
+#include "sdk/specs.hh"
+#include "snp/vcpu.hh"
+
+namespace veil::sdk {
+
+/** Thrown when the enclave must die (unsupported syscall, IAGO). */
+class EnclaveKilled
+{
+  public:
+    explicit EnclaveKilled(const char *why) : why(why) {}
+    const char *why;
+};
+
+/** Per-run SDK statistics (drives the Fig. 5 cost split). */
+struct EnclaveEnvStats
+{
+    uint64_t ocalls = 0;         ///< syscall redirections
+    uint64_t faults = 0;         ///< demand-paging faults raised
+    uint64_t marshalCycles = 0;  ///< arg/result deep-copy cycles
+    uint64_t switchCycles = 0;   ///< cycles inside domain switches
+    uint64_t exitlessCalls = 0;  ///< syscalls served without a switch
+};
+
+/** Untrusted worker that services exitless syscall requests: reads the
+ *  posted request from the ocall block and returns the result. */
+using ExitlessWorker = std::function<int64_t()>;
+
+/** The in-enclave environment. */
+class EnclaveEnv : public Env
+{
+  public:
+    EnclaveEnv(snp::Vcpu &cpu, const EnclaveConfig &cfg,
+               const ExitlessWorker *worker = nullptr);
+
+    int64_t sysRaw(uint32_t no, const uint64_t args[6]) override;
+
+    snp::Gva alloc(size_t len) override;
+    void release(snp::Gva p, size_t len) override;
+    void copyIn(snp::Gva dst, const void *src, size_t len) override;
+    void copyOut(snp::Gva src, void *dst, size_t len) override;
+    void burn(uint64_t cycles) override { cpu_.burn(cycles); }
+    uint64_t tsc() override { return cpu_.rdtsc(); }
+
+    const EnclaveEnvStats &stats() const { return stats_; }
+    const EnclaveConfig &config() const { return cfg_; }
+    HeapAllocator &heap() { return heap_; }
+
+    // ---- runtime protocol helpers ----
+
+    uint32_t readState();
+    void writeState(OcallState s);
+    void writeDoneResult(int64_t ret);
+    void exitToApp();
+
+    /** Guarded (fault-handling) enclave memory access. */
+    void guardedRead(snp::Gva va, void *out, size_t len);
+    void guardedWrite(snp::Gva va, const void *data, size_t len);
+
+  private:
+    int64_t sysOnce(uint32_t no, const SyscallSpec *spec,
+                    const uint64_t args[6]);
+    void raiseFault(snp::Gva va);
+    bool insideEnclave(snp::Gva va) const;
+
+    snp::Vcpu &cpu_;
+    EnclaveConfig cfg_;
+    HeapAllocator heap_;
+    EnclaveEnvStats stats_;
+    const ExitlessWorker *worker_;
+};
+
+/** Dom-ENC VMSA entry: the enclave runtime main loop. */
+using EnclaveProgram = std::function<int64_t(Env &)>;
+void enclaveRuntimeMain(snp::Vcpu &cpu, const EnclaveProgram &program,
+                        const ExitlessWorker *worker = nullptr);
+
+} // namespace veil::sdk
+
+#endif // VEIL_SDK_ENCLAVE_ENV_HH_

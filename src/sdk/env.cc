@@ -1,0 +1,234 @@
+#include "sdk/env.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+
+namespace veil::sdk {
+
+using namespace kern;
+using snp::Gva;
+
+Gva
+Env::scratch(size_t len)
+{
+    if (len > scratchLen_) {
+        size_t want = std::max<size_t>(len, 16 * 1024);
+        int64_t va = sys(kSysMmap, 0, want, kPROT_READ | kPROT_WRITE,
+                         kMAP_ANONYMOUS | kMAP_PRIVATE, uint64_t(-1), 0);
+        ensure(va > 0, "Env: scratch allocation failed");
+        scratch_ = static_cast<Gva>(va);
+        scratchLen_ = want;
+    }
+    return scratch_;
+}
+
+Gva
+Env::stageString(const std::string &s)
+{
+    Gva va = scratch(s.size() + 1);
+    copyIn(va, s.c_str(), s.size() + 1);
+    return va;
+}
+
+Gva
+Env::stageBytes(const void *data, size_t len)
+{
+    Gva va = scratch(len);
+    copyIn(va, data, len);
+    return va;
+}
+
+int64_t
+Env::open(const std::string &path, int flags)
+{
+    return sys(kSysOpen, stageString(path), uint64_t(flags));
+}
+
+int64_t
+Env::creat(const std::string &path)
+{
+    return sys(kSysCreat, stageString(path), 0644);
+}
+
+int64_t
+Env::close(int fd)
+{
+    return sys(kSysClose, uint64_t(fd));
+}
+
+int64_t
+Env::read(int fd, Gva buf, uint64_t len)
+{
+    return sys(kSysRead, uint64_t(fd), buf, len);
+}
+
+int64_t
+Env::write(int fd, Gva buf, uint64_t len)
+{
+    return sys(kSysWrite, uint64_t(fd), buf, len);
+}
+
+int64_t
+Env::pread(int fd, Gva buf, uint64_t len, uint64_t off)
+{
+    return sys(kSysPread64, uint64_t(fd), buf, len, off);
+}
+
+int64_t
+Env::pwrite(int fd, Gva buf, uint64_t len, uint64_t off)
+{
+    return sys(kSysPwrite64, uint64_t(fd), buf, len, off);
+}
+
+int64_t
+Env::lseek(int fd, int64_t off, int whence)
+{
+    return sys(kSysLseek, uint64_t(fd), uint64_t(off), uint64_t(whence));
+}
+
+int64_t
+Env::mmap(uint64_t len, int prot)
+{
+    return sys(kSysMmap, 0, len, uint64_t(prot),
+               kMAP_ANONYMOUS | kMAP_PRIVATE, uint64_t(-1), 0);
+}
+
+int64_t
+Env::munmap(Gva va, uint64_t len)
+{
+    return sys(kSysMunmap, va, len);
+}
+
+int64_t
+Env::mprotect(Gva va, uint64_t len, int prot)
+{
+    return sys(kSysMprotect, va, len, uint64_t(prot));
+}
+
+int64_t
+Env::socket()
+{
+    return sys(kSysSocket, kAF_INET, kSOCK_STREAM, 0);
+}
+
+namespace {
+kern::SockAddrIn
+makeAddr(uint16_t port)
+{
+    kern::SockAddrIn sa;
+    sa.family = kAF_INET;
+    sa.port = port;
+    sa.addr = 0x7f000001;
+    return sa;
+}
+} // namespace
+
+int64_t
+Env::bind(int fd, uint16_t port)
+{
+    SockAddrIn sa = makeAddr(port);
+    Gva va = stageBytes(&sa, sizeof(sa));
+    return sys(kSysBind, uint64_t(fd), va, sizeof(sa));
+}
+
+int64_t
+Env::listen(int fd, int backlog)
+{
+    return sys(kSysListen, uint64_t(fd), uint64_t(backlog));
+}
+
+int64_t
+Env::connect(int fd, uint16_t port)
+{
+    SockAddrIn sa = makeAddr(port);
+    Gva va = stageBytes(&sa, sizeof(sa));
+    return sys(kSysConnect, uint64_t(fd), va, sizeof(sa));
+}
+
+int64_t
+Env::accept(int fd)
+{
+    return sys(kSysAccept, uint64_t(fd), 0, 0);
+}
+
+int64_t
+Env::send(int fd, Gva buf, uint64_t len)
+{
+    return sys(kSysSendto, uint64_t(fd), buf, len, 0, 0, 0);
+}
+
+int64_t
+Env::recv(int fd, Gva buf, uint64_t len)
+{
+    return sys(kSysRecvfrom, uint64_t(fd), buf, len, 0, 0, 0);
+}
+
+int64_t
+Env::pollIn(int fd)
+{
+    return sys(kern::kSysPoll, uint64_t(fd));
+}
+
+int64_t
+Env::unlink(const std::string &path)
+{
+    return sys(kSysUnlink, stageString(path));
+}
+
+int64_t
+Env::rename(const std::string &from, const std::string &to)
+{
+    // Two strings staged back to back.
+    Gva a = scratch(from.size() + to.size() + 2);
+    copyIn(a, from.c_str(), from.size() + 1);
+    Gva b = a + from.size() + 1;
+    copyIn(b, to.c_str(), to.size() + 1);
+    return sys(kSysRename, a, b);
+}
+
+int64_t
+Env::mkdir(const std::string &path)
+{
+    return sys(kSysMkdir, stageString(path), 0755);
+}
+
+int64_t
+Env::fsync(int fd)
+{
+    return sys(kSysFsync, uint64_t(fd));
+}
+
+int64_t
+Env::ftruncate(int fd, uint64_t len)
+{
+    return sys(kSysFtruncate, uint64_t(fd), len);
+}
+
+int64_t
+Env::fileSize(const std::string &path)
+{
+    Gva path_va = stageString(path);
+    Gva out = path_va + 1024; // scratch is >= 16 KiB
+    int64_t r = sys(kSysStat, path_va, out);
+    if (r < 0)
+        return r;
+    Stat st;
+    copyOut(out, &st, sizeof(st));
+    return static_cast<int64_t>(st.size);
+}
+
+int64_t
+Env::getpid()
+{
+    return sys(kSysGetpid);
+}
+
+int64_t
+Env::printf(const std::string &text)
+{
+    Gva va = stageBytes(text.data(), text.size());
+    return sys(kSysWrite, 1, va, text.size());
+}
+
+} // namespace veil::sdk

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Execution environment abstraction for workloads. A workload programs
+ * against Env and runs unchanged either as a native Dom-UNT process
+ * (NativeEnv) or inside a VeilS-ENC enclave (EnclaveEnv) — exactly the
+ * paper's porting story (§7: ~200 lines to enable enclave execution,
+ * no workload logic changes).
+ */
+#ifndef VEIL_SDK_ENV_HH_
+#define VEIL_SDK_ENV_HH_
+
+#include <string>
+
+#include "kernel/uapi.hh"
+#include "snp/types.hh"
+
+namespace veil::sdk {
+
+/** Abstract syscall + memory environment. */
+class Env
+{
+  public:
+    virtual ~Env() = default;
+
+    /** Raw syscall (returns >= 0 or -errno). */
+    int64_t
+    sys(uint32_t no, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0,
+        uint64_t a3 = 0, uint64_t a4 = 0, uint64_t a5 = 0)
+    {
+        uint64_t args[6] = {a0, a1, a2, a3, a4, a5};
+        return sysRaw(no, args);
+    }
+
+    /** Backend syscall implementation. */
+    virtual int64_t sysRaw(uint32_t no, const uint64_t args[6]) = 0;
+
+    /** Allocate zeroed memory in this context (mmap / enclave heap). */
+    virtual snp::Gva alloc(size_t len) = 0;
+    virtual void release(snp::Gva p, size_t len) = 0;
+
+    /** Host <-> guest data movement (charged through the Vcpu). */
+    virtual void copyIn(snp::Gva dst, const void *src, size_t len) = 0;
+    virtual void copyOut(snp::Gva src, void *dst, size_t len) = 0;
+
+    /** Consume compute cycles. */
+    virtual void burn(uint64_t cycles) = 0;
+    virtual uint64_t tsc() = 0;
+
+    // ---- libc-style convenience wrappers ----
+
+    int64_t open(const std::string &path, int flags);
+    int64_t creat(const std::string &path);
+    int64_t close(int fd);
+    int64_t read(int fd, snp::Gva buf, uint64_t len);
+    int64_t write(int fd, snp::Gva buf, uint64_t len);
+    int64_t pread(int fd, snp::Gva buf, uint64_t len, uint64_t off);
+    int64_t pwrite(int fd, snp::Gva buf, uint64_t len, uint64_t off);
+    int64_t lseek(int fd, int64_t off, int whence);
+    int64_t mmap(uint64_t len, int prot);
+    int64_t munmap(snp::Gva va, uint64_t len);
+    int64_t mprotect(snp::Gva va, uint64_t len, int prot);
+    int64_t socket();
+    int64_t bind(int fd, uint16_t port);
+    int64_t listen(int fd, int backlog);
+    int64_t connect(int fd, uint16_t port);
+    int64_t accept(int fd);
+    int64_t send(int fd, snp::Gva buf, uint64_t len);
+    int64_t recv(int fd, snp::Gva buf, uint64_t len);
+    /** Readiness probe (1 = readable/acceptable, 0 = would block). */
+    int64_t pollIn(int fd);
+    int64_t unlink(const std::string &path);
+    int64_t rename(const std::string &from, const std::string &to);
+    int64_t mkdir(const std::string &path);
+    int64_t fsync(int fd);
+    int64_t ftruncate(int fd, uint64_t len);
+    int64_t fileSize(const std::string &path); ///< stat().size or -errno
+    int64_t getpid();
+
+    /** printf analogue: write a string to the console fd. */
+    int64_t printf(const std::string &text);
+
+    /** Write a host string into guest memory at a staging area. */
+    snp::Gva stageString(const std::string &s);
+    /** Stage arbitrary bytes (larger staging area). */
+    snp::Gva stageBytes(const void *data, size_t len);
+
+  protected:
+    snp::Gva scratch(size_t len);
+
+  private:
+    snp::Gva scratch_ = 0;
+    size_t scratchLen_ = 0;
+};
+
+} // namespace veil::sdk
+
+#endif // VEIL_SDK_ENV_HH_

@@ -1,0 +1,151 @@
+#include "sdk/heap.hh"
+
+#include <functional>
+
+#include "base/log.hh"
+
+namespace veil::sdk {
+
+using snp::Gva;
+
+namespace {
+constexpr size_t kAlign = 16;
+
+size_t
+roundUp(size_t n)
+{
+    return (n + kAlign - 1) & ~(kAlign - 1);
+}
+} // namespace
+
+HeapAllocator::HeapAllocator(Gva lo, Gva hi) : lo_(lo), hi_(hi)
+{
+    ensure(lo < hi, "HeapAllocator: bad range");
+    ensure(lo != 0, "HeapAllocator: address 0 is the failure sentinel");
+    chunks_[lo] = Chunk{static_cast<size_t>(hi - lo), false};
+}
+
+Gva
+HeapAllocator::malloc(size_t len)
+{
+    if (len == 0)
+        len = kAlign;
+    len = roundUp(len);
+
+    // Best-fit over the free chunks (bins are implicit in the ordered
+    // map; exact-fit fast path first).
+    auto best = chunks_.end();
+    for (auto it = chunks_.begin(); it != chunks_.end(); ++it) {
+        if (it->second.used || it->second.size < len)
+            continue;
+        if (it->second.size == len) {
+            best = it;
+            break;
+        }
+        if (best == chunks_.end() || it->second.size < best->second.size)
+            best = it;
+    }
+    if (best == chunks_.end())
+        return 0;
+
+    if (best->second.size > len + kAlign) {
+        // Split: remainder becomes a new free chunk.
+        Gva rest = best->first + len;
+        chunks_[rest] = Chunk{best->second.size - len, false};
+        best->second.size = len;
+    }
+    best->second.used = true;
+    allocated_ += best->second.size;
+    return best->first;
+}
+
+void
+HeapAllocator::free(Gva p)
+{
+    auto it = chunks_.find(p);
+    if (it == chunks_.end() || !it->second.used)
+        panic("HeapAllocator: invalid or double free");
+    it->second.used = false;
+    allocated_ -= it->second.size;
+    coalesce(it);
+}
+
+std::map<Gva, HeapAllocator::Chunk>::iterator
+HeapAllocator::coalesce(std::map<Gva, Chunk>::iterator it)
+{
+    // Merge with next.
+    auto next = std::next(it);
+    if (next != chunks_.end() && !next->second.used &&
+        it->first + it->second.size == next->first) {
+        it->second.size += next->second.size;
+        chunks_.erase(next);
+    }
+    // Merge with previous.
+    if (it != chunks_.begin()) {
+        auto prev = std::prev(it);
+        if (!prev->second.used &&
+            prev->first + prev->second.size == it->first) {
+            prev->second.size += it->second.size;
+            chunks_.erase(it);
+            return prev;
+        }
+    }
+    return it;
+}
+
+Gva
+HeapAllocator::realloc(Gva p, size_t new_len,
+                       const std::function<void(Gva, Gva, size_t)> &move_fn)
+{
+    if (p == 0)
+        return malloc(new_len);
+    auto it = chunks_.find(p);
+    if (it == chunks_.end() || !it->second.used)
+        panic("HeapAllocator: realloc of invalid pointer");
+    size_t old = it->second.size;
+    if (roundUp(new_len) <= old)
+        return p; // shrink-in-place (no split for simplicity)
+    Gva np = malloc(new_len);
+    if (np == 0)
+        return 0;
+    if (move_fn)
+        move_fn(p, np, old);
+    free(p);
+    return np;
+}
+
+size_t
+HeapAllocator::freeBytes() const
+{
+    size_t n = 0;
+    for (const auto &[addr, c] : chunks_) {
+        if (!c.used)
+            n += c.size;
+    }
+    return n;
+}
+
+size_t
+HeapAllocator::sizeOf(Gva p) const
+{
+    auto it = chunks_.find(p);
+    ensure(it != chunks_.end() && it->second.used,
+           "HeapAllocator: sizeOf invalid pointer");
+    return it->second.size;
+}
+
+bool
+HeapAllocator::checkIntegrity() const
+{
+    Gva expect = lo_;
+    for (const auto &[addr, c] : chunks_) {
+        if (addr != expect)
+            return false;
+        if (c.size == 0)
+            return false;
+        expect = addr + c.size;
+    }
+    return expect == hi_;
+}
+
+} // namespace veil::sdk

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Enclave heap allocator (dlmalloc-style, §7): boundary-tag free lists
+ * with size-class bins, split and coalesce, operating over the
+ * enclave's heap range. All enclave allocations are served internally —
+ * the enclave never asks the untrusted OS for memory at runtime.
+ *
+ * Chunk metadata is kept host-side (the simulator equivalent of
+ * in-band boundary tags); the *allocated space* is real enclave guest
+ * memory.
+ */
+#ifndef VEIL_SDK_HEAP_HH_
+#define VEIL_SDK_HEAP_HH_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "snp/types.hh"
+
+namespace veil::sdk {
+
+/** Free-list heap over a [lo, hi) guest-VA range. */
+class HeapAllocator
+{
+  public:
+    HeapAllocator() = default;
+    HeapAllocator(snp::Gva lo, snp::Gva hi);
+
+    /** Allocate @p len bytes (16-byte aligned); 0 on exhaustion. */
+    snp::Gva malloc(size_t len);
+
+    /** Free a previous allocation; panics on invalid/double free. */
+    void free(snp::Gva p);
+
+    /** Grow/shrink; may move (returns new address), 0 on failure. */
+    snp::Gva realloc(snp::Gva p, size_t new_len,
+                     const std::function<void(snp::Gva, snp::Gva, size_t)>
+                         &move_fn);
+
+    size_t allocatedBytes() const { return allocated_; }
+    size_t freeBytes() const;
+    size_t chunkCount() const { return chunks_.size(); }
+
+    /** Internal invariant check (adjacency, no overlap); for tests. */
+    bool checkIntegrity() const;
+
+    size_t sizeOf(snp::Gva p) const;
+
+  private:
+    struct Chunk
+    {
+        size_t size = 0;
+        bool used = false;
+    };
+
+    std::map<snp::Gva, Chunk>::iterator coalesce(
+        std::map<snp::Gva, Chunk>::iterator it);
+
+    snp::Gva lo_ = 0, hi_ = 0;
+    std::map<snp::Gva, Chunk> chunks_; ///< address-ordered boundary tags
+    size_t allocated_ = 0;
+};
+
+} // namespace veil::sdk
+
+#endif // VEIL_SDK_HEAP_HH_

@@ -1,0 +1,56 @@
+#include "sdk/native_env.hh"
+
+#include "base/log.hh"
+
+namespace veil::sdk {
+
+using namespace kern;
+using namespace snp;
+
+int64_t
+NativeEnv::sysRaw(uint32_t no, const uint64_t args[6])
+{
+    return kernel_.syscall(proc_, no, args);
+}
+
+template <typename Fn>
+void
+NativeEnv::asUser(Fn &&fn)
+{
+    Vcpu &c = kernel_.cpu();
+    Cpl saved_cpl = c.cpl();
+    Gpa saved_cr3 = c.vmsa().cr3;
+    c.setCpl(Cpl::User);
+    c.setCr3(proc_.as->cr3());
+    fn(c);
+    c.setCpl(saved_cpl);
+    c.setCr3(saved_cr3);
+}
+
+Gva
+NativeEnv::alloc(size_t len)
+{
+    int64_t va = mmap(len, kPROT_READ | kPROT_WRITE);
+    ensure(va > 0, "NativeEnv: mmap failed");
+    return static_cast<Gva>(va);
+}
+
+void
+NativeEnv::release(Gva p, size_t len)
+{
+    munmap(p, len);
+}
+
+void
+NativeEnv::copyIn(Gva dst, const void *src, size_t len)
+{
+    asUser([&](Vcpu &c) { c.write(dst, src, len); });
+}
+
+void
+NativeEnv::copyOut(Gva src, void *dst, size_t len)
+{
+    asUser([&](Vcpu &c) { c.read(src, dst, len); });
+}
+
+} // namespace veil::sdk

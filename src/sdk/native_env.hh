@@ -1,0 +1,46 @@
+/**
+ * @file
+ * NativeEnv: Env backend for an ordinary Dom-UNT process. Syscalls go
+ * straight into the kernel; memory accesses run at CPL-3 on the
+ * process address space.
+ */
+#ifndef VEIL_SDK_NATIVE_ENV_HH_
+#define VEIL_SDK_NATIVE_ENV_HH_
+
+#include "kernel/kernel.hh"
+#include "sdk/env.hh"
+
+namespace veil::sdk {
+
+/** Direct-kernel environment. */
+class NativeEnv : public Env
+{
+  public:
+    NativeEnv(kern::Kernel &kernel, kern::Process &proc)
+        : kernel_(kernel), proc_(proc)
+    {
+    }
+
+    int64_t sysRaw(uint32_t no, const uint64_t args[6]) override;
+
+    snp::Gva alloc(size_t len) override;
+    void release(snp::Gva p, size_t len) override;
+    void copyIn(snp::Gva dst, const void *src, size_t len) override;
+    void copyOut(snp::Gva src, void *dst, size_t len) override;
+    void burn(uint64_t cycles) override { kernel_.cpu().burn(cycles); }
+    uint64_t tsc() override { return kernel_.cpu().rdtsc(); }
+
+    kern::Process &process() { return proc_; }
+    kern::Kernel &kernel() { return kernel_; }
+
+  private:
+    template <typename Fn>
+    void asUser(Fn &&fn);
+
+    kern::Kernel &kernel_;
+    kern::Process &proc_;
+};
+
+} // namespace veil::sdk
+
+#endif // VEIL_SDK_NATIVE_ENV_HH_

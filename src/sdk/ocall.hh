@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The ocall block: shared application memory through which the enclave
+ * redirects system calls to the untrusted application (§6.2, the
+ * OCALL analogue). Lives OUTSIDE the enclave range so both sides can
+ * access it; all enclave-side pointers are rewritten to offsets into
+ * its data area by the spec-driven marshaller.
+ */
+#ifndef VEIL_SDK_OCALL_HH_
+#define VEIL_SDK_OCALL_HH_
+
+#include <cstdint>
+
+#include "snp/types.hh"
+
+namespace veil::sdk {
+
+/** Ocall protocol states. */
+enum class OcallState : uint32_t {
+    Idle = 0,
+    CallReq = 1,     ///< app asks the enclave to run its entry
+    SyscallReq = 2,  ///< enclave asks the app to run a syscall
+    SyscallDone = 3, ///< app completed the syscall
+    FaultReq = 4,    ///< enclave page fault needs OS service (§6.2)
+    FaultDone = 5,
+    EnclaveDone = 6, ///< enclave entry returned
+    Killed = 7,      ///< enclave killed (unsupported syscall etc.)
+};
+
+constexpr size_t kOcallDataMax = 12 * 1024;
+constexpr size_t kOcallPages = 4;
+
+/** POD block at a fixed app VA; fits in kOcallPages pages. */
+struct OcallBlock
+{
+    uint32_t state = 0;
+    uint32_t sysno = 0;
+    uint64_t args[6] = {};
+    int64_t ret = 0;
+    uint64_t faultVa = 0;
+    /// SDK statistics reported at EnclaveDone (Fig. 5 cost split).
+    uint64_t statOcalls = 0;
+    uint64_t statMarshalCycles = 0;
+    uint64_t statSwitchCycles = 0;
+    uint64_t statExitless = 0;
+    uint32_t dataLen = 0;
+    uint32_t pad = 0;
+    uint8_t data[kOcallDataMax] = {};
+};
+
+static_assert(sizeof(OcallBlock) <= kOcallPages * snp::kPageSize,
+              "OcallBlock must fit its reservation");
+
+/** Fixed enclave window base used by the SDK image builder. */
+constexpr snp::Gva kEnclaveBase = 0x2000000;
+
+/** Enclave image configuration page, placed at kEnclaveBase and
+ *  covered by the measurement. */
+struct EnclaveConfig
+{
+    uint64_t magic = 0x56454e43; // "VENC"
+    uint64_t enclaveLo = 0;
+    uint64_t enclaveHi = 0;
+    uint64_t heapLo = 0;
+    uint64_t heapHi = 0;
+    uint64_t stackLo = 0;
+    uint64_t stackHi = 0;
+    uint64_t ocallGva = 0;
+    uint64_t ghcbGva = 0;
+    uint64_t programId = 0;
+    /// Exitless syscall handling (§10 / FlexSC-style): post requests to
+    /// shared memory and spin; an untrusted worker thread services them
+    /// without a domain switch.
+    uint64_t exitless = 0;
+};
+
+} // namespace veil::sdk
+
+#endif // VEIL_SDK_OCALL_HH_

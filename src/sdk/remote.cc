@@ -1,0 +1,129 @@
+#include "sdk/remote.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "crypto/drbg.hh"
+
+namespace veil::sdk {
+
+using namespace snp;
+using core::IdcbMessage;
+using core::VeilOp;
+using core::VeilStatus;
+
+RemoteUser::RemoteUser(VeilVm &vm, uint64_t seed) : vm_(vm)
+{
+    Bytes seed_bytes;
+    appendLe<uint64_t>(seed_bytes, seed);
+    crypto::HmacDrbg drbg(seed_bytes);
+    keyPair_ = crypto::dhGenerate(drbg);
+    expectedBootDigest_ = crypto::Sha256::hash(vm.bootImage());
+}
+
+bool
+RemoteUser::establishChannel(kern::Kernel &kernel)
+{
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::EstablishChannel);
+    std::memcpy(m.payload, keyPair_.publicKey.data(), 32);
+    m.payloadLen = 32;
+    IdcbMessage reply = kernel.callMonitor(m);
+    if (reply.status != static_cast<uint64_t>(VeilStatus::Ok) ||
+        reply.retPayloadLen != sizeof(core::ChannelResponse)) {
+        return false;
+    }
+    core::ChannelResponse resp;
+    std::memcpy(&resp, reply.retPayload, sizeof(resp));
+
+    // 1. Platform signature.
+    if (!vm_.machine().psp().verify(resp.report))
+        return false;
+    // 2. Boot image measurement matches what we audited.
+    if (resp.report.measurement != expectedBootDigest_)
+        return false;
+    // 3. The report was requested by VMPL-0 software (VeilMon itself).
+    if (resp.report.requesterVmpl != 0)
+        return false;
+    // 4. Key binding: reportData = monitor pub || SHA256(our pub).
+    if (std::memcmp(resp.report.reportData.data(), resp.monitorPublic, 32) !=
+        0) {
+        return false;
+    }
+    Bytes our_pub = keyPair_.publicKey;
+    crypto::Digest our_hash = crypto::Sha256::hash(our_pub);
+    if (std::memcmp(resp.report.reportData.data() + 32, our_hash.data(),
+                    32) != 0) {
+        return false;
+    }
+
+    Bytes mon_pub(resp.monitorPublic, resp.monitorPublic + 32);
+    Bytes shared = crypto::dhSharedSecret(keyPair_.secret, mon_pub);
+    crypto::SessionKeys keys = crypto::deriveSessionKeys(shared);
+    channel_ = std::make_unique<core::SecureChannel>(keys,
+                                                     /*initiator=*/true);
+    return true;
+}
+
+std::optional<Bytes>
+RemoteUser::queryLogs(kern::Kernel &kernel, core::LogQueryCmd cmd,
+                      uint64_t arg)
+{
+    ensure(channel_ != nullptr, "RemoteUser: channel not established");
+    Bytes plain;
+    plain.push_back(static_cast<uint8_t>(cmd));
+    appendLe<uint64_t>(plain, arg);
+    Bytes sealed = channel_->seal(plain);
+
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::LogQuery);
+    ensure(sealed.size() <= core::kIdcbPayloadMax, "RemoteUser: oversize");
+    std::memcpy(m.payload, sealed.data(), sealed.size());
+    m.payloadLen = static_cast<uint32_t>(sealed.size());
+    IdcbMessage reply = kernel.callService(m);
+    if (reply.status != static_cast<uint64_t>(VeilStatus::Ok))
+        return std::nullopt;
+    Bytes sealed_resp(reply.retPayload, reply.retPayload + reply.retPayloadLen);
+    return channel_->open(sealed_resp);
+}
+
+std::vector<std::string>
+RemoteUser::retrieveAllRecords(kern::Kernel &kernel)
+{
+    std::vector<std::string> out;
+    for (;;) {
+        auto resp = queryLogs(kernel, core::LogQueryCmd::Fetch, 1 << 20);
+        if (!resp || resp->size() < 16)
+            break;
+        size_t off = 16; // records count + start offset header
+        size_t before = out.size();
+        while (off + 4 <= resp->size()) {
+            uint32_t len = loadLe<uint32_t>(resp->data() + off);
+            off += 4;
+            if (off + len > resp->size())
+                break;
+            out.emplace_back(reinterpret_cast<const char *>(resp->data() + off),
+                             len);
+            off += len;
+        }
+        if (out.size() == before)
+            break; // no forward progress: retrieved everything
+    }
+    return out;
+}
+
+bool
+RemoteUser::verifySealedMeasurement(const Bytes &sealed,
+                                    const crypto::Digest &expected,
+                                    uint64_t enclave_id)
+{
+    ensure(channel_ != nullptr, "RemoteUser: channel not established");
+    auto plain = channel_->open(sealed);
+    if (!plain || plain->size() != 40)
+        return false;
+    if (!ctEqual(plain->data(), expected.data(), 32))
+        return false;
+    return loadLe<uint64_t>(plain->data() + 32) == enclave_id;
+}
+
+} // namespace veil::sdk

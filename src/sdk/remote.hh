@@ -1,0 +1,57 @@
+/**
+ * @file
+ * RemoteUser: the attesting party outside the cloud (§5.1). Verifies
+ * the SEV launch report against the expected boot-image measurement,
+ * completes the DH handshake bound into the report, and then talks to
+ * the protected services over the sealed channel — always relayed
+ * through the untrusted kernel, which can drop or corrupt but not
+ * forge or read messages.
+ */
+#ifndef VEIL_SDK_REMOTE_HH_
+#define VEIL_SDK_REMOTE_HH_
+
+#include "sdk/vm.hh"
+#include "veil/channel.hh"
+#include "veil/services/log.hh"
+
+namespace veil::sdk {
+
+/** The remote user endpoint. */
+class RemoteUser
+{
+  public:
+    explicit RemoteUser(VeilVm &vm, uint64_t seed = 0x7573657231ULL);
+
+    /**
+     * Attestation + channel establishment, relayed through the kernel.
+     * Returns false if the report fails verification.
+     */
+    bool establishChannel(kern::Kernel &kernel);
+
+    bool channelUp() const { return channel_ != nullptr; }
+
+    /**
+     * Query VeilS-LOG through the untrusted relay. Returns the
+     * decrypted response, or nullopt if the relay tampered / failed.
+     */
+    std::optional<Bytes> queryLogs(kern::Kernel &kernel,
+                                   core::LogQueryCmd cmd, uint64_t arg);
+
+    /** Fetch + decode stored records via repeated Fetch queries. */
+    std::vector<std::string> retrieveAllRecords(kern::Kernel &kernel);
+
+    /** Verify a sealed enclave measurement blob from VeilS-ENC. */
+    bool verifySealedMeasurement(const Bytes &sealed,
+                                 const crypto::Digest &expected,
+                                 uint64_t enclave_id);
+
+  private:
+    VeilVm &vm_;
+    crypto::DhKeyPair keyPair_;
+    crypto::Digest expectedBootDigest_;
+    std::unique_ptr<core::SecureChannel> channel_;
+};
+
+} // namespace veil::sdk
+
+#endif // VEIL_SDK_REMOTE_HH_

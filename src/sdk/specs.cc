@@ -1,0 +1,124 @@
+#include "sdk/specs.hh"
+
+#include "kernel/uapi.hh"
+
+namespace veil::sdk {
+
+using namespace kern;
+
+namespace {
+
+constexpr ArgSpec V{ArgKind::Value, -1, 0};
+constexpr ArgSpec N{ArgKind::None, -1, 0};
+
+constexpr ArgSpec
+str()
+{
+    return ArgSpec{ArgKind::CStr, -1, 0};
+}
+
+constexpr ArgSpec
+inBuf(int8_t len_arg)
+{
+    return ArgSpec{ArgKind::InBuf, len_arg, 0};
+}
+
+constexpr ArgSpec
+outBuf(int8_t len_arg)
+{
+    return ArgSpec{ArgKind::OutBuf, len_arg, 0};
+}
+
+constexpr ArgSpec
+inStruct(uint32_t len)
+{
+    return ArgSpec{ArgKind::InStruct, -1, len};
+}
+
+constexpr ArgSpec
+outStruct(uint32_t len)
+{
+    return ArgSpec{ArgKind::OutStruct, -1, len};
+}
+
+const SyscallSpec kTable[] = {
+    // ---- supported ----
+    {kSysRead, "read", 3, true, RetKind::OutLen, {V, outBuf(2), V}},
+    {kSysWrite, "write", 3, true, RetKind::Scalar, {V, inBuf(2), V}},
+    {kSysOpen, "open", 2, true, RetKind::Scalar, {str(), V}},
+    {kSysClose, "close", 1, true, RetKind::Scalar, {V}},
+    {kSysStat, "stat", 2, true, RetKind::Scalar,
+     {str(), outStruct(sizeof(Stat))}},
+    {kSysFstat, "fstat", 2, true, RetKind::Scalar,
+     {V, outStruct(sizeof(Stat))}},
+    {kSysPoll, "poll", 1, true, RetKind::Scalar, {V}},
+    {kSysLseek, "lseek", 3, true, RetKind::Scalar, {V, V, V}},
+    {kSysMmap, "mmap", 6, true, RetKind::Pointer, {V, V, V, V, V, V}},
+    {kSysMprotect, "mprotect", 3, true, RetKind::Scalar, {V, V, V}},
+    {kSysMunmap, "munmap", 2, true, RetKind::Scalar, {V, V}},
+    {kSysPread64, "pread64", 4, true, RetKind::OutLen, {V, outBuf(2), V, V}},
+    {kSysPwrite64, "pwrite64", 4, true, RetKind::Scalar, {V, inBuf(2), V, V}},
+    {kSysDup, "dup", 1, true, RetKind::Scalar, {V}},
+    {kSysGetpid, "getpid", 0, true, RetKind::Scalar, {}},
+    {kSysSocket, "socket", 3, true, RetKind::Scalar, {V, V, V}},
+    {kSysConnect, "connect", 3, true, RetKind::Scalar,
+     {V, inStruct(sizeof(SockAddrIn)), V}},
+    {kSysAccept, "accept", 3, true, RetKind::Scalar, {V, V, V}},
+    {kSysSendto, "sendto", 6, true, RetKind::Scalar,
+     {V, inBuf(2), V, V, V, V}},
+    {kSysRecvfrom, "recvfrom", 6, true, RetKind::OutLen,
+     {V, outBuf(2), V, V, V, V}},
+    {kSysBind, "bind", 3, true, RetKind::Scalar,
+     {V, inStruct(sizeof(SockAddrIn)), V}},
+    {kSysListen, "listen", 2, true, RetKind::Scalar, {V, V}},
+    {kSysFsync, "fsync", 1, true, RetKind::Scalar, {V}},
+    {kSysFtruncate, "ftruncate", 2, true, RetKind::Scalar, {V, V}},
+    {kSysRename, "rename", 2, true, RetKind::Scalar, {str(), str()}},
+    {kSysMkdir, "mkdir", 2, true, RetKind::Scalar, {str(), V}},
+    {kSysCreat, "creat", 2, true, RetKind::Scalar, {str(), V}},
+    {kSysUnlink, "unlink", 1, true, RetKind::Scalar, {str()}},
+    {kSysClockGettime, "clock_gettime", 2, true, RetKind::Scalar,
+     {V, outStruct(sizeof(TimeSpec))}},
+
+    // ---- known but unsupported: the enclave is killed (§7) ----
+    {16, "ioctl", 3, false, RetKind::Scalar, {V, V, V}},
+    {56, "clone", 5, false, RetKind::Scalar, {V, V, V, V, V}},
+    {57, "fork", 0, false, RetKind::Scalar, {}},
+    {59, "execve", 3, false, RetKind::Scalar, {str(), V, V}},
+    {61, "wait4", 4, false, RetKind::Scalar, {V, V, V, V}},
+    {62, "kill", 2, false, RetKind::Scalar, {V, V}},
+    {101, "ptrace", 4, false, RetKind::Scalar, {V, V, V, V}},
+    {165, "mount", 5, false, RetKind::Scalar, {str(), str(), str(), V, V}},
+    {169, "reboot", 4, false, RetKind::Scalar, {V, V, V, V}},
+    {175, "init_module", 3, false, RetKind::Scalar, {V, V, str()}},
+};
+
+} // namespace
+
+const SyscallSpec *
+findSpec(uint32_t no)
+{
+    for (const auto &s : kTable) {
+        if (s.no == no)
+            return &s;
+    }
+    return nullptr;
+}
+
+const SyscallSpec *
+specTable(size_t *count)
+{
+    *count = sizeof(kTable) / sizeof(kTable[0]);
+    return kTable;
+}
+
+size_t
+supportedSpecCount()
+{
+    size_t n = 0;
+    for (const auto &s : kTable)
+        n += s.supported;
+    return n;
+}
+
+} // namespace veil::sdk

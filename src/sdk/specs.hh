@@ -1,0 +1,68 @@
+/**
+ * @file
+ * System-call specifications driving the SDK's deep-copy marshaller —
+ * the C++ analogue of the paper's Syzkaller-derived sanitizer (§7).
+ * A *call specification* gives the argument roles per syscall; the
+ * *type specification* is encoded in ArgKind + length-linkage (e.g.
+ * write's arg2 is the length of the arg1 buffer).
+ *
+ * Unsupported syscalls are present in the table with supported=false:
+ * executing one kills the enclave, matching the prototype's behaviour.
+ */
+#ifndef VEIL_SDK_SPECS_HH_
+#define VEIL_SDK_SPECS_HH_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace veil::sdk {
+
+/** Role of one syscall argument. */
+enum class ArgKind : uint8_t {
+    None,      ///< unused slot
+    Value,     ///< scalar, passed through
+    CStr,      ///< NUL-terminated string copied out of the enclave
+    InBuf,     ///< enclave buffer copied out; length in another arg
+    OutBuf,    ///< kernel-filled buffer copied back in; length linked
+    InStruct,  ///< fixed-size struct copied out
+    OutStruct, ///< fixed-size struct copied back in
+};
+
+/** One argument's specification. */
+struct ArgSpec
+{
+    ArgKind kind = ArgKind::None;
+    int8_t lenArg = -1;    ///< index of the length argument (buffers)
+    uint32_t fixedLen = 0; ///< byte size (structs)
+};
+
+/** Return-value semantics needing IAGO sanitization. */
+enum class RetKind : uint8_t {
+    Scalar,   ///< plain value / -errno
+    Pointer,  ///< a user pointer: must lie OUTSIDE the enclave (§6.2)
+    OutLen,   ///< number of bytes produced into the OutBuf argument
+};
+
+/** Full specification for one syscall. */
+struct SyscallSpec
+{
+    uint32_t no = 0;
+    const char *name = "";
+    uint8_t nargs = 0;
+    bool supported = false;
+    RetKind ret = RetKind::Scalar;
+    ArgSpec args[6] = {};
+};
+
+/** Look up a spec; nullptr for completely unknown numbers. */
+const SyscallSpec *findSpec(uint32_t no);
+
+/** The full table (for SDK conformance tests). */
+const SyscallSpec *specTable(size_t *count);
+
+/** Number of supported specs in the table. */
+size_t supportedSpecCount();
+
+} // namespace veil::sdk
+
+#endif // VEIL_SDK_SPECS_HH_

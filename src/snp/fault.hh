@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fault types raised by the simulated hardware.
+ *
+ * NpfFault models the nested page fault (#NPF) the RMP raises on a VMPL
+ * permission violation; per the paper's semantics (§5.1, §8.3) an
+ * unhandled #NPF halts the whole CVM. GuestPageFault models an ordinary
+ * #PF from the guest page tables (present/write/user bits), which guest
+ * software may handle (e.g. enclave demand paging, §6.2).
+ */
+#ifndef VEIL_SNP_FAULT_HH_
+#define VEIL_SNP_FAULT_HH_
+
+#include <stdexcept>
+
+#include "snp/types.hh"
+
+namespace veil::snp {
+
+/** RMP (VMPL) permission violation: #NPF. Halts the CVM when unhandled. */
+class NpfFault : public std::runtime_error
+{
+  public:
+    NpfFault(Gpa gpa, Vmpl vmpl, Access access, const std::string &detail)
+        : std::runtime_error("NPF at GPA 0x" + std::to_string(gpa) + " (" +
+                             toString(vmpl) + ", " + toString(access) + "): " +
+                             detail),
+          gpa(gpa), vmpl(vmpl), access(access)
+    {}
+
+    Gpa gpa;
+    Vmpl vmpl;
+    Access access;
+};
+
+/** Guest page-table fault: #PF. May be handled by guest software. */
+class GuestPageFault : public std::runtime_error
+{
+  public:
+    GuestPageFault(Gva gva, Access access, bool present)
+        : std::runtime_error("PF at GVA 0x" + std::to_string(gva) + " (" +
+                             toString(access) + (present ? ", protection)"
+                                                         : ", not-present)")),
+          gva(gva), access(access), present(present)
+    {}
+
+    Gva gva;
+    Access access;
+    bool present; ///< true = protection violation, false = not mapped
+};
+
+/**
+ * Raised inside a blocked guest fiber when the Machine is torn down, so
+ * that the fiber's stack unwinds cleanly. Never escapes the fiber.
+ */
+class FiberShutdown
+{
+};
+
+} // namespace veil::snp
+
+#endif // VEIL_SNP_FAULT_HH_

@@ -1,0 +1,83 @@
+#include "snp/fiber.hh"
+
+#include "base/log.hh"
+#include "snp/fault.hh"
+
+namespace veil::snp {
+
+namespace {
+thread_local Fiber *g_current = nullptr;
+} // namespace
+
+Fiber::Fiber(Fn fn, size_t stack_size) : fn_(std::move(fn)), stack_(stack_size)
+{
+}
+
+Fiber::~Fiber()
+{
+    // Owners (Machine) are responsible for unwinding live fibers via the
+    // shutdown protocol before destruction; a still-running fiber here
+    // means its stack objects leak, which we tolerate only if the
+    // process is already dying from an exception.
+}
+
+Fiber *
+Fiber::current()
+{
+    return g_current;
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = g_current;
+    try {
+        self->fn_();
+    } catch (const FiberShutdown &) {
+        // Clean teardown requested by the Machine destructor.
+    } catch (...) {
+        self->pending_ = std::current_exception();
+    }
+    self->finished_ = true;
+    swapcontext(&self->ctx_, &self->schedCtx_);
+    // Unreachable: a finished fiber is never resumed.
+    panic("Fiber: resumed after finish");
+}
+
+void
+Fiber::resume()
+{
+    ensure(!finished_, "Fiber::resume on finished fiber");
+    ensure(g_current == nullptr, "Fiber::resume: nested fibers unsupported");
+
+    if (!started_) {
+        started_ = true;
+        getcontext(&ctx_);
+        ctx_.uc_stack.ss_sp = stack_.data();
+        ctx_.uc_stack.ss_size = stack_.size();
+        ctx_.uc_link = nullptr;
+        makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+    }
+
+    g_current = this;
+    swapcontext(&schedCtx_, &ctx_);
+    g_current = nullptr;
+
+    if (pending_) {
+        std::exception_ptr p = pending_;
+        pending_ = nullptr;
+        std::rethrow_exception(p);
+    }
+}
+
+void
+Fiber::yieldToScheduler()
+{
+    Fiber *self = g_current;
+    ensure(self != nullptr, "Fiber::yieldToScheduler outside fiber");
+    g_current = nullptr;
+    swapcontext(&self->ctx_, &self->schedCtx_);
+    g_current = self;
+}
+
+} // namespace veil::snp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cooperative fibers (ucontext-based) used to give every VMSA its own
+ * execution context. A guest fiber blocks inside vmgexit() and resumes
+ * at the corresponding vmenter(), which is exactly how the paper's
+ * replicated-VCPU domain switch behaves (§5.2).
+ *
+ * Single-threaded and deterministic by construction.
+ */
+#ifndef VEIL_SNP_FIBER_HH_
+#define VEIL_SNP_FIBER_HH_
+
+#include <ucontext.h>
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace veil::snp {
+
+/** One cooperative fiber with its own stack. */
+class Fiber
+{
+  public:
+    using Fn = std::function<void()>;
+
+    explicit Fiber(Fn fn, size_t stack_size = kDefaultStackSize);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Switch from the scheduler context into this fiber. Returns when
+     * the fiber yields or finishes. Rethrows any exception that escaped
+     * the fiber body (other than the shutdown marker).
+     */
+    void resume();
+
+    /** Yield back to the scheduler (call only from inside the fiber). */
+    static void yieldToScheduler();
+
+    /** The fiber currently executing, or nullptr in scheduler context. */
+    static Fiber *current();
+
+    bool finished() const { return finished_; }
+    bool started() const { return started_; }
+
+    static constexpr size_t kDefaultStackSize = 1024 * 1024;
+
+  private:
+    static void trampoline();
+
+    Fn fn_;
+    std::vector<uint8_t> stack_;
+    ucontext_t ctx_;
+    ucontext_t schedCtx_;
+    bool started_ = false;
+    bool finished_ = false;
+    std::exception_ptr pending_;
+};
+
+} // namespace veil::snp
+
+#endif // VEIL_SNP_FIBER_HH_

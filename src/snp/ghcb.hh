@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Guest-Hypervisor Communication Block (GHCB) layout and exit codes.
+ *
+ * The GHCB is a shared page through which the CVM passes hypercall
+ * state to the hypervisor on non-automatic exits (§3, Fig. 1). Veil
+ * additionally uses it for hypervisor-relayed domain switches (§5.2)
+ * and user-mapped per-thread GHCBs for enclave entry/exit (§6.2).
+ */
+#ifndef VEIL_SNP_GHCB_HH_
+#define VEIL_SNP_GHCB_HH_
+
+#include <cstdint>
+
+#include "snp/types.hh"
+
+namespace veil::snp {
+
+/** Exit codes written into Ghcb::exitCode before VMGEXIT. */
+enum class GhcbExit : uint64_t {
+    None = 0,
+    /// Request a switch to another domain's VMSA on the same VCPU.
+    /// info[0] = target VCPU id, info[1] = target VMPL.
+    DomainSwitch = 1,
+    /// Register a freshly created VMSA with the hypervisor.
+    /// info[0] = VMSA GPA, info[1] = VCPU id, info[2] = VMPL,
+    /// info[3] = Machine VmsaId handle.
+    RegisterVmsa = 2,
+    /// Start (AP-boot) a registered VCPU. info[0] = VCPU id,
+    /// info[1] = VMPL.
+    StartVcpu = 3,
+    /// Page-state change: info[0] = GPA, info[1] = 1 for shared,
+    /// 0 for private.
+    PageStateChange = 4,
+    /// Guest console output: info[0] = GPA of shared buffer,
+    /// info[1] = length.
+    ConsoleWrite = 5,
+    /// Orderly VM termination. info[0] = exit status.
+    Terminate = 6,
+    /// Instruct the hypervisor to only honour Dom-UNT <-> Dom-ENC
+    /// switches on a user-mapped GHCB (§6.2). info[0] = GHCB GPA.
+    RestrictGhcb = 7,
+};
+
+/** POD GHCB contents, stored in a shared guest page. */
+struct Ghcb
+{
+    uint64_t exitCode = 0;
+    uint64_t info[6] = {0, 0, 0, 0, 0, 0};
+    uint64_t result = 0;
+};
+
+static_assert(sizeof(Ghcb) <= kPageSize, "GHCB must fit in one page");
+
+constexpr Gpa kNoGhcb = ~Gpa(0);
+
+} // namespace veil::snp
+
+#endif // VEIL_SNP_GHCB_HH_

@@ -1,0 +1,182 @@
+#include "snp/machine.hh"
+
+#include "base/log.hh"
+#include "snp/fault.hh"
+#include "snp/vcpu.hh"
+
+namespace veil::snp {
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config),
+      memory_(config.memBytes),
+      rmp_(config.memBytes / kPageSize),
+      psp_(config.pspKey)
+{
+    ensure(config.numVcpus >= 1, "Machine: need at least one VCPU");
+    nextTimerTsc_ = costs().timerQuantum();
+}
+
+Machine::~Machine()
+{
+    shutdownFibers();
+}
+
+void
+Machine::shutdownFibers()
+{
+    shuttingDown_ = true;
+    for (auto &slot : slots_) {
+        if (slot.fiber && slot.fiber->started() && !slot.fiber->finished()) {
+            try {
+                currentVmsa_ = kInvalidVmsa;
+                slot.fiber->resume();
+            } catch (...) {
+                // Teardown is best-effort; exceptions escaping a dying
+                // fiber are dropped.
+            }
+        }
+    }
+}
+
+VmsaId
+Machine::addVmsa(Vmsa state)
+{
+    slots_.push_back(Slot{std::move(state), nullptr});
+    return static_cast<VmsaId>(slots_.size() - 1);
+}
+
+Machine::Slot &
+Machine::slotFor(VmsaId id)
+{
+    if (id >= slots_.size())
+        panic(strfmt("Machine: bad VmsaId %u", id));
+    return slots_[id];
+}
+
+Vmsa &
+Machine::vmsaState(VmsaId id)
+{
+    return slotFor(id).state;
+}
+
+void
+Machine::startFiber(VmsaId id)
+{
+    Slot &slot = slotFor(id);
+    ensure(slot.state.entry != nullptr, "Machine: VMSA has no entry point");
+    slot.fiber = std::make_unique<Fiber>([this, id] {
+        Vcpu vcpu(*this, id);
+        try {
+            slotFor(id).state.entry(vcpu);
+        } catch (const NpfFault &f) {
+            recordHalt(std::string("unhandled #NPF: ") + f.what(), f.gpa,
+                       f.vmpl);
+        } catch (const GuestPageFault &f) {
+            recordHalt(std::string("unhandled guest #PF: ") + f.what(), 0,
+                       slotFor(id).state.vmpl);
+        }
+    });
+}
+
+VmExit
+Machine::enter(VmsaId id)
+{
+    if (halt_.halted)
+        return VmExit{ExitReason::NpfHalt, id};
+    Slot &slot = slotFor(id);
+    if (!slot.fiber)
+        startFiber(id);
+    if (slot.fiber->finished())
+        return VmExit{ExitReason::Halted, id};
+
+    charge(config_.snpMode ? costs().vmenterRestore : costs().plainResume);
+    ++stats_.entries;
+
+    currentVmsa_ = id;
+    slot.fiber->resume();
+    currentVmsa_ = kInvalidVmsa;
+
+    if (slot.fiber->finished()) {
+        if (halt_.halted)
+            return VmExit{ExitReason::NpfHalt, id};
+        return VmExit{ExitReason::Halted, id};
+    }
+    return pendingExit_;
+}
+
+void
+Machine::guestExit(ExitReason reason)
+{
+    ensure(currentVmsa_ != kInvalidVmsa, "guestExit outside guest context");
+    if (shuttingDown_)
+        throw FiberShutdown{};
+
+    charge(config_.snpMode ? costs().vmgexitSave : costs().plainExit);
+    if (reason == ExitReason::NonAutomatic)
+        ++stats_.nonAutomaticExits;
+    else
+        ++stats_.automaticExits;
+
+    pendingExit_ = VmExit{reason, currentVmsa_};
+    Fiber::yieldToScheduler();
+
+    if (shuttingDown_)
+        throw FiberShutdown{};
+
+    if (pendingVector_ == currentVmsa_) {
+        pendingVector_ = kInvalidVmsa;
+        deliverVector();
+    }
+}
+
+void
+Machine::injectVector(VmsaId id)
+{
+    pendingVector_ = id;
+}
+
+void
+Machine::deliverVector()
+{
+    Vmsa &v = vmsaState(currentVmsa_);
+    if (v.idtHandlerVa == 0)
+        return; // no IDT installed yet (early boot)
+    // The CPU vectors to the handler in ring 0: fetch is exec-checked
+    // against the context's page tables and the RMP.
+    Cpl saved = v.cpl;
+    v.cpl = Cpl::Supervisor;
+    Vcpu cpu(*this, currentVmsa_);
+    cpu.checkExec(v.idtHandlerVa); // may throw #PF / #NPF and halt the CVM
+    charge(costs().irqHandle);
+    v.cpl = saved;
+}
+
+void
+Machine::pollTimer()
+{
+    if (!config_.interruptsEnabled || halt_.halted)
+        return;
+    if (currentVmsa_ == kInvalidVmsa)
+        return;
+    if (vmsaState(currentVmsa_).irqMasked)
+        return;
+    if (tsc_ < nextTimerTsc_)
+        return;
+    nextTimerTsc_ = tsc_ + costs().timerQuantum();
+    ++stats_.timerInterrupts;
+    guestExit(ExitReason::AutomaticIntr);
+}
+
+void
+Machine::recordHalt(const std::string &reason, Gpa gpa, Vmpl vmpl)
+{
+    if (halt_.halted)
+        return; // first fault wins
+    halt_.halted = true;
+    halt_.reason = reason;
+    halt_.gpa = gpa;
+    halt_.vmpl = vmpl;
+    logMessage(LogLevel::Debug, "machine", "CVM halted: " + reason);
+}
+
+} // namespace veil::snp

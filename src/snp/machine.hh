@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The simulated SEV-SNP machine: guest memory + RMP + VMSA slots with
+ * one fiber each + virtual TSC + PSP.
+ *
+ * Control flow mirrors hardware: the hypervisor calls enter() (VMENTER)
+ * which switches into the VMSA's fiber; guest software eventually
+ * performs a VMGEXIT (non-automatic, GHCB-carrying) or suffers an
+ * automatic exit (timer), which switches back and yields a VmExit.
+ * An RMP violation (#NPF) that reaches the fiber root halts the whole
+ * CVM, matching the paper's "CVM halts with continuous #NPFs" (§8.3).
+ */
+#ifndef VEIL_SNP_MACHINE_HH_
+#define VEIL_SNP_MACHINE_HH_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "snp/cycles.hh"
+#include "snp/fiber.hh"
+#include "snp/memory.hh"
+#include "snp/psp.hh"
+#include "snp/rmp.hh"
+#include "snp/vmsa.hh"
+
+namespace veil::snp {
+
+/** Static configuration of a machine. */
+struct MachineConfig
+{
+    size_t memBytes = 64 * 1024 * 1024;
+    uint32_t numVcpus = 4;
+    CostModel costs;
+    /// Deliver periodic timer interrupts to unmasked contexts.
+    bool interruptsEnabled = true;
+    /// SEV-SNP machine (heavy VMGEXIT) vs plain VM (cheap VMCALL); the
+    /// latter exists for the paper's 1100-cycle exit anchor (§9.1).
+    bool snpMode = true;
+    /// Platform (PSP) signing key.
+    Bytes pspKey = {0x50, 0x53, 0x50, 0x2d, 0x6b, 0x65, 0x79};
+};
+
+/** Why control returned to the hypervisor. */
+enum class ExitReason : uint8_t {
+    NonAutomatic,  ///< VMGEXIT with GHCB contents (I/O-like, §3)
+    AutomaticIntr, ///< timer interrupt, no guest state exposed
+    Halted,        ///< the VMSA's software returned (orderly stop)
+    NpfHalt,       ///< RMP violation halted the CVM
+};
+
+/** One exit event. */
+struct VmExit
+{
+    ExitReason reason;
+    VmsaId vmsa;
+};
+
+/** Machine-wide halt record (sticky). */
+struct HaltInfo
+{
+    bool halted = false;
+    std::string reason;
+    Gpa gpa = 0;
+    Vmpl vmpl = Vmpl::Vmpl0;
+};
+
+/** Hardware event counters. */
+struct MachineStats
+{
+    uint64_t entries = 0;
+    uint64_t nonAutomaticExits = 0;
+    uint64_t automaticExits = 0;
+    uint64_t timerInterrupts = 0;
+    uint64_t rmpadjusts = 0;
+    uint64_t pvalidates = 0;
+};
+
+/** The simulated machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineConfig &config() const { return config_; }
+    GuestMemory &memory() { return memory_; }
+    const GuestMemory &memory() const { return memory_; }
+    RmpTable &rmp() { return rmp_; }
+    const CostModel &costs() const { return config_.costs; }
+    Psp &psp() { return psp_; }
+
+    uint64_t tsc() const { return tsc_; }
+    void charge(uint64_t cycles) { tsc_ += cycles; }
+    double secondsAt(uint64_t cycles) const { return costs().seconds(cycles); }
+
+    const MachineStats &stats() const { return stats_; }
+    MachineStats &stats() { return stats_; }
+
+    /** Register a VMSA slot; RMP bookkeeping is the caller's business. */
+    VmsaId addVmsa(Vmsa state);
+
+    Vmsa &vmsaState(VmsaId id);
+    size_t vmsaCount() const { return slots_.size(); }
+
+    /** VMENTER: run the VMSA until its next exit (hypervisor only). */
+    VmExit enter(VmsaId id);
+
+    bool halted() const { return halt_.halted; }
+    const HaltInfo &haltInfo() const { return halt_; }
+
+    /** The VMSA currently executing (valid only inside guest fibers). */
+    VmsaId currentVmsaId() const { return currentVmsa_; }
+
+    // ---- Guest-fiber-side hardware services (used by Vcpu) ----
+
+    /** Exit to the hypervisor; returns when re-entered. */
+    void guestExit(ExitReason reason);
+
+    /** Deliver a pending timer interrupt if due (called from burn). */
+    void pollTimer();
+
+    /** Record a CVM halt (e.g. on #NPF). */
+    void recordHalt(const std::string &reason, Gpa gpa, Vmpl vmpl);
+
+    /**
+     * Queue an interrupt vector for @p id: on its next resume the
+     * hardware fetches the context's IDT handler (exec-checked against
+     * page tables and RMP, then charged the handler cost). This is how
+     * the hypervisor delivers timer interrupts — and how forcing
+     * interrupt handling into DomENC halts the CVM (§6.2, Table 2).
+     */
+    void injectVector(VmsaId id);
+
+  private:
+    struct Slot
+    {
+        Vmsa state;
+        std::unique_ptr<Fiber> fiber;
+    };
+
+    Slot &slotFor(VmsaId id);
+    void startFiber(VmsaId id);
+    void shutdownFibers();
+    void deliverVector();
+
+    MachineConfig config_;
+    GuestMemory memory_;
+    RmpTable rmp_;
+    Psp psp_;
+    std::deque<Slot> slots_;
+    uint64_t tsc_ = 0;
+    uint64_t nextTimerTsc_ = 0;
+    VmsaId currentVmsa_ = kInvalidVmsa;
+    VmsaId pendingVector_ = kInvalidVmsa;
+    VmExit pendingExit_{ExitReason::Halted, kInvalidVmsa};
+    HaltInfo halt_;
+    MachineStats stats_;
+    bool shuttingDown_ = false;
+};
+
+} // namespace veil::snp
+
+#endif // VEIL_SNP_MACHINE_HH_

@@ -1,0 +1,49 @@
+#include "snp/memory.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+
+namespace veil::snp {
+
+GuestMemory::GuestMemory(size_t bytes)
+{
+    ensure(bytes % kPageSize == 0, "GuestMemory: size not page-aligned");
+    ensure(bytes > 0, "GuestMemory: zero size");
+    data_.assign(bytes, 0);
+}
+
+bool
+GuestMemory::contains(Gpa addr, size_t len) const
+{
+    return addr <= data_.size() && len <= data_.size() - addr;
+}
+
+void
+GuestMemory::read(Gpa addr, void *out, size_t len) const
+{
+    if (!contains(addr, len))
+        panic(strfmt("GuestMemory::read OOB gpa=0x%llx len=%zu",
+                     (unsigned long long)addr, len));
+    std::memcpy(out, data_.data() + addr, len);
+}
+
+void
+GuestMemory::write(Gpa addr, const void *data, size_t len)
+{
+    if (!contains(addr, len))
+        panic(strfmt("GuestMemory::write OOB gpa=0x%llx len=%zu",
+                     (unsigned long long)addr, len));
+    std::memcpy(data_.data() + addr, data, len);
+}
+
+void
+GuestMemory::zeroPage(Gpa page)
+{
+    ensure(isPageAligned(page), "zeroPage: unaligned");
+    if (!contains(page, kPageSize))
+        panic("GuestMemory::zeroPage OOB");
+    std::memset(data_.data() + page, 0, kPageSize);
+}
+
+} // namespace veil::snp

@@ -1,0 +1,188 @@
+#include "snp/paging.hh"
+
+#include "base/log.hh"
+#include "snp/fault.hh"
+
+namespace veil::snp {
+
+unsigned
+ptIndex(Gva va, int level)
+{
+    return static_cast<unsigned>((va >> (kPageShift + 9 * level)) & 0x1ff);
+}
+
+std::optional<Translation>
+tryWalk(const GuestMemory &mem, Gpa cr3, Gva va, Access access, Cpl cpl)
+{
+    if (cr3 == 0) {
+        // Identity mapping: full supervisor rights, no user access.
+        if (cpl == Cpl::User)
+            return std::nullopt;
+        Gpa pa = va;
+        if (!mem.contains(pa, 1))
+            return std::nullopt;
+        return Translation{pa, PtePresent | PteWrite};
+    }
+
+    Gpa table = cr3;
+    uint64_t entry = 0;
+    for (int level = 3; level >= 0; --level) {
+        Gpa entry_addr = table + ptIndex(va, level) * 8;
+        if (!mem.contains(entry_addr, 8))
+            return std::nullopt;
+        entry = mem.readObj<uint64_t>(entry_addr);
+        if (!(entry & PtePresent))
+            return std::nullopt;
+        table = entry & kPteAddrMask;
+    }
+
+    // Leaf permission checks.
+    if (cpl == Cpl::User && !(entry & PteUser))
+        return std::nullopt;
+    if (access == Access::Write && !(entry & PteWrite))
+        return std::nullopt;
+    if (access == Access::Execute && (entry & PteNx))
+        return std::nullopt;
+
+    Gpa pa = (entry & kPteAddrMask) | (va & (kPageSize - 1));
+    return Translation{pa, entry};
+}
+
+Translation
+walk(const GuestMemory &mem, Gpa cr3, Gva va, Access access, Cpl cpl)
+{
+    // Distinguish not-present from protection faults for fault handlers.
+    auto t = tryWalk(mem, cr3, va, access, cpl);
+    if (t)
+        return *t;
+    bool present = false;
+    if (cr3 != 0) {
+        auto probe = tryWalk(mem, cr3, va, Access::Read, Cpl::Supervisor);
+        present = probe.has_value();
+    }
+    throw GuestPageFault(va, access, present);
+}
+
+PageTableEditor::PageTableEditor(GuestMemory &mem, FrameAllocFn alloc,
+                                 FrameFreeFn free_fn)
+    : mem_(mem), alloc_(std::move(alloc)), free_(std::move(free_fn))
+{
+}
+
+Gpa
+PageTableEditor::createRoot()
+{
+    Gpa root = alloc_();
+    ensure(isPageAligned(root), "PageTableEditor: unaligned table frame");
+    mem_.zeroPage(root);
+    return root;
+}
+
+Gpa
+PageTableEditor::ensureTable(Gpa table, unsigned idx)
+{
+    Gpa entry_addr = table + idx * 8;
+    uint64_t entry = mem_.readObj<uint64_t>(entry_addr);
+    if (entry & PtePresent)
+        return entry & kPteAddrMask;
+    Gpa frame = alloc_();
+    mem_.zeroPage(frame);
+    // Interior entries carry the most permissive flags; leaves restrict.
+    uint64_t e = (frame & kPteAddrMask) | PtePresent | PteWrite | PteUser;
+    mem_.writeObj<uint64_t>(entry_addr, e);
+    return frame;
+}
+
+void
+PageTableEditor::map(Gpa cr3, Gva va, Gpa pa, PageFlags flags)
+{
+    ensure(isPageAligned(va) && isPageAligned(pa),
+           "PageTableEditor::map: unaligned");
+    Gpa table = cr3;
+    for (int level = 3; level >= 1; --level)
+        table = ensureTable(table, ptIndex(va, level));
+    mem_.writeObj<uint64_t>(table + ptIndex(va, 0) * 8, flags.toPte(pa));
+}
+
+std::optional<Gpa>
+PageTableEditor::unmap(Gpa cr3, Gva va)
+{
+    Gpa table = cr3;
+    for (int level = 3; level >= 1; --level) {
+        uint64_t entry =
+            mem_.readObj<uint64_t>(table + ptIndex(va, level) * 8);
+        if (!(entry & PtePresent))
+            return std::nullopt;
+        table = entry & kPteAddrMask;
+    }
+    Gpa leaf_addr = table + ptIndex(va, 0) * 8;
+    uint64_t entry = mem_.readObj<uint64_t>(leaf_addr);
+    if (!(entry & PtePresent))
+        return std::nullopt;
+    mem_.writeObj<uint64_t>(leaf_addr, 0);
+    return entry & kPteAddrMask;
+}
+
+void
+PageTableEditor::protect(Gpa cr3, Gva va, PageFlags flags)
+{
+    auto old = leaf(cr3, va);
+    if (!old)
+        fatal("PageTableEditor::protect: page not mapped");
+    map(cr3, va, *old & kPteAddrMask, flags);
+}
+
+std::optional<uint64_t>
+PageTableEditor::leaf(Gpa cr3, Gva va) const
+{
+    Gpa table = cr3;
+    for (int level = 3; level >= 1; --level) {
+        uint64_t entry =
+            mem_.readObj<uint64_t>(table + ptIndex(va, level) * 8);
+        if (!(entry & PtePresent))
+            return std::nullopt;
+        table = entry & kPteAddrMask;
+    }
+    uint64_t entry = mem_.readObj<uint64_t>(table + ptIndex(va, 0) * 8);
+    if (!(entry & PtePresent))
+        return std::nullopt;
+    return entry;
+}
+
+void
+PageTableEditor::forEachLeaf(Gpa cr3, Gva lo, Gva hi,
+                             const std::function<void(Gva, uint64_t)> &cb) const
+{
+    // Walk level by level; ranges in this simulator are modest, so a
+    // page-stride probe is fast enough and far simpler than a recursive
+    // sparse traversal.
+    for (Gva va = pageAlignDown(lo); va < hi; va += kPageSize) {
+        auto e = leaf(cr3, va);
+        if (e)
+            cb(va, *e);
+    }
+}
+
+void
+PageTableEditor::destroyLevel(Gpa table, int level)
+{
+    // Levels 3..1 point at child tables; level 0 entries point at data
+    // pages, which belong to the address-space owner and are freed
+    // separately.
+    if (level > 0) {
+        for (unsigned i = 0; i < 512; ++i) {
+            uint64_t entry = mem_.readObj<uint64_t>(table + i * 8);
+            if (entry & PtePresent)
+                destroyLevel(entry & kPteAddrMask, level - 1);
+        }
+    }
+    free_(table);
+}
+
+void
+PageTableEditor::destroyRoot(Gpa cr3)
+{
+    destroyLevel(cr3, 3);
+}
+
+} // namespace veil::snp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Four-level x86-64-style guest page tables (4 KiB leaves only).
+ *
+ * The walker is "hardware": it reads table pages raw and raises
+ * GuestPageFault on missing/insufficient PTEs. PageTableEditor is the
+ * software-side helper that kernel / VeilS-ENC use to build and edit
+ * address spaces; table frames come from a caller-supplied allocator so
+ * the kernel allocates from its pool and VeilS-ENC from protected
+ * service memory (the cloned-table design of §6.2).
+ */
+#ifndef VEIL_SNP_PAGING_HH_
+#define VEIL_SNP_PAGING_HH_
+
+#include <functional>
+#include <optional>
+
+#include "snp/memory.hh"
+#include "snp/types.hh"
+
+namespace veil::snp {
+
+/** PTE flag bits (subset of x86-64). */
+enum PteBits : uint64_t {
+    PtePresent = 1ULL << 0,
+    PteWrite = 1ULL << 1,
+    PteUser = 1ULL << 2,
+    PteNx = 1ULL << 63,
+};
+
+constexpr uint64_t kPteAddrMask = 0x000ffffffffff000ULL;
+
+/** Leaf mapping attributes. */
+struct PageFlags
+{
+    bool write = true;
+    bool user = false;
+    bool exec = false; ///< false => NX set
+
+    uint64_t
+    toPte(Gpa pa) const
+    {
+        uint64_t e = (pa & kPteAddrMask) | PtePresent;
+        if (write)
+            e |= PteWrite;
+        if (user)
+            e |= PteUser;
+        if (!exec)
+            e |= PteNx;
+        return e;
+    }
+};
+
+/** Result of a successful walk. */
+struct Translation
+{
+    Gpa gpa = 0;
+    uint64_t pte = 0;
+};
+
+/**
+ * Hardware page walk. Throws GuestPageFault if the mapping is absent or
+ * the PTE denies the access for the given CPL. cr3 == 0 selects the
+ * identity mapping used by VeilMon and the protected services (their
+ * isolation comes from VMPL, not from paging).
+ */
+Translation walk(const GuestMemory &mem, Gpa cr3, Gva va, Access access,
+                 Cpl cpl);
+
+/** Non-throwing variant for introspection. */
+std::optional<Translation> tryWalk(const GuestMemory &mem, Gpa cr3, Gva va,
+                                   Access access, Cpl cpl);
+
+/** Allocates a zeroed, page-aligned table frame; returns its GPA. */
+using FrameAllocFn = std::function<Gpa()>;
+/** Releases a table frame. */
+using FrameFreeFn = std::function<void(Gpa)>;
+
+/**
+ * Software editor for a page-table tree rooted at cr3.
+ *
+ * All table reads/writes are raw guest-memory operations; callers are
+ * trusted software operating on frames they own (the RMP still protects
+ * those frames from *other* domains).
+ */
+class PageTableEditor
+{
+  public:
+    PageTableEditor(GuestMemory &mem, FrameAllocFn alloc, FrameFreeFn free_fn);
+
+    /** Allocate a fresh empty root; returns the new cr3. */
+    Gpa createRoot();
+
+    /** Map one page; replaces any existing mapping at @p va. */
+    void map(Gpa cr3, Gva va, Gpa pa, PageFlags flags);
+
+    /** Unmap one page; returns the old PA if it was mapped. */
+    std::optional<Gpa> unmap(Gpa cr3, Gva va);
+
+    /** Change leaf flags; throws FatalError if not mapped. */
+    void protect(Gpa cr3, Gva va, PageFlags flags);
+
+    /** Leaf PTE at @p va, if present. */
+    std::optional<uint64_t> leaf(Gpa cr3, Gva va) const;
+
+    /**
+     * Visit every present leaf in [lo, hi): cb(va, pte). Used by
+     * VeilS-ENC's initialization invariant scans.
+     */
+    void forEachLeaf(Gpa cr3, Gva lo, Gva hi,
+                     const std::function<void(Gva, uint64_t)> &cb) const;
+
+    /** Free the whole tree (table frames only, not mapped data pages). */
+    void destroyRoot(Gpa cr3);
+
+  private:
+    Gpa ensureTable(Gpa table, unsigned idx);
+    void destroyLevel(Gpa table, int level);
+
+    GuestMemory &mem_;
+    FrameAllocFn alloc_;
+    FrameFreeFn free_;
+};
+
+/** Index of @p va at page-table @p level (3 = root). */
+unsigned ptIndex(Gva va, int level);
+
+} // namespace veil::snp
+
+#endif // VEIL_SNP_PAGING_HH_

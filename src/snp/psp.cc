@@ -1,0 +1,49 @@
+#include "snp/psp.hh"
+
+#include "base/log.hh"
+
+namespace veil::snp {
+
+Psp::Psp(Bytes platform_key) : key_(std::move(platform_key))
+{
+    ensure(!key_.empty(), "Psp: empty platform key");
+}
+
+void
+Psp::setLaunchDigest(const crypto::Digest &digest)
+{
+    ensure(!measured_, "Psp: launch digest already recorded");
+    launchDigest_ = digest;
+    measured_ = true;
+}
+
+crypto::Digest
+Psp::reportDigest(const AttestationReport &r) const
+{
+    crypto::Sha256 h;
+    h.update(r.measurement.data(), r.measurement.size());
+    h.update(&r.requesterVmpl, 1);
+    h.update(r.reportData.data(), r.reportData.size());
+    return h.finish();
+}
+
+AttestationReport
+Psp::report(Vmpl vmpl, const ReportData &data) const
+{
+    ensure(measured_, "Psp: attestation requested before launch measurement");
+    AttestationReport r;
+    r.measurement = launchDigest_;
+    r.requesterVmpl = static_cast<uint8_t>(vmpl);
+    r.reportData = data;
+    r.signature = crypto::signDigest(key_, "psp-report", reportDigest(r));
+    return r;
+}
+
+bool
+Psp::verify(const AttestationReport &report) const
+{
+    return crypto::verifyDigest(key_, "psp-report", reportDigest(report),
+                                report.signature);
+}
+
+} // namespace veil::snp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simulated AMD Platform Security Processor: records the CVM launch
+ * measurement and produces signed attestation reports that include the
+ * VMPL of the requesting software and 64 bytes of requester data (used
+ * by VeilMon to bind its DH public key, §5.1).
+ *
+ * Substitution note: reports are authenticated with HMAC-SHA256 under a
+ * provisioned platform key instead of the real VCEK ECDSA chain; the
+ * remote-verifier logic is otherwise identical.
+ */
+#ifndef VEIL_SNP_PSP_HH_
+#define VEIL_SNP_PSP_HH_
+
+#include <array>
+
+#include "crypto/sha256.hh"
+#include "crypto/sig.hh"
+#include "snp/types.hh"
+
+namespace veil::snp {
+
+/** Free-form data the requester binds into the report. */
+using ReportData = std::array<uint8_t, 64>;
+
+/** A signed attestation report (§3, §5.1). */
+struct AttestationReport
+{
+    crypto::Digest measurement{};  ///< SHA-256 of the boot disk image
+    uint8_t requesterVmpl = 0;     ///< VMPL of the requesting software
+    ReportData reportData{};       ///< e.g. DH public key material
+    crypto::Signature signature{}; ///< platform signature
+};
+
+/** The platform security processor for one machine. */
+class Psp
+{
+  public:
+    explicit Psp(Bytes platform_key);
+
+    /** Record the launch measurement (done once by the VM launcher). */
+    void setLaunchDigest(const crypto::Digest &digest);
+
+    const crypto::Digest &launchDigest() const { return launchDigest_; }
+
+    /** Produce a signed report for software running at @p vmpl. */
+    AttestationReport report(Vmpl vmpl, const ReportData &data) const;
+
+    /** Remote-user verification against the platform key. */
+    bool verify(const AttestationReport &report) const;
+
+  private:
+    crypto::Digest reportDigest(const AttestationReport &r) const;
+
+    Bytes key_;
+    crypto::Digest launchDigest_{};
+    bool measured_ = false;
+};
+
+} // namespace veil::snp
+
+#endif // VEIL_SNP_PSP_HH_

@@ -1,0 +1,172 @@
+#include "snp/rmp.hh"
+
+#include "base/log.hh"
+#include "snp/fault.hh"
+
+namespace veil::snp {
+
+RmpTable::RmpTable(uint64_t page_count)
+{
+    entries_.resize(page_count);
+}
+
+RmpEntry &
+RmpTable::entryFor(Gpa page)
+{
+    ensure(isPageAligned(page), "RMP: unaligned page address");
+    uint64_t idx = pageIndex(page);
+    if (idx >= entries_.size())
+        panic(strfmt("RMP: page 0x%llx beyond guest memory",
+                     (unsigned long long)page));
+    return entries_[idx];
+}
+
+const RmpEntry &
+RmpTable::entryFor(Gpa page) const
+{
+    return const_cast<RmpTable *>(this)->entryFor(page);
+}
+
+void
+RmpTable::hvAssign(Gpa page)
+{
+    RmpEntry &e = entryFor(page);
+    e.assigned = true;
+    e.validated = false;
+    e.vmsaPage = false;
+    for (auto &p : e.perms)
+        p = kPermNone;
+}
+
+void
+RmpTable::hvReclaim(Gpa page)
+{
+    RmpEntry &e = entryFor(page);
+    e = RmpEntry{};
+}
+
+void
+RmpTable::hvSetShared(Gpa page, bool shared)
+{
+    RmpEntry &e = entryFor(page);
+    ensure(!e.vmsaPage, "hvSetShared: VMSA pages cannot be shared");
+    e.shared = shared;
+}
+
+bool
+RmpTable::isShared(Gpa page) const
+{
+    return entryFor(pageAlignDown(page)).shared;
+}
+
+void
+RmpTable::pvalidate(Vmpl caller, Gpa page, bool validate)
+{
+    if (caller != Vmpl::Vmpl0) {
+        throw NpfFault(page, caller, Access::Write,
+                       "PVALIDATE is restricted to VMPL-0");
+    }
+    RmpEntry &e = entryFor(page);
+    if (!e.assigned) {
+        throw NpfFault(page, caller, Access::Write,
+                       "PVALIDATE on unassigned page");
+    }
+    e.validated = validate;
+    e.vmsaPage = false;
+    e.perms[0] = validate ? kPermAll : kPermNone;
+    for (int i = 1; i < kNumVmpls; ++i)
+        e.perms[i] = kPermNone;
+}
+
+void
+RmpTable::rmpadjust(Vmpl caller, Gpa page, Vmpl target, PermMask perms,
+                    bool make_vmsa)
+{
+    RmpEntry &e = entryFor(page);
+    if (vmplIndex(target) <= vmplIndex(caller)) {
+        throw NpfFault(page, caller, Access::Write,
+                       "RMPADJUST target must be less privileged than caller");
+    }
+    if (!e.validated) {
+        throw NpfFault(page, caller, Access::Write,
+                       "RMPADJUST on non-validated page");
+    }
+    // The instruction references the page; a caller without read access
+    // takes a nested page fault (the attack path in §8.1/§8.3).
+    if (!(e.perms[vmplIndex(caller)] & PermRead)) {
+        throw NpfFault(page, caller, Access::Read,
+                       "RMPADJUST on page restricted for the caller");
+    }
+    if (make_vmsa) {
+        if (caller != Vmpl::Vmpl0) {
+            throw NpfFault(page, caller, Access::Write,
+                           "RMPADJUST.VMSA is restricted to VMPL-0");
+        }
+        e.vmsaPage = true;
+        // In-use VMSA pages are inaccessible to all lower VMPLs.
+        for (int i = 1; i < kNumVmpls; ++i)
+            e.perms[i] = kPermNone;
+        return;
+    }
+    e.perms[vmplIndex(target)] = perms;
+}
+
+void
+RmpTable::clearVmsa(Vmpl caller, Gpa page)
+{
+    if (caller != Vmpl::Vmpl0) {
+        throw NpfFault(page, caller, Access::Write,
+                       "VMSA teardown is restricted to VMPL-0");
+    }
+    RmpEntry &e = entryFor(page);
+    e.vmsaPage = false;
+}
+
+bool
+RmpTable::allowed(Vmpl vmpl, Gpa page, Access access, Cpl cpl) const
+{
+    const RmpEntry &e = entryFor(pageAlignDown(page));
+    if (e.shared)
+        return access != Access::Execute;
+    if (!e.validated)
+        return false;
+    if (e.vmsaPage && vmpl != Vmpl::Vmpl0)
+        return false;
+    PermMask have = e.perms[vmplIndex(vmpl)];
+    switch (access) {
+      case Access::Read:
+        return have & PermRead;
+      case Access::Write:
+        return have & PermWrite;
+      case Access::Execute:
+        return cpl == Cpl::User ? (have & PermUserExec)
+                                : (have & PermSupervisorExec);
+    }
+    return false;
+}
+
+PermMask
+RmpTable::perms(Gpa page, Vmpl vmpl) const
+{
+    return entryFor(page).perms[vmplIndex(vmpl)];
+}
+
+bool
+RmpTable::isValidated(Gpa page) const
+{
+    return entryFor(page).validated;
+}
+
+bool
+RmpTable::isAssigned(Gpa page) const
+{
+    return entryFor(page).assigned;
+}
+
+bool
+RmpTable::isVmsaPage(Gpa page) const
+{
+    return entryFor(page).vmsaPage;
+}
+
+} // namespace veil::snp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reverse-map (RMP) table: the SEV-SNP structure that tracks, for each
+ * guest-physical page, its assignment/validation state and the per-VMPL
+ * access permissions (§3 of the paper).
+ *
+ * Semantics implemented:
+ *  - The hypervisor assigns pages (RMPUPDATE); the guest must PVALIDATE
+ *    them before use. PVALIDATE is architecturally restricted to VMPL-0
+ *    (this is what forces Veil's page-state-change delegation, §5.3).
+ *  - On validation a page grants full access to VMPL-0 and none to
+ *    lower privilege levels; VMPL-0 (and transitively any VMPL for
+ *    numerically greater VMPLs) grants/revokes with RMPADJUST.
+ *  - RMPADJUST touches its target page, so executing it on a page the
+ *    caller cannot access raises #NPF — the paper's "OS tries to lift
+ *    restrictions and the CVM halts" behaviour (§5.1, §8.3).
+ *  - VMSA pages are created via RMPADJUST with the VMSA attribute
+ *    (VMPL-0 only) and become inaccessible to VMPL-1..3.
+ */
+#ifndef VEIL_SNP_RMP_HH_
+#define VEIL_SNP_RMP_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "snp/types.hh"
+
+namespace veil::snp {
+
+/** Per-page RMP state. */
+struct RmpEntry
+{
+    bool assigned = false;  ///< RMPUPDATE'd to this guest by the hypervisor
+    bool validated = false; ///< guest executed PVALIDATE
+    bool vmsaPage = false;  ///< holds a VMSA (created via RMPADJUST.VMSA)
+    bool shared = false;    ///< hypervisor-shared (unencrypted) page
+    PermMask perms[kNumVmpls] = {kPermNone, kPermNone, kPermNone, kPermNone};
+};
+
+/** The RMP for one guest. Indexed by page number. */
+class RmpTable
+{
+  public:
+    explicit RmpTable(uint64_t page_count);
+
+    uint64_t pageCount() const { return entries_.size(); }
+
+    /** Hypervisor-side RMPUPDATE: assign a page to the guest. */
+    void hvAssign(Gpa page);
+
+    /** Hypervisor-side RMPUPDATE: reclaim a page (guest loses it). */
+    void hvReclaim(Gpa page);
+
+    /**
+     * Hypervisor-side page-state change to shared/private. The guest
+     * must have PVALIDATE'd the transition first (delegated to VeilMon,
+     * §5.3); this call just flips the hypervisor-visible state. Shared
+     * pages are readable and writable by every VMPL and by the
+     * hypervisor, and are never executable.
+     */
+    void hvSetShared(Gpa page, bool shared);
+
+    bool isShared(Gpa page) const;
+
+    /**
+     * Guest PVALIDATE. Only legal from VMPL-0; other VMPLs raise
+     * NpfFault ("architecturally restricted", §5.3). Grants VMPL-0 full
+     * permissions and clears lower-VMPL permissions.
+     */
+    void pvalidate(Vmpl caller, Gpa page, bool validate);
+
+    /**
+     * Guest RMPADJUST: @p caller sets @p perms for @p target on @p page.
+     * Requires target numerically greater than caller, a validated page,
+     * and read access for the caller (the instruction touches the page).
+     * With @p make_vmsa the page becomes a VMSA page (VMPL-0 only).
+     */
+    void rmpadjust(Vmpl caller, Gpa page, Vmpl target, PermMask perms,
+                   bool make_vmsa = false);
+
+    /** Permission check used on every guest access. */
+    bool allowed(Vmpl vmpl, Gpa page, Access access, Cpl cpl) const;
+
+    /** Raw permissions for tests and introspection. */
+    PermMask perms(Gpa page, Vmpl vmpl) const;
+    bool isValidated(Gpa page) const;
+    bool isAssigned(Gpa page) const;
+    bool isVmsaPage(Gpa page) const;
+
+    /** Clear the VMSA attribute (when a VMSA is destroyed). */
+    void clearVmsa(Vmpl caller, Gpa page);
+
+  private:
+    RmpEntry &entryFor(Gpa page);
+    const RmpEntry &entryFor(Gpa page) const;
+
+    std::vector<RmpEntry> entries_;
+};
+
+} // namespace veil::snp
+
+#endif // VEIL_SNP_RMP_HH_

@@ -1,0 +1,33 @@
+#include "snp/types.hh"
+
+#include "base/log.hh"
+
+namespace veil::snp {
+
+std::string
+toString(Vmpl v)
+{
+    return strfmt("VMPL-%d", vmplIndex(v));
+}
+
+std::string
+toString(Cpl c)
+{
+    return strfmt("CPL-%d", static_cast<int>(c));
+}
+
+std::string
+toString(Access a)
+{
+    switch (a) {
+      case Access::Read:
+        return "read";
+      case Access::Write:
+        return "write";
+      case Access::Execute:
+        return "execute";
+    }
+    return "?";
+}
+
+} // namespace veil::snp

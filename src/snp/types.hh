@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Core architectural types for the SEV-SNP simulator: guest addresses,
+ * VMPLs, CPLs, page permissions, and page-size constants.
+ */
+#ifndef VEIL_SNP_TYPES_HH_
+#define VEIL_SNP_TYPES_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace veil::snp {
+
+/** Guest-physical address. */
+using Gpa = uint64_t;
+
+/** Guest-virtual address. */
+using Gva = uint64_t;
+
+/** Index of a VMSA slot within a Machine. */
+using VmsaId = uint32_t;
+
+constexpr VmsaId kInvalidVmsa = ~VmsaId(0);
+
+/** Page geometry (4 KiB pages only, like the paper's prototype). */
+constexpr size_t kPageShift = 12;
+constexpr size_t kPageSize = size_t(1) << kPageShift;
+
+constexpr Gpa
+pageAlignDown(Gpa a)
+{
+    return a & ~Gpa(kPageSize - 1);
+}
+
+constexpr Gpa
+pageAlignUp(Gpa a)
+{
+    return (a + kPageSize - 1) & ~Gpa(kPageSize - 1);
+}
+
+constexpr uint64_t
+pageIndex(Gpa a)
+{
+    return a >> kPageShift;
+}
+
+constexpr bool
+isPageAligned(Gpa a)
+{
+    return (a & (kPageSize - 1)) == 0;
+}
+
+/**
+ * Virtual machine privilege level. VMPL0 is most privileged; a VCPU
+ * instance's VMPL is fixed at VMSA creation (§3 of the paper).
+ */
+enum class Vmpl : uint8_t {
+    Vmpl0 = 0,
+    Vmpl1 = 1,
+    Vmpl2 = 2,
+    Vmpl3 = 3,
+};
+
+constexpr int kNumVmpls = 4;
+
+inline int
+vmplIndex(Vmpl v)
+{
+    return static_cast<int>(v);
+}
+
+/** x86 protection ring; only ring 0 and ring 3 are modelled. */
+enum class Cpl : uint8_t {
+    Supervisor = 0,
+    User = 3,
+};
+
+/**
+ * RMP per-VMPL page permissions. The expressive 4-permission set the
+ * paper describes (§3): read, write, user-execute, supervisor-execute.
+ */
+enum PermBits : uint8_t {
+    PermRead = 1 << 0,
+    PermWrite = 1 << 1,
+    PermUserExec = 1 << 2,
+    PermSupervisorExec = 1 << 3,
+};
+
+using PermMask = uint8_t;
+
+constexpr PermMask kPermNone = 0;
+constexpr PermMask kPermAll =
+    PermRead | PermWrite | PermUserExec | PermSupervisorExec;
+constexpr PermMask kPermRw = PermRead | PermWrite;
+constexpr PermMask kPermRx = PermRead | PermUserExec | PermSupervisorExec;
+
+/** Kind of memory access, for permission checks and fault reporting. */
+enum class Access : uint8_t {
+    Read,
+    Write,
+    Execute,
+};
+
+std::string toString(Vmpl v);
+std::string toString(Cpl c);
+std::string toString(Access a);
+
+} // namespace veil::snp
+
+#endif // VEIL_SNP_TYPES_HH_

@@ -1,0 +1,225 @@
+#include "snp/vcpu.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/log.hh"
+#include "snp/fault.hh"
+
+namespace veil::snp {
+
+void
+Vcpu::checkRmp(Gpa pa, size_t len, Access access)
+{
+    RmpTable &rmp = machine_.rmp();
+    Gpa first = pageAlignDown(pa);
+    Gpa last = pageAlignDown(pa + (len ? len - 1 : 0));
+    for (Gpa page = first; page <= last; page += kPageSize) {
+        if (!rmp.allowed(vmpl(), page, access, cpl())) {
+            throw NpfFault(page, vmpl(), access,
+                           "RMP permission violation");
+        }
+    }
+}
+
+void
+Vcpu::accessVirtual(Gva va, void *buf, size_t len, Access access)
+{
+    machine_.charge(costs().copyCost(len));
+    auto *p = static_cast<uint8_t *>(buf);
+    size_t done = 0;
+    while (done < len) {
+        Gva cur = va + done;
+        size_t in_page = kPageSize - (cur & (kPageSize - 1));
+        size_t take = std::min(len - done, in_page);
+        Translation t =
+            walk(machine_.memory(), vmsa().cr3, cur, access, cpl());
+        checkRmp(t.gpa, take, access);
+        if (access == Access::Write)
+            machine_.memory().write(t.gpa, p + done, take);
+        else
+            machine_.memory().read(t.gpa, p + done, take);
+        done += take;
+    }
+    machine_.pollTimer();
+}
+
+void
+Vcpu::read(Gva va, void *out, size_t len)
+{
+    accessVirtual(va, out, len, Access::Read);
+}
+
+void
+Vcpu::write(Gva va, const void *data, size_t len)
+{
+    accessVirtual(va, const_cast<void *>(data), len, Access::Write);
+}
+
+std::string
+Vcpu::readCStr(Gva va, size_t max_len)
+{
+    std::string out;
+    for (size_t i = 0; i < max_len; ++i) {
+        char c;
+        read(va + i, &c, 1);
+        if (c == '\0')
+            return out;
+        out.push_back(c);
+    }
+    fatal("readCStr: unterminated string");
+}
+
+void
+Vcpu::checkExec(Gva va)
+{
+    Translation t =
+        walk(machine_.memory(), vmsa().cr3, va, Access::Execute, cpl());
+    checkRmp(t.gpa, 1, Access::Execute);
+}
+
+Gpa
+Vcpu::translate(Gva va, Access access) const
+{
+    Translation t = walk(machine_.memory(), vmsa().cr3, va, access, cpl());
+    return t.gpa;
+}
+
+void
+Vcpu::checkPhysPrivilege(Gpa pa, size_t len)
+{
+    // Physical-address operations model supervisor accesses through the
+    // direct map. Ring-3 code has no such instruction path — except for
+    // hypervisor-shared pages (the user-mapped GHCB protocol, §6.2),
+    // which stand in for their user-VA mappings.
+    if (cpl() != Cpl::User)
+        return;
+    Gpa first = pageAlignDown(pa);
+    Gpa last = pageAlignDown(pa + (len ? len - 1 : 0));
+    for (Gpa page = first; page <= last; page += kPageSize) {
+        if (!machine_.rmp().isShared(page))
+            panic("Vcpu: physical access from CPL-3 to a private page");
+    }
+}
+
+void
+Vcpu::readPhys(Gpa pa, void *out, size_t len)
+{
+    machine_.charge(costs().copyCost(len));
+    checkPhysPrivilege(pa, len);
+    checkRmp(pa, len, Access::Read);
+    machine_.memory().read(pa, out, len);
+}
+
+void
+Vcpu::writePhys(Gpa pa, const void *data, size_t len)
+{
+    machine_.charge(costs().copyCost(len));
+    checkPhysPrivilege(pa, len);
+    checkRmp(pa, len, Access::Write);
+    machine_.memory().write(pa, data, len);
+}
+
+void
+Vcpu::zeroPhys(Gpa page)
+{
+    machine_.charge(costs().copyCost(kPageSize));
+    checkRmp(page, kPageSize, Access::Write);
+    machine_.memory().zeroPage(page);
+}
+
+void
+Vcpu::rmpadjust(Gpa page, Vmpl target, PermMask perms, bool warm)
+{
+    machine_.charge(warm ? costs().rmpadjustWarm : costs().rmpadjustPage);
+    ++machine_.stats().rmpadjusts;
+    machine_.rmp().rmpadjust(vmpl(), page, target, perms);
+}
+
+void
+Vcpu::pvalidate(Gpa page, bool validate)
+{
+    machine_.charge(costs().pvalidatePage);
+    ++machine_.stats().pvalidates;
+    machine_.rmp().pvalidate(vmpl(), page, validate);
+}
+
+VmsaId
+Vcpu::createVmsa(Gpa page, uint32_t vcpu_id, Vmpl vmpl_level, bool irq_masked,
+                 GuestEntry entry)
+{
+    machine_.charge(costs().vmsaInit);
+    ++machine_.stats().rmpadjusts;
+    // RMPADJUST with the VMSA attribute: VMPL-0 only, marks the page.
+    machine_.rmp().rmpadjust(vmpl(), page, Vmpl::Vmpl1, kPermNone,
+                             /*make_vmsa=*/true);
+    Vmsa state;
+    state.vcpuId = vcpu_id;
+    state.vmpl = vmpl_level;
+    state.cpl = Cpl::Supervisor;
+    state.page = page;
+    state.irqMasked = irq_masked;
+    state.entry = std::move(entry);
+    return machine_.addVmsa(std::move(state));
+}
+
+void
+Vcpu::vmgexit()
+{
+    machine_.guestExit(ExitReason::NonAutomatic);
+}
+
+uint64_t
+Vcpu::hypercall(const Ghcb &request)
+{
+    writeGhcb(request);
+    vmgexit();
+    return readGhcb().result;
+}
+
+void
+Vcpu::burn(uint64_t cycles)
+{
+    machine_.charge(cycles);
+    machine_.pollTimer();
+}
+
+void
+Vcpu::wrmsrGhcb(Gpa gpa)
+{
+    if (cpl() != Cpl::Supervisor)
+        fatal("wrmsr(GHCB) requires CPL-0");
+    ensure(isPageAligned(gpa), "GHCB must be page-aligned");
+    vmsa().ghcbGpa = gpa;
+}
+
+Ghcb
+Vcpu::readGhcb()
+{
+    Gpa gpa = vmsa().ghcbGpa;
+    if (gpa == kNoGhcb)
+        fatal("GHCB MSR not set");
+    Ghcb g;
+    readPhys(gpa, &g, sizeof(g));
+    return g;
+}
+
+void
+Vcpu::writeGhcb(const Ghcb &g)
+{
+    Gpa gpa = vmsa().ghcbGpa;
+    if (gpa == kNoGhcb)
+        fatal("GHCB MSR not set");
+    writePhys(gpa, &g, sizeof(g));
+}
+
+AttestationReport
+Vcpu::attest(const ReportData &report_data)
+{
+    // SNP guest requests travel encrypted through the hypervisor to the
+    // PSP; we model the round trip cost and call the PSP directly.
+    machine_.charge(costs().domainSwitchRoundTrip());
+    return machine_.psp().report(vmpl(), report_data);
+}
+
+} // namespace veil::snp

@@ -1,0 +1,69 @@
+#include "veil/channel.hh"
+
+#include "crypto/hmac.hh"
+
+namespace veil::core {
+
+namespace {
+// Wire format: [nonce:8][len:4][ciphertext:len][mac:32]
+constexpr size_t kHeader = 12;
+constexpr size_t kMacLen = 32;
+} // namespace
+
+SecureChannel::SecureChannel(const crypto::SessionKeys &keys, bool initiator)
+    : cipher_(keys.encKey),
+      macKey_(keys.macKey.begin(), keys.macKey.end()),
+      // Initiator sends even nonces, responder odd: directions never
+      // collide in the CTR keystream or the replay window.
+      txNonce_(initiator ? 0 : 1),
+      rxNonce_(initiator ? 1 : 0)
+{
+}
+
+Bytes
+SecureChannel::seal(const Bytes &plaintext)
+{
+    uint64_t nonce = txNonce_;
+    txNonce_ += 2;
+
+    Bytes out;
+    appendLe<uint64_t>(out, nonce);
+    appendLe<uint32_t>(out, static_cast<uint32_t>(plaintext.size()));
+    size_t ct_off = out.size();
+    out.resize(ct_off + plaintext.size());
+    crypto::aesCtrXor(cipher_, nonce, 0, plaintext.data(), out.data() + ct_off,
+                      plaintext.size());
+
+    crypto::Digest mac = crypto::HmacSha256::mac(macKey_, out);
+    out.insert(out.end(), mac.begin(), mac.end());
+    return out;
+}
+
+std::optional<Bytes>
+SecureChannel::open(const Bytes &sealed)
+{
+    if (sealed.size() < kHeader + kMacLen)
+        return std::nullopt;
+    size_t body_len = sealed.size() - kMacLen;
+
+    crypto::Digest mac =
+        crypto::HmacSha256::mac(macKey_, sealed.data(), body_len);
+    if (!ctEqual(mac.data(), sealed.data() + body_len, kMacLen))
+        return std::nullopt;
+
+    uint64_t nonce = loadLe<uint64_t>(sealed.data());
+    uint32_t len = loadLe<uint32_t>(sealed.data() + 8);
+    if (len != body_len - kHeader)
+        return std::nullopt;
+    // Peer nonces share our rx parity and must strictly increase.
+    if ((nonce & 1) != (rxNonce_ & 1) || nonce < rxNonce_)
+        return std::nullopt;
+    rxNonce_ = nonce + 2;
+
+    Bytes plain(len);
+    crypto::aesCtrXor(cipher_, nonce, 0, sealed.data() + kHeader, plain.data(),
+                      len);
+    return plain;
+}
+
+} // namespace veil::core

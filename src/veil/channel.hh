@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Authenticated-encryption channel between VeilMon (and its protected
+ * services) and the remote user (§5.1). Established after SEV remote
+ * attestation binds VeilMon's DH public key; every message is
+ * AES-128-CTR encrypted and HMAC-SHA256 authenticated with a strictly
+ * increasing nonce (replay protection). All traffic transits the
+ * untrusted kernel's network stack, which can drop or corrupt but not
+ * forge or read messages.
+ */
+#ifndef VEIL_VEIL_CHANNEL_HH_
+#define VEIL_VEIL_CHANNEL_HH_
+
+#include <optional>
+
+#include "crypto/aes.hh"
+#include "crypto/dh.hh"
+
+namespace veil::core {
+
+/** One endpoint of the secure channel. */
+class SecureChannel
+{
+  public:
+    /**
+     * @param keys      derived session keys (both sides derive the same)
+     * @param initiator true for the remote user, false for VeilMon;
+     *                  splits the nonce space between directions.
+     */
+    SecureChannel(const crypto::SessionKeys &keys, bool initiator);
+
+    /** Encrypt + authenticate @p plaintext. */
+    Bytes seal(const Bytes &plaintext);
+
+    /**
+     * Verify + decrypt a sealed message from the peer. Returns nullopt
+     * on MAC failure, malformed framing, or nonce replay.
+     */
+    std::optional<Bytes> open(const Bytes &sealed);
+
+  private:
+    crypto::Aes128 cipher_;
+    Bytes macKey_;
+    uint64_t txNonce_;
+    uint64_t rxNonce_;
+};
+
+} // namespace veil::core
+
+#endif // VEIL_VEIL_CHANNEL_HH_

@@ -1,0 +1,132 @@
+#include "veil/layout.hh"
+
+#include "base/log.hh"
+
+namespace veil::core {
+
+using namespace snp;
+
+Gpa
+CvmLayout::osGhcb(uint32_t vcpu) const
+{
+    ensure(vcpu < numVcpus, "layout: bad vcpu");
+    return osGhcbBase + Gpa(vcpu) * kPageSize;
+}
+
+Gpa
+CvmLayout::monGhcb(uint32_t vcpu) const
+{
+    ensure(vcpu < numVcpus, "layout: bad vcpu");
+    return monGhcbBase + Gpa(vcpu) * kPageSize;
+}
+
+Gpa
+CvmLayout::srvGhcb(uint32_t vcpu) const
+{
+    ensure(vcpu < numVcpus, "layout: bad vcpu");
+    return srvGhcbBase + Gpa(vcpu) * kPageSize;
+}
+
+std::vector<Gpa>
+CvmLayout::launchSharedPages() const
+{
+    std::vector<Gpa> out;
+    for (uint32_t v = 0; v < numVcpus; ++v) {
+        out.push_back(monGhcb(v));
+        out.push_back(srvGhcb(v));
+        out.push_back(osGhcb(v));
+    }
+    return out;
+}
+
+Gpa
+CvmLayout::osMonIdcb(uint32_t vcpu) const
+{
+    ensure(vcpu < numVcpus, "layout: bad vcpu");
+    return osMonIdcbBase + Gpa(vcpu) * kPageSize;
+}
+
+Gpa
+CvmLayout::osSrvIdcb(uint32_t vcpu) const
+{
+    ensure(vcpu < numVcpus, "layout: bad vcpu");
+    return osSrvIdcbBase + Gpa(vcpu) * kPageSize;
+}
+
+Gpa
+CvmLayout::srvMonIdcb(uint32_t vcpu) const
+{
+    ensure(vcpu < numVcpus, "layout: bad vcpu");
+    return srvIdcbBase + Gpa(vcpu) * kPageSize;
+}
+
+bool
+CvmLayout::inMonRegion(Gpa p) const
+{
+    return (p >= imageBase && p < imageEnd) || (p >= monBase && p < monEnd);
+}
+
+bool
+CvmLayout::inSrvRegion(Gpa p) const
+{
+    return p >= srvBase && p < srvEnd;
+}
+
+bool
+CvmLayout::inProtectedRegion(Gpa p) const
+{
+    return inMonRegion(p) || inSrvRegion(p);
+}
+
+CvmLayout
+CvmLayout::compute(size_t mem_bytes, uint32_t vcpus, size_t image_bytes,
+                   size_t log_bytes)
+{
+    ensure(vcpus >= 1 && vcpus <= 64, "layout: bad vcpu count");
+    CvmLayout l;
+    l.numVcpus = vcpus;
+
+    Gpa cursor = kPageSize; // page 0 reserved
+    l.imageBase = cursor;
+    cursor += pageAlignUp(image_bytes);
+    l.imageEnd = cursor;
+
+    l.monBase = cursor;
+    l.vmsaPool = cursor;
+    // VMSA pool: up to 4 domains per VCPU plus enclave headroom.
+    cursor += Gpa(vcpus) * 8 * kPageSize;
+    l.vmsaPoolEnd = cursor;
+    cursor += 64 * kPageSize; // monitor state headroom
+    l.monEnd = cursor;
+
+    l.monGhcbBase = cursor;
+    cursor += Gpa(vcpus) * kPageSize;
+    l.srvGhcbBase = cursor;
+    cursor += Gpa(vcpus) * kPageSize;
+    l.bootGhcb = l.monGhcbBase;
+
+    l.srvBase = cursor;
+    l.logStore = cursor;
+    cursor += pageAlignUp(log_bytes);
+    l.logStoreEnd = cursor;
+    l.srvIdcbBase = cursor;
+    cursor += Gpa(vcpus) * kPageSize;
+    l.srvHeap = cursor;
+    cursor += 512 * kPageSize; // enclave PT frames + staging (2 MiB)
+    l.srvEnd = cursor;
+
+    l.osGhcbBase = cursor;
+    cursor += Gpa(vcpus) * kPageSize;
+    l.osMonIdcbBase = cursor;
+    cursor += Gpa(vcpus) * kPageSize;
+    l.osSrvIdcbBase = cursor;
+    cursor += Gpa(vcpus) * kPageSize;
+
+    l.kernelBase = cursor;
+    l.memEnd = mem_bytes;
+    ensure(l.kernelBase + 128 * kPageSize < l.memEnd,
+           "layout: machine memory too small for this configuration");
+    return l;
+}
+
+} // namespace veil::core

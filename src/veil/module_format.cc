@@ -1,0 +1,126 @@
+#include "veil/module_format.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "crypto/sha256.hh"
+
+namespace veil::core {
+
+namespace {
+constexpr size_t kSigOffset = offsetof(VkoHeader, signature);
+} // namespace
+
+Bytes
+vkoBuild(const VkoBuildSpec &spec, const Bytes &signing_key)
+{
+    ensure(spec.entryOffset < spec.text.size() || spec.text.empty(),
+           "vkoBuild: entry offset outside text");
+
+    // Collect unique symbol names preserving first-use order.
+    std::vector<std::string> symbols;
+    std::vector<VkoReloc> relocs;
+    for (const auto &[offset, name] : spec.relocs) {
+        ensure(offset + 8 <= spec.text.size(),
+               "vkoBuild: relocation outside text");
+        ensure(name.size() < kVkoSymbolNameMax, "vkoBuild: symbol too long");
+        uint32_t idx = 0;
+        for (; idx < symbols.size(); ++idx) {
+            if (symbols[idx] == name)
+                break;
+        }
+        if (idx == symbols.size())
+            symbols.push_back(name);
+        relocs.push_back(VkoReloc{offset, idx});
+    }
+
+    VkoHeader hdr;
+    hdr.textLen = static_cast<uint32_t>(spec.text.size());
+    hdr.dataLen = static_cast<uint32_t>(spec.data.size());
+    hdr.nRelocs = static_cast<uint32_t>(relocs.size());
+    hdr.nSymbols = static_cast<uint32_t>(symbols.size());
+    hdr.entryOffset = spec.entryOffset;
+
+    Bytes image;
+    appendBytes(image, &hdr, sizeof(hdr));
+    appendBytes(image, spec.text.data(), spec.text.size());
+    appendBytes(image, spec.data.data(), spec.data.size());
+    for (const auto &r : relocs)
+        appendBytes(image, &r, sizeof(r));
+    for (const auto &name : symbols) {
+        VkoSymbol sym{};
+        std::memcpy(sym.name, name.data(), name.size());
+        appendBytes(image, &sym, sizeof(sym));
+    }
+
+    crypto::Signature sig =
+        crypto::signDigest(signing_key, "veil-module", vkoDigest(image));
+    std::memcpy(image.data() + kSigOffset, sig.data(), sig.size());
+    return image;
+}
+
+crypto::Digest
+vkoDigest(const Bytes &image)
+{
+    ensure(image.size() >= sizeof(VkoHeader), "vkoDigest: short image");
+    Bytes copy = image;
+    std::memset(copy.data() + kSigOffset, 0, sizeof(crypto::Signature));
+    return crypto::Sha256::hash(copy);
+}
+
+std::optional<VkoModule>
+vkoParse(const Bytes &image)
+{
+    if (image.size() < sizeof(VkoHeader))
+        return std::nullopt;
+    VkoModule mod;
+    std::memcpy(&mod.header, image.data(), sizeof(VkoHeader));
+    const VkoHeader &h = mod.header;
+    if (h.magic != kVkoMagic)
+        return std::nullopt;
+
+    size_t need = sizeof(VkoHeader) + size_t(h.textLen) + h.dataLen +
+                  size_t(h.nRelocs) * sizeof(VkoReloc) +
+                  size_t(h.nSymbols) * sizeof(VkoSymbol);
+    if (image.size() != need)
+        return std::nullopt;
+    if (h.textLen > 0 && h.entryOffset >= h.textLen)
+        return std::nullopt;
+
+    size_t off = sizeof(VkoHeader);
+    mod.text.assign(image.begin() + off, image.begin() + off + h.textLen);
+    off += h.textLen;
+    mod.data.assign(image.begin() + off, image.begin() + off + h.dataLen);
+    off += h.dataLen;
+    mod.relocs.resize(h.nRelocs);
+    if (h.nRelocs)
+        std::memcpy(mod.relocs.data(), image.data() + off,
+                    h.nRelocs * sizeof(VkoReloc));
+    off += h.nRelocs * sizeof(VkoReloc);
+    for (uint32_t i = 0; i < h.nSymbols; ++i) {
+        VkoSymbol sym;
+        std::memcpy(&sym, image.data() + off + i * sizeof(VkoSymbol),
+                    sizeof(VkoSymbol));
+        sym.name[kVkoSymbolNameMax - 1] = '\0';
+        mod.symbols.emplace_back(sym.name);
+    }
+
+    // Structural checks on relocations.
+    for (const auto &r : mod.relocs) {
+        if (r.offset + 8 > h.textLen || r.symIndex >= h.nSymbols)
+            return std::nullopt;
+    }
+    return mod;
+}
+
+bool
+vkoVerify(const Bytes &image, const Bytes &key)
+{
+    if (image.size() < sizeof(VkoHeader))
+        return false;
+    crypto::Signature sig;
+    std::memcpy(sig.data(), image.data() + kSigOffset, sig.size());
+    return crypto::verifyDigest(key, "veil-module", vkoDigest(image), sig);
+}
+
+} // namespace veil::core

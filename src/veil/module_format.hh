@@ -1,0 +1,89 @@
+/**
+ * @file
+ * VKO: the loadable kernel-module format of this reproduction's
+ * mini-kernel. Mirrors what VeilS-KCI needs from a real .ko (§6.1):
+ * signed contents, a text section, a data section, and relocations
+ * resolved against a protected symbol table.
+ *
+ * Wire layout (little-endian):
+ *   VkoHeader | text bytes | data bytes | VkoReloc[nRelocs] |
+ *   VkoSymbol[nSymbols]
+ * The signature covers everything except the signature field itself.
+ */
+#ifndef VEIL_VEIL_MODULE_FORMAT_HH_
+#define VEIL_VEIL_MODULE_FORMAT_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sig.hh"
+#include "snp/types.hh"
+
+namespace veil::core {
+
+constexpr uint32_t kVkoMagic = 0x314f4b56; // "VKO1"
+constexpr size_t kVkoSymbolNameMax = 24;
+
+/** Fixed-size module header. */
+struct VkoHeader
+{
+    uint32_t magic = kVkoMagic;
+    uint32_t textLen = 0;
+    uint32_t dataLen = 0;
+    uint32_t nRelocs = 0;
+    uint32_t nSymbols = 0;
+    uint32_t entryOffset = 0; ///< module entry point within text
+    crypto::Signature signature{};
+};
+
+/** Patch the u64 at text[offset] with the address of symbol[symIndex]. */
+struct VkoReloc
+{
+    uint32_t offset = 0;
+    uint32_t symIndex = 0;
+};
+
+/** A symbol the module imports from the kernel. */
+struct VkoSymbol
+{
+    char name[kVkoSymbolNameMax] = {};
+};
+
+/** Parsed, in-memory view of a module image. */
+struct VkoModule
+{
+    VkoHeader header;
+    Bytes text;
+    Bytes data;
+    std::vector<VkoReloc> relocs;
+    std::vector<std::string> symbols;
+
+    size_t installedSize() const { return text.size() + data.size(); }
+};
+
+/** Inputs for building a module image. */
+struct VkoBuildSpec
+{
+    Bytes text;
+    Bytes data;
+    std::vector<std::pair<uint32_t, std::string>> relocs; ///< offset, symbol
+    uint32_t entryOffset = 0;
+};
+
+/** Build and sign a module image. */
+Bytes vkoBuild(const VkoBuildSpec &spec, const Bytes &signing_key);
+
+/** Digest over the image with the signature field zeroed. */
+crypto::Digest vkoDigest(const Bytes &image);
+
+/** Parse + structurally validate; nullopt on malformed input.
+ *  Does NOT check the signature — that is the caller's decision. */
+std::optional<VkoModule> vkoParse(const Bytes &image);
+
+/** Signature check against @p key. */
+bool vkoVerify(const Bytes &image, const Bytes &key);
+
+} // namespace veil::core
+
+#endif // VEIL_VEIL_MODULE_FORMAT_HH_

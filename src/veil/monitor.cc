@@ -1,0 +1,390 @@
+#include "veil/monitor.hh"
+
+#include <cstring>
+#include <set>
+
+#include "base/log.hh"
+#include "crypto/drbg.hh"
+#include "snp/fault.hh"
+
+namespace veil::core {
+
+using namespace snp;
+
+namespace {
+/// Cycle cost of the monitor's DH key generation + shared-secret
+/// computation during channel establishment (one-time, boot-path).
+constexpr uint64_t kDhComputeCycles = 3'000'000;
+} // namespace
+
+VeilMon::VeilMon(Machine &machine, const CvmLayout &layout)
+    : machine_(machine), layout_(layout), nextVmsaPage_(layout.vmsaPool)
+{
+}
+
+void
+VeilMon::setKernelEntries(GuestEntry bsp,
+                          std::function<GuestEntry(uint32_t)> ap)
+{
+    kernelBsp_ = std::move(bsp);
+    kernelAp_ = std::move(ap);
+}
+
+void
+VeilMon::setServiceEntry(std::function<GuestEntry(uint32_t)> entry)
+{
+    serviceEntry_ = std::move(entry);
+}
+
+void
+VeilMon::setEnclaveEntryFactory(EnclaveEntryFactory factory)
+{
+    enclaveEntryFactory_ = std::move(factory);
+}
+
+Gpa
+VeilMon::allocVmsaPage()
+{
+    if (!freeVmsaPages_.empty()) {
+        Gpa p = freeVmsaPages_.back();
+        freeVmsaPages_.pop_back();
+        return p;
+    }
+    // The boot VMSA occupies the first pool page (placed by launch).
+    if (nextVmsaPage_ == layout_.vmsaPool)
+        nextVmsaPage_ += kPageSize;
+    if (nextVmsaPage_ >= layout_.vmsaPoolEnd)
+        panic("VeilMon: VMSA pool exhausted");
+    Gpa p = nextVmsaPage_;
+    nextVmsaPage_ += kPageSize;
+    return p;
+}
+
+bool
+VeilMon::osPageAllowed(Gpa page) const
+{
+    if (!isPageAligned(page))
+        return false;
+    if (page >= layout_.memEnd)
+        return false;
+    // The OS may only operate on its own region; everything below
+    // kernelBase (image, monitor, services, GHCBs, IDCBs) is off-limits
+    // (§8.1 "OS request sanitized").
+    if (page < layout_.kernelBase)
+        return false;
+    if (machine_.rmp().isVmsaPage(page))
+        return false;
+    return true;
+}
+
+void
+VeilMon::bootMain(Vcpu &cpu)
+{
+    ensure(kernelBsp_ && serviceEntry_, "VeilMon: entries not wired");
+    uint64_t t0 = cpu.rdtsc();
+    protectDomains(cpu);
+    uint64_t t1 = cpu.rdtsc();
+    createVcpuDomains(cpu, 0, true);
+    uint64_t t2 = cpu.rdtsc();
+    bootStats_.vmsaSetupCycles = t2 - t1;
+    bootStats_.totalCycles = t2 - t0;
+    monitorLoop(cpu);
+}
+
+void
+VeilMon::protectDomains(Vcpu &cpu)
+{
+    RmpTable &rmp = machine_.rmp();
+    uint64_t pv_cycles = 0;
+    uint64_t ra_cycles = 0;
+
+    for (Gpa p = 0; p < layout_.memEnd; p += kPageSize) {
+        if (rmp.isShared(p))
+            continue; // pre-shared GHCB pages stay hypervisor-visible
+        if (rmp.isVmsaPage(p))
+            continue; // boot VMSA
+        if (!rmp.isValidated(p)) {
+            uint64_t t = cpu.rdtsc();
+            cpu.pvalidate(p, true);
+            pv_cycles += cpu.rdtsc() - t;
+        }
+
+        uint64_t t = cpu.rdtsc();
+        if (p == 0 || layout_.inMonRegion(p)) {
+            // Dom-MON only: no grants below VMPL-0.
+        } else if (layout_.inSrvRegion(p)) {
+            cpu.rmpadjust(p, Vmpl::Vmpl1, kPermRw);
+        } else {
+            // OS-visible memory: services may inspect it, the OS gets
+            // full access (VeilS-KCI tightens W^X later, §6.1).
+            cpu.rmpadjust(p, Vmpl::Vmpl1, kPermRw);
+            cpu.rmpadjust(p, Vmpl::Vmpl3, kPermAll, /*warm=*/true);
+        }
+        ra_cycles += cpu.rdtsc() - t;
+        ++bootStats_.pagesProtected;
+    }
+
+    bootStats_.pvalidateCycles = pv_cycles;
+    bootStats_.rmpadjustCycles = ra_cycles;
+}
+
+void
+VeilMon::hvRegisterVmsa(Vcpu &cpu, uint32_t vcpu, Vmpl vmpl, VmsaId id,
+                        Gpa vmsa_gpa)
+{
+    Ghcb g;
+    g.exitCode = static_cast<uint64_t>(GhcbExit::RegisterVmsa);
+    g.info[0] = vmsa_gpa;
+    g.info[1] = vcpu;
+    g.info[2] = static_cast<uint64_t>(vmpl);
+    g.info[3] = id;
+    cpu.hypercall(g);
+}
+
+void
+VeilMon::createVcpuDomains(Vcpu &cpu, uint32_t vcpu, bool boot_vcpu)
+{
+    // Dom-SRV replica.
+    Gpa srv_page = allocVmsaPage();
+    VmsaId srv = cpu.createVmsa(srv_page, vcpu, Vmpl::Vmpl1,
+                                /*irq_masked=*/true, serviceEntry_(vcpu));
+    machine_.vmsaState(srv).ghcbGpa = layout_.srvGhcb(vcpu);
+    hvRegisterVmsa(cpu, vcpu, Vmpl::Vmpl1, srv, srv_page);
+
+    // Dom-UNT replica (the kernel).
+    Gpa unt_page = allocVmsaPage();
+    GuestEntry entry = boot_vcpu ? kernelBsp_ : kernelAp_(vcpu);
+    VmsaId unt = cpu.createVmsa(unt_page, vcpu, Vmpl::Vmpl3,
+                                /*irq_masked=*/false, std::move(entry));
+    machine_.vmsaState(unt).ghcbGpa = layout_.osGhcb(vcpu);
+    hvRegisterVmsa(cpu, vcpu, Vmpl::Vmpl3, unt, unt_page);
+
+    if (!boot_vcpu) {
+        // Dom-MON replica so the new VCPU can reach the monitor.
+        Gpa mon_page = allocVmsaPage();
+        VmsaId mon = cpu.createVmsa(mon_page, vcpu, Vmpl::Vmpl0,
+                                    /*irq_masked=*/true,
+                                    [this](Vcpu &inner) {
+                                        monitorLoop(inner);
+                                    });
+        machine_.vmsaState(mon).ghcbGpa = layout_.monGhcb(vcpu);
+        hvRegisterVmsa(cpu, vcpu, Vmpl::Vmpl0, mon, mon_page);
+    }
+}
+
+void
+VeilMon::monitorLoop(Vcpu &cpu)
+{
+    uint32_t vcpu = cpu.vcpuId();
+    for (;;) {
+        Vmpl reply_to = Vmpl::Vmpl3;
+        IdcbMessage m;
+        if (idcbFetch(cpu, layout_.osMonIdcb(vcpu), m)) {
+            m.requesterVmpl = 3; // source IDCB, not attacker-controlled
+            dispatch(cpu, m);
+            idcbReply(cpu, layout_.osMonIdcb(vcpu), m);
+            reply_to = Vmpl::Vmpl3;
+        } else if (idcbFetch(cpu, layout_.srvMonIdcb(vcpu), m)) {
+            m.requesterVmpl = 1;
+            dispatch(cpu, m);
+            idcbReply(cpu, layout_.srvMonIdcb(vcpu), m);
+            reply_to = Vmpl::Vmpl1;
+        }
+        domainSwitch(cpu, reply_to);
+    }
+}
+
+void
+VeilMon::dispatch(Vcpu &cpu, IdcbMessage &msg)
+{
+    msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+    switch (static_cast<VeilOp>(msg.op)) {
+      case VeilOp::Ping:
+        msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+        break;
+      case VeilOp::Pvalidate:
+        opPvalidate(cpu, msg);
+        break;
+      case VeilOp::PageStateChange:
+        opPageStateChange(cpu, msg);
+        break;
+      case VeilOp::BootVcpu:
+        opBootVcpu(cpu, msg);
+        break;
+      case VeilOp::EstablishChannel:
+        opEstablishChannel(cpu, msg);
+        break;
+      case VeilOp::CreateEnclaveVmsa:
+        opCreateEnclaveVmsa(cpu, msg);
+        break;
+      case VeilOp::DestroyEnclaveVmsa:
+        opDestroyEnclaveVmsa(cpu, msg);
+        break;
+      default:
+        msg.status = static_cast<uint64_t>(VeilStatus::Unsupported);
+        break;
+    }
+}
+
+void
+VeilMon::opPvalidate(Vcpu &cpu, IdcbMessage &msg)
+{
+    Gpa page = msg.args[0];
+    bool validate = msg.args[1] != 0;
+    if (!osPageAllowed(page)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+        return;
+    }
+    cpu.pvalidate(page, validate);
+    if (validate) {
+        cpu.rmpadjust(page, Vmpl::Vmpl1, kPermRw, /*warm=*/true);
+        cpu.rmpadjust(page, Vmpl::Vmpl3, kPermAll, /*warm=*/true);
+    }
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+VeilMon::opPageStateChange(Vcpu &cpu, IdcbMessage &msg)
+{
+    Gpa page = msg.args[0];
+    bool to_shared = msg.args[1] != 0;
+    if (!osPageAllowed(page)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+        return;
+    }
+    Ghcb g;
+    g.exitCode = static_cast<uint64_t>(GhcbExit::PageStateChange);
+    g.info[0] = page;
+    g.info[1] = to_shared ? 1 : 0;
+    if (to_shared) {
+        if (machine_.rmp().isValidated(page))
+            cpu.pvalidate(page, false);
+        cpu.hypercall(g);
+    } else {
+        cpu.hypercall(g);
+        cpu.pvalidate(page, true);
+        cpu.rmpadjust(page, Vmpl::Vmpl1, kPermRw, /*warm=*/true);
+        cpu.rmpadjust(page, Vmpl::Vmpl3, kPermAll, /*warm=*/true);
+    }
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+VeilMon::opBootVcpu(Vcpu &cpu, IdcbMessage &msg)
+{
+    static_assert(sizeof(uint32_t) <= sizeof(msg.args[0]));
+    uint32_t vcpu = static_cast<uint32_t>(msg.args[0]);
+    if (vcpu == 0 || vcpu >= layout_.numVcpus ||
+        bootedVcpus_.count(vcpu)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+    createVcpuDomains(cpu, vcpu, /*boot_vcpu=*/false);
+    bootedVcpus_.insert(vcpu);
+
+    Ghcb g;
+    g.exitCode = static_cast<uint64_t>(GhcbExit::StartVcpu);
+    g.info[0] = vcpu;
+    g.info[1] = static_cast<uint64_t>(Vmpl::Vmpl3);
+    cpu.hypercall(g);
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+VeilMon::opEstablishChannel(Vcpu &cpu, IdcbMessage &msg)
+{
+    if (msg.payloadLen != 32) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+    Bytes user_pub(msg.payload, msg.payload + 32);
+
+    // Deterministic DRBG seeded from platform-secret material.
+    Bytes seed = machine_.config().pspKey;
+    appendBytes(seed, "veilmon-dh", 10);
+    appendLe<uint64_t>(seed, channelNonce_++);
+    crypto::HmacDrbg drbg(seed);
+    crypto::DhKeyPair kp = crypto::dhGenerate(drbg);
+    cpu.burn(kDhComputeCycles);
+
+    Bytes shared;
+    try {
+        shared = crypto::dhSharedSecret(kp.secret, user_pub);
+    } catch (const FatalError &) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+    channelKeys_ = crypto::deriveSessionKeys(shared);
+    sealChannel_ =
+        std::make_unique<SecureChannel>(*channelKeys_, /*initiator=*/false);
+
+    // Bind our public key and the peer's key hash into the report.
+    ReportData rd{};
+    std::memcpy(rd.data(), kp.publicKey.data(), 32);
+    crypto::Digest peer_hash = crypto::Sha256::hash(user_pub);
+    std::memcpy(rd.data() + 32, peer_hash.data(), 32);
+    AttestationReport report = cpu.attest(rd);
+
+    ChannelResponse resp{};
+    resp.report = report;
+    std::memcpy(resp.monitorPublic, kp.publicKey.data(), 32);
+    static_assert(sizeof(ChannelResponse) <= kIdcbRetPayloadMax);
+    std::memcpy(msg.retPayload, &resp, sizeof(resp));
+    msg.retPayloadLen = sizeof(resp);
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+VeilMon::opCreateEnclaveVmsa(Vcpu &cpu, IdcbMessage &msg)
+{
+    if (msg.requesterVmpl != 1) {
+        // Only VeilS-ENC (Dom-SRV) may create enclave domains: a
+        // malicious OS must not spawn VCPUs at privileged levels (§8.1).
+        msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+        return;
+    }
+    ensure(enclaveEntryFactory_ != nullptr, "VeilMon: no enclave factory");
+    uint32_t vcpu = static_cast<uint32_t>(msg.args[0]);
+    uint64_t program_id = msg.args[1];
+    Gpa cr3 = msg.args[2];
+    Gpa ghcb = msg.args[3];
+    Gva idt_handler = msg.args[4];
+    uint64_t enclave_id = msg.args[5];
+    if (vcpu >= layout_.numVcpus) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+
+    Gpa page = allocVmsaPage();
+    VmsaId id = cpu.createVmsa(page, vcpu, Vmpl::Vmpl2, /*irq_masked=*/false,
+                               enclaveEntryFactory_(enclave_id, program_id));
+    Vmsa &state = machine_.vmsaState(id);
+    state.cpl = Cpl::User; // enclaves are unprivileged (§5.1 Dom-ENC)
+    state.cr3 = cr3;
+    state.ghcbGpa = ghcb;
+    state.idtHandlerVa = idt_handler;
+    hvRegisterVmsa(cpu, vcpu, Vmpl::Vmpl2, id, page);
+
+    msg.ret[0] = id;
+    msg.ret[1] = page;
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+VeilMon::opDestroyEnclaveVmsa(Vcpu &cpu, IdcbMessage &msg)
+{
+    if (msg.requesterVmpl != 1) {
+        msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+        return;
+    }
+    Gpa page = msg.args[1];
+    if (!machine_.rmp().isVmsaPage(page)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+    machine_.rmp().clearVmsa(Vmpl::Vmpl0, page);
+    freeVmsaPages_.push_back(page);
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+} // namespace veil::core

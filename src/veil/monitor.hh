@@ -1,0 +1,136 @@
+/**
+ * @file
+ * VeilMon: the VMPL-0 security monitor (§5).
+ *
+ * Responsibilities, mapping 1:1 to the paper:
+ *  - §5.1 Dom-MON bootstrap: PVALIDATE all guest memory, then RMPADJUST
+ *    every page to carve the four privilege domains (protected regions
+ *    stay VMPL-0/-1 only; the OS gets everything else).
+ *  - §5.2 Replicated VCPUs: creates per-domain VMSA replicas from its
+ *    VMSA page pool and registers them with the hypervisor.
+ *  - §5.3 Privileged functionality delegation: VCPU boot and
+ *    PVALIDATE / page-state changes on behalf of the Dom-UNT kernel,
+ *    with sanitization of every OS-provided address (§8.1).
+ *  - §5.1 Secure user channel: DH key exchange bound into the signed
+ *    SEV attestation report.
+ */
+#ifndef VEIL_VEIL_MONITOR_HH_
+#define VEIL_VEIL_MONITOR_HH_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "hv/hypervisor.hh"
+#include "veil/channel.hh"
+#include "veil/layout.hh"
+#include "veil/proto.hh"
+
+namespace veil::core {
+
+/** Boot-time cost breakdown (drives the §9.1 boot benchmark). */
+struct MonitorBootStats
+{
+    uint64_t totalCycles = 0;
+    uint64_t pvalidateCycles = 0;
+    uint64_t rmpadjustCycles = 0;
+    uint64_t vmsaSetupCycles = 0;
+    uint64_t pagesProtected = 0;
+};
+
+/** Factory for the Dom-ENC VMSA entry of a given enclave. */
+using EnclaveEntryFactory =
+    std::function<snp::GuestEntry(uint64_t enclave_id, uint64_t program_id)>;
+
+/** The VMPL-0 monitor. */
+class VeilMon
+{
+  public:
+    VeilMon(snp::Machine &machine, const CvmLayout &layout);
+
+    // ---- Wiring (done by VeilVm before launch) ----
+
+    /** Kernel entries: BSP boot and per-VCPU AP boot. */
+    void setKernelEntries(snp::GuestEntry bsp,
+                          std::function<snp::GuestEntry(uint32_t)> ap);
+
+    /** Service dispatcher entry (per VCPU). */
+    void setServiceEntry(std::function<snp::GuestEntry(uint32_t)> entry);
+
+    /** Enclave runtime entry factory (provided by the SDK layer). */
+    void setEnclaveEntryFactory(EnclaveEntryFactory factory);
+
+    /** Boot VMSA entry point (simulated RIP of the boot image). */
+    void bootMain(snp::Vcpu &cpu);
+
+    const MonitorBootStats &bootStats() const { return bootStats_; }
+
+    /**
+     * Remote-user handshake step (host side of the network): returns
+     * the sealed-channel keys derived by the monitor once
+     * EstablishChannel has been processed. Used by services.
+     */
+    const std::optional<crypto::SessionKeys> &channelKeys() const
+    {
+        return channelKeys_;
+    }
+
+    /**
+     * The monitor-side (responder) endpoint of the secure user channel,
+     * shared with the protected services; nullptr until the channel is
+     * established.
+     */
+    SecureChannel *sealChannel() { return sealChannel_.get(); }
+
+    /** Sanitization helper shared with services (§8.1): true if the
+     *  OS-supplied page may be handed to the requested operation. */
+    bool osPageAllowed(snp::Gpa page) const;
+
+    const CvmLayout &layout() const { return layout_; }
+
+  private:
+    void protectDomains(snp::Vcpu &cpu);
+    void createVcpuDomains(snp::Vcpu &cpu, uint32_t vcpu, bool boot_vcpu);
+    void monitorLoop(snp::Vcpu &cpu);
+    void dispatch(snp::Vcpu &cpu, IdcbMessage &msg);
+
+    // Request handlers
+    void opPvalidate(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opPageStateChange(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opBootVcpu(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opEstablishChannel(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opCreateEnclaveVmsa(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opDestroyEnclaveVmsa(snp::Vcpu &cpu, IdcbMessage &msg);
+
+    snp::Gpa allocVmsaPage();
+    void hvRegisterVmsa(snp::Vcpu &cpu, uint32_t vcpu, snp::Vmpl vmpl,
+                        snp::VmsaId id, snp::Gpa vmsa_gpa);
+
+    snp::Machine &machine_;
+    CvmLayout layout_;
+    snp::GuestEntry kernelBsp_;
+    std::function<snp::GuestEntry(uint32_t)> kernelAp_;
+    std::function<snp::GuestEntry(uint32_t)> serviceEntry_;
+    EnclaveEntryFactory enclaveEntryFactory_;
+
+    snp::Gpa nextVmsaPage_ = 0;
+    std::vector<snp::Gpa> freeVmsaPages_;
+    std::set<uint32_t> bootedVcpus_;
+    MonitorBootStats bootStats_;
+    std::optional<crypto::SessionKeys> channelKeys_;
+    std::unique_ptr<SecureChannel> sealChannel_;
+    uint64_t channelNonce_ = 0;
+};
+
+/** Serialized EstablishChannel response (report + monitor DH public). */
+struct ChannelResponse
+{
+    snp::AttestationReport report;
+    uint8_t monitorPublic[32];
+};
+
+} // namespace veil::core
+
+#endif // VEIL_VEIL_MONITOR_HH_

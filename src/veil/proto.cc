@@ -1,0 +1,106 @@
+#include "veil/proto.hh"
+
+#include "base/log.hh"
+#include "hv/hypervisor.hh"
+
+namespace veil::core {
+
+using namespace snp;
+
+namespace {
+
+constexpr size_t kHeadLen = offsetof(IdcbMessage, payload);
+constexpr size_t kTailOff = offsetof(IdcbMessage, status);
+constexpr size_t kTailLen = offsetof(IdcbMessage, retPayload) - kTailOff;
+
+/** Copy only the used parts of a message into guest memory. */
+void
+writeMessage(Vcpu &cpu, Gpa idcb, const IdcbMessage &msg)
+{
+    const auto *raw = reinterpret_cast<const uint8_t *>(&msg);
+    size_t pay = std::min<size_t>(msg.payloadLen, kIdcbPayloadMax);
+    size_t ret = std::min<size_t>(msg.retPayloadLen, kIdcbRetPayloadMax);
+    cpu.writePhys(idcb, raw, kHeadLen + pay);
+    cpu.writePhys(idcb + kTailOff, raw + kTailOff, kTailLen + ret);
+}
+
+/** Read only the used parts of a message from guest memory. */
+IdcbMessage
+readMessage(Vcpu &cpu, Gpa idcb)
+{
+    IdcbMessage msg;
+    auto *raw = reinterpret_cast<uint8_t *>(&msg);
+    cpu.readPhys(idcb, raw, kHeadLen);
+    size_t pay = std::min<size_t>(msg.payloadLen, kIdcbPayloadMax);
+    if (pay > 0)
+        cpu.readPhys(idcb + kHeadLen, raw + kHeadLen, pay);
+    cpu.readPhys(idcb + kTailOff, raw + kTailOff, kTailLen);
+    size_t ret = std::min<size_t>(msg.retPayloadLen, kIdcbRetPayloadMax);
+    if (ret > 0) {
+        cpu.readPhys(idcb + offsetof(IdcbMessage, retPayload),
+                     raw + offsetof(IdcbMessage, retPayload), ret);
+    }
+    return msg;
+}
+
+} // namespace
+
+void
+domainSwitch(Vcpu &cpu, Vmpl target_vmpl)
+{
+    for (;;) {
+        Ghcb g;
+        g.exitCode = static_cast<uint64_t>(GhcbExit::DomainSwitch);
+        g.info[0] = cpu.vcpuId();
+        g.info[1] = static_cast<uint64_t>(target_vmpl);
+        cpu.writeGhcb(g);
+        cpu.vmgexit();
+        uint64_t result = cpu.readGhcb().result;
+        if (result == static_cast<uint64_t>(hv::HvResult::IntrRedirect)) {
+            // We were resumed to absorb a redirected interrupt; the
+            // vector was already delivered on resume. Re-issue.
+            continue;
+        }
+        if (result == static_cast<uint64_t>(hv::HvResult::Denied))
+            fatal("domainSwitch: hypervisor denied the switch");
+        return;
+    }
+}
+
+IdcbMessage
+idcbCall(Vcpu &cpu, Gpa idcb, Vmpl target_vmpl, const IdcbMessage &request)
+{
+    IdcbMessage msg = request;
+    msg.pending = 1;
+    msg.requesterVmpl = static_cast<uint32_t>(vmplIndex(cpu.vmpl()));
+    writeMessage(cpu, idcb, msg);
+
+    domainSwitch(cpu, target_vmpl);
+
+    IdcbMessage reply = readMessage(cpu, idcb);
+    if (reply.pending)
+        fatal("idcbCall: request was not processed");
+    return reply;
+}
+
+bool
+idcbFetch(Vcpu &cpu, Gpa idcb, IdcbMessage &out)
+{
+    // Peek the pending flag first; only pull the body for real work.
+    uint32_t pending = 0;
+    cpu.readPhys(idcb, &pending, sizeof(pending));
+    if (!pending)
+        return false;
+    out = readMessage(cpu, idcb);
+    return true;
+}
+
+void
+idcbReply(Vcpu &cpu, Gpa idcb, const IdcbMessage &reply)
+{
+    IdcbMessage msg = reply;
+    msg.pending = 0;
+    writeMessage(cpu, idcb, msg);
+}
+
+} // namespace veil::core

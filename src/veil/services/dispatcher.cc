@@ -1,0 +1,71 @@
+#include "veil/services/dispatcher.hh"
+
+namespace veil::core {
+
+using namespace snp;
+
+ServiceDispatcher::ServiceDispatcher(Machine &machine, const CvmLayout &layout,
+                                     VeilMon &monitor, Bytes module_key)
+    : machine_(machine),
+      layout_(layout),
+      kci_(machine, layout, std::move(module_key)),
+      enc_(machine, layout, monitor),
+      log_(machine, layout, monitor)
+{
+}
+
+GuestEntry
+ServiceDispatcher::entryFor(uint32_t vcpu)
+{
+    return [this](Vcpu &cpu) { srvLoop(cpu); };
+}
+
+void
+ServiceDispatcher::srvLoop(Vcpu &cpu)
+{
+    uint32_t vcpu = cpu.vcpuId();
+    for (;;) {
+        IdcbMessage m;
+        if (idcbFetch(cpu, layout_.osSrvIdcb(vcpu), m)) {
+            m.requesterVmpl = 3;
+            dispatch(cpu, m);
+            idcbReply(cpu, layout_.osSrvIdcb(vcpu), m);
+            ++served_;
+        }
+        domainSwitch(cpu, Vmpl::Vmpl3);
+    }
+}
+
+void
+ServiceDispatcher::dispatch(Vcpu &cpu, IdcbMessage &msg)
+{
+    switch (static_cast<VeilOp>(msg.op)) {
+      case VeilOp::Ping:
+        msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+        break;
+      case VeilOp::KciActivate:
+      case VeilOp::KciModuleLoad:
+      case VeilOp::KciModuleUnload:
+        kci_.handle(cpu, msg);
+        break;
+      case VeilOp::EncCreate:
+      case VeilOp::EncDestroy:
+      case VeilOp::EncFreePage:
+      case VeilOp::EncRestorePage:
+      case VeilOp::EncMprotect:
+      case VeilOp::EncSyncPerms:
+      case VeilOp::EncGetMeasurement:
+        enc_.handle(cpu, msg);
+        break;
+      case VeilOp::LogAppend:
+      case VeilOp::LogQuery:
+      case VeilOp::LogStats:
+        log_.handle(cpu, msg);
+        break;
+      default:
+        msg.status = static_cast<uint64_t>(VeilStatus::Unsupported);
+        break;
+    }
+}
+
+} // namespace veil::core

@@ -1,0 +1,496 @@
+#include "veil/services/enc.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "crypto/drbg.hh"
+#include "crypto/hmac.hh"
+#include "veil/channel.hh"
+
+namespace veil::core {
+
+using namespace snp;
+
+namespace {
+/// Measurement / crypto cost charged per enclave page at initialization
+/// (SHA-256 at ~10 cycles/byte).
+constexpr uint64_t kMeasureCyclesPerPage = 10 * kPageSize;
+/// AES-CTR + tag cost for evict/restore of one page.
+constexpr uint64_t kCryptCyclesPerPage = 14 * kPageSize;
+} // namespace
+
+EncService::EncService(Machine &machine, const CvmLayout &layout,
+                       VeilMon &monitor)
+    : machine_(machine),
+      layout_(layout),
+      monitor_(monitor),
+      srvEditor_(
+          machine.memory(), [this] { return allocSrvFrame(); },
+          [this](Gpa p) { freeSrvFrame(p); }),
+      nextSrvFrame_(layout.srvHeap)
+{
+}
+
+Gpa
+EncService::allocSrvFrame()
+{
+    if (!freeSrvFrames_.empty()) {
+        Gpa p = freeSrvFrames_.back();
+        freeSrvFrames_.pop_back();
+        return p;
+    }
+    if (nextSrvFrame_ >= layout_.srvEnd)
+        panic("EncService: Dom-SRV frame pool exhausted");
+    Gpa p = nextSrvFrame_;
+    nextSrvFrame_ += kPageSize;
+    return p;
+}
+
+void
+EncService::freeSrvFrame(Gpa p)
+{
+    freeSrvFrames_.push_back(p);
+}
+
+const EnclaveInfo *
+EncService::info(uint64_t id) const
+{
+    auto it = enclaves_.find(id);
+    return it == enclaves_.end() ? nullptr : &it->second;
+}
+
+size_t
+EncService::liveEnclaves() const
+{
+    size_t n = 0;
+    for (const auto &[id, e] : enclaves_)
+        n += e.alive;
+    return n;
+}
+
+PermMask
+EncService::vmpl2PermsFor(uint64_t pte) const
+{
+    PermMask m = PermRead;
+    if (pte & PteWrite)
+        m |= PermWrite;
+    if (!(pte & PteNx))
+        m |= PermUserExec;
+    return m;
+}
+
+crypto::Digest
+EncService::pageTag(const EnclaveInfo &e, Gva va, uint64_t ctr,
+                    const uint8_t *plain) const
+{
+    crypto::HmacSha256 h(e.pagingMacKey);
+    h.update(&va, sizeof(va));
+    h.update(&ctr, sizeof(ctr));
+    h.update(plain, kPageSize);
+    return h.finish();
+}
+
+bool
+EncService::frameUsable(Gpa pa) const
+{
+    return isPageAligned(pa) && pa >= layout_.kernelBase &&
+           pa < layout_.memEnd && !allEnclaveFrames_.count(pa) &&
+           !machine_.rmp().isShared(pa) && !machine_.rmp().isVmsaPage(pa);
+}
+
+void
+EncService::handle(Vcpu &cpu, IdcbMessage &msg)
+{
+    switch (static_cast<VeilOp>(msg.op)) {
+      case VeilOp::EncCreate:
+        opCreate(cpu, msg);
+        break;
+      case VeilOp::EncDestroy:
+        opDestroy(cpu, msg);
+        break;
+      case VeilOp::EncFreePage:
+        opFreePage(cpu, msg);
+        break;
+      case VeilOp::EncRestorePage:
+        opRestorePage(cpu, msg);
+        break;
+      case VeilOp::EncMprotect:
+        opMprotect(cpu, msg);
+        break;
+      case VeilOp::EncSyncPerms:
+        opSyncPerms(cpu, msg);
+        break;
+      case VeilOp::EncGetMeasurement:
+        opGetMeasurement(cpu, msg);
+        break;
+      default:
+        msg.status = static_cast<uint64_t>(VeilStatus::Unsupported);
+        break;
+    }
+}
+
+void
+EncService::opCreate(Vcpu &cpu, IdcbMessage &msg)
+{
+    Gpa process_cr3 = msg.args[0];
+    Gva lo = msg.args[1];
+    Gva hi = msg.args[2];
+    Gpa ghcb = msg.args[3];
+    uint32_t vcpu = static_cast<uint32_t>(msg.args[4]);
+    uint64_t program_id = msg.args[5];
+    Gva idt_handler = msg.args[7];
+
+    if (!isPageAligned(lo) || !isPageAligned(hi) || lo >= hi ||
+        lo < kUserVaLo || hi > kUserVaHi || vcpu >= layout_.numVcpus ||
+        !machine_.rmp().isShared(ghcb)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+
+    // Scan the OS-built page tables for the whole user address space.
+    std::vector<std::pair<Gva, uint64_t>> user_leaves;
+    std::vector<std::pair<Gva, uint64_t>> enclave_leaves;
+    srvEditor_.forEachLeaf(process_cr3, kUserVaLo, kUserVaHi,
+                           [&](Gva va, uint64_t pte) {
+                               if (!(pte & PteUser))
+                                   return; // never clone kernel mappings
+                               user_leaves.emplace_back(va, pte);
+                               if (va >= lo && va < hi)
+                                   enclave_leaves.emplace_back(va, pte);
+                           });
+    cpu.burn(200 * user_leaves.size()); // scan cost
+
+    // §6.2 invariants: one-to-one mapping and disjoint physical pages.
+    std::set<Gpa> seen;
+    for (const auto &[va, pte] : enclave_leaves) {
+        Gpa pa = pte & kPteAddrMask;
+        bool fresh = seen.insert(pa).second;
+        if (!fresh || !frameUsable(pa)) {
+            msg.status = static_cast<uint64_t>(VeilStatus::VerifyFailed);
+            return;
+        }
+    }
+    if (enclave_leaves.empty()) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+
+    EnclaveInfo e;
+    e.id = nextId_++;
+    e.processCr3 = process_cr3;
+    e.lo = lo;
+    e.hi = hi;
+    e.vcpu = vcpu;
+    e.ghcb = ghcb;
+
+    // Clone the user page tables into protected memory.
+    e.cloneCr3 = srvEditor_.createRoot();
+    for (const auto &[va, pte] : user_leaves) {
+        PageFlags f;
+        f.user = true;
+        f.write = pte & PteWrite;
+        f.exec = !(pte & PteNx);
+        srvEditor_.map(e.cloneCr3, va, pte & kPteAddrMask, f);
+    }
+
+    // Per-enclave paging keys from a DRBG bound to the enclave id.
+    Bytes seed = machine_.config().pspKey;
+    appendBytes(seed, "enc-paging", 10);
+    appendLe<uint64_t>(seed, e.id);
+    crypto::HmacDrbg drbg(seed);
+    Bytes key = drbg.generate(16);
+    std::copy(key.begin(), key.end(), e.pagingKey.begin());
+    e.pagingMacKey = drbg.generate(32);
+
+    // Measure (contents + metadata), then revoke Dom-UNT access and
+    // grant Dom-ENC access to the enclave pages.
+    crypto::Sha256 meas;
+    for (const auto &[va, pte] : enclave_leaves) {
+        Gpa pa = pte & kPteAddrMask;
+        uint64_t meta_flags = pte & (PteWrite | PteNx | PteUser);
+        meas.update(&va, sizeof(va));
+        meas.update(&meta_flags, sizeof(meta_flags));
+        std::vector<uint8_t> page(kPageSize);
+        cpu.readPhys(pa, page.data(), page.size());
+        meas.update(page.data(), page.size());
+        cpu.burn(kMeasureCyclesPerPage);
+
+        cpu.rmpadjust(pa, Vmpl::Vmpl2, vmpl2PermsFor(pte));
+        cpu.rmpadjust(pa, Vmpl::Vmpl3, kPermNone, /*warm=*/true);
+        e.frames.insert(pa);
+        allEnclaveFrames_.insert(pa);
+    }
+    e.measurement = meas.finish();
+
+    // Grant the enclave access to the non-enclave (shared) user pages.
+    for (const auto &[va, pte] : user_leaves) {
+        if (va >= lo && va < hi)
+            continue;
+        Gpa pa = pte & kPteAddrMask;
+        if (machine_.rmp().isShared(pa))
+            continue; // GHCB page: accessible everywhere already
+        cpu.rmpadjust(pa, Vmpl::Vmpl2, vmpl2PermsFor(pte), /*warm=*/true);
+    }
+
+    // Ask VeilMon to create the Dom-ENC VCPU replica (§5.2).
+    IdcbMessage req;
+    req.op = static_cast<uint32_t>(VeilOp::CreateEnclaveVmsa);
+    req.args[0] = vcpu;
+    req.args[1] = program_id;
+    req.args[2] = e.cloneCr3;
+    req.args[3] = ghcb;
+    req.args[4] = idt_handler;
+    req.args[5] = e.id;
+    IdcbMessage reply = idcbCall(cpu, layout_.srvMonIdcb(cpu.vcpuId()),
+                                 Vmpl::Vmpl0, req);
+    if (reply.status != static_cast<uint64_t>(VeilStatus::Ok)) {
+        msg.status = reply.status;
+        return;
+    }
+    e.vmsa = static_cast<VmsaId>(reply.ret[0]);
+    e.vmsaPage = reply.ret[1];
+
+    uint64_t id = e.id;
+    enclaves_[id] = std::move(e);
+    msg.ret[0] = id;
+    msg.ret[1] = enclaves_[id].vmsa;
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+EncService::opDestroy(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto it = enclaves_.find(msg.args[0]);
+    if (it == enclaves_.end() || !it->second.alive) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    EnclaveInfo &e = it->second;
+
+    // Scrub and return the enclave's frames to the OS.
+    for (Gpa pa : e.frames) {
+        cpu.zeroPhys(pa);
+        cpu.rmpadjust(pa, Vmpl::Vmpl2, kPermNone, /*warm=*/true);
+        cpu.rmpadjust(pa, Vmpl::Vmpl3, kPermRw, /*warm=*/true);
+        allEnclaveFrames_.erase(pa);
+    }
+    e.frames.clear();
+    srvEditor_.destroyRoot(e.cloneCr3);
+
+    IdcbMessage req;
+    req.op = static_cast<uint32_t>(VeilOp::DestroyEnclaveVmsa);
+    req.args[0] = e.vcpu;
+    req.args[1] = e.vmsaPage;
+    idcbCall(cpu, layout_.srvMonIdcb(cpu.vcpuId()), Vmpl::Vmpl0, req);
+
+    e.alive = false;
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+EncService::opFreePage(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto it = enclaves_.find(msg.args[0]);
+    Gva va = msg.args[1];
+    if (it == enclaves_.end() || !it->second.alive) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    EnclaveInfo &e = it->second;
+    if (va < e.lo || va >= e.hi) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+    auto leaf = srvEditor_.leaf(e.cloneCr3, va);
+    if (!leaf) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    Gpa pa = *leaf & kPteAddrMask;
+
+    // Integrity tag with a freshness counter, then encrypt in place.
+    std::vector<uint8_t> page(kPageSize);
+    cpu.readPhys(pa, page.data(), page.size());
+    uint64_t ctr = e.freshCounter++;
+    EnclaveInfo::Evicted ev;
+    ev.ctr = ctr;
+    ev.pteFlags = *leaf & (PteWrite | PteNx | PteUser);
+    ev.tag = pageTag(e, va, ctr, page.data());
+
+    crypto::Aes128 aes(e.pagingKey);
+    std::vector<uint8_t> enc(kPageSize);
+    crypto::aesCtrXor(aes, ctr, 0, page.data(), enc.data(), kPageSize);
+    cpu.writePhys(pa, enc.data(), enc.size());
+    cpu.burn(kCryptCyclesPerPage);
+
+    // Unmap from the protected tables; hand the frame to the OS.
+    srvEditor_.unmap(e.cloneCr3, va);
+    cpu.rmpadjust(pa, Vmpl::Vmpl2, kPermNone, /*warm=*/true);
+    cpu.rmpadjust(pa, Vmpl::Vmpl3, kPermRw, /*warm=*/true);
+    e.frames.erase(pa);
+    allEnclaveFrames_.erase(pa);
+    e.evicted[va] = ev;
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+EncService::opRestorePage(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto it = enclaves_.find(msg.args[0]);
+    Gva va = msg.args[1];
+    Gpa frame = msg.args[2];
+    if (it == enclaves_.end() || !it->second.alive) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    EnclaveInfo &e = it->second;
+    auto ev_it = e.evicted.find(va);
+    if (ev_it == e.evicted.end()) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    if (!frameUsable(frame)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+    const EnclaveInfo::Evicted &ev = ev_it->second;
+
+    // Copy into protected staging, decrypt, verify freshness tag (§6.2).
+    std::vector<uint8_t> enc(kPageSize);
+    cpu.readPhys(frame, enc.data(), enc.size());
+    crypto::Aes128 aes(e.pagingKey);
+    std::vector<uint8_t> plain(kPageSize);
+    crypto::aesCtrXor(aes, ev.ctr, 0, enc.data(), plain.data(), kPageSize);
+    cpu.burn(kCryptCyclesPerPage);
+    crypto::Digest tag = pageTag(e, va, ev.ctr, plain.data());
+    if (!ctEqual(tag.data(), ev.tag.data(), tag.size())) {
+        msg.status = static_cast<uint64_t>(VeilStatus::VerifyFailed);
+        return;
+    }
+
+    // Install the plaintext, revoke the OS, remap in the clone.
+    cpu.writePhys(frame, plain.data(), plain.size());
+    cpu.rmpadjust(frame, Vmpl::Vmpl2, vmpl2PermsFor(ev.pteFlags | PteUser));
+    cpu.rmpadjust(frame, Vmpl::Vmpl3, kPermNone, /*warm=*/true);
+    PageFlags f;
+    f.user = true;
+    f.write = ev.pteFlags & PteWrite;
+    f.exec = !(ev.pteFlags & PteNx);
+    srvEditor_.map(e.cloneCr3, va, frame, f);
+    e.frames.insert(frame);
+    allEnclaveFrames_.insert(frame);
+    e.evicted.erase(ev_it);
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+EncService::opMprotect(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto it = enclaves_.find(msg.args[0]);
+    Gva va = msg.args[1];
+    uint64_t len = msg.args[2];
+    uint64_t prot = msg.args[3]; // bit0 write, bit1 exec
+    if (it == enclaves_.end() || !it->second.alive) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    EnclaveInfo &e = it->second;
+    if (!isPageAligned(va) || va < e.lo || va + len > e.hi) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+    for (Gva p = va; p < va + len; p += kPageSize) {
+        auto leaf = srvEditor_.leaf(e.cloneCr3, p);
+        if (!leaf)
+            continue;
+        PageFlags f;
+        f.user = true;
+        f.write = prot & 1;
+        f.exec = prot & 2;
+        srvEditor_.protect(e.cloneCr3, p, f);
+        PermMask m = PermRead;
+        if (f.write)
+            m |= PermWrite;
+        if (f.exec)
+            m |= PermUserExec;
+        cpu.rmpadjust(*leaf & kPteAddrMask, Vmpl::Vmpl2, m, /*warm=*/true);
+    }
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+EncService::opSyncPerms(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto it = enclaves_.find(msg.args[0]);
+    Gva va = msg.args[1];
+    uint64_t len = msg.args[2];
+    uint64_t prot = msg.args[3]; // bit0 write, bit1 exec, bit7 unmap
+    if (it == enclaves_.end() || !it->second.alive) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    EnclaveInfo &e = it->second;
+    // Only non-enclave user regions may be synchronized by the OS.
+    bool overlaps = va < e.hi && va + len > e.lo;
+    if (!isPageAligned(va) || overlaps || va < kUserVaLo ||
+        va + len > kUserVaHi) {
+        msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+        return;
+    }
+    for (Gva p = va; p < va + len; p += kPageSize) {
+        if (prot & 0x80) {
+            srvEditor_.unmap(e.cloneCr3, p);
+            continue;
+        }
+        // Mirror the OS mapping (possibly new) into the clone.
+        auto os_leaf = srvEditor_.leaf(e.processCr3, p);
+        if (!os_leaf || !(*os_leaf & PteUser))
+            continue;
+        Gpa pa = *os_leaf & kPteAddrMask;
+        if (allEnclaveFrames_.count(pa))
+            continue; // never alias an enclave frame
+        PageFlags f;
+        f.user = true;
+        f.write = prot & 1;
+        f.exec = prot & 2;
+        srvEditor_.map(e.cloneCr3, p, pa, f);
+        PermMask m = PermRead;
+        if (f.write)
+            m |= PermWrite;
+        if (f.exec)
+            m |= PermUserExec;
+        if (!machine_.rmp().isShared(pa))
+            cpu.rmpadjust(pa, Vmpl::Vmpl2, m, /*warm=*/true);
+    }
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+EncService::opGetMeasurement(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto it = enclaves_.find(msg.args[0]);
+    if (it == enclaves_.end()) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    const EnclaveInfo &e = it->second;
+
+    // Raw digest first (local verification), then a sealed copy when
+    // the VeilMon user channel is up (remote attestation path, §6.2).
+    std::memcpy(msg.retPayload, e.measurement.data(), e.measurement.size());
+    msg.retPayloadLen = static_cast<uint32_t>(e.measurement.size());
+    if (SecureChannel *chan = monitor_.sealChannel()) {
+        Bytes plain(e.measurement.begin(), e.measurement.end());
+        appendLe<uint64_t>(plain, e.id);
+        Bytes sealed = chan->seal(plain);
+        ensure(msg.retPayloadLen + sealed.size() <= kIdcbRetPayloadMax,
+               "EncService: sealed measurement too large");
+        std::memcpy(msg.retPayload + msg.retPayloadLen, sealed.data(),
+                    sealed.size());
+        msg.retPayloadLen += static_cast<uint32_t>(sealed.size());
+        msg.ret[0] = sealed.size();
+    }
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+} // namespace veil::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * VeilS-ENC: shielded program execution (§6.2).
+ *
+ * Implements the paper's in-process enclave model on VMPL:
+ *  - initialization: scans the process page tables, enforces the two
+ *    §6.2 invariants (one-to-one virtual->physical mapping; physical
+ *    pages disjoint across enclaves), clones the user page tables into
+ *    protected Dom-SRV memory, revokes Dom-UNT access to enclave
+ *    pages, and measures contents + metadata (SHA-256);
+ *  - secure collaborative memory management: page eviction with
+ *    AES-128-CTR encryption and a fresh integrity tag, fault-driven
+ *    restore with tag verification, permission-change mediation, and
+ *    synchronization of non-enclave mappings into the cloned tables;
+ *  - measurement reporting over the VeilMon secure channel.
+ */
+#ifndef VEIL_VEIL_SERVICES_ENC_HH_
+#define VEIL_VEIL_SERVICES_ENC_HH_
+
+#include <map>
+#include <set>
+
+#include "crypto/aes.hh"
+#include "snp/paging.hh"
+#include "veil/monitor.hh"
+
+namespace veil::core {
+
+/** User virtual-address window of mini-kernel processes. */
+constexpr snp::Gva kUserVaLo = 0x0000000000400000ULL;
+constexpr snp::Gva kUserVaHi = 0x0000000010000000ULL;
+
+/** Per-enclave protected metadata (conceptually in Dom-SRV memory). */
+struct EnclaveInfo
+{
+    uint64_t id = 0;
+    snp::Gpa processCr3 = 0;
+    snp::Gpa cloneCr3 = 0;
+    snp::Gva lo = 0, hi = 0; ///< enclave virtual range
+    uint32_t vcpu = 0;
+    snp::VmsaId vmsa = snp::kInvalidVmsa;
+    snp::Gpa vmsaPage = 0;
+    snp::Gpa ghcb = 0;
+    crypto::Digest measurement{};
+    crypto::AesKey pagingKey{};
+    Bytes pagingMacKey;
+    uint64_t freshCounter = 1;
+
+    struct Evicted
+    {
+        crypto::Digest tag{};
+        uint64_t ctr = 0;
+        uint64_t pteFlags = 0;
+    };
+    std::map<snp::Gva, Evicted> evicted;
+    std::set<snp::Gpa> frames; ///< physical pages currently owned
+    bool alive = true;
+};
+
+/** The shielded-execution protected service. */
+class EncService
+{
+  public:
+    EncService(snp::Machine &machine, const CvmLayout &layout,
+               VeilMon &monitor);
+
+    /** Dispatch an ENC IDCB request (runs on the Dom-SRV VCPU). */
+    void handle(snp::Vcpu &cpu, IdcbMessage &msg);
+
+    /** Introspection for tests. */
+    const EnclaveInfo *info(uint64_t id) const;
+    size_t liveEnclaves() const;
+
+  private:
+    void opCreate(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opDestroy(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opFreePage(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opRestorePage(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opMprotect(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opSyncPerms(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opGetMeasurement(snp::Vcpu &cpu, IdcbMessage &msg);
+
+    snp::PermMask vmpl2PermsFor(uint64_t pte) const;
+    crypto::Digest pageTag(const EnclaveInfo &e, snp::Gva va, uint64_t ctr,
+                           const uint8_t *plain) const;
+    bool frameUsable(snp::Gpa pa) const;
+
+    snp::Gpa allocSrvFrame();
+    void freeSrvFrame(snp::Gpa p);
+
+    snp::Machine &machine_;
+    CvmLayout layout_;
+    VeilMon &monitor_;
+    snp::PageTableEditor srvEditor_;
+    snp::Gpa nextSrvFrame_;
+    std::vector<snp::Gpa> freeSrvFrames_;
+
+    std::map<uint64_t, EnclaveInfo> enclaves_;
+    std::set<snp::Gpa> allEnclaveFrames_;
+    uint64_t nextId_ = 1;
+};
+
+} // namespace veil::core
+
+#endif // VEIL_VEIL_SERVICES_ENC_HH_

@@ -1,0 +1,158 @@
+#include "veil/services/kci.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+
+namespace veil::core {
+
+using namespace snp;
+
+KciService::KciService(Machine &machine, const CvmLayout &layout,
+                       Bytes module_key)
+    : machine_(machine), layout_(layout), moduleKey_(std::move(module_key))
+{
+}
+
+bool
+KciService::rangeInKernel(Gpa lo, Gpa hi) const
+{
+    return isPageAligned(lo) && lo < hi && lo >= layout_.kernelBase &&
+           hi <= layout_.memEnd;
+}
+
+void
+KciService::handle(Vcpu &cpu, IdcbMessage &msg)
+{
+    switch (static_cast<VeilOp>(msg.op)) {
+      case VeilOp::KciActivate:
+        opActivate(cpu, msg);
+        break;
+      case VeilOp::KciModuleLoad:
+        opModuleLoad(cpu, msg);
+        break;
+      case VeilOp::KciModuleUnload:
+        opModuleUnload(cpu, msg);
+        break;
+      default:
+        msg.status = static_cast<uint64_t>(VeilStatus::Unsupported);
+        break;
+    }
+}
+
+void
+KciService::opActivate(Vcpu &cpu, IdcbMessage &msg)
+{
+    Gpa text_lo = msg.args[0], text_hi = msg.args[1];
+    Gpa data_lo = msg.args[2], data_hi = msg.args[3];
+    if (active_ || !rangeInKernel(text_lo, text_hi) ||
+        !rangeInKernel(data_lo, data_hi)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+
+    // Protected symbol table, provided once at (trusted) kernel boot.
+    size_t n = msg.payloadLen / sizeof(KciSymbolEntry);
+    for (size_t i = 0; i < n; ++i) {
+        KciSymbolEntry e;
+        std::memcpy(&e, msg.payload + i * sizeof(e), sizeof(e));
+        e.name[kVkoSymbolNameMax - 1] = '\0';
+        symbols_[e.name] = e.addr;
+    }
+
+    // W^X: text becomes read + supervisor-exec; data loses all exec.
+    for (Gpa p = text_lo; p < text_hi; p += kPageSize)
+        cpu.rmpadjust(p, Vmpl::Vmpl3, PermRead | PermSupervisorExec);
+    for (Gpa p = data_lo; p < data_hi; p += kPageSize)
+        cpu.rmpadjust(p, Vmpl::Vmpl3, kPermRw);
+
+    active_ = true;
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+KciService::opModuleLoad(Vcpu &cpu, IdcbMessage &msg)
+{
+    Gpa image_gpa = msg.args[0];
+    size_t image_len = static_cast<size_t>(msg.args[1]);
+    Gpa dest = msg.args[2];
+    uint32_t dest_pages = static_cast<uint32_t>(msg.args[3]);
+
+    if (!active_ || image_len == 0 || image_len > 256 * 1024 ||
+        !rangeInKernel(pageAlignDown(image_gpa),
+                       pageAlignUp(image_gpa + image_len)) ||
+        !rangeInKernel(dest, dest + Gpa(dest_pages) * kPageSize)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+
+    // TOCTOU defense: copy the image into protected staging *before*
+    // verifying, then only ever use the staged copy (§6.1).
+    Bytes staged(image_len);
+    cpu.readPhys(image_gpa, staged.data(), staged.size());
+
+    if (!vkoVerify(staged, moduleKey_)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::VerifyFailed);
+        return;
+    }
+    auto mod = vkoParse(staged);
+    if (!mod) {
+        msg.status = static_cast<uint64_t>(VeilStatus::VerifyFailed);
+        return;
+    }
+    if (mod->installedSize() > size_t(dest_pages) * kPageSize) {
+        msg.status = static_cast<uint64_t>(VeilStatus::Overflow);
+        return;
+    }
+
+    // Relocate against the protected symbol table.
+    Bytes text = mod->text;
+    for (const auto &r : mod->relocs) {
+        auto it = symbols_.find(mod->symbols[r.symIndex]);
+        if (it == symbols_.end()) {
+            msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+            return;
+        }
+        uint64_t addr = it->second;
+        std::memcpy(text.data() + r.offset, &addr, sizeof(addr));
+    }
+
+    // Install: text, then data right after (page-aligned boundary).
+    uint32_t text_pages =
+        static_cast<uint32_t>(pageAlignUp(text.size()) / kPageSize);
+    cpu.writePhys(dest, text.data(), text.size());
+    if (!mod->data.empty()) {
+        cpu.writePhys(dest + Gpa(text_pages) * kPageSize, mod->data.data(),
+                      mod->data.size());
+    }
+
+    // Write-protect the prepared text region at Dom-UNT.
+    for (uint32_t i = 0; i < text_pages; ++i) {
+        cpu.rmpadjust(dest + Gpa(i) * kPageSize, Vmpl::Vmpl3,
+                      PermRead | PermSupervisorExec);
+    }
+
+    uint64_t handle = nextHandle_++;
+    modules_[handle] = LoadedModule{dest, text_pages, dest_pages};
+    msg.ret[0] = handle;
+    msg.ret[1] = dest + mod->header.entryOffset; // entry GPA (== kernel VA)
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+KciService::opModuleUnload(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto it = modules_.find(msg.args[0]);
+    if (it == modules_.end()) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    const LoadedModule &m = it->second;
+    // Return the text pages to ordinary kernel data permissions.
+    for (uint32_t i = 0; i < m.textPages; ++i)
+        cpu.rmpadjust(m.dest + Gpa(i) * kPageSize, Vmpl::Vmpl3, kPermRw);
+    modules_.erase(it);
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+} // namespace veil::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * VeilS-KCI: kernel code integrity (§6.1).
+ *
+ *  - W(+)X enforcement: on activation, kernel text pages lose their
+ *    RMP write permission and kernel data pages lose supervisor-execute
+ *    at Dom-UNT — even a kernel that flips its own PTE bits cannot
+ *    inject supervisor code.
+ *  - TOCTOU-safe module loading: the module image is copied into
+ *    protected staging, its signature verified, symbols relocated
+ *    against the protected symbol table, and the prepared text region
+ *    write-protected via RMPADJUST before the kernel may execute it.
+ */
+#ifndef VEIL_VEIL_SERVICES_KCI_HH_
+#define VEIL_VEIL_SERVICES_KCI_HH_
+
+#include <map>
+#include <string>
+
+#include "veil/layout.hh"
+#include "veil/module_format.hh"
+#include "veil/proto.hh"
+
+namespace veil::core {
+
+/** Serialized symbol-table entry in the KciActivate payload. */
+struct KciSymbolEntry
+{
+    char name[kVkoSymbolNameMax] = {};
+    uint64_t addr = 0;
+};
+
+/** The kernel-code-integrity protected service. */
+class KciService
+{
+  public:
+    KciService(snp::Machine &machine, const CvmLayout &layout,
+               Bytes module_key);
+
+    /** Dispatch a KCI IDCB request (runs on the Dom-SRV VCPU). */
+    void handle(snp::Vcpu &cpu, IdcbMessage &msg);
+
+    bool active() const { return active_; }
+    size_t loadedModules() const { return modules_.size(); }
+
+  private:
+    void opActivate(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opModuleLoad(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opModuleUnload(snp::Vcpu &cpu, IdcbMessage &msg);
+
+    bool rangeInKernel(snp::Gpa lo, snp::Gpa hi) const;
+
+    struct LoadedModule
+    {
+        snp::Gpa dest = 0;
+        uint32_t textPages = 0;
+        uint32_t totalPages = 0;
+    };
+
+    snp::Machine &machine_;
+    CvmLayout layout_;
+    Bytes moduleKey_;
+    bool active_ = false;
+    std::map<std::string, uint64_t> symbols_; ///< protected symbol table
+    std::map<uint64_t, LoadedModule> modules_;
+    uint64_t nextHandle_ = 1;
+};
+
+} // namespace veil::core
+
+#endif // VEIL_VEIL_SERVICES_KCI_HH_

@@ -1,0 +1,82 @@
+#include "workloads/speclike.hh"
+
+#include <algorithm>
+
+#include "base/rng.hh"
+
+namespace veil::wl {
+
+SpecResult
+runSpeclike(sdk::Env &env, const SpecParams &params)
+{
+    SpecResult res;
+    Rng rng(params.seed);
+    uint64_t start = env.tsc();
+
+    // Kernel 1: integer matrix multiply (cache-friendly compute).
+    {
+        uint64_t t0 = env.tsc();
+        size_t n = params.matrixN;
+        std::vector<int64_t> a(n * n), b(n * n), c(n * n, 0);
+        for (auto &v : a)
+            v = static_cast<int64_t>(rng.below(1000));
+        for (auto &v : b)
+            v = static_cast<int64_t>(rng.below(1000));
+        for (size_t i = 0; i < n; ++i)
+            for (size_t k = 0; k < n; ++k)
+                for (size_t j = 0; j < n; ++j)
+                    c[i * n + j] += a[i * n + k] * b[k * n + j];
+        for (auto v : c)
+            res.checksum = res.checksum * 31 + static_cast<uint64_t>(v);
+        env.burn(2 * n * n * n); // ~2 cycles per MAC
+        res.kernels.emplace_back("matmul", env.tsc() - t0);
+    }
+
+    // Kernel 2: hash chaining (serial dependency).
+    {
+        uint64_t t0 = env.tsc();
+        uint64_t h = 0x12345;
+        for (size_t i = 0; i < params.hashChainLen; ++i) {
+            h ^= h >> 33;
+            h *= 0xff51afd7ed558ccdULL;
+            h ^= h >> 29;
+        }
+        res.checksum ^= h;
+        env.burn(6 * params.hashChainLen);
+        res.kernels.emplace_back("hashchain", env.tsc() - t0);
+    }
+
+    // Kernel 3: pointer chase (latency-bound).
+    {
+        uint64_t t0 = env.tsc();
+        size_t n = 65536;
+        std::vector<uint32_t> next(n);
+        for (size_t i = 0; i < n; ++i)
+            next[i] = static_cast<uint32_t>(i);
+        for (size_t i = n - 1; i > 0; --i)
+            std::swap(next[i], next[rng.below(i + 1)]);
+        uint32_t p = 0;
+        for (size_t i = 0; i < params.chaseSteps; ++i)
+            p = next[p];
+        res.checksum += p;
+        env.burn(12 * params.chaseSteps); // ~L2-latency per step
+        res.kernels.emplace_back("ptrchase", env.tsc() - t0);
+    }
+
+    // Kernel 4: branchy sort.
+    {
+        uint64_t t0 = env.tsc();
+        std::vector<uint64_t> v(params.sortElems);
+        for (auto &x : v)
+            x = rng.next();
+        std::sort(v.begin(), v.end());
+        res.checksum ^= v[v.size() / 2];
+        env.burn(30 * params.sortElems); // ~n log n compare/swap
+        res.kernels.emplace_back("sort", env.tsc() - t0);
+    }
+
+    res.totalCycles = env.tsc() - start;
+    return res;
+}
+
+} // namespace veil::wl

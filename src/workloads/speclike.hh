@@ -1,0 +1,39 @@
+/**
+ * @file
+ * speclike: SPEC-CPU-2006-style compute kernels (§9.1 background-impact
+ * benchmark): integer matrix multiply, hash chaining, pointer chasing,
+ * and branchy sorting — almost pure compute with negligible kernel
+ * interaction, to show Veil's near-zero overhead when no protected
+ * service is in use.
+ */
+#ifndef VEIL_WORKLOADS_SPECLIKE_HH_
+#define VEIL_WORKLOADS_SPECLIKE_HH_
+
+#include <string>
+#include <vector>
+
+#include "sdk/env.hh"
+
+namespace veil::wl {
+
+struct SpecParams
+{
+    size_t matrixN = 96;
+    size_t hashChainLen = 200000;
+    size_t chaseSteps = 300000;
+    size_t sortElems = 50000;
+    uint64_t seed = 17;
+};
+
+struct SpecResult
+{
+    std::vector<std::pair<std::string, uint64_t>> kernels; ///< name, cycles
+    uint64_t checksum = 0;
+    uint64_t totalCycles = 0;
+};
+
+SpecResult runSpeclike(sdk::Env &env, const SpecParams &params);
+
+} // namespace veil::wl
+
+#endif // VEIL_WORKLOADS_SPECLIKE_HH_

@@ -1,0 +1,252 @@
+#include "workloads/vcached.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+
+namespace veil::wl {
+
+using snp::Gva;
+
+namespace {
+
+std::string
+keyName(uint64_t n)
+{
+    return strfmt("key-%06llu", (unsigned long long)n);
+}
+
+/** Find '\n' in buf; returns npos-style -1. */
+ptrdiff_t
+findNl(const Bytes &buf, size_t from = 0)
+{
+    for (size_t i = from; i < buf.size(); ++i) {
+        if (buf[i] == '\n')
+            return static_cast<ptrdiff_t>(i);
+    }
+    return -1;
+}
+
+} // namespace
+
+// ---- Server ----
+
+CacheServer::CacheServer(sdk::Env &env, const VcachedParams &params)
+    : env_(env), p_(params)
+{
+    ioBufLen_ = p_.valueBytes + 256;
+    ioBuf_ = env_.alloc(ioBufLen_);
+    listenFd_ = static_cast<int>(env_.socket());
+    ensure(listenFd_ >= 0, "CacheServer: socket failed");
+    ensure(env_.bind(listenFd_, p_.port) == 0, "CacheServer: bind failed");
+    ensure(env_.listen(listenFd_, 64) == 0, "CacheServer: listen failed");
+}
+
+CacheServer::~CacheServer()
+{
+    env_.release(ioBuf_, ioBufLen_);
+    for (auto &c : conns_) {
+        if (c.fd >= 0)
+            env_.close(c.fd);
+    }
+    env_.close(listenFd_);
+}
+
+bool
+CacheServer::tryHandle(Conn &conn)
+{
+    ptrdiff_t nl = findNl(conn.buf);
+    if (nl < 0)
+        return false;
+    std::string line(conn.buf.begin(), conn.buf.begin() + nl);
+
+    if (line.size() > 2 && line[0] == 'G') {
+        std::string key = line.substr(2);
+        conn.buf.erase(conn.buf.begin(), conn.buf.begin() + nl + 1);
+        env_.burn(p_.serverCyclesPerOp);
+        auto it = store_.find(key);
+        std::string header;
+        size_t total;
+        if (it != store_.end()) {
+            header = strfmt("V %zu\n", it->second.size());
+            env_.copyIn(ioBuf_, header.data(), header.size());
+            env_.copyIn(ioBuf_ + header.size(), it->second.data(),
+                        it->second.size());
+            total = header.size() + it->second.size();
+        } else {
+            header = "M\n";
+            env_.copyIn(ioBuf_, header.data(), header.size());
+            total = header.size();
+        }
+        env_.send(conn.fd, ioBuf_, total);
+        ++handled_;
+        return true;
+    }
+
+    if (line.size() > 2 && line[0] == 'S') {
+        size_t sp = line.rfind(' ');
+        if (sp == std::string::npos || sp < 2)
+            return false;
+        std::string key = line.substr(2, sp - 2);
+        size_t len = strtoul(line.c_str() + sp + 1, nullptr, 10);
+        if (conn.buf.size() < size_t(nl) + 1 + len)
+            return false; // payload incomplete
+        Bytes value(conn.buf.begin() + nl + 1,
+                    conn.buf.begin() + nl + 1 + len);
+        conn.buf.erase(conn.buf.begin(), conn.buf.begin() + nl + 1 + len);
+        env_.burn(p_.serverCyclesPerOp);
+        store_[key] = std::move(value);
+        static const char ok[] = "O\n";
+        env_.copyIn(ioBuf_, ok, 2);
+        env_.send(conn.fd, ioBuf_, 2);
+        ++handled_;
+        return true;
+    }
+    // Malformed: drop the line.
+    conn.buf.erase(conn.buf.begin(), conn.buf.begin() + nl + 1);
+    return true;
+}
+
+bool
+CacheServer::step()
+{
+    if (handled_ >= p_.ops)
+        return true;
+
+    if (env_.pollIn(listenFd_) > 0) {
+        int64_t nfd = env_.accept(listenFd_);
+        if (nfd >= 0)
+            conns_.push_back(Conn{static_cast<int>(nfd), {}});
+    }
+
+    for (auto &conn : conns_) {
+        if (conn.fd < 0 || env_.pollIn(conn.fd) <= 0)
+            continue;
+        int64_t n = env_.recv(conn.fd, ioBuf_, ioBufLen_);
+        if (n > 0) {
+            size_t old = conn.buf.size();
+            conn.buf.resize(old + static_cast<size_t>(n));
+            env_.copyOut(ioBuf_, conn.buf.data() + old,
+                         static_cast<size_t>(n));
+        } else if (n == 0) {
+            env_.close(conn.fd);
+            conn.fd = -1;
+            continue;
+        }
+        while (tryHandle(conn)) {
+        }
+    }
+    std::erase_if(conns_, [](const Conn &c) { return c.fd < 0; });
+    return handled_ >= p_.ops;
+}
+
+// ---- Client ----
+
+CacheClient::CacheClient(sdk::Env &env, const VcachedParams &params)
+    : env_(env), p_(params), rng_(params.seed)
+{
+    ioBufLen_ = p_.valueBytes + 256;
+    ioBuf_ = env_.alloc(ioBufLen_);
+    conns_.resize(static_cast<size_t>(p_.concurrency));
+}
+
+CacheClient::~CacheClient()
+{
+    env_.release(ioBuf_, ioBufLen_);
+    for (auto &c : conns_) {
+        if (c.fd >= 0)
+            env_.close(c.fd);
+    }
+}
+
+void
+CacheClient::issue(Conn &conn)
+{
+    bool get = rng_.real() < p_.getRatio;
+    std::string key = keyName(rng_.below(p_.keySpace));
+    env_.burn(p_.clientCyclesPerOp);
+    if (get) {
+        std::string msg = "G " + key + "\n";
+        env_.copyIn(ioBuf_, msg.data(), msg.size());
+        env_.send(conn.fd, ioBuf_, msg.size());
+        ++res_.gets;
+    } else {
+        std::string header = strfmt("S %s %zu\n", key.c_str(), p_.valueBytes);
+        Bytes payload(p_.valueBytes, static_cast<uint8_t>(key.back()));
+        env_.copyIn(ioBuf_, header.data(), header.size());
+        env_.copyIn(ioBuf_ + header.size(), payload.data(), payload.size());
+        env_.send(conn.fd, ioBuf_, header.size() + payload.size());
+        res_.bytesMoved += payload.size();
+        ++res_.sets;
+    }
+    conn.wasGet = get;
+    conn.reply.clear();
+    conn.state = St::AwaitReply;
+    ++issued_;
+}
+
+void
+CacheClient::pump()
+{
+    for (auto &conn : conns_) {
+        if (conn.fd < 0) {
+            int fd = static_cast<int>(env_.socket());
+            if (fd < 0 || env_.connect(fd, p_.port) != 0) {
+                if (fd >= 0)
+                    env_.close(fd);
+                continue;
+            }
+            conn.fd = fd;
+            conn.state = St::Idle;
+        }
+        if (conn.state == St::Idle) {
+            if (issued_ < p_.ops)
+                issue(conn);
+            continue;
+        }
+        // AwaitReply
+        int64_t n = env_.recv(conn.fd, ioBuf_, ioBufLen_);
+        if (n > 0) {
+            size_t old = conn.reply.size();
+            conn.reply.resize(old + static_cast<size_t>(n));
+            env_.copyOut(ioBuf_, conn.reply.data() + old,
+                         static_cast<size_t>(n));
+        }
+        // Complete?
+        ptrdiff_t nl = findNl(conn.reply);
+        if (nl < 0)
+            continue;
+        char tag = conn.reply.empty() ? 0 : char(conn.reply[0]);
+        if (tag == 'V') {
+            size_t len =
+                strtoul(reinterpret_cast<const char *>(conn.reply.data()) + 2,
+                        nullptr, 10);
+            if (conn.reply.size() < size_t(nl) + 1 + len)
+                continue;
+            res_.bytesMoved += len;
+            ++res_.hits;
+        } else if (tag == 'M') {
+            ++res_.misses;
+        }
+        ++completed_;
+        conn.state = St::Idle;
+        conn.reply.clear();
+    }
+}
+
+VcachedResult
+runVcachedNative(sdk::Env &server_env, sdk::Env &client_env,
+                 const VcachedParams &params)
+{
+    CacheServer server(server_env, params);
+    CacheClient client(client_env, params);
+    uint64_t spins = 0;
+    while (!client.done()) {
+        server.step();
+        client.pump();
+        ensure(++spins < params.ops * 100, "vcached: stalled");
+    }
+    return client.result();
+}
+
+} // namespace veil::wl

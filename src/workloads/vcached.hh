@@ -1,0 +1,111 @@
+/**
+ * @file
+ * vcached: memcached-analogue cache server plus a memaslap-style load
+ * driver (Fig. 6 "Memcached"; Table 5: 90:10 GET:SET). Text protocol
+ * over loopback TCP: "G <key>\n" and "S <key> <len>\n<payload>".
+ */
+#ifndef VEIL_WORKLOADS_VCACHED_HH_
+#define VEIL_WORKLOADS_VCACHED_HH_
+
+#include <map>
+#include <string>
+
+#include "base/bytes.hh"
+#include "base/rng.hh"
+#include "sdk/env.hh"
+
+namespace veil::wl {
+
+struct VcachedParams
+{
+    uint16_t port = 11211;
+    uint64_t ops = 20000;
+    double getRatio = 0.9;
+    size_t valueBytes = 1024;
+    size_t keySpace = 512;
+    int concurrency = 8;
+    uint64_t serverCyclesPerOp = 2500;
+    uint64_t clientCyclesPerOp = 800;
+    uint64_t seed = 13;
+};
+
+struct VcachedResult
+{
+    uint64_t gets = 0;
+    uint64_t sets = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t bytesMoved = 0;
+};
+
+/** The cache server: handles exactly params.ops operations. */
+class CacheServer
+{
+  public:
+    CacheServer(sdk::Env &env, const VcachedParams &params);
+    ~CacheServer();
+
+    bool step(); ///< one poll iteration; true when finished
+    uint64_t handled() const { return handled_; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        Bytes buf;
+    };
+
+    bool tryHandle(Conn &conn);
+
+    sdk::Env &env_;
+    VcachedParams p_;
+    int listenFd_ = -1;
+    snp::Gva ioBuf_ = 0;
+    size_t ioBufLen_ = 0;
+    std::vector<Conn> conns_;
+    std::map<std::string, Bytes> store_;
+    uint64_t handled_ = 0;
+};
+
+/** The memaslap-style client. */
+class CacheClient
+{
+  public:
+    CacheClient(sdk::Env &env, const VcachedParams &params);
+    ~CacheClient();
+
+    void pump();
+    bool done() const { return completed_ >= p_.ops; }
+    const VcachedResult &result() const { return res_; }
+
+  private:
+    enum class St { Idle, AwaitReply };
+    struct Conn
+    {
+        int fd = -1;
+        St state = St::Idle;
+        bool wasGet = false;
+        Bytes reply;
+        size_t expect = 0;
+    };
+
+    void issue(Conn &conn);
+
+    sdk::Env &env_;
+    VcachedParams p_;
+    snp::Gva ioBuf_ = 0;
+    size_t ioBufLen_ = 0;
+    std::vector<Conn> conns_;
+    uint64_t issued_ = 0;
+    uint64_t completed_ = 0;
+    Rng rng_;
+    VcachedResult res_;
+};
+
+/** Native driver (server + client interleaved). */
+VcachedResult runVcachedNative(sdk::Env &server_env, sdk::Env &client_env,
+                               const VcachedParams &params);
+
+} // namespace veil::wl
+
+#endif // VEIL_WORKLOADS_VCACHED_HH_

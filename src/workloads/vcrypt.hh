@@ -1,0 +1,35 @@
+/**
+ * @file
+ * vcrypt: MbedTLS/OpenSSL-analogue crypto self-test (Fig. 5 "MbedTLS",
+ * Fig. 6 "OpenSSL"). Runs batteries of real AES / SHA-256 / HMAC /
+ * DRBG operations with a console progress line per test group — the
+ * paper's "2.8k self tests" with periodic printf exits.
+ */
+#ifndef VEIL_WORKLOADS_VCRYPT_HH_
+#define VEIL_WORKLOADS_VCRYPT_HH_
+
+#include "sdk/env.hh"
+
+namespace veil::wl {
+
+struct VcryptParams
+{
+    uint64_t tests = 2800;        ///< total self-tests (paper: ~2.8k)
+    uint64_t testsPerPrint = 1;   ///< progress granularity
+    size_t blockBytes = 1024;     ///< data processed per test
+    uint64_t seed = 5;
+};
+
+struct VcryptResult
+{
+    uint64_t testsRun = 0;
+    uint64_t testsPassed = 0;
+    uint64_t bytesProcessed = 0;
+    uint64_t printfCalls = 0;
+};
+
+VcryptResult runVcrypt(sdk::Env &env, const VcryptParams &params);
+
+} // namespace veil::wl
+
+#endif // VEIL_WORKLOADS_VCRYPT_HH_

@@ -1,0 +1,276 @@
+#include "workloads/vdb.hh"
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "base/log.hh"
+#include "base/rng.hh"
+
+namespace veil::wl {
+
+using snp::Gva;
+
+namespace {
+
+constexpr size_t kPage = 4096;
+constexpr size_t kOrder = 32; // max keys per node
+
+/** In-memory B+-tree node, serialized to a DB page on flush. */
+struct Node
+{
+    bool leaf = true;
+    uint32_t pageNo = 0;
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> values;   // leaves
+    std::vector<uint32_t> children; // interior
+    bool dirty = true;
+};
+
+/** The database engine: B+-tree + page cache + WAL. */
+class VdbEngine
+{
+  public:
+    VdbEngine(sdk::Env &env, const VdbParams &p) : env_(env), p_(p)
+    {
+        db_fd_ = static_cast<int>(env.creat(p.dbPath));
+        wal_fd_ = static_cast<int>(env.creat(p.walPath));
+        ensure(db_fd_ >= 0 && wal_fd_ >= 0, "vdb: cannot create files");
+        io_buf_ = env.alloc(kPage);
+        root_ = newNode(true);
+    }
+
+    ~VdbEngine()
+    {
+        env_.release(io_buf_, kPage);
+        env_.close(db_fd_);
+        env_.close(wal_fd_);
+    }
+
+    void
+    insert(uint64_t key, uint64_t value)
+    {
+        env_.burn(p_.cyclesPerInsert);
+        walAppend(key, value);
+        uint32_t promoted_key_node = insertRec(root_, key, value);
+        if (promoted_key_node != 0) {
+            // Root split: grow the tree.
+            uint32_t old_root = root_;
+            root_ = newNode(false);
+            Node &r = node(root_);
+            r.keys.push_back(pendingKey_);
+            r.children.push_back(old_root);
+            r.children.push_back(promoted_key_node);
+        }
+        ++result_.inserted;
+    }
+
+    bool
+    lookup(uint64_t key, uint64_t &value) const
+    {
+        const Node *n = &nodes_.at(root_);
+        while (!n->leaf) {
+            size_t i = 0;
+            while (i < n->keys.size() && key >= n->keys[i])
+                ++i;
+            n = &nodes_.at(n->children[i]);
+        }
+        for (size_t i = 0; i < n->keys.size(); ++i) {
+            if (n->keys[i] == key) {
+                value = n->values[i];
+                return true;
+            }
+        }
+        return false;
+    }
+
+    uint64_t
+    depth() const
+    {
+        uint64_t d = 1;
+        const Node *n = &nodes_.at(root_);
+        while (!n->leaf) {
+            n = &nodes_.at(n->children[0]);
+            ++d;
+        }
+        return d;
+    }
+
+    void
+    finish()
+    {
+        walFlush();
+        flushDirty();
+        env_.fsync(db_fd_);
+        result_.btreeDepth = depth();
+    }
+
+    VdbResult result_;
+
+  private:
+    uint32_t
+    newNode(bool leaf)
+    {
+        uint32_t no = next_page_++;
+        Node n;
+        n.leaf = leaf;
+        n.pageNo = no;
+        nodes_[no] = std::move(n);
+        return no;
+    }
+
+    Node &node(uint32_t no) { return nodes_.at(no); }
+
+    /** Returns the page number of a new right sibling on split (with
+     *  pendingKey_ holding the separator), or 0. */
+    uint32_t
+    insertRec(uint32_t page, uint64_t key, uint64_t value)
+    {
+        Node &n = node(page);
+        n.dirty = true;
+        if (n.leaf) {
+            auto it = std::lower_bound(n.keys.begin(), n.keys.end(), key);
+            size_t idx = static_cast<size_t>(it - n.keys.begin());
+            if (it != n.keys.end() && *it == key) {
+                n.values[idx] = value;
+                return 0;
+            }
+            n.keys.insert(it, key);
+            n.values.insert(n.values.begin() + idx, value);
+            if (n.keys.size() <= kOrder)
+                return 0;
+            // Split leaf.
+            uint32_t right = newNode(true);
+            Node &r = node(right);
+            Node &l = node(page); // re-fetch (map may rehash)
+            size_t half = l.keys.size() / 2;
+            r.keys.assign(l.keys.begin() + half, l.keys.end());
+            r.values.assign(l.values.begin() + half, l.values.end());
+            l.keys.resize(half);
+            l.values.resize(half);
+            pendingKey_ = r.keys.front();
+            return right;
+        }
+        size_t i = 0;
+        while (i < n.keys.size() && key >= n.keys[i])
+            ++i;
+        uint32_t child = n.children[i];
+        uint32_t split = insertRec(child, key, value);
+        if (split == 0)
+            return 0;
+        Node &self = node(page);
+        self.keys.insert(self.keys.begin() + i, pendingKey_);
+        self.children.insert(self.children.begin() + i + 1, split);
+        if (self.keys.size() <= kOrder)
+            return 0;
+        // Split interior node.
+        uint32_t right = newNode(false);
+        Node &r = node(right);
+        Node &l = node(page);
+        size_t half = l.keys.size() / 2;
+        uint64_t sep = l.keys[half];
+        r.keys.assign(l.keys.begin() + half + 1, l.keys.end());
+        r.children.assign(l.children.begin() + half + 1, l.children.end());
+        l.keys.resize(half);
+        l.children.resize(half + 1);
+        pendingKey_ = sep;
+        return right;
+    }
+
+    void
+    walAppend(uint64_t key, uint64_t value)
+    {
+        uint8_t rec[24];
+        std::memcpy(rec, &key, 8);
+        std::memcpy(rec + 8, &value, 8);
+        uint64_t crc = key * 1099511628211ULL ^ value;
+        std::memcpy(rec + 16, &crc, 8);
+        walBuf_.insert(walBuf_.end(), rec, rec + sizeof(rec));
+        // One WAL write per transaction commit.
+        if (walBuf_.size() >= p_.insertsPerTx * sizeof(rec))
+            walFlush();
+    }
+
+    void
+    walFlush()
+    {
+        if (walBuf_.empty())
+            return;
+        ensure(walBuf_.size() <= kPage, "vdb: WAL batch too large");
+        env_.copyIn(io_buf_, walBuf_.data(), walBuf_.size());
+        env_.write(wal_fd_, io_buf_, walBuf_.size());
+        result_.walBytes += walBuf_.size();
+        walBuf_.clear();
+        // Checkpoint dirty pages + fsync every txPerSync commits.
+        if (++tx_ % p_.txPerSync == 0) {
+            flushDirty();
+            env_.fsync(db_fd_);
+        }
+    }
+
+    void
+    flushDirty()
+    {
+        for (auto &[no, n] : nodes_) {
+            if (!n.dirty)
+                continue;
+            // Serialize the node into a page image and pwrite it.
+            std::vector<uint8_t> page(kPage, 0);
+            page[0] = n.leaf;
+            uint16_t cnt = static_cast<uint16_t>(n.keys.size());
+            std::memcpy(page.data() + 2, &cnt, 2);
+            size_t off = 8;
+            for (size_t i = 0; i < n.keys.size() && off + 16 <= kPage; ++i) {
+                std::memcpy(page.data() + off, &n.keys[i], 8);
+                uint64_t v = n.leaf ? n.values[i] : n.children[i];
+                std::memcpy(page.data() + off + 8, &v, 8);
+                off += 16;
+            }
+            env_.copyIn(io_buf_, page.data(), kPage);
+            env_.pwrite(db_fd_, io_buf_, kPage,
+                        uint64_t(n.pageNo) * kPage);
+            n.dirty = false;
+            ++result_.pagesWritten;
+        }
+    }
+
+    sdk::Env &env_;
+    VdbParams p_;
+    int db_fd_ = -1, wal_fd_ = -1;
+    Gva io_buf_ = 0;
+    std::map<uint32_t, Node> nodes_;
+    uint32_t next_page_ = 1;
+    uint32_t root_ = 0;
+    uint64_t pendingKey_ = 0;
+    uint64_t tx_ = 0;
+    Bytes walBuf_;
+};
+
+} // namespace
+
+VdbResult
+runVdb(sdk::Env &env, const VdbParams &params)
+{
+    VdbEngine engine(env, params);
+    Rng rng(params.seed);
+    std::vector<std::pair<uint64_t, uint64_t>> sample;
+    for (uint64_t i = 0; i < params.inserts; ++i) {
+        uint64_t key = rng.next();
+        uint64_t value = rng.next();
+        engine.insert(key, value);
+        if (i % 97 == 0)
+            sample.emplace_back(key, value);
+    }
+    engine.finish();
+
+    for (const auto &[k, v] : sample) {
+        uint64_t got = 0;
+        if (engine.lookup(k, got) && got == v)
+            ++engine.result_.lookupsOk;
+    }
+    VdbResult res = engine.result_;
+    ensure(res.lookupsOk == sample.size(), "vdb: lost rows");
+    return res;
+}
+
+} // namespace veil::wl

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * vdb: SQLite-analogue embedded database (Fig. 5/6 "SQLite"). A real
+ * order-32 B+-tree with 4 KiB pages persisted through pwrite, a
+ * write-ahead log appended per transaction, and periodic fsync — the
+ * paper's syscall-heavy workload (highest enclave exit rate).
+ */
+#ifndef VEIL_WORKLOADS_VDB_HH_
+#define VEIL_WORKLOADS_VDB_HH_
+
+#include <string>
+
+#include "base/bytes.hh"
+#include "sdk/env.hh"
+
+namespace veil::wl {
+
+struct VdbParams
+{
+    std::string dbPath = "/test.db";
+    std::string walPath = "/test.db-wal";
+    uint64_t inserts = 10000;
+    uint64_t seed = 7;
+    /// Rows per transaction (one WAL write per commit).
+    uint64_t insertsPerTx = 4;
+    /// Transactions per fsync (journal batching).
+    uint64_t txPerSync = 16;
+    /// Compute per insert (parse/plan/encode; SQLite-class).
+    uint64_t cyclesPerInsert = 9000;
+};
+
+struct VdbResult
+{
+    uint64_t inserted = 0;
+    uint64_t pagesWritten = 0;
+    uint64_t walBytes = 0;
+    uint64_t lookupsOk = 0;
+    uint64_t btreeDepth = 0;
+};
+
+/** Run the insert benchmark (the paper's "insert 10k random rows"). */
+VdbResult runVdb(sdk::Env &env, const VdbParams &params);
+
+} // namespace veil::wl
+
+#endif // VEIL_WORKLOADS_VDB_HH_

@@ -1,0 +1,255 @@
+#include "workloads/vhttpd.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/rng.hh"
+
+namespace veil::wl {
+
+using namespace kern;
+using snp::Gva;
+
+namespace {
+
+std::string
+docPath(size_t idx)
+{
+    return strfmt("/www_f%zu", idx);
+}
+
+} // namespace
+
+void
+vhttpdPrepare(sdk::Env &env, const VhttpdParams &params, uint64_t seed)
+{
+    Rng rng(seed);
+    Gva buf = env.alloc(params.fileBytes);
+    for (size_t i = 0; i < params.files; ++i) {
+        Bytes content = rng.bytes(params.fileBytes);
+        int fd = static_cast<int>(env.creat(docPath(i)));
+        ensure(fd >= 0, "vhttpdPrepare: creat failed");
+        env.copyIn(buf, content.data(), content.size());
+        env.write(fd, buf, content.size());
+        env.close(fd);
+    }
+    env.release(buf, params.fileBytes);
+}
+
+// ---- Server ----
+
+HttpServer::HttpServer(sdk::Env &env, const VhttpdParams &params)
+    : env_(env), p_(params)
+{
+    ioBufLen_ = p_.fileBytes + 256;
+    ioBuf_ = env_.alloc(ioBufLen_);
+    listenFd_ = static_cast<int>(env_.socket());
+    ensure(listenFd_ >= 0, "HttpServer: socket failed");
+    ensure(env_.bind(listenFd_, p_.port) == 0, "HttpServer: bind failed");
+    ensure(env_.listen(listenFd_, 64) == 0, "HttpServer: listen failed");
+}
+
+HttpServer::~HttpServer()
+{
+    env_.release(ioBuf_, ioBufLen_);
+    for (size_t i = 0; i < cache_.size(); ++i) {
+        if (cache_[i])
+            env_.release(cache_[i], ioBufLen_);
+    }
+    for (auto &c : conns_)
+        env_.close(c.fd);
+    if (accessLogFd_ >= 0)
+        env_.close(accessLogFd_);
+    env_.close(listenFd_);
+}
+
+Gva
+HttpServer::cachedFile(size_t idx, size_t &len)
+{
+    // lighttpd-style stat/content cache: build the full response
+    // (header + body) once per file, then serve from memory.
+    if (cache_.empty()) {
+        cache_.assign(p_.files, 0);
+        cacheLen_.assign(p_.files, 0);
+    }
+    if (cache_[idx] == 0) {
+        Gva buf = env_.alloc(ioBufLen_);
+        int fd = static_cast<int>(env_.open(docPath(idx), kO_RDONLY));
+        std::string header =
+            strfmt("HTTP/1.0 200 OK\r\nContent-Length: %zu\r\n\r\n",
+                   p_.fileBytes);
+        env_.copyIn(buf, header.data(), header.size());
+        int64_t n = 0;
+        if (fd >= 0) {
+            n = env_.pread(fd, buf + header.size(), p_.fileBytes, 0);
+            env_.close(fd);
+        }
+        cache_[idx] = buf;
+        cacheLen_[idx] = header.size() + (n > 0 ? size_t(n) : 0);
+    }
+    len = cacheLen_[idx];
+    return cache_[idx];
+}
+
+void
+HttpServer::serveRequest(Conn &conn)
+{
+    env_.burn(p_.serverCyclesPerReq);
+    // Parse "GET /www_fN HTTP/1.0".
+    size_t file_idx = 0;
+    size_t pos = conn.request.find("/www_f");
+    if (pos != std::string::npos)
+        file_idx = strtoul(conn.request.c_str() + pos + 6, nullptr, 10) %
+                   p_.files;
+
+    size_t total = 0;
+    Gva resp = cachedFile(file_idx, total);
+    int64_t sent = env_.send(conn.fd, resp, total);
+    if (sent > 0)
+        bytesSent_ += static_cast<uint64_t>(sent);
+
+    // Access log line per request (nginx/lighttpd behaviour).
+    if (accessLogFd_ < 0)
+        accessLogFd_ = static_cast<int>(env_.creat("/access.log"));
+    std::string line = strfmt("127.0.0.1 - GET /www_f%zu 200 %zu\n",
+                              file_idx, total);
+    env_.copyIn(ioBuf_, line.data(), line.size());
+    env_.write(accessLogFd_, ioBuf_, line.size());
+
+    env_.close(conn.fd);
+    conn.fd = -1;
+    ++served_;
+}
+
+bool
+HttpServer::step()
+{
+    if (served_ >= p_.requests)
+        return true;
+
+    // Accept new connections (epoll-gated, like lighttpd's fdevent).
+    if (env_.pollIn(listenFd_) > 0) {
+        int64_t nfd = env_.accept(listenFd_);
+        if (nfd >= 0)
+            conns_.push_back(Conn{static_cast<int>(nfd), {}});
+    }
+
+    // Progress readable connections.
+    for (auto &conn : conns_) {
+        if (conn.fd < 0 || env_.pollIn(conn.fd) <= 0)
+            continue;
+        int64_t n = env_.recv(conn.fd, ioBuf_, 256);
+        if (n > 0) {
+            std::string chunk(static_cast<size_t>(n), '\0');
+            env_.copyOut(ioBuf_, chunk.data(), chunk.size());
+            conn.request += chunk;
+            if (conn.request.find("\r\n\r\n") != std::string::npos)
+                serveRequest(conn);
+        } else if (n == 0) {
+            env_.close(conn.fd);
+            conn.fd = -1;
+        }
+    }
+    // Compact closed connections.
+    std::erase_if(conns_, [](const Conn &c) { return c.fd < 0; });
+    return served_ >= p_.requests;
+}
+
+void
+HttpServer::runToCompletion()
+{
+    while (!step()) {
+    }
+}
+
+// ---- Client ----
+
+HttpClient::HttpClient(sdk::Env &env, const VhttpdParams &params)
+    : env_(env), p_(params)
+{
+    ioBufLen_ = p_.fileBytes + 256;
+    ioBuf_ = env_.alloc(ioBufLen_);
+    conns_.resize(static_cast<size_t>(p_.concurrency));
+}
+
+HttpClient::~HttpClient()
+{
+    env_.release(ioBuf_, ioBufLen_);
+    for (auto &c : conns_) {
+        if (c.fd >= 0)
+            env_.close(c.fd);
+    }
+}
+
+void
+HttpClient::pump()
+{
+    for (auto &c : conns_) {
+        switch (c.state) {
+          case St::Idle: {
+              if (started_ >= p_.requests)
+                  break;
+              int fd = static_cast<int>(env_.socket());
+              if (fd < 0 || env_.connect(fd, p_.port) != 0) {
+                  if (fd >= 0)
+                      env_.close(fd);
+                  ++errors_;
+                  break;
+              }
+              std::string req = strfmt("GET /www_f%llu HTTP/1.0\r\n\r\n",
+                                       (unsigned long long)(fileCounter_++ %
+                                                            p_.files));
+              env_.copyIn(ioBuf_, req.data(), req.size());
+              env_.send(fd, ioBuf_, req.size());
+              env_.burn(p_.clientCyclesPerReq);
+              c.fd = fd;
+              c.state = St::Sent;
+              c.received = 0;
+              ++started_;
+              break;
+          }
+          case St::Sent: {
+              int64_t n = env_.recv(c.fd, ioBuf_, ioBufLen_);
+              if (n > 0) {
+                  c.received += static_cast<size_t>(n);
+                  bytesReceived_ += static_cast<uint64_t>(n);
+              } else if (n == 0) {
+                  // Peer closed: response complete.
+                  env_.close(c.fd);
+                  c.fd = -1;
+                  if (c.received >= p_.fileBytes)
+                      ++completed_;
+                  else
+                      ++errors_;
+                  c.state = St::Idle;
+              }
+              break;
+          }
+          case St::Done:
+            break;
+        }
+    }
+}
+
+VhttpdResult
+runVhttpdNative(sdk::Env &server_env, sdk::Env &client_env,
+                const VhttpdParams &params)
+{
+    HttpServer server(server_env, params);
+    HttpClient client(client_env, params);
+    uint64_t spins = 0;
+    while (!client.done()) {
+        server.step();
+        client.pump();
+        ensure(++spins < params.requests * 100, "vhttpd: stalled");
+    }
+    VhttpdResult res;
+    res.served = server.served();
+    res.completed = client.completed();
+    res.errors = client.errors();
+    res.bytesSent = server.bytesSent();
+    res.bytesReceived = client.bytesReceived();
+    return res;
+}
+
+} // namespace veil::wl

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * vhttpd: lighttpd/NGINX-analogue HTTP/1.0 file server plus an
+ * ApacheBench-style client (Fig. 5 "Lighttpd", Fig. 6 "NGINX";
+ * Tables 4/5: "10,000 (10KB) files" driven by ab). Both sides are
+ * non-blocking state machines so the server can run natively or inside
+ * an enclave (with the client pumped from the untrusted side through
+ * the ocall hook).
+ */
+#ifndef VEIL_WORKLOADS_VHTTPD_HH_
+#define VEIL_WORKLOADS_VHTTPD_HH_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "base/bytes.hh"
+#include "sdk/env.hh"
+
+namespace veil::wl {
+
+struct VhttpdParams
+{
+    uint16_t port = 8080;
+    size_t fileBytes = 10 * 1024;
+    size_t files = 16;
+    uint64_t requests = 2000; ///< paper: 10,000
+    int concurrency = 4;
+    /// Request parse + response build + access logging + TCP-stack work
+    /// above this kernel's thin syscalls (lighttpd-class).
+    uint64_t serverCyclesPerReq = 95000;
+    /// ab-side request generation + response bookkeeping.
+    uint64_t clientCyclesPerReq = 55000;
+};
+
+struct VhttpdResult
+{
+    uint64_t served = 0;
+    uint64_t completed = 0;
+    uint64_t bytesSent = 0;
+    uint64_t bytesReceived = 0;
+    uint64_t errors = 0;
+};
+
+/** Create the document root files (run natively before the benchmark). */
+void vhttpdPrepare(sdk::Env &env, const VhttpdParams &params,
+                   uint64_t seed = 3);
+
+/** The server half: serves exactly params.requests requests, then
+ *  returns. Safe to run inside an enclave. */
+class HttpServer
+{
+  public:
+    HttpServer(sdk::Env &env, const VhttpdParams &params);
+    ~HttpServer();
+
+    /** One poll iteration; returns true when finished. */
+    bool step();
+    /** Run until all requests served. */
+    void runToCompletion();
+
+    uint64_t served() const { return served_; }
+    uint64_t bytesSent() const { return bytesSent_; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::string request;
+    };
+
+    void serveRequest(Conn &conn);
+    snp::Gva cachedFile(size_t idx, size_t &len);
+
+    sdk::Env &env_;
+    VhttpdParams p_;
+    int listenFd_ = -1;
+    snp::Gva ioBuf_ = 0;
+    size_t ioBufLen_ = 0;
+    /// lighttpd-style content cache: header+body staged per file.
+    std::vector<snp::Gva> cache_;
+    std::vector<size_t> cacheLen_;
+    std::vector<Conn> conns_;
+    int accessLogFd_ = -1;
+    uint64_t served_ = 0;
+    uint64_t bytesSent_ = 0;
+};
+
+/** The ab-style client half: keeps params.concurrency connections in
+ *  flight until params.requests complete. Runs in the untrusted app. */
+class HttpClient
+{
+  public:
+    HttpClient(sdk::Env &env, const VhttpdParams &params);
+    ~HttpClient();
+
+    /** Advance every in-flight connection one step. */
+    void pump();
+    bool done() const { return completed_ + errors_ >= p_.requests; }
+
+    uint64_t completed() const { return completed_; }
+    uint64_t errors() const { return errors_; }
+    uint64_t bytesReceived() const { return bytesReceived_; }
+
+  private:
+    enum class St { Idle, Sent, Done };
+    struct Conn
+    {
+        int fd = -1;
+        St state = St::Idle;
+        size_t received = 0;
+    };
+
+    sdk::Env &env_;
+    VhttpdParams p_;
+    snp::Gva ioBuf_ = 0;
+    size_t ioBufLen_ = 0;
+    std::vector<Conn> conns_;
+    uint64_t started_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t errors_ = 0;
+    uint64_t bytesReceived_ = 0;
+    uint64_t fileCounter_ = 0;
+};
+
+/** Native driver: interleave server and client on one kernel context. */
+VhttpdResult runVhttpdNative(sdk::Env &server_env, sdk::Env &client_env,
+                             const VhttpdParams &params);
+
+} // namespace veil::wl
+
+#endif // VEIL_WORKLOADS_VHTTPD_HH_

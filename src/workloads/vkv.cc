@@ -1,0 +1,151 @@
+#include "workloads/vkv.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "base/log.hh"
+#include "base/rng.hh"
+
+namespace veil::wl {
+
+using snp::Gva;
+
+namespace {
+
+/** Open-addressing hash table (linear probing, power-of-two size). */
+class HashStore
+{
+  public:
+    explicit HashStore(size_t capacity_pow2) : slots_(capacity_pow2) {}
+
+    uint64_t
+    put(uint64_t key, uint64_t value)
+    {
+        maybeGrow();
+        uint64_t probes = 1;
+        size_t mask = slots_.size() - 1;
+        size_t i = mix(key) & mask;
+        while (slots_[i].used && slots_[i].key != key) {
+            i = (i + 1) & mask;
+            ++probes;
+        }
+        if (!slots_[i].used)
+            ++count_;
+        slots_[i] = Slot{true, key, value};
+        return probes;
+    }
+
+    bool
+    get(uint64_t key, uint64_t &value) const
+    {
+        size_t mask = slots_.size() - 1;
+        size_t i = mix(key) & mask;
+        while (slots_[i].used) {
+            if (slots_[i].key == key) {
+                value = slots_[i].value;
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+        return false;
+    }
+
+    size_t count() const { return count_; }
+
+  private:
+    struct Slot
+    {
+        bool used = false;
+        uint64_t key = 0;
+        uint64_t value = 0;
+    };
+
+    static uint64_t
+    mix(uint64_t k)
+    {
+        k ^= k >> 33;
+        k *= 0xff51afd7ed558ccdULL;
+        k ^= k >> 33;
+        return k;
+    }
+
+    void
+    maybeGrow()
+    {
+        if (count_ * 4 < slots_.size() * 3)
+            return;
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{});
+        count_ = 0;
+        for (const auto &s : old) {
+            if (s.used)
+                put(s.key, s.value);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    size_t count_ = 0;
+};
+
+} // namespace
+
+VkvResult
+runVkv(sdk::Env &env, const VkvParams &params)
+{
+    VkvResult res;
+    HashStore store(1 << 12);
+    Rng rng(params.seed);
+
+    int fd = static_cast<int>(env.creat(params.journalPath));
+    ensure(fd >= 0, "vkv: journal creat failed");
+    size_t rec_len = 16 + params.valueBytes;
+    size_t batch_cap = params.recordsPerFlush * rec_len;
+    Gva buf = env.alloc(batch_cap);
+    std::vector<uint8_t> batch;
+    batch.reserve(batch_cap);
+
+    std::vector<std::pair<uint64_t, uint64_t>> sample;
+    for (uint64_t i = 0; i < params.inserts; ++i) {
+        uint64_t key = rng.next();
+        uint64_t value = rng.next();
+        res.probes += store.put(key, value);
+        env.burn(params.cyclesPerInsert);
+        if (i % 1009 == 0)
+            sample.emplace_back(key, value);
+
+        // Journal record: key, value hash, payload.
+        uint8_t rec[16];
+        std::memcpy(rec, &key, 8);
+        std::memcpy(rec + 8, &value, 8);
+        batch.insert(batch.end(), rec, rec + 16);
+        batch.resize(batch.size() + params.valueBytes,
+                     static_cast<uint8_t>(key));
+        if (batch.size() >= batch_cap) {
+            env.copyIn(buf, batch.data(), batch.size());
+            env.write(fd, buf, batch.size());
+            res.journalBytes += batch.size();
+            ++res.flushes;
+            batch.clear();
+        }
+        ++res.inserted;
+    }
+    if (!batch.empty()) {
+        env.copyIn(buf, batch.data(), batch.size());
+        env.write(fd, buf, batch.size());
+        res.journalBytes += batch.size();
+        ++res.flushes;
+    }
+    env.fsync(fd);
+    env.release(buf, batch_cap);
+    env.close(fd);
+
+    for (const auto &[k, v] : sample) {
+        uint64_t got = 0;
+        if (store.get(k, got) && got == v)
+            ++res.lookupsOk;
+    }
+    ensure(res.lookupsOk == sample.size(), "vkv: lost keys");
+    return res;
+}
+
+} // namespace veil::wl

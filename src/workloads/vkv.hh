@@ -1,0 +1,40 @@
+/**
+ * @file
+ * vkv: UnQLite-analogue NoSQL key-value engine (Fig. 5 "UnQlite",
+ * "huge-db test"): open-addressing hash store with a record journal
+ * appended in small batches — many small syscalls with light compute.
+ */
+#ifndef VEIL_WORKLOADS_VKV_HH_
+#define VEIL_WORKLOADS_VKV_HH_
+
+#include <string>
+
+#include "base/bytes.hh"
+#include "sdk/env.hh"
+
+namespace veil::wl {
+
+struct VkvParams
+{
+    std::string journalPath = "/test.vkv";
+    uint64_t inserts = 100000; ///< paper: 1M ("huge-db")
+    uint64_t seed = 11;
+    uint64_t recordsPerFlush = 8;
+    uint64_t cyclesPerInsert = 1200; ///< hash + memtable, light
+    size_t valueBytes = 24;
+};
+
+struct VkvResult
+{
+    uint64_t inserted = 0;
+    uint64_t journalBytes = 0;
+    uint64_t flushes = 0;
+    uint64_t probes = 0;
+    uint64_t lookupsOk = 0;
+};
+
+VkvResult runVkv(sdk::Env &env, const VkvParams &params);
+
+} // namespace veil::wl
+
+#endif // VEIL_WORKLOADS_VKV_HH_

@@ -1,0 +1,214 @@
+#include "workloads/vzip.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/rng.hh"
+
+namespace veil::wl {
+
+using snp::Gva;
+
+namespace {
+
+// LZSS parameters: 64 KiB window, 3..66 byte matches.
+constexpr size_t kWindow = 64 * 1024;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 66;
+constexpr size_t kHashSize = 1 << 15;
+
+uint32_t
+hash3(const uint8_t *p)
+{
+    uint32_t v = uint32_t(p[0]) | (uint32_t(p[1]) << 8) | (uint32_t(p[2]) << 16);
+    return (v * 2654435761u) >> 17;
+}
+
+} // namespace
+
+Bytes
+lzssCompress(const Bytes &input)
+{
+    Bytes out;
+    appendLe<uint32_t>(out, static_cast<uint32_t>(input.size()));
+    if (input.empty())
+        return out;
+
+    std::vector<int64_t> head(kHashSize, -1);
+    std::vector<int64_t> prev(input.size(), -1);
+
+    // Token stream: flag byte covering 8 tokens; literal = 1 byte,
+    // match = 3 bytes (16-bit distance, 1 byte length-kMinMatch).
+    size_t flag_pos = 0;
+    uint8_t flag = 0;
+    int flag_bits = 0;
+    auto open_flag = [&] {
+        flag_pos = out.size();
+        out.push_back(0);
+        flag = 0;
+        flag_bits = 0;
+    };
+    auto close_flag = [&] { out[flag_pos] = flag; };
+    open_flag();
+
+    size_t i = 0;
+    while (i < input.size()) {
+        size_t best_len = 0;
+        size_t best_dist = 0;
+        if (i + kMinMatch <= input.size()) {
+            uint32_t h = hash3(&input[i]);
+            int64_t cand = head[h];
+            int chain = 0;
+            while (cand >= 0 && i - size_t(cand) <= kWindow && chain < 16) {
+                size_t len = 0;
+                size_t max = std::min(kMaxMatch, input.size() - i);
+                while (len < max && input[cand + len] == input[i + len])
+                    ++len;
+                if (len > best_len) {
+                    best_len = len;
+                    best_dist = i - size_t(cand);
+                }
+                cand = prev[cand];
+                ++chain;
+            }
+            // Chain link: the previous head becomes our predecessor.
+            prev[i] = head[h];
+            head[h] = static_cast<int64_t>(i);
+        }
+        // Maintain hash chains for every position inside a match too.
+        auto insert_pos = [&](size_t pos) {
+            if (pos + kMinMatch <= input.size()) {
+                uint32_t h = hash3(&input[pos]);
+                prev[pos] = head[h];
+                head[h] = static_cast<int64_t>(pos);
+            }
+        };
+
+        if (flag_bits == 8) {
+            close_flag();
+            open_flag();
+        }
+        if (best_len >= kMinMatch) {
+            flag |= uint8_t(1 << flag_bits);
+            out.push_back(static_cast<uint8_t>(best_dist));
+            out.push_back(static_cast<uint8_t>(best_dist >> 8));
+            out.push_back(static_cast<uint8_t>(best_len - kMinMatch));
+            for (size_t k = 1; k < best_len; ++k)
+                insert_pos(i + k);
+            i += best_len;
+        } else {
+            out.push_back(input[i]);
+            ++i;
+        }
+        ++flag_bits;
+    }
+    close_flag();
+    return out;
+}
+
+Bytes
+lzssDecompress(const Bytes &stream)
+{
+    if (stream.size() < 4)
+        return {};
+    uint32_t total = loadLe<uint32_t>(stream.data());
+    Bytes out;
+    out.reserve(total);
+    size_t i = 4;
+    while (out.size() < total && i < stream.size()) {
+        uint8_t flag = stream[i++];
+        for (int b = 0; b < 8 && out.size() < total && i < stream.size();
+             ++b) {
+            if (flag & (1 << b)) {
+                if (i + 3 > stream.size())
+                    return {};
+                size_t dist = stream[i] | (size_t(stream[i + 1]) << 8);
+                size_t len = size_t(stream[i + 2]) + kMinMatch;
+                i += 3;
+                if (dist == 0 || dist > out.size())
+                    return {};
+                size_t start = out.size() - dist;
+                for (size_t k = 0; k < len; ++k)
+                    out.push_back(out[start + k]);
+            } else {
+                out.push_back(stream[i++]);
+            }
+        }
+    }
+    return out.size() == total ? out : Bytes{};
+}
+
+void
+vzipPrepare(sdk::Env &env, const VzipParams &params, size_t input_bytes,
+            uint64_t seed)
+{
+    // Compressible input: random words from a small dictionary.
+    Rng rng(seed);
+    static const char *kWords[] = {
+        "confidential ", "virtual ",  "machine ", "privilege ", "monitor ",
+        "kernel ",       "enclave ",  "service ", "integrity ", "veil ",
+        "memory ",       "hardware ", "domain ",  "switch ",    "audit ",
+    };
+    Bytes data;
+    data.reserve(input_bytes);
+    while (data.size() < input_bytes) {
+        const char *w = kWords[rng.below(15)];
+        data.insert(data.end(), w, w + std::strlen(w));
+        if (rng.below(13) == 0)
+            data.push_back(static_cast<uint8_t>(rng.next()));
+    }
+    data.resize(input_bytes);
+
+    int64_t fd = env.creat(params.inputPath);
+    ensure(fd >= 0, "vzipPrepare: creat failed");
+    size_t off = 0;
+    Gva buf = env.alloc(params.chunkBytes);
+    while (off < data.size()) {
+        size_t take = std::min(params.chunkBytes, data.size() - off);
+        env.copyIn(buf, data.data() + off, take);
+        env.write(int(fd), buf, take);
+        off += take;
+    }
+    env.release(buf, params.chunkBytes);
+    env.close(int(fd));
+}
+
+VzipResult
+runVzip(sdk::Env &env, const VzipParams &params)
+{
+    VzipResult res;
+    int64_t in_fd = env.open(params.inputPath, kern::kO_RDONLY);
+    ensure(in_fd >= 0, "runVzip: missing input");
+    int64_t out_fd = env.creat(params.outputPath);
+    ensure(out_fd >= 0, "runVzip: output creat failed");
+
+    Gva in_buf = env.alloc(params.chunkBytes);
+    Gva out_buf = env.alloc(params.chunkBytes + params.chunkBytes / 2 + 16);
+    std::vector<uint8_t> chunk(params.chunkBytes);
+
+    for (;;) {
+        int64_t n = env.read(int(in_fd), in_buf, params.chunkBytes);
+        if (n <= 0)
+            break;
+        env.copyOut(in_buf, chunk.data(), static_cast<size_t>(n));
+        Bytes compressed =
+            lzssCompress(Bytes(chunk.begin(), chunk.begin() + n));
+        env.burn(params.cyclesPerByte * static_cast<uint64_t>(n));
+        env.copyIn(out_buf, compressed.data(), compressed.size());
+        env.write(int(out_fd), out_buf, compressed.size());
+
+        res.inBytes += static_cast<uint64_t>(n);
+        res.outBytes += compressed.size();
+        ++res.chunks;
+        for (uint8_t b : compressed)
+            res.checksum = res.checksum * 131 + b;
+    }
+
+    env.release(in_buf, params.chunkBytes);
+    env.release(out_buf, params.chunkBytes + params.chunkBytes / 2 + 16);
+    env.close(int(in_fd));
+    env.close(int(out_fd));
+    return res;
+}
+
+} // namespace veil::wl

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * vzip: GZip-analogue compression workload (Fig. 5 "GZip", Fig. 6
+ * "7-Zip"). A real LZSS compressor (greedy hash-chain matcher) over a
+ * file read in large chunks — the paper's low-exit-rate workload:
+ * heavy compute, few syscalls.
+ */
+#ifndef VEIL_WORKLOADS_VZIP_HH_
+#define VEIL_WORKLOADS_VZIP_HH_
+
+#include <string>
+
+#include "base/bytes.hh"
+#include "sdk/env.hh"
+
+namespace veil::wl {
+
+struct VzipParams
+{
+    std::string inputPath = "/input.bin";
+    std::string outputPath = "/output.vz";
+    size_t chunkBytes = 1 * 1024 * 1024;
+    /// Simulated compressor speed (cycles per input byte; gzip-class).
+    uint64_t cyclesPerByte = 45;
+};
+
+struct VzipResult
+{
+    uint64_t inBytes = 0;
+    uint64_t outBytes = 0;
+    uint64_t chunks = 0;
+    uint64_t checksum = 0;
+};
+
+/** LZSS-compress @p input (host-side helper, also used by tests). */
+Bytes lzssCompress(const Bytes &input);
+
+/** Decompress an lzssCompress stream; empty on corruption. */
+Bytes lzssDecompress(const Bytes &stream);
+
+/** Create the input file (deterministic compressible data). */
+void vzipPrepare(sdk::Env &env, const VzipParams &params, size_t input_bytes,
+                 uint64_t seed = 42);
+
+/** Run the compression workload. */
+VzipResult runVzip(sdk::Env &env, const VzipParams &params);
+
+} // namespace veil::wl
+
+#endif // VEIL_WORKLOADS_VZIP_HH_

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for base utilities: logging errors, RNG determinism and
+ * distribution sanity, hex codecs, and constant-time compare.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/bytes.hh"
+#include "base/log.hh"
+#include "base/rng.hh"
+
+namespace veil {
+namespace {
+
+TEST(Log, PanicThrowsPanicError)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    EXPECT_THROW(panic("boom"), PanicError);
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(Log, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("x=%d s=%s", 42, "hi"), "x=42 s=hi");
+    EXPECT_EQ(strfmt("%%"), "%");
+}
+
+TEST(Log, EnsurePassesAndFails)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    EXPECT_NO_THROW(ensure(true, "fine"));
+    EXPECT_THROW(ensure(false, "bad"), PanicError);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng r(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        uint64_t v = r.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all values hit
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, FillProducesRequestedBytes)
+{
+    Rng r(3);
+    auto v = r.bytes(37);
+    EXPECT_EQ(v.size(), 37u);
+    // Not all zero.
+    bool nonzero = false;
+    for (auto b : v)
+        nonzero |= (b != 0);
+    EXPECT_TRUE(nonzero);
+}
+
+TEST(Bytes, HexRoundTrip)
+{
+    Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+    std::string hex = hexEncode(data);
+    EXPECT_EQ(hex, "0001abff7f");
+    EXPECT_EQ(hexDecode(hex), data);
+}
+
+TEST(Bytes, HexDecodeRejectsBadInput)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    EXPECT_THROW(hexDecode("abc"), FatalError);   // odd length
+    EXPECT_THROW(hexDecode("zz"), FatalError);    // bad digit
+}
+
+TEST(Bytes, CtEqualBehaves)
+{
+    uint8_t a[4] = {1, 2, 3, 4};
+    uint8_t b[4] = {1, 2, 3, 4};
+    uint8_t c[4] = {1, 2, 3, 5};
+    EXPECT_TRUE(ctEqual(a, b, 4));
+    EXPECT_FALSE(ctEqual(a, c, 4));
+    EXPECT_TRUE(ctEqual(a, c, 0));
+}
+
+TEST(Bytes, AppendLeLittleEndian)
+{
+    Bytes out;
+    appendLe<uint32_t>(out, 0x11223344);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 0x44);
+    EXPECT_EQ(out[3], 0x11);
+    EXPECT_EQ(loadLe<uint32_t>(out.data()), 0x11223344u);
+}
+
+} // namespace
+} // namespace veil

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Crypto library tests against published vectors: SHA-256 (FIPS 180-4),
+ * HMAC-SHA256 (RFC 4231), AES-128 (FIPS 197), plus roundtrip/property
+ * tests for CTR mode, DRBG, bignum arithmetic, DH, and signatures.
+ */
+#include <gtest/gtest.h>
+
+#include "base/log.hh"
+#include "base/rng.hh"
+#include "crypto/aes.hh"
+#include "crypto/bignum.hh"
+#include "crypto/dh.hh"
+#include "crypto/drbg.hh"
+#include "crypto/hmac.hh"
+#include "crypto/sha256.hh"
+#include "crypto/sig.hh"
+
+namespace veil::crypto {
+namespace {
+
+TEST(Sha256, EmptyString)
+{
+    auto d = Sha256::hash(nullptr, 0);
+    EXPECT_EQ(digestHex(d),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    auto d = Sha256::hash("abc", 3);
+    EXPECT_EQ(digestHex(d),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    const char *msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+    auto d = Sha256::hash(msg, strlen(msg));
+    EXPECT_EQ(digestHex(d),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 ctx;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        ctx.update(chunk);
+    EXPECT_EQ(digestHex(ctx.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    Rng rng(42);
+    Bytes data = rng.bytes(3000);
+    Sha256 ctx;
+    size_t off = 0;
+    size_t steps[] = {1, 63, 64, 65, 100, 999, 1708};
+    for (size_t s : steps) {
+        ctx.update(data.data() + off, s);
+        off += s;
+    }
+    ASSERT_EQ(off, data.size());
+    EXPECT_EQ(ctx.finish(), Sha256::hash(data));
+}
+
+TEST(HmacSha256, Rfc4231Case1)
+{
+    Bytes key(20, 0x0b);
+    auto d = HmacSha256::mac(key, "Hi There", 8);
+    EXPECT_EQ(digestHex(d),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2)
+{
+    Bytes key = {'J', 'e', 'f', 'e'};
+    const char *msg = "what do ya want for nothing?";
+    auto d = HmacSha256::mac(key, msg, strlen(msg));
+    EXPECT_EQ(digestHex(d),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashed)
+{
+    // RFC 4231 case 6: 131-byte key of 0xaa, "Test Using Larger Than
+    // Block-Size Key - Hash Key First".
+    Bytes key(131, 0xaa);
+    const char *msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+    auto d = HmacSha256::mac(key, msg, strlen(msg));
+    EXPECT_EQ(digestHex(d),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Aes128, Fips197Vector)
+{
+    AesKey key;
+    AesBlock pt, expect;
+    auto kb = hexDecode("000102030405060708090a0b0c0d0e0f");
+    auto pb = hexDecode("00112233445566778899aabbccddeeff");
+    auto cb = hexDecode("69c4e0d86a7b0430d8cdb78070b4c55a");
+    std::copy(kb.begin(), kb.end(), key.begin());
+    std::copy(pb.begin(), pb.end(), pt.begin());
+    std::copy(cb.begin(), cb.end(), expect.begin());
+
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encryptBlock(pt), expect);
+    EXPECT_EQ(aes.decryptBlock(expect), pt);
+}
+
+TEST(Aes128, EncryptDecryptRandomBlocks)
+{
+    Rng rng(7);
+    AesKey key;
+    rng.fill(key.data(), key.size());
+    Aes128 aes(key);
+    for (int i = 0; i < 50; ++i) {
+        AesBlock b;
+        rng.fill(b.data(), b.size());
+        EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(b)), b);
+    }
+}
+
+TEST(AesCtr, RoundTripAndNonceSeparation)
+{
+    Rng rng(9);
+    AesKey key;
+    rng.fill(key.data(), key.size());
+    Aes128 aes(key);
+
+    Bytes pt = rng.bytes(4096 + 13);
+    Bytes ct(pt.size()), back(pt.size()), other(pt.size());
+    aesCtrXor(aes, 1, 0, pt.data(), ct.data(), pt.size());
+    EXPECT_NE(ct, pt);
+    aesCtrXor(aes, 1, 0, ct.data(), back.data(), ct.size());
+    EXPECT_EQ(back, pt);
+    aesCtrXor(aes, 2, 0, ct.data(), other.data(), ct.size());
+    EXPECT_NE(other, pt);
+}
+
+TEST(HmacDrbg, DeterministicAndSeedSensitive)
+{
+    HmacDrbg a(Bytes{1, 2, 3});
+    HmacDrbg b(Bytes{1, 2, 3});
+    HmacDrbg c(Bytes{1, 2, 4});
+    auto x = a.generate(64);
+    EXPECT_EQ(x, b.generate(64));
+    EXPECT_NE(x, c.generate(64));
+    // Subsequent output differs from the first (state advances).
+    EXPECT_NE(a.generate(64), x);
+}
+
+TEST(HmacDrbg, ReseedChangesStream)
+{
+    HmacDrbg a(Bytes{5});
+    HmacDrbg b(Bytes{5});
+    a.generate(16);
+    b.generate(16);
+    a.reseed(Bytes{9, 9});
+    EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(BigInt, HexRoundTrip)
+{
+    BigInt v = BigInt::fromHex("deadbeefcafebabe1234");
+    EXPECT_EQ(v.toHex(), "deadbeefcafebabe1234");
+    EXPECT_EQ(BigInt(0).toHex(), "0");
+    EXPECT_EQ(BigInt(255).toHex(), "ff");
+}
+
+TEST(BigInt, AddSubProperties)
+{
+    Rng rng(21);
+    for (int i = 0; i < 100; ++i) {
+        BigInt a = BigInt::fromBytes(rng.bytes(rng.range(1, 24)));
+        BigInt b = BigInt::fromBytes(rng.bytes(rng.range(1, 24)));
+        BigInt s = BigInt::add(a, b);
+        EXPECT_EQ(BigInt::sub(s, b), a);
+        EXPECT_EQ(BigInt::sub(s, a), b);
+    }
+}
+
+TEST(BigInt, MulMatchesU64)
+{
+    Rng rng(22);
+    for (int i = 0; i < 200; ++i) {
+        uint32_t a = static_cast<uint32_t>(rng.next());
+        uint32_t b = static_cast<uint32_t>(rng.next());
+        uint64_t expect = uint64_t(a) * b;
+        EXPECT_EQ(BigInt::mul(BigInt(a), BigInt(b)).toHex(),
+                  BigInt(expect).toHex());
+    }
+}
+
+TEST(BigInt, ModMatchesU64)
+{
+    Rng rng(23);
+    for (int i = 0; i < 200; ++i) {
+        uint64_t a = rng.next();
+        uint64_t m = rng.range(1, ~0ULL);
+        EXPECT_EQ(BigInt::mod(BigInt(a), BigInt(m)).toHex(),
+                  BigInt(a % m).toHex());
+    }
+}
+
+TEST(BigInt, ModExpSmallCases)
+{
+    // 3^5 mod 7 = 5; 2^10 mod 1000 = 24
+    EXPECT_EQ(BigInt::modExp(BigInt(3), BigInt(5), BigInt(7)).toHex(), "5");
+    EXPECT_EQ(BigInt::modExp(BigInt(2), BigInt(10), BigInt(1000)).toHex(),
+              "18"); // 24 = 0x18
+}
+
+TEST(BigInt, FermatLittleTheorem)
+{
+    // a^(p-1) = 1 mod p for prime p = 1000003 and random a.
+    BigInt p(1000003);
+    Rng rng(24);
+    for (int i = 0; i < 20; ++i) {
+        BigInt a(rng.range(2, 1000002));
+        EXPECT_EQ(BigInt::modExp(a, BigInt(1000002), p).toHex(), "1");
+    }
+}
+
+TEST(BigInt, MillerRabinClassifiesSmallNumbers)
+{
+    const uint32_t primes[] = {2, 3, 5, 101, 65537, 1000003};
+    const uint32_t composites[] = {4, 9, 100, 65539 * 3, 561 /*Carmichael*/};
+    for (uint32_t p : primes)
+        EXPECT_TRUE(BigInt::isProbablePrime(BigInt(p))) << p;
+    for (uint32_t c : composites)
+        EXPECT_FALSE(BigInt::isProbablePrime(BigInt(c))) << c;
+}
+
+TEST(BigInt, DhGroupPrimeIsPrime)
+{
+    BigInt p = BigInt::fromHex(kGroupPrimeHex);
+    EXPECT_EQ(p.bitLength(), 256u);
+    EXPECT_TRUE(BigInt::isProbablePrime(p));
+}
+
+TEST(Dh, KeyAgreementMatches)
+{
+    HmacDrbg da(Bytes{'a'});
+    HmacDrbg db(Bytes{'b'});
+    DhKeyPair alice = dhGenerate(da);
+    DhKeyPair bob = dhGenerate(db);
+    EXPECT_NE(alice.publicKey, bob.publicKey);
+
+    Bytes s1 = dhSharedSecret(alice.secret, bob.publicKey);
+    Bytes s2 = dhSharedSecret(bob.secret, alice.publicKey);
+    EXPECT_EQ(s1, s2);
+    EXPECT_EQ(s1.size(), 32u);
+}
+
+TEST(Dh, RejectsOutOfRangePublic)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    HmacDrbg d(Bytes{'x'});
+    DhKeyPair kp = dhGenerate(d);
+    Bytes zero(32, 0);
+    EXPECT_THROW(dhSharedSecret(kp.secret, zero), FatalError);
+    Bytes huge(33, 0xff);
+    EXPECT_THROW(dhSharedSecret(kp.secret, huge), FatalError);
+}
+
+TEST(Dh, SessionKeyDerivationIsDeterministic)
+{
+    Bytes secret(32, 0x42);
+    SessionKeys k1 = deriveSessionKeys(secret);
+    SessionKeys k2 = deriveSessionKeys(secret);
+    EXPECT_EQ(k1.encKey, k2.encKey);
+    EXPECT_EQ(k1.macKey, k2.macKey);
+    // enc and mac keys are independent.
+    EXPECT_NE(Bytes(k1.encKey.begin(), k1.encKey.end()),
+              Bytes(k1.macKey.begin(), k1.macKey.begin() + 16));
+}
+
+TEST(Sig, SignVerifyAndDomainSeparation)
+{
+    Bytes key = {1, 2, 3, 4};
+    Digest d = Sha256::hash("module", 6);
+    Signature s = signDigest(key, "module", d);
+    EXPECT_TRUE(verifyDigest(key, "module", d, s));
+    EXPECT_FALSE(verifyDigest(key, "psp-report", d, s));
+    Bytes other_key = {9, 9};
+    EXPECT_FALSE(verifyDigest(other_key, "module", d, s));
+    s[0] ^= 1;
+    EXPECT_FALSE(verifyDigest(key, "module", d, s));
+}
+
+} // namespace
+} // namespace veil::crypto

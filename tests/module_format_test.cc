@@ -1,0 +1,158 @@
+/**
+ * @file
+ * VKO module format tests: build/parse round trips, signature coverage,
+ * relocation encoding, and structural rejection of malformed images
+ * (truncations, bad magic, out-of-range relocations) including a
+ * randomized mutation sweep.
+ */
+#include <gtest/gtest.h>
+
+#include "base/log.hh"
+#include "base/rng.hh"
+#include "veil/module_format.hh"
+
+namespace veil::core {
+namespace {
+
+Bytes
+key()
+{
+    return {'k', '1'};
+}
+
+VkoBuildSpec
+sampleSpec()
+{
+    Rng rng(3);
+    VkoBuildSpec spec;
+    spec.text = rng.bytes(900);
+    spec.data = rng.bytes(300);
+    spec.relocs = {{0, "printk"}, {16, "kmalloc"}, {40, "printk"}};
+    spec.entryOffset = 0x20;
+    return spec;
+}
+
+TEST(Vko, BuildParseRoundTrip)
+{
+    VkoBuildSpec spec = sampleSpec();
+    Bytes image = vkoBuild(spec, key());
+    auto mod = vkoParse(image);
+    ASSERT_TRUE(mod.has_value());
+    EXPECT_EQ(mod->text, spec.text);
+    EXPECT_EQ(mod->data, spec.data);
+    EXPECT_EQ(mod->header.entryOffset, 0x20u);
+    ASSERT_EQ(mod->relocs.size(), 3u);
+    // Duplicate symbol names collapse into one table entry.
+    ASSERT_EQ(mod->symbols.size(), 2u);
+    EXPECT_EQ(mod->symbols[mod->relocs[0].symIndex], "printk");
+    EXPECT_EQ(mod->symbols[mod->relocs[1].symIndex], "kmalloc");
+    EXPECT_EQ(mod->symbols[mod->relocs[2].symIndex], "printk");
+}
+
+TEST(Vko, SignatureVerifies)
+{
+    Bytes image = vkoBuild(sampleSpec(), key());
+    EXPECT_TRUE(vkoVerify(image, key()));
+    EXPECT_FALSE(vkoVerify(image, Bytes{'k', '2'}));
+}
+
+TEST(Vko, AnyByteFlipBreaksSignature)
+{
+    Bytes image = vkoBuild(sampleSpec(), key());
+    Rng rng(9);
+    for (int i = 0; i < 40; ++i) {
+        Bytes copy = image;
+        copy[rng.below(copy.size())] ^= uint8_t(1 + rng.below(255));
+        if (copy == image)
+            continue;
+        EXPECT_FALSE(vkoVerify(copy, key()));
+    }
+}
+
+TEST(Vko, DigestIndependentOfSignatureField)
+{
+    Bytes a = vkoBuild(sampleSpec(), key());
+    Bytes b = vkoBuild(sampleSpec(), Bytes{'o', 't', 'h', 'e', 'r'});
+    EXPECT_EQ(vkoDigest(a), vkoDigest(b));
+}
+
+TEST(Vko, RejectsBadMagic)
+{
+    Bytes image = vkoBuild(sampleSpec(), key());
+    image[0] ^= 0xff;
+    EXPECT_FALSE(vkoParse(image).has_value());
+}
+
+TEST(Vko, RejectsTruncations)
+{
+    Bytes image = vkoBuild(sampleSpec(), key());
+    for (size_t cut : {size_t(0), size_t(10), sizeof(VkoHeader) - 1,
+                       image.size() - 1}) {
+        Bytes copy(image.begin(), image.begin() + cut);
+        EXPECT_FALSE(vkoParse(copy).has_value()) << cut;
+    }
+    // Trailing garbage is also a structural error.
+    Bytes padded = image;
+    padded.push_back(0);
+    EXPECT_FALSE(vkoParse(padded).has_value());
+}
+
+TEST(Vko, RejectsOutOfRangeReloc)
+{
+    Bytes image = vkoBuild(sampleSpec(), key());
+    auto mod = vkoParse(image);
+    ASSERT_TRUE(mod);
+    // Corrupt a relocation offset in the serialized image.
+    size_t reloc_off = sizeof(VkoHeader) + mod->header.textLen +
+                       mod->header.dataLen;
+    uint32_t bad = mod->header.textLen; // offset + 8 > textLen
+    std::memcpy(image.data() + reloc_off, &bad, sizeof(bad));
+    EXPECT_FALSE(vkoParse(image).has_value());
+}
+
+TEST(Vko, RejectsBadSymbolIndex)
+{
+    Bytes image = vkoBuild(sampleSpec(), key());
+    auto mod = vkoParse(image);
+    ASSERT_TRUE(mod);
+    size_t reloc_off = sizeof(VkoHeader) + mod->header.textLen +
+                       mod->header.dataLen + 4;
+    uint32_t bad_sym = 99;
+    std::memcpy(image.data() + reloc_off, &bad_sym, sizeof(bad_sym));
+    EXPECT_FALSE(vkoParse(image).has_value());
+}
+
+TEST(Vko, EmptyDataSectionAllowed)
+{
+    VkoBuildSpec spec;
+    spec.text = Bytes(64, 1);
+    Bytes image = vkoBuild(spec, key());
+    auto mod = vkoParse(image);
+    ASSERT_TRUE(mod);
+    EXPECT_TRUE(mod->data.empty());
+    EXPECT_TRUE(mod->relocs.empty());
+}
+
+TEST(Vko, RandomMutationSweepNeverCrashes)
+{
+    Bytes image = vkoBuild(sampleSpec(), key());
+    Rng rng(77);
+    for (int i = 0; i < 300; ++i) {
+        Bytes copy = image;
+        int flips = 1 + int(rng.below(8));
+        for (int f = 0; f < flips; ++f)
+            copy[rng.below(copy.size())] = uint8_t(rng.next());
+        auto mod = vkoParse(copy); // must never crash / overflow
+        if (mod) {
+            // Structurally valid mutants must still be internally
+            // consistent.
+            for (const auto &r : mod->relocs) {
+                EXPECT_LE(r.offset + 8, mod->header.textLen);
+                EXPECT_LT(r.symIndex, mod->header.nSymbols);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace veil::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Security validation suite (§8, Tables 1-2, §8.3): runs the full
+ * attack battery as parameterized tests and asserts every attack is
+ * defended. The same battery backs bench_security's tables.
+ */
+#include <gtest/gtest.h>
+
+#include "base/log.hh"
+#include "sdk/attacks.hh"
+
+namespace veil::sdk {
+namespace {
+
+class FrameworkAttacks : public ::testing::TestWithParam<size_t>
+{
+};
+
+std::vector<AttackOutcome> &
+frameworkResults()
+{
+    static std::vector<AttackOutcome> results = runFrameworkAttacks();
+    return results;
+}
+
+std::vector<AttackOutcome> &
+enclaveResults()
+{
+    static std::vector<AttackOutcome> results = runEnclaveAttacks();
+    return results;
+}
+
+std::vector<AttackOutcome> &
+validationResults()
+{
+    static std::vector<AttackOutcome> results = runPaperValidationAttacks();
+    return results;
+}
+
+TEST_P(FrameworkAttacks, Defended)
+{
+    const AttackOutcome &o = frameworkResults().at(GetParam());
+    EXPECT_TRUE(o.defended) << o.attack << " — " << o.observed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, FrameworkAttacks,
+                         ::testing::Range<size_t>(0, 10),
+                         [](const auto &info) {
+                             return "Attack" + std::to_string(info.param);
+                         });
+
+class EnclaveAttacks : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(EnclaveAttacks, Defended)
+{
+    const AttackOutcome &o = enclaveResults().at(GetParam());
+    EXPECT_TRUE(o.defended) << o.attack << " — " << o.observed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, EnclaveAttacks,
+                         ::testing::Range<size_t>(0, 9),
+                         [](const auto &info) {
+                             return "Attack" + std::to_string(info.param);
+                         });
+
+TEST(PaperValidation, BothConcreteAttacksHaltTheCvm)
+{
+    auto &results = validationResults();
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &o : results) {
+        EXPECT_TRUE(o.defended) << o.attack;
+        EXPECT_NE(o.observed.find("#NPF"), std::string::npos) << o.attack;
+    }
+}
+
+TEST(BatterySizes, MatchPaperTables)
+{
+    EXPECT_EQ(frameworkResults().size(), 10u); // Table 1 rows (+1 extra)
+    EXPECT_EQ(enclaveResults().size(), 9u);    // Table 2 rows
+}
+
+} // namespace
+} // namespace veil::sdk

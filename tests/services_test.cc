@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Protected-service tests inside a booted Veil CVM: VeilS-LOG append /
+ * overflow / sealed retrieval / tamper detection, VeilS-KCI module
+ * verification and TOCTOU defense, and remote log workflows end to end
+ * (§6.1, §6.3, §8.2).
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/rng.hh"
+#include "sdk/remote.hh"
+#include "sdk/vm.hh"
+#include "veil/module_format.hh"
+
+namespace veil {
+namespace {
+
+using namespace sdk;
+using namespace kern;
+using core::IdcbMessage;
+using core::VeilOp;
+using core::VeilStatus;
+
+VmConfig
+testConfig(size_t log_kb = 64)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    VmConfig cfg;
+    cfg.machine.memBytes = 32 * 1024 * 1024;
+    cfg.machine.numVcpus = 1;
+    cfg.logBytes = log_kb * 1024;
+    return cfg;
+}
+
+IdcbMessage
+logAppendMsg(const std::string &record)
+{
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::LogAppend);
+    std::memcpy(m.payload, record.data(), record.size());
+    m.payloadLen = static_cast<uint32_t>(record.size());
+    return m;
+}
+
+TEST(LogService, AppendAndSnapshot)
+{
+    VeilVm vm(testConfig());
+    vm.run([&](Kernel &k, Process &) {
+        for (int i = 0; i < 5; ++i) {
+            auto reply = k.callService(logAppendMsg(strfmt("record-%d", i)));
+            EXPECT_EQ(reply.status, uint64_t(VeilStatus::Ok));
+        }
+    });
+    auto records = vm.services().log().snapshotRecords();
+    ASSERT_EQ(records.size(), 5u);
+    EXPECT_EQ(records[0], "record-0");
+    EXPECT_EQ(records[4], "record-4");
+    EXPECT_EQ(vm.services().log().recordCount(), 5u);
+}
+
+TEST(LogService, OverflowDropsButNeverOverwrites)
+{
+    VmConfig cfg = testConfig(/*log_kb=*/4); // one-page store
+    VeilVm vm(cfg);
+    uint64_t ok = 0, overflow = 0;
+    vm.run([&](Kernel &k, Process &) {
+        std::string rec(200, 'x');
+        for (int i = 0; i < 40; ++i) {
+            auto reply = k.callService(logAppendMsg(rec));
+            if (reply.status == uint64_t(VeilStatus::Ok))
+                ++ok;
+            else if (reply.status == uint64_t(VeilStatus::Overflow))
+                ++overflow;
+        }
+    });
+    EXPECT_GT(ok, 10u);
+    EXPECT_GT(overflow, 0u);
+    EXPECT_EQ(vm.services().log().droppedRecords(), overflow);
+    // Early records are intact (append-only, no wraparound).
+    EXPECT_EQ(vm.services().log().snapshotRecords()[0], std::string(200, 'x'));
+}
+
+TEST(LogService, RemoteRetrievalRoundTrip)
+{
+    VeilVm vm(testConfig());
+    RemoteUser user(vm);
+    std::vector<std::string> retrieved;
+    vm.run([&](Kernel &k, Process &) {
+        ASSERT_TRUE(user.establishChannel(k));
+        for (int i = 0; i < 8; ++i)
+            k.callService(logAppendMsg(strfmt("evt-%03d", i)));
+        retrieved = user.retrieveAllRecords(k);
+    });
+    ASSERT_EQ(retrieved.size(), 8u);
+    EXPECT_EQ(retrieved.front(), "evt-000");
+    EXPECT_EQ(retrieved.back(), "evt-007");
+}
+
+TEST(LogService, LargeRetrievalSpansManySealedChunks)
+{
+    VeilVm vm(testConfig(/*log_kb=*/128));
+    RemoteUser user(vm);
+    std::vector<std::string> retrieved;
+    vm.run([&](Kernel &k, Process &) {
+        ASSERT_TRUE(user.establishChannel(k));
+        // 12 KB of records: far beyond one sealed response (<1 KB), so
+        // retrieval must chunk across many Fetch queries.
+        for (int i = 0; i < 120; ++i) {
+            k.callService(
+                logAppendMsg(strfmt("%04d:", i) + std::string(95, 'r')));
+        }
+        retrieved = user.retrieveAllRecords(k);
+    });
+    ASSERT_EQ(retrieved.size(), 120u);
+    for (int i = 0; i < 120; ++i)
+        EXPECT_EQ(retrieved[i].substr(0, 5), strfmt("%04d:", i));
+}
+
+TEST(LogService, QueryWithoutChannelDenied)
+{
+    VeilVm vm(testConfig());
+    vm.run([&](Kernel &k, Process &) {
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::LogQuery);
+        m.payloadLen = 16;
+        auto reply = k.callService(m);
+        EXPECT_EQ(reply.status, uint64_t(VeilStatus::Denied));
+    });
+}
+
+TEST(LogService, TamperedQueryRejected)
+{
+    VeilVm vm(testConfig());
+    RemoteUser user(vm);
+    vm.run([&](Kernel &k, Process &) {
+        ASSERT_TRUE(user.establishChannel(k));
+        k.callService(logAppendMsg("secret event"));
+        // The untrusted relay (kernel) flips a byte of the sealed query.
+        core::SecureChannel forge(crypto::deriveSessionKeys(Bytes(32, 1)),
+                                  true);
+        Bytes bogus = forge.seal({0, 0, 0, 0, 0, 0, 0, 0, 0});
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::LogQuery);
+        std::memcpy(m.payload, bogus.data(), bogus.size());
+        m.payloadLen = static_cast<uint32_t>(bogus.size());
+        auto reply = k.callService(m);
+        EXPECT_EQ(reply.status, uint64_t(VeilStatus::VerifyFailed));
+    });
+}
+
+TEST(LogService, ClearAfterFullRetrievalResetsStorage)
+{
+    VeilVm vm(testConfig());
+    RemoteUser user(vm);
+    vm.run([&](Kernel &k, Process &) {
+        ASSERT_TRUE(user.establishChannel(k));
+        for (int i = 0; i < 4; ++i)
+            k.callService(logAppendMsg("event"));
+        auto got = user.retrieveAllRecords(k);
+        ASSERT_EQ(got.size(), 4u);
+        uint64_t used_before = vm.services().log().bytesUsed();
+        EXPECT_GT(used_before, 0u);
+        ASSERT_TRUE(user.queryLogs(k, core::LogQueryCmd::Clear, 1 << 20)
+                        .has_value());
+        EXPECT_EQ(vm.services().log().bytesUsed(), 0u);
+    });
+}
+
+TEST(LogService, StatsReportCountsAndBytes)
+{
+    VeilVm vm(testConfig());
+    vm.run([&](Kernel &k, Process &) {
+        k.callService(logAppendMsg("abc"));
+        k.callService(logAppendMsg("defgh"));
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::LogStats);
+        auto reply = k.callService(m);
+        EXPECT_EQ(reply.status, uint64_t(VeilStatus::Ok));
+        EXPECT_EQ(reply.ret[0], 2u);
+        EXPECT_EQ(reply.ret[1], 4u + 3 + 4 + 5); // framing + payloads
+    });
+}
+
+// ---- VeilS-KCI ----
+
+Bytes
+buildModule(const Bytes &key, uint32_t text_bytes = 4096)
+{
+    Rng rng(8);
+    core::VkoBuildSpec spec;
+    spec.text = rng.bytes(text_bytes);
+    spec.data = rng.bytes(128);
+    spec.relocs = {{8, "printk"}};
+    return core::vkoBuild(spec, key);
+}
+
+TEST(KciService, LoadsSignedModuleAndExecutes)
+{
+    VeilVm vm(testConfig());
+    vm.run([&](Kernel &k, Process &) {
+        Bytes image = buildModule(k.config().moduleKey);
+        int64_t handle = k.loadModule(image);
+        ASSERT_GT(handle, 0);
+        EXPECT_EQ(k.invokeModule(handle), 0);
+        // Relocation was applied against the protected symbol table.
+        uint64_t reloc_target;
+        vm.machine().memory().read(k.moduleText(handle) + 8, &reloc_target,
+                                   sizeof(reloc_target));
+        EXPECT_EQ(reloc_target, k.textLo() + 0x200); // printk
+        EXPECT_EQ(k.unloadModule(handle), 0);
+    });
+    EXPECT_EQ(vm.services().kci().loadedModules(), 0u);
+}
+
+TEST(KciService, RejectsBadSignature)
+{
+    VeilVm vm(testConfig());
+    vm.run([&](Kernel &k, Process &) {
+        Bytes image = buildModule(Bytes{'w', 'r', 'o', 'n', 'g'});
+        EXPECT_EQ(k.loadModule(image), -kEACCES);
+    });
+}
+
+TEST(KciService, RejectsUnknownSymbol)
+{
+    VeilVm vm(testConfig());
+    vm.run([&](Kernel &k, Process &) {
+        Rng rng(8);
+        core::VkoBuildSpec spec;
+        spec.text = rng.bytes(256);
+        spec.relocs = {{8, "no_such_symbol"}};
+        Bytes image = core::vkoBuild(spec, k.config().moduleKey);
+        EXPECT_EQ(k.loadModule(image), -kEACCES);
+    });
+}
+
+TEST(KciService, ModuleTextWriteProtectedAfterLoad)
+{
+    VeilVm vm(testConfig());
+    vm.run([&](Kernel &k, Process &) {
+        int64_t handle = k.loadModule(buildModule(k.config().moduleKey));
+        ASSERT_GT(handle, 0);
+        snp::Gpa text = k.moduleText(handle);
+        EXPECT_FALSE(vm.machine().rmp().allowed(
+            snp::Vmpl::Vmpl3, text, snp::Access::Write,
+            snp::Cpl::Supervisor));
+        EXPECT_TRUE(vm.machine().rmp().allowed(
+            snp::Vmpl::Vmpl3, text, snp::Access::Execute,
+            snp::Cpl::Supervisor));
+        // After unload the pages are ordinary kernel data again.
+        k.unloadModule(handle);
+        EXPECT_TRUE(vm.machine().rmp().allowed(
+            snp::Vmpl::Vmpl3, text, snp::Access::Write,
+            snp::Cpl::Supervisor));
+    });
+}
+
+TEST(KciService, ToctouSwapAfterStagingIsHarmless)
+{
+    // The attacker swaps the kernel-memory image right after the call;
+    // KCI staged its own copy first, so the loaded text matches the
+    // verified image, not the attacker's.
+    VeilVm vm(testConfig());
+    vm.run([&](Kernel &k, Process &) {
+        Bytes image = buildModule(k.config().moduleKey);
+        int64_t handle = k.loadModule(image);
+        ASSERT_GT(handle, 0);
+        auto parsed = core::vkoParse(image);
+        Bytes text_now(64);
+        vm.machine().memory().read(k.moduleText(handle), text_now.data(),
+                                   text_now.size());
+        // Bytes 0..7 precede the reloc at offset 8.
+        EXPECT_TRUE(std::equal(text_now.begin(), text_now.begin() + 8,
+                               parsed->text.begin()));
+    });
+}
+
+TEST(KciService, NativePathLoadsWithoutVeil)
+{
+    VmConfig cfg = testConfig();
+    cfg.veilEnabled = false;
+    VeilVm vm(cfg);
+    vm.run([&](Kernel &k, Process &) {
+        int64_t handle = k.loadModule(buildModule(k.config().moduleKey));
+        ASSERT_GT(handle, 0);
+        EXPECT_EQ(k.invokeModule(handle), 0);
+        // Native path: text stays writable (the TOCTOU exposure).
+        EXPECT_TRUE(vm.machine().rmp().allowed(
+            snp::Vmpl::Vmpl0, k.moduleText(handle), snp::Access::Write,
+            snp::Cpl::Supervisor));
+    });
+}
+
+TEST(KciService, OversizeModuleRejected)
+{
+    VeilVm vm(testConfig());
+    vm.run([&](Kernel &k, Process &) {
+        // Image larger than the service's staging limit.
+        Rng rng(8);
+        core::VkoBuildSpec spec;
+        spec.text = rng.bytes(300 * 1024);
+        Bytes image = core::vkoBuild(spec, k.config().moduleKey);
+        EXPECT_LT(k.loadModule(image), 0);
+    });
+}
+
+} // namespace
+} // namespace veil

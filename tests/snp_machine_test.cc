@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Machine + Vcpu + fiber tests: VMENTER/VMGEXIT round trips, GHCB
+ * passing, timer interrupts, NPF-halt semantics, VMSA replication,
+ * cycle accounting against the calibrated cost model, and attestation.
+ */
+#include <gtest/gtest.h>
+
+#include "base/log.hh"
+#include "snp/fault.hh"
+#include "snp/machine.hh"
+#include "snp/vcpu.hh"
+
+namespace veil::snp {
+namespace {
+
+MachineConfig
+smallConfig()
+{
+    MachineConfig cfg;
+    cfg.memBytes = 8 * 1024 * 1024;
+    cfg.numVcpus = 1;
+    cfg.interruptsEnabled = false;
+    return cfg;
+}
+
+/** Validate a page range directly (test scaffolding, not guest code). */
+void
+prepareRange(Machine &m, Gpa lo, Gpa hi, Vmpl grant_to = Vmpl::Vmpl0,
+             PermMask perms = kPermAll)
+{
+    for (Gpa p = lo; p < hi; p += kPageSize) {
+        m.rmp().hvAssign(p);
+        m.rmp().pvalidate(Vmpl::Vmpl0, p, true);
+        if (grant_to != Vmpl::Vmpl0)
+            m.rmp().rmpadjust(Vmpl::Vmpl0, p, grant_to, perms);
+    }
+}
+
+TEST(Fiber, RunsAndYields)
+{
+    int step = 0;
+    Fiber f([&] {
+        step = 1;
+        Fiber::yieldToScheduler();
+        step = 2;
+    });
+    EXPECT_FALSE(f.started());
+    f.resume();
+    EXPECT_EQ(step, 1);
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_EQ(step, 2);
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, PropagatesExceptions)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    Fiber f([] { throw std::runtime_error("inner"); });
+    EXPECT_THROW(f.resume(), std::runtime_error);
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(Machine, SimpleEnterRunsToCompletion)
+{
+    Machine m(smallConfig());
+    bool ran = false;
+    VmsaId id = m.addVmsa([&] {
+        Vmsa v;
+        v.vmpl = Vmpl::Vmpl0;
+        v.entry = [&ran](Vcpu &) { ran = true; };
+        return v;
+    }());
+    VmExit e = m.enter(id);
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(e.reason, ExitReason::Halted);
+    EXPECT_FALSE(m.halted());
+}
+
+TEST(Machine, VmgexitAndReenterResumes)
+{
+    Machine m(smallConfig());
+    prepareRange(m, 0, 2 * kPageSize);
+    m.rmp().hvSetShared(kPageSize, true); // GHCB page
+
+    int phase = 0;
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.entry = [&phase](Vcpu &cpu) {
+        cpu.wrmsrGhcb(kPageSize);
+        phase = 1;
+        Ghcb g;
+        g.exitCode = static_cast<uint64_t>(GhcbExit::ConsoleWrite);
+        cpu.writeGhcb(g);
+        cpu.vmgexit();
+        phase = 2;
+    };
+    VmsaId id = m.addVmsa(std::move(v));
+
+    VmExit e1 = m.enter(id);
+    EXPECT_EQ(e1.reason, ExitReason::NonAutomatic);
+    EXPECT_EQ(phase, 1);
+    // "Hypervisor" reads the GHCB from the shared page.
+    Ghcb g;
+    m.memory().read(kPageSize, &g, sizeof(g));
+    EXPECT_EQ(g.exitCode, static_cast<uint64_t>(GhcbExit::ConsoleWrite));
+
+    VmExit e2 = m.enter(id);
+    EXPECT_EQ(e2.reason, ExitReason::Halted);
+    EXPECT_EQ(phase, 2);
+}
+
+TEST(Machine, DomainSwitchCostMatchesPaperAnchor)
+{
+    // One VMGEXIT + hvDispatch + one VMENTER must equal the paper's
+    // 7135-cycle domain switch (§9.1).
+    MachineConfig cfg = smallConfig();
+    EXPECT_EQ(cfg.costs.domainSwitchTransition(), 7135u);
+    EXPECT_EQ(cfg.costs.domainSwitchRoundTrip(), 14270u);
+
+    Machine m(cfg);
+    prepareRange(m, 0, 2 * kPageSize);
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.entry = [](Vcpu &cpu) { cpu.machine().guestExit(ExitReason::NonAutomatic); };
+    VmsaId id = m.addVmsa(std::move(v));
+
+    uint64_t before = m.tsc();
+    m.enter(id);
+    // enter charges restore; guestExit charges save. hvDispatch is the
+    // hypervisor's to add.
+    EXPECT_EQ(m.tsc() - before, cfg.costs.vmenterRestore + cfg.costs.vmgexitSave);
+}
+
+TEST(Machine, PlainVmExitCostMatchesNonSnpAnchor)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.snpMode = false;
+    EXPECT_EQ(cfg.costs.plainExit + cfg.costs.plainResume, 1100u);
+
+    Machine m(cfg);
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.entry = [](Vcpu &cpu) { cpu.machine().guestExit(ExitReason::NonAutomatic); };
+    VmsaId id = m.addVmsa(std::move(v));
+    uint64_t before = m.tsc();
+    m.enter(id);
+    EXPECT_EQ(m.tsc() - before, cfg.costs.plainResume + cfg.costs.plainExit);
+}
+
+TEST(Machine, NpfHaltsWholeMachine)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    Machine m(smallConfig());
+    prepareRange(m, 0, 4 * kPageSize);
+    // Page 2 stays VMPL-0-only; a VMPL-3 VMSA touches it.
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl3;
+    v.entry = [](Vcpu &cpu) {
+        uint64_t x = 0;
+        cpu.readPhys(2 * kPageSize, &x, sizeof(x)); // must fault
+        FAIL() << "NPF did not fire";
+    };
+    VmsaId id = m.addVmsa(std::move(v));
+    VmExit e = m.enter(id);
+    EXPECT_EQ(e.reason, ExitReason::NpfHalt);
+    EXPECT_TRUE(m.halted());
+    EXPECT_NE(m.haltInfo().reason.find("NPF"), std::string::npos);
+    // Subsequent enters refuse to run.
+    EXPECT_EQ(m.enter(id).reason, ExitReason::NpfHalt);
+}
+
+TEST(Machine, TimerInterruptFiresForUnmaskedVmsa)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.interruptsEnabled = true;
+    Machine m(cfg);
+    prepareRange(m, 0, 2 * kPageSize, Vmpl::Vmpl3, kPermAll);
+
+    int bursts = 0;
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl3;
+    v.irqMasked = false;
+    v.entry = [&](Vcpu &cpu) {
+        for (int i = 0; i < 3; ++i) {
+            cpu.burn(cfg.costs.timerQuantum() + 1);
+            ++bursts;
+        }
+    };
+    VmsaId id = m.addVmsa(std::move(v));
+
+    int intr_exits = 0;
+    VmExit e = m.enter(id);
+    while (e.reason == ExitReason::AutomaticIntr) {
+        ++intr_exits;
+        e = m.enter(id);
+    }
+    EXPECT_EQ(e.reason, ExitReason::Halted);
+    EXPECT_EQ(bursts, 3);
+    EXPECT_GE(intr_exits, 3);
+    EXPECT_EQ(m.stats().timerInterrupts, static_cast<uint64_t>(intr_exits));
+}
+
+TEST(Machine, MaskedVmsaNeverInterrupted)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.interruptsEnabled = true;
+    Machine m(cfg);
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.irqMasked = true;
+    v.entry = [&](Vcpu &cpu) { cpu.burn(10 * cfg.costs.timerQuantum()); };
+    VmsaId id = m.addVmsa(std::move(v));
+    EXPECT_EQ(m.enter(id).reason, ExitReason::Halted);
+    EXPECT_EQ(m.stats().timerInterrupts, 0u);
+}
+
+TEST(Machine, VirtualAccessChecksPageTablesThenRmp)
+{
+    Machine m(smallConfig());
+    prepareRange(m, 0, 16 * kPageSize, Vmpl::Vmpl3, kPermAll);
+    // Make page 8 VMPL-0 only again.
+    m.rmp().pvalidate(Vmpl::Vmpl0, 8 * kPageSize, false);
+    m.rmp().pvalidate(Vmpl::Vmpl0, 8 * kPageSize, true);
+
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl3;
+    v.entry = [](Vcpu &cpu) {
+        // Identity map (cr3 = 0): write via VA to an allowed page works.
+        uint64_t magic = 0xdecafbad;
+        cpu.writeObj<uint64_t>(4 * kPageSize, magic);
+        EXPECT_EQ(cpu.readObj<uint64_t>(4 * kPageSize), magic);
+        // Crossing into the restricted page faults.
+        EXPECT_THROW(cpu.readObj<uint64_t>(8 * kPageSize), NpfFault);
+    };
+    m.enter(m.addVmsa(std::move(v)));
+}
+
+TEST(Machine, CreateVmsaRequiresVmpl0)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    Machine m(smallConfig());
+    prepareRange(m, 0, 8 * kPageSize, Vmpl::Vmpl3, kPermAll);
+
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl3;
+    v.entry = [](Vcpu &cpu) {
+        cpu.createVmsa(6 * kPageSize, 0, Vmpl::Vmpl3, false,
+                       [](Vcpu &) {});
+    };
+    VmExit e = m.enter(m.addVmsa(std::move(v)));
+    EXPECT_EQ(e.reason, ExitReason::NpfHalt);
+}
+
+TEST(Machine, Vmpl0CreatesAndRunsReplica)
+{
+    Machine m(smallConfig());
+    prepareRange(m, 0, 8 * kPageSize);
+
+    bool replica_ran = false;
+    VmsaId replica = kInvalidVmsa;
+    Vmsa boot;
+    boot.vmpl = Vmpl::Vmpl0;
+    boot.entry = [&](Vcpu &cpu) {
+        replica = cpu.createVmsa(6 * kPageSize, 0, Vmpl::Vmpl3, false,
+                                 [&replica_ran](Vcpu &inner) {
+                                     EXPECT_EQ(inner.vmpl(), Vmpl::Vmpl3);
+                                     replica_ran = true;
+                                 });
+    };
+    m.enter(m.addVmsa(std::move(boot)));
+    ASSERT_NE(replica, kInvalidVmsa);
+    EXPECT_TRUE(m.rmp().isVmsaPage(6 * kPageSize));
+    EXPECT_EQ(m.enter(replica).reason, ExitReason::Halted);
+    EXPECT_TRUE(replica_ran);
+}
+
+TEST(Machine, VmsaPageInaccessibleToOs)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    Machine m(smallConfig());
+    prepareRange(m, 0, 8 * kPageSize, Vmpl::Vmpl3, kPermAll);
+
+    // Monitor creates a VMSA on page 6 (previously OS-accessible).
+    Vmsa boot;
+    boot.vmpl = Vmpl::Vmpl0;
+    boot.entry = [&](Vcpu &cpu) {
+        cpu.createVmsa(6 * kPageSize, 0, Vmpl::Vmpl1, true, [](Vcpu &) {});
+    };
+    m.enter(m.addVmsa(std::move(boot)));
+
+    // The OS then tries to read the live VMSA.
+    Vmsa os;
+    os.vmpl = Vmpl::Vmpl3;
+    os.entry = [](Vcpu &cpu) {
+        uint64_t x;
+        cpu.readPhys(6 * kPageSize, &x, sizeof(x));
+    };
+    EXPECT_EQ(m.enter(m.addVmsa(std::move(os))).reason, ExitReason::NpfHalt);
+    EXPECT_TRUE(m.halted());
+}
+
+TEST(Machine, AttestationReportsVmplAndVerifies)
+{
+    Machine m(smallConfig());
+    crypto::Digest launch = crypto::Sha256::hash("boot-image", 10);
+    m.psp().setLaunchDigest(launch);
+
+    AttestationReport captured{};
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl1;
+    v.entry = [&](Vcpu &cpu) {
+        ReportData rd{};
+        rd[0] = 0xaa;
+        captured = cpu.attest(rd);
+    };
+    m.enter(m.addVmsa(std::move(v)));
+
+    EXPECT_EQ(captured.requesterVmpl, 1);
+    EXPECT_EQ(captured.measurement, launch);
+    EXPECT_TRUE(m.psp().verify(captured));
+    // Tampering breaks verification.
+    AttestationReport forged = captured;
+    forged.requesterVmpl = 0;
+    EXPECT_FALSE(m.psp().verify(forged));
+}
+
+TEST(Machine, CopyCostsChargedForAccesses)
+{
+    MachineConfig cfg = smallConfig();
+    Machine m(cfg);
+    prepareRange(m, 0, 16 * kPageSize);
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    uint64_t delta = 0;
+    v.entry = [&](Vcpu &cpu) {
+        std::vector<uint8_t> buf(4096);
+        uint64_t t0 = cpu.rdtsc();
+        cpu.read(2 * kPageSize, buf.data(), buf.size());
+        delta = cpu.rdtsc() - t0;
+    };
+    m.enter(m.addVmsa(std::move(v)));
+    EXPECT_EQ(delta, cfg.costs.copyCost(4096));
+}
+
+TEST(Machine, TeardownUnwindsBlockedFibers)
+{
+    // A fiber blocked in vmgexit must unwind its stack (destructors
+    // run) when the Machine dies.
+    bool destroyed = false;
+    struct Sentinel
+    {
+        bool *flag;
+        ~Sentinel() { *flag = true; }
+    };
+    {
+        Machine m(smallConfig());
+        Vmsa v;
+        v.vmpl = Vmpl::Vmpl0;
+        v.entry = [&destroyed](Vcpu &cpu) {
+            Sentinel s{&destroyed};
+            cpu.machine().guestExit(ExitReason::NonAutomatic);
+        };
+        VmsaId id = m.addVmsa(std::move(v));
+        EXPECT_EQ(m.enter(id).reason, ExitReason::NonAutomatic);
+        EXPECT_FALSE(destroyed);
+    }
+    EXPECT_TRUE(destroyed);
+}
+
+} // namespace
+} // namespace veil::snp

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * RMP table semantics: assignment/validation lifecycle, PVALIDATE
+ * VMPL-0 restriction, RMPADJUST hierarchy and the #NPF-on-restricted-
+ * page behaviour that Veil's domain enforcement relies on (§3, §5.1).
+ */
+#include <gtest/gtest.h>
+
+#include "base/log.hh"
+#include "snp/fault.hh"
+#include "snp/rmp.hh"
+
+namespace veil::snp {
+namespace {
+
+class RmpTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        LogConfig::setThreshold(LogLevel::Silent);
+        rmp = std::make_unique<RmpTable>(16);
+        rmp->hvAssign(kPage);
+        rmp->pvalidate(Vmpl::Vmpl0, kPage, true);
+    }
+
+    static constexpr Gpa kPage = 4 * kPageSize;
+    std::unique_ptr<RmpTable> rmp;
+};
+
+TEST_F(RmpTest, ValidationGrantsVmpl0Only)
+{
+    EXPECT_TRUE(rmp->allowed(Vmpl::Vmpl0, kPage, Access::Read, Cpl::Supervisor));
+    EXPECT_TRUE(rmp->allowed(Vmpl::Vmpl0, kPage, Access::Write, Cpl::Supervisor));
+    EXPECT_FALSE(rmp->allowed(Vmpl::Vmpl1, kPage, Access::Read, Cpl::Supervisor));
+    EXPECT_FALSE(rmp->allowed(Vmpl::Vmpl3, kPage, Access::Write, Cpl::Supervisor));
+}
+
+TEST_F(RmpTest, UnvalidatedPageDeniesEverything)
+{
+    Gpa other = 5 * kPageSize;
+    rmp->hvAssign(other);
+    EXPECT_FALSE(rmp->allowed(Vmpl::Vmpl0, other, Access::Read, Cpl::Supervisor));
+}
+
+TEST_F(RmpTest, PvalidateRestrictedToVmpl0)
+{
+    Gpa other = 5 * kPageSize;
+    rmp->hvAssign(other);
+    EXPECT_THROW(rmp->pvalidate(Vmpl::Vmpl3, other, true), NpfFault);
+    EXPECT_THROW(rmp->pvalidate(Vmpl::Vmpl1, other, true), NpfFault);
+    EXPECT_NO_THROW(rmp->pvalidate(Vmpl::Vmpl0, other, true));
+}
+
+TEST_F(RmpTest, PvalidateUnassignedFaults)
+{
+    EXPECT_THROW(rmp->pvalidate(Vmpl::Vmpl0, 6 * kPageSize, true), NpfFault);
+}
+
+TEST_F(RmpTest, RmpadjustGrantsLowerVmpl)
+{
+    rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl3, kPermRw);
+    EXPECT_TRUE(rmp->allowed(Vmpl::Vmpl3, kPage, Access::Read, Cpl::Supervisor));
+    EXPECT_TRUE(rmp->allowed(Vmpl::Vmpl3, kPage, Access::Write, Cpl::Supervisor));
+    EXPECT_FALSE(
+        rmp->allowed(Vmpl::Vmpl3, kPage, Access::Execute, Cpl::Supervisor));
+}
+
+TEST_F(RmpTest, RmpadjustTargetMustBeLessPrivileged)
+{
+    EXPECT_THROW(rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl0, kPermAll),
+                 NpfFault);
+    rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl1, kPermAll);
+    EXPECT_THROW(rmp->rmpadjust(Vmpl::Vmpl1, kPage, Vmpl::Vmpl1, kPermAll),
+                 NpfFault);
+    EXPECT_THROW(rmp->rmpadjust(Vmpl::Vmpl1, kPage, Vmpl::Vmpl0, kPermAll),
+                 NpfFault);
+}
+
+TEST_F(RmpTest, Vmpl1CanGrantToVmpl2And3)
+{
+    rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl1, kPermAll);
+    rmp->rmpadjust(Vmpl::Vmpl1, kPage, Vmpl::Vmpl2, PermRead);
+    EXPECT_TRUE(rmp->allowed(Vmpl::Vmpl2, kPage, Access::Read, Cpl::User));
+    EXPECT_FALSE(rmp->allowed(Vmpl::Vmpl2, kPage, Access::Write, Cpl::User));
+}
+
+TEST_F(RmpTest, RmpadjustOnRestrictedPageRaisesNpf)
+{
+    // The OS (VMPL-3) has no access to kPage; its RMPADJUST attempt
+    // must raise #NPF — the paper's §5.1 halt condition.
+    EXPECT_THROW(
+        rmp->rmpadjust(Vmpl::Vmpl3, kPage, Vmpl::Vmpl3, kPermAll), NpfFault);
+    // Even a VMPL-1 caller without read access faults.
+    EXPECT_THROW(
+        rmp->rmpadjust(Vmpl::Vmpl1, kPage, Vmpl::Vmpl2, kPermAll), NpfFault);
+}
+
+TEST_F(RmpTest, ExecPermissionsSplitByCpl)
+{
+    rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl3,
+                   PermRead | PermUserExec);
+    EXPECT_TRUE(rmp->allowed(Vmpl::Vmpl3, kPage, Access::Execute, Cpl::User));
+    EXPECT_FALSE(
+        rmp->allowed(Vmpl::Vmpl3, kPage, Access::Execute, Cpl::Supervisor));
+
+    rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl3,
+                   PermRead | PermSupervisorExec);
+    EXPECT_FALSE(rmp->allowed(Vmpl::Vmpl3, kPage, Access::Execute, Cpl::User));
+    EXPECT_TRUE(
+        rmp->allowed(Vmpl::Vmpl3, kPage, Access::Execute, Cpl::Supervisor));
+}
+
+TEST_F(RmpTest, VmsaPagesRequireVmpl0AndBlockLowerVmpls)
+{
+    rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl3, kPermAll);
+    rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl1, kPermNone, true);
+    EXPECT_TRUE(rmp->isVmsaPage(kPage));
+    EXPECT_FALSE(rmp->allowed(Vmpl::Vmpl3, kPage, Access::Read, Cpl::Supervisor));
+    EXPECT_TRUE(rmp->allowed(Vmpl::Vmpl0, kPage, Access::Read, Cpl::Supervisor));
+}
+
+TEST_F(RmpTest, VmsaCreationFromLowerVmplFaults)
+{
+    rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl1, kPermAll);
+    EXPECT_THROW(
+        rmp->rmpadjust(Vmpl::Vmpl1, kPage, Vmpl::Vmpl2, kPermNone, true),
+        NpfFault);
+}
+
+TEST_F(RmpTest, SharedPagesAccessibleToAllButNeverExecutable)
+{
+    Gpa page = 7 * kPageSize;
+    rmp->hvAssign(page);
+    rmp->hvSetShared(page, true);
+    EXPECT_TRUE(rmp->isShared(page));
+    for (int v = 0; v < kNumVmpls; ++v) {
+        auto vmpl = static_cast<Vmpl>(v);
+        EXPECT_TRUE(rmp->allowed(vmpl, page, Access::Read, Cpl::User));
+        EXPECT_TRUE(rmp->allowed(vmpl, page, Access::Write, Cpl::Supervisor));
+        EXPECT_FALSE(rmp->allowed(vmpl, page, Access::Execute, Cpl::User));
+    }
+    rmp->hvSetShared(page, false);
+    EXPECT_FALSE(rmp->allowed(Vmpl::Vmpl3, page, Access::Read, Cpl::User));
+}
+
+TEST_F(RmpTest, HvReclaimRevokesEverything)
+{
+    rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl3, kPermAll);
+    rmp->hvReclaim(kPage);
+    EXPECT_FALSE(rmp->isValidated(kPage));
+    EXPECT_FALSE(rmp->allowed(Vmpl::Vmpl0, kPage, Access::Read, Cpl::Supervisor));
+}
+
+TEST_F(RmpTest, RevalidationResetsPermissions)
+{
+    rmp->rmpadjust(Vmpl::Vmpl0, kPage, Vmpl::Vmpl3, kPermAll);
+    rmp->pvalidate(Vmpl::Vmpl0, kPage, false);
+    rmp->pvalidate(Vmpl::Vmpl0, kPage, true);
+    EXPECT_FALSE(rmp->allowed(Vmpl::Vmpl3, kPage, Access::Read, Cpl::Supervisor));
+}
+
+TEST_F(RmpTest, OutOfRangePagePanics)
+{
+    EXPECT_THROW(rmp->hvAssign(1000 * kPageSize), PanicError);
+    EXPECT_THROW(rmp->perms(999 * kPageSize, Vmpl::Vmpl0), PanicError);
+}
+
+} // namespace
+} // namespace veil::snp

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Vcpu-level unit tests: checked string reads, exec checks through
+ * page tables + RMP, GHCB MSR protocol errors, cost accounting of warm
+ * vs cold RMPADJUST, CPL-3 physical-access restrictions, and the
+ * hypercall convenience path.
+ */
+#include <gtest/gtest.h>
+
+#include "base/log.hh"
+#include "snp/fault.hh"
+#include "snp/machine.hh"
+#include "snp/vcpu.hh"
+
+namespace veil::snp {
+namespace {
+
+class VcpuTest : public ::testing::Test
+{
+  protected:
+    VcpuTest()
+    {
+        LogConfig::setThreshold(LogLevel::Silent);
+        MachineConfig cfg;
+        cfg.memBytes = 8 * 1024 * 1024;
+        cfg.numVcpus = 1;
+        cfg.interruptsEnabled = false;
+        machine = std::make_unique<Machine>(cfg);
+        for (Gpa p = 0; p < 64 * kPageSize; p += kPageSize) {
+            machine->rmp().hvAssign(p);
+            machine->rmp().pvalidate(Vmpl::Vmpl0, p, true);
+        }
+    }
+
+    /** Run guest code at the given privilege and return normally. */
+    template <typename Fn>
+    VmExit
+    runAs(Vmpl vmpl, Cpl cpl, Fn &&fn)
+    {
+        Vmsa v;
+        v.vmpl = vmpl;
+        v.cpl = cpl;
+        v.entry = [fn = std::forward<Fn>(fn)](Vcpu &cpu) { fn(cpu); };
+        return machine->enter(machine->addVmsa(std::move(v)));
+    }
+
+    std::unique_ptr<Machine> machine;
+};
+
+TEST_F(VcpuTest, ReadCStrBoundedAndTerminated)
+{
+    machine->memory().write(4 * kPageSize, "hello\0trailing", 15);
+    runAs(Vmpl::Vmpl0, Cpl::Supervisor, [](Vcpu &cpu) {
+        EXPECT_EQ(cpu.readCStr(4 * kPageSize), "hello");
+        EXPECT_THROW(cpu.readCStr(4 * kPageSize, 3), FatalError);
+    });
+}
+
+TEST_F(VcpuTest, CheckExecHonoursRmpSplit)
+{
+    machine->rmp().rmpadjust(Vmpl::Vmpl0, 5 * kPageSize, Vmpl::Vmpl3,
+                             PermRead | PermUserExec);
+    VmExit e = runAs(Vmpl::Vmpl3, Cpl::Supervisor, [](Vcpu &cpu) {
+        // Supervisor fetch of a user-exec-only page: #NPF.
+        cpu.checkExec(5 * kPageSize);
+    });
+    EXPECT_EQ(e.reason, ExitReason::NpfHalt);
+}
+
+TEST_F(VcpuTest, GhcbWithoutMsrIsFatal)
+{
+    runAs(Vmpl::Vmpl0, Cpl::Supervisor, [](Vcpu &cpu) {
+        EXPECT_THROW(cpu.readGhcb(), FatalError);
+        EXPECT_THROW(cpu.wrmsrGhcb(123), PanicError); // unaligned
+    });
+}
+
+TEST_F(VcpuTest, WrmsrRequiresSupervisor)
+{
+    machine->rmp().rmpadjust(Vmpl::Vmpl0, 6 * kPageSize, Vmpl::Vmpl3,
+                             kPermAll);
+    runAs(Vmpl::Vmpl3, Cpl::User, [](Vcpu &cpu) {
+        EXPECT_THROW(cpu.wrmsrGhcb(6 * kPageSize), FatalError);
+    });
+}
+
+TEST_F(VcpuTest, WarmRmpadjustIsCheaper)
+{
+    runAs(Vmpl::Vmpl0, Cpl::Supervisor, [&](Vcpu &cpu) {
+        uint64_t t0 = cpu.rdtsc();
+        cpu.rmpadjust(7 * kPageSize, Vmpl::Vmpl1, kPermRw);
+        uint64_t cold = cpu.rdtsc() - t0;
+        t0 = cpu.rdtsc();
+        cpu.rmpadjust(7 * kPageSize, Vmpl::Vmpl2, kPermRw, /*warm=*/true);
+        uint64_t warm = cpu.rdtsc() - t0;
+        EXPECT_EQ(cold, machine->costs().rmpadjustPage);
+        EXPECT_EQ(warm, machine->costs().rmpadjustWarm);
+        EXPECT_LT(warm, cold);
+    });
+}
+
+TEST_F(VcpuTest, CopyCostScalesWithLength)
+{
+    runAs(Vmpl::Vmpl0, Cpl::Supervisor, [&](Vcpu &cpu) {
+        std::vector<uint8_t> buf(8192);
+        uint64_t t0 = cpu.rdtsc();
+        cpu.readPhys(8 * kPageSize, buf.data(), 64);
+        uint64_t small = cpu.rdtsc() - t0;
+        t0 = cpu.rdtsc();
+        cpu.readPhys(8 * kPageSize, buf.data(), 8192);
+        uint64_t big = cpu.rdtsc() - t0;
+        EXPECT_EQ(small, machine->costs().copyCost(64));
+        EXPECT_EQ(big, machine->costs().copyCost(8192));
+        EXPECT_GT(big, small * 8);
+    });
+}
+
+TEST_F(VcpuTest, UserPhysAccessOnlyToSharedPages)
+{
+    machine->rmp().rmpadjust(Vmpl::Vmpl0, 9 * kPageSize, Vmpl::Vmpl3,
+                             kPermAll);
+    machine->rmp().hvSetShared(10 * kPageSize, true);
+    VmExit e = runAs(Vmpl::Vmpl3, Cpl::User, [](Vcpu &cpu) {
+        uint64_t v = 1;
+        // Shared page (GHCB model): allowed from ring 3.
+        cpu.writePhys(10 * kPageSize, &v, sizeof(v));
+        // Private page: no ring-3 physical path exists.
+        EXPECT_THROW(cpu.writePhys(9 * kPageSize, &v, sizeof(v)),
+                     PanicError);
+    });
+    EXPECT_EQ(e.reason, ExitReason::Halted);
+}
+
+TEST_F(VcpuTest, HypercallWritesAndReadsGhcb)
+{
+    machine->rmp().hvSetShared(11 * kPageSize, true);
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.ghcbGpa = 11 * kPageSize;
+    uint64_t observed = 0;
+    v.entry = [&observed](Vcpu &cpu) {
+        Ghcb g;
+        g.exitCode = static_cast<uint64_t>(GhcbExit::ConsoleWrite);
+        g.info[1] = 0;
+        observed = cpu.hypercall(g);
+    };
+    VmsaId id = machine->addVmsa(std::move(v));
+    VmExit e = machine->enter(id);
+    ASSERT_EQ(e.reason, ExitReason::NonAutomatic);
+    // Play hypervisor: read the request, write a result, resume.
+    Ghcb g;
+    machine->memory().read(11 * kPageSize, &g, sizeof(g));
+    EXPECT_EQ(g.exitCode, static_cast<uint64_t>(GhcbExit::ConsoleWrite));
+    g.result = 77;
+    machine->memory().write(11 * kPageSize, &g, sizeof(g));
+    machine->enter(id);
+    EXPECT_EQ(observed, 77u);
+}
+
+TEST_F(VcpuTest, VirtualAccessCrossesPageBoundaries)
+{
+    // Map two discontiguous frames adjacently in a page table.
+    Gpa next_frame = 32 * kPageSize;
+    PageTableEditor editor(
+        machine->memory(),
+        [&next_frame] {
+            Gpa f = next_frame;
+            next_frame += kPageSize;
+            return f;
+        },
+        [](Gpa) {});
+    Gpa cr3 = editor.createRoot();
+    editor.map(cr3, 0x400000, 20 * kPageSize, PageFlags{true, true, false});
+    editor.map(cr3, 0x401000, 28 * kPageSize, PageFlags{true, true, false});
+
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.cpl = Cpl::User;
+    v.cr3 = cr3;
+    v.entry = [&](Vcpu &cpu) {
+        std::vector<uint8_t> data(kPageSize + 64);
+        for (size_t i = 0; i < data.size(); ++i)
+            data[i] = uint8_t(i * 3);
+        cpu.write(0x400000 + kPageSize - 32, data.data(), 96);
+        std::vector<uint8_t> back(96);
+        cpu.read(0x400000 + kPageSize - 32, back.data(), 96);
+        EXPECT_TRUE(std::equal(back.begin(), back.end(), data.begin()));
+    };
+    EXPECT_EQ(machine->enter(machine->addVmsa(std::move(v))).reason,
+              ExitReason::Halted);
+    // The two halves really landed in the two frames.
+    uint8_t first_half;
+    machine->memory().read(20 * kPageSize + kPageSize - 32, &first_half, 1);
+    EXPECT_EQ(first_half, 0);
+    uint8_t second_half;
+    machine->memory().read(28 * kPageSize, &second_half, 1);
+    EXPECT_EQ(second_half, uint8_t(32 * 3));
+}
+
+} // namespace
+} // namespace veil::snp

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Workload correctness tests: LZSS compressor round trip and edge
+ * cases, B+-tree database integrity, hash KV store behaviour, crypto
+ * self-test battery, HTTP server/client protocol, cache protocol, and
+ * compute kernels — each run inside a native CVM.
+ */
+#include <gtest/gtest.h>
+
+#include "base/log.hh"
+#include "sdk/vm.hh"
+#include "workloads/speclike.hh"
+#include "workloads/vcached.hh"
+#include "workloads/vcrypt.hh"
+#include "workloads/vdb.hh"
+#include "workloads/vhttpd.hh"
+#include "workloads/vkv.hh"
+#include "workloads/vzip.hh"
+
+namespace veil::wl {
+namespace {
+
+using namespace sdk;
+
+VmConfig
+nativeConfig()
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    VmConfig cfg;
+    cfg.veilEnabled = false;
+    cfg.machine.memBytes = 48 * 1024 * 1024;
+    cfg.machine.numVcpus = 1;
+    return cfg;
+}
+
+template <typename Fn>
+void
+inNativeVm(Fn &&body)
+{
+    VeilVm vm(nativeConfig());
+    auto result = vm.run([&](kern::Kernel &k, kern::Process &p) {
+        NativeEnv env(k, p);
+        body(env);
+    });
+    ASSERT_TRUE(result.terminated)
+        << vm.machine().haltInfo().reason;
+}
+
+// ---- LZSS (host-level unit tests) ----
+
+TEST(Lzss, RoundTripCompressibleData)
+{
+    Bytes input;
+    for (int i = 0; i < 5000; ++i) {
+        const char *s = (i % 3 == 0) ? "hello world " : "veil monitor ";
+        input.insert(input.end(), s, s + strlen(s));
+    }
+    Bytes compressed = lzssCompress(input);
+    EXPECT_LT(compressed.size(), input.size() / 2);
+    EXPECT_EQ(lzssDecompress(compressed), input);
+}
+
+TEST(Lzss, RoundTripIncompressibleData)
+{
+    Rng rng(1);
+    Bytes input = rng.bytes(10000);
+    Bytes compressed = lzssCompress(input);
+    EXPECT_EQ(lzssDecompress(compressed), input);
+}
+
+TEST(Lzss, EmptyAndTinyInputs)
+{
+    EXPECT_EQ(lzssDecompress(lzssCompress({})), Bytes{});
+    Bytes one = {42};
+    EXPECT_EQ(lzssDecompress(lzssCompress(one)), one);
+    Bytes two = {1, 1};
+    EXPECT_EQ(lzssDecompress(lzssCompress(two)), two);
+}
+
+TEST(Lzss, LongRuns)
+{
+    Bytes input(100000, 0xAA);
+    Bytes compressed = lzssCompress(input);
+    EXPECT_LT(compressed.size(), input.size() / 10);
+    EXPECT_EQ(lzssDecompress(compressed), input);
+}
+
+TEST(Lzss, RejectsCorruptStream)
+{
+    Bytes input(1000, 0x55);
+    Bytes compressed = lzssCompress(input);
+    compressed.resize(compressed.size() / 2); // truncate
+    EXPECT_TRUE(lzssDecompress(compressed).empty());
+}
+
+TEST(Lzss, RandomizedPropertySweep)
+{
+    Rng rng(99);
+    for (int iter = 0; iter < 20; ++iter) {
+        size_t len = rng.range(0, 8000);
+        Bytes input(len);
+        // Mix of random and repeated content.
+        for (size_t i = 0; i < len; ++i)
+            input[i] = (rng.below(4) == 0)
+                           ? static_cast<uint8_t>(rng.next())
+                           : static_cast<uint8_t>(i % 17);
+        EXPECT_EQ(lzssDecompress(lzssCompress(input)), input) << iter;
+    }
+}
+
+// ---- Workloads inside a native CVM ----
+
+TEST(Workloads, VzipCompressesFile)
+{
+    inNativeVm([](NativeEnv &env) {
+        VzipParams p;
+        p.chunkBytes = 64 * 1024;
+        vzipPrepare(env, p, 256 * 1024);
+        VzipResult r = runVzip(env, p);
+        EXPECT_EQ(r.inBytes, 256u * 1024);
+        EXPECT_LT(r.outBytes, r.inBytes); // compressible corpus
+        EXPECT_EQ(r.chunks, 4u);
+        // Output file exists with the compressed size.
+        EXPECT_EQ(env.fileSize(p.outputPath), int64_t(r.outBytes));
+    });
+}
+
+TEST(Workloads, VdbInsertsAndFindsRows)
+{
+    inNativeVm([](NativeEnv &env) {
+        VdbParams p;
+        p.inserts = 3000;
+        VdbResult r = runVdb(env, p);
+        EXPECT_EQ(r.inserted, 3000u);
+        EXPECT_GT(r.btreeDepth, 1u); // tree actually grew
+        EXPECT_GT(r.pagesWritten, 50u);
+        EXPECT_EQ(r.walBytes, 3000u * 24);
+        EXPECT_GT(env.fileSize(p.dbPath), 0);
+    });
+}
+
+TEST(Workloads, VkvStoresAndJournals)
+{
+    inNativeVm([](NativeEnv &env) {
+        VkvParams p;
+        p.inserts = 20000;
+        VkvResult r = runVkv(env, p);
+        EXPECT_EQ(r.inserted, 20000u);
+        EXPECT_GT(r.flushes, 1000u);
+        EXPECT_EQ(env.fileSize(p.journalPath), int64_t(r.journalBytes));
+        // Linear probing stays healthy under the 75% load factor.
+        EXPECT_LT(double(r.probes) / double(r.inserted), 4.0);
+    });
+}
+
+TEST(Workloads, VcryptAllTestsPass)
+{
+    inNativeVm([](NativeEnv &env) {
+        VcryptParams p;
+        p.tests = 200;
+        VcryptResult r = runVcrypt(env, p);
+        EXPECT_EQ(r.testsRun, 200u);
+        EXPECT_EQ(r.testsPassed, 200u);
+        EXPECT_EQ(r.printfCalls, 200u);
+    });
+}
+
+TEST(Workloads, VhttpdServesAllRequests)
+{
+    inNativeVm([](NativeEnv &env) {
+        VhttpdParams p;
+        p.requests = 100;
+        p.fileBytes = 10 * 1024;
+        vhttpdPrepare(env, p);
+        VhttpdResult r = runVhttpdNative(env, env, p);
+        EXPECT_EQ(r.completed, 100u);
+        EXPECT_EQ(r.errors, 0u);
+        EXPECT_EQ(r.served, 100u);
+        // Every response carried the full 10KB file.
+        EXPECT_GE(r.bytesReceived, 100u * p.fileBytes);
+    });
+}
+
+TEST(Workloads, VcachedGetSetMix)
+{
+    inNativeVm([](NativeEnv &env) {
+        VcachedParams p;
+        p.ops = 500;
+        VcachedResult r = runVcachedNative(env, env, p);
+        EXPECT_EQ(r.gets + r.sets, 500u);
+        EXPECT_GT(r.gets, r.sets); // 90:10 mix
+        EXPECT_EQ(r.hits + r.misses, r.gets);
+        EXPECT_GT(r.hits, 0u); // keyspace small enough to re-hit
+    });
+}
+
+TEST(Workloads, SpeclikeKernelsComplete)
+{
+    inNativeVm([](NativeEnv &env) {
+        SpecParams p;
+        p.matrixN = 32;
+        p.hashChainLen = 10000;
+        p.chaseSteps = 10000;
+        p.sortElems = 5000;
+        SpecResult r = runSpeclike(env, p);
+        EXPECT_EQ(r.kernels.size(), 4u);
+        EXPECT_GT(r.totalCycles, 0u);
+        for (const auto &[name, cycles] : r.kernels)
+            EXPECT_GT(cycles, 0u) << name;
+    });
+}
+
+TEST(Workloads, DeterministicAcrossRuns)
+{
+    uint64_t sum1 = 0, sum2 = 0;
+    inNativeVm([&](NativeEnv &env) {
+        VzipParams p;
+        vzipPrepare(env, p, 64 * 1024);
+        sum1 = runVzip(env, p).checksum;
+    });
+    inNativeVm([&](NativeEnv &env) {
+        VzipParams p;
+        vzipPrepare(env, p, 64 * 1024);
+        sum2 = runVzip(env, p).checksum;
+    });
+    EXPECT_EQ(sum1, sum2);
+}
+
+} // namespace
+} // namespace veil::wl
