@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boot.dir/bench_boot.cc.o"
+  "CMakeFiles/bench_boot.dir/bench_boot.cc.o.d"
+  "bench_boot"
+  "bench_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enclave_apps.dir/bench_enclave_apps.cc.o"
+  "CMakeFiles/bench_enclave_apps.dir/bench_enclave_apps.cc.o.d"
+  "bench_enclave_apps"
+  "bench_enclave_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enclave_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monitor_cost.dir/bench_monitor_cost.cc.o"
+  "CMakeFiles/bench_monitor_cost.dir/bench_monitor_cost.cc.o.d"
+  "bench_monitor_cost"
+  "bench_monitor_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monitor_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

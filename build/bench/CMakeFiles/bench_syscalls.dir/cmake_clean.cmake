@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_syscalls.dir/bench_syscalls.cc.o"
+  "CMakeFiles/bench_syscalls.dir/bench_syscalls.cc.o.d"
+  "bench_syscalls"
+  "bench_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_bench_common.dir/common.cc.o"
+  "CMakeFiles/veil_bench_common.dir/common.cc.o.d"
+  "libveil_bench_common.a"
+  "libveil_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libveil_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shielded_database.dir/shielded_database.cpp.o"
+  "CMakeFiles/shielded_database.dir/shielded_database.cpp.o.d"
+  "shielded_database"
+  "shielded_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shielded_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signed_module_loading.dir/signed_module_loading.cpp.o"
+  "CMakeFiles/signed_module_loading.dir/signed_module_loading.cpp.o.d"
+  "signed_module_loading"
+  "signed_module_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signed_module_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for signed_module_loading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamper_evident_audit.dir/tamper_evident_audit.cpp.o"
+  "CMakeFiles/tamper_evident_audit.dir/tamper_evident_audit.cpp.o.d"
+  "tamper_evident_audit"
+  "tamper_evident_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamper_evident_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

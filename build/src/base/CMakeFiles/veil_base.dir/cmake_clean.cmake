@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_base.dir/bytes.cc.o"
+  "CMakeFiles/veil_base.dir/bytes.cc.o.d"
+  "CMakeFiles/veil_base.dir/log.cc.o"
+  "CMakeFiles/veil_base.dir/log.cc.o.d"
+  "CMakeFiles/veil_base.dir/rng.cc.o"
+  "CMakeFiles/veil_base.dir/rng.cc.o.d"
+  "libveil_base.a"
+  "libveil_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

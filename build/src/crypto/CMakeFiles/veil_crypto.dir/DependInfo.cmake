@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/veil_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/bignum.cc" "src/crypto/CMakeFiles/veil_crypto.dir/bignum.cc.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/bignum.cc.o.d"
+  "/root/repo/src/crypto/dh.cc" "src/crypto/CMakeFiles/veil_crypto.dir/dh.cc.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/dh.cc.o.d"
+  "/root/repo/src/crypto/drbg.cc" "src/crypto/CMakeFiles/veil_crypto.dir/drbg.cc.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/drbg.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/veil_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/veil_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/sig.cc" "src/crypto/CMakeFiles/veil_crypto.dir/sig.cc.o" "gcc" "src/crypto/CMakeFiles/veil_crypto.dir/sig.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/veil_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

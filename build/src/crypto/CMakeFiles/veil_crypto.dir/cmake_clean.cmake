@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_crypto.dir/aes.cc.o"
+  "CMakeFiles/veil_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/veil_crypto.dir/bignum.cc.o"
+  "CMakeFiles/veil_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/veil_crypto.dir/dh.cc.o"
+  "CMakeFiles/veil_crypto.dir/dh.cc.o.d"
+  "CMakeFiles/veil_crypto.dir/drbg.cc.o"
+  "CMakeFiles/veil_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/veil_crypto.dir/hmac.cc.o"
+  "CMakeFiles/veil_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/veil_crypto.dir/sha256.cc.o"
+  "CMakeFiles/veil_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/veil_crypto.dir/sig.cc.o"
+  "CMakeFiles/veil_crypto.dir/sig.cc.o.d"
+  "libveil_crypto.a"
+  "libveil_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

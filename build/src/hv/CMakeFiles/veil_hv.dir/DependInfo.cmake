@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/hvview.cc" "src/hv/CMakeFiles/veil_hv.dir/hvview.cc.o" "gcc" "src/hv/CMakeFiles/veil_hv.dir/hvview.cc.o.d"
+  "/root/repo/src/hv/hypervisor.cc" "src/hv/CMakeFiles/veil_hv.dir/hypervisor.cc.o" "gcc" "src/hv/CMakeFiles/veil_hv.dir/hypervisor.cc.o.d"
+  "/root/repo/src/hv/launch.cc" "src/hv/CMakeFiles/veil_hv.dir/launch.cc.o" "gcc" "src/hv/CMakeFiles/veil_hv.dir/launch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snp/CMakeFiles/veil_snp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/veil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/veil_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

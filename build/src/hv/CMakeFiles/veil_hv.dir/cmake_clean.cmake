@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_hv.dir/hvview.cc.o"
+  "CMakeFiles/veil_hv.dir/hvview.cc.o.d"
+  "CMakeFiles/veil_hv.dir/hypervisor.cc.o"
+  "CMakeFiles/veil_hv.dir/hypervisor.cc.o.d"
+  "CMakeFiles/veil_hv.dir/launch.cc.o"
+  "CMakeFiles/veil_hv.dir/launch.cc.o.d"
+  "libveil_hv.a"
+  "libveil_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/audit.cc" "src/kernel/CMakeFiles/veil_kernel.dir/audit.cc.o" "gcc" "src/kernel/CMakeFiles/veil_kernel.dir/audit.cc.o.d"
+  "/root/repo/src/kernel/fs.cc" "src/kernel/CMakeFiles/veil_kernel.dir/fs.cc.o" "gcc" "src/kernel/CMakeFiles/veil_kernel.dir/fs.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/veil_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/veil_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/mm.cc" "src/kernel/CMakeFiles/veil_kernel.dir/mm.cc.o" "gcc" "src/kernel/CMakeFiles/veil_kernel.dir/mm.cc.o.d"
+  "/root/repo/src/kernel/net.cc" "src/kernel/CMakeFiles/veil_kernel.dir/net.cc.o" "gcc" "src/kernel/CMakeFiles/veil_kernel.dir/net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/veil/CMakeFiles/veil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/veil_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/snp/CMakeFiles/veil_snp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/veil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/veil_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_kernel.dir/audit.cc.o"
+  "CMakeFiles/veil_kernel.dir/audit.cc.o.d"
+  "CMakeFiles/veil_kernel.dir/fs.cc.o"
+  "CMakeFiles/veil_kernel.dir/fs.cc.o.d"
+  "CMakeFiles/veil_kernel.dir/kernel.cc.o"
+  "CMakeFiles/veil_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/veil_kernel.dir/mm.cc.o"
+  "CMakeFiles/veil_kernel.dir/mm.cc.o.d"
+  "CMakeFiles/veil_kernel.dir/net.cc.o"
+  "CMakeFiles/veil_kernel.dir/net.cc.o.d"
+  "libveil_kernel.a"
+  "libveil_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdk/attacks.cc" "src/sdk/CMakeFiles/veil_sdk.dir/attacks.cc.o" "gcc" "src/sdk/CMakeFiles/veil_sdk.dir/attacks.cc.o.d"
+  "/root/repo/src/sdk/enclave_api.cc" "src/sdk/CMakeFiles/veil_sdk.dir/enclave_api.cc.o" "gcc" "src/sdk/CMakeFiles/veil_sdk.dir/enclave_api.cc.o.d"
+  "/root/repo/src/sdk/enclave_env.cc" "src/sdk/CMakeFiles/veil_sdk.dir/enclave_env.cc.o" "gcc" "src/sdk/CMakeFiles/veil_sdk.dir/enclave_env.cc.o.d"
+  "/root/repo/src/sdk/env.cc" "src/sdk/CMakeFiles/veil_sdk.dir/env.cc.o" "gcc" "src/sdk/CMakeFiles/veil_sdk.dir/env.cc.o.d"
+  "/root/repo/src/sdk/heap.cc" "src/sdk/CMakeFiles/veil_sdk.dir/heap.cc.o" "gcc" "src/sdk/CMakeFiles/veil_sdk.dir/heap.cc.o.d"
+  "/root/repo/src/sdk/native_env.cc" "src/sdk/CMakeFiles/veil_sdk.dir/native_env.cc.o" "gcc" "src/sdk/CMakeFiles/veil_sdk.dir/native_env.cc.o.d"
+  "/root/repo/src/sdk/remote.cc" "src/sdk/CMakeFiles/veil_sdk.dir/remote.cc.o" "gcc" "src/sdk/CMakeFiles/veil_sdk.dir/remote.cc.o.d"
+  "/root/repo/src/sdk/specs.cc" "src/sdk/CMakeFiles/veil_sdk.dir/specs.cc.o" "gcc" "src/sdk/CMakeFiles/veil_sdk.dir/specs.cc.o.d"
+  "/root/repo/src/sdk/vm.cc" "src/sdk/CMakeFiles/veil_sdk.dir/vm.cc.o" "gcc" "src/sdk/CMakeFiles/veil_sdk.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/veil_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/veil/CMakeFiles/veil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/veil_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/snp/CMakeFiles/veil_snp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/veil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/veil_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_sdk.dir/attacks.cc.o"
+  "CMakeFiles/veil_sdk.dir/attacks.cc.o.d"
+  "CMakeFiles/veil_sdk.dir/enclave_api.cc.o"
+  "CMakeFiles/veil_sdk.dir/enclave_api.cc.o.d"
+  "CMakeFiles/veil_sdk.dir/enclave_env.cc.o"
+  "CMakeFiles/veil_sdk.dir/enclave_env.cc.o.d"
+  "CMakeFiles/veil_sdk.dir/env.cc.o"
+  "CMakeFiles/veil_sdk.dir/env.cc.o.d"
+  "CMakeFiles/veil_sdk.dir/heap.cc.o"
+  "CMakeFiles/veil_sdk.dir/heap.cc.o.d"
+  "CMakeFiles/veil_sdk.dir/native_env.cc.o"
+  "CMakeFiles/veil_sdk.dir/native_env.cc.o.d"
+  "CMakeFiles/veil_sdk.dir/remote.cc.o"
+  "CMakeFiles/veil_sdk.dir/remote.cc.o.d"
+  "CMakeFiles/veil_sdk.dir/specs.cc.o"
+  "CMakeFiles/veil_sdk.dir/specs.cc.o.d"
+  "CMakeFiles/veil_sdk.dir/vm.cc.o"
+  "CMakeFiles/veil_sdk.dir/vm.cc.o.d"
+  "libveil_sdk.a"
+  "libveil_sdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_sdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

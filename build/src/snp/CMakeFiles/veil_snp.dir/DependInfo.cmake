@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snp/fiber.cc" "src/snp/CMakeFiles/veil_snp.dir/fiber.cc.o" "gcc" "src/snp/CMakeFiles/veil_snp.dir/fiber.cc.o.d"
+  "/root/repo/src/snp/machine.cc" "src/snp/CMakeFiles/veil_snp.dir/machine.cc.o" "gcc" "src/snp/CMakeFiles/veil_snp.dir/machine.cc.o.d"
+  "/root/repo/src/snp/memory.cc" "src/snp/CMakeFiles/veil_snp.dir/memory.cc.o" "gcc" "src/snp/CMakeFiles/veil_snp.dir/memory.cc.o.d"
+  "/root/repo/src/snp/paging.cc" "src/snp/CMakeFiles/veil_snp.dir/paging.cc.o" "gcc" "src/snp/CMakeFiles/veil_snp.dir/paging.cc.o.d"
+  "/root/repo/src/snp/psp.cc" "src/snp/CMakeFiles/veil_snp.dir/psp.cc.o" "gcc" "src/snp/CMakeFiles/veil_snp.dir/psp.cc.o.d"
+  "/root/repo/src/snp/rmp.cc" "src/snp/CMakeFiles/veil_snp.dir/rmp.cc.o" "gcc" "src/snp/CMakeFiles/veil_snp.dir/rmp.cc.o.d"
+  "/root/repo/src/snp/types.cc" "src/snp/CMakeFiles/veil_snp.dir/types.cc.o" "gcc" "src/snp/CMakeFiles/veil_snp.dir/types.cc.o.d"
+  "/root/repo/src/snp/vcpu.cc" "src/snp/CMakeFiles/veil_snp.dir/vcpu.cc.o" "gcc" "src/snp/CMakeFiles/veil_snp.dir/vcpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/veil_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/veil_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_snp.dir/fiber.cc.o"
+  "CMakeFiles/veil_snp.dir/fiber.cc.o.d"
+  "CMakeFiles/veil_snp.dir/machine.cc.o"
+  "CMakeFiles/veil_snp.dir/machine.cc.o.d"
+  "CMakeFiles/veil_snp.dir/memory.cc.o"
+  "CMakeFiles/veil_snp.dir/memory.cc.o.d"
+  "CMakeFiles/veil_snp.dir/paging.cc.o"
+  "CMakeFiles/veil_snp.dir/paging.cc.o.d"
+  "CMakeFiles/veil_snp.dir/psp.cc.o"
+  "CMakeFiles/veil_snp.dir/psp.cc.o.d"
+  "CMakeFiles/veil_snp.dir/rmp.cc.o"
+  "CMakeFiles/veil_snp.dir/rmp.cc.o.d"
+  "CMakeFiles/veil_snp.dir/types.cc.o"
+  "CMakeFiles/veil_snp.dir/types.cc.o.d"
+  "CMakeFiles/veil_snp.dir/vcpu.cc.o"
+  "CMakeFiles/veil_snp.dir/vcpu.cc.o.d"
+  "libveil_snp.a"
+  "libveil_snp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_snp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

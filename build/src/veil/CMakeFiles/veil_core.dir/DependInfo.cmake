@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/veil/channel.cc" "src/veil/CMakeFiles/veil_core.dir/channel.cc.o" "gcc" "src/veil/CMakeFiles/veil_core.dir/channel.cc.o.d"
+  "/root/repo/src/veil/layout.cc" "src/veil/CMakeFiles/veil_core.dir/layout.cc.o" "gcc" "src/veil/CMakeFiles/veil_core.dir/layout.cc.o.d"
+  "/root/repo/src/veil/module_format.cc" "src/veil/CMakeFiles/veil_core.dir/module_format.cc.o" "gcc" "src/veil/CMakeFiles/veil_core.dir/module_format.cc.o.d"
+  "/root/repo/src/veil/monitor.cc" "src/veil/CMakeFiles/veil_core.dir/monitor.cc.o" "gcc" "src/veil/CMakeFiles/veil_core.dir/monitor.cc.o.d"
+  "/root/repo/src/veil/proto.cc" "src/veil/CMakeFiles/veil_core.dir/proto.cc.o" "gcc" "src/veil/CMakeFiles/veil_core.dir/proto.cc.o.d"
+  "/root/repo/src/veil/services/dispatcher.cc" "src/veil/CMakeFiles/veil_core.dir/services/dispatcher.cc.o" "gcc" "src/veil/CMakeFiles/veil_core.dir/services/dispatcher.cc.o.d"
+  "/root/repo/src/veil/services/enc.cc" "src/veil/CMakeFiles/veil_core.dir/services/enc.cc.o" "gcc" "src/veil/CMakeFiles/veil_core.dir/services/enc.cc.o.d"
+  "/root/repo/src/veil/services/kci.cc" "src/veil/CMakeFiles/veil_core.dir/services/kci.cc.o" "gcc" "src/veil/CMakeFiles/veil_core.dir/services/kci.cc.o.d"
+  "/root/repo/src/veil/services/log.cc" "src/veil/CMakeFiles/veil_core.dir/services/log.cc.o" "gcc" "src/veil/CMakeFiles/veil_core.dir/services/log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snp/CMakeFiles/veil_snp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/veil_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/veil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/veil_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_core.dir/channel.cc.o"
+  "CMakeFiles/veil_core.dir/channel.cc.o.d"
+  "CMakeFiles/veil_core.dir/layout.cc.o"
+  "CMakeFiles/veil_core.dir/layout.cc.o.d"
+  "CMakeFiles/veil_core.dir/module_format.cc.o"
+  "CMakeFiles/veil_core.dir/module_format.cc.o.d"
+  "CMakeFiles/veil_core.dir/monitor.cc.o"
+  "CMakeFiles/veil_core.dir/monitor.cc.o.d"
+  "CMakeFiles/veil_core.dir/proto.cc.o"
+  "CMakeFiles/veil_core.dir/proto.cc.o.d"
+  "CMakeFiles/veil_core.dir/services/dispatcher.cc.o"
+  "CMakeFiles/veil_core.dir/services/dispatcher.cc.o.d"
+  "CMakeFiles/veil_core.dir/services/enc.cc.o"
+  "CMakeFiles/veil_core.dir/services/enc.cc.o.d"
+  "CMakeFiles/veil_core.dir/services/kci.cc.o"
+  "CMakeFiles/veil_core.dir/services/kci.cc.o.d"
+  "CMakeFiles/veil_core.dir/services/log.cc.o"
+  "CMakeFiles/veil_core.dir/services/log.cc.o.d"
+  "libveil_core.a"
+  "libveil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libveil_core.a"
+)

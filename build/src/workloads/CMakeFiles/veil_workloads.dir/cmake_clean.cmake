@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_workloads.dir/speclike.cc.o"
+  "CMakeFiles/veil_workloads.dir/speclike.cc.o.d"
+  "CMakeFiles/veil_workloads.dir/vcached.cc.o"
+  "CMakeFiles/veil_workloads.dir/vcached.cc.o.d"
+  "CMakeFiles/veil_workloads.dir/vcrypt.cc.o"
+  "CMakeFiles/veil_workloads.dir/vcrypt.cc.o.d"
+  "CMakeFiles/veil_workloads.dir/vdb.cc.o"
+  "CMakeFiles/veil_workloads.dir/vdb.cc.o.d"
+  "CMakeFiles/veil_workloads.dir/vhttpd.cc.o"
+  "CMakeFiles/veil_workloads.dir/vhttpd.cc.o.d"
+  "CMakeFiles/veil_workloads.dir/vkv.cc.o"
+  "CMakeFiles/veil_workloads.dir/vkv.cc.o.d"
+  "CMakeFiles/veil_workloads.dir/vzip.cc.o"
+  "CMakeFiles/veil_workloads.dir/vzip.cc.o.d"
+  "libveil_workloads.a"
+  "libveil_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclave_paging_test.dir/enclave_paging_test.cc.o"
+  "CMakeFiles/enclave_paging_test.dir/enclave_paging_test.cc.o.d"
+  "enclave_paging_test"
+  "enclave_paging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclave_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_format_test.dir/module_format_test.cc.o"
+  "CMakeFiles/module_format_test.dir/module_format_test.cc.o.d"
+  "module_format_test"
+  "module_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdk_test.dir/sdk_test.cc.o"
+  "CMakeFiles/sdk_test.dir/sdk_test.cc.o.d"
+  "sdk_test"
+  "sdk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

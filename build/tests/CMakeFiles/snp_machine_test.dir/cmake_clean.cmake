@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snp_machine_test.dir/snp_machine_test.cc.o"
+  "CMakeFiles/snp_machine_test.dir/snp_machine_test.cc.o.d"
+  "snp_machine_test"
+  "snp_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snp_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

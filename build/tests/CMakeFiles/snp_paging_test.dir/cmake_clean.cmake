@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snp_paging_test.dir/snp_paging_test.cc.o"
+  "CMakeFiles/snp_paging_test.dir/snp_paging_test.cc.o.d"
+  "snp_paging_test"
+  "snp_paging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snp_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

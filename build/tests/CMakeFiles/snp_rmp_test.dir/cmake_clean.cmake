@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snp_rmp_test.dir/snp_rmp_test.cc.o"
+  "CMakeFiles/snp_rmp_test.dir/snp_rmp_test.cc.o.d"
+  "snp_rmp_test"
+  "snp_rmp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snp_rmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

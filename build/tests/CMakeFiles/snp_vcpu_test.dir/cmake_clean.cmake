@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snp_vcpu_test.dir/snp_vcpu_test.cc.o"
+  "CMakeFiles/snp_vcpu_test.dir/snp_vcpu_test.cc.o.d"
+  "snp_vcpu_test"
+  "snp_vcpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snp_vcpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_boot_test.dir/veil_boot_test.cc.o"
+  "CMakeFiles/veil_boot_test.dir/veil_boot_test.cc.o.d"
+  "veil_boot_test"
+  "veil_boot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_boot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veil_proto_test.dir/veil_proto_test.cc.o"
+  "CMakeFiles/veil_proto_test.dir/veil_proto_test.cc.o.d"
+  "veil_proto_test"
+  "veil_proto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veil_proto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
