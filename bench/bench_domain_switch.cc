@@ -70,5 +70,7 @@ main()
     note(fmt("SNP state save/restore makes a switch %.1fx a plain exit "
              "(paper: ~6.5x).",
              double(per_switch) / double(plain_cost)));
+
+    printMachineStats(vm.machine().stats());
     return 0;
 }

@@ -189,5 +189,7 @@ main()
     note("Each enclave syscall pays two 7135-cycle domain switches plus");
     note("spec-driven argument deep copies (§6.2); cheap calls (socket,");
     note("printf) show the largest factor, large-copy calls amortize.");
+
+    printMachineStats(vm.machine().stats());
     return 0;
 }

@@ -90,6 +90,32 @@ overheadPct(double value, double base)
     return (value - base) / base * 100.0;
 }
 
+void
+printMachineStats(const snp::MachineStats &s)
+{
+    Table t("Machine hardware-event counters", {"Counter", "Count"});
+    auto row = [&t](const char *name, uint64_t v) {
+        t.addRow({name, fmt("%llu", (unsigned long long)v)});
+    };
+    row("VM entries", s.entries);
+    row("non-automatic exits", s.nonAutomaticExits);
+    row("automatic exits", s.automaticExits);
+    row("timer interrupts", s.timerInterrupts);
+    row("rmpadjusts", s.rmpadjusts);
+    row("pvalidates", s.pvalidates);
+    row("TLB hits", s.tlbHits);
+    row("TLB misses", s.tlbMisses);
+    row("TLB flushes", s.tlbFlushes);
+    row("TLB shootdowns", s.tlbShootdowns);
+    t.print();
+    uint64_t lookups = s.tlbHits + s.tlbMisses;
+    if (lookups > 0) {
+        note(fmt("TLB hit rate: %.1f%% (%llu lookups)",
+                 100.0 * double(s.tlbHits) / double(lookups),
+                 (unsigned long long)lookups));
+    }
+}
+
 sdk::VmConfig
 veilConfig(size_t mem_mb)
 {

@@ -45,6 +45,13 @@ std::string fmt(const char *f, ...) __attribute__((format(printf, 1, 2)));
 /** Percentage overhead of @p value over @p base. */
 double overheadPct(double value, double base);
 
+/**
+ * Print the machine's hardware-event counters (entries/exits,
+ * rmpadjust/pvalidate) together with the software-TLB
+ * hit/miss/flush/shootdown counters and the resulting hit rate.
+ */
+void printMachineStats(const snp::MachineStats &s);
+
 /** Default Veil VM config for benches. */
 sdk::VmConfig veilConfig(size_t mem_mb = 64);
 

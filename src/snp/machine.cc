@@ -1,5 +1,7 @@
 #include "snp/machine.hh"
 
+#include <cstdlib>
+
 #include "base/log.hh"
 #include "snp/fault.hh"
 #include "snp/vcpu.hh"
@@ -14,6 +16,65 @@ Machine::Machine(const MachineConfig &config)
 {
     ensure(config.numVcpus >= 1, "Machine: need at least one VCPU");
     nextTimerTsc_ = costs().timerQuantum();
+
+    tlbEnabled_ = config.tlbEnabled;
+    if (const char *env = std::getenv("VEIL_TLB_DISABLE")) {
+        if (env[0] != '\0' && env[0] != '0')
+            tlbEnabled_ = false;
+    }
+    // Every RMP mutation invalidates by GPA across all VMSAs: RMPADJUST
+    // and PVALIDATE flush the TLB on real hardware, and hypervisor-side
+    // RMPUPDATE forces a TLB shootdown before the change takes effect.
+    rmp_.setInvalidateHook([this](Gpa page) { tlbFlushGpa(page); });
+}
+
+void
+Machine::tlbInvlpg(Gpa cr3, Gva va)
+{
+    if (!tlbEnabled_)
+        return;
+    ++stats_.tlbFlushes;
+    Gva vpn = pageAlignDown(va);
+    for (VmsaId id = 0; id < slots_.size(); ++id) {
+        if (slots_[id].state.tlb.invalidatePage(cr3, vpn) &&
+            id != currentVmsa_)
+            ++stats_.tlbShootdowns;
+    }
+}
+
+void
+Machine::tlbFlushCr3(Gpa cr3)
+{
+    if (!tlbEnabled_)
+        return;
+    ++stats_.tlbFlushes;
+    for (VmsaId id = 0; id < slots_.size(); ++id) {
+        if (slots_[id].state.tlb.invalidateCr3(cr3) && id != currentVmsa_)
+            ++stats_.tlbShootdowns;
+    }
+}
+
+void
+Machine::tlbFlushGpa(Gpa page)
+{
+    if (!tlbEnabled_)
+        return;
+    ++stats_.tlbFlushes;
+    Gpa aligned = pageAlignDown(page);
+    for (VmsaId id = 0; id < slots_.size(); ++id) {
+        if (slots_[id].state.tlb.invalidateGpa(aligned) &&
+            id != currentVmsa_)
+            ++stats_.tlbShootdowns;
+    }
+}
+
+void
+Machine::tlbFlushVmsa(VmsaId id)
+{
+    if (!tlbEnabled_)
+        return;
+    ++stats_.tlbFlushes;
+    slotFor(id).state.tlb.flushAll();
 }
 
 Machine::~Machine()

@@ -37,6 +37,11 @@ struct MachineConfig
     /// SEV-SNP machine (heavy VMGEXIT) vs plain VM (cheap VMCALL); the
     /// latter exists for the paper's 1100-cycle exit anchor (§9.1).
     bool snpMode = true;
+    /// Per-VMSA software TLB on the checked guest-access path. Purely a
+    /// host-side cache: simulated cycle counts are bit-identical either
+    /// way. The VEIL_TLB_DISABLE environment variable (non-zero value)
+    /// overrides this to false for A/B equivalence checking.
+    bool tlbEnabled = true;
     /// Platform (PSP) signing key.
     Bytes pspKey = {0x50, 0x53, 0x50, 0x2d, 0x6b, 0x65, 0x79};
 };
@@ -74,6 +79,12 @@ struct MachineStats
     uint64_t timerInterrupts = 0;
     uint64_t rmpadjusts = 0;
     uint64_t pvalidates = 0;
+    // Software-TLB observability (host-side cache; counters charge no
+    // simulated cycles).
+    uint64_t tlbHits = 0;
+    uint64_t tlbMisses = 0;
+    uint64_t tlbFlushes = 0;     ///< invalidation events issued
+    uint64_t tlbShootdowns = 0;  ///< remote VMSA TLBs that dropped entries
 };
 
 /** The simulated machine. */
@@ -126,6 +137,30 @@ class Machine
     /** Record a CVM halt (e.g. on #NPF). */
     void recordHalt(const std::string &reason, Gpa gpa, Vmpl vmpl);
 
+    // ---- Software-TLB maintenance (see tlb.hh for the contract) ----
+
+    /** Whether the checked access path may consult the software TLB. */
+    bool tlbEnabled() const { return tlbEnabled_; }
+
+    /**
+     * INVLPG analogue: drop (cr3, va) from every VMSA's TLB. Raised by
+     * PageTableEditor on map/unmap/protect.
+     */
+    void tlbInvlpg(Gpa cr3, Gva va);
+
+    /** Drop every cached translation tagged @p cr3 (destroyRoot). */
+    void tlbFlushCr3(Gpa cr3);
+
+    /**
+     * Drop every cached translation targeting @p page, on every VMSA.
+     * Raised by the RMP on any permission/assignment/state mutation —
+     * the hardware TLB flush RMPADJUST/PVALIDATE/RMPUPDATE imply.
+     */
+    void tlbFlushGpa(Gpa page);
+
+    /** Full flush of one VMSA's TLB (mov-cr3 semantics). */
+    void tlbFlushVmsa(VmsaId id);
+
     /**
      * Queue an interrupt vector for @p id: on its next resume the
      * hardware fetches the context's IDT handler (exec-checked against
@@ -160,6 +195,7 @@ class Machine
     HaltInfo halt_;
     MachineStats stats_;
     bool shuttingDown_ = false;
+    bool tlbEnabled_ = true;
 };
 
 } // namespace veil::snp

@@ -64,9 +64,17 @@ walk(const GuestMemory &mem, Gpa cr3, Gva va, Access access, Cpl cpl)
 }
 
 PageTableEditor::PageTableEditor(GuestMemory &mem, FrameAllocFn alloc,
-                                 FrameFreeFn free_fn)
-    : mem_(mem), alloc_(std::move(alloc)), free_(std::move(free_fn))
+                                 FrameFreeFn free_fn, PtInvalidateFn invlpg)
+    : mem_(mem), alloc_(std::move(alloc)), free_(std::move(free_fn)),
+      invlpg_(std::move(invlpg))
 {
+}
+
+void
+PageTableEditor::invalidate(Gpa cr3, std::optional<Gva> va)
+{
+    if (invlpg_)
+        invlpg_(cr3, va);
 }
 
 Gpa
@@ -102,6 +110,10 @@ PageTableEditor::map(Gpa cr3, Gva va, Gpa pa, PageFlags flags)
     for (int level = 3; level >= 1; --level)
         table = ensureTable(table, ptIndex(va, level));
     mem_.writeObj<uint64_t>(table + ptIndex(va, 0) * 8, flags.toPte(pa));
+    // map() may replace a live leaf, so it must behave like a PTE edit
+    // followed by INVLPG (populating a previously-empty slot needs no
+    // flush architecturally, but the blanket rule is cheap and safe).
+    invalidate(cr3, va);
 }
 
 std::optional<Gpa>
@@ -120,6 +132,7 @@ PageTableEditor::unmap(Gpa cr3, Gva va)
     if (!(entry & PtePresent))
         return std::nullopt;
     mem_.writeObj<uint64_t>(leaf_addr, 0);
+    invalidate(cr3, va);
     return entry & kPteAddrMask;
 }
 
@@ -183,6 +196,10 @@ void
 PageTableEditor::destroyRoot(Gpa cr3)
 {
     destroyLevel(cr3, 3);
+    // The table frames return to the allocator and may be recycled as
+    // a new root or as data pages; any translation still tagged with
+    // this cr3 would otherwise hit stale on a same-address reuse.
+    invalidate(cr3, std::nullopt);
 }
 
 } // namespace veil::snp

@@ -75,6 +75,16 @@ std::optional<Translation> tryWalk(const GuestMemory &mem, Gpa cr3, Gva va,
 using FrameAllocFn = std::function<Gpa()>;
 /** Releases a table frame. */
 using FrameFreeFn = std::function<void(Gpa)>;
+/**
+ * TLB invalidation callback, the software half of x86's INVLPG
+ * contract: invoked after every edit that can change a live
+ * translation — (cr3, va) for a single-leaf edit, (cr3, nullopt) when
+ * the whole tree dies. Owners of an editor that serves live address
+ * spaces (kernel/mm, VeilS-ENC's cloned tables) point this at
+ * Machine::tlbInvlpg / tlbFlushCr3; standalone editors (tests, offline
+ * table construction) may leave it unset.
+ */
+using PtInvalidateFn = std::function<void(Gpa cr3, std::optional<Gva> va)>;
 
 /**
  * Software editor for a page-table tree rooted at cr3.
@@ -86,7 +96,8 @@ using FrameFreeFn = std::function<void(Gpa)>;
 class PageTableEditor
 {
   public:
-    PageTableEditor(GuestMemory &mem, FrameAllocFn alloc, FrameFreeFn free_fn);
+    PageTableEditor(GuestMemory &mem, FrameAllocFn alloc, FrameFreeFn free_fn,
+                    PtInvalidateFn invlpg = nullptr);
 
     /** Allocate a fresh empty root; returns the new cr3. */
     Gpa createRoot();
@@ -116,10 +127,12 @@ class PageTableEditor
   private:
     Gpa ensureTable(Gpa table, unsigned idx);
     void destroyLevel(Gpa table, int level);
+    void invalidate(Gpa cr3, std::optional<Gva> va);
 
     GuestMemory &mem_;
     FrameAllocFn alloc_;
     FrameFreeFn free_;
+    PtInvalidateFn invlpg_;
 };
 
 /** Index of @p va at page-table @p level (3 = root). */

@@ -28,6 +28,13 @@ RmpTable::entryFor(Gpa page) const
 }
 
 void
+RmpTable::notifyChanged(Gpa page)
+{
+    if (invalidate_)
+        invalidate_(pageAlignDown(page));
+}
+
+void
 RmpTable::hvAssign(Gpa page)
 {
     RmpEntry &e = entryFor(page);
@@ -36,6 +43,7 @@ RmpTable::hvAssign(Gpa page)
     e.vmsaPage = false;
     for (auto &p : e.perms)
         p = kPermNone;
+    notifyChanged(page);
 }
 
 void
@@ -43,6 +51,7 @@ RmpTable::hvReclaim(Gpa page)
 {
     RmpEntry &e = entryFor(page);
     e = RmpEntry{};
+    notifyChanged(page);
 }
 
 void
@@ -51,6 +60,7 @@ RmpTable::hvSetShared(Gpa page, bool shared)
     RmpEntry &e = entryFor(page);
     ensure(!e.vmsaPage, "hvSetShared: VMSA pages cannot be shared");
     e.shared = shared;
+    notifyChanged(page);
 }
 
 bool
@@ -76,6 +86,7 @@ RmpTable::pvalidate(Vmpl caller, Gpa page, bool validate)
     e.perms[0] = validate ? kPermAll : kPermNone;
     for (int i = 1; i < kNumVmpls; ++i)
         e.perms[i] = kPermNone;
+    notifyChanged(page);
 }
 
 void
@@ -106,9 +117,11 @@ RmpTable::rmpadjust(Vmpl caller, Gpa page, Vmpl target, PermMask perms,
         // In-use VMSA pages are inaccessible to all lower VMPLs.
         for (int i = 1; i < kNumVmpls; ++i)
             e.perms[i] = kPermNone;
+        notifyChanged(page);
         return;
     }
     e.perms[vmplIndex(target)] = perms;
+    notifyChanged(page);
 }
 
 void
@@ -120,6 +133,7 @@ RmpTable::clearVmsa(Vmpl caller, Gpa page)
     }
     RmpEntry &e = entryFor(page);
     e.vmsaPage = false;
+    notifyChanged(page);
 }
 
 bool

@@ -21,6 +21,7 @@
 #define VEIL_SNP_RMP_HH_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "snp/types.hh"
@@ -44,6 +45,18 @@ class RmpTable
     explicit RmpTable(uint64_t page_count);
 
     uint64_t pageCount() const { return entries_.size(); }
+
+    /**
+     * Hook invoked (page-aligned GPA) after every mutation that can
+     * change an access verdict — RMPADJUST, PVALIDATE, hypervisor
+     * RMPUPDATE (assign/reclaim), page-state changes, and VMSA
+     * attribute edits. The Machine points this at its software-TLB
+     * shootdown so cached walk+RMP results never outlive a permission
+     * change (the invalidation rule real hardware enforces with
+     * mandatory TLB flushes around these instructions).
+     */
+    using InvalidateFn = std::function<void(Gpa page)>;
+    void setInvalidateHook(InvalidateFn fn) { invalidate_ = std::move(fn); }
 
     /** Hypervisor-side RMPUPDATE: assign a page to the guest. */
     void hvAssign(Gpa page);
@@ -93,8 +106,10 @@ class RmpTable
   private:
     RmpEntry &entryFor(Gpa page);
     const RmpEntry &entryFor(Gpa page) const;
+    void notifyChanged(Gpa page);
 
     std::vector<RmpEntry> entries_;
+    InvalidateFn invalidate_;
 };
 
 } // namespace veil::snp

@@ -1,0 +1,68 @@
+#include "snp/tlb.hh"
+
+// lookup/insert/indexFor are inline in the header (per-access hot
+// path); only the invalidators — rare, flush-driven — live here.
+
+namespace veil::snp {
+
+bool
+Tlb::invalidatePage(Gpa cr3, Gva vpn)
+{
+    if (sets_.empty())
+        return false;
+    bool dropped = false;
+    static constexpr Cpl kCpls[] = {Cpl::Supervisor, Cpl::User};
+    static constexpr Access kAccesses[] = {Access::Read, Access::Write,
+                                           Access::Execute};
+    for (Cpl cpl : kCpls) {
+        for (Access access : kAccesses) {
+            Entry &e = sets_[indexFor(cr3, vpn, cpl, access)];
+            if (e.valid && e.cr3 == cr3 && e.vpn == vpn) {
+                e.valid = false;
+                dropped = true;
+            }
+        }
+    }
+    return dropped;
+}
+
+bool
+Tlb::invalidateCr3(Gpa cr3)
+{
+    bool dropped = false;
+    for (Entry &e : sets_) {
+        if (e.valid && e.cr3 == cr3) {
+            e.valid = false;
+            dropped = true;
+        }
+    }
+    return dropped;
+}
+
+bool
+Tlb::invalidateGpa(Gpa gpa_page)
+{
+    bool dropped = false;
+    for (Entry &e : sets_) {
+        if (e.valid && e.gpaPage == gpa_page) {
+            e.valid = false;
+            dropped = true;
+        }
+    }
+    return dropped;
+}
+
+bool
+Tlb::flushAll()
+{
+    bool dropped = false;
+    for (Entry &e : sets_) {
+        if (e.valid) {
+            e.valid = false;
+            dropped = true;
+        }
+    }
+    return dropped;
+}
+
+} // namespace veil::snp

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-VMSA software TLB for the checked guest-access path.
+ *
+ * Real SEV-SNP hardware caches the result of the nested walk — the
+ * guest PTE *and* the RMP/VMPL permission verdict — in the TLB, so the
+ * four table loads plus the RMP lookup are paid only on a miss. This
+ * class models that cache on the host side: an entry keyed by
+ * (cr3, vpn, cpl, access) asserts "the 4-level walk for this key
+ * succeeded AND the RMP allowed the access for this VMSA", so a hit
+ * may skip both checks. The VMPL is implicit: the TLB lives inside one
+ * Vmsa, whose VMPL is fixed at creation.
+ *
+ * The cache affects host wall-clock only. It charges no simulated
+ * cycles and has no architecturally visible state, so cycle counts are
+ * bit-identical with the TLB enabled or disabled (Machine gates it on
+ * MachineConfig::tlbEnabled / the VEIL_TLB_DISABLE environment
+ * variable, and counts hits/misses/flushes/shootdowns in
+ * MachineStats for observability).
+ *
+ * Invalidation contract (who must flush, see DESIGN.md §"Software
+ * TLB"): PageTableEditor invalidates (cr3, va) on map/unmap/protect
+ * and the whole cr3 on destroyRoot; RmpTable invalidates by GPA on
+ * every permission mutation (RMPADJUST/PVALIDATE/RMPUPDATE/
+ * page-state changes); Vcpu::setCr3 flushes its VMSA's entire TLB
+ * (mov-cr3 semantics, no PCID). Machine fans each event out to every
+ * VMSA — the cross-VCPU shootdown real hardware needs an IPI for.
+ */
+#ifndef VEIL_SNP_TLB_HH_
+#define VEIL_SNP_TLB_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "snp/types.hh"
+
+namespace veil::snp {
+
+/** Direct-mapped software TLB; one instance per VMSA. */
+class Tlb
+{
+  public:
+    /** One cached translation + permission verdict. */
+    struct Entry
+    {
+        bool valid = false;
+        Cpl cpl = Cpl::Supervisor;
+        Access access = Access::Read;
+        Gpa cr3 = 0;     ///< address-space tag
+        Gva vpn = 0;     ///< page-aligned guest-virtual address
+        Gpa gpaPage = 0; ///< page-aligned guest-physical frame
+        uint64_t pte = 0;
+    };
+
+    /** Number of direct-mapped slots (power of two). */
+    static constexpr size_t kSets = 1024;
+
+    /**
+     * Hit returns the entry; miss returns nullptr. Inline: this runs on
+     * every checked guest access and must not cost a function call.
+     */
+    const Entry *
+    lookup(Gpa cr3, Gva vpn, Cpl cpl, Access access) const
+    {
+        if (sets_.empty())
+            return nullptr;
+        const Entry &e = sets_[indexFor(cr3, vpn, cpl, access)];
+        if (e.valid && e.cr3 == cr3 && e.vpn == vpn && e.cpl == cpl &&
+            e.access == access)
+            return &e;
+        return nullptr;
+    }
+
+    /** Install (or replace) the slot for the key. */
+    void
+    insert(Gpa cr3, Gva vpn, Cpl cpl, Access access, Gpa gpa_page,
+           uint64_t pte)
+    {
+        if (sets_.empty())
+            sets_.resize(kSets);
+        Entry &e = sets_[indexFor(cr3, vpn, cpl, access)];
+        e.valid = true;
+        e.cpl = cpl;
+        e.access = access;
+        e.cr3 = cr3;
+        e.vpn = vpn;
+        e.gpaPage = gpa_page;
+        e.pte = pte;
+    }
+
+    /**
+     * INVLPG: drop every entry for (cr3, vpn) across all (cpl, access)
+     * variants. Returns true if anything was dropped.
+     */
+    bool invalidatePage(Gpa cr3, Gva vpn);
+
+    /** Drop every entry tagged with @p cr3. */
+    bool invalidateCr3(Gpa cr3);
+
+    /** Drop every entry whose cached frame is @p gpa_page. */
+    bool invalidateGpa(Gpa gpa_page);
+
+    /** Drop everything (mov-cr3 semantics). */
+    bool flushAll();
+
+  private:
+    static size_t
+    indexFor(Gpa cr3, Gva vpn, Cpl cpl, Access access)
+    {
+        // The VFN xor keeps sequential pages in sequential sets (no
+        // conflict misses on strided scans); cr3/cpl/access are mixed
+        // in with odd constants so the six (cpl, access) variants of
+        // one page land in six distinct, computable slots —
+        // invalidatePage probes exactly those.
+        uint64_t h = vpn >> kPageShift;
+        h ^= (cr3 >> kPageShift) * 0x9E3779B97F4A7C15ULL;
+        h ^= uint64_t(static_cast<uint8_t>(cpl)) * 0xD1B54A32D192ED03ULL;
+        h ^= uint64_t(static_cast<uint8_t>(access)) * 0x8CB92BA72F3D8DD7ULL;
+        h ^= h >> 32;
+        return static_cast<size_t>(h) & (kSets - 1);
+    }
+
+    /// Lazily sized to kSets on first insert so idle VMSAs cost nothing.
+    std::vector<Entry> sets_;
+};
+
+} // namespace veil::snp
+
+#endif // VEIL_SNP_TLB_HH_

@@ -51,6 +51,17 @@ isPageAligned(Gpa a)
     return (a & (kPageSize - 1)) == 0;
 }
 
+/** Invoke @p fn(page) for every page overlapping [@p pa, @p pa+@p len). */
+template <typename Fn>
+void
+forEachPageIn(Gpa pa, size_t len, Fn &&fn)
+{
+    Gpa first = pageAlignDown(pa);
+    Gpa last = pageAlignDown(pa + (len ? len - 1 : 0));
+    for (Gpa page = first; page <= last; page += kPageSize)
+        fn(page);
+}
+
 /**
  * Virtual machine privilege level. VMPL0 is most privileged; a VCPU
  * instance's VMPL is fixed at VMSA creation (§3 of the paper).

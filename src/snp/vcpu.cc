@@ -12,14 +12,33 @@ void
 Vcpu::checkRmp(Gpa pa, size_t len, Access access)
 {
     RmpTable &rmp = machine_.rmp();
-    Gpa first = pageAlignDown(pa);
-    Gpa last = pageAlignDown(pa + (len ? len - 1 : 0));
-    for (Gpa page = first; page <= last; page += kPageSize) {
+    forEachPageIn(pa, len, [&](Gpa page) {
         if (!rmp.allowed(vmpl(), page, access, cpl())) {
             throw NpfFault(page, vmpl(), access,
                            "RMP permission violation");
         }
+    });
+}
+
+Gpa
+Vcpu::translateChecked(Gva va, Access access) const
+{
+    Vmsa &v = vmsa();
+    Gva vpn = pageAlignDown(va);
+    if (machine_.tlbEnabled()) {
+        if (const Tlb::Entry *e = v.tlb.lookup(v.cr3, vpn, v.cpl, access)) {
+            ++machine_.stats().tlbHits;
+            return e->gpaPage | (va & (kPageSize - 1));
+        }
+        ++machine_.stats().tlbMisses;
     }
+    Translation t = walk(machine_.memory(), v.cr3, va, access, v.cpl);
+    Gpa page = pageAlignDown(t.gpa);
+    if (!machine_.rmp().allowed(v.vmpl, page, access, v.cpl))
+        throw NpfFault(page, v.vmpl, access, "RMP permission violation");
+    if (machine_.tlbEnabled())
+        v.tlb.insert(v.cr3, vpn, v.cpl, access, page, t.pte);
+    return t.gpa;
 }
 
 void
@@ -32,13 +51,11 @@ Vcpu::accessVirtual(Gva va, void *buf, size_t len, Access access)
         Gva cur = va + done;
         size_t in_page = kPageSize - (cur & (kPageSize - 1));
         size_t take = std::min(len - done, in_page);
-        Translation t =
-            walk(machine_.memory(), vmsa().cr3, cur, access, cpl());
-        checkRmp(t.gpa, take, access);
+        Gpa pa = translateChecked(cur, access);
         if (access == Access::Write)
-            machine_.memory().write(t.gpa, p + done, take);
+            machine_.memory().write(pa, p + done, take);
         else
-            machine_.memory().read(t.gpa, p + done, take);
+            machine_.memory().read(pa, p + done, take);
         done += take;
     }
     machine_.pollTimer();
@@ -59,13 +76,32 @@ Vcpu::write(Gva va, const void *data, size_t len)
 std::string
 Vcpu::readCStr(Gva va, size_t max_len)
 {
+    // Page-at-a-time: one checked translation per page instead of one
+    // full walk + RMP lookup per byte. The cycle accounting is the
+    // historical per-byte model (see CostModel::copyCost): every byte
+    // examined — terminator included — is charged copyCost(1) and then
+    // polls the timer, so the simulated TSC sequence is identical to
+    // the old byte loop and independent of the TLB.
     std::string out;
-    for (size_t i = 0; i < max_len; ++i) {
-        char c;
-        read(va + i, &c, 1);
-        if (c == '\0')
-            return out;
-        out.push_back(c);
+    size_t remaining = max_len;
+    Gva cur = va;
+    while (remaining > 0) {
+        size_t in_page = kPageSize - (cur & (kPageSize - 1));
+        size_t take = std::min(remaining, in_page);
+        Gpa pa = translateChecked(cur, Access::Read);
+        size_t base = out.size();
+        out.resize(base + take);
+        machine_.memory().read(pa, out.data() + base, take);
+        for (size_t i = 0; i < take; ++i) {
+            machine_.charge(costs().copyCost(1));
+            machine_.pollTimer();
+            if (out[base + i] == '\0') {
+                out.resize(base + i);
+                return out;
+            }
+        }
+        cur += take;
+        remaining -= take;
     }
     fatal("readCStr: unterminated string");
 }
@@ -73,15 +109,32 @@ Vcpu::readCStr(Gva va, size_t max_len)
 void
 Vcpu::checkExec(Gva va)
 {
-    Translation t =
-        walk(machine_.memory(), vmsa().cr3, va, Access::Execute, cpl());
-    checkRmp(t.gpa, 1, Access::Execute);
+    translateChecked(va, Access::Execute);
 }
 
 Gpa
 Vcpu::translate(Gva va, Access access) const
 {
-    Translation t = walk(machine_.memory(), vmsa().cr3, va, access, cpl());
+    // Pure translation, no permission side effects: a #NPF-restricted
+    // page still translates (the kernel translates user pointers into
+    // enclave regions it cannot itself touch). A TLB hit is safe — an
+    // entry exists only if walk+RMP both passed earlier — but an
+    // RMP-denied result must stay uncached so the checked path still
+    // faults on it.
+    Vmsa &v = vmsa();
+    Gva vpn = pageAlignDown(va);
+    if (machine_.tlbEnabled()) {
+        if (const Tlb::Entry *e = v.tlb.lookup(v.cr3, vpn, cpl(), access)) {
+            ++machine_.stats().tlbHits;
+            return e->gpaPage | (va & (kPageSize - 1));
+        }
+        ++machine_.stats().tlbMisses;
+    }
+    Translation t = walk(machine_.memory(), v.cr3, va, access, cpl());
+    Gpa page = pageAlignDown(t.gpa);
+    if (machine_.tlbEnabled() &&
+        machine_.rmp().allowed(vmpl(), page, access, cpl()))
+        v.tlb.insert(v.cr3, vpn, cpl(), access, page, t.pte);
     return t.gpa;
 }
 
@@ -94,12 +147,10 @@ Vcpu::checkPhysPrivilege(Gpa pa, size_t len)
     // which stand in for their user-VA mappings.
     if (cpl() != Cpl::User)
         return;
-    Gpa first = pageAlignDown(pa);
-    Gpa last = pageAlignDown(pa + (len ? len - 1 : 0));
-    for (Gpa page = first; page <= last; page += kPageSize) {
+    forEachPageIn(pa, len, [&](Gpa page) {
         if (!machine_.rmp().isShared(page))
             panic("Vcpu: physical access from CPL-3 to a private page");
-    }
+    });
 }
 
 void

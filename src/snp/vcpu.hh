@@ -20,11 +20,16 @@ namespace veil::snp {
 class Vcpu
 {
   public:
-    Vcpu(Machine &machine, VmsaId id) : machine_(machine), id_(id) {}
+    // The VMSA reference is resolved once: slots live in a deque, so
+    // the address is stable for the machine's lifetime, and caching it
+    // keeps the per-access path free of a bounds-checked slot lookup.
+    Vcpu(Machine &machine, VmsaId id)
+        : machine_(machine), id_(id), vmsa_(&machine.vmsaState(id))
+    {}
 
     Machine &machine() const { return machine_; }
     VmsaId id() const { return id_; }
-    Vmsa &vmsa() const { return machine_.vmsaState(id_); }
+    Vmsa &vmsa() const { return *vmsa_; }
     uint32_t vcpuId() const { return vmsa().vcpuId; }
     Vmpl vmpl() const { return vmsa().vmpl; }
     Cpl cpl() const { return vmsa().cpl; }
@@ -112,7 +117,19 @@ class Vcpu
     // ---- Ring / address-space control (SYSRET/IRET analogue) ----
 
     void setCpl(Cpl cpl) { vmsa().cpl = cpl; }
-    void setCr3(Gpa cr3) { vmsa().cr3 = cr3; }
+
+    /**
+     * mov cr3: switches the address space and, like hardware without
+     * PCID, flushes this VMSA's entire software TLB. (The TLB is also
+     * cr3-tagged, but the full flush keeps recycled table frames from
+     * ever matching a stale tag.)
+     */
+    void
+    setCr3(Gpa cr3)
+    {
+        machine_.tlbFlushVmsa(id_);
+        vmsa().cr3 = cr3;
+    }
 
     // ---- Attestation (SNP guest request to the PSP) ----
 
@@ -120,11 +137,21 @@ class Vcpu
 
   private:
     void accessVirtual(Gva va, void *buf, size_t len, Access access);
+
+    /**
+     * Combined walk + RMP check with software-TLB caching: the one
+     * translation primitive behind read/write/checkExec. Throws #PF on
+     * a paging violation and #NPF on an RMP violation, exactly like
+     * the uncached pair walk() + checkRmp().
+     */
+    Gpa translateChecked(Gva va, Access access) const;
+
     void checkRmp(Gpa pa, size_t len, Access access);
     void checkPhysPrivilege(Gpa pa, size_t len);
 
     Machine &machine_;
     VmsaId id_;
+    Vmsa *vmsa_;
 };
 
 } // namespace veil::snp

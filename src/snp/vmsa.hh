@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "snp/ghcb.hh"
+#include "snp/tlb.hh"
 #include "snp/types.hh"
 
 namespace veil::snp {
@@ -46,6 +47,8 @@ struct Vmsa
     Gva idtHandlerVa = 0;     ///< interrupt handler entry (0 = none yet)
     VmsaRegs regs;
     GuestEntry entry;
+    /// Per-VMSA software TLB (host-side cache; no architectural state).
+    Tlb tlb;
 };
 
 } // namespace veil::snp
