@@ -12,8 +12,9 @@ using namespace veil::bench;
 using namespace veil::sdk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonInit(&argc, argv, "bench_domain_switch");
     heading("§9.1 Domain switch cost (paper anchor: 7135 cycles/switch)");
 
     // --- Veil domain switches ---
@@ -70,6 +71,10 @@ main()
     note(fmt("SNP state save/restore makes a switch %.1fx a plain exit "
              "(paper: ~6.5x).",
              double(per_switch) / double(plain_cost)));
+
+    jsonMetric("veil_domain_switch_cycles", double(per_switch), "cycles");
+    jsonMetric("idcb_round_trip_cycles", double(idcb_round_trip), "cycles");
+    jsonMetric("plain_vmcall_exit_cycles", double(plain_cost), "cycles");
 
     printMachineStats(vm.machine().stats());
     return 0;

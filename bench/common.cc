@@ -2,10 +2,94 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "base/log.hh"
 
 namespace veil::bench {
+
+namespace {
+
+/** Collector behind jsonInit/jsonMetric/jsonFlush. */
+struct JsonSink
+{
+    struct TableRec
+    {
+        std::string title;
+        std::vector<std::string> columns;
+        std::vector<std::vector<std::string>> rows;
+    };
+    struct BarRec
+    {
+        std::string label;
+        double value;
+        double max;
+        std::string suffix;
+    };
+    struct MetricRec
+    {
+        std::string name;
+        double value;
+        std::string unit;
+    };
+
+    bool enabled = false;
+    bool flushed = false;
+    std::string path;
+    std::string bench;
+    std::vector<TableRec> tables;
+    std::vector<BarRec> bars;
+    std::vector<MetricRec> metrics;
+};
+
+JsonSink &
+jsonSink()
+{
+    static JsonSink s;
+    return s;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += fmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+jsonAppendNumber(std::string &out, double v)
+{
+    // Whole numbers print without a fraction so counters stay integral.
+    if (v == static_cast<double>(static_cast<long long>(v)))
+        out += fmt("%lld", static_cast<long long>(v));
+    else
+        out += fmt("%.6g", v);
+}
+
+} // namespace
 
 Table::Table(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns))
@@ -29,6 +113,10 @@ Table::print() const
             widths[i] = std::max(widths[i], row[i].size());
     }
 
+    JsonSink &sink = jsonSink();
+    if (sink.enabled)
+        sink.tables.push_back({title_, columns_, rows_});
+
     std::printf("\n%s\n", title_.c_str());
     size_t total = 0;
     for (size_t i = 0; i < columns_.size(); ++i) {
@@ -50,6 +138,10 @@ void
 printBar(const std::string &label, double value, double max_value,
          const std::string &suffix, int width)
 {
+    JsonSink &sink = jsonSink();
+    if (sink.enabled)
+        sink.bars.push_back({label, value, max_value, suffix});
+
     int fill = max_value > 0
                    ? static_cast<int>(value / max_value * width + 0.5)
                    : 0;
@@ -80,6 +172,107 @@ fmt(const char *f, ...)
     std::vsnprintf(buf, sizeof(buf), f, ap);
     va_end(ap);
     return buf;
+}
+
+void
+jsonInit(int *argc, char **argv, const std::string &bench_name)
+{
+    JsonSink &sink = jsonSink();
+    sink.bench = bench_name;
+
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+            sink.path = argv[i + 1];
+            // Consume "--json <path>" so downstream flag parsers
+            // (e.g. google-benchmark) never see it.
+            for (int j = i; j + 2 < *argc; ++j)
+                argv[j] = argv[j + 2];
+            *argc -= 2;
+            break;
+        }
+    }
+    if (sink.path.empty()) {
+        if (const char *env = std::getenv("VEIL_BENCH_JSON"))
+            sink.path = env;
+    }
+    if (sink.path.empty())
+        return;
+    sink.enabled = true;
+    std::atexit(jsonFlush);
+}
+
+void
+jsonMetric(const std::string &name, double value, const std::string &unit)
+{
+    JsonSink &sink = jsonSink();
+    if (sink.enabled)
+        sink.metrics.push_back({name, value, unit});
+}
+
+void
+jsonFlush()
+{
+    JsonSink &sink = jsonSink();
+    if (!sink.enabled || sink.flushed)
+        return;
+    sink.flushed = true;
+
+    std::string out = "{\n";
+    out += fmt("  \"bench\": \"%s\",\n", jsonEscape(sink.bench).c_str());
+
+    out += "  \"tables\": [";
+    for (size_t t = 0; t < sink.tables.size(); ++t) {
+        const auto &tab = sink.tables[t];
+        out += t ? ",\n    {" : "\n    {";
+        out += fmt("\"title\": \"%s\", \"columns\": [",
+                   jsonEscape(tab.title).c_str());
+        for (size_t c = 0; c < tab.columns.size(); ++c)
+            out += fmt("%s\"%s\"", c ? ", " : "",
+                       jsonEscape(tab.columns[c]).c_str());
+        out += "], \"rows\": [";
+        for (size_t r = 0; r < tab.rows.size(); ++r) {
+            out += r ? ", [" : "[";
+            for (size_t c = 0; c < tab.rows[r].size(); ++c)
+                out += fmt("%s\"%s\"", c ? ", " : "",
+                           jsonEscape(tab.rows[r][c]).c_str());
+            out += "]";
+        }
+        out += "]}";
+    }
+    out += sink.tables.empty() ? "],\n" : "\n  ],\n";
+
+    out += "  \"bars\": [";
+    for (size_t b = 0; b < sink.bars.size(); ++b) {
+        const auto &bar = sink.bars[b];
+        out += b ? ",\n    {" : "\n    {";
+        out += fmt("\"label\": \"%s\", \"value\": ",
+                   jsonEscape(bar.label).c_str());
+        jsonAppendNumber(out, bar.value);
+        out += ", \"max\": ";
+        jsonAppendNumber(out, bar.max);
+        out += fmt(", \"suffix\": \"%s\"}", jsonEscape(bar.suffix).c_str());
+    }
+    out += sink.bars.empty() ? "],\n" : "\n  ],\n";
+
+    out += "  \"metrics\": [";
+    for (size_t m = 0; m < sink.metrics.size(); ++m) {
+        const auto &met = sink.metrics[m];
+        out += m ? ",\n    {" : "\n    {";
+        out += fmt("\"name\": \"%s\", \"value\": ",
+                   jsonEscape(met.name).c_str());
+        jsonAppendNumber(out, met.value);
+        out += fmt(", \"unit\": \"%s\"}", jsonEscape(met.unit).c_str());
+    }
+    out += sink.metrics.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+
+    if (std::FILE *f = std::fopen(sink.path.c_str(), "w")) {
+        std::fwrite(out.data(), 1, out.size(), f);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "bench: cannot write JSON to %s\n",
+                     sink.path.c_str());
+    }
 }
 
 double

@@ -15,7 +15,7 @@
 
 namespace veil::bench {
 
-/** Column-aligned console table. */
+/** Column-aligned console table. print() also records it for jsonFlush. */
 class Table
 {
   public:
@@ -30,9 +30,29 @@ class Table
     std::vector<std::vector<std::string>> rows_;
 };
 
-/** Print a horizontal ASCII bar (for figure reproduction). */
+/**
+ * Print a horizontal ASCII bar (for figure reproduction). Also recorded
+ * for jsonFlush.
+ */
 void printBar(const std::string &label, double value, double max_value,
               const std::string &suffix, int width = 44);
+
+/**
+ * Machine-readable bench output. jsonInit() scans argv for
+ * "--json <path>" (consuming both tokens) and falls back to the
+ * VEIL_BENCH_JSON environment variable; when either is set, every
+ * Table printed, every printBar, and every jsonMetric() call is
+ * collected and dumped as one JSON document at exit (and on
+ * jsonFlush). Without a path, both are no-ops.
+ */
+void jsonInit(int *argc, char **argv, const std::string &bench_name);
+
+/** Record a standalone key/value metric in the JSON document. */
+void jsonMetric(const std::string &name, double value,
+                const std::string &unit = "");
+
+/** Write the JSON document now (idempotent; also runs atexit). */
+void jsonFlush();
 
 /** Section header. */
 void heading(const std::string &text);

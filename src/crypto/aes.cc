@@ -1,12 +1,19 @@
 #include "crypto/aes.hh"
 
+#include <algorithm>
 #include <cstring>
+
+#include "crypto/stats.hh"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 namespace veil::crypto {
 
 namespace {
 
-const uint8_t kSbox[256] = {
+constexpr uint8_t kSbox[256] = {
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
     0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
     0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
@@ -31,139 +38,349 @@ const uint8_t kSbox[256] = {
     0xb0, 0x54, 0xbb, 0x16,
 };
 
-uint8_t kInvSbox[256];
-bool g_inv_init = false;
-
-void
-initInvSbox()
+constexpr std::array<uint8_t, 256>
+makeInvSbox()
 {
-    if (g_inv_init)
-        return;
+    std::array<uint8_t, 256> t{};
     for (int i = 0; i < 256; ++i)
-        kInvSbox[kSbox[i]] = static_cast<uint8_t>(i);
-    g_inv_init = true;
+        t[kSbox[i]] = static_cast<uint8_t>(i);
+    return t;
 }
 
-uint8_t
-xtime(uint8_t x)
-{
-    return static_cast<uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
-}
+constexpr auto kInvSbox = makeInvSbox();
 
-uint8_t
+constexpr uint8_t
 gmul(uint8_t a, uint8_t b)
 {
     uint8_t p = 0;
     for (int i = 0; i < 8; ++i) {
         if (b & 1)
             p ^= a;
-        a = xtime(a);
+        a = static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
         b >>= 1;
     }
     return p;
 }
 
+constexpr uint32_t
+rotr8(uint32_t x)
+{
+    return (x >> 8) | (x << 24);
+}
+
+// Combined SubBytes+ShiftRows+MixColumns tables: Te0 packs the
+// MixColumns column (2s, s, s, 3s) of the substituted byte; Te1..Te3
+// are byte rotations of Te0 for the other row positions.
+constexpr std::array<uint32_t, 256>
+makeTe0()
+{
+    std::array<uint32_t, 256> t{};
+    for (int i = 0; i < 256; ++i) {
+        uint32_t s = kSbox[i];
+        t[i] = (uint32_t(gmul(uint8_t(s), 2)) << 24) | (s << 16) | (s << 8) |
+               gmul(uint8_t(s), 3);
+    }
+    return t;
+}
+
+// Inverse tables: Td0 packs InvMixColumns (14s, 9s, 13s, 11s) of the
+// inverse-substituted byte.
+constexpr std::array<uint32_t, 256>
+makeTd0()
+{
+    std::array<uint32_t, 256> t{};
+    for (int i = 0; i < 256; ++i) {
+        uint8_t s = kInvSbox[i];
+        t[i] = (uint32_t(gmul(s, 14)) << 24) | (uint32_t(gmul(s, 9)) << 16) |
+               (uint32_t(gmul(s, 13)) << 8) | gmul(s, 11);
+    }
+    return t;
+}
+
+template <int N>
+constexpr std::array<uint32_t, 256>
+rotTable(const std::array<uint32_t, 256> &base)
+{
+    std::array<uint32_t, 256> t{};
+    for (int i = 0; i < 256; ++i) {
+        uint32_t v = base[i];
+        for (int r = 0; r < N; ++r)
+            v = rotr8(v);
+        t[i] = v;
+    }
+    return t;
+}
+
+constexpr auto kTe0 = makeTe0();
+constexpr auto kTe1 = rotTable<1>(kTe0);
+constexpr auto kTe2 = rotTable<2>(kTe0);
+constexpr auto kTe3 = rotTable<3>(kTe0);
+constexpr auto kTd0 = makeTd0();
+constexpr auto kTd1 = rotTable<1>(kTd0);
+constexpr auto kTd2 = rotTable<2>(kTd0);
+constexpr auto kTd3 = rotTable<3>(kTd0);
+
+inline uint32_t
+loadBe32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return __builtin_bswap32(v);
+}
+
+inline void
+storeBe32(uint8_t *p, uint32_t v)
+{
+    v = __builtin_bswap32(v);
+    std::memcpy(p, &v, 4);
+}
+
+inline uint32_t
+subWord(uint32_t w)
+{
+    return (uint32_t(kSbox[(w >> 24) & 0xff]) << 24) |
+           (uint32_t(kSbox[(w >> 16) & 0xff]) << 16) |
+           (uint32_t(kSbox[(w >> 8) & 0xff]) << 8) | kSbox[w & 0xff];
+}
+
+// InvMixColumns of a round-key word, via the Td/Sbox identity
+// Td[kSbox[b]] = InvMixColumns-coefficients * b.
+inline uint32_t
+invMixColumnsWord(uint32_t w)
+{
+    return kTd0[kSbox[(w >> 24) & 0xff]] ^ kTd1[kSbox[(w >> 16) & 0xff]] ^
+           kTd2[kSbox[(w >> 8) & 0xff]] ^ kTd3[kSbox[w & 0xff]];
+}
+
+#if defined(__x86_64__)
+
+bool
+aesNiAvailable()
+{
+    static const bool avail =
+        __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2");
+    return avail;
+}
+
+__attribute__((target("aes,sse2"))) inline __m128i
+encryptBlockNi(const uint8_t rk[176], __m128i b)
+{
+    const auto *k = reinterpret_cast<const __m128i *>(rk);
+    b = _mm_xor_si128(b, _mm_load_si128(k));
+    for (int r = 1; r <= 9; ++r)
+        b = _mm_aesenc_si128(b, _mm_load_si128(k + r));
+    return _mm_aesenclast_si128(b, _mm_load_si128(k + 10));
+}
+
+// CTR keystream with four independent blocks in flight to cover the
+// aesenc latency chain.
+__attribute__((target("aes,sse2"))) void
+ctrXorNi(const uint8_t rk[176], uint64_t nonce, uint64_t counter,
+         const uint8_t *in, uint8_t *out, size_t len)
+{
+    size_t off = 0;
+    while (len - off >= 64) {
+        __m128i b0 = _mm_set_epi64x(int64_t(counter), int64_t(nonce));
+        __m128i b1 = _mm_set_epi64x(int64_t(counter + 1), int64_t(nonce));
+        __m128i b2 = _mm_set_epi64x(int64_t(counter + 2), int64_t(nonce));
+        __m128i b3 = _mm_set_epi64x(int64_t(counter + 3), int64_t(nonce));
+        const auto *k = reinterpret_cast<const __m128i *>(rk);
+        __m128i k0 = _mm_load_si128(k);
+        b0 = _mm_xor_si128(b0, k0);
+        b1 = _mm_xor_si128(b1, k0);
+        b2 = _mm_xor_si128(b2, k0);
+        b3 = _mm_xor_si128(b3, k0);
+        for (int r = 1; r <= 9; ++r) {
+            __m128i kr = _mm_load_si128(k + r);
+            b0 = _mm_aesenc_si128(b0, kr);
+            b1 = _mm_aesenc_si128(b1, kr);
+            b2 = _mm_aesenc_si128(b2, kr);
+            b3 = _mm_aesenc_si128(b3, kr);
+        }
+        __m128i klast = _mm_load_si128(k + 10);
+        b0 = _mm_aesenclast_si128(b0, klast);
+        b1 = _mm_aesenclast_si128(b1, klast);
+        b2 = _mm_aesenclast_si128(b2, klast);
+        b3 = _mm_aesenclast_si128(b3, klast);
+
+        const auto *ip = reinterpret_cast<const __m128i *>(in + off);
+        auto *op = reinterpret_cast<__m128i *>(out + off);
+        _mm_storeu_si128(op + 0,
+                         _mm_xor_si128(_mm_loadu_si128(ip + 0), b0));
+        _mm_storeu_si128(op + 1,
+                         _mm_xor_si128(_mm_loadu_si128(ip + 1), b1));
+        _mm_storeu_si128(op + 2,
+                         _mm_xor_si128(_mm_loadu_si128(ip + 2), b2));
+        _mm_storeu_si128(op + 3,
+                         _mm_xor_si128(_mm_loadu_si128(ip + 3), b3));
+        off += 64;
+        counter += 4;
+    }
+    while (off < len) {
+        __m128i b = encryptBlockNi(
+            rk, _mm_set_epi64x(int64_t(counter), int64_t(nonce)));
+        alignas(16) uint8_t ks[16];
+        _mm_store_si128(reinterpret_cast<__m128i *>(ks), b);
+        size_t take = std::min<size_t>(16, len - off);
+        for (size_t i = 0; i < take; ++i)
+            out[off + i] = static_cast<uint8_t>(in[off + i] ^ ks[i]);
+        off += take;
+        ++counter;
+    }
+}
+
+#endif // __x86_64__
+
 } // namespace
 
 Aes128::Aes128(const AesKey &key)
 {
-    initInvSbox();
-    std::memcpy(roundKeys_[0], key.data(), 16);
-    uint8_t rcon = 0x01;
-    for (int r = 1; r <= 10; ++r) {
-        uint8_t t[4];
-        // RotWord + SubWord of the previous round key's last word.
-        t[0] = static_cast<uint8_t>(kSbox[roundKeys_[r - 1][13]] ^ rcon);
-        t[1] = kSbox[roundKeys_[r - 1][14]];
-        t[2] = kSbox[roundKeys_[r - 1][15]];
-        t[3] = kSbox[roundKeys_[r - 1][12]];
-        for (int i = 0; i < 4; ++i)
-            roundKeys_[r][i] = static_cast<uint8_t>(roundKeys_[r - 1][i] ^ t[i]);
-        for (int i = 4; i < 16; ++i) {
-            roundKeys_[r][i] =
-                static_cast<uint8_t>(roundKeys_[r - 1][i] ^ roundKeys_[r][i - 4]);
-        }
-        rcon = xtime(rcon);
+    ++cryptoStats().aesKeySchedules;
+
+    // FIPS 197 §5.2, word form: ek_[i] = ek_[i-4] ^ f(ek_[i-1]).
+    for (int i = 0; i < 4; ++i)
+        ek_[i] = loadBe32(key.data() + 4 * i);
+    uint32_t rcon = 0x01000000;
+    for (int i = 4; i < 44; i += 4) {
+        uint32_t t = ek_[i - 1];
+        t = subWord((t << 8) | (t >> 24)) ^ rcon; // RotWord + SubWord
+        ek_[i] = ek_[i - 4] ^ t;
+        ek_[i + 1] = ek_[i - 3] ^ ek_[i];
+        ek_[i + 2] = ek_[i - 2] ^ ek_[i + 1];
+        ek_[i + 3] = ek_[i - 1] ^ ek_[i + 2];
+        rcon = uint32_t(gmul(uint8_t(rcon >> 24), 2)) << 24;
     }
+
+    // Equivalent inverse cipher (FIPS 197 §5.3.5): reversed schedule
+    // with InvMixColumns applied to the interior round keys.
+    for (int j = 0; j < 4; ++j) {
+        dk_[j] = ek_[40 + j];
+        dk_[40 + j] = ek_[j];
+    }
+    for (int r = 1; r <= 9; ++r)
+        for (int j = 0; j < 4; ++j)
+            dk_[4 * r + j] = invMixColumnsWord(ek_[4 * (10 - r) + j]);
+
+    // Byte-order copy for the AES-NI path.
+    for (int i = 0; i < 44; ++i)
+        storeBe32(ekBytes_ + 4 * i, ek_[i]);
+}
+
+AesBlock
+Aes128::encryptBlockTables(const AesBlock &in) const
+{
+    uint32_t s0 = loadBe32(in.data() + 0) ^ ek_[0];
+    uint32_t s1 = loadBe32(in.data() + 4) ^ ek_[1];
+    uint32_t s2 = loadBe32(in.data() + 8) ^ ek_[2];
+    uint32_t s3 = loadBe32(in.data() + 12) ^ ek_[3];
+
+    for (int r = 1; r <= 9; ++r) {
+        uint32_t t0 = kTe0[s0 >> 24] ^ kTe1[(s1 >> 16) & 0xff] ^
+                      kTe2[(s2 >> 8) & 0xff] ^ kTe3[s3 & 0xff] ^ ek_[4 * r];
+        uint32_t t1 = kTe0[s1 >> 24] ^ kTe1[(s2 >> 16) & 0xff] ^
+                      kTe2[(s3 >> 8) & 0xff] ^ kTe3[s0 & 0xff] ^ ek_[4 * r + 1];
+        uint32_t t2 = kTe0[s2 >> 24] ^ kTe1[(s3 >> 16) & 0xff] ^
+                      kTe2[(s0 >> 8) & 0xff] ^ kTe3[s1 & 0xff] ^ ek_[4 * r + 2];
+        uint32_t t3 = kTe0[s3 >> 24] ^ kTe1[(s0 >> 16) & 0xff] ^
+                      kTe2[(s1 >> 8) & 0xff] ^ kTe3[s2 & 0xff] ^ ek_[4 * r + 3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    AesBlock out;
+    storeBe32(out.data() + 0,
+              ((uint32_t(kSbox[s0 >> 24]) << 24) |
+               (uint32_t(kSbox[(s1 >> 16) & 0xff]) << 16) |
+               (uint32_t(kSbox[(s2 >> 8) & 0xff]) << 8) |
+               kSbox[s3 & 0xff]) ^
+                  ek_[40]);
+    storeBe32(out.data() + 4,
+              ((uint32_t(kSbox[s1 >> 24]) << 24) |
+               (uint32_t(kSbox[(s2 >> 16) & 0xff]) << 16) |
+               (uint32_t(kSbox[(s3 >> 8) & 0xff]) << 8) |
+               kSbox[s0 & 0xff]) ^
+                  ek_[41]);
+    storeBe32(out.data() + 8,
+              ((uint32_t(kSbox[s2 >> 24]) << 24) |
+               (uint32_t(kSbox[(s3 >> 16) & 0xff]) << 16) |
+               (uint32_t(kSbox[(s0 >> 8) & 0xff]) << 8) |
+               kSbox[s1 & 0xff]) ^
+                  ek_[42]);
+    storeBe32(out.data() + 12,
+              ((uint32_t(kSbox[s3 >> 24]) << 24) |
+               (uint32_t(kSbox[(s0 >> 16) & 0xff]) << 16) |
+               (uint32_t(kSbox[(s1 >> 8) & 0xff]) << 8) |
+               kSbox[s2 & 0xff]) ^
+                  ek_[43]);
+    return out;
 }
 
 AesBlock
 Aes128::encryptBlock(const AesBlock &in) const
 {
-    uint8_t s[16];
-    for (int i = 0; i < 16; ++i)
-        s[i] = static_cast<uint8_t>(in[i] ^ roundKeys_[0][i]);
-
-    for (int round = 1; round <= 10; ++round) {
-        // SubBytes
-        for (auto &b : s)
-            b = kSbox[b];
-        // ShiftRows (state is column-major: s[col*4 + row])
-        uint8_t t[16];
-        for (int col = 0; col < 4; ++col)
-            for (int row = 0; row < 4; ++row)
-                t[col * 4 + row] = s[((col + row) % 4) * 4 + row];
-        std::memcpy(s, t, 16);
-        // MixColumns (skipped in the final round)
-        if (round != 10) {
-            for (int col = 0; col < 4; ++col) {
-                uint8_t *c = s + col * 4;
-                uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
-                c[0] = static_cast<uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-                c[1] = static_cast<uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-                c[2] = static_cast<uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-                c[3] = static_cast<uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
-            }
-        }
-        // AddRoundKey
-        for (int i = 0; i < 16; ++i)
-            s[i] = static_cast<uint8_t>(s[i] ^ roundKeys_[round][i]);
+#if defined(__x86_64__)
+    if (aesNiAvailable()) {
+        AesBlock out;
+        __m128i b = encryptBlockNi(
+            ekBytes_,
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(in.data())));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out.data()), b);
+        return out;
     }
-
-    AesBlock out;
-    std::memcpy(out.data(), s, 16);
-    return out;
+#endif
+    return encryptBlockTables(in);
 }
 
 AesBlock
 Aes128::decryptBlock(const AesBlock &in) const
 {
-    uint8_t s[16];
-    for (int i = 0; i < 16; ++i)
-        s[i] = static_cast<uint8_t>(in[i] ^ roundKeys_[10][i]);
+    uint32_t s0 = loadBe32(in.data() + 0) ^ dk_[0];
+    uint32_t s1 = loadBe32(in.data() + 4) ^ dk_[1];
+    uint32_t s2 = loadBe32(in.data() + 8) ^ dk_[2];
+    uint32_t s3 = loadBe32(in.data() + 12) ^ dk_[3];
 
-    for (int round = 9; round >= 0; --round) {
-        // InvShiftRows
-        uint8_t t[16];
-        for (int col = 0; col < 4; ++col)
-            for (int row = 0; row < 4; ++row)
-                t[((col + row) % 4) * 4 + row] = s[col * 4 + row];
-        std::memcpy(s, t, 16);
-        // InvSubBytes
-        for (auto &b : s)
-            b = kInvSbox[b];
-        // AddRoundKey
-        for (int i = 0; i < 16; ++i)
-            s[i] = static_cast<uint8_t>(s[i] ^ roundKeys_[round][i]);
-        // InvMixColumns (skipped after the last AddRoundKey)
-        if (round != 0) {
-            for (int col = 0; col < 4; ++col) {
-                uint8_t *c = s + col * 4;
-                uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
-                c[0] = static_cast<uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
-                                            gmul(a2, 13) ^ gmul(a3, 9));
-                c[1] = static_cast<uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
-                                            gmul(a2, 11) ^ gmul(a3, 13));
-                c[2] = static_cast<uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
-                                            gmul(a2, 14) ^ gmul(a3, 11));
-                c[3] = static_cast<uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
-                                            gmul(a2, 9) ^ gmul(a3, 14));
-            }
-        }
+    for (int r = 1; r <= 9; ++r) {
+        uint32_t t0 = kTd0[s0 >> 24] ^ kTd1[(s3 >> 16) & 0xff] ^
+                      kTd2[(s2 >> 8) & 0xff] ^ kTd3[s1 & 0xff] ^ dk_[4 * r];
+        uint32_t t1 = kTd0[s1 >> 24] ^ kTd1[(s0 >> 16) & 0xff] ^
+                      kTd2[(s3 >> 8) & 0xff] ^ kTd3[s2 & 0xff] ^ dk_[4 * r + 1];
+        uint32_t t2 = kTd0[s2 >> 24] ^ kTd1[(s1 >> 16) & 0xff] ^
+                      kTd2[(s0 >> 8) & 0xff] ^ kTd3[s3 & 0xff] ^ dk_[4 * r + 2];
+        uint32_t t3 = kTd0[s3 >> 24] ^ kTd1[(s2 >> 16) & 0xff] ^
+                      kTd2[(s1 >> 8) & 0xff] ^ kTd3[s0 & 0xff] ^ dk_[4 * r + 3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
     }
 
     AesBlock out;
-    std::memcpy(out.data(), s, 16);
+    storeBe32(out.data() + 0,
+              ((uint32_t(kInvSbox[s0 >> 24]) << 24) |
+               (uint32_t(kInvSbox[(s3 >> 16) & 0xff]) << 16) |
+               (uint32_t(kInvSbox[(s2 >> 8) & 0xff]) << 8) |
+               kInvSbox[s1 & 0xff]) ^
+                  dk_[40]);
+    storeBe32(out.data() + 4,
+              ((uint32_t(kInvSbox[s1 >> 24]) << 24) |
+               (uint32_t(kInvSbox[(s0 >> 16) & 0xff]) << 16) |
+               (uint32_t(kInvSbox[(s3 >> 8) & 0xff]) << 8) |
+               kInvSbox[s2 & 0xff]) ^
+                  dk_[41]);
+    storeBe32(out.data() + 8,
+              ((uint32_t(kInvSbox[s2 >> 24]) << 24) |
+               (uint32_t(kInvSbox[(s1 >> 16) & 0xff]) << 16) |
+               (uint32_t(kInvSbox[(s0 >> 8) & 0xff]) << 8) |
+               kInvSbox[s3 & 0xff]) ^
+                  dk_[42]);
+    storeBe32(out.data() + 12,
+              ((uint32_t(kInvSbox[s3 >> 24]) << 24) |
+               (uint32_t(kInvSbox[(s2 >> 16) & 0xff]) << 16) |
+               (uint32_t(kInvSbox[(s1 >> 8) & 0xff]) << 8) |
+               kInvSbox[s0 & 0xff]) ^
+                  dk_[43]);
     return out;
 }
 
@@ -171,16 +388,35 @@ void
 aesCtrXor(const Aes128 &cipher, uint64_t nonce, uint64_t counter0,
           const uint8_t *in, uint8_t *out, size_t len)
 {
+#if defined(__x86_64__)
+    if (aesNiAvailable()) {
+        ctrXorNi(cipher.ekBytes_, nonce, counter0, in, out, len);
+        return;
+    }
+#endif
     uint64_t counter = counter0;
     size_t off = 0;
+    AesBlock ctr_block;
+    std::memcpy(ctr_block.data(), &nonce, 8);
     while (off < len) {
-        AesBlock ctr_block;
-        std::memcpy(ctr_block.data(), &nonce, 8);
         std::memcpy(ctr_block.data() + 8, &counter, 8);
-        AesBlock ks = cipher.encryptBlock(ctr_block);
+        AesBlock ks = cipher.encryptBlockTables(ctr_block);
         size_t take = std::min<size_t>(16, len - off);
-        for (size_t i = 0; i < take; ++i)
-            out[off + i] = static_cast<uint8_t>(in[off + i] ^ ks[i]);
+        if (take == 16) {
+            // Word-wise XOR of a full keystream block.
+            uint64_t a, b, ka, kb;
+            std::memcpy(&a, in + off, 8);
+            std::memcpy(&b, in + off + 8, 8);
+            std::memcpy(&ka, ks.data(), 8);
+            std::memcpy(&kb, ks.data() + 8, 8);
+            a ^= ka;
+            b ^= kb;
+            std::memcpy(out + off, &a, 8);
+            std::memcpy(out + off + 8, &b, 8);
+        } else {
+            for (size_t i = 0; i < take; ++i)
+                out[off + i] = static_cast<uint8_t>(in[off + i] ^ ks[i]);
+        }
         off += take;
         ++counter;
     }

@@ -3,6 +3,14 @@
  * AES-128 block cipher (FIPS 197) with CTR-mode streaming. VeilS-ENC
  * encrypts evicted enclave pages with a per-enclave AES-128-CTR key
  * before releasing them to the untrusted OS (§6.2).
+ *
+ * The round function uses combined compile-time T-tables (SubBytes +
+ * ShiftRows + MixColumns folded into four 32-bit lookups per column),
+ * with an AES-NI fast path for encryption when the host CPU has one.
+ * Construction expands the key schedule once; hot callers (ENC paging,
+ * the secure channel) cache the Aes128 so steady-state operations do no
+ * key expansion. Host speed only — simulated cycles are charged by
+ * callers through the cost model (DESIGN.md §7).
  */
 #ifndef VEIL_CRYPTO_AES_HH_
 #define VEIL_CRYPTO_AES_HH_
@@ -23,20 +31,35 @@ class Aes128
   public:
     explicit Aes128(const AesKey &key);
 
-    /** Encrypt a single 16-byte block. */
+    /** Encrypt a single 16-byte block (fastest available path). */
     AesBlock encryptBlock(const AesBlock &in) const;
 
     /** Decrypt a single 16-byte block. */
     AesBlock decryptBlock(const AesBlock &in) const;
 
+    /**
+     * Portable T-table encryption path, always available regardless of
+     * host CPU features. Tests pin it against the dispatched path and
+     * the FIPS-197 vectors; benches use it as the no-AES-NI reference.
+     */
+    AesBlock encryptBlockTables(const AesBlock &in) const;
+
   private:
-    uint8_t roundKeys_[11][16];
+    friend void aesCtrXor(const Aes128 &cipher, uint64_t nonce,
+                          uint64_t counter0, const uint8_t *in, uint8_t *out,
+                          size_t len);
+
+    uint32_t ek_[44];                   ///< encryption keys, BE-packed words
+    uint32_t dk_[44];                   ///< equivalent-inverse-cipher keys
+    alignas(16) uint8_t ekBytes_[176];  ///< encryption keys, byte order
 };
 
 /**
  * CTR-mode keystream XOR. Encryption and decryption are the same
  * operation; @p nonce selects the keystream (do not reuse a nonce with
- * the same key for different plaintexts).
+ * the same key for different plaintexts). The counter block layout is
+ * nonce||counter, both little-endian, counter incrementing per 16-byte
+ * block — unchanged from the seed implementation.
  */
 void aesCtrXor(const Aes128 &cipher, uint64_t nonce, uint64_t counter0,
                const uint8_t *in, uint8_t *out, size_t len);

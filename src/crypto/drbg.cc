@@ -6,7 +6,15 @@ HmacDrbg::HmacDrbg(const Bytes &seed_material)
 {
     k_.fill(0x00);
     v_.fill(0x01);
+    key_ = HmacKey(k_.data(), k_.size());
     update(seed_material);
+}
+
+void
+HmacDrbg::setKey(const Digest &k)
+{
+    std::copy(k.begin(), k.end(), k_.begin());
+    key_ = HmacKey(k_.data(), k_.size());
 }
 
 void
@@ -14,16 +22,15 @@ HmacDrbg::update(const Bytes &provided)
 {
     // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
     {
-        HmacSha256 h(k_.data(), k_.size());
+        HmacSha256 h(key_);
         h.update(v_.data(), v_.size());
         uint8_t zero = 0x00;
         h.update(&zero, 1);
         h.update(provided);
-        Digest d = h.finish();
-        std::copy(d.begin(), d.end(), k_.begin());
+        setKey(h.finish());
     }
     {
-        HmacSha256 h(k_.data(), k_.size());
+        HmacSha256 h(key_);
         h.update(v_.data(), v_.size());
         Digest d = h.finish();
         std::copy(d.begin(), d.end(), v_.begin());
@@ -31,16 +38,15 @@ HmacDrbg::update(const Bytes &provided)
     if (provided.empty())
         return;
     {
-        HmacSha256 h(k_.data(), k_.size());
+        HmacSha256 h(key_);
         h.update(v_.data(), v_.size());
         uint8_t one = 0x01;
         h.update(&one, 1);
         h.update(provided);
-        Digest d = h.finish();
-        std::copy(d.begin(), d.end(), k_.begin());
+        setKey(h.finish());
     }
     {
-        HmacSha256 h(k_.data(), k_.size());
+        HmacSha256 h(key_);
         h.update(v_.data(), v_.size());
         Digest d = h.finish();
         std::copy(d.begin(), d.end(), v_.begin());
@@ -53,7 +59,9 @@ HmacDrbg::generate(size_t len)
     Bytes out;
     out.reserve(len);
     while (out.size() < len) {
-        HmacSha256 h(k_.data(), k_.size());
+        // V = HMAC(K, V), reusing the cached key midstates: the generate
+        // loop touches no key-derivation code.
+        HmacSha256 h(key_);
         h.update(v_.data(), v_.size());
         Digest d = h.finish();
         std::copy(d.begin(), d.end(), v_.begin());

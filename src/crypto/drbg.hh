@@ -37,9 +37,11 @@ class HmacDrbg
 
   private:
     void update(const Bytes &provided);
+    void setKey(const Digest &k);
 
     std::array<uint8_t, 32> k_;
     std::array<uint8_t, 32> v_;
+    HmacKey key_; ///< midstate cache for K; rebuilt only when K changes
 };
 
 } // namespace veil::crypto

@@ -2,35 +2,53 @@
 
 #include <cstring>
 
+#include "crypto/stats.hh"
+
 namespace veil::crypto {
 
-HmacSha256::HmacSha256(const void *key, size_t key_len)
+HmacKey::HmacKey() : HmacKey(nullptr, 0) {}
+
+HmacKey::HmacKey(const void *key, size_t key_len)
 {
+    ++cryptoStats().hmacKeyInits;
+
     uint8_t k[64];
     std::memset(k, 0, sizeof(k));
     if (key_len > 64) {
         Digest d = Sha256::hash(key, key_len);
         std::memcpy(k, d.data(), d.size());
-    } else {
+    } else if (key_len > 0) {
         std::memcpy(k, key, key_len);
     }
 
-    uint8_t ipad[64];
+    uint8_t ipad[64], opad[64];
     for (int i = 0; i < 64; ++i) {
         ipad[i] = static_cast<uint8_t>(k[i] ^ 0x36);
-        opad_[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+        opad[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
     }
     inner_.update(ipad, sizeof(ipad));
+    outer_.update(opad, sizeof(opad));
+}
+
+Digest
+HmacKey::mac(const void *msg, size_t len) const
+{
+    HmacSha256 ctx(*this);
+    ctx.update(msg, len);
+    return ctx.finish();
+}
+
+HmacSha256::HmacSha256(const void *key, size_t key_len)
+    : HmacSha256(HmacKey(key, key_len))
+{
 }
 
 Digest
 HmacSha256::finish()
 {
     Digest inner = inner_.finish();
-    Sha256 outer;
-    outer.update(opad_, sizeof(opad_));
-    outer.update(inner.data(), inner.size());
-    return outer.finish();
+    outer_.update(inner.data(), inner.size());
+    return outer_.finish();
 }
 
 Digest

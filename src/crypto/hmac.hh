@@ -3,6 +3,12 @@
  * HMAC-SHA256 (RFC 2104 / FIPS 198-1). Used for the simulated PSP report
  * signature, module signatures, paging integrity tags, and the secure
  * user channel's message authentication.
+ *
+ * Keying is split from MACing: HmacKey derives the ipad/opad SHA-256
+ * midstates once, and every HmacSha256 started from it (or HmacKey::mac
+ * call) just clones those midstates. Hot callers — ENC paging tags,
+ * channel seal/open, the DRBG generate loop — hold an HmacKey so
+ * steady-state operation performs no key processing at all.
  */
 #ifndef VEIL_CRYPTO_HMAC_HH_
 #define VEIL_CRYPTO_HMAC_HH_
@@ -11,12 +17,45 @@
 
 namespace veil::crypto {
 
+class HmacSha256;
+
+/**
+ * Reusable HMAC-SHA256 key context: the inner/outer midstates after
+ * absorbing K^ipad / K^opad. Deriving one is the only keyed work in
+ * this module (counted in cryptoStats().hmacKeyInits); MACing with it
+ * is pure hashing.
+ */
+class HmacKey
+{
+  public:
+    /** Empty key context; usable but equivalent to an all-zero key. */
+    HmacKey();
+    HmacKey(const void *key, size_t key_len);
+    explicit HmacKey(const Bytes &key) : HmacKey(key.data(), key.size()) {}
+
+    /** One-shot MAC reusing the precomputed midstates. */
+    Digest mac(const void *msg, size_t len) const;
+    Digest mac(const Bytes &msg) const { return mac(msg.data(), msg.size()); }
+
+  private:
+    friend class HmacSha256;
+    Sha256 inner_; ///< midstate after the ipad block
+    Sha256 outer_; ///< midstate after the opad block
+};
+
 /** Incremental HMAC-SHA256 context. */
 class HmacSha256
 {
   public:
+    /** Derives midstates from a raw key (use HmacKey to amortize). */
     HmacSha256(const void *key, size_t key_len);
     explicit HmacSha256(const Bytes &key) : HmacSha256(key.data(), key.size()) {}
+
+    /** Resumes from a precomputed key context; no key processing. */
+    explicit HmacSha256(const HmacKey &key)
+        : inner_(key.inner_), outer_(key.outer_)
+    {
+    }
 
     void update(const void *data, size_t len) { inner_.update(data, len); }
     void update(const Bytes &data) { inner_.update(data); }
@@ -29,7 +68,7 @@ class HmacSha256
 
   private:
     Sha256 inner_;
-    uint8_t opad_[64];
+    Sha256 outer_;
 };
 
 } // namespace veil::crypto

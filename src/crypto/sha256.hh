@@ -3,6 +3,15 @@
  * SHA-256 (FIPS 180-4). Used for CVM launch measurement, enclave
  * measurement, module digests, and paging integrity hashes — the same
  * roles SHA-256 plays in the paper (§5.1, §6.2).
+ *
+ * The context is trivially copyable: copying a partially-updated
+ * Sha256 clones its midstate, which is how HmacSha256 resumes from
+ * precomputed ipad/opad midstates without rehashing the key block.
+ * Bulk input is compressed straight from the caller's buffer (no
+ * staging through the 64-byte block buffer), word-at-a-time, with a
+ * SHA-NI fast path when the host CPU has one. All of this is host-side
+ * speed only; simulated cycle costs are charged by callers through the
+ * cost model (DESIGN.md §7).
  */
 #ifndef VEIL_CRYPTO_SHA256_HH_
 #define VEIL_CRYPTO_SHA256_HH_
@@ -18,11 +27,18 @@ namespace veil::crypto {
 /** A 256-bit digest. */
 using Digest = std::array<uint8_t, 32>;
 
-/** Incremental SHA-256 context. */
+/** Incremental SHA-256 context; copy it to clone a midstate. */
 class Sha256
 {
   public:
-    Sha256();
+    /**
+     * Implementation selector. Auto picks the fastest host path
+     * (SHA-NI where available); Portable forces the scalar word
+     * implementation so tests can cross-check the two.
+     */
+    enum class Impl : uint8_t { Auto, Portable };
+
+    explicit Sha256(Impl impl = Impl::Auto);
 
     /** Absorb @p len bytes. */
     void update(const void *data, size_t len);
@@ -37,12 +53,13 @@ class Sha256
     static Digest hash(const Bytes &data);
 
   private:
-    void compress(const uint8_t block[64]);
+    void compressBlocks(const uint8_t *p, size_t nblocks);
 
     uint32_t h_[8];
     uint64_t totalLen_;
     uint8_t buf_[64];
     size_t bufLen_;
+    Impl impl_;
 };
 
 /** Hex string of a digest (for reports and logs). */

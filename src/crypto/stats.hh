@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Host-side crypto instrumentation. These counters track expensive
+ * key-derivation work (AES key schedules, HMAC ipad/opad derivation)
+ * and bulk hashing so tests can pin the steady-state contract: warm
+ * ENC page-out/page-in, LOG appends, and channel messages must perform
+ * zero key derivation. The counters are host observability only — they
+ * never charge simulated cycles (see DESIGN.md §7).
+ */
+#ifndef VEIL_CRYPTO_STATS_HH_
+#define VEIL_CRYPTO_STATS_HH_
+
+#include <cstdint>
+
+namespace veil::crypto {
+
+struct CryptoStats
+{
+    /// Aes128 contexts expanded from a raw key (T-table + AES-NI forms).
+    uint64_t aesKeySchedules = 0;
+    /// HMAC inner/outer midstates derived from a raw key.
+    uint64_t hmacKeyInits = 0;
+    /// 64-byte SHA-256 compression blocks processed (any path).
+    uint64_t sha256Blocks = 0;
+};
+
+/** Process-wide counters (the simulator is single-threaded). */
+inline CryptoStats &
+cryptoStats()
+{
+    static CryptoStats s;
+    return s;
+}
+
+} // namespace veil::crypto
+
+#endif // VEIL_CRYPTO_STATS_HH_

@@ -702,11 +702,13 @@ Kernel::syscall(Process &proc, uint32_t no, const uint64_t args[6])
           if (!e) {
               ret = -kEBADF;
           } else {
+              // Copy first: allocFd may grow proc.fds and invalidate e.
+              FdEntry entry = *e;
               int nfd = proc.allocFd();
               if (nfd < 0) {
                   ret = -kEMFILE;
               } else {
-                  proc.fds[nfd] = *e;
+                  proc.fds[nfd] = entry;
                   ret = nfd;
               }
           }

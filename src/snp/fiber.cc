@@ -3,6 +3,10 @@
 #include "base/log.hh"
 #include "snp/fault.hh"
 
+#if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace veil::snp {
 
 namespace {
@@ -31,6 +35,12 @@ void
 Fiber::trampoline()
 {
     Fiber *self = g_current;
+#if defined(__SANITIZE_ADDRESS__)
+    // First entry onto the fiber stack; record where we came from so
+    // yields can switch back to the scheduler stack.
+    __sanitizer_finish_switch_fiber(nullptr, &self->schedStackBottom_,
+                                    &self->schedStackSize_);
+#endif
     try {
         self->fn_();
     } catch (const FiberShutdown &) {
@@ -39,6 +49,12 @@ Fiber::trampoline()
         self->pending_ = std::current_exception();
     }
     self->finished_ = true;
+#if defined(__SANITIZE_ADDRESS__)
+    // Final exit: null save pointer tells ASan to destroy this fiber's
+    // fake stack.
+    __sanitizer_start_switch_fiber(nullptr, self->schedStackBottom_,
+                                   self->schedStackSize_);
+#endif
     swapcontext(&self->ctx_, &self->schedCtx_);
     // Unreachable: a finished fiber is never resumed.
     panic("Fiber: resumed after finish");
@@ -60,7 +76,14 @@ Fiber::resume()
     }
 
     g_current = this;
+#if defined(__SANITIZE_ADDRESS__)
+    __sanitizer_start_switch_fiber(&schedFakeStack_, stack_.data(),
+                                   stack_.size());
+#endif
     swapcontext(&schedCtx_, &ctx_);
+#if defined(__SANITIZE_ADDRESS__)
+    __sanitizer_finish_switch_fiber(schedFakeStack_, nullptr, nullptr);
+#endif
     g_current = nullptr;
 
     if (pending_) {
@@ -76,7 +99,17 @@ Fiber::yieldToScheduler()
     Fiber *self = g_current;
     ensure(self != nullptr, "Fiber::yieldToScheduler outside fiber");
     g_current = nullptr;
+#if defined(__SANITIZE_ADDRESS__)
+    __sanitizer_start_switch_fiber(&self->fiberFakeStack_,
+                                   self->schedStackBottom_,
+                                   self->schedStackSize_);
+#endif
     swapcontext(&self->ctx_, &self->schedCtx_);
+#if defined(__SANITIZE_ADDRESS__)
+    __sanitizer_finish_switch_fiber(self->fiberFakeStack_,
+                                    &self->schedStackBottom_,
+                                    &self->schedStackSize_);
+#endif
     g_current = self;
 }
 

@@ -59,6 +59,16 @@ class Fiber
     bool started_ = false;
     bool finished_ = false;
     std::exception_ptr pending_;
+
+#if defined(__SANITIZE_ADDRESS__)
+    // ASan fiber-switch bookkeeping (__sanitizer_{start,finish}_switch_fiber):
+    // fake-stack handles for each side of a switch plus the scheduler
+    // stack bounds learned on first entry.
+    void *schedFakeStack_ = nullptr;
+    void *fiberFakeStack_ = nullptr;
+    const void *schedStackBottom_ = nullptr;
+    size_t schedStackSize_ = 0;
+#endif
 };
 
 } // namespace veil::snp

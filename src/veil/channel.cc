@@ -12,7 +12,7 @@ constexpr size_t kMacLen = 32;
 
 SecureChannel::SecureChannel(const crypto::SessionKeys &keys, bool initiator)
     : cipher_(keys.encKey),
-      macKey_(keys.macKey.begin(), keys.macKey.end()),
+      macKey_(keys.macKey.data(), keys.macKey.size()),
       // Initiator sends even nonces, responder odd: directions never
       // collide in the CTR keystream or the replay window.
       txNonce_(initiator ? 0 : 1),
@@ -34,7 +34,7 @@ SecureChannel::seal(const Bytes &plaintext)
     crypto::aesCtrXor(cipher_, nonce, 0, plaintext.data(), out.data() + ct_off,
                       plaintext.size());
 
-    crypto::Digest mac = crypto::HmacSha256::mac(macKey_, out);
+    crypto::Digest mac = macKey_.mac(out);
     out.insert(out.end(), mac.begin(), mac.end());
     return out;
 }
@@ -46,8 +46,7 @@ SecureChannel::open(const Bytes &sealed)
         return std::nullopt;
     size_t body_len = sealed.size() - kMacLen;
 
-    crypto::Digest mac =
-        crypto::HmacSha256::mac(macKey_, sealed.data(), body_len);
+    crypto::Digest mac = macKey_.mac(sealed.data(), body_len);
     if (!ctEqual(mac.data(), sealed.data() + body_len, kMacLen))
         return std::nullopt;
 

@@ -15,6 +15,7 @@
 
 #include "crypto/aes.hh"
 #include "crypto/dh.hh"
+#include "crypto/hmac.hh"
 
 namespace veil::core {
 
@@ -39,8 +40,11 @@ class SecureChannel
     std::optional<Bytes> open(const Bytes &sealed);
 
   private:
+    // Cached per-channel key contexts: the AES schedule and the HMAC
+    // midstates are derived once at establishment, so steady-state
+    // seal/open does no key processing.
     crypto::Aes128 cipher_;
-    Bytes macKey_;
+    crypto::HmacKey macKey_;
     uint64_t txNonce_;
     uint64_t rxNonce_;
 };

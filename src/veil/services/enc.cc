@@ -92,7 +92,7 @@ crypto::Digest
 EncService::pageTag(const EnclaveInfo &e, Gva va, uint64_t ctr,
                     const uint8_t *plain) const
 {
-    crypto::HmacSha256 h(e.pagingMacKey);
+    crypto::HmacSha256 h(e.pagingMac);
     h.update(&va, sizeof(va));
     h.update(&ctr, sizeof(ctr));
     h.update(plain, kPageSize);
@@ -208,8 +208,10 @@ EncService::opCreate(Vcpu &cpu, IdcbMessage &msg)
     appendLe<uint64_t>(seed, e.id);
     crypto::HmacDrbg drbg(seed);
     Bytes key = drbg.generate(16);
-    std::copy(key.begin(), key.end(), e.pagingKey.begin());
-    e.pagingMacKey = drbg.generate(32);
+    crypto::AesKey ak;
+    std::copy(key.begin(), key.end(), ak.begin());
+    e.pagingAes.emplace(ak);
+    e.pagingMac = crypto::HmacKey(drbg.generate(32));
 
     // Measure (contents + metadata), then revoke Dom-UNT access and
     // grant Dom-ENC access to the enclave pages.
@@ -326,9 +328,8 @@ EncService::opFreePage(Vcpu &cpu, IdcbMessage &msg)
     ev.pteFlags = *leaf & (PteWrite | PteNx | PteUser);
     ev.tag = pageTag(e, va, ctr, page.data());
 
-    crypto::Aes128 aes(e.pagingKey);
     std::vector<uint8_t> enc(kPageSize);
-    crypto::aesCtrXor(aes, ctr, 0, page.data(), enc.data(), kPageSize);
+    crypto::aesCtrXor(*e.pagingAes, ctr, 0, page.data(), enc.data(), kPageSize);
     cpu.writePhys(pa, enc.data(), enc.size());
     cpu.burn(kCryptCyclesPerPage);
 
@@ -367,9 +368,8 @@ EncService::opRestorePage(Vcpu &cpu, IdcbMessage &msg)
     // Copy into protected staging, decrypt, verify freshness tag (§6.2).
     std::vector<uint8_t> enc(kPageSize);
     cpu.readPhys(frame, enc.data(), enc.size());
-    crypto::Aes128 aes(e.pagingKey);
     std::vector<uint8_t> plain(kPageSize);
-    crypto::aesCtrXor(aes, ev.ctr, 0, enc.data(), plain.data(), kPageSize);
+    crypto::aesCtrXor(*e.pagingAes, ev.ctr, 0, enc.data(), plain.data(), kPageSize);
     cpu.burn(kCryptCyclesPerPage);
     crypto::Digest tag = pageTag(e, va, ev.ctr, plain.data());
     if (!ctEqual(tag.data(), ev.tag.data(), tag.size())) {

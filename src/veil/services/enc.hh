@@ -18,9 +18,11 @@
 #define VEIL_VEIL_SERVICES_ENC_HH_
 
 #include <map>
+#include <optional>
 #include <set>
 
 #include "crypto/aes.hh"
+#include "crypto/hmac.hh"
 #include "snp/paging.hh"
 #include "veil/monitor.hh"
 
@@ -42,8 +44,13 @@ struct EnclaveInfo
     snp::Gpa vmsaPage = 0;
     snp::Gpa ghcb = 0;
     crypto::Digest measurement{};
-    crypto::AesKey pagingKey{};
-    Bytes pagingMacKey;
+    /**
+     * Cached paging-key contexts, built once at enclave creation: the
+     * expanded AES schedule and the HMAC ipad/opad midstates. Steady-state
+     * page-out/page-in does no key expansion (DESIGN.md §7).
+     */
+    std::optional<crypto::Aes128> pagingAes;
+    crypto::HmacKey pagingMac;
     uint64_t freshCounter = 1;
 
     struct Evicted

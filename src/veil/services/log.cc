@@ -95,10 +95,13 @@ LogService::opQuery(Vcpu &cpu, IdcbMessage &msg)
               cpu.readPhys(pos, &len, sizeof(len));
               if (response.size() + 4 + len > budget + 16)
                   break;
-              Bytes rec(len);
-              cpu.readPhys(pos + 4, rec.data(), len);
+              // Read the record straight into the response — no staging
+              // buffer. Host-side only; simulated read cycles are charged
+              // by readPhys exactly as before.
               appendLe<uint32_t>(response, len);
-              appendBytes(response, rec.data(), rec.size());
+              size_t off = response.size();
+              response.resize(off + len);
+              cpu.readPhys(pos + 4, response.data() + off, len);
               pos += 4 + len;
           }
           readPos_ = pos;

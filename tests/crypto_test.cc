@@ -66,6 +66,76 @@ TEST(Sha256, IncrementalMatchesOneShot)
     EXPECT_EQ(ctx.finish(), Sha256::hash(data));
 }
 
+TEST(Sha256, BlockBoundaryLengths)
+{
+    // Known digests at the padding boundaries: empty, 55 (max single
+    // block with padding), 56 (forces a second block), 64, 65.
+    struct Case
+    {
+        size_t len;
+        const char *hex;
+    };
+    const Case cases[] = {
+        {0, "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+        {55, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"},
+        {56, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"},
+        {64, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"},
+        {65, "635361c48bb9eab14198e76ea8ab7f1a41685d6ad62aa9146d301d4f17eb0ae0"},
+    };
+    for (const Case &c : cases) {
+        Bytes msg(c.len, 'a');
+        EXPECT_EQ(digestHex(Sha256::hash(msg)), c.hex) << "len=" << c.len;
+    }
+}
+
+TEST(Sha256, ChunkSplitsAgreeAcrossBlockBoundaries)
+{
+    Rng rng(17);
+    Bytes data = rng.bytes(300);
+    for (size_t len : {size_t(0), size_t(1), size_t(55), size_t(56),
+                       size_t(57), size_t(63), size_t(64), size_t(65),
+                       size_t(127), size_t(128), size_t(129), size_t(300)}) {
+        Digest one_shot = Sha256::hash(data.data(), len);
+        for (size_t split = 0; split <= len; split += 13) {
+            Sha256 ctx;
+            ctx.update(data.data(), split);
+            ctx.update(data.data() + split, len - split);
+            EXPECT_EQ(ctx.finish(), one_shot)
+                << "len=" << len << " split=" << split;
+        }
+    }
+}
+
+TEST(Sha256, PortableMatchesDispatched)
+{
+    Rng rng(18);
+    for (size_t len : {size_t(0), size_t(1), size_t(63), size_t(64),
+                       size_t(65), size_t(4096), size_t(4097)}) {
+        Bytes data = rng.bytes(len);
+        Sha256 portable(Sha256::Impl::Portable);
+        portable.update(data);
+        EXPECT_EQ(portable.finish(), Sha256::hash(data)) << "len=" << len;
+    }
+}
+
+TEST(Sha256, ClonedMidstateContinuesIndependently)
+{
+    Bytes head(100, 0x31), tail_a(100, 0x32), tail_b(100, 0x33);
+    Sha256 base;
+    base.update(head);
+
+    Sha256 a = base; // cloned midstate
+    Sha256 b = base;
+    a.update(tail_a);
+    b.update(tail_b);
+
+    Bytes full_a(head), full_b(head);
+    full_a.insert(full_a.end(), tail_a.begin(), tail_a.end());
+    full_b.insert(full_b.end(), tail_b.begin(), tail_b.end());
+    EXPECT_EQ(a.finish(), Sha256::hash(full_a));
+    EXPECT_EQ(b.finish(), Sha256::hash(full_b));
+}
+
 TEST(HmacSha256, Rfc4231Case1)
 {
     Bytes key(20, 0x0b);
@@ -94,6 +164,70 @@ TEST(HmacSha256, LongKeyIsHashed)
               "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
+TEST(HmacSha256, Rfc4231Case3)
+{
+    Bytes key(20, 0xaa);
+    Bytes msg(50, 0xdd);
+    auto d = HmacSha256::mac(key, msg);
+    EXPECT_EQ(digestHex(d),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case4)
+{
+    Bytes key;
+    for (uint8_t b = 0x01; b <= 0x19; ++b)
+        key.push_back(b);
+    Bytes msg(50, 0xcd);
+    auto d = HmacSha256::mac(key, msg);
+    EXPECT_EQ(digestHex(d),
+              "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231Case7LongKeyLongData)
+{
+    Bytes key(131, 0xaa);
+    const char *msg =
+        "This is a test using a larger than block-size key and a larger than "
+        "block-size data. The key needs to be hashed before being used by "
+        "the HMAC algorithm.";
+    auto d = HmacSha256::mac(key, msg, strlen(msg));
+    EXPECT_EQ(digestHex(d),
+              "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacKey, MidstateMatchesRawKeyPath)
+{
+    Rng rng(31);
+    for (size_t key_len : {size_t(0), size_t(4), size_t(32), size_t(64),
+                           size_t(65), size_t(131)}) {
+        Bytes key = rng.bytes(key_len);
+        Bytes msg = rng.bytes(200);
+        HmacKey hk(key);
+        // One-shot via midstates vs the raw-key constructor path.
+        EXPECT_EQ(hk.mac(msg), HmacSha256::mac(key, msg))
+            << "key_len=" << key_len;
+        // Incremental context resumed from the key context.
+        HmacSha256 ctx(hk);
+        ctx.update(msg.data(), 100);
+        ctx.update(msg.data() + 100, msg.size() - 100);
+        EXPECT_EQ(ctx.finish(), HmacSha256::mac(key, msg))
+            << "key_len=" << key_len;
+    }
+}
+
+TEST(HmacKey, ReusableAcrossMessages)
+{
+    Bytes key(32, 0x77);
+    HmacKey hk(key);
+    Bytes m1 = {'a', 'b', 'c'};
+    Bytes m2 = {'x', 'y'};
+    Digest d1 = hk.mac(m1);
+    EXPECT_EQ(hk.mac(m2), HmacSha256::mac(key, m2));
+    // Reuse after another message still matches a fresh computation.
+    EXPECT_EQ(hk.mac(m1), d1);
+}
+
 TEST(Aes128, Fips197Vector)
 {
     AesKey key;
@@ -120,6 +254,126 @@ TEST(Aes128, EncryptDecryptRandomBlocks)
         AesBlock b;
         rng.fill(b.data(), b.size());
         EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(b)), b);
+    }
+}
+
+TEST(Aes128, Sp80038aEcbVectors)
+{
+    // NIST SP 800-38A F.1.1/F.1.2 (ECB-AES128), four blocks.
+    AesKey key;
+    auto kb = hexDecode("2b7e151628aed2a6abf7158809cf4f3c");
+    std::copy(kb.begin(), kb.end(), key.begin());
+    Aes128 aes(key);
+
+    const char *pt_hex[] = {
+        "6bc1bee22e409f96e93d7e117393172a",
+        "ae2d8a571e03ac9c9eb76fac45af8e51",
+        "30c81c46a35ce411e5fbc1191a0a52ef",
+        "f69f2445df4f9b17ad2b417be66c3710",
+    };
+    const char *ct_hex[] = {
+        "3ad77bb40d7a3660a89ecaf32466ef97",
+        "f5d3d58503b9699de785895a96fdbaaf",
+        "43b1cd7f598ece23881b00e3ed030688",
+        "7b0c785e27e8ad3f8223207104725dd4",
+    };
+    for (int i = 0; i < 4; ++i) {
+        AesBlock pt, ct;
+        auto pb = hexDecode(pt_hex[i]);
+        auto cb = hexDecode(ct_hex[i]);
+        std::copy(pb.begin(), pb.end(), pt.begin());
+        std::copy(cb.begin(), cb.end(), ct.begin());
+        EXPECT_EQ(aes.encryptBlock(pt), ct) << "block " << i;
+        EXPECT_EQ(aes.decryptBlock(ct), pt) << "block " << i;
+    }
+}
+
+TEST(Aes128, Sp80038aCtrKeystream)
+{
+    // NIST SP 800-38A F.5.1 (CTR-AES128). Our aesCtrXor uses a
+    // little-endian nonce||counter block, so the standard's big-endian
+    // counter sequence is driven through encryptBlock directly:
+    // CT_i = PT_i ^ E_K(counter-block_i), counter block incrementing as
+    // a 128-bit big-endian integer from f0f1...feff.
+    AesKey key;
+    auto kb = hexDecode("2b7e151628aed2a6abf7158809cf4f3c");
+    std::copy(kb.begin(), kb.end(), key.begin());
+    Aes128 aes(key);
+
+    AesBlock counter;
+    auto ib = hexDecode("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+    std::copy(ib.begin(), ib.end(), counter.begin());
+
+    const char *pt_hex[] = {
+        "6bc1bee22e409f96e93d7e117393172a",
+        "ae2d8a571e03ac9c9eb76fac45af8e51",
+        "30c81c46a35ce411e5fbc1191a0a52ef",
+        "f69f2445df4f9b17ad2b417be66c3710",
+    };
+    const char *ct_hex[] = {
+        "874d6191b620e3261bef6864990db6ce",
+        "9806f66b7970fdff8617187bb9fffdff",
+        "5ae4df3edbd5d35e5b4f09020db03eab",
+        "1e031dda2fbe03d1792170a0f3009cee",
+    };
+    for (int i = 0; i < 4; ++i) {
+        AesBlock ks = aes.encryptBlock(counter);
+        auto pb = hexDecode(pt_hex[i]);
+        auto cb = hexDecode(ct_hex[i]);
+        for (int j = 0; j < 16; ++j)
+            EXPECT_EQ(uint8_t(pb[j] ^ ks[j]), cb[j])
+                << "block " << i << " byte " << j;
+        // Increment the counter block as a big-endian 128-bit integer.
+        for (int j = 15; j >= 0; --j) {
+            if (++counter[j] != 0)
+                break;
+        }
+    }
+}
+
+TEST(Aes128, TablesPathMatchesDispatched)
+{
+    Rng rng(12);
+    AesKey key;
+    rng.fill(key.data(), key.size());
+    Aes128 aes(key);
+    for (int i = 0; i < 100; ++i) {
+        AesBlock b;
+        rng.fill(b.data(), b.size());
+        EXPECT_EQ(aes.encryptBlockTables(b), aes.encryptBlock(b));
+    }
+}
+
+TEST(AesCtr, CounterAdvancesPerBlockAndSeedsFromCounter0)
+{
+    Rng rng(13);
+    AesKey key;
+    rng.fill(key.data(), key.size());
+    Aes128 aes(key);
+
+    // Keystream of blocks [2..3] equals running the same stream from
+    // counter0=2: the counter advances exactly once per 16-byte block.
+    Bytes zero(64, 0), full(64), tail(32);
+    aesCtrXor(aes, 5, 0, zero.data(), full.data(), full.size());
+    aesCtrXor(aes, 5, 2, zero.data(), tail.data(), tail.size());
+    EXPECT_EQ(Bytes(full.begin() + 32, full.end()), tail);
+}
+
+TEST(AesCtr, PartialLengthsMatchBlockwiseStream)
+{
+    // Every tail length produces a prefix of the full keystream.
+    Rng rng(14);
+    AesKey key;
+    rng.fill(key.data(), key.size());
+    Aes128 aes(key);
+    Bytes zero(80, 0), full(80);
+    aesCtrXor(aes, 3, 0, zero.data(), full.data(), full.size());
+    for (size_t len : {size_t(1), size_t(15), size_t(16), size_t(17),
+                       size_t(31), size_t(63), size_t(64), size_t(79)}) {
+        Bytes out(len);
+        aesCtrXor(aes, 3, 0, zero.data(), out.data(), len);
+        EXPECT_EQ(out, Bytes(full.begin(), full.begin() + len))
+            << "len=" << len;
     }
 }
 
