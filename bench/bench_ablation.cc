@@ -71,8 +71,9 @@ runBatched(uint64_t records_per_flush)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonInit(&argc, argv, "bench_ablation");
     heading("Ablation 1: system-call batching inside an enclave "
             "(§10 future work)");
     Table t1("UnQlite-style store, 20k inserts, batched journal writes",

@@ -69,8 +69,9 @@ runWith(const AppSpec &app, AuditBackend backend)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonInit(&argc, argv, "bench_audit");
     heading("Fig. 6 + Table 5: secure system auditing with VeilS-LOG "
             "(paper: VeilS-LOG 1.4-18.7%, Kaudit(IM) 0.3-8.7%)");
 

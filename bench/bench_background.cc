@@ -37,8 +37,9 @@ timeWorkload(bool veil, const std::function<void(kern::Kernel &,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonInit(&argc, argv, "bench_background");
     heading("§9.1 Background system impact (paper: <2% under normal "
             "execution)");
 

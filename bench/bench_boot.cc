@@ -44,8 +44,9 @@ measureNative(size_t mem_mb)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonInit(&argc, argv, "bench_boot");
     heading("§9.1 Initialization time (paper: Veil adds ~2 s, ~13%, to a "
             "2 GB CVM boot; >70% in RMPADJUST)");
 

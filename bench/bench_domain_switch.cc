@@ -76,6 +76,7 @@ main(int argc, char **argv)
     jsonMetric("idcb_round_trip_cycles", double(idcb_round_trip), "cycles");
     jsonMetric("plain_vmcall_exit_cycles", double(plain_cost), "cycles");
 
-    printMachineStats(vm.machine().stats());
+    printVmStats(vm.machine());
+    traceFinish(vm.machine());
     return 0;
 }

@@ -83,8 +83,9 @@ driveApp(VeilVm &vm, kern::Kernel &k, kern::Process &p, PrepFn prepare,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonInit(&argc, argv, "bench_enclave_apps");
     heading("Fig. 5 + Table 4: shielding real-world programs with "
             "VeilS-ENC (paper: 4.9% - 63.9% overhead)");
 

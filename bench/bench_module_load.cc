@@ -64,8 +64,9 @@ measure(bool veil_enabled, const Bytes &image, int iters)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonInit(&argc, argv, "bench_module_load");
     heading("CS1 (§9.2): secure module load/unload with VeilS-KCI "
             "(paper: +~55k cycles, +5.7% load / +4.2% unload)");
 

@@ -15,8 +15,9 @@ using namespace veil::bench;
 using namespace veil::sdk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonInit(&argc, argv, "bench_monitor_cost");
     heading("§9.1 Runtime monitor cost analysis (C_ds x N_ds)");
 
     // Measure VeilMon's C_ds (one-way switch) on the simulator.
@@ -76,5 +77,6 @@ main()
     note("high C_ds x very low N_ds = no discernible background impact,");
     note("while read+write protection and an in-CVM TCB come for free —");
     note("the trade-off the paper argues for (§9.1).");
+    traceFinish(vm.machine());
     return 0;
 }

@@ -31,8 +31,9 @@ printBattery(const char *title, const std::vector<AttackOutcome> &outcomes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonInit(&argc, argv, "bench_security");
     heading("§8 security analysis and validation");
 
     int failures = 0;

@@ -130,8 +130,9 @@ prepareFiles(Env &env)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    jsonInit(&argc, argv, "bench_syscalls");
     heading("Fig. 4 + Table 3: enclave system call redirection cost "
             "(paper: 3.3x - 7.1x)");
 
@@ -190,6 +191,7 @@ main()
     note("spec-driven argument deep copies (§6.2); cheap calls (socket,");
     note("printf) show the largest factor, large-copy calls amortize.");
 
-    printMachineStats(vm.machine().stats());
+    printVmStats(vm.machine());
+    traceFinish(vm.machine());
     return 0;
 }

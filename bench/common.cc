@@ -6,6 +6,9 @@
 #include <cstring>
 
 #include "base/log.hh"
+#include "crypto/stats.hh"
+#include "trace/chrome.hh"
+#include "trace/metrics.hh"
 
 namespace veil::bench {
 
@@ -37,6 +40,7 @@ struct JsonSink
     bool enabled = false;
     bool flushed = false;
     std::string path;
+    std::string tracePath;
     std::string bench;
     std::vector<TableRec> tables;
     std::vector<BarRec> bars;
@@ -174,27 +178,57 @@ fmt(const char *f, ...)
     return buf;
 }
 
+namespace {
+
+/**
+ * Extract "--<flag> <path>" or "--<flag>=<path>" from argv, consuming
+ * the tokens so downstream flag parsers (e.g. google-benchmark) never
+ * see them. Returns the empty string when the flag is absent.
+ */
+std::string
+consumePathFlag(int *argc, char **argv, const char *flag)
+{
+    std::string eq = std::string(flag) + "=";
+    for (int i = 1; i < *argc; ++i) {
+        std::string path;
+        int eaten = 0;
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < *argc) {
+            path = argv[i + 1];
+            eaten = 2;
+        } else if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+            path = argv[i] + eq.size();
+            eaten = 1;
+        }
+        if (eaten) {
+            for (int j = i; j + eaten < *argc; ++j)
+                argv[j] = argv[j + eaten];
+            *argc -= eaten;
+            return path;
+        }
+    }
+    return {};
+}
+
+} // namespace
+
 void
 jsonInit(int *argc, char **argv, const std::string &bench_name)
 {
     JsonSink &sink = jsonSink();
     sink.bench = bench_name;
 
-    for (int i = 1; i < *argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
-            sink.path = argv[i + 1];
-            // Consume "--json <path>" so downstream flag parsers
-            // (e.g. google-benchmark) never see it.
-            for (int j = i; j + 2 < *argc; ++j)
-                argv[j] = argv[j + 2];
-            *argc -= 2;
-            break;
-        }
-    }
+    sink.path = consumePathFlag(argc, argv, "--json");
     if (sink.path.empty()) {
         if (const char *env = std::getenv("VEIL_BENCH_JSON"))
             sink.path = env;
     }
+
+    sink.tracePath = consumePathFlag(argc, argv, "--trace");
+    if (sink.tracePath.empty()) {
+        if (const char *env = std::getenv("VEIL_TRACE_JSON"))
+            sink.tracePath = env;
+    }
+
     if (sink.path.empty())
         return;
     sink.enabled = true;
@@ -283,30 +317,98 @@ overheadPct(double value, double base)
     return (value - base) / base * 100.0;
 }
 
-void
-printMachineStats(const snp::MachineStats &s)
+namespace {
+
+/** Counter registry for one machine: hardware events + crypto work. */
+trace::MetricsRegistry
+vmStatsRegistry(const snp::Machine &m)
 {
-    Table t("Machine hardware-event counters", {"Counter", "Count"});
-    auto row = [&t](const char *name, uint64_t v) {
-        t.addRow({name, fmt("%llu", (unsigned long long)v)});
-    };
-    row("VM entries", s.entries);
-    row("non-automatic exits", s.nonAutomaticExits);
-    row("automatic exits", s.automaticExits);
-    row("timer interrupts", s.timerInterrupts);
-    row("rmpadjusts", s.rmpadjusts);
-    row("pvalidates", s.pvalidates);
-    row("TLB hits", s.tlbHits);
-    row("TLB misses", s.tlbMisses);
-    row("TLB flushes", s.tlbFlushes);
-    row("TLB shootdowns", s.tlbShootdowns);
+    const snp::MachineStats &s = m.stats();
+    const crypto::CryptoStats &c = crypto::cryptoStats();
+    trace::MetricsRegistry reg;
+    reg.addCounter("vm.entries", s.entries);
+    reg.addCounter("vm.nonAutomaticExits", s.nonAutomaticExits);
+    reg.addCounter("vm.automaticExits", s.automaticExits);
+    reg.addCounter("vm.timerInterrupts", s.timerInterrupts);
+    reg.addCounter("vm.rmpadjusts", s.rmpadjusts);
+    reg.addCounter("vm.pvalidates", s.pvalidates);
+    reg.addCounter("tlb.hits", s.tlbHits);
+    reg.addCounter("tlb.misses", s.tlbMisses);
+    reg.addCounter("tlb.flushes", s.tlbFlushes);
+    reg.addCounter("tlb.shootdowns", s.tlbShootdowns);
+    reg.addCounter("crypto.aesKeySchedules", c.aesKeySchedules);
+    reg.addCounter("crypto.hmacKeyInits", c.hmacKeyInits);
+    reg.addCounter("crypto.sha256Blocks", c.sha256Blocks);
+    return reg;
+}
+
+/** Print a registry's counters as a table and mirror them to --json. */
+void
+printRegistry(const trace::MetricsRegistry &reg, const std::string &title)
+{
+    Table t(title, {"Counter", "Count"});
+    for (const auto &met : reg.counters()) {
+        t.addRow({met.name, fmt("%llu", (unsigned long long)met.value)});
+        jsonMetric(met.name, double(met.value), met.unit);
+    }
     t.print();
+}
+
+} // namespace
+
+void
+printVmStats(const snp::Machine &m)
+{
+    printRegistry(vmStatsRegistry(m), "Machine hardware-event counters");
+    const snp::MachineStats &s = m.stats();
     uint64_t lookups = s.tlbHits + s.tlbMisses;
     if (lookups > 0) {
         note(fmt("TLB hit rate: %.1f%% (%llu lookups)",
                  100.0 * double(s.tlbHits) / double(lookups),
                  (unsigned long long)lookups));
     }
+}
+
+void
+traceFinish(const snp::Machine &m)
+{
+    const std::string &path = jsonSink().tracePath;
+    if (path.empty())
+        return;
+
+    const trace::Tracer &tr = m.tracer();
+    if (!tr.enabled()) {
+        note("trace: VeilTrace disabled; no trace written");
+        return;
+    }
+
+    trace::MetricsRegistry reg;
+    reg.addTracer(tr);
+    Table t("Simulated cycles by category", {"Category", "Cycles", "Share"});
+    uint64_t total = tr.totalCycles();
+    for (const auto &met : reg.counters()) {
+        if (met.name.rfind("cycles.", 0) != 0 || met.name == "cycles.total")
+            continue;
+        t.addRow({met.name.substr(7),
+                  fmt("%llu", (unsigned long long)met.value),
+                  fmt("%5.1f%%",
+                      total ? 100.0 * double(met.value) / double(total) : 0)});
+        jsonMetric(met.name, double(met.value), "cycles");
+    }
+    t.print();
+    note(fmt("total: %llu cycles, %llu events recorded, %llu dropped",
+             (unsigned long long)total,
+             (unsigned long long)tr.recordedEvents(),
+             (unsigned long long)tr.droppedEvents()));
+    jsonMetric("cycles.total", double(total), "cycles");
+    jsonMetric("trace.events", double(tr.recordedEvents()));
+    jsonMetric("trace.dropped", double(tr.droppedEvents()));
+
+    if (trace::writeChromeTrace(tr, path))
+        note(fmt("trace: wrote Chrome trace to %s", path.c_str()));
+    else
+        std::fprintf(stderr, "bench: cannot write trace to %s\n",
+                     path.c_str());
 }
 
 sdk::VmConfig

@@ -39,11 +39,15 @@ void printBar(const std::string &label, double value, double max_value,
 
 /**
  * Machine-readable bench output. jsonInit() scans argv for
- * "--json <path>" (consuming both tokens) and falls back to the
- * VEIL_BENCH_JSON environment variable; when either is set, every
- * Table printed, every printBar, and every jsonMetric() call is
- * collected and dumped as one JSON document at exit (and on
+ * "--json <path>" / "--json=<path>" (consuming the tokens) and falls
+ * back to the VEIL_BENCH_JSON environment variable; when either is
+ * set, every Table printed, every printBar, and every jsonMetric()
+ * call is collected and dumped as one JSON document at exit (and on
  * jsonFlush). Without a path, both are no-ops.
+ *
+ * It also scans for "--trace <path>" / "--trace=<path>" (fallback:
+ * the VEIL_TRACE_JSON environment variable), which selects the output
+ * file for traceFinish()'s Chrome trace export.
  */
 void jsonInit(int *argc, char **argv, const std::string &bench_name);
 
@@ -67,10 +71,21 @@ double overheadPct(double value, double base);
 
 /**
  * Print the machine's hardware-event counters (entries/exits,
- * rmpadjust/pvalidate) together with the software-TLB
- * hit/miss/flush/shootdown counters and the resulting hit rate.
+ * rmpadjust/pvalidate), the software-TLB hit/miss/flush/shootdown
+ * counters with the resulting hit rate, and the process-wide crypto
+ * counters — all through the VeilTrace metrics registry, so text and
+ * --json output stay in sync.
  */
-void printMachineStats(const snp::MachineStats &s);
+void printVmStats(const snp::Machine &m);
+
+/**
+ * Finish-line trace hook for bench binaries: if jsonInit() saw a
+ * --trace path (or VEIL_TRACE_JSON), export the machine's VeilTrace
+ * rings as a Chrome trace-event JSON file and print the simulated
+ * cycles-by-category attribution table. Without a path, prints
+ * nothing and writes nothing.
+ */
+void traceFinish(const snp::Machine &m);
 
 /** Default Veil VM config for benches. */
 sdk::VmConfig veilConfig(size_t mem_mb = 64);

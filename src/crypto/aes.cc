@@ -235,7 +235,7 @@ ctrXorNi(const uint8_t rk[176], uint64_t nonce, uint64_t counter,
 
 Aes128::Aes128(const AesKey &key)
 {
-    ++cryptoStats().aesKeySchedules;
+    noteAesKeySchedule();
 
     // FIPS 197 §5.2, word form: ek_[i] = ek_[i-4] ^ f(ek_[i-1]).
     for (int i = 0; i < 4; ++i)

@@ -10,7 +10,7 @@ HmacKey::HmacKey() : HmacKey(nullptr, 0) {}
 
 HmacKey::HmacKey(const void *key, size_t key_len)
 {
-    ++cryptoStats().hmacKeyInits;
+    noteHmacKeyInit();
 
     uint8_t k[64];
     std::memset(k, 0, sizeof(k));

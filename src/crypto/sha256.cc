@@ -210,7 +210,7 @@ Sha256::Sha256(Impl impl) : totalLen_(0), bufLen_(0), impl_(impl)
 void
 Sha256::compressBlocks(const uint8_t *p, size_t nblocks)
 {
-    cryptoStats().sha256Blocks += nblocks;
+    noteSha256Blocks(nblocks);
 #if defined(__x86_64__)
     if (impl_ == Impl::Auto && shaNiAvailable()) {
         compressShaNi(h_, p, nblocks);

@@ -6,6 +6,12 @@
  * ENC page-out/page-in, LOG appends, and channel messages must perform
  * zero key derivation. The counters are host observability only — they
  * never charge simulated cycles (see DESIGN.md §7).
+ *
+ * A single optional trace hook forwards these events to the VeilTrace
+ * subsystem (DESIGN.md §8): the running Machine installs it so crypto
+ * work shows up in the per-VCPU event timeline. The hook is host-side
+ * observability too — it must never charge cycles or mutate simulated
+ * state.
  */
 #ifndef VEIL_CRYPTO_STATS_HH_
 #define VEIL_CRYPTO_STATS_HH_
@@ -30,6 +36,57 @@ cryptoStats()
 {
     static CryptoStats s;
     return s;
+}
+
+/** Crypto event kinds forwarded to the trace hook. */
+enum class CryptoEvent : uint8_t {
+    AesKeySchedule,
+    HmacKeyInit,
+    Sha256Blocks,
+};
+
+/** Trace hook: installed by the running Machine, cleared on teardown. */
+struct CryptoTraceHook
+{
+    void (*fn)(void *ctx, CryptoEvent ev, uint64_t n) = nullptr;
+    void *ctx = nullptr;
+};
+
+inline CryptoTraceHook &
+cryptoTraceHook()
+{
+    static CryptoTraceHook h;
+    return h;
+}
+
+// Increment points used by the crypto implementation. Each bumps the
+// process-wide counter and forwards to the trace hook if installed.
+
+inline void
+noteAesKeySchedule()
+{
+    ++cryptoStats().aesKeySchedules;
+    CryptoTraceHook &h = cryptoTraceHook();
+    if (h.fn)
+        h.fn(h.ctx, CryptoEvent::AesKeySchedule, 1);
+}
+
+inline void
+noteHmacKeyInit()
+{
+    ++cryptoStats().hmacKeyInits;
+    CryptoTraceHook &h = cryptoTraceHook();
+    if (h.fn)
+        h.fn(h.ctx, CryptoEvent::HmacKeyInit, 1);
+}
+
+inline void
+noteSha256Blocks(uint64_t nblocks)
+{
+    cryptoStats().sha256Blocks += nblocks;
+    CryptoTraceHook &h = cryptoTraceHook();
+    if (h.fn)
+        h.fn(h.ctx, CryptoEvent::Sha256Blocks, nblocks);
 }
 
 } // namespace veil::crypto

@@ -134,9 +134,17 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
           if (target == kInvalidVmsa) {
               g.result = static_cast<uint64_t>(HvResult::Denied);
               ++stats_.deniedSwitches;
+              machine_.tracer().instantAt(
+                  st.vcpuId, vmplIndex(st.vmpl),
+                  trace::Category::DeniedSwitch,
+                  static_cast<uint64_t>(target_vmpl));
           } else {
               current_[vcpu] = target;
               ++stats_.domainSwitches;
+              machine_.tracer().instantAt(
+                  st.vcpuId, vmplIndex(st.vmpl),
+                  trace::Category::DomainSwitch,
+                  static_cast<uint64_t>(target_vmpl));
           }
           break;
       }

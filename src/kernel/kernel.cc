@@ -625,6 +625,8 @@ int64_t
 Kernel::syscall(Process &proc, uint32_t no, const uint64_t args[6])
 {
     Vcpu &c = cpu();
+    trace::SpanScope span(c.machine().tracer(), trace::Category::Syscall,
+                          no);
     ++stats_.syscalls;
     ++proc.syscalls;
 

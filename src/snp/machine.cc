@@ -3,10 +3,29 @@
 #include <cstdlib>
 
 #include "base/log.hh"
+#include "crypto/stats.hh"
 #include "snp/fault.hh"
 #include "snp/vcpu.hh"
 
 namespace veil::snp {
+
+namespace {
+
+/** Forward crypto key-derivation work into the machine's trace rings.
+ *  Bulk SHA-256 block counts stay counters-only (per-block instants
+ *  would swamp the flight recorder with no analytical value). */
+void
+cryptoTraceThunk(void *ctx, crypto::CryptoEvent ev, uint64_t n)
+{
+    if (ev == crypto::CryptoEvent::Sha256Blocks)
+        return;
+    auto *machine = static_cast<Machine *>(ctx);
+    machine->tracer().instant(trace::Category::CryptoKeySetup,
+                              static_cast<uint64_t>(ev));
+    (void)n;
+}
+
+} // namespace
 
 Machine::Machine(const MachineConfig &config)
     : config_(config),
@@ -26,6 +45,10 @@ Machine::Machine(const MachineConfig &config)
     // and PVALIDATE flush the TLB on real hardware, and hypervisor-side
     // RMPUPDATE forces a TLB shootdown before the change takes effect.
     rmp_.setInvalidateHook([this](Gpa page) { tlbFlushGpa(page); });
+
+    tracer_.configure(config.trace, config.numVcpus, &tsc_);
+    if (tracer_.enabled())
+        crypto::cryptoTraceHook() = {&cryptoTraceThunk, this};
 }
 
 void
@@ -34,11 +57,16 @@ Machine::tlbInvlpg(Gpa cr3, Gva va)
     if (!tlbEnabled_)
         return;
     ++stats_.tlbFlushes;
+    tracer_.instant(trace::Category::TlbFlush, va);
     Gva vpn = pageAlignDown(va);
     for (VmsaId id = 0; id < slots_.size(); ++id) {
         if (slots_[id].state.tlb.invalidatePage(cr3, vpn) &&
-            id != currentVmsa_)
+            id != currentVmsa_) {
             ++stats_.tlbShootdowns;
+            const Vmsa &victim = slots_[id].state;
+            tracer_.instantAt(victim.vcpuId, vmplIndex(victim.vmpl),
+                              trace::Category::TlbShootdown, va);
+        }
     }
 }
 
@@ -48,9 +76,14 @@ Machine::tlbFlushCr3(Gpa cr3)
     if (!tlbEnabled_)
         return;
     ++stats_.tlbFlushes;
+    tracer_.instant(trace::Category::TlbFlush, cr3);
     for (VmsaId id = 0; id < slots_.size(); ++id) {
-        if (slots_[id].state.tlb.invalidateCr3(cr3) && id != currentVmsa_)
+        if (slots_[id].state.tlb.invalidateCr3(cr3) && id != currentVmsa_) {
             ++stats_.tlbShootdowns;
+            const Vmsa &victim = slots_[id].state;
+            tracer_.instantAt(victim.vcpuId, vmplIndex(victim.vmpl),
+                              trace::Category::TlbShootdown, cr3);
+        }
     }
 }
 
@@ -60,11 +93,16 @@ Machine::tlbFlushGpa(Gpa page)
     if (!tlbEnabled_)
         return;
     ++stats_.tlbFlushes;
+    tracer_.instant(trace::Category::TlbFlush, page);
     Gpa aligned = pageAlignDown(page);
     for (VmsaId id = 0; id < slots_.size(); ++id) {
         if (slots_[id].state.tlb.invalidateGpa(aligned) &&
-            id != currentVmsa_)
+            id != currentVmsa_) {
             ++stats_.tlbShootdowns;
+            const Vmsa &victim = slots_[id].state;
+            tracer_.instantAt(victim.vcpuId, vmplIndex(victim.vmpl),
+                              trace::Category::TlbShootdown, aligned);
+        }
     }
 }
 
@@ -74,12 +112,15 @@ Machine::tlbFlushVmsa(VmsaId id)
     if (!tlbEnabled_)
         return;
     ++stats_.tlbFlushes;
+    tracer_.instant(trace::Category::TlbFlush, id);
     slotFor(id).state.tlb.flushAll();
 }
 
 Machine::~Machine()
 {
     shutdownFibers();
+    if (crypto::cryptoTraceHook().ctx == this)
+        crypto::cryptoTraceHook() = {};
 }
 
 void
@@ -150,12 +191,28 @@ Machine::enter(VmsaId id)
     if (slot.fiber->finished())
         return VmExit{ExitReason::Halted, id};
 
-    charge(config_.snpMode ? costs().vmenterRestore : costs().plainResume);
+    {
+        // VMENTER state-restore cost attributed to its own category.
+        trace::SpanScope restore(tracer_, trace::Category::VmEnter, id);
+        charge(config_.snpMode ? costs().vmenterRestore
+                               : costs().plainResume);
+    }
     ++stats_.entries;
+
+    const Vmsa &entering = slot.state;
+    uint32_t run_vcpu = entering.vcpuId;
+    uint8_t run_vmpl = static_cast<uint8_t>(vmplIndex(entering.vmpl));
+    uint64_t run_start = tsc_;
+    tracer_.enterContext(id, run_vcpu, run_vmpl);
 
     currentVmsa_ = id;
     slot.fiber->resume();
     currentVmsa_ = kInvalidVmsa;
+
+    tracer_.exitContext();
+    // Residency span: this VMSA held the VCPU from VMENTER to its exit.
+    tracer_.spanAt(run_vcpu, run_vmpl, trace::Category::GuestRun, run_start,
+                   tsc_, id);
 
     if (slot.fiber->finished()) {
         if (halt_.halted)
@@ -172,7 +229,12 @@ Machine::guestExit(ExitReason reason)
     if (shuttingDown_)
         throw FiberShutdown{};
 
-    charge(config_.snpMode ? costs().vmgexitSave : costs().plainExit);
+    {
+        // VMGEXIT/automatic-exit state-save cost.
+        trace::SpanScope save(tracer_, trace::Category::VmgExit,
+                              static_cast<uint64_t>(reason));
+        charge(config_.snpMode ? costs().vmgexitSave : costs().plainExit);
+    }
     if (reason == ExitReason::NonAutomatic)
         ++stats_.nonAutomaticExits;
     else
@@ -206,6 +268,8 @@ Machine::deliverVector()
     // against the context's page tables and the RMP.
     Cpl saved = v.cpl;
     v.cpl = Cpl::Supervisor;
+    trace::SpanScope deliver(tracer_, trace::Category::IntrDeliver,
+                             v.idtHandlerVa);
     Vcpu cpu(*this, currentVmsa_);
     cpu.checkExec(v.idtHandlerVa); // may throw #PF / #NPF and halt the CVM
     charge(costs().irqHandle);
@@ -225,6 +289,7 @@ Machine::pollTimer()
         return;
     nextTimerTsc_ = tsc_ + costs().timerQuantum();
     ++stats_.timerInterrupts;
+    tracer_.instant(trace::Category::TimerIntr);
     guestExit(ExitReason::AutomaticIntr);
 }
 
@@ -233,6 +298,7 @@ Machine::recordHalt(const std::string &reason, Gpa gpa, Vmpl vmpl)
 {
     if (halt_.halted)
         return; // first fault wins
+    tracer_.instant(trace::Category::Npf, gpa);
     halt_.halted = true;
     halt_.reason = reason;
     halt_.gpa = gpa;

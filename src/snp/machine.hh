@@ -23,6 +23,7 @@
 #include "snp/psp.hh"
 #include "snp/rmp.hh"
 #include "snp/vmsa.hh"
+#include "trace/trace.hh"
 
 namespace veil::snp {
 
@@ -42,6 +43,9 @@ struct MachineConfig
     /// way. The VEIL_TLB_DISABLE environment variable (non-zero value)
     /// overrides this to false for A/B equivalence checking.
     bool tlbEnabled = true;
+    /// VeilTrace observability (host-side only; zero simulated cost —
+    /// see trace/trace.hh for the determinism contract).
+    trace::TraceConfig trace;
     /// Platform (PSP) signing key.
     Bytes pspKey = {0x50, 0x53, 0x50, 0x2d, 0x6b, 0x65, 0x79};
 };
@@ -105,8 +109,16 @@ class Machine
     Psp &psp() { return psp_; }
 
     uint64_t tsc() const { return tsc_; }
-    void charge(uint64_t cycles) { tsc_ += cycles; }
+    void charge(uint64_t cycles)
+    {
+        tsc_ += cycles;
+        // Attribution only: the tracer reads, it never charges back.
+        tracer_.onCharge(cycles);
+    }
     double secondsAt(uint64_t cycles) const { return costs().seconds(cycles); }
+
+    trace::Tracer &tracer() { return tracer_; }
+    const trace::Tracer &tracer() const { return tracer_; }
 
     const MachineStats &stats() const { return stats_; }
     MachineStats &stats() { return stats_; }
@@ -186,6 +198,7 @@ class Machine
     GuestMemory memory_;
     RmpTable rmp_;
     Psp psp_;
+    trace::Tracer tracer_;
     std::deque<Slot> slots_;
     uint64_t tsc_ = 0;
     uint64_t nextTimerTsc_ = 0;

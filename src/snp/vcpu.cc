@@ -28,9 +28,11 @@ Vcpu::translateChecked(Gva va, Access access) const
     if (machine_.tlbEnabled()) {
         if (const Tlb::Entry *e = v.tlb.lookup(v.cr3, vpn, v.cpl, access)) {
             ++machine_.stats().tlbHits;
+            machine_.tracer().instant(trace::Category::TlbHit, vpn);
             return e->gpaPage | (va & (kPageSize - 1));
         }
         ++machine_.stats().tlbMisses;
+        machine_.tracer().instant(trace::Category::TlbMiss, vpn);
     }
     Translation t = walk(machine_.memory(), v.cr3, va, access, v.cpl);
     Gpa page = pageAlignDown(t.gpa);
@@ -126,9 +128,11 @@ Vcpu::translate(Gva va, Access access) const
     if (machine_.tlbEnabled()) {
         if (const Tlb::Entry *e = v.tlb.lookup(v.cr3, vpn, cpl(), access)) {
             ++machine_.stats().tlbHits;
+            machine_.tracer().instant(trace::Category::TlbHit, vpn);
             return e->gpaPage | (va & (kPageSize - 1));
         }
         ++machine_.stats().tlbMisses;
+        machine_.tracer().instant(trace::Category::TlbMiss, vpn);
     }
     Translation t = walk(machine_.memory(), v.cr3, va, access, cpl());
     Gpa page = pageAlignDown(t.gpa);
@@ -182,6 +186,8 @@ Vcpu::zeroPhys(Gpa page)
 void
 Vcpu::rmpadjust(Gpa page, Vmpl target, PermMask perms, bool warm)
 {
+    trace::SpanScope span(machine_.tracer(), trace::Category::Rmpadjust,
+                          page);
     machine_.charge(warm ? costs().rmpadjustWarm : costs().rmpadjustPage);
     ++machine_.stats().rmpadjusts;
     machine_.rmp().rmpadjust(vmpl(), page, target, perms);
@@ -190,6 +196,8 @@ Vcpu::rmpadjust(Gpa page, Vmpl target, PermMask perms, bool warm)
 void
 Vcpu::pvalidate(Gpa page, bool validate)
 {
+    trace::SpanScope span(machine_.tracer(), trace::Category::Pvalidate,
+                          page);
     machine_.charge(costs().pvalidatePage);
     ++machine_.stats().pvalidates;
     machine_.rmp().pvalidate(vmpl(), page, validate);

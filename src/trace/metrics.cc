@@ -1,0 +1,76 @@
+#include "trace/metrics.hh"
+
+namespace veil::trace {
+
+uint64_t
+HistogramMetric::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    uint64_t target = static_cast<uint64_t>(q * double(count));
+    if (target >= count)
+        target = count - 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < log2Buckets.size(); ++b) {
+        seen += log2Buckets[b];
+        if (seen > target)
+            return b == 0 ? 1 : (uint64_t(1) << (b + 1)) - 1;
+    }
+    return max;
+}
+
+void
+MetricsRegistry::addCounter(std::string name, uint64_t value,
+                            std::string unit)
+{
+    counters_.push_back(
+        Metric{std::move(name), value, std::move(unit)});
+}
+
+void
+MetricsRegistry::addHistogram(std::string name, const SpanHistogram &h)
+{
+    HistogramMetric m;
+    m.name = std::move(name);
+    m.count = h.count;
+    m.sum = h.sum;
+    m.max = h.max;
+    m.log2Buckets.assign(h.buckets, h.buckets + SpanHistogram::kBuckets);
+    histograms_.push_back(std::move(m));
+}
+
+uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    for (const Metric &m : counters_) {
+        if (m.name == name)
+            return m.value;
+    }
+    return 0;
+}
+
+void
+MetricsRegistry::addTracer(const Tracer &tracer)
+{
+    if (!tracer.enabled())
+        return;
+    addCounter("cycles.total", tracer.totalCycles(), "cycles");
+    for (size_t c = 0; c < kCategoryCount; ++c) {
+        auto cat = static_cast<Category>(c);
+        if (tracer.cycles(cat) == 0)
+            continue;
+        addCounter(std::string("cycles.") + categoryName(cat),
+                   tracer.cycles(cat), "cycles");
+    }
+    addCounter("trace.events", tracer.recordedEvents());
+    addCounter("trace.dropped", tracer.droppedEvents());
+    for (size_t c = 0; c < kCategoryCount; ++c) {
+        auto cat = static_cast<Category>(c);
+        const SpanHistogram &h = tracer.histogram(cat);
+        if (h.count == 0)
+            continue;
+        addHistogram(std::string("span.") + categoryName(cat), h);
+    }
+}
+
+} // namespace veil::trace

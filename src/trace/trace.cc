@@ -1,0 +1,270 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace veil::trace {
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::HostSched:
+        return "host-sched";
+      case Category::GuestRun:
+        return "guest-run";
+      case Category::VmEnter:
+        return "vmenter";
+      case Category::VmgExit:
+        return "vmgexit";
+      case Category::TimerIntr:
+        return "timer-intr";
+      case Category::IntrDeliver:
+        return "intr-deliver";
+      case Category::DomainSwitch:
+        return "domain-switch";
+      case Category::DeniedSwitch:
+        return "denied-switch";
+      case Category::Rmpadjust:
+        return "rmpadjust";
+      case Category::Pvalidate:
+        return "pvalidate";
+      case Category::Npf:
+        return "npf";
+      case Category::TlbHit:
+        return "tlb-hit";
+      case Category::TlbMiss:
+        return "tlb-miss";
+      case Category::TlbFlush:
+        return "tlb-flush";
+      case Category::TlbShootdown:
+        return "tlb-shootdown";
+      case Category::Syscall:
+        return "syscall";
+      case Category::MonitorReq:
+        return "monitor-request";
+      case Category::ServiceKci:
+        return "service-kci";
+      case Category::ServiceEnc:
+        return "service-enc";
+      case Category::ServiceLog:
+        return "service-log";
+      case Category::EnclavePageIn:
+        return "enclave-page-in";
+      case Category::EnclavePageOut:
+        return "enclave-page-out";
+      case Category::CryptoKeySetup:
+        return "crypto-key-setup";
+      case Category::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+#if !defined(VEIL_TRACE_DISABLE)
+
+namespace {
+
+/** floor(log2(v)) clamped to the histogram bucket range; 0 -> bucket 0. */
+size_t
+log2Bucket(uint64_t v)
+{
+    size_t b = 0;
+    while (v > 1 && b + 1 < SpanHistogram::kBuckets) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+} // namespace
+
+void
+Tracer::configure(const TraceConfig &config, uint32_t num_vcpus,
+                  const uint64_t *tsc)
+{
+    enabled_ = config.enabled;
+    if (const char *env = std::getenv("VEIL_TRACE")) {
+        if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+            std::strcmp(env, "false") == 0) {
+            enabled_ = false;
+        } else if (std::strcmp(env, "on") == 0 ||
+                   std::strcmp(env, "1") == 0) {
+            enabled_ = true;
+        }
+    }
+    tsc_ = tsc;
+    cap_ = config.ringCapacity > 0 ? config.ringCapacity : 1;
+    if (!enabled_)
+        return;
+    rings_.resize(num_vcpus + 1);
+    for (Ring &r : rings_)
+        r.buf.reserve(std::min<size_t>(cap_, 4096));
+}
+
+Tracer::Ring &
+Tracer::ringFor(uint32_t vcpu)
+{
+    // Host events (and out-of-range VCPUs, defensively) share the last
+    // ring.
+    size_t idx = vcpu < rings_.size() - 1 ? vcpu : rings_.size() - 1;
+    return rings_[idx];
+}
+
+void
+Tracer::record(Ring &ring, const Event &e)
+{
+    if (ring.buf.size() < cap_) {
+        ring.buf.push_back(e);
+        return;
+    }
+    // Flight recorder: overwrite the oldest event, count the loss.
+    ring.buf[ring.head] = e;
+    ring.head = (ring.head + 1) % cap_;
+    ++ring.dropped;
+}
+
+void
+Tracer::enterContext(uint32_t vmsa, uint32_t vcpu, uint8_t vmpl)
+{
+    if (!enabled_)
+        return;
+    if (vmsa >= guest_.size())
+        guest_.resize(vmsa + 1);
+    Ctx &ctx = guest_[vmsa];
+    ctx.vcpu = vcpu;
+    ctx.vmpl = vmpl;
+    ctx.defaultCat = Category::GuestRun;
+    cur_ = &ctx;
+}
+
+void
+Tracer::exitContext()
+{
+    if (!enabled_)
+        return;
+    cur_ = &host_;
+}
+
+void
+Tracer::instant(Category cat, uint64_t arg)
+{
+    if (!enabled_)
+        return;
+    instantAt(cur_->vcpu, cur_->vmpl, cat, arg);
+}
+
+void
+Tracer::instantAt(uint32_t vcpu, uint8_t vmpl, Category cat, uint64_t arg)
+{
+    if (!enabled_)
+        return;
+    Event e;
+    e.cat = cat;
+    e.kind = EventKind::Instant;
+    e.vcpu = vcpu;
+    e.vmpl = vmpl;
+    e.tsc = now();
+    e.arg = arg;
+    record(ringFor(vcpu), e);
+}
+
+void
+Tracer::beginSpan(Category cat, uint64_t arg)
+{
+    if (!enabled_)
+        return;
+    cur_->stack.push_back(OpenSpan{cat, now(), arg, 0});
+}
+
+void
+Tracer::endSpan()
+{
+    if (!enabled_)
+        return;
+    // Tolerate a pop on an empty stack: RAII spans unwinding through a
+    // fiber teardown may fire after their context was already switched
+    // away (the machine is dying; nothing to record).
+    if (cur_->stack.empty())
+        return;
+    OpenSpan top = cur_->stack.back();
+    cur_->stack.pop_back();
+
+    Event e;
+    e.cat = top.cat;
+    e.kind = EventKind::Span;
+    e.vcpu = cur_->vcpu;
+    e.vmpl = cur_->vmpl;
+    e.tsc = top.start;
+    e.dur = now() - top.start;
+    e.self = top.self;
+    e.arg = top.arg;
+    record(ringFor(cur_->vcpu), e);
+
+    SpanHistogram &h = hist_[static_cast<size_t>(top.cat)];
+    ++h.buckets[log2Bucket(top.self)];
+    ++h.count;
+    h.sum += top.self;
+    if (top.self > h.max)
+        h.max = top.self;
+}
+
+void
+Tracer::spanAt(uint32_t vcpu, uint8_t vmpl, Category cat, uint64_t t0,
+               uint64_t t1, uint64_t arg)
+{
+    if (!enabled_)
+        return;
+    Event e;
+    e.cat = cat;
+    e.kind = EventKind::Span;
+    e.vcpu = vcpu;
+    e.vmpl = vmpl;
+    e.tsc = t0;
+    e.dur = t1 >= t0 ? t1 - t0 : 0;
+    e.arg = arg;
+    record(ringFor(vcpu), e);
+}
+
+uint64_t
+Tracer::recordedEvents() const
+{
+    uint64_t n = 0;
+    for (const Ring &r : rings_)
+        n += r.buf.size() + r.dropped;
+    return n;
+}
+
+uint64_t
+Tracer::droppedEvents() const
+{
+    uint64_t n = 0;
+    for (const Ring &r : rings_)
+        n += r.dropped;
+    return n;
+}
+
+uint64_t
+Tracer::ringDropped(size_t ring) const
+{
+    return ring < rings_.size() ? rings_[ring].dropped : 0;
+}
+
+std::vector<Event>
+Tracer::ringEvents(size_t ring) const
+{
+    if (ring >= rings_.size())
+        return {};
+    const Ring &r = rings_[ring];
+    std::vector<Event> out;
+    out.reserve(r.buf.size());
+    // Once wrapped, head points at the oldest surviving event.
+    for (size_t i = 0; i < r.buf.size(); ++i)
+        out.push_back(r.buf[(r.head + i) % r.buf.size()]);
+    return out;
+}
+
+#endif // !VEIL_TRACE_DISABLE
+
+} // namespace veil::trace

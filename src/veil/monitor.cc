@@ -197,6 +197,8 @@ VeilMon::monitorLoop(Vcpu &cpu)
 void
 VeilMon::dispatch(Vcpu &cpu, IdcbMessage &msg)
 {
+    trace::SpanScope span(machine_.tracer(), trace::Category::MonitorReq,
+                          msg.op);
     msg.status = static_cast<uint64_t>(VeilStatus::Denied);
     switch (static_cast<VeilOp>(msg.op)) {
       case VeilOp::Ping:

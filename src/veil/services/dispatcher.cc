@@ -45,23 +45,32 @@ ServiceDispatcher::dispatch(Vcpu &cpu, IdcbMessage &msg)
         break;
       case VeilOp::KciActivate:
       case VeilOp::KciModuleLoad:
-      case VeilOp::KciModuleUnload:
-        kci_.handle(cpu, msg);
-        break;
+      case VeilOp::KciModuleUnload: {
+          trace::SpanScope span(machine_.tracer(),
+                                trace::Category::ServiceKci, msg.op);
+          kci_.handle(cpu, msg);
+          break;
+      }
       case VeilOp::EncCreate:
       case VeilOp::EncDestroy:
       case VeilOp::EncFreePage:
       case VeilOp::EncRestorePage:
       case VeilOp::EncMprotect:
       case VeilOp::EncSyncPerms:
-      case VeilOp::EncGetMeasurement:
-        enc_.handle(cpu, msg);
-        break;
+      case VeilOp::EncGetMeasurement: {
+          trace::SpanScope span(machine_.tracer(),
+                                trace::Category::ServiceEnc, msg.op);
+          enc_.handle(cpu, msg);
+          break;
+      }
       case VeilOp::LogAppend:
       case VeilOp::LogQuery:
-      case VeilOp::LogStats:
-        log_.handle(cpu, msg);
-        break;
+      case VeilOp::LogStats: {
+          trace::SpanScope span(machine_.tracer(),
+                                trace::Category::ServiceLog, msg.op);
+          log_.handle(cpu, msg);
+          break;
+      }
       default:
         msg.status = static_cast<uint64_t>(VeilStatus::Unsupported);
         break;

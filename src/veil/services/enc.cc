@@ -340,6 +340,7 @@ EncService::opFreePage(Vcpu &cpu, IdcbMessage &msg)
     e.frames.erase(pa);
     allEnclaveFrames_.erase(pa);
     e.evicted[va] = ev;
+    cpu.machine().tracer().instant(trace::Category::EnclavePageOut, va);
     msg.status = static_cast<uint64_t>(VeilStatus::Ok);
 }
 
@@ -389,6 +390,7 @@ EncService::opRestorePage(Vcpu &cpu, IdcbMessage &msg)
     e.frames.insert(frame);
     allEnclaveFrames_.insert(frame);
     e.evicted.erase(ev_it);
+    cpu.machine().tracer().instant(trace::Category::EnclavePageIn, va);
     msg.status = static_cast<uint64_t>(VeilStatus::Ok);
 }
 

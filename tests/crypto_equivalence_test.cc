@@ -15,8 +15,8 @@
 #include <cstring>
 
 #include "base/log.hh"
-#include "base/rng.hh"
 #include "crypto/stats.hh"
+#include "paging_scenario.hh"
 #include "sdk/vm.hh"
 
 namespace veil {
@@ -25,86 +25,9 @@ namespace {
 using namespace sdk;
 using namespace snp;
 using namespace kern;
-
-struct RunRecord
-{
-    uint64_t tsc = 0;
-    MachineStats stats;
-};
-
-constexpr int kScenarioPages = 8;
-
-/**
- * Boot Veil, create an enclave over kScenarioPages seeded heap pages,
- * evict all of them, restore half eagerly, re-evict/restore one (fresh
- * counter path), then let the enclave verify every page (demand faults
- * restore the rest). Deterministic by construction.
- */
-RunRecord
-runPagingScenario()
-{
-    LogConfig::setThreshold(LogLevel::Silent);
-    VmConfig cfg;
-    cfg.machine.memBytes = 48 * 1024 * 1024;
-    cfg.machine.numVcpus = 1;
-    VeilVm vm(cfg);
-    auto result = vm.run([&](Kernel &k, Process &p) {
-        NativeEnv env(k, p);
-        EnclaveHost host(env, vm.programs());
-        Gva heap = 0;
-        int phase = 0;
-        ASSERT_TRUE(host.create([&heap, &phase](Env &e) -> int64_t {
-            auto *ee = static_cast<EnclaveEnv *>(&e);
-            heap = ee->config().heapLo;
-            Rng rng(42);
-            if (phase == 0) {
-                for (int i = 0; i < kScenarioPages; ++i) {
-                    Bytes page = rng.bytes(kPageSize);
-                    e.copyIn(heap + Gva(i) * kPageSize, page.data(),
-                             page.size());
-                }
-                return 0;
-            }
-            for (int i = 0; i < kScenarioPages; ++i) {
-                Bytes expect = rng.bytes(kPageSize);
-                Bytes got(kPageSize);
-                e.copyOut(heap + Gva(i) * kPageSize, got.data(), got.size());
-                if (got != expect)
-                    return -(i + 1);
-            }
-            return 0;
-        }));
-        ASSERT_EQ(host.call(), 0);
-
-        for (int i = 0; i < kScenarioPages; ++i)
-            ASSERT_EQ(k.enclaveFreePage(p, heap + Gva(i) * kPageSize), 0);
-        for (int i = 0; i < kScenarioPages / 2; ++i)
-            ASSERT_EQ(k.enclaveHandleFault(p, heap + Gva(i) * kPageSize), 0);
-        ASSERT_EQ(k.enclaveFreePage(p, heap), 0);
-        ASSERT_EQ(k.enclaveHandleFault(p, heap), 0);
-
-        phase = 1;
-        ASSERT_EQ(host.call(), 0);
-        EXPECT_GT(host.faultsServed(), 0u);
-    });
-    EXPECT_TRUE(result.terminated) << vm.machine().haltInfo().reason;
-    return {vm.machine().tsc(), vm.machine().stats()};
-}
-
-// Golden values recorded from the seed scalar crypto implementation
-// (commit da31af0) running this exact scenario. The crypto hot-path
-// rewrite must not move any of them.
-constexpr uint64_t kSeedTsc = 130179086;
-constexpr uint64_t kSeedEntries = 66;
-constexpr uint64_t kSeedNonAutomaticExits = 64;
-constexpr uint64_t kSeedAutomaticExits = 2;
-constexpr uint64_t kSeedTimerInterrupts = 2;
-constexpr uint64_t kSeedRmpadjusts = 24824;
-constexpr uint64_t kSeedPvalidates = 12253;
-constexpr uint64_t kSeedTlbHits = 18;
-constexpr uint64_t kSeedTlbMisses = 58;
-constexpr uint64_t kSeedTlbFlushes = 62902;
-constexpr uint64_t kSeedTlbShootdowns = 9;
+using tests::RunRecord;
+using tests::runPagingScenario;
+using tests::expectSeedRecord;
 
 TEST(CryptoEquivalence, BootAndPagingRoundTripMatchesSeedRecording)
 {
@@ -122,17 +45,7 @@ TEST(CryptoEquivalence, BootAndPagingRoundTripMatchesSeedRecording)
                 (unsigned long long)r.stats.tlbMisses,
                 (unsigned long long)r.stats.tlbFlushes,
                 (unsigned long long)r.stats.tlbShootdowns);
-    EXPECT_EQ(r.tsc, kSeedTsc);
-    EXPECT_EQ(r.stats.entries, kSeedEntries);
-    EXPECT_EQ(r.stats.nonAutomaticExits, kSeedNonAutomaticExits);
-    EXPECT_EQ(r.stats.automaticExits, kSeedAutomaticExits);
-    EXPECT_EQ(r.stats.timerInterrupts, kSeedTimerInterrupts);
-    EXPECT_EQ(r.stats.rmpadjusts, kSeedRmpadjusts);
-    EXPECT_EQ(r.stats.pvalidates, kSeedPvalidates);
-    EXPECT_EQ(r.stats.tlbHits, kSeedTlbHits);
-    EXPECT_EQ(r.stats.tlbMisses, kSeedTlbMisses);
-    EXPECT_EQ(r.stats.tlbFlushes, kSeedTlbFlushes);
-    EXPECT_EQ(r.stats.tlbShootdowns, kSeedTlbShootdowns);
+    expectSeedRecord(r);
 }
 
 /**
