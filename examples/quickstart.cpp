@@ -48,11 +48,11 @@ main()
         core::IdcbMessage ping;
         ping.op = static_cast<uint32_t>(core::VeilOp::Ping);
         uint64_t t0 = kernel.cpu().rdtsc();
-        auto reply = kernel.callMonitor(ping);
+        kernel.callMonitor(ping);
         uint64_t cycles = kernel.cpu().rdtsc() - t0;
         std::printf("[guest] VeilMon ping: status=%llu, %llu cycles "
                     "round-trip (two 7135-cycle switches)\n",
-                    (unsigned long long)reply.status,
+                    (unsigned long long)ping.status,
                     (unsigned long long)cycles);
 
         // 5. Ordinary userspace work in the untrusted domain.

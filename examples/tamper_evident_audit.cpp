@@ -75,9 +75,9 @@ main()
         m.op = static_cast<uint32_t>(core::VeilOp::LogQuery);
         memcpy(m.payload, bogus.data(), bogus.size());
         m.payloadLen = uint32_t(bogus.size());
-        auto reply = kernel.callService(m);
+        kernel.callService(m);
         std::printf("[attacker] forged clear request: %s\n",
-                    reply.status ==
+                    m.status ==
                             uint64_t(core::VeilStatus::VerifyFailed)
                         ? "rejected (bad MAC)"
                         : "ACCEPTED (bug!)");

@@ -2,13 +2,16 @@
  * @file
  * Kernel audit framework (kaudit analogue, §6.3 / §9.2 CS3).
  *
- * auditctl-style rules select which syscalls produce records. Three
+ * auditctl-style rules select which syscalls produce records. Four
  * backends:
  *  - None: auditing disabled (the "native" baseline);
  *  - KauditInMemory: records kept in kernel memory (the paper's
  *    modified Kaudit baseline — Auditd's slow disk writer removed);
  *  - VeilLog: each record is sent to VeilS-LOG through an IDCB +
- *    domain switch *before* the event executes (execute-ahead).
+ *    domain switch *before* the event executes (execute-ahead);
+ *  - VeilLogBatched: records accumulate in a per-VCPU shared ring and
+ *    are group-committed to VeilS-LOG in one batch call — amortizes
+ *    the domain switches at the cost of a bounded loss window.
  */
 #ifndef VEIL_KERNEL_AUDIT_HH_
 #define VEIL_KERNEL_AUDIT_HH_
@@ -25,6 +28,7 @@ enum class AuditBackend {
     None,
     KauditInMemory,
     VeilLog,
+    VeilLogBatched,
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "kernel/kernel.hh"
 
+#include <cstddef>
 #include <cstring>
 
 #include "base/log.hh"
@@ -47,6 +48,7 @@ Kernel::Kernel(Machine &machine, const core::CvmLayout &layout,
 {
     audit_.setBackend(config_.auditBackend);
     audit_.setRules(config_.auditRules);
+    auditRings_.resize(layout_.numVcpus);
 }
 
 Kernel::~Kernel() = default;
@@ -103,7 +105,9 @@ Kernel::bspMain(Vcpu &cpu)
     textHi_ = textLo_ + kKernelTextPages * kPageSize;
     dataLo_ = textHi_;
     dataHi_ = dataLo_ + kKernelDataPages * kPageSize;
-    frames_ = std::make_unique<FrameAllocator>(dataHi_, layout_.memEnd);
+    // The audit rings at the top of memory are reserved kernel state,
+    // never handed out as frames.
+    frames_ = std::make_unique<FrameAllocator>(dataHi_, layout_.logRingBase);
 
     // "Load" the kernel text (deterministic synthetic code bytes).
     Rng rng(0x6b65726eULL);
@@ -122,6 +126,11 @@ Kernel::bspMain(Vcpu &cpu)
     // Install the interrupt handler (LIDT analogue).
     idtHandlerVa_ = textLo_ + 0x100;
     cpu.vmsa().idtHandlerVa = idtHandlerVa_;
+    if (audit_.backend() == AuditBackend::VeilLogBatched) {
+        // Timer-tick tail of the interrupt handler: flush the audit
+        // ring if the oldest queued record has passed its deadline.
+        cpu.vmsa().softTimerHook = [this] { auditMaybeDeadlineFlush(); };
+    }
 
     if (config_.veilEnabled && config_.activateKci) {
         IdcbMessage m;
@@ -140,8 +149,8 @@ Kernel::bspMain(Vcpu &cpu)
             off += sizeof(e);
         }
         m.payloadLen = static_cast<uint32_t>(off);
-        IdcbMessage reply = callService(m);
-        ensure(okStatus(reply), "Kernel: KCI activation failed");
+        callService(m);
+        ensure(okStatus(m), "Kernel: KCI activation failed");
     }
 
     booted_ = true;
@@ -173,6 +182,10 @@ Kernel::makeProcess(const std::string &comm)
 void
 Kernel::terminate(uint64_t status)
 {
+    // Drain barrier: no audited event may be lost across an orderly
+    // shutdown (bounds the group-commit loss window to crashes).
+    if (audit_.backend() == AuditBackend::VeilLogBatched)
+        auditRingFlush(AuditFlushTrigger::Barrier);
     Vcpu &c = cpu();
     c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
     Ghcb g;
@@ -184,36 +197,44 @@ Kernel::terminate(uint64_t status)
 
 // ---- Delegation (§5.3) ----
 
-IdcbMessage
-Kernel::callMonitor(const IdcbMessage &req)
+void
+Kernel::callMonitor(IdcbMessage &msg)
 {
     ++stats_.monitorCalls;
     Vcpu &c = cpu();
     Gpa saved_ghcb = c.vmsa().ghcbGpa;
     Cpl saved_cpl = c.cpl();
+    bool saved_busy = idcbBusy_;
+    idcbBusy_ = true;
     c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
     c.setCpl(Cpl::Supervisor);
-    IdcbMessage reply =
-        core::idcbCall(c, layout_.osMonIdcb(c.vcpuId()), Vmpl::Vmpl0, req);
+    core::idcbCall(c, layout_.osMonIdcb(c.vcpuId()), Vmpl::Vmpl0, msg);
     c.vmsa().ghcbGpa = saved_ghcb;
     c.setCpl(saved_cpl);
-    return reply;
+    idcbBusy_ = saved_busy;
 }
 
-IdcbMessage
-Kernel::callService(const IdcbMessage &req)
+void
+Kernel::callService(IdcbMessage &msg)
 {
+    // Drain barrier: a LogQuery reply must reflect every record the
+    // kernel has produced so far, including those still in the ring.
+    if (msg.op == static_cast<uint32_t>(VeilOp::LogQuery) &&
+        audit_.backend() == AuditBackend::VeilLogBatched) {
+        auditRingFlush(AuditFlushTrigger::Barrier);
+    }
     ++stats_.serviceCalls;
     Vcpu &c = cpu();
     Gpa saved_ghcb = c.vmsa().ghcbGpa;
     Cpl saved_cpl = c.cpl();
+    bool saved_busy = idcbBusy_;
+    idcbBusy_ = true;
     c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
     c.setCpl(Cpl::Supervisor);
-    IdcbMessage reply =
-        core::idcbCall(c, layout_.osSrvIdcb(c.vcpuId()), Vmpl::Vmpl1, req);
+    core::idcbCall(c, layout_.osSrvIdcb(c.vcpuId()), Vmpl::Vmpl1, msg);
     c.vmsa().ghcbGpa = saved_ghcb;
     c.setCpl(saved_cpl);
-    return reply;
+    idcbBusy_ = saved_busy;
 }
 
 bool
@@ -224,7 +245,8 @@ Kernel::bootVcpu(uint32_t vcpu)
     IdcbMessage m;
     m.op = static_cast<uint32_t>(VeilOp::BootVcpu);
     m.args[0] = vcpu;
-    return okStatus(callMonitor(m));
+    callMonitor(m);
+    return okStatus(m);
 }
 
 void
@@ -235,8 +257,8 @@ Kernel::pageStateChange(Gpa page, bool shared)
         m.op = static_cast<uint32_t>(VeilOp::PageStateChange);
         m.args[0] = page;
         m.args[1] = shared ? 1 : 0;
-        IdcbMessage reply = callMonitor(m);
-        ensure(okStatus(reply), "Kernel: PSC delegation failed");
+        callMonitor(m);
+        ensure(okStatus(m), "Kernel: PSC delegation failed");
         return;
     }
     // Native: the VMPL-0 kernel performs PVALIDATE + PSC itself.
@@ -290,13 +312,13 @@ Kernel::loadModule(const Bytes &image)
         m.args[1] = image.size();
         m.args[2] = dest;
         m.args[3] = dest_pages;
-        IdcbMessage reply = callService(m);
+        callService(m);
         for (uint32_t i = 0; i < img_pages; ++i)
             frames_->free(img + Gpa(i) * kPageSize);
-        if (!okStatus(reply))
+        if (!okStatus(m))
             return -kEACCES;
-        mod.kciHandle = reply.ret[0];
-        mod.entry = reply.ret[1];
+        mod.kciHandle = m.ret[0];
+        mod.entry = m.ret[1];
     } else {
         // Native path: kernel-side verification (TOCTOU-exposed, §6.1).
         if (!vkoVerify(image, config_.moduleKey))
@@ -336,8 +358,8 @@ Kernel::unloadModule(int64_t handle)
         IdcbMessage m;
         m.op = static_cast<uint32_t>(VeilOp::KciModuleUnload);
         m.args[0] = it->second.kciHandle;
-        IdcbMessage reply = callService(m);
-        if (!okStatus(reply))
+        callService(m);
+        if (!okStatus(m))
             return -kEACCES;
     }
     for (uint32_t i = 0; i < it->second.destPages; ++i)
@@ -416,8 +438,8 @@ Kernel::enclaveCreate(Process &proc, VeilEnclaveCreateArgs &args)
     m.args[5] = args.programId;
     m.args[6] = args.ocallGva;
     m.args[7] = idtHandlerVa_;
-    IdcbMessage reply = callService(m);
-    if (!okStatus(reply)) {
+    callService(m);
+    if (!okStatus(m)) {
         proc.as->unmapUser(args.ghcbGva);
         pageStateChange(ghcb_frame, /*shared=*/false);
         frames_->free(ghcb_frame);
@@ -425,8 +447,8 @@ Kernel::enclaveCreate(Process &proc, VeilEnclaveCreateArgs &args)
     }
 
     EnclaveState st;
-    st.id = reply.ret[0];
-    st.vmsa = static_cast<VmsaId>(reply.ret[1]);
+    st.id = m.ret[0];
+    st.vmsa = static_cast<VmsaId>(m.ret[1]);
     st.ghcbGpa = ghcb_frame;
     st.ghcbGva = args.ghcbGva;
     st.ocallGva = args.ocallGva;
@@ -453,8 +475,8 @@ Kernel::enclaveDestroy(Process &proc)
     IdcbMessage m;
     m.op = static_cast<uint32_t>(VeilOp::EncDestroy);
     m.args[0] = proc.enclave->id;
-    IdcbMessage reply = callService(m);
-    if (!okStatus(reply))
+    callService(m);
+    if (!okStatus(m))
         return -kEACCES;
     proc.enclave->alive = false;
     for (auto &[lo, vma] : proc.as->vmas())
@@ -476,8 +498,8 @@ Kernel::enclaveFreePage(Process &proc, Gva va)
     m.op = static_cast<uint32_t>(VeilOp::EncFreePage);
     m.args[0] = proc.enclave->id;
     m.args[1] = va;
-    IdcbMessage reply = callService(m);
-    if (!okStatus(reply))
+    callService(m);
+    if (!okStatus(m))
         return -kEACCES;
 
     // "Swap out" the (now encrypted) page contents, then reuse the
@@ -521,8 +543,8 @@ Kernel::enclaveHandleFault(Process &proc, Gva va)
         m.args[0] = st.id;
         m.args[1] = va;
         m.args[2] = frame;
-        IdcbMessage reply = callService(m);
-        if (!okStatus(reply)) {
+        callService(m);
+        if (!okStatus(m)) {
             frames_->free(frame);
             return -kEACCES;
         }
@@ -543,8 +565,8 @@ Kernel::enclaveHandleFault(Process &proc, Gva va)
         m.args[2] = kPageSize;
         m.args[3] = (vma->prot & kPROT_WRITE ? 1 : 0) |
                     (vma->prot & kPROT_EXEC ? 2 : 0);
-        IdcbMessage reply = callService(m);
-        return okStatus(reply) ? 0 : -kEACCES;
+        callService(m);
+        return okStatus(m) ? 0 : -kEACCES;
     }
     return -kEFAULT;
 }
@@ -553,6 +575,11 @@ void
 Kernel::prepEnclaveRun(Process &proc)
 {
     ensure(proc.enclave && proc.enclave->alive, "prepEnclaveRun: no enclave");
+    // Drain barrier: records describing pre-enclave activity must be
+    // protected before control enters the (mutually distrusting)
+    // enclave, mirroring execute-ahead ordering at this boundary.
+    if (audit_.backend() == AuditBackend::VeilLogBatched)
+        auditRingFlush(AuditFlushTrigger::Barrier);
     Vcpu &c = cpu();
     // Scheduler hook (§6.2): when a different enclave gets the VCPU,
     // point the hypervisor's Dom-ENC slot at its VMSA.
@@ -603,20 +630,140 @@ Kernel::auditHook(Process &proc, uint32_t no, const uint64_t args[6])
         audit_.format(proc.pid, proc.comm, no, args, c.rdtsc(), seq);
     c.burn(kAuditFormatCycles);
 
-    if (audit_.backend() == AuditBackend::KauditInMemory) {
+    switch (audit_.backend()) {
+      case AuditBackend::KauditInMemory:
         audit_.kauditAppend(rec);
         c.burn(kKauditAppendCycles);
-    } else {
+        break;
+      case AuditBackend::VeilLog: {
         // Execute-ahead: protect the record before the event runs.
         IdcbMessage m;
         m.op = static_cast<uint32_t>(VeilOp::LogAppend);
         size_t len = std::min(rec.size(), core::kIdcbPayloadMax);
+        if (len < rec.size()) {
+            ++stats_.auditTruncations;
+            machine_.tracer().instant(trace::Category::AuditTruncate,
+                                      rec.size());
+        }
         std::memcpy(m.payload, rec.data(), len);
         m.payloadLen = static_cast<uint32_t>(len);
         callService(m);
+        break;
+      }
+      case AuditBackend::VeilLogBatched:
+        auditRingAppend(rec);
+        break;
+      case AuditBackend::None:
+        break;
     }
     ++stats_.auditRecords;
     stats_.auditCycles += c.rdtsc() - t0;
+}
+
+uint64_t
+Kernel::auditRingPending(uint32_t vcpu) const
+{
+    ensure(vcpu < auditRings_.size(), "auditRingPending: bad vcpu");
+    return auditRings_[vcpu].pending;
+}
+
+bool
+Kernel::auditFlushAllowed() const
+{
+    // No nested IDCB call while one is already in flight on this VCPU,
+    // and no service call from inside an enclave session: ocall context
+    // holds the enclave's GHCB/cr3, which a flush must not disturb.
+    return booted_ && !idcbBusy_ && !inEnclaveSession_;
+}
+
+void
+Kernel::auditRingAppend(const std::string &rec)
+{
+    Vcpu &c = cpu();
+    AuditRingState &ring = auditRings_[c.vcpuId()];
+    Gpa base = layout_.logRing(c.vcpuId());
+
+    if (!ring.initialized) {
+        core::AuditRingHeader h;
+        h.capacity = core::kAuditRingSlots;
+        c.writePhys(base, &h, sizeof(h));
+        ring.initialized = true;
+    }
+
+    // Size trigger first: make room before this record queues. A full
+    // ring forces the same flush even when the configured batch size
+    // exceeds the ring capacity.
+    if ((ring.pending >= config_.auditBatchSize ||
+         ring.pending >= core::kAuditRingSlots) &&
+        auditFlushAllowed()) {
+        auditRingFlush(AuditFlushTrigger::Size);
+    }
+    if (ring.pending >= core::kAuditRingSlots) {
+        // Ring full and flushing impossible (e.g. ocall context):
+        // drop, never overwrite unprotected records.
+        ++ring.producerDrops;
+        ++stats_.auditRingDrops;
+        c.writePhys(base + offsetof(core::AuditRingHeader, producerDrops),
+                    &ring.producerDrops, sizeof(ring.producerDrops));
+        return;
+    }
+
+    uint32_t len = static_cast<uint32_t>(
+        std::min(rec.size(), core::kAuditSlotDataMax));
+    if (len < rec.size()) {
+        ++stats_.auditTruncations;
+        machine_.tracer().instant(trace::Category::AuditTruncate, rec.size());
+    }
+    Gpa slot = core::auditRingSlot(base, ring.head);
+    c.writePhys(slot, &len, sizeof(len));
+    c.writePhys(slot + sizeof(len), rec.data(), len);
+    ++ring.head;
+    if (ring.pending++ == 0)
+        ring.oldestTsc = c.rdtsc();
+    c.writePhys(base + offsetof(core::AuditRingHeader, head), &ring.head,
+                sizeof(ring.head));
+    c.burn(kKauditAppendCycles);
+}
+
+void
+Kernel::auditRingFlush(AuditFlushTrigger trigger)
+{
+    Vcpu &c = cpu();
+    AuditRingState &ring = auditRings_[c.vcpuId()];
+    if (ring.pending == 0)
+        return;
+    ensure(auditFlushAllowed(), "auditRingFlush: flush not allowed here");
+
+    trace::SpanScope span(machine_.tracer(), trace::Category::AuditFlush,
+                          ring.pending);
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::LogAppendBatch);
+    m.args[0] = layout_.logRing(c.vcpuId());
+    callService(m);
+    ensure(okStatus(m), "auditRingFlush: LogAppendBatch failed");
+
+    ++stats_.auditBatchFlushes;
+    stats_.auditFlushedRecords += ring.pending;
+    switch (trigger) {
+      case AuditFlushTrigger::Size: ++stats_.auditFlushSize; break;
+      case AuditFlushTrigger::Deadline: ++stats_.auditFlushDeadline; break;
+      case AuditFlushTrigger::Barrier: ++stats_.auditFlushBarrier; break;
+    }
+    ring.pending = 0;
+    ring.oldestTsc = 0;
+}
+
+void
+Kernel::auditMaybeDeadlineFlush()
+{
+    if (!auditFlushAllowed() || cpu_ == nullptr)
+        return;
+    AuditRingState &ring = auditRings_[cpu_->vcpuId()];
+    if (ring.pending == 0)
+        return;
+    if (cpu_->rdtsc() - ring.oldestTsc < config_.auditFlushDeadlineCycles)
+        return;
+    auditRingFlush(AuditFlushTrigger::Deadline);
 }
 
 // ---- Syscalls ----
@@ -1053,8 +1200,8 @@ Kernel::sysMprotect(Process &p, Gva addr, uint64_t len, int prot)
         m.args[1] = addr;
         m.args[2] = hi - addr;
         m.args[3] = (prot & kPROT_WRITE ? 1 : 0) | (prot & kPROT_EXEC ? 2 : 0);
-        IdcbMessage reply = callService(m);
-        return okStatus(reply) ? 0 : -kEACCES;
+        callService(m);
+        return okStatus(m) ? 0 : -kEACCES;
     }
     for (Gva va = addr; va < hi; va += kPageSize) {
         if (p.as->userLeaf(va))

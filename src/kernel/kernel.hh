@@ -30,6 +30,12 @@ struct KernelConfig
     bool activateKci = true;
     AuditBackend auditBackend = AuditBackend::None;
     std::set<uint32_t> auditRules;
+    /// VeilLogBatched: flush the ring once this many records queue up.
+    uint32_t auditBatchSize = 32;
+    /// VeilLogBatched: flush on the first timer tick once the oldest
+    /// queued record has been pending this many cycles (bounds the loss
+    /// window; see DESIGN.md §9).
+    uint64_t auditFlushDeadlineCycles = 2'000'000;
     /// Module signing key known to the kernel build (native verify
     /// path) and provisioned to VeilS-KCI.
     Bytes moduleKey = {'m', 'o', 'd', '-', 'k', 'e', 'y'};
@@ -41,6 +47,13 @@ struct KernelStats
     uint64_t syscalls = 0;
     uint64_t auditRecords = 0;
     uint64_t auditCycles = 0;    ///< cycles spent producing/sending records
+    uint64_t auditTruncations = 0; ///< records clamped to fit transport
+    uint64_t auditRingDrops = 0;   ///< batched mode: ring full, record lost
+    uint64_t auditBatchFlushes = 0;  ///< LogAppendBatch calls issued
+    uint64_t auditFlushedRecords = 0;///< records carried by those flushes
+    uint64_t auditFlushSize = 0;     ///< flushes triggered by batch size
+    uint64_t auditFlushDeadline = 0; ///< flushes triggered by the deadline
+    uint64_t auditFlushBarrier = 0;  ///< flushes triggered by drain barriers
     uint64_t monitorCalls = 0;
     uint64_t serviceCalls = 0;
     uint64_t enclaveFaults = 0;
@@ -87,8 +100,14 @@ class Kernel
 
     // ---- §5.3 delegation clients ----
 
-    core::IdcbMessage callMonitor(const core::IdcbMessage &req);
-    core::IdcbMessage callService(const core::IdcbMessage &req);
+    // Request and reply share @p msg: the reply overwrites the request
+    // in place so the ~3.2 KB message block is never copied through the
+    // call chain.
+    void callMonitor(core::IdcbMessage &msg);
+    void callService(core::IdcbMessage &msg);
+
+    /** Batched audit: records queued in this VCPU's ring, not yet flushed. */
+    uint64_t auditRingPending(uint32_t vcpu) const;
 
     /** Boot an additional VCPU (hotplug) through VeilMon. */
     bool bootVcpu(uint32_t vcpu);
@@ -141,6 +160,23 @@ class Kernel
     void pageStateChange(snp::Gpa page, bool shared);
     void auditHook(Process &proc, uint32_t no, const uint64_t args[6]);
     uint64_t syscallBaseCost(uint32_t no) const;
+
+    // ---- Batched audit logging (group commit, DESIGN.md §9) ----
+    enum class AuditFlushTrigger { Size, Deadline, Barrier };
+    /// Host-side producer view of one VCPU's shared ring; the shared
+    /// header in guest memory is kept in sync on every append/flush.
+    struct AuditRingState
+    {
+        uint64_t head = 0;          ///< producer index (monotonic)
+        uint64_t pending = 0;       ///< head - flushed tail
+        uint64_t producerDrops = 0; ///< ring-full drops (mirrors header)
+        uint64_t oldestTsc = 0;     ///< TSC when the oldest record queued
+        bool initialized = false;   ///< header written to guest memory
+    };
+    void auditRingAppend(const std::string &rec);
+    void auditRingFlush(AuditFlushTrigger trigger);
+    bool auditFlushAllowed() const;
+    void auditMaybeDeadlineFlush();
 
     // Syscall bodies.
     int64_t sysOpen(Process &p, snp::Gva path, int flags);
@@ -205,6 +241,10 @@ class Kernel
     /// True while servicing an ocall from a running enclave: such
     /// requests originate *inside* the enclave (§6.2).
     bool inEnclaveSession_ = false;
+    std::vector<AuditRingState> auditRings_; ///< one per VCPU
+    /// True while an IDCB call is in flight on this VCPU; the timer
+    /// flush hook must not start a nested call.
+    bool idcbBusy_ = false;
     SyscallTamper tamper_;
 };
 

@@ -103,9 +103,9 @@ runFrameworkAttacks()
             auto kp = crypto::dhGenerate(drbg);
             std::memcpy(m.payload, kp.publicKey.data(), 32);
             m.payloadLen = 32;
-            auto reply = k.callMonitor(m);
+            k.callMonitor(m);
             core::ChannelResponse resp;
-            std::memcpy(&resp, reply.retPayload, sizeof(resp));
+            std::memcpy(&resp, m.retPayload, sizeof(resp));
             bool fooled = resp.report.measurement == expect;
             detail = "measurement mismatch detected by remote user";
             return fooled;
@@ -195,9 +195,9 @@ runFrameworkAttacks()
             m.op = static_cast<uint32_t>(VeilOp::Pvalidate);
             m.args[0] = vm.layout().monBase; // invalidate monitor memory
             m.args[1] = 0;
-            auto reply = k.callMonitor(m);
+            k.callMonitor(m);
             detail = "VeilMon sanitized the pointer and denied";
-            return reply.status == static_cast<uint64_t>(VeilStatus::Ok);
+            return m.status == static_cast<uint64_t>(VeilStatus::Ok);
         }));
 
     out.push_back(attackInVm(
@@ -208,9 +208,9 @@ runFrameworkAttacks()
             m.op = static_cast<uint32_t>(VeilOp::CreateEnclaveVmsa);
             m.requesterVmpl = 1; // forged; monitor derives it from source
             m.args[0] = 0;
-            auto reply = k.callMonitor(m);
+            k.callMonitor(m);
             detail = "monitor derived requester from the source IDCB";
-            return reply.status == static_cast<uint64_t>(VeilStatus::Ok);
+            return m.status == static_cast<uint64_t>(VeilStatus::Ok);
         }));
 
     return out;

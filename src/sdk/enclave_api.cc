@@ -287,12 +287,12 @@ EnclaveHost::fetchMeasurement()
     IdcbMessage m;
     m.op = static_cast<uint32_t>(VeilOp::EncGetMeasurement);
     m.args[0] = enclaveId_;
-    IdcbMessage reply = kernel_.callService(m);
-    ensure(reply.status == static_cast<uint64_t>(VeilStatus::Ok) &&
-               reply.retPayloadLen >= 32,
+    kernel_.callService(m);
+    ensure(m.status == static_cast<uint64_t>(VeilStatus::Ok) &&
+               m.retPayloadLen >= 32,
            "EnclaveHost: measurement fetch failed");
     crypto::Digest d;
-    std::memcpy(d.data(), reply.retPayload, d.size());
+    std::memcpy(d.data(), m.retPayload, d.size());
     return d;
 }
 

@@ -28,13 +28,13 @@ RemoteUser::establishChannel(kern::Kernel &kernel)
     m.op = static_cast<uint32_t>(VeilOp::EstablishChannel);
     std::memcpy(m.payload, keyPair_.publicKey.data(), 32);
     m.payloadLen = 32;
-    IdcbMessage reply = kernel.callMonitor(m);
-    if (reply.status != static_cast<uint64_t>(VeilStatus::Ok) ||
-        reply.retPayloadLen != sizeof(core::ChannelResponse)) {
+    kernel.callMonitor(m);
+    if (m.status != static_cast<uint64_t>(VeilStatus::Ok) ||
+        m.retPayloadLen != sizeof(core::ChannelResponse)) {
         return false;
     }
     core::ChannelResponse resp;
-    std::memcpy(&resp, reply.retPayload, sizeof(resp));
+    std::memcpy(&resp, m.retPayload, sizeof(resp));
 
     // 1. Platform signature.
     if (!vm_.machine().psp().verify(resp.report))
@@ -80,10 +80,10 @@ RemoteUser::queryLogs(kern::Kernel &kernel, core::LogQueryCmd cmd,
     ensure(sealed.size() <= core::kIdcbPayloadMax, "RemoteUser: oversize");
     std::memcpy(m.payload, sealed.data(), sealed.size());
     m.payloadLen = static_cast<uint32_t>(sealed.size());
-    IdcbMessage reply = kernel.callService(m);
-    if (reply.status != static_cast<uint64_t>(VeilStatus::Ok))
+    kernel.callService(m);
+    if (m.status != static_cast<uint64_t>(VeilStatus::Ok))
         return std::nullopt;
-    Bytes sealed_resp(reply.retPayload, reply.retPayload + reply.retPayloadLen);
+    Bytes sealed_resp(m.retPayload, m.retPayload + m.retPayloadLen);
     return channel_->open(sealed_resp);
 }
 

@@ -274,6 +274,8 @@ Machine::deliverVector()
     cpu.checkExec(v.idtHandlerVa); // may throw #PF / #NPF and halt the CVM
     charge(costs().irqHandle);
     v.cpl = saved;
+    if (v.softTimerHook)
+        v.softTimerHook();
 }
 
 void

@@ -45,6 +45,11 @@ struct Vmsa
     Gpa page = 0;             ///< backing VMSA page in guest memory
     bool irqMasked = false;   ///< monitor/services run with IRQs masked
     Gva idtHandlerVa = 0;     ///< interrupt handler entry (0 = none yet)
+    /// Host-side tail of the interrupt handler: invoked after a vector
+    /// is delivered to this VMSA (e.g. the kernel's timer-tick work).
+    /// No architectural state; the handler-entry cycles are already
+    /// charged by deliverVector.
+    std::function<void()> softTimerHook;
     VmsaRegs regs;
     GuestEntry entry;
     /// Per-VMSA software TLB (host-side cache; no architectural state).

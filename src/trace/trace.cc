@@ -56,6 +56,10 @@ categoryName(Category c)
         return "enclave-page-out";
       case Category::CryptoKeySetup:
         return "crypto-key-setup";
+      case Category::AuditFlush:
+        return "audit-flush";
+      case Category::AuditTruncate:
+        return "audit-truncate";
       case Category::kCount:
         break;
     }

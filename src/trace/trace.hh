@@ -63,6 +63,8 @@ enum class Category : uint8_t {
     EnclavePageIn,   ///< enclave page restored from sealed storage
     EnclavePageOut,  ///< enclave page sealed out
     CryptoKeySetup,  ///< AES key schedule / HMAC midstate derivation
+    AuditFlush,      ///< batched audit ring group-commit (arg = records)
+    AuditTruncate,   ///< audit record clamped to transport (arg = size)
     kCount,
 };
 

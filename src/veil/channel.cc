@@ -5,9 +5,8 @@
 namespace veil::core {
 
 namespace {
-// Wire format: [nonce:8][len:4][ciphertext:len][mac:32]
-constexpr size_t kHeader = 12;
-constexpr size_t kMacLen = 32;
+constexpr size_t kHeader = kSealHeaderBytes;
+constexpr size_t kMacLen = kSealMacBytes;
 } // namespace
 
 SecureChannel::SecureChannel(const crypto::SessionKeys &keys, bool initiator)

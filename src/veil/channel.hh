@@ -19,6 +19,14 @@
 
 namespace veil::core {
 
+// Wire format: [nonce:8][len:4][ciphertext:len][mac:32]. Exposed so
+// consumers sizing sealed replies against a fixed buffer (e.g. the LOG
+// service's Fetch budget vs kIdcbRetPayloadMax) can derive the slack
+// from the real framing instead of a magic constant.
+constexpr size_t kSealHeaderBytes = 12;
+constexpr size_t kSealMacBytes = 32;
+constexpr size_t kSealOverheadBytes = kSealHeaderBytes + kSealMacBytes;
+
 /** One endpoint of the secure channel. */
 class SecureChannel
 {

@@ -1,6 +1,7 @@
 #include "veil/layout.hh"
 
 #include "base/log.hh"
+#include "veil/proto.hh"
 
 namespace veil::core {
 
@@ -58,6 +59,13 @@ CvmLayout::srvMonIdcb(uint32_t vcpu) const
 {
     ensure(vcpu < numVcpus, "layout: bad vcpu");
     return srvIdcbBase + Gpa(vcpu) * kPageSize;
+}
+
+Gpa
+CvmLayout::logRing(uint32_t vcpu) const
+{
+    ensure(vcpu < numVcpus, "layout: bad vcpu");
+    return logRingBase + Gpa(vcpu) * kAuditRingPages * kPageSize;
 }
 
 bool
@@ -124,7 +132,15 @@ CvmLayout::compute(size_t mem_bytes, uint32_t vcpus, size_t image_bytes,
 
     l.kernelBase = cursor;
     l.memEnd = mem_bytes;
-    ensure(l.kernelBase + 128 * kPageSize < l.memEnd,
+
+    // Per-VCPU audit rings live at the very top of kernel memory so the
+    // rest of the map — and with it every allocation address the frame
+    // allocator hands out — is unchanged whether or not batched audit
+    // logging is in use.
+    l.logRingEnd = l.memEnd;
+    l.logRingBase = l.logRingEnd - Gpa(vcpus) * kAuditRingPages * kPageSize;
+
+    ensure(l.kernelBase + 128 * kPageSize < l.logRingBase,
            "layout: machine memory too small for this configuration");
     return l;
 }

@@ -54,6 +54,10 @@ struct CvmLayout
     snp::Gpa kernelBase = 0; ///< start of DomUNT memory
     snp::Gpa memEnd = 0;
 
+    snp::Gpa logRingBase = 0; ///< per-VCPU audit rings (top of memory,
+                              ///< kernel-owned, §5.2 less-privileged rule)
+    snp::Gpa logRingEnd = 0;  ///< == memEnd
+
     uint32_t numVcpus = 0;
 
     snp::Gpa osGhcb(uint32_t vcpu) const;
@@ -62,6 +66,7 @@ struct CvmLayout
     snp::Gpa osMonIdcb(uint32_t vcpu) const;
     snp::Gpa osSrvIdcb(uint32_t vcpu) const;
     snp::Gpa srvMonIdcb(uint32_t vcpu) const;
+    snp::Gpa logRing(uint32_t vcpu) const;
 
     /** All pages that must be hypervisor-shared at launch. */
     std::vector<snp::Gpa> launchSharedPages() const;

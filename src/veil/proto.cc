@@ -25,10 +25,9 @@ writeMessage(Vcpu &cpu, Gpa idcb, const IdcbMessage &msg)
 }
 
 /** Read only the used parts of a message from guest memory. */
-IdcbMessage
-readMessage(Vcpu &cpu, Gpa idcb)
+void
+readMessage(Vcpu &cpu, Gpa idcb, IdcbMessage &msg)
 {
-    IdcbMessage msg;
     auto *raw = reinterpret_cast<uint8_t *>(&msg);
     cpu.readPhys(idcb, raw, kHeadLen);
     size_t pay = std::min<size_t>(msg.payloadLen, kIdcbPayloadMax);
@@ -40,7 +39,6 @@ readMessage(Vcpu &cpu, Gpa idcb)
         cpu.readPhys(idcb + offsetof(IdcbMessage, retPayload),
                      raw + offsetof(IdcbMessage, retPayload), ret);
     }
-    return msg;
 }
 
 } // namespace
@@ -67,20 +65,18 @@ domainSwitch(Vcpu &cpu, Vmpl target_vmpl)
     }
 }
 
-IdcbMessage
-idcbCall(Vcpu &cpu, Gpa idcb, Vmpl target_vmpl, const IdcbMessage &request)
+void
+idcbCall(Vcpu &cpu, Gpa idcb, Vmpl target_vmpl, IdcbMessage &msg)
 {
-    IdcbMessage msg = request;
     msg.pending = 1;
     msg.requesterVmpl = static_cast<uint32_t>(vmplIndex(cpu.vmpl()));
     writeMessage(cpu, idcb, msg);
 
     domainSwitch(cpu, target_vmpl);
 
-    IdcbMessage reply = readMessage(cpu, idcb);
-    if (reply.pending)
+    readMessage(cpu, idcb, msg);
+    if (msg.pending)
         fatal("idcbCall: request was not processed");
-    return reply;
 }
 
 bool
@@ -91,7 +87,7 @@ idcbFetch(Vcpu &cpu, Gpa idcb, IdcbMessage &out)
     cpu.readPhys(idcb, &pending, sizeof(pending));
     if (!pending)
         return false;
-    out = readMessage(cpu, idcb);
+    readMessage(cpu, idcb, out);
     return true;
 }
 

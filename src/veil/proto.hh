@@ -54,6 +54,9 @@ enum class VeilOp : uint32_t {
     LogAppend,       ///< payload = audit record bytes
     LogQuery,        ///< payload = sealed request; ret payload = sealed reply
     LogStats,        ///< ret[0]=record count, ret[1]=bytes used
+    LogAppendBatch,  ///< drain this VCPU's audit ring: args[0] = ring gpa
+                     ///< (must match the layout); ret[0]=appended,
+                     ///< ret[1]=dropped
 };
 
 /** Status codes returned in IdcbMessage::status. */
@@ -91,14 +94,52 @@ struct IdcbMessage
 static_assert(sizeof(IdcbMessage) <= snp::kPageSize,
               "IDCB message must fit in one page");
 
+// ---- Group-commit audit ring (VeilOp::LogAppendBatch, §6.3) ----
+//
+// One single-producer/single-consumer ring per VCPU, placed in
+// kernel-owned (Dom-UNT) pages that Dom-SRV can read, per the §5.2
+// rule that shared blocks live in the less-privileged side's memory.
+// The kernel appends records locally and flushes the whole ring with
+// one IDCB call, amortizing the two domain switches per record that
+// execute-ahead mode pays. Slot 0 holds the header; record slots are
+// fixed-size so wrap-around never splits a record.
+
+constexpr size_t kAuditRingPages = 4;    ///< ring size per VCPU
+constexpr size_t kAuditSlotBytes = 256;  ///< per slot, incl. 4-byte length
+constexpr size_t kAuditSlotDataMax = kAuditSlotBytes - 4;
+constexpr uint64_t kAuditRingSlots =
+    kAuditRingPages * snp::kPageSize / kAuditSlotBytes - 1;
+
+/** Shared ring header (slot 0). head/tail are monotonic indices. */
+struct AuditRingHeader
+{
+    uint64_t capacity = 0;      ///< slot count; must equal kAuditRingSlots
+    uint64_t head = 0;          ///< producer: next index to fill
+    uint64_t tail = 0;          ///< consumer: next index to drain
+    uint64_t producerDrops = 0; ///< records dropped ring-full (never
+                                ///< overwritten; §6.3 drop-don't-overwrite)
+};
+
+static_assert(sizeof(AuditRingHeader) <= kAuditSlotBytes,
+              "audit ring header must fit in slot 0");
+
+/** GPA of record slot @p idx (taken mod capacity) in a ring page run. */
+inline snp::Gpa
+auditRingSlot(snp::Gpa ring_base, uint64_t idx)
+{
+    return ring_base + kAuditSlotBytes * (1 + idx % kAuditRingSlots);
+}
+
 /**
- * Requester-side helper: writes the request into the IDCB page, asks
- * the hypervisor for a domain switch to @p target_vmpl on this VCPU,
- * and returns the processed message. Handles interrupt-redirect resumes
- * by re-issuing the switch.
+ * Requester-side helper: writes the request in @p msg into the IDCB
+ * page, asks the hypervisor for a domain switch to @p target_vmpl on
+ * this VCPU, and reads the processed reply back into @p msg — the
+ * message is updated in place, so the ~3.2 KB block is never copied
+ * through the call. Handles interrupt-redirect resumes by re-issuing
+ * the switch.
  */
-IdcbMessage idcbCall(snp::Vcpu &cpu, snp::Gpa idcb, snp::Vmpl target_vmpl,
-                     const IdcbMessage &request);
+void idcbCall(snp::Vcpu &cpu, snp::Gpa idcb, snp::Vmpl target_vmpl,
+              IdcbMessage &msg);
 
 /** Responder-side: fetch a pending request, if any. */
 bool idcbFetch(snp::Vcpu &cpu, snp::Gpa idcb, IdcbMessage &out);

@@ -64,6 +64,7 @@ ServiceDispatcher::dispatch(Vcpu &cpu, IdcbMessage &msg)
           break;
       }
       case VeilOp::LogAppend:
+      case VeilOp::LogAppendBatch:
       case VeilOp::LogQuery:
       case VeilOp::LogStats: {
           trace::SpanScope span(machine_.tracer(),

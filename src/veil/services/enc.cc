@@ -252,14 +252,13 @@ EncService::opCreate(Vcpu &cpu, IdcbMessage &msg)
     req.args[3] = ghcb;
     req.args[4] = idt_handler;
     req.args[5] = e.id;
-    IdcbMessage reply = idcbCall(cpu, layout_.srvMonIdcb(cpu.vcpuId()),
-                                 Vmpl::Vmpl0, req);
-    if (reply.status != static_cast<uint64_t>(VeilStatus::Ok)) {
-        msg.status = reply.status;
+    idcbCall(cpu, layout_.srvMonIdcb(cpu.vcpuId()), Vmpl::Vmpl0, req);
+    if (req.status != static_cast<uint64_t>(VeilStatus::Ok)) {
+        msg.status = req.status;
         return;
     }
-    e.vmsa = static_cast<VmsaId>(reply.ret[0]);
-    e.vmsaPage = reply.ret[1];
+    e.vmsa = static_cast<VmsaId>(req.ret[0]);
+    e.vmsaPage = req.ret[1];
 
     uint64_t id = e.id;
     enclaves_[id] = std::move(e);

@@ -28,6 +28,9 @@ LogService::handle(Vcpu &cpu, IdcbMessage &msg)
       case VeilOp::LogAppend:
         opAppend(cpu, msg);
         break;
+      case VeilOp::LogAppendBatch:
+        opAppendBatch(cpu, msg);
+        break;
       case VeilOp::LogQuery:
         opQuery(cpu, msg);
         break;
@@ -63,6 +66,65 @@ LogService::opAppend(Vcpu &cpu, IdcbMessage &msg)
 }
 
 void
+LogService::opAppendBatch(Vcpu &cpu, IdcbMessage &msg)
+{
+    // The requesting VCPU's ring location comes from the trusted layout;
+    // the hint in args[0] only cross-checks that the kernel and service
+    // agree on the map. Everything inside the ring is untrusted input.
+    Gpa ring = layout_.logRing(cpu.vcpuId());
+    if (msg.args[0] != ring) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+
+    AuditRingHeader h;
+    cpu.readPhys(ring, &h, sizeof(h));
+    if (h.capacity != kAuditRingSlots || h.tail > h.head ||
+        h.head - h.tail > kAuditRingSlots) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+
+    uint64_t appended = 0;
+    uint64_t dropped = 0;
+    uint8_t buf[kAuditSlotBytes];
+    for (uint64_t i = h.tail; i < h.head; ++i) {
+        Gpa slot = auditRingSlot(ring, i);
+        uint32_t len;
+        cpu.readPhys(slot, &len, sizeof(len));
+        if (len == 0 || len > kAuditSlotDataMax) {
+            // Malformed slot from the untrusted producer: per-record
+            // drop accounting, same as a malformed single append.
+            ++drops_;
+            ++dropped;
+            continue;
+        }
+        if (head_ + 4 + len > end_) {
+            ++drops_;
+            ++dropped;
+            continue;
+        }
+        cpu.readPhys(slot + sizeof(len), buf, len);
+        cpu.writePhys(head_, &len, sizeof(len));
+        cpu.writePhys(head_ + 4, buf, len);
+        head_ += 4 + len;
+        ++records_;
+        ++appended;
+    }
+
+    // Consume the batch: advance the shared tail to the drained head.
+    h.tail = h.head;
+    cpu.writePhys(ring + offsetof(AuditRingHeader, tail), &h.tail,
+                  sizeof(h.tail));
+
+    ++batchFlushes_;
+    batchedRecords_ += appended;
+    msg.ret[0] = appended;
+    msg.ret[1] = dropped;
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
 LogService::opQuery(Vcpu &cpu, IdcbMessage &msg)
 {
     SecureChannel *chan = monitor_.sealChannel();
@@ -84,16 +146,24 @@ LogService::opQuery(Vcpu &cpu, IdcbMessage &msg)
     switch (cmd) {
       case LogQueryCmd::Fetch: {
           // [records:8][startOffset:8][payload...], bounded by arg and
-          // the sealed-response budget.
+          // the sealed-response budget: sealing adds exactly
+          // kSealOverheadBytes of framing, so the plaintext response
+          // (header + records) may use everything else.
+          constexpr uint64_t kFetchHeaderBytes = 16;
+          static_assert(kFetchHeaderBytes + kSealOverheadBytes <
+                            kIdcbRetPayloadMax,
+                        "LogService: no room for records in a reply");
           uint64_t budget = std::min<uint64_t>(
-              {arg, kIdcbRetPayloadMax - 64, end_ - base_});
+              {arg, kIdcbRetPayloadMax - kSealOverheadBytes -
+                        kFetchHeaderBytes,
+               end_ - base_});
           appendLe<uint64_t>(response, records_);
           appendLe<uint64_t>(response, readPos_ - base_);
           Gpa pos = readPos_;
           while (pos + 4 <= head_) {
               uint32_t len;
               cpu.readPhys(pos, &len, sizeof(len));
-              if (response.size() + 4 + len > budget + 16)
+              if (response.size() + 4 + len > budget + kFetchHeaderBytes)
                   break;
               // Read the record straight into the response — no staging
               // buffer. Host-side only; simulated read cycles are charged

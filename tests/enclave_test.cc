@@ -95,13 +95,12 @@ TEST(Enclave, SealedMeasurementVerifiesOverChannel)
         core::IdcbMessage m;
         m.op = static_cast<uint32_t>(core::VeilOp::EncGetMeasurement);
         m.args[0] = host.enclaveId();
-        auto reply = k.callService(m);
-        ASSERT_EQ(reply.status, static_cast<uint64_t>(core::VeilStatus::Ok));
+        k.callService(m);
+        ASSERT_EQ(m.status, static_cast<uint64_t>(core::VeilStatus::Ok));
         // Layout: raw digest (32) then sealed blob.
-        size_t sealed_len = reply.ret[0];
+        size_t sealed_len = m.ret[0];
         ASSERT_GT(sealed_len, 0u);
-        Bytes sealed(reply.retPayload + 32,
-                     reply.retPayload + 32 + sealed_len);
+        Bytes sealed(m.retPayload + 32, m.retPayload + 32 + sealed_len);
         verified = user.verifySealedMeasurement(
             sealed, host.expectedMeasurement(), host.enclaveId());
     });
@@ -452,8 +451,8 @@ TEST(Enclave, AliasedMappingFailsInitInvariant)
         m.args[4] = 0;
         m.args[5] = 1;
         m.args[7] = k.idtHandler();
-        auto reply = k.callService(m);
-        EXPECT_EQ(reply.status,
+        k.callService(m);
+        EXPECT_EQ(m.status,
                   static_cast<uint64_t>(core::VeilStatus::VerifyFailed));
     });
 }

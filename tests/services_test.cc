@@ -50,8 +50,9 @@ TEST(LogService, AppendAndSnapshot)
     VeilVm vm(testConfig());
     vm.run([&](Kernel &k, Process &) {
         for (int i = 0; i < 5; ++i) {
-            auto reply = k.callService(logAppendMsg(strfmt("record-%d", i)));
-            EXPECT_EQ(reply.status, uint64_t(VeilStatus::Ok));
+            auto m = logAppendMsg(strfmt("record-%d", i));
+            k.callService(m);
+            EXPECT_EQ(m.status, uint64_t(VeilStatus::Ok));
         }
     });
     auto records = vm.services().log().snapshotRecords();
@@ -69,10 +70,11 @@ TEST(LogService, OverflowDropsButNeverOverwrites)
     vm.run([&](Kernel &k, Process &) {
         std::string rec(200, 'x');
         for (int i = 0; i < 40; ++i) {
-            auto reply = k.callService(logAppendMsg(rec));
-            if (reply.status == uint64_t(VeilStatus::Ok))
+            auto m = logAppendMsg(rec);
+            k.callService(m);
+            if (m.status == uint64_t(VeilStatus::Ok))
                 ++ok;
-            else if (reply.status == uint64_t(VeilStatus::Overflow))
+            else if (m.status == uint64_t(VeilStatus::Overflow))
                 ++overflow;
         }
     });
@@ -90,8 +92,10 @@ TEST(LogService, RemoteRetrievalRoundTrip)
     std::vector<std::string> retrieved;
     vm.run([&](Kernel &k, Process &) {
         ASSERT_TRUE(user.establishChannel(k));
-        for (int i = 0; i < 8; ++i)
-            k.callService(logAppendMsg(strfmt("evt-%03d", i)));
+        for (int i = 0; i < 8; ++i) {
+            auto m = logAppendMsg(strfmt("evt-%03d", i));
+            k.callService(m);
+        }
         retrieved = user.retrieveAllRecords(k);
     });
     ASSERT_EQ(retrieved.size(), 8u);
@@ -109,14 +113,44 @@ TEST(LogService, LargeRetrievalSpansManySealedChunks)
         // 12 KB of records: far beyond one sealed response (<1 KB), so
         // retrieval must chunk across many Fetch queries.
         for (int i = 0; i < 120; ++i) {
-            k.callService(
-                logAppendMsg(strfmt("%04d:", i) + std::string(95, 'r')));
+            auto m = logAppendMsg(strfmt("%04d:", i) + std::string(95, 'r'));
+            k.callService(m);
         }
         retrieved = user.retrieveAllRecords(k);
     });
     ASSERT_EQ(retrieved.size(), 120u);
     for (int i = 0; i < 120; ++i)
         EXPECT_EQ(retrieved[i].substr(0, 5), strfmt("%04d:", i));
+}
+
+TEST(LogService, MaximalFetchNeverOverflowsReturnBuffer)
+{
+    // Records sized so the Fetch budget is filled right up to its edge:
+    // the sealed reply must still fit kIdcbRetPayloadMax (the service
+    // fatals the CVM if it does not, so a terminated run proves the
+    // bound). Exercises many sizes, including the worst case where a
+    // single record consumes the whole budget.
+    VeilVm vm(testConfig(/*log_kb=*/128));
+    RemoteUser user(vm);
+    std::vector<std::string> retrieved;
+    std::vector<std::string> sent;
+    auto result = vm.run([&](Kernel &k, Process &) {
+        ASSERT_TRUE(user.establishChannel(k));
+        constexpr size_t kMaxRecord = core::kIdcbRetPayloadMax -
+                                      core::kSealOverheadBytes - 16 - 4;
+        for (size_t len : {size_t(1), kMaxRecord / 2, kMaxRecord - 1,
+                           kMaxRecord, size_t(200)}) {
+            sent.push_back(std::string(len, 'A' + char(len % 26)));
+            auto m = logAppendMsg(sent.back());
+            k.callService(m);
+            ASSERT_EQ(m.status, uint64_t(VeilStatus::Ok));
+        }
+        retrieved = user.retrieveAllRecords(k);
+    });
+    ASSERT_TRUE(result.terminated);
+    ASSERT_EQ(retrieved.size(), sent.size());
+    for (size_t i = 0; i < sent.size(); ++i)
+        EXPECT_EQ(retrieved[i], sent[i]);
 }
 
 TEST(LogService, QueryWithoutChannelDenied)
@@ -126,8 +160,8 @@ TEST(LogService, QueryWithoutChannelDenied)
         IdcbMessage m;
         m.op = static_cast<uint32_t>(VeilOp::LogQuery);
         m.payloadLen = 16;
-        auto reply = k.callService(m);
-        EXPECT_EQ(reply.status, uint64_t(VeilStatus::Denied));
+        k.callService(m);
+        EXPECT_EQ(m.status, uint64_t(VeilStatus::Denied));
     });
 }
 
@@ -137,7 +171,8 @@ TEST(LogService, TamperedQueryRejected)
     RemoteUser user(vm);
     vm.run([&](Kernel &k, Process &) {
         ASSERT_TRUE(user.establishChannel(k));
-        k.callService(logAppendMsg("secret event"));
+        auto append = logAppendMsg("secret event");
+        k.callService(append);
         // The untrusted relay (kernel) flips a byte of the sealed query.
         core::SecureChannel forge(crypto::deriveSessionKeys(Bytes(32, 1)),
                                   true);
@@ -146,8 +181,8 @@ TEST(LogService, TamperedQueryRejected)
         m.op = static_cast<uint32_t>(VeilOp::LogQuery);
         std::memcpy(m.payload, bogus.data(), bogus.size());
         m.payloadLen = static_cast<uint32_t>(bogus.size());
-        auto reply = k.callService(m);
-        EXPECT_EQ(reply.status, uint64_t(VeilStatus::VerifyFailed));
+        k.callService(m);
+        EXPECT_EQ(m.status, uint64_t(VeilStatus::VerifyFailed));
     });
 }
 
@@ -157,8 +192,10 @@ TEST(LogService, ClearAfterFullRetrievalResetsStorage)
     RemoteUser user(vm);
     vm.run([&](Kernel &k, Process &) {
         ASSERT_TRUE(user.establishChannel(k));
-        for (int i = 0; i < 4; ++i)
-            k.callService(logAppendMsg("event"));
+        for (int i = 0; i < 4; ++i) {
+            auto m = logAppendMsg("event");
+            k.callService(m);
+        }
         auto got = user.retrieveAllRecords(k);
         ASSERT_EQ(got.size(), 4u);
         uint64_t used_before = vm.services().log().bytesUsed();
@@ -173,14 +210,16 @@ TEST(LogService, StatsReportCountsAndBytes)
 {
     VeilVm vm(testConfig());
     vm.run([&](Kernel &k, Process &) {
-        k.callService(logAppendMsg("abc"));
-        k.callService(logAppendMsg("defgh"));
+        auto a = logAppendMsg("abc");
+        k.callService(a);
+        auto b = logAppendMsg("defgh");
+        k.callService(b);
         IdcbMessage m;
         m.op = static_cast<uint32_t>(VeilOp::LogStats);
-        auto reply = k.callService(m);
-        EXPECT_EQ(reply.status, uint64_t(VeilStatus::Ok));
-        EXPECT_EQ(reply.ret[0], 2u);
-        EXPECT_EQ(reply.ret[1], 4u + 3 + 4 + 5); // framing + payloads
+        k.callService(m);
+        EXPECT_EQ(m.status, uint64_t(VeilStatus::Ok));
+        EXPECT_EQ(m.ret[0], 2u);
+        EXPECT_EQ(m.ret[1], 4u + 3 + 4 + 5); // framing + payloads
     });
 }
 

@@ -102,8 +102,8 @@ TEST_P(IdcbPayloadSweep, PayloadSurvivesRoundTrip)
         for (size_t i = 0; i < len; ++i)
             m.payload[i] = uint8_t(i * 31 + 7);
         m.payloadLen = uint32_t(len);
-        auto reply = k.callService(m);
-        ASSERT_EQ(reply.status, uint64_t(VeilStatus::Ok));
+        k.callService(m);
+        ASSERT_EQ(m.status, uint64_t(VeilStatus::Ok));
     });
     auto records = vm.services().log().snapshotRecords();
     ASSERT_EQ(records.size(), 1u);
@@ -131,10 +131,11 @@ TEST(MonitorEdge, UnknownOpReturnsUnsupported)
     vm.run([](kern::Kernel &k, kern::Process &) {
         IdcbMessage m;
         m.op = 0xdead;
-        auto reply = k.callMonitor(m);
-        EXPECT_EQ(reply.status, uint64_t(VeilStatus::Unsupported));
-        reply = k.callService(m);
-        EXPECT_EQ(reply.status, uint64_t(VeilStatus::Unsupported));
+        k.callMonitor(m);
+        EXPECT_EQ(m.status, uint64_t(VeilStatus::Unsupported));
+        m.status = 0;
+        k.callService(m);
+        EXPECT_EQ(m.status, uint64_t(VeilStatus::Unsupported));
     });
 }
 
@@ -150,11 +151,14 @@ TEST(MonitorEdge, PvalidateUnalignedOrOobDenied)
         m.op = static_cast<uint32_t>(VeilOp::Pvalidate);
         m.args[0] = vm.layout().kernelBase + 123; // unaligned
         m.args[1] = 1;
-        EXPECT_EQ(k.callMonitor(m).status, uint64_t(VeilStatus::Denied));
+        k.callMonitor(m);
+        EXPECT_EQ(m.status, uint64_t(VeilStatus::Denied));
         m.args[0] = vm.layout().memEnd + kPageSize; // out of range
-        EXPECT_EQ(k.callMonitor(m).status, uint64_t(VeilStatus::Denied));
+        k.callMonitor(m);
+        EXPECT_EQ(m.status, uint64_t(VeilStatus::Denied));
         m.args[0] = vm.layout().osGhcb(0); // pre-launch shared page
-        EXPECT_EQ(k.callMonitor(m).status, uint64_t(VeilStatus::Denied));
+        k.callMonitor(m);
+        EXPECT_EQ(m.status, uint64_t(VeilStatus::Denied));
     });
 }
 
