@@ -46,6 +46,9 @@ main(int argc, char **argv)
     failures += printBattery(
         "§8.3 experimental validation (the paper's two concrete attacks)",
         runPaperValidationAttacks());
+    failures += printBattery(
+        "VeilChaos: hostile-hypervisor resilience (DESIGN.md §10)",
+        runChaosAttacks());
 
     note("");
     if (failures == 0) {

@@ -1,0 +1,102 @@
+#include "chaos/chaos.hh"
+
+namespace veil::chaos {
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::RelayDrop:
+        return "relay-drop";
+      case FaultSite::RelayDelay:
+        return "relay-delay";
+      case FaultSite::RelayDuplicate:
+        return "relay-duplicate";
+      case FaultSite::SwitchDeny:
+        return "switch-deny";
+      case FaultSite::SwitchMisroute:
+        return "switch-misroute";
+      case FaultSite::GhcbTamper:
+        return "ghcb-tamper";
+      case FaultSite::SpuriousIntr:
+        return "spurious-intr";
+      case FaultSite::RmpFlip:
+        return "rmp-flip";
+      case FaultSite::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+FaultPlan
+FaultPlan::forSeed(uint64_t seed)
+{
+    // Base mixture: relays are harassed often (the guest can always
+    // retry those), structural faults — denials, misroutes, RMP flips —
+    // are rarer and tightly budgeted so every seed quiesces.
+    static constexpr double kBase[kFaultSiteCount] = {
+        /* RelayDrop      */ 0.02,
+        /* RelayDelay     */ 0.05,
+        /* RelayDuplicate */ 0.02,
+        /* SwitchDeny     */ 0.02,
+        /* SwitchMisroute */ 0.01,
+        /* GhcbTamper     */ 0.02,
+        /* SpuriousIntr   */ 0.03,
+        /* RmpFlip        */ 0.002,
+    };
+    static constexpr uint32_t kBudget[kFaultSiteCount] = {
+        /* RelayDrop      */ 48,
+        /* RelayDelay     */ 256,
+        /* RelayDuplicate */ 48,
+        /* SwitchDeny     */ 48,
+        /* SwitchMisroute */ 4,
+        /* GhcbTamper     */ 48,
+        /* SpuriousIntr   */ 64,
+        /* RmpFlip        */ 2,
+    };
+
+    FaultPlan plan;
+    plan.seed = seed;
+    Rng rng(seed ^ 0x5eedfa017ULL);
+    for (size_t i = 0; i < kFaultSiteCount; ++i) {
+        // Scale each site by a per-seed factor in [0.25, 1.75] so
+        // different seeds emphasise different fault families; roughly
+        // one seed in eight mutes a site entirely.
+        double scale = 0.25 + 1.5 * rng.real();
+        if (rng.below(8) == 0)
+            scale = 0.0;
+        plan.probability[i] = kBase[i] * scale;
+        plan.budget[i] = kBudget[i];
+    }
+    plan.delayCycles = 10000 + rng.below(40001);
+    return plan;
+}
+
+FaultPlan
+FaultPlan::single(FaultSite site, double p, uint64_t seed, uint32_t budget)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.probability[static_cast<size_t>(site)] = p;
+    plan.budget[static_cast<size_t>(site)] = budget;
+    return plan;
+}
+
+bool
+FaultInjector::roll(FaultSite site)
+{
+    size_t i = static_cast<size_t>(site);
+    ++stats_.attempts[i];
+    if (budget_[i] == 0 || plan_.probability[i] <= 0.0)
+        return false;
+    // Consume a draw even when the roll misses, so the decision stream
+    // for a seed is a fixed function of roll order alone.
+    bool hit = rng_.real() < plan_.probability[i];
+    if (!hit)
+        return false;
+    --budget_[i];
+    ++stats_.injected[i];
+    return true;
+}
+
+} // namespace veil::chaos

@@ -31,6 +31,73 @@ Hypervisor::lookupVmsa(uint32_t vcpu, Vmpl vmpl) const
     return it == registry_.end() ? kInvalidVmsa : it->second;
 }
 
+// ---- VeilChaos (DESIGN.md §10) ----
+//
+// Every injection below is an action a real malicious hypervisor could
+// take with its legitimate authority: scheduling, relay handling, the
+// shared GHCB pages, and host-side RMPUPDATE. With chaos_ == nullptr
+// none of these paths execute and the relay loop is byte-for-byte the
+// well-behaved one (the default-path cycle pins depend on this).
+
+bool
+Hypervisor::chaosRoll(chaos::FaultSite site, uint32_t vcpu)
+{
+    if (chaos_ == nullptr || !chaos_->roll(site))
+        return false;
+    ++stats_.chaosInjections;
+    machine_.tracer().instantAt(vcpu, 0, trace::Category::FaultInject,
+                                static_cast<uint64_t>(site));
+    return true;
+}
+
+void
+Hypervisor::chaosMaybeRmpFlip(uint32_t vcpu)
+{
+    if (chaos_ == nullptr)
+        return;
+    const chaos::FaultPlan &plan = chaos_->plan();
+    if (plan.rmpFlipHi <= plan.rmpFlipLo)
+        return;
+    if (!chaosRoll(chaos::FaultSite::RmpFlip, vcpu))
+        return;
+    uint64_t pages = (plan.rmpFlipHi - plan.rmpFlipLo) / kPageSize;
+    Gpa page = plan.rmpFlipLo + chaos_->pick(pages) * kPageSize;
+    RmpTable &rmp = machine_.rmp();
+    // RMPUPDATE on a VMSA page is architecturally rejected, and flipping
+    // an already-shared page is a no-op; the budget is spent regardless.
+    if (rmp.isVmsaPage(page) || rmp.isShared(page))
+        return;
+    rmp.hvSetShared(page, true);
+    // What the host now sees of a once-private page is ciphertext: the
+    // flip re-keys the page. Model that by scrambling the backing bytes
+    // (deterministically, from the chaos stream). The guest never reads
+    // them either — its C-bit still says private, so its next access
+    // faults (snp/rmp.cc).
+    std::vector<uint8_t> junk(kPageSize);
+    for (auto &b : junk)
+        b = static_cast<uint8_t>(chaos_->pick(256));
+    machine_.memory().write(page, junk.data(), junk.size());
+}
+
+VmsaId
+Hypervisor::chaosPickMisroute(uint32_t vcpu, VmsaId intended)
+{
+    // Misroute only to the protected-service loops (VMPL-0/1): those
+    // re-check their IDCBs on every entry and switch straight back when
+    // nothing is pending, so the fault models the hypervisor scheduling
+    // the wrong replica rather than corrupting an unrelated protocol.
+    VmsaId candidates[2];
+    size_t n = 0;
+    for (int vmpl = 0; vmpl <= 1; ++vmpl) {
+        auto it = registry_.find({vcpu, vmpl});
+        if (it != registry_.end() && it->second != intended)
+            candidates[n++] = it->second;
+    }
+    if (n == 0)
+        return kInvalidVmsa;
+    return candidates[chaos_->pick(n)];
+}
+
 Hypervisor::RunResult
 Hypervisor::run(VmsaId boot_vmsa)
 {
@@ -56,6 +123,20 @@ Hypervisor::run(VmsaId boot_vmsa)
             break; // all VCPUs offline
         rr = (vcpu + 1) % n;
 
+        if (exitCap_ != 0 && stats_.exits >= exitCap_) {
+            // Livelock detector for chaos soaks: a correct guest either
+            // makes progress or halts with an attributed reason long
+            // before any sane cap.
+            return RunResult{false, 0, false, true};
+        }
+
+        // A hostile scheduler may deliver unsolicited vectors to
+        // whichever context it is about to resume.
+        if (chaos_ != nullptr &&
+            chaosRoll(chaos::FaultSite::SpuriousIntr, vcpu)) {
+            machine_.injectVector(current_[vcpu]);
+        }
+
         VmExit e = machine_.enter(current_[vcpu]);
         machine_.charge(machine_.costs().hvDispatch);
         ++stats_.exits;
@@ -70,7 +151,25 @@ Hypervisor::run(VmsaId boot_vmsa)
             handleIntrExit(vcpu, e.vmsa);
             break;
           case ExitReason::NonAutomatic:
-            handleGhcbExit(vcpu, e.vmsa);
+            if (chaos_ == nullptr) {
+                handleGhcbExit(vcpu, e.vmsa);
+                break;
+            }
+            if (chaosRoll(chaos::FaultSite::RelayDelay, vcpu))
+                machine_.charge(chaos_->delayCycles());
+            if (chaosRoll(chaos::FaultSite::RelayDrop, vcpu)) {
+                // Swallowed: the context is re-entered with its armed
+                // kGhcbNoResult sentinel intact and re-issues.
+            } else {
+                handleGhcbExit(vcpu, e.vmsa);
+                if (chaosRoll(chaos::FaultSite::RelayDuplicate, vcpu)) {
+                    // Handle the same GHCB request twice; every request
+                    // is idempotent at the hypervisor (same routing,
+                    // same registry writes, same page-state).
+                    handleGhcbExit(vcpu, e.vmsa);
+                }
+            }
+            chaosMaybeRmpFlip(vcpu);
             break;
         }
     }
@@ -129,8 +228,20 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
           }
           if (target_vcpu != st.vcpuId)
               allowed = false; // switches replicate the *same* VCPU
+          if (allowed && chaos_ != nullptr &&
+              chaosRoll(chaos::FaultSite::SwitchDeny, vcpu)) {
+              allowed = false; // hostile denial of a legitimate switch
+          }
           VmsaId target = allowed ? lookupVmsa(target_vcpu, target_vmpl)
                                   : kInvalidVmsa;
+          if (target != kInvalidVmsa && chaos_ != nullptr &&
+              st.vmpl == Vmpl::Vmpl3 &&
+              !enclaveOnlyGhcbs_.count(pageAlignDown(st.ghcbGpa)) &&
+              chaosRoll(chaos::FaultSite::SwitchMisroute, vcpu)) {
+              VmsaId alt = chaosPickMisroute(vcpu, target);
+              if (alt != kInvalidVmsa)
+                  target = alt;
+          }
           if (target == kInvalidVmsa) {
               g.result = static_cast<uint64_t>(HvResult::Denied);
               ++stats_.deniedSwitches;
@@ -196,6 +307,28 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
         break;
       case GhcbExit::None:
         break;
+    }
+
+    if (chaos_ != nullptr && chaosRoll(chaos::FaultSite::GhcbTamper, vcpu)) {
+        // The GHCB is shared memory the host may scribble at will. The
+        // result word is the guest's only completion signal, so tamper
+        // with exactly the values that exercise its decision points:
+        // a fake denial, a fake redirect, a fake "never handled"
+        // sentinel, or arbitrary garbage.
+        switch (chaos_->pick(4)) {
+          case 0:
+            g.result = static_cast<uint64_t>(HvResult::Denied);
+            break;
+          case 1:
+            g.result = static_cast<uint64_t>(HvResult::IntrRedirect);
+            break;
+          case 2:
+            g.result = kGhcbNoResult;
+            break;
+          default:
+            g.result = chaos_->pick(~uint64_t(0));
+            break;
+        }
     }
 
     view_.writeGhcb(st.ghcbGpa, g);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.hh"
 #include "hv/hvview.hh"
 #include "snp/vcpu.hh"
 
@@ -43,6 +44,7 @@ struct HvStats
     uint64_t consoleWrites = 0;
     uint64_t vmsaRegistrations = 0;
     uint64_t vcpuStarts = 0;
+    uint64_t chaosInjections = 0; ///< VeilChaos faults actually injected
 };
 
 /** The hypervisor for one machine. */
@@ -64,6 +66,25 @@ class Hypervisor
      *  GHCB page — the errant-hypercall defense of §6.2. */
     void restrictGhcbToEnclaveSwitches(snp::Gpa ghcb_page);
 
+    // ---- VeilChaos (DESIGN.md §10) ----
+
+    /**
+     * Install a fault injector consulted at every relay decision point.
+     * nullptr (the default) keeps the relay path byte-for-byte the
+     * well-behaved one. The injector must outlive run().
+     */
+    void setFaultInjector(chaos::FaultInjector *injector)
+    {
+        chaos_ = injector;
+    }
+    chaos::FaultInjector *faultInjector() { return chaos_; }
+
+    /**
+     * Livelock detector for soak runs: run() bails out with
+     * RunResult::exitCapHit after this many exits (0 = unlimited).
+     */
+    void setExitCap(uint64_t cap) { exitCap_ = cap; }
+
     // ---- VMSA registry (struct vcpu_svm analogue) ----
 
     void registerVmsa(uint32_t vcpu, snp::Vmpl vmpl, snp::VmsaId id);
@@ -76,6 +97,7 @@ class Hypervisor
         bool terminated = false; ///< orderly Terminate hypercall
         uint64_t status = 0;     ///< Terminate status
         bool halted = false;     ///< CVM halted (#NPF etc.)
+        bool exitCapHit = false; ///< run() stopped by setExitCap
     };
 
     /** Run the CVM from its boot VMSA until termination or halt. */
@@ -87,6 +109,9 @@ class Hypervisor
   private:
     void handleIntrExit(uint32_t vcpu, snp::VmsaId exiting);
     void handleGhcbExit(uint32_t vcpu, snp::VmsaId exiting);
+    bool chaosRoll(chaos::FaultSite site, uint32_t vcpu);
+    void chaosMaybeRmpFlip(uint32_t vcpu);
+    snp::VmsaId chaosPickMisroute(uint32_t vcpu, snp::VmsaId intended);
 
     snp::Machine &machine_;
     HvView view_;
@@ -96,6 +121,8 @@ class Hypervisor
     bool relayIntr_ = true;
     bool terminated_ = false;
     uint64_t status_ = 0;
+    chaos::FaultInjector *chaos_ = nullptr;
+    uint64_t exitCap_ = 0;
     HvStats stats_;
     std::string console_;
 };

@@ -191,8 +191,10 @@ Kernel::terminate(uint64_t status)
     Ghcb g;
     g.exitCode = static_cast<uint64_t>(GhcbExit::Terminate);
     g.info[0] = status;
-    c.writeGhcb(g);
-    c.vmgexit();
+    // Sentinel-armed hypercall: a swallowed Terminate relay would leave
+    // the CVM neither terminated nor halted; the retry path re-issues
+    // it until the hypervisor acts or the halt is attributed.
+    c.hypercall(g);
 }
 
 // ---- Delegation (§5.3) ----
@@ -736,11 +738,27 @@ Kernel::auditRingFlush(AuditFlushTrigger trigger)
 
     trace::SpanScope span(machine_.tracer(), trace::Category::AuditFlush,
                           ring.pending);
-    IdcbMessage m;
-    m.op = static_cast<uint32_t>(VeilOp::LogAppendBatch);
-    m.args[0] = layout_.logRing(c.vcpuId());
-    callService(m);
-    ensure(okStatus(m), "auditRingFlush: LogAppendBatch failed");
+    // Bounded retry on transient denial: the batch consumer advances
+    // the shared tail before replying, so a re-issued flush re-offers
+    // only records the service has not yet consumed (idempotent). A
+    // persistently-failing flush halts with attribution rather than
+    // silently shedding protected records.
+    constexpr int kFlushRetryMax = 3;
+    for (int attempt = 0;; ++attempt) {
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::LogAppendBatch);
+        m.args[0] = layout_.logRing(c.vcpuId());
+        callService(m);
+        if (okStatus(m))
+            break;
+        if (attempt >= kFlushRetryMax) {
+            throw snp::CvmHaltFault(
+                "auditRingFlush: LogAppendBatch denied beyond the retry "
+                "budget");
+        }
+        ++stats_.auditFlushRetries;
+        c.burn(2'000 << attempt);
+    }
 
     ++stats_.auditBatchFlushes;
     stats_.auditFlushedRecords += ring.pending;

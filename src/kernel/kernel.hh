@@ -54,6 +54,7 @@ struct KernelStats
     uint64_t auditFlushSize = 0;     ///< flushes triggered by batch size
     uint64_t auditFlushDeadline = 0; ///< flushes triggered by the deadline
     uint64_t auditFlushBarrier = 0;  ///< flushes triggered by drain barriers
+    uint64_t auditFlushRetries = 0;  ///< flushes re-issued after denial
     uint64_t monitorCalls = 0;
     uint64_t serviceCalls = 0;
     uint64_t enclaveFaults = 0;

@@ -33,6 +33,14 @@ std::vector<AttackOutcome> runEnclaveAttacks();
 /** §8.3 experimental validation: the paper's two concrete attacks. */
 std::vector<AttackOutcome> runPaperValidationAttacks();
 
+/**
+ * DESIGN.md §10: hostile-hypervisor chaos battery (VeilChaos). Each row
+ * runs an audited workload under a directed FaultPlan and checks the
+ * resilience verdict: absorbable faults terminate with an exact audit
+ * stream; unbounded hostility converges to an attributed halt.
+ */
+std::vector<AttackOutcome> runChaosAttacks();
+
 } // namespace veil::sdk
 
 #endif // VEIL_SDK_ATTACKS_HH_

@@ -16,6 +16,10 @@ constexpr uint64_t kOcallDispatchCycles = 500;
 /// Spin-wait handoff cost in exitless mode (shared-memory polling).
 constexpr uint64_t kExitlessPollCycles = 900;
 constexpr size_t kHeaderBytes = offsetof(OcallBlock, data);
+/// Fenced re-exit budget for spurious resumes (DESIGN.md §10). Larger
+/// than any chaos fault budget, so a hostile host that keeps resuming
+/// the enclave early still converges to a Killed verdict, not a spin.
+constexpr int kSpuriousResumeBudget = 24;
 } // namespace
 
 EnclaveEnv::EnclaveEnv(Vcpu &cpu, const EnclaveConfig &cfg,
@@ -43,6 +47,18 @@ EnclaveEnv::raiseFault(Gva va)
     exitToApp();
     uint32_t state;
     cpu_.read(cfg_.ocallGva, &state, sizeof(state));
+    // Fenced spurious-resume recovery: a state word still holding our
+    // own FaultReq proves the OS never observed the request (a stale or
+    // tampered switch result resumed us early), so re-presenting it is
+    // idempotent. Any other unexpected state is a protocol violation.
+    for (int resume = 0;
+         state == static_cast<uint32_t>(OcallState::FaultReq) &&
+         resume < kSpuriousResumeBudget;
+         ++resume) {
+        ++stats_.spuriousResumes;
+        exitToApp();
+        cpu_.read(cfg_.ocallGva, &state, sizeof(state));
+    }
     int64_t ret;
     cpu_.read(cfg_.ocallGva + offsetof(OcallBlock, ret), &ret, sizeof(ret));
     if (state != static_cast<uint32_t>(OcallState::FaultDone) || ret != 0)
@@ -311,11 +327,25 @@ EnclaveEnv::sysOnce(uint32_t no, const SyscallSpec *spec,
     }
 
     // ---- unmarshal ----
-    uint64_t t1 = cpu_.rdtsc();
     OcallBlock resp{};
     cpu_.read(cfg_.ocallGva, &resp, kHeaderBytes);
+    // Fenced spurious-resume recovery (DESIGN.md §10): the state word
+    // still holding our own SyscallReq proves the untrusted world never
+    // observed the request — a stale or tampered switch result resumed
+    // us early — so re-presenting the untouched request is idempotent.
+    // Any other unexpected state means the block was corrupted, and the
+    // enclave must die rather than trust it.
+    for (int resume = 0;
+         resp.state == static_cast<uint32_t>(OcallState::SyscallReq) &&
+         resume < kSpuriousResumeBudget;
+         ++resume) {
+        ++stats_.spuriousResumes;
+        exitToApp();
+        cpu_.read(cfg_.ocallGva, &resp, kHeaderBytes);
+    }
     if (resp.state != static_cast<uint32_t>(OcallState::SyscallDone))
         throw EnclaveKilled("ocall protocol violation");
+    uint64_t t1 = cpu_.rdtsc();
     int64_t ret = resp.ret;
 
     for (size_t i = 0; i < n_outs; ++i) {

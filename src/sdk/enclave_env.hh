@@ -33,6 +33,9 @@ struct EnclaveEnvStats
     uint64_t marshalCycles = 0;  ///< arg/result deep-copy cycles
     uint64_t switchCycles = 0;   ///< cycles inside domain switches
     uint64_t exitlessCalls = 0;  ///< syscalls served without a switch
+    /// Resumes where the ocall block still held our own pending request
+    /// (stale or tampered switch result); the request is re-presented.
+    uint64_t spuriousResumes = 0;
 };
 
 /** Untrusted worker that services exitless syscall requests: reads the

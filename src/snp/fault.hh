@@ -57,6 +57,20 @@ class FiberShutdown
 {
 };
 
+/**
+ * Deliberate, attributed CVM halt: guest software detected an
+ * unrecoverable condition (e.g. retry budget exhausted against a
+ * misbehaving hypervisor) and stops with a traced reason rather than
+ * livelocking. Handled like an unrecoverable #NPF by the Machine.
+ */
+class CvmHaltFault : public std::runtime_error
+{
+  public:
+    explicit CvmHaltFault(const std::string &reason)
+        : std::runtime_error("CVM halt: " + reason)
+    {}
+};
+
 } // namespace veil::snp
 
 #endif // VEIL_SNP_FAULT_HH_

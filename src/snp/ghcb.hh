@@ -54,6 +54,14 @@ static_assert(sizeof(Ghcb) <= kPageSize, "GHCB must fit in one page");
 
 constexpr Gpa kNoGhcb = ~Gpa(0);
 
+/**
+ * Sentinel the guest writes into Ghcb::result before VMGEXIT. A
+ * well-behaved hypervisor always overwrites it; seeing it again on
+ * resume proves the relay was dropped (or the exit never handled), so
+ * the guest can retry instead of misreading stale state as success.
+ */
+constexpr uint64_t kGhcbNoResult = ~uint64_t(0);
+
 } // namespace veil::snp
 
 #endif // VEIL_SNP_GHCB_HH_

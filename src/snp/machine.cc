@@ -176,6 +176,8 @@ Machine::startFiber(VmsaId id)
         } catch (const GuestPageFault &f) {
             recordHalt(std::string("unhandled guest #PF: ") + f.what(), 0,
                        slotFor(id).state.vmpl);
+        } catch (const CvmHaltFault &f) {
+            recordHalt(f.what(), 0, slotFor(id).state.vmpl);
         }
     });
 }
@@ -246,8 +248,10 @@ Machine::guestExit(ExitReason reason)
     if (shuttingDown_)
         throw FiberShutdown{};
 
-    if (pendingVector_ == currentVmsa_) {
-        pendingVector_ = kInvalidVmsa;
+    Slot &slot = slotFor(currentVmsa_);
+    while (slot.pendingVectors > 0) {
+        // Decrement first: delivery may fault and unwind the fiber.
+        --slot.pendingVectors;
         deliverVector();
     }
 }
@@ -255,7 +259,11 @@ Machine::guestExit(ExitReason reason)
 void
 Machine::injectVector(VmsaId id)
 {
-    pendingVector_ = id;
+    Slot &slot = slotFor(id);
+    if (slot.pendingVectors > 0)
+        ++stats_.vectorsQueued;
+    ++slot.pendingVectors;
+    ++stats_.vectorsInjected;
 }
 
 void
@@ -285,11 +293,27 @@ Machine::pollTimer()
         return;
     if (currentVmsa_ == kInvalidVmsa)
         return;
-    if (vmsaState(currentVmsa_).irqMasked)
+    Slot &slot = slotFor(currentVmsa_);
+    if (slot.state.irqMasked) {
+        // Latch a due tick instead of dropping it: the context gets its
+        // interrupt on unmask even if another context fires the shared
+        // deadline in between.
+        if (tsc_ >= nextTimerTsc_ && !slot.timerLatched) {
+            slot.timerLatched = true;
+            ++stats_.timerTicksLatched;
+        }
         return;
-    if (tsc_ < nextTimerTsc_)
+    }
+    if (!slot.timerLatched && tsc_ < nextTimerTsc_)
         return;
-    nextTimerTsc_ = tsc_ + costs().timerQuantum();
+    if (tsc_ >= nextTimerTsc_) {
+        // Quanta that elapsed before delivery collapse into this one
+        // interrupt; account for them rather than pretending they fired.
+        stats_.timerTicksCoalesced +=
+            (tsc_ - nextTimerTsc_) / costs().timerQuantum();
+        nextTimerTsc_ = tsc_ + costs().timerQuantum();
+    }
+    slot.timerLatched = false;
     ++stats_.timerInterrupts;
     tracer_.instant(trace::Category::TimerIntr);
     guestExit(ExitReason::AutomaticIntr);

@@ -83,6 +83,21 @@ struct MachineStats
     uint64_t timerInterrupts = 0;
     uint64_t rmpadjusts = 0;
     uint64_t pvalidates = 0;
+    // Interrupt-queue accounting: every injected vector is delivered
+    // (vectorsQueued counts injections that found one already pending —
+    // the case the old single-slot latch silently overwrote).
+    uint64_t vectorsInjected = 0;
+    uint64_t vectorsQueued = 0;
+    // Timer ticks that went due while the running context was masked:
+    // latched (held for delivery on unmask) rather than dropped.
+    uint64_t timerTicksLatched = 0;
+    uint64_t timerTicksCoalesced = 0; ///< quanta merged into one delivery
+    // Guest-side resilience counters (DESIGN.md §10): bounded recovery
+    // from hypervisor misbehaviour. All zero on a well-behaved host.
+    uint64_t hypercallRetries = 0;    ///< GHCB requests re-issued (sentinel)
+    uint64_t switchRetries = 0;       ///< domain switches re-issued (dropped)
+    uint64_t switchDeniedRetries = 0; ///< switches re-asked after denial
+    uint64_t idcbResends = 0;         ///< IDCB waits re-entered (misrouted)
     // Software-TLB observability (host-side cache; counters charge no
     // simulated cycles).
     uint64_t tlbHits = 0;
@@ -179,6 +194,9 @@ class Machine
      * page tables and RMP, then charged the handler cost). This is how
      * the hypervisor delivers timer interrupts — and how forcing
      * interrupt handling into DomENC halts the CVM (§6.2, Table 2).
+     * Vectors queue per-VMSA and are delivered in order; injecting on
+     * top of a pending vector counts vectorsQueued instead of silently
+     * overwriting it.
      */
     void injectVector(VmsaId id);
 
@@ -187,6 +205,8 @@ class Machine
     {
         Vmsa state;
         std::unique_ptr<Fiber> fiber;
+        uint32_t pendingVectors = 0; ///< injected, not yet delivered
+        bool timerLatched = false;   ///< tick went due while masked
     };
 
     Slot &slotFor(VmsaId id);
@@ -203,7 +223,6 @@ class Machine
     uint64_t tsc_ = 0;
     uint64_t nextTimerTsc_ = 0;
     VmsaId currentVmsa_ = kInvalidVmsa;
-    VmsaId pendingVector_ = kInvalidVmsa;
     VmExit pendingExit_{ExitReason::Halted, kInvalidVmsa};
     HaltInfo halt_;
     MachineStats stats_;

@@ -59,6 +59,13 @@ RmpTable::hvSetShared(Gpa page, bool shared)
 {
     RmpEntry &e = entryFor(page);
     ensure(!e.vmsaPage, "hvSetShared: VMSA pages cannot be shared");
+    // RMPUPDATE semantics: flipping a page to shared destroys its
+    // validated state, but cannot touch guestPrivate (the guest's own
+    // C-bit view). A well-behaved flow un-validates first via VeilMon;
+    // a hostile flip leaves guestPrivate set, so the guest's next
+    // access faults instead of silently using host-visible memory.
+    if (shared && !e.shared)
+        e.validated = false;
     e.shared = shared;
     notifyChanged(page);
 }
@@ -82,6 +89,7 @@ RmpTable::pvalidate(Vmpl caller, Gpa page, bool validate)
                        "PVALIDATE on unassigned page");
     }
     e.validated = validate;
+    e.guestPrivate = validate; // the guest's C-bit expectation
     e.vmsaPage = false;
     e.perms[0] = validate ? kPermAll : kPermNone;
     for (int i = 1; i < kNumVmpls; ++i)
@@ -140,8 +148,15 @@ bool
 RmpTable::allowed(Vmpl vmpl, Gpa page, Access access, Cpl cpl) const
 {
     const RmpEntry &e = entryFor(pageAlignDown(page));
-    if (e.shared)
+    if (e.shared) {
+        // A legitimate page-state change un-validates first (PVALIDATE
+        // at VMPL-0, §5.3), clearing guestPrivate. If the guest still
+        // expects the page private, the hypervisor flipped it out from
+        // under it: the C-bit/RMP mismatch faults every access.
+        if (e.guestPrivate)
+            return false;
         return access != Access::Execute;
+    }
     if (!e.validated)
         return false;
     if (e.vmsaPage && vmpl != Vmpl::Vmpl0)

@@ -35,6 +35,13 @@ struct RmpEntry
     bool validated = false; ///< guest executed PVALIDATE
     bool vmsaPage = false;  ///< holds a VMSA (created via RMPADJUST.VMSA)
     bool shared = false;    ///< hypervisor-shared (unencrypted) page
+    /// The guest's view of the page as private (the C-bit in its page
+    /// tables): set/cleared only by guest PVALIDATE, never by
+    /// hypervisor-side RMPUPDATE. A page the hypervisor flips to shared
+    /// while the guest still expects it private faults on the next
+    /// guest access — the architectural C-bit/RMP mismatch #NPF that
+    /// stops a hostile flip from going unnoticed.
+    bool guestPrivate = false;
     PermMask perms[kNumVmpls] = {kPermNone, kPermNone, kPermNone, kPermNone};
 };
 

@@ -231,9 +231,26 @@ Vcpu::vmgexit()
 uint64_t
 Vcpu::hypercall(const Ghcb &request)
 {
-    writeGhcb(request);
-    vmgexit();
-    return readGhcb().result;
+    // Arm the drop-detection sentinel before exiting: a well-behaved
+    // hypervisor always overwrites result, so seeing the sentinel on
+    // resume proves the relay was swallowed and the request must be
+    // re-issued. Bounded so a hypervisor that drops forever turns into
+    // an attributed halt instead of a livelock. All GHCB requests are
+    // idempotent at the hypervisor (register/start/page-state/console
+    // are level-triggered; switches re-route the same way), so a re-ask
+    // after a dropped relay is safe.
+    Ghcb armed = request;
+    armed.result = kGhcbNoResult;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        writeGhcb(armed);
+        vmgexit();
+        uint64_t result = readGhcb().result;
+        if (result != kGhcbNoResult)
+            return result;
+        ++machine_.stats().hypercallRetries;
+    }
+    throw CvmHaltFault("hypercall relay dropped beyond retry budget "
+                       "(exitCode " + std::to_string(request.exitCode) + ")");
 }
 
 void

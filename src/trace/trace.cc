@@ -60,6 +60,8 @@ categoryName(Category c)
         return "audit-flush";
       case Category::AuditTruncate:
         return "audit-truncate";
+      case Category::FaultInject:
+        return "fault-inject";
       case Category::kCount:
         break;
     }

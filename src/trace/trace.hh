@@ -65,6 +65,7 @@ enum class Category : uint8_t {
     CryptoKeySetup,  ///< AES key schedule / HMAC midstate derivation
     AuditFlush,      ///< batched audit ring group-commit (arg = records)
     AuditTruncate,   ///< audit record clamped to transport (arg = size)
+    FaultInject,     ///< VeilChaos fault injected by the hypervisor
     kCount,
 };
 

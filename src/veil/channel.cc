@@ -1,5 +1,6 @@
 #include "veil/channel.hh"
 
+#include "base/log.hh"
 #include "crypto/hmac.hh"
 
 namespace veil::core {
@@ -22,6 +23,11 @@ SecureChannel::SecureChannel(const crypto::SessionKeys &keys, bool initiator)
 Bytes
 SecureChannel::seal(const Bytes &plaintext)
 {
+    if (plaintext.size() > kSealPlaintextMax) {
+        fatal(strfmt("SecureChannel::seal: payload of %zu bytes exceeds "
+                     "the %zu-byte channel limit",
+                     plaintext.size(), kSealPlaintextMax));
+    }
     uint64_t nonce = txNonce_;
     txNonce_ += 2;
 
@@ -51,7 +57,7 @@ SecureChannel::open(const Bytes &sealed)
 
     uint64_t nonce = loadLe<uint64_t>(sealed.data());
     uint32_t len = loadLe<uint32_t>(sealed.data() + 8);
-    if (len != body_len - kHeader)
+    if (len != body_len - kHeader || len > kSealPlaintextMax)
         return std::nullopt;
     // Peer nonces share our rx parity and must strictly increase.
     if ((nonce & 1) != (rxNonce_ & 1) || nonce < rxNonce_)

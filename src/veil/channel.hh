@@ -26,6 +26,11 @@ namespace veil::core {
 constexpr size_t kSealHeaderBytes = 12;
 constexpr size_t kSealMacBytes = 32;
 constexpr size_t kSealOverheadBytes = kSealHeaderBytes + kSealMacBytes;
+// The wire length field is 32 bits; cap payloads far below that so an
+// oversized plaintext is rejected outright instead of being silently
+// truncated into a message whose MAC covers fewer bytes than the
+// caller handed over (the length would otherwise wrap modulo 2^32).
+constexpr size_t kSealPlaintextMax = size_t(1) << 20;
 
 /** One endpoint of the secure channel. */
 class SecureChannel

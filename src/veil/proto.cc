@@ -1,7 +1,10 @@
 #include "veil/proto.hh"
 
+#include <algorithm>
+
 #include "base/log.hh"
 #include "hv/hypervisor.hh"
+#include "snp/fault.hh"
 
 namespace veil::core {
 
@@ -46,23 +49,56 @@ readMessage(Vcpu &cpu, Gpa idcb, IdcbMessage &msg)
 void
 domainSwitch(Vcpu &cpu, Vmpl target_vmpl)
 {
+    // Bounded recovery from hypervisor misbehaviour (DESIGN.md §10).
+    // The fault budget must exceed any chaos plan's consecutive-fault
+    // budget (see chaos::FaultPlan): a transiently-hostile hypervisor is
+    // absorbed, a persistently-hostile one becomes an *attributed* halt
+    // instead of a livelock or a silently-wrong result.
+    constexpr int kFaultBudget = 96;
+    int faults = 0;
+    uint64_t backoff = 500;
     for (;;) {
         Ghcb g;
         g.exitCode = static_cast<uint64_t>(GhcbExit::DomainSwitch);
         g.info[0] = cpu.vcpuId();
         g.info[1] = static_cast<uint64_t>(target_vmpl);
+        // Drop-detection sentinel: a hypervisor that handles the request
+        // always overwrites result, so reading it back proves the relay
+        // was swallowed.
+        g.result = kGhcbNoResult;
         cpu.writeGhcb(g);
         cpu.vmgexit();
         uint64_t result = cpu.readGhcb().result;
         if (result == static_cast<uint64_t>(hv::HvResult::IntrRedirect)) {
             // We were resumed to absorb a redirected interrupt; the
-            // vector was already delivered on resume. Re-issue.
+            // vector was already delivered on resume. Re-issue. Not a
+            // fault: each redirect needs a fresh timer event, so this
+            // cannot starve the switch.
             continue;
         }
-        if (result == static_cast<uint64_t>(hv::HvResult::Denied))
-            fatal("domainSwitch: hypervisor denied the switch");
-        return;
+        if (result == kGhcbNoResult) {
+            if (++faults > kFaultBudget)
+                break;
+            ++cpu.machine().stats().switchRetries;
+            continue;
+        }
+        if (result == static_cast<uint64_t>(hv::HvResult::Denied)) {
+            // Denial is within the host's authority and may be
+            // transient; back off and re-ask. Re-asking is safe — a
+            // switch carries no side effect besides scheduling.
+            if (++faults > kFaultBudget)
+                break;
+            ++cpu.machine().stats().switchDeniedRetries;
+            cpu.burn(backoff);
+            backoff = std::min<uint64_t>(backoff * 2, 64'000);
+            continue;
+        }
+        return; // any other value: the switch was granted
     }
+    throw CvmHaltFault(
+        strfmt("domainSwitch to VMPL-%d starved beyond the retry budget "
+               "(hypervisor dropped or denied %d requests)",
+               vmplIndex(target_vmpl), kFaultBudget));
 }
 
 void
@@ -72,11 +108,25 @@ idcbCall(Vcpu &cpu, Gpa idcb, Vmpl target_vmpl, IdcbMessage &msg)
     msg.requesterVmpl = static_cast<uint32_t>(vmplIndex(cpu.vmpl()));
     writeMessage(cpu, idcb, msg);
 
-    domainSwitch(cpu, target_vmpl);
-
-    readMessage(cpu, idcb, msg);
-    if (msg.pending)
-        fatal("idcbCall: request was not processed");
+    constexpr int kResendBudget = 24;
+    for (int attempt = 0;; ++attempt) {
+        domainSwitch(cpu, target_vmpl);
+        readMessage(cpu, idcb, msg);
+        if (!msg.pending)
+            return;
+        // Granted switch, unserviced request: the hypervisor ran the
+        // wrong replica or resumed us spuriously. The pending flag is
+        // the fence that makes re-asking safe — the target executes a
+        // request exactly once and clears the flag in the same reply,
+        // so a re-issued *switch* can never re-execute a processed
+        // request.
+        if (attempt >= kResendBudget) {
+            throw CvmHaltFault(
+                strfmt("idcbCall (op %u): request starved beyond the "
+                       "re-switch budget", msg.op));
+        }
+        ++cpu.machine().stats().idcbResends;
+    }
 }
 
 bool

@@ -130,5 +130,81 @@ TEST(Channel, MalformedFramesRejected)
     EXPECT_FALSE(b.open(sealed).has_value());
 }
 
+TEST(Channel, OversizedPlaintextRejectedNotTruncated)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    SecureChannel a(testKeys(), true);
+    // A payload beyond the channel cap must be refused outright. The old
+    // code cast the size into the 32-bit wire length field, so a large
+    // plaintext produced a frame whose MAC covered fewer bytes than the
+    // caller handed over.
+    Bytes big(kSealPlaintextMax + 1, 0x7);
+    EXPECT_THROW(a.seal(big), FatalError);
+    // At the cap exactly, the round trip still works.
+    SecureChannel b(testKeys(), false);
+    Bytes edge(kSealPlaintextMax, 0x7);
+    auto got = b.open(a.seal(edge));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->size(), kSealPlaintextMax);
+}
+
+TEST(Channel, OversizedLengthFieldRejectedOnOpen)
+{
+    SecureChannel a(testKeys(), true);
+    SecureChannel b(testKeys(), false);
+    Bytes sealed = a.seal({1, 2, 3});
+    // Forge a frame claiming a body beyond the channel cap. It cannot
+    // carry a valid MAC, but open() must reject it on framing alone —
+    // before sizing any allocation from attacker-controlled bytes.
+    Bytes forged = sealed;
+    forged.resize(kSealHeaderBytes + (size_t(1) << 21) + kSealMacBytes, 0);
+    forged[8] = 0;
+    forged[9] = 0;
+    forged[10] = 0x20; // len = 2 MiB > kSealPlaintextMax
+    forged[11] = 0;
+    EXPECT_FALSE(b.open(forged).has_value());
+}
+
+TEST(Channel, RandomCorruptionFuzz)
+{
+    // Every single-byte corruption of a sealed frame — header, body, or
+    // MAC — must be rejected, and must not desync the receiver: the
+    // genuine frame still opens afterwards.
+    Rng rng(77);
+    for (int trial = 0; trial < 64; ++trial) {
+        SecureChannel a(testKeys(), true);
+        SecureChannel b(testKeys(), false);
+        Bytes msg = rng.bytes(1 + rng.below(600));
+        Bytes sealed = a.seal(msg);
+        Bytes corrupt = sealed;
+        size_t at = rng.below(corrupt.size());
+        uint8_t flip = 1 + static_cast<uint8_t>(rng.below(255));
+        corrupt[at] ^= flip;
+        EXPECT_FALSE(b.open(corrupt).has_value())
+            << "byte " << at << " xor " << int(flip) << " accepted";
+        auto got = b.open(sealed);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, msg);
+    }
+}
+
+TEST(Channel, TruncationAndExtensionFuzz)
+{
+    // Chopping bytes off the tail or appending garbage must never open.
+    Rng rng(78);
+    SecureChannel a(testKeys(), true);
+    for (int trial = 0; trial < 32; ++trial) {
+        SecureChannel b(testKeys(), false);
+        Bytes msg = rng.bytes(1 + rng.below(200));
+        Bytes sealed = a.seal(msg);
+        Bytes cut = sealed;
+        cut.resize(rng.below(sealed.size()));
+        EXPECT_FALSE(b.open(cut).has_value());
+        Bytes grown = sealed;
+        grown.push_back(static_cast<uint8_t>(rng.below(256)));
+        EXPECT_FALSE(b.open(grown).has_value());
+    }
+}
+
 } // namespace
 } // namespace veil::core

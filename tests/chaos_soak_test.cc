@@ -1,0 +1,471 @@
+/**
+ * @file
+ * VeilChaos soak and directed fault tests (DESIGN.md §10). A seeded
+ * sweep runs the full CVM stack under the canonical fault mixture —
+ * dropped/duplicated/delayed relays, denied/misrouted switches, GHCB
+ * tampering, spurious interrupts, hostile RMP flips — and asserts the
+ * resilience invariants:
+ *
+ *  1. Progress or attributed halt: every run either terminates in
+ *     order or halts with a recorded reason; the exit-cap livelock
+ *     detector never fires.
+ *  2. Gap-accounted audit stream: stored + store-drops + ring-drops +
+ *     pending always reconciles against records produced, and stored
+ *     sequence numbers are strictly increasing.
+ *  3. No host plaintext exposure: neither a planted secret nor audit
+ *     record text ever appears in a hypervisor-shared page.
+ *  4. Determinism: the same seed replays to identical outcomes.
+ *
+ * Directed tests then pin each recovery path (and its budget-exhaustion
+ * halt) individually. CHAOS_SOAK_SEEDS overrides the sweep width.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/log.hh"
+#include "chaos/chaos.hh"
+#include "sdk/remote.hh"
+#include "sdk/vm.hh"
+
+namespace veil {
+namespace {
+
+using namespace sdk;
+using namespace snp;
+using namespace kern;
+
+/// Planted in private process memory; must never surface in a shared page.
+constexpr char kSecret[] = "VEIL-SOAK-SECRET-c9b2f4e8a1d7";
+
+VmConfig
+soakConfig()
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    VmConfig cfg;
+    cfg.machine.memBytes = 32 * 1024 * 1024;
+    cfg.machine.numVcpus = 1;
+    cfg.logBytes = 128 * 1024;
+    cfg.kernel.auditBackend = AuditBackend::VeilLogBatched;
+    cfg.kernel.auditRules = priorWorkAuditRuleset();
+    cfg.kernel.auditBatchSize = 8;
+    cfg.kernel.auditFlushDeadlineCycles = 200'000;
+    return cfg;
+}
+
+/** Sequence number embedded in "msg=audit(SS.MMM:seq):". */
+uint64_t
+recordSeq(const std::string &rec)
+{
+    size_t open = rec.find("audit(");
+    size_t colon = rec.find(':', open);
+    if (open == std::string::npos || colon == std::string::npos)
+        return 0;
+    return strtoull(rec.c_str() + colon + 1, nullptr, 10);
+}
+
+/** Does any hypervisor-shared page contain @p needle? */
+bool
+sharedPagesContain(VeilVm &vm, const void *needle, size_t n)
+{
+    const uint8_t *pat = static_cast<const uint8_t *>(needle);
+    const size_t mem = vm.config().machine.memBytes;
+    std::vector<uint8_t> page(kPageSize);
+    for (Gpa p = 0; p < mem; p += kPageSize) {
+        if (!vm.machine().rmp().isShared(p))
+            continue;
+        vm.machine().memory().read(p, page.data(), kPageSize);
+        if (std::search(page.begin(), page.end(), pat, pat + n) !=
+            page.end())
+            return true;
+    }
+    return false;
+}
+
+/** Everything one seeded run produces, for invariant checks. */
+struct SoakOutcome
+{
+    hv::Hypervisor::RunResult run;
+    std::string haltReason;
+    chaos::FaultStats faults;
+    uint64_t produced = 0;   ///< kernel audit records emitted
+    uint64_t stored = 0;     ///< records protected by VeilS-LOG
+    uint64_t storeDrops = 0; ///< dropped by the service (store full)
+    uint64_t ringDrops = 0;  ///< dropped at the producer ring
+    uint64_t pending = 0;    ///< still queued in the ring at the end
+    uint64_t finalTsc = 0;
+    uint64_t guestRetries = 0; ///< all bounded-recovery counters summed
+    int64_t enclaveRet = -1;
+    bool createFailed = false;
+    bool secretLeaked = false;
+    bool auditLeaked = false;
+    std::vector<std::string> records;
+};
+
+SoakOutcome
+runSeed(uint64_t seed)
+{
+    VeilVm vm(soakConfig());
+    chaos::FaultPlan plan = chaos::FaultPlan::forSeed(seed);
+    // RMP flips target DomUNT memory but spare the audit rings (the
+    // directed ring-flip test covers those) so flipped seeds still
+    // exercise the accounting invariant instead of halting instantly.
+    plan.rmpFlipLo = vm.layout().kernelBase;
+    plan.rmpFlipHi = vm.layout().logRingBase;
+    chaos::FaultInjector inj(plan);
+    vm.hypervisor().setFaultInjector(&inj);
+    vm.hypervisor().setExitCap(200'000);
+    const uint64_t quantum = vm.machine().costs().timerQuantum();
+
+    SoakOutcome out;
+    out.run = vm.run([&](Kernel &k, Process &p) {
+        NativeEnv env(k, p);
+        Gva hideout = env.alloc(4096);
+        env.copyIn(hideout, kSecret, sizeof(kSecret));
+        // Audited file + socket traffic feeding the batched log.
+        int fd = int(env.creat("/soak.bin"));
+        Gva buf = env.alloc(4096);
+        for (int i = 0; i < 8; ++i)
+            env.write(fd, buf, 64 + 8 * i);
+        env.close(fd);
+        for (int i = 0; i < 8; ++i)
+            env.close(999);
+        // An enclave session: exercises restricted-GHCB switches,
+        // interrupt redirects, and in-session (suppressed-flush) audit.
+        EnclaveHost host(env, vm.programs());
+        if (!host.create([quantum](Env &e) -> int64_t {
+                for (int i = 0; i < 4; ++i)
+                    e.close(999);
+                e.burn(2 * quantum + 123);
+                return 7;
+            })) {
+            out.createFailed = true;
+            return;
+        }
+        out.enclaveRet = host.call();
+        for (int i = 0; i < 4; ++i)
+            env.close(999);
+    });
+
+    out.haltReason = vm.machine().haltInfo().reason;
+    out.faults = inj.stats();
+    const KernelStats &s = vm.kernel().stats();
+    out.produced = s.auditRecords;
+    out.stored = vm.services().log().recordCount();
+    out.storeDrops = vm.services().log().droppedRecords();
+    out.ringDrops = s.auditRingDrops;
+    out.pending = vm.kernel().auditRingPending(0);
+    out.finalTsc = vm.machine().tsc();
+    const MachineStats &m = vm.machine().stats();
+    out.guestRetries = m.hypercallRetries + m.switchRetries +
+                       m.switchDeniedRetries + m.idcbResends;
+    out.records = vm.services().log().snapshotRecords();
+    out.secretLeaked = sharedPagesContain(vm, kSecret, sizeof(kSecret) - 1);
+    out.auditLeaked = sharedPagesContain(vm, "msg=audit(", 10);
+    return out;
+}
+
+void
+checkInvariants(uint64_t seed, const SoakOutcome &r)
+{
+    // 1. Progress or attributed halt — never livelock, never a silent
+    //    third state.
+    EXPECT_FALSE(r.run.exitCapHit) << "seed " << seed << ": livelock";
+    EXPECT_TRUE(r.run.terminated || r.run.halted)
+        << "seed " << seed << ": neither terminated nor halted";
+    if (r.run.halted) {
+        EXPECT_FALSE(r.haltReason.empty())
+            << "seed " << seed << ": halt without attributed reason";
+    }
+    if (r.run.terminated) {
+        EXPECT_FALSE(r.createFailed) << "seed " << seed;
+        EXPECT_EQ(r.enclaveRet, 7) << "seed " << seed;
+    }
+
+    // 2. Gap-accounted audit stream: every produced record is stored,
+    //    counted as dropped, or still pending — exactly, on orderly
+    //    exit; with no invented records ever, on a halt.
+    uint64_t accounted =
+        r.stored + r.storeDrops + r.ringDrops + r.pending;
+    if (r.run.terminated)
+        EXPECT_EQ(accounted, r.produced) << "seed " << seed;
+    else
+        EXPECT_LE(r.stored + r.storeDrops, r.produced) << "seed " << seed;
+    uint64_t last = 0;
+    for (const auto &rec : r.records) {
+        uint64_t seq = recordSeq(rec);
+        EXPECT_GT(seq, last)
+            << "seed " << seed << ": non-monotonic record: " << rec;
+        last = seq;
+    }
+
+    // 3. Confidentiality: nothing secret in host-visible memory.
+    EXPECT_FALSE(r.secretLeaked) << "seed " << seed;
+    EXPECT_FALSE(r.auditLeaked) << "seed " << seed;
+}
+
+TEST(ChaosSoak, SeedSweepHoldsInvariants)
+{
+    uint64_t seeds = 64;
+    if (const char *env = std::getenv("CHAOS_SOAK_SEEDS")) {
+        uint64_t n = strtoull(env, nullptr, 10);
+        if (n > 0)
+            seeds = n;
+    }
+
+    uint64_t terminated = 0, halted = 0, injections = 0, retries = 0;
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
+        SoakOutcome r = runSeed(seed);
+        checkInvariants(seed, r);
+        terminated += r.run.terminated;
+        halted += r.run.halted;
+        injections += r.faults.totalInjected();
+        retries += r.guestRetries;
+        if (HasFatalFailure())
+            break;
+    }
+    printf("[  chaos   ] %llu seeds: %llu terminated, %llu halted, "
+           "%llu faults injected, %llu guest retries\n",
+           (unsigned long long)seeds, (unsigned long long)terminated,
+           (unsigned long long)halted, (unsigned long long)injections,
+           (unsigned long long)retries);
+    // The sweep must actually exercise chaos (faults landed) and the
+    // guest's bounded recovery (retries absorbed at least some of them).
+    EXPECT_GT(injections, seeds);
+    EXPECT_GT(retries, 0u);
+    EXPECT_GT(terminated, 0u);
+}
+
+TEST(ChaosSoak, SameSeedReplaysIdentically)
+{
+    SoakOutcome a = runSeed(3);
+    SoakOutcome b = runSeed(3);
+    EXPECT_EQ(a.run.terminated, b.run.terminated);
+    EXPECT_EQ(a.run.halted, b.run.halted);
+    EXPECT_EQ(a.haltReason, b.haltReason);
+    EXPECT_EQ(a.finalTsc, b.finalTsc);
+    EXPECT_EQ(a.produced, b.produced);
+    EXPECT_EQ(a.stored, b.stored);
+    EXPECT_EQ(a.guestRetries, b.guestRetries);
+    EXPECT_EQ(a.faults.totalInjected(), b.faults.totalInjected());
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (size_t i = 0; i < a.records.size(); ++i)
+        EXPECT_EQ(a.records[i], b.records[i]);
+}
+
+// ---- Directed recovery-path tests ----
+
+/** Run a plain (no enclave) audited workload under @p plan. */
+SoakOutcome
+runDirected(const chaos::FaultPlan &plan, uint64_t exit_cap = 200'000)
+{
+    VeilVm vm(soakConfig());
+    chaos::FaultInjector inj(plan);
+    vm.hypervisor().setFaultInjector(&inj);
+    vm.hypervisor().setExitCap(exit_cap);
+
+    SoakOutcome out;
+    out.run = vm.run([&](Kernel &k, Process &p) {
+        NativeEnv env(k, p);
+        int fd = int(env.creat("/d.bin"));
+        Gva buf = env.alloc(4096);
+        for (int i = 0; i < 6; ++i)
+            env.write(fd, buf, 100);
+        env.close(fd);
+        for (int i = 0; i < 10; ++i)
+            env.close(999);
+    });
+    out.haltReason = vm.machine().haltInfo().reason;
+    out.faults = inj.stats();
+    const KernelStats &s = vm.kernel().stats();
+    out.produced = s.auditRecords;
+    out.stored = vm.services().log().recordCount();
+    out.storeDrops = vm.services().log().droppedRecords();
+    out.ringDrops = s.auditRingDrops;
+    out.pending = vm.kernel().auditRingPending(0);
+    const MachineStats &m = vm.machine().stats();
+    out.guestRetries = m.hypercallRetries + m.switchRetries +
+                       m.switchDeniedRetries + m.idcbResends;
+    out.records = vm.services().log().snapshotRecords();
+    out.auditLeaked = sharedPagesContain(vm, "msg=audit(", 10);
+    return out;
+}
+
+TEST(ChaosDirected, BudgetedRelayDropsAbsorbedByRetry)
+{
+    // A handful of swallowed relays is recovered by the sentinel-armed
+    // re-issue paths; the run still terminates with a complete stream.
+    SoakOutcome r = runDirected(
+        chaos::FaultPlan::single(chaos::FaultSite::RelayDrop, 0.3,
+                                 /*seed=*/11, /*budget=*/6));
+    EXPECT_TRUE(r.run.terminated) << r.haltReason;
+    EXPECT_GE(r.faults.injected[size_t(chaos::FaultSite::RelayDrop)], 1u);
+    EXPECT_GE(r.guestRetries, 1u);
+    EXPECT_EQ(r.stored + r.storeDrops + r.ringDrops + r.pending, r.produced);
+    EXPECT_FALSE(r.auditLeaked);
+}
+
+TEST(ChaosDirected, PersistentRelayDropHaltsAttributed)
+{
+    // A hypervisor that swallows every relay cannot livelock the guest:
+    // the retry budget expires into an attributed halt.
+    SoakOutcome r = runDirected(
+        chaos::FaultPlan::single(chaos::FaultSite::RelayDrop, 1.0,
+                                 /*seed=*/12));
+    EXPECT_FALSE(r.run.terminated);
+    EXPECT_TRUE(r.run.halted);
+    EXPECT_NE(r.haltReason.find("retry budget"), std::string::npos)
+        << r.haltReason;
+}
+
+TEST(ChaosDirected, BudgetedSwitchDenialsAbsorbedByRetry)
+{
+    SoakOutcome r = runDirected(
+        chaos::FaultPlan::single(chaos::FaultSite::SwitchDeny, 0.3,
+                                 /*seed=*/13, /*budget=*/20));
+    EXPECT_TRUE(r.run.terminated) << r.haltReason;
+    EXPECT_GE(r.faults.injected[size_t(chaos::FaultSite::SwitchDeny)], 1u);
+    EXPECT_GE(r.guestRetries, 1u);
+    EXPECT_EQ(r.stored + r.storeDrops + r.ringDrops + r.pending, r.produced);
+}
+
+TEST(ChaosDirected, PersistentSwitchDenialHaltsAttributed)
+{
+    SoakOutcome r = runDirected(
+        chaos::FaultPlan::single(chaos::FaultSite::SwitchDeny, 1.0,
+                                 /*seed=*/14));
+    EXPECT_FALSE(r.run.terminated);
+    EXPECT_TRUE(r.run.halted);
+    EXPECT_NE(r.haltReason.find("starved"), std::string::npos)
+        << r.haltReason;
+}
+
+TEST(ChaosDirected, GhcbTamperAbsorbed)
+{
+    // Scribbled result words (fake denials, fake redirects, fake
+    // sentinels, garbage) are all survivable: requests re-issue
+    // idempotently and the stream stays exact.
+    SoakOutcome r = runDirected(
+        chaos::FaultPlan::single(chaos::FaultSite::GhcbTamper, 0.25,
+                                 /*seed=*/15, /*budget=*/12));
+    EXPECT_TRUE(r.run.terminated) << r.haltReason;
+    EXPECT_GE(r.faults.injected[size_t(chaos::FaultSite::GhcbTamper)], 1u);
+    EXPECT_EQ(r.stored + r.storeDrops + r.ringDrops + r.pending, r.produced);
+    uint64_t last = 0;
+    for (const auto &rec : r.records) {
+        uint64_t seq = recordSeq(rec);
+        EXPECT_GT(seq, last) << rec;
+        last = seq;
+    }
+}
+
+TEST(ChaosDirected, SpuriousInterruptsAbsorbed)
+{
+    SoakOutcome r = runDirected(
+        chaos::FaultPlan::single(chaos::FaultSite::SpuriousIntr, 0.2,
+                                 /*seed=*/17, /*budget=*/32));
+    EXPECT_TRUE(r.run.terminated) << r.haltReason;
+    EXPECT_GE(r.faults.injected[size_t(chaos::FaultSite::SpuriousIntr)], 1u);
+    EXPECT_EQ(r.stored + r.storeDrops + r.ringDrops + r.pending, r.produced);
+}
+
+TEST(ChaosDirected, RmpFlipOfAuditRingHaltsNotSilentLoss)
+{
+    // Flipping the kernel's audit ring page to shared must fault the
+    // producer's next append (C-bit mismatch #NPF) — tampering with the
+    // audit pipeline yields a halt, never silently missing records.
+    VeilVm vm(soakConfig());
+    chaos::FaultPlan plan = chaos::FaultPlan::single(
+        chaos::FaultSite::RmpFlip, 1.0, /*seed=*/16, /*budget=*/1);
+    plan.rmpFlipLo = vm.layout().logRing(0);
+    plan.rmpFlipHi = plan.rmpFlipLo + kPageSize;
+    chaos::FaultInjector inj(plan);
+    vm.hypervisor().setFaultInjector(&inj);
+    vm.hypervisor().setExitCap(200'000);
+
+    auto result = vm.run([&](Kernel &k, Process &p) {
+        NativeEnv env(k, p);
+        for (int i = 0; i < 10; ++i)
+            env.close(999);
+    });
+    EXPECT_FALSE(result.terminated);
+    EXPECT_TRUE(result.halted);
+    EXPECT_TRUE(vm.machine().halted());
+    EXPECT_NE(vm.machine().haltInfo().reason.find("NPF"),
+              std::string::npos)
+        << vm.machine().haltInfo().reason;
+    // The flipped page is host-visible now, but holds only the flip-time
+    // scramble (re-keyed ciphertext) — no audit plaintext.
+    EXPECT_FALSE(sharedPagesContain(vm, "msg=audit(", 10));
+}
+
+TEST(ChaosDirected, RedirectsAndDeadlineFlushSurviveChaos)
+{
+    // Satellite: interrupt redirects from enclave execution, the masked
+    // timer latch, and the batched-audit deadline flush all interact
+    // under non-lethal chaos; the record stream must stay exact.
+    VmConfig cfg = soakConfig();
+    cfg.kernel.auditFlushDeadlineCycles = 50'000;
+    VeilVm vm(cfg);
+    const uint64_t quantum = vm.machine().costs().timerQuantum();
+
+    chaos::FaultPlan plan;
+    plan.seed = 0xfeed;
+    auto arm = [&](chaos::FaultSite s, double p, uint32_t budget) {
+        plan.probability[size_t(s)] = p;
+        plan.budget[size_t(s)] = budget;
+    };
+    // Non-lethal sites only: spurious vectors can legitimately halt a
+    // CVM mid-enclave-session (unmapped handler — Table 2), and that
+    // outcome is the sweep's to cover; this test pins the survivable
+    // interaction of redirects, the timer latch, and the deadline flush.
+    arm(chaos::FaultSite::RelayDelay, 0.3, 300);
+    arm(chaos::FaultSite::RelayDuplicate, 0.1, 24);
+    arm(chaos::FaultSite::GhcbTamper, 0.1, 24);
+    chaos::FaultInjector inj(plan);
+    vm.hypervisor().setFaultInjector(&inj);
+    vm.hypervisor().setExitCap(200'000);
+
+    auto result = vm.run([&](Kernel &k, Process &p) {
+        NativeEnv env(k, p);
+        for (int i = 0; i < 10; ++i)
+            env.close(999);
+        EnclaveHost host(env, vm.programs());
+        ASSERT_TRUE(host.create([quantum](Env &e) -> int64_t {
+            for (int i = 0; i < 5; ++i)
+                e.close(999);
+            e.burn(3 * quantum); // force redirected timer interrupts
+            return 0;
+        }));
+        ASSERT_EQ(host.call(), 0);
+        for (int i = 0; i < 3; ++i)
+            env.close(999);
+        // Idle long enough for the deadline flush to drain the tail.
+        k.cpu().burn(3 * quantum);
+        EXPECT_EQ(k.auditRingPending(0), 0u);
+    });
+    ASSERT_TRUE(result.terminated) << vm.machine().haltInfo().reason;
+    EXPECT_GT(vm.hypervisor().stats().intrRedirects, 0u);
+    EXPECT_GE(vm.kernel().stats().auditFlushDeadline, 1u);
+    EXPECT_GE(inj.stats().totalInjected(), 1u);
+
+    const KernelStats &s = vm.kernel().stats();
+    auto records = vm.services().log().snapshotRecords();
+    EXPECT_EQ(records.size() + vm.services().log().droppedRecords() +
+                  s.auditRingDrops,
+              s.auditRecords);
+    uint64_t last = 0;
+    for (const auto &rec : records) {
+        uint64_t seq = recordSeq(rec);
+        EXPECT_GT(seq, last) << rec;
+        last = seq;
+    }
+    EXPECT_FALSE(sharedPagesContain(vm, "msg=audit(", 10));
+}
+
+} // namespace
+} // namespace veil

@@ -37,6 +37,13 @@ validationResults()
     return results;
 }
 
+std::vector<AttackOutcome> &
+chaosResults()
+{
+    static std::vector<AttackOutcome> results = runChaosAttacks();
+    return results;
+}
+
 TEST_P(FrameworkAttacks, Defended)
 {
     const AttackOutcome &o = frameworkResults().at(GetParam());
@@ -65,6 +72,22 @@ INSTANTIATE_TEST_SUITE_P(Table2, EnclaveAttacks,
                              return "Attack" + std::to_string(info.param);
                          });
 
+class ChaosAttacks : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ChaosAttacks, Defended)
+{
+    const AttackOutcome &o = chaosResults().at(GetParam());
+    EXPECT_TRUE(o.defended) << o.attack << " — " << o.observed;
+}
+
+INSTANTIATE_TEST_SUITE_P(VeilChaos, ChaosAttacks,
+                         ::testing::Range<size_t>(0, 5),
+                         [](const auto &info) {
+                             return "Attack" + std::to_string(info.param);
+                         });
+
 TEST(PaperValidation, BothConcreteAttacksHaltTheCvm)
 {
     auto &results = validationResults();
@@ -79,6 +102,7 @@ TEST(BatterySizes, MatchPaperTables)
 {
     EXPECT_EQ(frameworkResults().size(), 10u); // Table 1 rows (+1 extra)
     EXPECT_EQ(enclaveResults().size(), 9u);    // Table 2 rows
+    EXPECT_EQ(chaosResults().size(), 5u);      // DESIGN.md §10 battery
 }
 
 } // namespace

@@ -82,6 +82,9 @@ TEST(Machine, VmgexitAndReenterResumes)
 {
     Machine m(smallConfig());
     prepareRange(m, 0, 2 * kPageSize);
+    // Legitimate page-state change: the guest releases the page (clears
+    // its C-bit expectation) before the host marks it shared.
+    m.rmp().pvalidate(Vmpl::Vmpl0, kPageSize, false);
     m.rmp().hvSetShared(kPageSize, true); // GHCB page
 
     int phase = 0;
@@ -214,6 +217,91 @@ TEST(Machine, MaskedVmsaNeverInterrupted)
     VmsaId id = m.addVmsa(std::move(v));
     EXPECT_EQ(m.enter(id).reason, ExitReason::Halted);
     EXPECT_EQ(m.stats().timerInterrupts, 0u);
+}
+
+TEST(Machine, InjectedVectorsQueueInsteadOfOverwriting)
+{
+    Machine m(smallConfig());
+    prepareRange(m, 0, 4 * kPageSize);
+
+    int delivered = 0;
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.idtHandlerVa = 2 * kPageSize;
+    v.softTimerHook = [&delivered] { ++delivered; };
+    v.entry = [](Vcpu &cpu) {
+        cpu.machine().guestExit(ExitReason::NonAutomatic);
+    };
+    VmsaId id = m.addVmsa(std::move(v));
+
+    EXPECT_EQ(m.enter(id).reason, ExitReason::NonAutomatic);
+    // The hypervisor piles three vectors on before resuming. The old
+    // single-slot latch collapsed these into one delivery; they must
+    // all arrive, in order, on the next resume.
+    m.injectVector(id);
+    m.injectVector(id);
+    m.injectVector(id);
+    EXPECT_EQ(m.enter(id).reason, ExitReason::Halted);
+    EXPECT_EQ(delivered, 3);
+    EXPECT_EQ(m.stats().vectorsInjected, 3u);
+    EXPECT_EQ(m.stats().vectorsQueued, 2u);
+}
+
+TEST(Machine, MaskedTimerTickLatchedAndDeliveredOnUnmask)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.interruptsEnabled = true;
+    Machine m(cfg);
+    prepareRange(m, 0, 4 * kPageSize);
+
+    int hook_fires = 0;
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.irqMasked = true;
+    v.idtHandlerVa = 2 * kPageSize;
+    v.softTimerHook = [&hook_fires] { ++hook_fires; };
+    v.entry = [&](Vcpu &cpu) {
+        // A full quantum elapses while masked: the tick is latched, not
+        // dropped (the old code lost it entirely).
+        cpu.burn(cfg.costs.timerQuantum() + 1);
+        EXPECT_EQ(cpu.machine().stats().timerTicksLatched, 1u);
+        EXPECT_EQ(cpu.machine().stats().timerInterrupts, 0u);
+        // Unmask: the very next poll must deliver the held tick.
+        cpu.vmsa().irqMasked = false;
+        cpu.burn(1);
+    };
+    VmsaId id = m.addVmsa(std::move(v));
+
+    VmExit e = m.enter(id);
+    ASSERT_EQ(e.reason, ExitReason::AutomaticIntr);
+    EXPECT_EQ(m.stats().timerInterrupts, 1u);
+    // Hypervisor relay: injecting the vector fires the handler and the
+    // soft timer hook (the kernel's audit deadline-flush path) even
+    // though the tick originally went due under a masked context.
+    m.injectVector(id);
+    EXPECT_EQ(m.enter(id).reason, ExitReason::Halted);
+    EXPECT_EQ(hook_fires, 1);
+}
+
+TEST(Machine, HostileSharedFlipFaultsInsteadOfExposing)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    Machine m(smallConfig());
+    prepareRange(m, 0, 4 * kPageSize);
+    // The host flips a guest-private (pvalidated) page to shared without
+    // the guest releasing it first. The guest's C-bit expectation still
+    // stands, so its next access must halt with an #NPF — never silently
+    // read what is now host-visible memory.
+    m.rmp().hvSetShared(3 * kPageSize, true);
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.entry = [](Vcpu &cpu) {
+        uint64_t x = 0;
+        cpu.readPhys(3 * kPageSize, &x, sizeof(x));
+        FAIL() << "hostile flip did not fault";
+    };
+    EXPECT_EQ(m.enter(m.addVmsa(std::move(v))).reason, ExitReason::NpfHalt);
+    EXPECT_TRUE(m.halted());
 }
 
 TEST(Machine, VirtualAccessChecksPageTablesThenRmp)

@@ -119,6 +119,9 @@ TEST_F(VcpuTest, UserPhysAccessOnlyToSharedPages)
 {
     machine->rmp().rmpadjust(Vmpl::Vmpl0, 9 * kPageSize, Vmpl::Vmpl3,
                              kPermAll);
+    // The guest releases the page (clears its C-bit expectation) before
+    // the host marks it shared, as a real PSC flow would.
+    machine->rmp().pvalidate(Vmpl::Vmpl0, 10 * kPageSize, false);
     machine->rmp().hvSetShared(10 * kPageSize, true);
     VmExit e = runAs(Vmpl::Vmpl3, Cpl::User, [](Vcpu &cpu) {
         uint64_t v = 1;
@@ -133,6 +136,7 @@ TEST_F(VcpuTest, UserPhysAccessOnlyToSharedPages)
 
 TEST_F(VcpuTest, HypercallWritesAndReadsGhcb)
 {
+    machine->rmp().pvalidate(Vmpl::Vmpl0, 11 * kPageSize, false);
     machine->rmp().hvSetShared(11 * kPageSize, true);
     Vmsa v;
     v.vmpl = Vmpl::Vmpl0;
