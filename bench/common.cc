@@ -7,8 +7,10 @@
 
 #include "base/log.hh"
 #include "crypto/stats.hh"
+#include "kernel/kernel.hh"
 #include "trace/chrome.hh"
 #include "trace/metrics.hh"
+#include "veil/proto.hh"
 
 namespace veil::bench {
 
@@ -367,6 +369,40 @@ printVmStats(const snp::Machine &m)
                  100.0 * double(s.tlbHits) / double(lookups),
                  (unsigned long long)lookups));
     }
+}
+
+void
+printVmStats(const snp::Machine &m, const kern::Kernel &k)
+{
+    printVmStats(m);
+    const kern::KernelStats &s = k.stats();
+
+    trace::MetricsRegistry reg;
+    for (size_t i = 0; i < core::kVeilOpCount; ++i) {
+        if (s.veilOpCalls[i] == 0)
+            continue;
+        reg.addCounter(std::string("kernel.veilops.") +
+                           core::veilOpName(static_cast<core::VeilOp>(i)),
+                       s.veilOpCalls[i]);
+    }
+    reg.addCounter("kernel.opring.submitted", s.opSubmitted);
+    reg.addCounter("kernel.opring.doorbells", s.opDoorbells);
+    reg.addCounter("kernel.opring.doorbellRetries", s.opDoorbellRetries);
+    reg.addCounter("kernel.opring.syncFallbacks", s.opSyncFallbacks);
+    reg.addCounter("kernel.opring.completions", s.opCompletions);
+    reg.addCounter("kernel.opring.cplErrors", s.opCplErrors);
+    reg.addCounter("kernel.opring.cplResyncs", s.opCplResyncs);
+    reg.addCounter("kernel.opring.flushSize", s.opFlushSize);
+    reg.addCounter("kernel.opring.flushDeadline", s.opFlushDeadline);
+    reg.addCounter("kernel.opring.flushBarrier", s.opFlushBarrier);
+    reg.addCounter("kernel.opring.maxDepth", s.opMaxDepth);
+    // Each deferred op avoided one IDCB round trip (two domain
+    // switches); each doorbell spent one round trip to drain a batch.
+    uint64_t saved = s.opSubmitted > s.opDoorbells
+                         ? 2 * (s.opSubmitted - s.opDoorbells)
+                         : 0;
+    reg.addCounter("kernel.opring.switchesSaved", saved);
+    printRegistry(reg, "Kernel VeilOp counters");
 }
 
 void

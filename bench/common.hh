@@ -79,6 +79,14 @@ double overheadPct(double value, double base);
 void printVmStats(const snp::Machine &m);
 
 /**
+ * Kernel-aware variant: additionally prints per-VeilOp call counts
+ * (sync + batched) and the §11 op-ring counters — submissions,
+ * doorbells, flush triggers, and the domain switches the ring saved —
+ * again mirrored to --json so text and JSON always agree.
+ */
+void printVmStats(const snp::Machine &m, const kern::Kernel &k);
+
+/**
  * Finish-line trace hook for bench binaries: if jsonInit() saw a
  * --trace path (or VEIL_TRACE_JSON), export the machine's VeilTrace
  * rings as a Chrome trace-event JSON file and print the simulated

@@ -22,6 +22,10 @@ faultSiteName(FaultSite site)
         return "spurious-intr";
       case FaultSite::RmpFlip:
         return "rmp-flip";
+      case FaultSite::DoorbellDrop:
+        return "doorbell-drop";
+      case FaultSite::DoorbellDuplicate:
+        return "doorbell-duplicate";
       case FaultSite::kCount:
         break;
     }
@@ -43,6 +47,8 @@ FaultPlan::forSeed(uint64_t seed)
         /* GhcbTamper     */ 0.02,
         /* SpuriousIntr   */ 0.03,
         /* RmpFlip        */ 0.002,
+        /* DoorbellDrop   */ 0.05,
+        /* DoorbellDuplicate */ 0.03,
     };
     static constexpr uint32_t kBudget[kFaultSiteCount] = {
         /* RelayDrop      */ 48,
@@ -53,6 +59,8 @@ FaultPlan::forSeed(uint64_t seed)
         /* GhcbTamper     */ 48,
         /* SpuriousIntr   */ 64,
         /* RmpFlip        */ 2,
+        /* DoorbellDrop   */ 48,
+        /* DoorbellDuplicate */ 16,
     };
 
     FaultPlan plan;

@@ -49,6 +49,9 @@ enum class FaultSite : uint8_t {
     GhcbTamper,     ///< scribble the GHCB result word after relaying
     SpuriousIntr,   ///< inject an unsolicited vector before VMENTER
     RmpFlip,        ///< host RMPUPDATE: flip a guest page to shared
+    DoorbellDrop,   ///< deny a doorbell-hinted switch (lost doorbell)
+    DoorbellDuplicate, ///< bounce Dom-SRV's return switch back into SRV
+                       ///< once, replaying the doorbell it just served
     kCount,
 };
 

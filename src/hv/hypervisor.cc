@@ -9,6 +9,7 @@ using namespace snp;
 Hypervisor::Hypervisor(Machine &machine) : machine_(machine), view_(machine)
 {
     current_.assign(machine.config().numVcpus, kInvalidVmsa);
+    doorbellLive_.assign(machine.config().numVcpus, 0);
 }
 
 void
@@ -232,6 +233,14 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
               chaosRoll(chaos::FaultSite::SwitchDeny, vcpu)) {
               allowed = false; // hostile denial of a legitimate switch
           }
+          bool doorbell = g.info[2] == kGhcbSwitchHintDoorbell;
+          if (allowed && doorbell && chaos_ != nullptr &&
+              chaosRoll(chaos::FaultSite::DoorbellDrop, vcpu)) {
+              // Lost doorbell: the hint is advisory, so the hypervisor
+              // may "miss" it. The guest's switch retry/backoff — or
+              // Dom-SRV's opportunistic drain — recovers the batch.
+              allowed = false;
+          }
           VmsaId target = allowed ? lookupVmsa(target_vcpu, target_vmpl)
                                   : kInvalidVmsa;
           if (target != kInvalidVmsa && chaos_ != nullptr &&
@@ -241,6 +250,22 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
               VmsaId alt = chaosPickMisroute(vcpu, target);
               if (alt != kInvalidVmsa)
                   target = alt;
+          }
+          if (target != kInvalidVmsa && st.vmpl == Vmpl::Vmpl1 &&
+              doorbellLive_[vcpu]) {
+              // Dom-SRV is returning from a doorbell-hinted entry. A
+              // hostile scheduler may replay the doorbell: bounce the
+              // return switch straight back into Dom-SRV, which must
+              // treat the duplicate as an idempotent (empty) drain.
+              doorbellLive_[vcpu] = 0;
+              if (chaos_ != nullptr &&
+                  chaosRoll(chaos::FaultSite::DoorbellDuplicate, vcpu)) {
+                  target = lookupVmsa(vcpu, Vmpl::Vmpl1);
+              }
+          }
+          if (target != kInvalidVmsa && doorbell &&
+              target_vmpl == Vmpl::Vmpl1) {
+              doorbellLive_[vcpu] = 1;
           }
           if (target == kInvalidVmsa) {
               g.result = static_cast<uint64_t>(HvResult::Denied);

@@ -117,6 +117,9 @@ class Hypervisor
     HvView view_;
     std::map<std::pair<uint32_t, int>, snp::VmsaId> registry_;
     std::vector<snp::VmsaId> current_;
+    /// Per-VCPU: a doorbell-hinted switch into VMPL1 was granted and
+    /// Dom-SRV has not yet switched back (DoorbellDuplicate targeting).
+    std::vector<uint8_t> doorbellLive_;
     std::set<snp::Gpa> enclaveOnlyGhcbs_;
     bool relayIntr_ = true;
     bool terminated_ = false;

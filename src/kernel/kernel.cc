@@ -23,6 +23,8 @@ namespace {
 constexpr uint64_t kSyscallEntryCycles = 350;
 constexpr uint64_t kAuditFormatCycles = 1400;
 constexpr uint64_t kKauditAppendCycles = 600;
+/// Marshalling one VeilOp into its submission-ring slot (§11).
+constexpr uint64_t kOpAppendCycles = 600;
 constexpr uint64_t kPageZeroCycles = 550;
 constexpr uint64_t kPageUnmapCycles = 900;
 /// Common load_module()/free_module() machinery (ELF parsing, kallsyms
@@ -49,6 +51,7 @@ Kernel::Kernel(Machine &machine, const core::CvmLayout &layout,
     audit_.setBackend(config_.auditBackend);
     audit_.setRules(config_.auditRules);
     auditRings_.resize(layout_.numVcpus);
+    opRings_.resize(layout_.numVcpus);
 }
 
 Kernel::~Kernel() = default;
@@ -105,9 +108,11 @@ Kernel::bspMain(Vcpu &cpu)
     textHi_ = textLo_ + kKernelTextPages * kPageSize;
     dataLo_ = textHi_;
     dataHi_ = dataLo_ + kKernelDataPages * kPageSize;
-    // The audit rings at the top of memory are reserved kernel state,
-    // never handed out as frames.
-    frames_ = std::make_unique<FrameAllocator>(dataHi_, layout_.logRingBase);
+    // The audit and VeilOp rings at the top of memory are reserved
+    // kernel state, never handed out as frames. The allocator is
+    // bottom-up, so lowering its ceiling leaves every address it hands
+    // out unchanged.
+    frames_ = std::make_unique<FrameAllocator>(dataHi_, layout_.opRingBase);
 
     // "Load" the kernel text (deterministic synthetic code bytes).
     Rng rng(0x6b65726eULL);
@@ -126,10 +131,16 @@ Kernel::bspMain(Vcpu &cpu)
     // Install the interrupt handler (LIDT analogue).
     idtHandlerVa_ = textLo_ + 0x100;
     cpu.vmsa().idtHandlerVa = idtHandlerVa_;
-    if (audit_.backend() == AuditBackend::VeilLogBatched) {
-        // Timer-tick tail of the interrupt handler: flush the audit
-        // ring if the oldest queued record has passed its deadline.
-        cpu.vmsa().softTimerHook = [this] { auditMaybeDeadlineFlush(); };
+    if (audit_.backend() == AuditBackend::VeilLogBatched ||
+        (config_.veilEnabled && config_.serviceBatching)) {
+        // Timer-tick tail of the interrupt handler: flush the audit or
+        // VeilOp ring if the oldest queued entry has passed its
+        // deadline. Each check self-gates on its own mode and pending
+        // count, so sharing the hook costs the other mode nothing.
+        cpu.vmsa().softTimerHook = [this] {
+            auditMaybeDeadlineFlush();
+            opMaybeDeadlineFlush();
+        };
     }
 
     if (config_.veilEnabled && config_.activateKci) {
@@ -182,10 +193,12 @@ Kernel::makeProcess(const std::string &comm)
 void
 Kernel::terminate(uint64_t status)
 {
-    // Drain barrier: no audited event may be lost across an orderly
-    // shutdown (bounds the group-commit loss window to crashes).
+    // Drain barriers: no audited event or deferred VeilOp may be lost
+    // across an orderly shutdown (bounds the group-commit loss window
+    // to crashes).
     if (audit_.backend() == AuditBackend::VeilLogBatched)
         auditRingFlush(AuditFlushTrigger::Barrier);
+    opRingBarrier();
     Vcpu &c = cpu();
     c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
     Ghcb g;
@@ -202,7 +215,17 @@ Kernel::terminate(uint64_t status)
 void
 Kernel::callMonitor(IdcbMessage &msg)
 {
+    // Drain barrier: a sync monitor call must not overtake VeilOps
+    // already queued in the submission ring (program order = service
+    // order; a queued PageStateChange and a sync one on the same page
+    // must land in submission order).
+    if (config_.veilEnabled && config_.serviceBatching && cpu_ != nullptr &&
+        opRings_[cpu_->vcpuId()].pending > 0 && auditFlushAllowed()) {
+        opRingFlush(OpFlushTrigger::Barrier);
+    }
     ++stats_.monitorCalls;
+    if (msg.op < core::kVeilOpCount)
+        ++stats_.veilOpCalls[msg.op];
     Vcpu &c = cpu();
     Gpa saved_ghcb = c.vmsa().ghcbGpa;
     Cpl saved_cpl = c.cpl();
@@ -219,6 +242,15 @@ Kernel::callMonitor(IdcbMessage &msg)
 void
 Kernel::callService(IdcbMessage &msg)
 {
+    // Drain barrier: a sync service call must not overtake VeilOps
+    // already queued in the submission ring (program order = service
+    // order). The doorbell itself is exempt — it *is* the drain.
+    bool doorbell = msg.op == static_cast<uint32_t>(VeilOp::OpRingDoorbell);
+    if (!doorbell && config_.veilEnabled && config_.serviceBatching &&
+        cpu_ != nullptr && opRings_[cpu_->vcpuId()].pending > 0 &&
+        auditFlushAllowed()) {
+        opRingFlush(OpFlushTrigger::Barrier);
+    }
     // Drain barrier: a LogQuery reply must reflect every record the
     // kernel has produced so far, including those still in the ring.
     if (msg.op == static_cast<uint32_t>(VeilOp::LogQuery) &&
@@ -226,6 +258,8 @@ Kernel::callService(IdcbMessage &msg)
         auditRingFlush(AuditFlushTrigger::Barrier);
     }
     ++stats_.serviceCalls;
+    if (msg.op < core::kVeilOpCount)
+        ++stats_.veilOpCalls[msg.op];
     Vcpu &c = cpu();
     Gpa saved_ghcb = c.vmsa().ghcbGpa;
     Cpl saved_cpl = c.cpl();
@@ -233,10 +267,30 @@ Kernel::callService(IdcbMessage &msg)
     idcbBusy_ = true;
     c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
     c.setCpl(Cpl::Supervisor);
-    core::idcbCall(c, layout_.osSrvIdcb(c.vcpuId()), Vmpl::Vmpl1, msg);
+    core::idcbCall(c, layout_.osSrvIdcb(c.vcpuId()), Vmpl::Vmpl1, msg,
+                   doorbell ? core::kSwitchHintDoorbell : 0);
     c.vmsa().ghcbGpa = saved_ghcb;
     c.setCpl(saved_cpl);
     idcbBusy_ = saved_busy;
+}
+
+void
+Kernel::callServiceBatched(IdcbMessage &msg)
+{
+    if (opSubmit(msg)) {
+        // Fire-and-forget: the real status arrives with the completion
+        // (a failed deferred op is attributed at harvest).
+        msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+        return;
+    }
+    if (config_.veilEnabled && config_.serviceBatching &&
+        opDeferrable(msg.op)) {
+        ++stats_.opSyncFallbacks;
+    }
+    if (msg.op == static_cast<uint32_t>(VeilOp::PageStateChange))
+        callMonitor(msg);
+    else
+        callService(msg);
 }
 
 bool
@@ -277,6 +331,23 @@ Kernel::pageStateChange(Gpa page, bool shared)
         c.hypercall(g);
         c.pvalidate(page, true);
     }
+}
+
+void
+Kernel::pageStateChangeAsync(Gpa page, bool shared)
+{
+    if (!config_.veilEnabled) {
+        pageStateChange(page, shared);
+        return;
+    }
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::PageStateChange);
+    m.args[0] = page;
+    m.args[1] = shared ? 1 : 0;
+    if (opSubmit(m))
+        return; // refusal surfaces at the flush via opCompletionArrived
+    callMonitor(m);
+    ensure(okStatus(m), "Kernel: PSC delegation failed");
 }
 
 // ---- Modules (§6.1) ----
@@ -500,6 +571,18 @@ Kernel::enclaveFreePage(Process &proc, Gva va)
     m.op = static_cast<uint32_t>(VeilOp::EncFreePage);
     m.args[0] = proc.enclave->id;
     m.args[1] = va;
+
+    // Batched mode: queue the op and defer the swap-out until the
+    // completion arrives — VeilS-ENC seals the frame in place, so the
+    // frame (and the VA mapping) must stay untouched until then.
+    uint32_t seq = 0;
+    if (opSubmit(m, &seq)) {
+        deferredFreePages_.push_back({seq, &proc, va, pa});
+        return 0;
+    }
+    if (config_.veilEnabled && config_.serviceBatching)
+        ++stats_.opSyncFallbacks;
+
     callService(m);
     if (!okStatus(m))
         return -kEACCES;
@@ -582,6 +665,10 @@ Kernel::prepEnclaveRun(Process &proc)
     // enclave, mirroring execute-ahead ordering at this boundary.
     if (audit_.backend() == AuditBackend::VeilLogBatched)
         auditRingFlush(AuditFlushTrigger::Barrier);
+    // Same boundary for deferred VeilOps: queued EncFreePage/EncSyncPerms
+    // must take effect before the enclave can observe (or touch) the
+    // affected pages.
+    opRingBarrier();
     Vcpu &c = cpu();
     // Scheduler hook (§6.2): when a different enclave gets the VCPU,
     // point the hypervisor's Dom-ENC slot at its VMSA.
@@ -649,7 +736,9 @@ Kernel::auditHook(Process &proc, uint32_t no, const uint64_t args[6])
         }
         std::memcpy(m.payload, rec.data(), len);
         m.payloadLen = static_cast<uint32_t>(len);
-        callService(m);
+        // With service batching on, individual records queue through the
+        // op ring (weaker than execute-ahead — see §11 mode legality).
+        callServiceBatched(m);
         break;
       }
       case AuditBackend::VeilLogBatched:
@@ -782,6 +871,251 @@ Kernel::auditMaybeDeadlineFlush()
     if (cpu_->rdtsc() - ring.oldestTsc < config_.auditFlushDeadlineCycles)
         return;
     auditRingFlush(AuditFlushTrigger::Deadline);
+}
+
+// ---- Batched VeilOp submission (exit-less service calls, §11) ----
+
+bool
+Kernel::opDeferrable(uint32_t op) const
+{
+    // Fire-and-forget ops whose results no call site consumes inline.
+    // LogAppendBatch is itself a flush op and is deliberately NOT
+    // deferrable: queueing it would reset the audit ring's pending
+    // count while records sit undrained in the shared audit ring.
+    switch (static_cast<VeilOp>(op)) {
+      case VeilOp::LogAppend:
+      case VeilOp::EncSyncPerms:
+      case VeilOp::EncFreePage:
+      case VeilOp::PageStateChange:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Kernel::opBatchingLegal() const
+{
+    // Same gate as audit flushing, plus the mode switches: no queueing
+    // before boot, from ocall context (an enclave session holds the
+    // enclave GHCB/cr3 and deferring EncSyncPerms/EncFreePage there
+    // would let the enclave touch not-yet-revoked frames), or while an
+    // IDCB call is in flight on this VCPU.
+    return config_.veilEnabled && config_.serviceBatching && booted_ &&
+           !idcbBusy_ && !inEnclaveSession_;
+}
+
+uint64_t
+Kernel::opRingPending(uint32_t vcpu) const
+{
+    ensure(vcpu < opRings_.size(), "opRingPending: bad vcpu");
+    return opRings_[vcpu].pending;
+}
+
+bool
+Kernel::opSubmit(const IdcbMessage &msg, uint32_t *seq_out)
+{
+    if (!opBatchingLegal() || !opDeferrable(msg.op))
+        return false;
+    if (msg.payloadLen > core::kOpPayloadMax)
+        return false; // oversized: sync path keeps the 2 KB transport
+    Vcpu &c = cpu();
+    OpRingState &ring = opRings_[c.vcpuId()];
+    Gpa sub = layout_.opSubRing(c.vcpuId());
+
+    if (!ring.initialized) {
+        core::RingHeader h;
+        h.capacity = core::kOpRingSlots;
+        c.writePhys(sub, &h, sizeof(h));
+        core::RingHeader ch;
+        ch.capacity = core::kOpCplSlots;
+        c.writePhys(layout_.opCplRing(c.vcpuId()), &ch, sizeof(ch));
+        ring.initialized = true;
+    }
+
+    // Size trigger first: make room before this op queues. A full ring
+    // forces the same flush even when the configured batch size exceeds
+    // the ring capacity.
+    if (ring.pending >= config_.opBatchSize ||
+        ring.pending >= core::kOpRingSlots) {
+        opRingFlush(OpFlushTrigger::Size);
+    }
+    if (ring.pending >= core::kOpRingSlots)
+        return false; // still full: backpressure falls back to sync
+
+    core::VeilOpSlot slot;
+    slot.op = msg.op;
+    slot.seq = static_cast<uint32_t>(ring.submitted);
+    static_assert(sizeof(slot.args) == sizeof(msg.args));
+    std::memcpy(slot.args, msg.args, sizeof(slot.args));
+    slot.payloadLen = msg.payloadLen;
+    std::memcpy(slot.payload, msg.payload, msg.payloadLen);
+    Gpa sp = core::ringSlot(sub, core::kOpSlotBytes, core::kOpRingSlots,
+                            ring.head);
+    c.writePhys(sp, &slot, sizeof(slot));
+    ++ring.head;
+    ++ring.submitted;
+    if (ring.pending++ == 0)
+        ring.oldestTsc = c.rdtsc();
+    c.writePhys(sub + offsetof(core::RingHeader, head), &ring.head,
+                sizeof(ring.head));
+    c.burn(kOpAppendCycles);
+
+    ++stats_.opSubmitted;
+    if (msg.op < core::kVeilOpCount)
+        ++stats_.veilOpCalls[msg.op];
+    stats_.opMaxDepth = std::max(stats_.opMaxDepth, ring.pending);
+    if (seq_out)
+        *seq_out = slot.seq;
+    return true;
+}
+
+void
+Kernel::opRingFlush(OpFlushTrigger trigger)
+{
+    Vcpu &c = cpu();
+    OpRingState &ring = opRings_[c.vcpuId()];
+    if (ring.pending == 0)
+        return;
+    ensure(auditFlushAllowed(), "opRingFlush: flush not allowed here");
+
+    trace::SpanScope span(machine_.tracer(), trace::Category::RingFlush,
+                          ring.pending);
+    // The dispatcher advances the shared submission tail op by op as it
+    // drains, so a re-rung doorbell after a partial drain (completion
+    // backpressure) re-offers only what is still queued. A doorbell
+    // that cannot empty the ring within the budget halts with
+    // attribution rather than silently shedding deferred ops.
+    constexpr int kDoorbellRetryMax = 3;
+    for (int attempt = 0;; ++attempt) {
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::OpRingDoorbell);
+        callService(m);
+        ++stats_.opDoorbells;
+        // The shared submission tail is the ground truth for what was
+        // consumed — immune to stale local state after chaos-duplicated
+        // drains.
+        core::RingHeader h;
+        c.readPhys(layout_.opSubRing(c.vcpuId()), &h, sizeof(h));
+        ring.pending = ring.head - std::min(h.tail, ring.head);
+        opHarvestCompletions();
+        if (okStatus(m) && ring.pending == 0)
+            break;
+        if (attempt >= kDoorbellRetryMax) {
+            throw snp::CvmHaltFault(
+                "opRingFlush: doorbell starved beyond the retry budget");
+        }
+        ++stats_.opDoorbellRetries;
+        c.burn(2'000 << attempt);
+    }
+
+    switch (trigger) {
+      case OpFlushTrigger::Size: ++stats_.opFlushSize; break;
+      case OpFlushTrigger::Deadline: ++stats_.opFlushDeadline; break;
+      case OpFlushTrigger::Barrier: ++stats_.opFlushBarrier; break;
+    }
+    ring.oldestTsc = 0;
+}
+
+void
+Kernel::opHarvestCompletions()
+{
+    Vcpu &c = cpu();
+    OpRingState &ring = opRings_[c.vcpuId()];
+    if (!ring.initialized)
+        return;
+    Gpa cplr = layout_.opCplRing(c.vcpuId());
+    core::RingHeader h;
+    c.readPhys(cplr, &h, sizeof(h));
+    // The completion producer is trusted Dom-SRV, but the index is
+    // still validated (VeilChaos exercises stale/duplicated views):
+    // completions never outrun submissions, never run backwards, and
+    // never lead the consumer by more than the ring capacity. An
+    // inconsistent view is counted and skipped; the flush retry loop
+    // re-reads it, and a persistent one surfaces as a starved doorbell.
+    if (h.head < ring.harvested || h.head > ring.submitted ||
+        h.head - ring.harvested > core::kOpCplSlots) {
+        ++stats_.opCplResyncs;
+        return;
+    }
+    while (ring.harvested < h.head) {
+        core::VeilOpCompletion cpl;
+        c.readPhys(core::ringSlot(cplr, core::kOpCplSlotBytes,
+                                  core::kOpCplSlots, ring.harvested),
+                   &cpl, sizeof(cpl));
+        ++ring.harvested;
+        ++stats_.opCompletions;
+        opCompletionArrived(cpl);
+    }
+    c.writePhys(cplr + offsetof(core::RingHeader, tail), &ring.harvested,
+                sizeof(ring.harvested));
+}
+
+void
+Kernel::opCompletionArrived(const core::VeilOpCompletion &cpl)
+{
+    bool ok = cpl.status == static_cast<uint64_t>(VeilStatus::Ok);
+    if (!ok)
+        ++stats_.opCplErrors;
+
+    // Deferred EncFreePage: the frame now holds the sealed page image;
+    // run the swap-out post-processing the sync path does inline.
+    for (auto it = deferredFreePages_.begin();
+         it != deferredFreePages_.end(); ++it) {
+        if (it->seq != cpl.seq)
+            continue;
+        if (!ok) {
+            throw snp::CvmHaltFault(
+                "deferred EncFreePage refused by VeilS-ENC after its "
+                "caller already observed success");
+        }
+        Process *p = it->proc;
+        ensure(p->enclave.has_value(), "op completion: enclave vanished");
+        Bytes swapped(kPageSize);
+        cpu().readPhys(it->pa, swapped.data(), swapped.size());
+        p->enclave->swapStore[it->va] = std::move(swapped);
+        p->as->unmapUser(it->va);
+        frames_->free(it->pa);
+        deferredFreePages_.erase(it);
+        return;
+    }
+
+    // A refused deferred PageStateChange mirrors the sync path's
+    // ensure(okStatus): the caller already proceeded on success.
+    if (!ok && cpl.op == static_cast<uint32_t>(VeilOp::PageStateChange)) {
+        throw snp::CvmHaltFault(
+            "deferred PageStateChange refused by VeilMon after its "
+            "caller already observed success");
+    }
+}
+
+void
+Kernel::opMaybeDeadlineFlush()
+{
+    if (!config_.veilEnabled || !config_.serviceBatching)
+        return;
+    if (!auditFlushAllowed() || cpu_ == nullptr)
+        return;
+    OpRingState &ring = opRings_[cpu_->vcpuId()];
+    if (ring.pending == 0)
+        return;
+    if (cpu_->rdtsc() - ring.oldestTsc < config_.opFlushDeadlineCycles)
+        return;
+    opRingFlush(OpFlushTrigger::Deadline);
+}
+
+void
+Kernel::opRingBarrier()
+{
+    if (!config_.veilEnabled || !config_.serviceBatching || cpu_ == nullptr)
+        return;
+    opRingFlush(OpFlushTrigger::Barrier);
+    if (!deferredFreePages_.empty()) {
+        // A resync skipped a harvest round; collect the completions now.
+        opHarvestCompletions();
+    }
+    ensure(deferredFreePages_.empty(),
+           "opRingBarrier: deferred EncFreePage without a completion");
 }
 
 // ---- Syscalls ----
@@ -1190,7 +1524,9 @@ Kernel::sysMunmap(Process &p, Gva addr, uint64_t len)
         m.args[1] = addr;
         m.args[2] = hi - addr;
         m.args[3] = 0x80; // unmap
-        callService(m);
+        // Deferrable: the enclave cannot run before prepEnclaveRun's
+        // op-ring barrier drains this unmap.
+        callServiceBatched(m);
     }
     return 0;
 }
@@ -1233,7 +1569,7 @@ Kernel::sysMprotect(Process &p, Gva addr, uint64_t len, int prot)
         m.args[1] = addr;
         m.args[2] = hi - addr;
         m.args[3] = (prot & kPROT_WRITE ? 1 : 0) | (prot & kPROT_EXEC ? 2 : 0);
-        callService(m);
+        callServiceBatched(m);
     }
     return 0;
 }

@@ -36,6 +36,17 @@ struct KernelConfig
     /// queued record has been pending this many cycles (bounds the loss
     /// window; see DESIGN.md §9).
     uint64_t auditFlushDeadlineCycles = 2'000'000;
+    /// Exit-less VeilOp batching (DESIGN.md §11): queue deferrable
+    /// service calls (LogAppend, EncSyncPerms, EncFreePage,
+    /// PageStateChange) in the per-VCPU submission ring and ring the
+    /// doorbell in groups instead of paying a domain-switch round trip
+    /// per call. Off by default: the sync path stays bit-identical.
+    bool serviceBatching = false;
+    /// serviceBatching: doorbell once this many ops queue up.
+    uint32_t opBatchSize = 16;
+    /// serviceBatching: doorbell on the first timer tick once the
+    /// oldest queued op has been pending this many cycles.
+    uint64_t opFlushDeadlineCycles = 2'000'000;
     /// Module signing key known to the kernel build (native verify
     /// path) and provisioned to VeilS-KCI.
     Bytes moduleKey = {'m', 'o', 'd', '-', 'k', 'e', 'y'};
@@ -59,6 +70,23 @@ struct KernelStats
     uint64_t serviceCalls = 0;
     uint64_t enclaveFaults = 0;
     uint64_t modulesLoaded = 0;
+    // ---- VeilOp ring batching (§11) ----
+    uint64_t opSubmitted = 0;       ///< ops queued in the submission ring
+    uint64_t opDoorbells = 0;       ///< OpRingDoorbell calls issued
+    uint64_t opDoorbellRetries = 0; ///< re-rings after a partial drain
+    uint64_t opSyncFallbacks = 0;   ///< deferrable ops forced sync (ring
+                                    ///< full, oversized, or mode illegal)
+    uint64_t opCompletions = 0;     ///< completions harvested
+    uint64_t opCplErrors = 0;       ///< completions with status != Ok
+    uint64_t opCplResyncs = 0;      ///< completion-header resyncs (stale
+                                    ///< or inconsistent index)
+    uint64_t opFlushSize = 0;       ///< doorbells triggered by batch size
+    uint64_t opFlushDeadline = 0;   ///< doorbells triggered by the deadline
+    uint64_t opFlushBarrier = 0;    ///< doorbells triggered by barriers
+    uint64_t opMaxDepth = 0;        ///< deepest submission queue observed
+    /// Per-VeilOp call counts across both transports (sync IDCB calls
+    /// count at issue, batched ops at submission).
+    uint64_t veilOpCalls[core::kVeilOpCount] = {};
 };
 
 /** The kernel. */
@@ -107,8 +135,28 @@ class Kernel
     void callMonitor(core::IdcbMessage &msg);
     void callService(core::IdcbMessage &msg);
 
+    /**
+     * Batched transport (§11): queue the call in this VCPU's VeilOp
+     * submission ring when it is deferrable and batching is legal here,
+     * falling back to the sync path otherwise. A queued call returns
+     * with status Ok optimistically; the real status arrives with its
+     * completion (a failed deferred op halts with attribution). With
+     * serviceBatching disabled this is exactly callService/callMonitor.
+     */
+    void callServiceBatched(core::IdcbMessage &msg);
+
     /** Batched audit: records queued in this VCPU's ring, not yet flushed. */
     uint64_t auditRingPending(uint32_t vcpu) const;
+
+    /** VeilOps queued in this VCPU's submission ring, not yet drained. */
+    uint64_t opRingPending(uint32_t vcpu) const;
+
+    /** Drain barrier: doorbell + harvest until the op ring is empty. */
+    void opRingBarrier();
+
+    /** Page-state change through the batched transport (test/teardown
+     *  use; production call sites that consume ordering stay sync). */
+    void pageStateChangeAsync(snp::Gpa page, bool shared);
 
     /** Boot an additional VCPU (hotplug) through VeilMon. */
     bool bootVcpu(uint32_t vcpu);
@@ -179,6 +227,30 @@ class Kernel
     bool auditFlushAllowed() const;
     void auditMaybeDeadlineFlush();
 
+    // ---- Batched VeilOp submission (exit-less service calls, §11) ----
+    enum class OpFlushTrigger { Size, Deadline, Barrier };
+    /// Producer view of one VCPU's submission ring + consumer view of
+    /// its completion ring; the shared headers are kept in sync.
+    struct OpRingState
+    {
+        uint64_t head = 0;        ///< submission producer index (monotonic)
+        uint64_t pending = 0;     ///< head - drained tail
+        uint64_t submitted = 0;   ///< total ops ever queued (== next seq)
+        uint64_t harvested = 0;   ///< completions consumed (cpl tail)
+        uint64_t oldestTsc = 0;   ///< TSC when the oldest op queued
+        bool initialized = false; ///< headers written to guest memory
+    };
+    bool opDeferrable(uint32_t op) const;
+    bool opBatchingLegal() const;
+    /// Queue one call; false when it must go sync (ring full with flush
+    /// impossible, oversized payload, batching off). On success the
+    /// submission sequence number is stored in *seq_out.
+    bool opSubmit(const core::IdcbMessage &msg, uint32_t *seq_out = nullptr);
+    void opRingFlush(OpFlushTrigger trigger);
+    void opHarvestCompletions();
+    void opMaybeDeadlineFlush();
+    void opCompletionArrived(const core::VeilOpCompletion &cpl);
+
     // Syscall bodies.
     int64_t sysOpen(Process &p, snp::Gva path, int flags);
     int64_t sysClose(Process &p, int fd);
@@ -243,6 +315,17 @@ class Kernel
     /// requests originate *inside* the enclave (§6.2).
     bool inEnclaveSession_ = false;
     std::vector<AuditRingState> auditRings_; ///< one per VCPU
+    std::vector<OpRingState> opRings_;       ///< one per VCPU (§11)
+    /// EncFreePage post-processing (seal-capture + unmap + frame free)
+    /// deferred until the op's completion is harvested.
+    struct DeferredFreePage
+    {
+        uint32_t seq;
+        Process *proc;
+        snp::Gva va;
+        snp::Gpa pa;
+    };
+    std::vector<DeferredFreePage> deferredFreePages_;
     /// True while an IDCB call is in flight on this VCPU; the timer
     /// flush hook must not start a nested call.
     bool idcbBusy_ = false;

@@ -108,6 +108,7 @@ EnclaveHost::create(EnclaveProgram program, const Params &params)
     cfg_.programId = program_id;
     cfg_.ghcbGva = kGhcbUserVa;
     cfg_.exitless = params.exitless ? 1 : 0;
+    cfg_.asyncOcalls = params.asyncOcalls ? 1 : 0;
     if (params.exitless) {
         // The spinning worker services syscalls synchronously; it must
         // never need a nested domain switch, so the VeilS-LOG audit
@@ -118,6 +119,7 @@ EnclaveHost::create(EnclaveProgram program, const Params &params)
         // The worker runs in untrusted app context on another VCPU,
         // draining posted requests from the shared ocall block.
         registry_.setWorker(program_id, [this]() -> int64_t {
+            drainAsyncOcalls();
             OcallBlock hdr = readHeader();
             return runOcall(hdr);
         });
@@ -216,6 +218,61 @@ EnclaveHost::runOcall(const OcallBlock &hdr)
     return kernel_.syscall(proc_, hdr.sysno, args);
 }
 
+void
+EnclaveHost::drainAsyncOcalls()
+{
+    if (cfg_.asyncOcalls == 0)
+        return;
+    uint64_t idx[2]; // {asyncHead, asyncTail} — adjacent in the block
+    env_.copyOut(ocallGva_ + offsetof(OcallBlock, asyncHead), idx,
+                 sizeof(idx));
+    uint64_t head = idx[0], tail = idx[1];
+    if (head == tail)
+        return;
+    ensure(head - tail <= kAsyncSlots, "async ocall ring corrupted");
+    while (tail < head) {
+        Gva slot_gva = ocallGva_ + offsetof(OcallBlock, asyncSlots) +
+                       (tail % kAsyncSlots) * sizeof(AsyncOcallSlot);
+        AsyncOcallSlot slot;
+        env_.copyOut(slot_gva, &slot, sizeof(slot));
+
+        int64_t ret;
+        const SyscallSpec *spec = findSpec(slot.sysno);
+        if (spec && spec->supported) {
+            // Rewrite wire offsets into pointers at the slot's data
+            // area, mirroring runOcall's sync-path marshalling.
+            uint64_t args[6];
+            std::memcpy(args, slot.args, sizeof(args));
+            Gva data_base = slot_gva + offsetof(AsyncOcallSlot, data);
+            for (unsigned i = 0; i < spec->nargs; ++i) {
+                switch (spec->args[i].kind) {
+                  case ArgKind::CStr:
+                  case ArgKind::InBuf:
+                  case ArgKind::InStruct:
+                    args[i] = data_base + args[i];
+                    break;
+                  default:
+                    break;
+                }
+            }
+            ret = kernel_.syscall(proc_, slot.sysno, args);
+        } else {
+            ret = -kENOSYS;
+        }
+
+        AsyncOcallCpl cpl;
+        cpl.seq = static_cast<uint32_t>(tail);
+        cpl.ret = ret;
+        env_.copyIn(ocallGva_ + offsetof(OcallBlock, asyncCpl) +
+                        (tail % kAsyncSlots) * sizeof(cpl),
+                    &cpl, sizeof(cpl));
+        ++tail;
+        env_.copyIn(ocallGva_ + offsetof(OcallBlock, asyncTail), &tail,
+                    sizeof(tail));
+        ++asyncServed_;
+    }
+}
+
 int64_t
 EnclaveHost::call()
 {
@@ -229,6 +286,10 @@ EnclaveHost::call()
     int64_t result = -1;
     for (;;) {
         core::domainSwitch(kernel_.cpu(), Vmpl::Vmpl2);
+        // Drain queued async ocalls BEFORE looking at the sync state:
+        // they were submitted earlier in program order, so servicing
+        // them first keeps submission order == service order.
+        drainAsyncOcalls();
         OcallBlock resp = readHeader();
         auto state = static_cast<OcallState>(resp.state);
         if (state == OcallState::SyscallReq) {
@@ -256,6 +317,11 @@ EnclaveHost::call()
             lastStats_.marshalCycles = resp.statMarshalCycles;
             lastStats_.switchCycles = resp.statSwitchCycles;
             lastStats_.exitlessCalls = resp.statExitless;
+            if (cfg_.asyncOcalls != 0) {
+                env_.copyOut(ocallGva_ + offsetof(OcallBlock, statAsync),
+                             &lastStats_.asyncCalls,
+                             sizeof(lastStats_.asyncCalls));
+            }
             break;
         }
         if (state == OcallState::Killed) {

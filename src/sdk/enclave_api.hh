@@ -48,6 +48,9 @@ class EnclaveHost
         /// Service syscalls via a spinning worker thread instead of
         /// domain switches (§10 exitless handling).
         bool exitless = false;
+        /// Fire-and-forget syscalls queue in the ocall block's async
+        /// ring; the enclave continues without exiting (§11 async mode).
+        bool asyncOcalls = false;
     };
 
     EnclaveHost(NativeEnv &app_env, ProgramRegistry &registry);
@@ -82,12 +85,15 @@ class EnclaveHost
     // Session accounting (Fig. 5 cost attribution).
     uint64_t ocallsServed() const { return ocallsServed_; }
     uint64_t faultsServed() const { return faultsServed_; }
+    /// Async-ring submissions serviced (no dedicated switch each).
+    uint64_t asyncOcallsServed() const { return asyncServed_; }
 
     /** SDK-side statistics reported by the enclave at its last exit. */
     const EnclaveEnvStats &lastRunStats() const { return lastStats_; }
 
   private:
     int64_t runOcall(const OcallBlock &hdr);
+    void drainAsyncOcalls();
     void writeHeader(const OcallBlock &hdr);
     OcallBlock readHeader();
     void computeExpectedMeasurement(const Bytes &config_page,
@@ -106,6 +112,7 @@ class EnclaveHost
     crypto::Digest expected_{};
     uint64_t ocallsServed_ = 0;
     uint64_t faultsServed_ = 0;
+    uint64_t asyncServed_ = 0;
     EnclaveEnvStats lastStats_;
     std::function<void()> ocallHook_;
 };

@@ -20,6 +20,9 @@ constexpr size_t kHeaderBytes = offsetof(OcallBlock, data);
 /// than any chaos fault budget, so a hostile host that keeps resuming
 /// the enclave early still converges to a Killed verdict, not a spin.
 constexpr int kSpuriousResumeBudget = 24;
+/// Marshal + ring-publish cost of one async submission (§11): no
+/// VMGEXIT, no state save/restore, small payload copy.
+constexpr uint64_t kAsyncSubmitCycles = 250;
 } // namespace
 
 EnclaveEnv::EnclaveEnv(Vcpu &cpu, const EnclaveConfig &cfg,
@@ -153,6 +156,10 @@ EnclaveEnv::writeDoneResult(int64_t ret)
                          stats_.switchCycles, stats_.exitlessCalls};
     cpu_.write(cfg_.ocallGva + offsetof(OcallBlock, statOcalls), stats,
                sizeof(stats));
+    if (cfg_.asyncOcalls != 0) {
+        cpu_.write(cfg_.ocallGva + offsetof(OcallBlock, statAsync),
+                   &stats_.asyncCalls, sizeof(stats_.asyncCalls));
+    }
     writeState(OcallState::EnclaveDone);
 }
 
@@ -370,7 +377,97 @@ EnclaveEnv::sysOnce(uint32_t no, const SyscallSpec *spec,
 
     ++stats_.ocalls;
     stats_.marshalCycles += cpu_.rdtsc() - t1;
+    // Natural harvest boundary: the app drained the async ring before
+    // servicing this sync request, so completions are waiting.
+    asyncHarvest();
     return ret;
+}
+
+int64_t
+EnclaveEnv::sysAsyncRaw(uint32_t no, const uint64_t in_args[6])
+{
+    // Async submission is only legal for fire-and-forget data-plane
+    // calls: bounded input payload, no out-params, result unused by the
+    // caller. Everything else silently degrades to the sync path, so
+    // call sites never need to know which mode is active.
+    bool eligible = cfg_.asyncOcalls != 0 &&
+                    (no == kSysWrite || no == kSysPwrite64 ||
+                     no == kSysSendto || no == kSysFsync);
+    const SyscallSpec *spec = findSpec(no);
+    if (!eligible || !spec || !spec->supported)
+        return sysRaw(no, in_args);
+
+    // Backpressure: with all slots in flight the enclave cannot wait
+    // (only an exit lets the app run), so fall back to a sync call —
+    // the app drains the ring first, preserving submission order.
+    uint64_t tail;
+    cpu_.read(cfg_.ocallGva + offsetof(OcallBlock, asyncTail), &tail,
+              sizeof(tail));
+    if (asyncHead_ - tail >= kAsyncSlots)
+        return sysRaw(no, in_args);
+
+    // Marshal into the slot: Value args pass through, input payloads
+    // deep-copy into the slot's data area as wire offsets. Anything
+    // that doesn't fit the slot goes sync.
+    AsyncOcallSlot slot;
+    slot.sysno = no;
+    size_t off = 0;
+    int64_t optimistic = 0;
+    for (unsigned i = 0; i < spec->nargs; ++i) {
+        const ArgSpec &a = spec->args[i];
+        switch (a.kind) {
+          case ArgKind::None:
+          case ArgKind::Value:
+            slot.args[i] = in_args[i];
+            break;
+          case ArgKind::InBuf: {
+              size_t len = static_cast<size_t>(in_args[a.lenArg]);
+              if (off + len > kAsyncDataMax)
+                  return sysRaw(no, in_args);
+              guardedRead(in_args[i], slot.data + off, len);
+              slot.args[i] = off;
+              off += len;
+              optimistic = static_cast<int64_t>(len);
+              break;
+          }
+          default:
+            return sysRaw(no, in_args); // out-params can't be deferred
+        }
+    }
+    slot.dataLen = static_cast<uint32_t>(off);
+
+    Gva slot_gva = cfg_.ocallGva + offsetof(OcallBlock, asyncSlots) +
+                   (asyncHead_ % kAsyncSlots) * sizeof(AsyncOcallSlot);
+    cpu_.write(slot_gva, &slot,
+               offsetof(AsyncOcallSlot, data) + slot.dataLen);
+    ++asyncHead_;
+    cpu_.write(cfg_.ocallGva + offsetof(OcallBlock, asyncHead), &asyncHead_,
+               sizeof(asyncHead_));
+    cpu_.burn(kAsyncSubmitCycles);
+    ++stats_.asyncCalls;
+    return optimistic;
+}
+
+uint64_t
+EnclaveEnv::asyncHarvest()
+{
+    if (cfg_.asyncOcalls == 0)
+        return 0;
+    uint64_t tail;
+    cpu_.read(cfg_.ocallGva + offsetof(OcallBlock, asyncTail), &tail,
+              sizeof(tail));
+    uint64_t n = 0;
+    while (asyncHarvested_ < tail) {
+        AsyncOcallCpl cpl;
+        cpu_.read(cfg_.ocallGva + offsetof(OcallBlock, asyncCpl) +
+                      (asyncHarvested_ % kAsyncSlots) * sizeof(cpl),
+                  &cpl, sizeof(cpl));
+        if (cpl.ret < 0)
+            ++stats_.asyncErrors; // fire-and-forget: count, don't raise
+        ++asyncHarvested_;
+        ++n;
+    }
+    return n;
 }
 
 void

@@ -36,6 +36,8 @@ struct EnclaveEnvStats
     /// Resumes where the ocall block still held our own pending request
     /// (stale or tampered switch result); the request is re-presented.
     uint64_t spuriousResumes = 0;
+    uint64_t asyncCalls = 0;     ///< syscalls queued in the async ring
+    uint64_t asyncErrors = 0;    ///< harvested async completions < 0
 };
 
 /** Untrusted worker that services exitless syscall requests: reads the
@@ -50,6 +52,8 @@ class EnclaveEnv : public Env
                const ExitlessWorker *worker = nullptr);
 
     int64_t sysRaw(uint32_t no, const uint64_t args[6]) override;
+    int64_t sysAsyncRaw(uint32_t no, const uint64_t args[6]) override;
+    uint64_t asyncHarvest() override;
 
     snp::Gva alloc(size_t len) override;
     void release(snp::Gva p, size_t len) override;
@@ -84,6 +88,8 @@ class EnclaveEnv : public Env
     HeapAllocator heap_;
     EnclaveEnvStats stats_;
     const ExitlessWorker *worker_;
+    uint64_t asyncHead_ = 0;      ///< local producer index (we own it)
+    uint64_t asyncHarvested_ = 0; ///< completions consumed so far
 };
 
 /** Dom-ENC VMSA entry: the enclave runtime main loop. */

@@ -70,6 +70,12 @@ Env::write(int fd, Gva buf, uint64_t len)
 }
 
 int64_t
+Env::writeAsync(int fd, Gva buf, uint64_t len)
+{
+    return sysAsync(kSysWrite, uint64_t(fd), buf, len);
+}
+
+int64_t
 Env::pread(int fd, Gva buf, uint64_t len, uint64_t off)
 {
     return sys(kSysPread64, uint64_t(fd), buf, len, off);

@@ -34,6 +34,30 @@ class Env
     /** Backend syscall implementation. */
     virtual int64_t sysRaw(uint32_t no, const uint64_t args[6]) = 0;
 
+    /**
+     * Fire-and-forget syscall (§11 async mode): the backend may queue
+     * the call and return an optimistic result without waiting for it
+     * to execute; the caller must not rely on the return value. The
+     * default (and any non-enclave backend) is a plain synchronous
+     * call, so workloads using sysAsync run unchanged everywhere.
+     */
+    virtual int64_t sysAsyncRaw(uint32_t no, const uint64_t args[6])
+    {
+        return sysRaw(no, args);
+    }
+
+    int64_t
+    sysAsync(uint32_t no, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0,
+             uint64_t a3 = 0, uint64_t a4 = 0, uint64_t a5 = 0)
+    {
+        uint64_t args[6] = {a0, a1, a2, a3, a4, a5};
+        return sysAsyncRaw(no, args);
+    }
+
+    /** Collect finished async submissions; returns how many completed.
+     *  A no-op (0) for synchronous backends. */
+    virtual uint64_t asyncHarvest() { return 0; }
+
     /** Allocate zeroed memory in this context (mmap / enclave heap). */
     virtual snp::Gva alloc(size_t len) = 0;
     virtual void release(snp::Gva p, size_t len) = 0;
@@ -53,6 +77,8 @@ class Env
     int64_t close(int fd);
     int64_t read(int fd, snp::Gva buf, uint64_t len);
     int64_t write(int fd, snp::Gva buf, uint64_t len);
+    /** write() that may complete asynchronously (result optimistic). */
+    int64_t writeAsync(int fd, snp::Gva buf, uint64_t len);
     int64_t pread(int fd, snp::Gva buf, uint64_t len, uint64_t off);
     int64_t pwrite(int fd, snp::Gva buf, uint64_t len, uint64_t off);
     int64_t lseek(int fd, int64_t off, int whence);

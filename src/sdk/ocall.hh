@@ -30,6 +30,28 @@ enum class OcallState : uint32_t {
 constexpr size_t kOcallDataMax = 12 * 1024;
 constexpr size_t kOcallPages = 4;
 
+// ---- Async ocall ring (§11 async mode) ----
+
+constexpr size_t kAsyncSlots = 8;     ///< SPSC ring capacity
+constexpr size_t kAsyncDataMax = 256; ///< per-slot marshalled payload cap
+
+/** One queued fire-and-forget syscall (enclave → app). */
+struct AsyncOcallSlot
+{
+    uint32_t sysno = 0;
+    uint32_t dataLen = 0;
+    uint64_t args[6] = {};
+    uint8_t data[kAsyncDataMax] = {};
+};
+
+/** Completion for one async slot (app → enclave). */
+struct AsyncOcallCpl
+{
+    uint32_t seq = 0;
+    uint32_t pad = 0;
+    int64_t ret = 0;
+};
+
 /** POD block at a fixed app VA; fits in kOcallPages pages. */
 struct OcallBlock
 {
@@ -46,6 +68,17 @@ struct OcallBlock
     uint32_t dataLen = 0;
     uint32_t pad = 0;
     uint8_t data[kOcallDataMax] = {};
+
+    // Async ring, appended so every pre-existing field offset (and the
+    // kHeaderBytes prefix both sides exchange) is unchanged. The
+    // enclave produces slots and advances asyncHead; the app consumes
+    // them at its next natural boundary — any sync ocall, fault, or
+    // session exit — posts completions, and advances asyncTail.
+    uint64_t asyncHead = 0;  ///< enclave-side producer index
+    uint64_t asyncTail = 0;  ///< app-side consumer index
+    uint64_t statAsync = 0;  ///< async submissions (reported at done)
+    AsyncOcallSlot asyncSlots[kAsyncSlots] = {};
+    AsyncOcallCpl asyncCpl[kAsyncSlots] = {};
 };
 
 static_assert(sizeof(OcallBlock) <= kOcallPages * snp::kPageSize,
@@ -72,6 +105,10 @@ struct EnclaveConfig
     /// shared memory and spin; an untrusted worker thread services them
     /// without a domain switch.
     uint64_t exitless = 0;
+    /// Async ocalls (§11): fire-and-forget syscalls queue in the ocall
+    /// block's async ring and the enclave continues without exiting;
+    /// completions are harvested at the next natural boundary.
+    uint64_t asyncOcalls = 0;
 };
 
 } // namespace veil::sdk

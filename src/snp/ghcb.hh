@@ -62,6 +62,14 @@ constexpr Gpa kNoGhcb = ~Gpa(0);
  */
 constexpr uint64_t kGhcbNoResult = ~uint64_t(0);
 
+/**
+ * Advisory DomainSwitch hint (info[2]): the requester is ringing a
+ * VeilOp submission-ring doorbell (§11). Purely an optimization /
+ * chaos-targeting hint for the hypervisor — routing and permission
+ * checks ignore it, and 0 keeps the pre-hint protocol byte-identical.
+ */
+constexpr uint64_t kGhcbSwitchHintDoorbell = 1;
+
 } // namespace veil::snp
 
 #endif // VEIL_SNP_GHCB_HH_

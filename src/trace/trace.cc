@@ -62,6 +62,8 @@ categoryName(Category c)
         return "audit-truncate";
       case Category::FaultInject:
         return "fault-inject";
+      case Category::RingFlush:
+        return "ring-flush";
       case Category::kCount:
         break;
     }

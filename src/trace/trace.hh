@@ -66,6 +66,7 @@ enum class Category : uint8_t {
     AuditFlush,      ///< batched audit ring group-commit (arg = records)
     AuditTruncate,   ///< audit record clamped to transport (arg = size)
     FaultInject,     ///< VeilChaos fault injected by the hypervisor
+    RingFlush,       ///< VeilOp ring doorbell/drain (arg = ops, §11)
     kCount,
 };
 

@@ -68,6 +68,19 @@ CvmLayout::logRing(uint32_t vcpu) const
     return logRingBase + Gpa(vcpu) * kAuditRingPages * kPageSize;
 }
 
+Gpa
+CvmLayout::opSubRing(uint32_t vcpu) const
+{
+    ensure(vcpu < numVcpus, "layout: bad vcpu");
+    return opRingBase + Gpa(vcpu) * (kOpRingPages + kOpCplPages) * kPageSize;
+}
+
+Gpa
+CvmLayout::opCplRing(uint32_t vcpu) const
+{
+    return opSubRing(vcpu) + Gpa(kOpRingPages) * kPageSize;
+}
+
 bool
 CvmLayout::inMonRegion(Gpa p) const
 {
@@ -140,7 +153,14 @@ CvmLayout::compute(size_t mem_bytes, uint32_t vcpus, size_t image_bytes,
     l.logRingEnd = l.memEnd;
     l.logRingBase = l.logRingEnd - Gpa(vcpus) * kAuditRingPages * kPageSize;
 
-    ensure(l.kernelBase + 128 * kPageSize < l.logRingBase,
+    // VeilOp submission + completion rings sit just below the audit
+    // rings; carving them from the top keeps every frame-allocator
+    // address identical whether or not batching is enabled.
+    l.opRingEnd = l.logRingBase;
+    l.opRingBase =
+        l.opRingEnd - Gpa(vcpus) * (kOpRingPages + kOpCplPages) * kPageSize;
+
+    ensure(l.kernelBase + 128 * kPageSize < l.opRingBase,
            "layout: machine memory too small for this configuration");
     return l;
 }

@@ -58,6 +58,10 @@ struct CvmLayout
                               ///< kernel-owned, §5.2 less-privileged rule)
     snp::Gpa logRingEnd = 0;  ///< == memEnd
 
+    snp::Gpa opRingBase = 0; ///< per-VCPU VeilOp submission+completion
+                             ///< rings (below the audit rings; §11)
+    snp::Gpa opRingEnd = 0;  ///< == logRingBase
+
     uint32_t numVcpus = 0;
 
     snp::Gpa osGhcb(uint32_t vcpu) const;
@@ -67,6 +71,8 @@ struct CvmLayout
     snp::Gpa osSrvIdcb(uint32_t vcpu) const;
     snp::Gpa srvMonIdcb(uint32_t vcpu) const;
     snp::Gpa logRing(uint32_t vcpu) const;
+    snp::Gpa opSubRing(uint32_t vcpu) const; ///< VeilOp submission ring
+    snp::Gpa opCplRing(uint32_t vcpu) const; ///< VeilOp completion ring
 
     /** All pages that must be hypervisor-shared at launch. */
     std::vector<snp::Gpa> launchSharedPages() const;

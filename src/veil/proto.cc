@@ -46,8 +46,62 @@ readMessage(Vcpu &cpu, Gpa idcb, IdcbMessage &msg)
 
 } // namespace
 
+const char *
+veilOpName(VeilOp op)
+{
+    switch (op) {
+      case VeilOp::None:
+        return "none";
+      case VeilOp::Ping:
+        return "ping";
+      case VeilOp::BootVcpu:
+        return "boot-vcpu";
+      case VeilOp::Pvalidate:
+        return "pvalidate";
+      case VeilOp::PageStateChange:
+        return "page-state-change";
+      case VeilOp::EstablishChannel:
+        return "establish-channel";
+      case VeilOp::CreateEnclaveVmsa:
+        return "create-enclave-vmsa";
+      case VeilOp::DestroyEnclaveVmsa:
+        return "destroy-enclave-vmsa";
+      case VeilOp::KciActivate:
+        return "kci-activate";
+      case VeilOp::KciModuleLoad:
+        return "kci-module-load";
+      case VeilOp::KciModuleUnload:
+        return "kci-module-unload";
+      case VeilOp::EncCreate:
+        return "enc-create";
+      case VeilOp::EncDestroy:
+        return "enc-destroy";
+      case VeilOp::EncFreePage:
+        return "enc-free-page";
+      case VeilOp::EncRestorePage:
+        return "enc-restore-page";
+      case VeilOp::EncMprotect:
+        return "enc-mprotect";
+      case VeilOp::EncSyncPerms:
+        return "enc-sync-perms";
+      case VeilOp::EncGetMeasurement:
+        return "enc-get-measurement";
+      case VeilOp::LogAppend:
+        return "log-append";
+      case VeilOp::LogQuery:
+        return "log-query";
+      case VeilOp::LogStats:
+        return "log-stats";
+      case VeilOp::LogAppendBatch:
+        return "log-append-batch";
+      case VeilOp::OpRingDoorbell:
+        return "op-ring-doorbell";
+    }
+    return "unknown";
+}
+
 void
-domainSwitch(Vcpu &cpu, Vmpl target_vmpl)
+domainSwitch(Vcpu &cpu, Vmpl target_vmpl, uint64_t hint)
 {
     // Bounded recovery from hypervisor misbehaviour (DESIGN.md §10).
     // The fault budget must exceed any chaos plan's consecutive-fault
@@ -62,6 +116,7 @@ domainSwitch(Vcpu &cpu, Vmpl target_vmpl)
         g.exitCode = static_cast<uint64_t>(GhcbExit::DomainSwitch);
         g.info[0] = cpu.vcpuId();
         g.info[1] = static_cast<uint64_t>(target_vmpl);
+        g.info[2] = hint;
         // Drop-detection sentinel: a hypervisor that handles the request
         // always overwrites result, so reading it back proves the relay
         // was swallowed.
@@ -102,7 +157,8 @@ domainSwitch(Vcpu &cpu, Vmpl target_vmpl)
 }
 
 void
-idcbCall(Vcpu &cpu, Gpa idcb, Vmpl target_vmpl, IdcbMessage &msg)
+idcbCall(Vcpu &cpu, Gpa idcb, Vmpl target_vmpl, IdcbMessage &msg,
+         uint64_t hint)
 {
     msg.pending = 1;
     msg.requesterVmpl = static_cast<uint32_t>(vmplIndex(cpu.vmpl()));
@@ -110,7 +166,7 @@ idcbCall(Vcpu &cpu, Gpa idcb, Vmpl target_vmpl, IdcbMessage &msg)
 
     constexpr int kResendBudget = 24;
     for (int attempt = 0;; ++attempt) {
-        domainSwitch(cpu, target_vmpl);
+        domainSwitch(cpu, target_vmpl, hint);
         readMessage(cpu, idcb, msg);
         if (!msg.pending)
             return;

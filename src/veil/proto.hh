@@ -14,6 +14,7 @@
 
 #include "snp/types.hh"
 #include "snp/vcpu.hh"
+#include "veil/ring.hh"
 
 namespace veil::core {
 
@@ -57,7 +58,20 @@ enum class VeilOp : uint32_t {
     LogAppendBatch,  ///< drain this VCPU's audit ring: args[0] = ring gpa
                      ///< (must match the layout); ret[0]=appended,
                      ///< ret[1]=dropped
+
+    // ---- VeilOp rings (exit-less batched service calls, §11) ----
+    OpRingDoorbell,  ///< drain this VCPU's VeilOp submission ring;
+                     ///< ret[0]=requests drained, ret[1]=completions
+                     ///< posted (< ret[0] when the completion ring
+                     ///< filled; the rest stay queued)
 };
+
+/** Number of VeilOp values (for per-op counter arrays). */
+constexpr size_t kVeilOpCount =
+    static_cast<size_t>(VeilOp::OpRingDoorbell) + 1;
+
+/** Stable lower-case name for metrics ("enc-free-page", ...). */
+const char *veilOpName(VeilOp op);
 
 /** Status codes returned in IdcbMessage::status. */
 enum class VeilStatus : uint64_t {
@@ -101,34 +115,25 @@ static_assert(sizeof(IdcbMessage) <= snp::kPageSize,
 // rule that shared blocks live in the less-privileged side's memory.
 // The kernel appends records locally and flushes the whole ring with
 // one IDCB call, amortizing the two domain switches per record that
-// execute-ahead mode pays. Slot 0 holds the header; record slots are
-// fixed-size so wrap-around never splits a record.
+// execute-ahead mode pays. Geometry and conventions live in ring.hh,
+// shared with the VeilOp rings.
 
-constexpr size_t kAuditRingPages = 4;    ///< ring size per VCPU
-constexpr size_t kAuditSlotBytes = 256;  ///< per slot, incl. 4-byte length
-constexpr size_t kAuditSlotDataMax = kAuditSlotBytes - 4;
-constexpr uint64_t kAuditRingSlots =
-    kAuditRingPages * snp::kPageSize / kAuditSlotBytes - 1;
-
-/** Shared ring header (slot 0). head/tail are monotonic indices. */
-struct AuditRingHeader
-{
-    uint64_t capacity = 0;      ///< slot count; must equal kAuditRingSlots
-    uint64_t head = 0;          ///< producer: next index to fill
-    uint64_t tail = 0;          ///< consumer: next index to drain
-    uint64_t producerDrops = 0; ///< records dropped ring-full (never
-                                ///< overwritten; §6.3 drop-don't-overwrite)
-};
-
-static_assert(sizeof(AuditRingHeader) <= kAuditSlotBytes,
-              "audit ring header must fit in slot 0");
+using AuditRingHeader = RingHeader;
 
 /** GPA of record slot @p idx (taken mod capacity) in a ring page run. */
 inline snp::Gpa
 auditRingSlot(snp::Gpa ring_base, uint64_t idx)
 {
-    return ring_base + kAuditSlotBytes * (1 + idx % kAuditRingSlots);
+    return ringSlot(ring_base, kAuditSlotBytes, kAuditRingSlots, idx);
 }
+
+/**
+ * Advisory GHCB hint (Ghcb::info[2]) carried by a domain switch. The
+ * hypervisor may use it for scheduling (and VeilChaos targets it); it
+ * is never trusted by the guest. Zero means "no hint" and leaves the
+ * switch request byte-identical to the pre-hint protocol.
+ */
+constexpr uint64_t kSwitchHintDoorbell = snp::kGhcbSwitchHintDoorbell;
 
 /**
  * Requester-side helper: writes the request in @p msg into the IDCB
@@ -139,7 +144,7 @@ auditRingSlot(snp::Gpa ring_base, uint64_t idx)
  * the switch.
  */
 void idcbCall(snp::Vcpu &cpu, snp::Gpa idcb, snp::Vmpl target_vmpl,
-              IdcbMessage &msg);
+              IdcbMessage &msg, uint64_t hint = 0);
 
 /** Responder-side: fetch a pending request, if any. */
 bool idcbFetch(snp::Vcpu &cpu, snp::Gpa idcb, IdcbMessage &out);
@@ -148,7 +153,7 @@ bool idcbFetch(snp::Vcpu &cpu, snp::Gpa idcb, IdcbMessage &out);
 void idcbReply(snp::Vcpu &cpu, snp::Gpa idcb, const IdcbMessage &reply);
 
 /** Issue a hypervisor-relayed domain switch (no IDCB involved). */
-void domainSwitch(snp::Vcpu &cpu, snp::Vmpl target_vmpl);
+void domainSwitch(snp::Vcpu &cpu, snp::Vmpl target_vmpl, uint64_t hint = 0);
 
 } // namespace veil::core
 

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared SPSC ring conventions (DESIGN.md §11). One single-producer /
+ * single-consumer ring is a run of guest-physical pages placed in the
+ * *less privileged* side's memory (§5.2): slot 0 holds the header,
+ * fixed-size record slots follow, head/tail are monotonic indices taken
+ * mod capacity, and a full ring makes the producer drop (and count) the
+ * record rather than overwrite unconsumed slots.
+ *
+ * Two ring families use this layout:
+ *   - the PR-4 group-commit audit ring (VeilOp::LogAppendBatch, §6.3)
+ *   - the VeilOp submission/completion rings (exit-less batched service
+ *     calls, §11)
+ */
+#ifndef VEIL_VEIL_RING_HH_
+#define VEIL_VEIL_RING_HH_
+
+#include <cstdint>
+
+#include "snp/types.hh"
+
+namespace veil::core {
+
+/**
+ * Shared ring header (slot 0). The producer owns head/producerDrops,
+ * the consumer owns tail; both are monotonic so `head - tail` is the
+ * queue depth and wrap-around needs no extra state.
+ */
+struct RingHeader
+{
+    uint64_t capacity = 0;      ///< record-slot count (excl. slot 0)
+    uint64_t head = 0;          ///< producer: next index to fill
+    uint64_t tail = 0;          ///< consumer: next index to drain
+    uint64_t producerDrops = 0; ///< dropped ring-full (drop-don't-overwrite)
+};
+
+/** GPA of record slot @p idx (taken mod @p slots) after the header. */
+inline snp::Gpa
+ringSlot(snp::Gpa ring_base, size_t slot_bytes, uint64_t slots, uint64_t idx)
+{
+    return ring_base + slot_bytes * (1 + idx % slots);
+}
+
+/**
+ * Consumer-side header sanity check: the producer lives in a less
+ * privileged domain, so capacity and index relationships are validated
+ * before any slot is touched (the `opAppendBatch` rule).
+ */
+inline bool
+ringHeaderValid(const RingHeader &h, uint64_t capacity)
+{
+    return h.capacity == capacity && h.tail <= h.head &&
+           h.head - h.tail <= capacity;
+}
+
+// ---- Group-commit audit ring geometry (§6.3) ----
+
+constexpr size_t kAuditRingPages = 4;    ///< ring size per VCPU
+constexpr size_t kAuditSlotBytes = 256;  ///< per slot, incl. 4-byte length
+constexpr size_t kAuditSlotDataMax = kAuditSlotBytes - 4;
+constexpr uint64_t kAuditRingSlots =
+    kAuditRingPages * snp::kPageSize / kAuditSlotBytes - 1;
+
+static_assert(sizeof(RingHeader) <= kAuditSlotBytes,
+              "ring header must fit in slot 0");
+
+// ---- VeilOp submission/completion ring geometry (§11) ----
+//
+// One submission + one completion ring per VCPU, in kernel-owned pages
+// next to the audit ring. Submission slots carry a full service request
+// (args + a bounded payload); oversized requests fall back to the sync
+// IDCB path at the call site. Completion slots carry status + ret words
+// keyed by the submission sequence number.
+
+constexpr size_t kOpRingPages = 8;
+constexpr size_t kOpSlotBytes = 512;
+constexpr uint64_t kOpRingSlots =
+    kOpRingPages * snp::kPageSize / kOpSlotBytes - 1;
+constexpr size_t kOpPayloadMax = 432; ///< kOpSlotBytes minus slot header
+
+/** One queued VeilOp request (submission-ring record slot). */
+struct VeilOpSlot
+{
+    uint32_t op = 0;  ///< VeilOp
+    uint32_t seq = 0; ///< producer-assigned, strictly increasing
+    uint64_t args[8] = {};
+    uint32_t payloadLen = 0;
+    uint32_t pad = 0;
+    uint8_t payload[kOpPayloadMax] = {};
+};
+
+static_assert(sizeof(VeilOpSlot) == kOpSlotBytes,
+              "VeilOp submission slot must be exactly one record slot");
+
+constexpr size_t kOpCplPages = 1;
+constexpr size_t kOpCplSlotBytes = 64;
+constexpr uint64_t kOpCplSlots =
+    kOpCplPages * snp::kPageSize / kOpCplSlotBytes - 1;
+
+/** One posted completion (completion-ring record slot). */
+struct VeilOpCompletion
+{
+    uint32_t seq = 0; ///< matches the VeilOpSlot that produced it
+    uint32_t op = 0;
+    uint64_t status = 0; ///< VeilStatus
+    uint64_t ret[4] = {};
+    uint64_t pad[2] = {};
+};
+
+static_assert(sizeof(VeilOpCompletion) == kOpCplSlotBytes,
+              "VeilOp completion slot must be exactly one record slot");
+
+static_assert(sizeof(RingHeader) <= kOpCplSlotBytes,
+              "ring header must fit in the smallest slot size");
+
+} // namespace veil::core
+
+#endif // VEIL_VEIL_RING_HH_

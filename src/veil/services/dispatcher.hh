@@ -29,10 +29,21 @@ class ServiceDispatcher
     LogService &log() { return log_; }
 
     uint64_t requestsServed() const { return served_; }
+    /** Ops consumed from the VeilOp submission rings (§11). */
+    uint64_t ringOpsServed() const { return ringOps_; }
 
   private:
+    /** One drainOpRing pass over a VCPU's submission ring. */
+    struct DrainResult
+    {
+        uint64_t drained = 0;     ///< ops consumed this pass
+        uint64_t completions = 0; ///< completions posted this pass
+        bool ok = true;           ///< false: malformed ring header
+    };
+
     void srvLoop(snp::Vcpu &cpu);
     void dispatch(snp::Vcpu &cpu, IdcbMessage &msg);
+    DrainResult drainOpRing(snp::Vcpu &cpu);
 
     snp::Machine &machine_;
     CvmLayout layout_;
@@ -40,6 +51,7 @@ class ServiceDispatcher
     EncService enc_;
     LogService log_;
     uint64_t served_ = 0;
+    uint64_t ringOps_ = 0;
 };
 
 } // namespace veil::core

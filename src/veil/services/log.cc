@@ -79,8 +79,7 @@ LogService::opAppendBatch(Vcpu &cpu, IdcbMessage &msg)
 
     AuditRingHeader h;
     cpu.readPhys(ring, &h, sizeof(h));
-    if (h.capacity != kAuditRingSlots || h.tail > h.head ||
-        h.head - h.tail > kAuditRingSlots) {
+    if (!ringHeaderValid(h, kAuditRingSlots)) {
         msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
         return;
     }

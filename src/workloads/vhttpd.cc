@@ -114,7 +114,10 @@ HttpServer::serveRequest(Conn &conn)
     std::string line = strfmt("127.0.0.1 - GET /www_f%zu 200 %zu\n",
                               file_idx, total);
     env_.copyIn(ioBuf_, line.data(), line.size());
-    env_.write(accessLogFd_, ioBuf_, line.size());
+    // Fire-and-forget: the log line is deep-copied at submission, so
+    // async completion (and immediate ioBuf_ reuse) is safe. Sync
+    // backends execute it inline, unchanged.
+    env_.writeAsync(accessLogFd_, ioBuf_, line.size());
 
     env_.close(conn.fd);
     conn.fd = -1;

@@ -109,13 +109,24 @@ struct SoakOutcome
 SoakOutcome
 runSeed(uint64_t seed)
 {
-    VeilVm vm(soakConfig());
+    VmConfig cfg = soakConfig();
+    // Even seeds run the §11 exit-less op ring under the same fault
+    // mixture: execute-ahead audit records queue in the VeilOp ring and
+    // ride doorbells, exposing the DoorbellDrop/Duplicate sites.
+    if (seed % 2 == 0) {
+        cfg.kernel.auditBackend = AuditBackend::VeilLog;
+        cfg.kernel.serviceBatching = true;
+        cfg.kernel.opBatchSize = 8;
+        cfg.kernel.opFlushDeadlineCycles = 200'000;
+    }
+    VeilVm vm(cfg);
     chaos::FaultPlan plan = chaos::FaultPlan::forSeed(seed);
-    // RMP flips target DomUNT memory but spare the audit rings (the
-    // directed ring-flip test covers those) so flipped seeds still
-    // exercise the accounting invariant instead of halting instantly.
+    // RMP flips target DomUNT memory but spare the audit and VeilOp
+    // rings (directed ring-flip tests cover those) so flipped seeds
+    // still exercise the accounting invariant instead of halting
+    // instantly.
     plan.rmpFlipLo = vm.layout().kernelBase;
-    plan.rmpFlipHi = vm.layout().logRingBase;
+    plan.rmpFlipHi = vm.layout().opRingBase;
     chaos::FaultInjector inj(plan);
     vm.hypervisor().setFaultInjector(&inj);
     vm.hypervisor().setExitCap(200'000);
