@@ -338,6 +338,8 @@ vmStatsRegistry(const snp::Machine &m)
     reg.addCounter("tlb.misses", s.tlbMisses);
     reg.addCounter("tlb.flushes", s.tlbFlushes);
     reg.addCounter("tlb.shootdowns", s.tlbShootdowns);
+    if (m.multicore())
+        reg.addCounter("vm.exclusiveEpochs", m.exclusiveEpochs());
     reg.addCounter("crypto.aesKeySchedules", c.aesKeySchedules);
     reg.addCounter("crypto.hmacKeyInits", c.hmacKeyInits);
     reg.addCounter("crypto.sha256Blocks", c.sha256Blocks);

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Tiny test-and-test-and-set spinlock for short critical sections on
+ * multicore hot paths (trace ring appends, chaos rng draws). Meets the
+ * BasicLockable requirements so it works with std::lock_guard.
+ */
+#ifndef VEIL_BASE_SPINLOCK_HH_
+#define VEIL_BASE_SPINLOCK_HH_
+
+#include <atomic>
+
+namespace veil::base {
+
+class Spinlock
+{
+  public:
+    void lock() noexcept
+    {
+        for (;;) {
+            if (!locked_.exchange(true, std::memory_order_acquire))
+                return;
+            while (locked_.load(std::memory_order_relaxed)) {
+            }
+        }
+    }
+    bool try_lock() noexcept
+    {
+        return !locked_.exchange(true, std::memory_order_acquire);
+    }
+    void unlock() noexcept
+    {
+        locked_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> locked_{false};
+};
+
+} // namespace veil::base
+
+#endif // VEIL_BASE_SPINLOCK_HH_

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * StatCounter: a drop-in replacement for plain `uint64_t` event
+ * counters that tolerates concurrent increments from multiple host
+ * threads (multicore mode, DESIGN.md §12) without data races.
+ *
+ * Counters are *statistics*, not synchronization: every mutation and
+ * read uses relaxed atomics, so the single-threaded fast path compiles
+ * to the same add instruction as before and cycle-pinned tests stay
+ * bit-identical. Unlike std::atomic<uint64_t>, StatCounter is copyable
+ * (stats structs are snapshotted by value in tests and benches).
+ */
+#ifndef VEIL_BASE_STAT_COUNTER_HH_
+#define VEIL_BASE_STAT_COUNTER_HH_
+
+#include <atomic>
+#include <cstdint>
+
+namespace veil::base {
+
+/** Relaxed-atomic, copyable event counter. */
+class StatCounter
+{
+  public:
+    constexpr StatCounter() noexcept : v_(0) {}
+    constexpr StatCounter(uint64_t v) noexcept : v_(v) {} // NOLINT
+
+    StatCounter(const StatCounter &o) noexcept
+        : v_(o.v_.load(std::memory_order_relaxed))
+    {
+    }
+    StatCounter &operator=(const StatCounter &o) noexcept
+    {
+        v_.store(o.v_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+        return *this;
+    }
+    StatCounter &operator=(uint64_t v) noexcept
+    {
+        v_.store(v, std::memory_order_relaxed);
+        return *this;
+    }
+
+    /** Implicit read so `EXPECT_EQ(stats.exits, 3u)` etc. compile. */
+    operator uint64_t() const noexcept // NOLINT
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    uint64_t value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    StatCounter &operator++() noexcept
+    {
+        v_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+    uint64_t operator++(int) noexcept
+    {
+        return v_.fetch_add(1, std::memory_order_relaxed);
+    }
+    StatCounter &operator+=(uint64_t d) noexcept
+    {
+        v_.fetch_add(d, std::memory_order_relaxed);
+        return *this;
+    }
+    StatCounter &operator-=(uint64_t d) noexcept
+    {
+        v_.fetch_sub(d, std::memory_order_relaxed);
+        return *this;
+    }
+
+  private:
+    std::atomic<uint64_t> v_;
+};
+
+} // namespace veil::base
+
+#endif // VEIL_BASE_STAT_COUNTER_HH_

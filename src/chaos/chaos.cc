@@ -26,6 +26,8 @@ faultSiteName(FaultSite site)
         return "doorbell-drop";
       case FaultSite::DoorbellDuplicate:
         return "doorbell-duplicate";
+      case FaultSite::ThreadPreempt:
+        return "thread-preempt";
       case FaultSite::kCount:
         break;
     }
@@ -49,6 +51,7 @@ FaultPlan::forSeed(uint64_t seed)
         /* RmpFlip        */ 0.002,
         /* DoorbellDrop   */ 0.05,
         /* DoorbellDuplicate */ 0.03,
+        /* ThreadPreempt  */ 0.04,
     };
     static constexpr uint32_t kBudget[kFaultSiteCount] = {
         /* RelayDrop      */ 48,
@@ -61,6 +64,7 @@ FaultPlan::forSeed(uint64_t seed)
         /* RmpFlip        */ 2,
         /* DoorbellDrop   */ 48,
         /* DoorbellDuplicate */ 16,
+        /* ThreadPreempt  */ 128,
     };
 
     FaultPlan plan;

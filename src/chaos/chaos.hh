@@ -52,6 +52,10 @@ enum class FaultSite : uint8_t {
     DoorbellDrop,   ///< deny a doorbell-hinted switch (lost doorbell)
     DoorbellDuplicate, ///< bounce Dom-SRV's return switch back into SRV
                        ///< once, replaying the doorbell it just served
+    ThreadPreempt,  ///< deschedule the VCPU at a charge boundary: a
+                    ///< deterministic simulated stall in single-thread
+                    ///< mode, a real host-thread yield in multicore
+                    ///< mode (stochastic interleaving by design)
     kCount,
 };
 

@@ -18,19 +18,22 @@
 
 #include <cstdint>
 
+#include "base/stat_counter.hh"
+
 namespace veil::crypto {
 
 struct CryptoStats
 {
     /// Aes128 contexts expanded from a raw key (T-table + AES-NI forms).
-    uint64_t aesKeySchedules = 0;
+    base::StatCounter aesKeySchedules;
     /// HMAC inner/outer midstates derived from a raw key.
-    uint64_t hmacKeyInits = 0;
+    base::StatCounter hmacKeyInits;
     /// 64-byte SHA-256 compression blocks processed (any path).
-    uint64_t sha256Blocks = 0;
+    base::StatCounter sha256Blocks;
 };
 
-/** Process-wide counters (the simulator is single-threaded). */
+/** Process-wide counters (relaxed-atomic: multicore VCPU worker
+ *  threads may run crypto concurrently). */
 inline CryptoStats &
 cryptoStats()
 {

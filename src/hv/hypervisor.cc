@@ -1,6 +1,9 @@
 #include "hv/hypervisor.hh"
 
+#include <thread>
+
 #include "base/log.hh"
+#include "snp/exclusive.hh"
 
 namespace veil::hv {
 
@@ -15,21 +18,57 @@ Hypervisor::Hypervisor(Machine &machine) : machine_(machine), view_(machine)
 void
 Hypervisor::restrictGhcbToEnclaveSwitches(Gpa ghcb_page)
 {
+    std::unique_lock<std::shared_mutex> lock(registryMu_);
     enclaveOnlyGhcbs_.insert(pageAlignDown(ghcb_page));
+}
+
+bool
+Hypervisor::ghcbEnclaveOnly(Gpa ghcb_gpa) const
+{
+    std::shared_lock<std::shared_mutex> lock(registryMu_);
+    return enclaveOnlyGhcbs_.count(pageAlignDown(ghcb_gpa)) != 0;
 }
 
 void
 Hypervisor::registerVmsa(uint32_t vcpu, Vmpl vmpl, VmsaId id)
 {
-    registry_[{vcpu, vmplIndex(vmpl)}] = id;
+    {
+        std::unique_lock<std::shared_mutex> lock(registryMu_);
+        registry_[{vcpu, vmplIndex(vmpl)}] = id;
+    }
     ++stats_.vmsaRegistrations;
 }
 
 VmsaId
 Hypervisor::lookupVmsa(uint32_t vcpu, Vmpl vmpl) const
 {
+    std::shared_lock<std::shared_mutex> lock(registryMu_);
     auto it = registry_.find({vcpu, vmplIndex(vmpl)});
     return it == registry_.end() ? kInvalidVmsa : it->second;
+}
+
+VmsaId
+Hypervisor::curGet(uint32_t vcpu) const
+{
+    return std::atomic_ref<VmsaId>(const_cast<VmsaId &>(current_[vcpu]))
+        .load(std::memory_order_acquire);
+}
+
+void
+Hypervisor::curSet(uint32_t vcpu, VmsaId id)
+{
+    std::atomic_ref<VmsaId>(current_[vcpu])
+        .store(id, std::memory_order_release);
+}
+
+bool
+Hypervisor::allVcpusOffline() const
+{
+    for (uint32_t v = 0; v < current_.size(); ++v) {
+        if (curGet(v) != kInvalidVmsa)
+            return false;
+    }
+    return true;
 }
 
 // ---- VeilChaos (DESIGN.md §10) ----
@@ -39,16 +78,35 @@ Hypervisor::lookupVmsa(uint32_t vcpu, Vmpl vmpl) const
 // shared GHCB pages, and host-side RMPUPDATE. With chaos_ == nullptr
 // none of these paths execute and the relay loop is byte-for-byte the
 // well-behaved one (the default-path cycle pins depend on this).
+//
+// The injector owns one RNG stream; chaosMu_ serializes draws so
+// multicore workers share it safely (the *order* of draws is then a
+// race — chaos runs in multicore mode are stochastic by design, and
+// deterministic replay of a seed is a single-threaded-mode property).
 
 bool
 Hypervisor::chaosRoll(chaos::FaultSite site, uint32_t vcpu)
 {
-    if (chaos_ == nullptr || !chaos_->roll(site))
+    if (chaos_ == nullptr)
+        return false;
+    bool hit;
+    {
+        std::lock_guard<base::Spinlock> guard(chaosMu_);
+        hit = chaos_->roll(site);
+    }
+    if (!hit)
         return false;
     ++stats_.chaosInjections;
     machine_.tracer().instantAt(vcpu, 0, trace::Category::FaultInject,
                                 static_cast<uint64_t>(site));
     return true;
+}
+
+uint64_t
+Hypervisor::chaosPick(uint64_t bound)
+{
+    std::lock_guard<base::Spinlock> guard(chaosMu_);
+    return chaos_->pick(bound);
 }
 
 void
@@ -62,22 +120,27 @@ Hypervisor::chaosMaybeRmpFlip(uint32_t vcpu)
     if (!chaosRoll(chaos::FaultSite::RmpFlip, vcpu))
         return;
     uint64_t pages = (plan.rmpFlipHi - plan.rmpFlipLo) / kPageSize;
-    Gpa page = plan.rmpFlipLo + chaos_->pick(pages) * kPageSize;
+    Gpa page = plan.rmpFlipLo + chaosPick(pages) * kPageSize;
     RmpTable &rmp = machine_.rmp();
     // RMPUPDATE on a VMSA page is architecturally rejected, and flipping
     // an already-shared page is a no-op; the budget is spent regardless.
     if (rmp.isVmsaPage(page) || rmp.isShared(page))
         return;
-    rmp.hvSetShared(page, true);
     // What the host now sees of a once-private page is ciphertext: the
     // flip re-keys the page. Model that by scrambling the backing bytes
     // (deterministically, from the chaos stream). The guest never reads
     // them either — its C-bit still says private, so its next access
-    // faults (snp/rmp.cc).
+    // faults (snp/rmp.cc). The flip and the scramble run under the
+    // machine's exclusive section so no VCPU thread is mid-access while
+    // the page changes identity (the real RMPUPDATE + TLB-shootdown
+    // completion protocol).
     std::vector<uint8_t> junk(kPageSize);
     for (auto &b : junk)
-        b = static_cast<uint8_t>(chaos_->pick(256));
-    machine_.memory().write(page, junk.data(), junk.size());
+        b = static_cast<uint8_t>(chaosPick(256));
+    machine_.exclusive([&] {
+        rmp.hvSetShared(page, true);
+        machine_.memory().write(page, junk.data(), junk.size());
+    });
 }
 
 VmsaId
@@ -89,28 +152,64 @@ Hypervisor::chaosPickMisroute(uint32_t vcpu, VmsaId intended)
     // the wrong replica rather than corrupting an unrelated protocol.
     VmsaId candidates[2];
     size_t n = 0;
-    for (int vmpl = 0; vmpl <= 1; ++vmpl) {
-        auto it = registry_.find({vcpu, vmpl});
-        if (it != registry_.end() && it->second != intended)
-            candidates[n++] = it->second;
+    {
+        std::shared_lock<std::shared_mutex> lock(registryMu_);
+        for (int vmpl = 0; vmpl <= 1; ++vmpl) {
+            auto it = registry_.find({vcpu, vmpl});
+            if (it != registry_.end() && it->second != intended)
+                candidates[n++] = it->second;
+        }
     }
     if (n == 0)
         return kInvalidVmsa;
-    return candidates[chaos_->pick(n)];
+    return candidates[chaosPick(n)];
+}
+
+/**
+ * The NonAutomatic (VMGEXIT) relay decision point, shared by both run
+ * loops: chaos may delay, drop, or duplicate the relay around the real
+ * GHCB handling, then roll an RMP flip.
+ */
+void
+Hypervisor::relayNonAutomatic(uint32_t vcpu, VmsaId exiting)
+{
+    if (chaos_ == nullptr) {
+        handleGhcbExit(vcpu, exiting);
+        return;
+    }
+    if (chaosRoll(chaos::FaultSite::RelayDelay, vcpu))
+        machine_.charge(chaos_->delayCycles());
+    if (chaosRoll(chaos::FaultSite::RelayDrop, vcpu)) {
+        // Swallowed: the context is re-entered with its armed
+        // kGhcbNoResult sentinel intact and re-issues.
+    } else {
+        handleGhcbExit(vcpu, exiting);
+        if (chaosRoll(chaos::FaultSite::RelayDuplicate, vcpu)) {
+            // Handle the same GHCB request twice; every request
+            // is idempotent at the hypervisor (same routing,
+            // same registry writes, same page-state).
+            handleGhcbExit(vcpu, exiting);
+        }
+    }
+    chaosMaybeRmpFlip(vcpu);
 }
 
 Hypervisor::RunResult
 Hypervisor::run(VmsaId boot_vmsa)
 {
+    if (machine_.multicore())
+        return runMulticore(boot_vmsa);
+
     const Vmsa &boot = machine_.vmsaState(boot_vmsa);
     registerVmsa(boot.vcpuId, boot.vmpl, boot_vmsa);
     current_.assign(machine_.config().numVcpus, kInvalidVmsa);
     current_[boot.vcpuId] = boot_vmsa;
-    terminated_ = false;
+    terminated_.store(false, std::memory_order_relaxed);
 
     uint32_t n = static_cast<uint32_t>(current_.size());
     uint32_t rr = 0;
-    while (!terminated_ && !machine_.halted()) {
+    while (!terminated_.load(std::memory_order_relaxed) &&
+           !machine_.halted()) {
         // Round-robin over online VCPUs.
         uint32_t vcpu = n;
         for (uint32_t i = 0; i < n; ++i) {
@@ -129,6 +228,14 @@ Hypervisor::run(VmsaId boot_vmsa)
             // makes progress or halts with an attributed reason long
             // before any sane cap.
             return RunResult{false, 0, false, true};
+        }
+
+        // A hostile scheduler may deschedule the VCPU thread at any
+        // charge boundary. Single-threaded, the preemption is a
+        // deterministic simulated stall drawn from the chaos stream.
+        if (chaos_ != nullptr &&
+            chaosRoll(chaos::FaultSite::ThreadPreempt, vcpu)) {
+            machine_.charge(chaos_->delayCycles());
         }
 
         // A hostile scheduler may deliver unsolicited vectors to
@@ -152,29 +259,142 @@ Hypervisor::run(VmsaId boot_vmsa)
             handleIntrExit(vcpu, e.vmsa);
             break;
           case ExitReason::NonAutomatic:
-            if (chaos_ == nullptr) {
-                handleGhcbExit(vcpu, e.vmsa);
-                break;
-            }
-            if (chaosRoll(chaos::FaultSite::RelayDelay, vcpu))
-                machine_.charge(chaos_->delayCycles());
-            if (chaosRoll(chaos::FaultSite::RelayDrop, vcpu)) {
-                // Swallowed: the context is re-entered with its armed
-                // kGhcbNoResult sentinel intact and re-issues.
-            } else {
-                handleGhcbExit(vcpu, e.vmsa);
-                if (chaosRoll(chaos::FaultSite::RelayDuplicate, vcpu)) {
-                    // Handle the same GHCB request twice; every request
-                    // is idempotent at the hypervisor (same routing,
-                    // same registry writes, same page-state).
-                    handleGhcbExit(vcpu, e.vmsa);
-                }
-            }
-            chaosMaybeRmpFlip(vcpu);
+            relayNonAutomatic(vcpu, e.vmsa);
             break;
         }
     }
-    return RunResult{terminated_, status_, machine_.halted()};
+    return RunResult{terminated_.load(std::memory_order_relaxed),
+                     status_.load(std::memory_order_relaxed),
+                     machine_.halted()};
+}
+
+Hypervisor::RunResult
+Hypervisor::runMulticore(VmsaId boot_vmsa)
+{
+    const Vmsa &boot = machine_.vmsaState(boot_vmsa);
+    registerVmsa(boot.vcpuId, boot.vmpl, boot_vmsa);
+    current_.assign(machine_.config().numVcpus, kInvalidVmsa);
+    current_[boot.vcpuId] = boot_vmsa;
+    terminated_.store(false, std::memory_order_relaxed);
+    exitCapHit_.store(false, std::memory_order_relaxed);
+    stop_.store(false, std::memory_order_relaxed);
+
+    // Guest trace contexts must exist before any worker can touch them:
+    // the tracer's per-VMSA contexts are indexed without locks on the
+    // assumption that the vector never reallocates under a worker.
+    machine_.tracer().presizeGuest(machine_.vmsaCount());
+
+    uint32_t n = machine_.config().numVcpus;
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (uint32_t v = 0; v < n; ++v)
+        workers.emplace_back([this, v] { workerLoop(v); });
+    for (std::thread &t : workers)
+        t.join();
+
+    return RunResult{terminated_.load(std::memory_order_acquire),
+                     status_.load(std::memory_order_relaxed),
+                     machine_.halted(),
+                     exitCapHit_.load(std::memory_order_relaxed)};
+}
+
+void
+Hypervisor::requestStop()
+{
+    // Lock-then-notify so a worker between its predicate check and its
+    // cv wait cannot miss the stop. Never call this from inside an
+    // exclusive section: a quiescent worker waking from startCv_ must
+    // be able to finish endQuiescent() without us holding startMu_.
+    {
+        std::lock_guard<std::mutex> guard(startMu_);
+        stop_.store(true, std::memory_order_release);
+    }
+    startCv_.notify_all();
+}
+
+/**
+ * One VCPU's relay loop on its own host thread: the multicore analogue
+ * of the round-robin body in run(). The worker binds to its VCPU's TSC
+ * shard (so charge() is thread-local and hits safe-points), relays
+ * exits for whatever context is current on this VCPU, and parks on
+ * startCv_ while the VCPU is offline — leaving the safe-point running
+ * set first, so exclusive sections never wait on a parked worker.
+ */
+void
+Hypervisor::workerLoop(uint32_t vcpu)
+{
+    machine_.bindThread(vcpu);
+    ExclusiveCoordinator *excl = machine_.exclusiveCoordinator();
+
+    while (!stop_.load(std::memory_order_acquire)) {
+        VmsaId id = curGet(vcpu);
+        if (id == kInvalidVmsa) {
+            std::unique_lock<std::mutex> lk(startMu_);
+            if (stop_.load(std::memory_order_acquire) ||
+                curGet(vcpu) != kInvalidVmsa) {
+                continue;
+            }
+            excl->beginQuiescent();
+            startCv_.wait(lk, [&] {
+                return stop_.load(std::memory_order_acquire) ||
+                       curGet(vcpu) != kInvalidVmsa;
+            });
+            // Drop startMu_ before rejoining the running set:
+            // endQuiescent blocks on any in-flight exclusive section,
+            // and other workers need startMu_ to stop/start VCPUs in
+            // the meantime.
+            lk.unlock();
+            excl->endQuiescent();
+            continue;
+        }
+
+        if (exitCap_ != 0 && stats_.exits >= exitCap_) {
+            exitCapHit_.store(true, std::memory_order_relaxed);
+            requestStop();
+            break;
+        }
+
+        // Multicore ThreadPreempt is a *real* preemption: yield the
+        // host thread at the charge boundary and let the OS scheduler
+        // pick the interleaving (stochastic, unlike the single-threaded
+        // deterministic stall).
+        if (chaos_ != nullptr &&
+            chaosRoll(chaos::FaultSite::ThreadPreempt, vcpu)) {
+            std::this_thread::yield();
+        }
+        if (chaos_ != nullptr &&
+            chaosRoll(chaos::FaultSite::SpuriousIntr, vcpu)) {
+            machine_.injectVector(id);
+        }
+
+        VmExit e = machine_.enter(id);
+        machine_.charge(machine_.costs().hvDispatch);
+        ++stats_.exits;
+
+        switch (e.reason) {
+          case ExitReason::Halted:
+            curSet(vcpu, kInvalidVmsa);
+            if (allVcpusOffline())
+                requestStop();
+            break;
+          case ExitReason::NpfHalt:
+            requestStop();
+            break;
+          case ExitReason::AutomaticIntr:
+            handleIntrExit(vcpu, e.vmsa);
+            break;
+          case ExitReason::NonAutomatic:
+            relayNonAutomatic(vcpu, e.vmsa);
+            break;
+        }
+
+        if (terminated_.load(std::memory_order_acquire) ||
+            machine_.halted()) {
+            requestStop();
+        }
+    }
+
+    machine_.unbindThread();
 }
 
 void
@@ -204,7 +424,7 @@ Hypervisor::handleIntrExit(uint32_t vcpu, VmsaId exiting)
     }
 
     machine_.injectVector(target);
-    current_[vcpu] = target;
+    curSet(vcpu, target);
 }
 
 void
@@ -223,7 +443,7 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
           uint32_t target_vcpu = static_cast<uint32_t>(g.info[0]);
           Vmpl target_vmpl = static_cast<Vmpl>(g.info[1] & 3);
           bool allowed = true;
-          if (enclaveOnlyGhcbs_.count(pageAlignDown(st.ghcbGpa)) &&
+          if (ghcbEnclaveOnly(st.ghcbGpa) &&
               target_vmpl != Vmpl::Vmpl2 && target_vmpl != Vmpl::Vmpl3) {
               allowed = false; // §6.2 errant-hypercall defense
           }
@@ -244,8 +464,7 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
           VmsaId target = allowed ? lookupVmsa(target_vcpu, target_vmpl)
                                   : kInvalidVmsa;
           if (target != kInvalidVmsa && chaos_ != nullptr &&
-              st.vmpl == Vmpl::Vmpl3 &&
-              !enclaveOnlyGhcbs_.count(pageAlignDown(st.ghcbGpa)) &&
+              st.vmpl == Vmpl::Vmpl3 && !ghcbEnclaveOnly(st.ghcbGpa) &&
               chaosRoll(chaos::FaultSite::SwitchMisroute, vcpu)) {
               VmsaId alt = chaosPickMisroute(vcpu, target);
               if (alt != kInvalidVmsa)
@@ -275,7 +494,7 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
                   trace::Category::DeniedSwitch,
                   static_cast<uint64_t>(target_vmpl));
           } else {
-              current_[vcpu] = target;
+              curSet(vcpu, target);
               ++stats_.domainSwitches;
               machine_.tracer().instantAt(
                   st.vcpuId, vmplIndex(st.vmpl),
@@ -298,15 +517,27 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
           if (id == kInvalidVmsa || target_vcpu >= current_.size()) {
               g.result = static_cast<uint64_t>(HvResult::Denied);
           } else {
-              current_[target_vcpu] = id;
+              curSet(target_vcpu, id);
               ++stats_.vcpuStarts;
+              if (machine_.multicore()) {
+                  // Wake the target VCPU's worker if it is parked
+                  // offline. Lock-then-notify pairs with the worker's
+                  // predicate re-check under startMu_.
+                  { std::lock_guard<std::mutex> guard(startMu_); }
+                  startCv_.notify_all();
+              }
           }
           break;
       }
       case GhcbExit::PageStateChange: {
           Gpa page = pageAlignDown(g.info[0]);
           bool to_shared = g.info[1] != 0;
-          machine_.rmp().hvSetShared(page, to_shared);
+          // Host-side RMPUPDATE needs the full shootdown-completion
+          // protocol: run it as exclusive work so every VCPU thread is
+          // parked at a safe point (and will observe the new TLB
+          // generation on resume) before the entry changes.
+          machine_.exclusive(
+              [&] { machine_.rmp().hvSetShared(page, to_shared); });
           ++stats_.pageStateChanges;
           break;
       }
@@ -319,13 +550,16 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
           }
           std::string text(len, '\0');
           view_.read(buf, text.data(), len);
-          console_ += text;
+          {
+              std::lock_guard<std::mutex> guard(consoleMu_);
+              console_ += text;
+          }
           ++stats_.consoleWrites;
           break;
       }
       case GhcbExit::Terminate:
-        terminated_ = true;
-        status_ = g.info[0];
+        status_.store(g.info[0], std::memory_order_relaxed);
+        terminated_.store(true, std::memory_order_release);
         break;
       case GhcbExit::RestrictGhcb:
         restrictGhcbToEnclaveSwitches(g.info[0]);
@@ -340,7 +574,7 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
         // with exactly the values that exercise its decision points:
         // a fake denial, a fake redirect, a fake "never handled"
         // sentinel, or arbitrary garbage.
-        switch (chaos_->pick(4)) {
+        switch (chaosPick(4)) {
           case 0:
             g.result = static_cast<uint64_t>(HvResult::Denied);
             break;
@@ -351,7 +585,7 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
             g.result = kGhcbNoResult;
             break;
           default:
-            g.result = chaos_->pick(~uint64_t(0));
+            g.result = chaosPick(~uint64_t(0));
             break;
         }
     }

@@ -964,7 +964,7 @@ Kernel::opSubmit(const IdcbMessage &msg, uint32_t *seq_out)
     ++stats_.opSubmitted;
     if (msg.op < core::kVeilOpCount)
         ++stats_.veilOpCalls[msg.op];
-    stats_.opMaxDepth = std::max(stats_.opMaxDepth, ring.pending);
+    stats_.opMaxDepth = std::max<uint64_t>(stats_.opMaxDepth, ring.pending);
     if (seq_out)
         *seq_out = slot.seq;
     return true;

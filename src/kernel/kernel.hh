@@ -12,6 +12,7 @@
 
 #include <functional>
 
+#include "base/stat_counter.hh"
 #include "kernel/audit.hh"
 #include "kernel/process.hh"
 #include "kernel/uapi.hh"
@@ -52,41 +53,42 @@ struct KernelConfig
     Bytes moduleKey = {'m', 'o', 'd', '-', 'k', 'e', 'y'};
 };
 
-/** Cumulative kernel event counters. */
+/** Cumulative kernel event counters (relaxed-atomic StatCounters so
+ *  host-side readers never tear a value while a VCPU thread bumps it). */
 struct KernelStats
 {
-    uint64_t syscalls = 0;
-    uint64_t auditRecords = 0;
-    uint64_t auditCycles = 0;    ///< cycles spent producing/sending records
-    uint64_t auditTruncations = 0; ///< records clamped to fit transport
-    uint64_t auditRingDrops = 0;   ///< batched mode: ring full, record lost
-    uint64_t auditBatchFlushes = 0;  ///< LogAppendBatch calls issued
-    uint64_t auditFlushedRecords = 0;///< records carried by those flushes
-    uint64_t auditFlushSize = 0;     ///< flushes triggered by batch size
-    uint64_t auditFlushDeadline = 0; ///< flushes triggered by the deadline
-    uint64_t auditFlushBarrier = 0;  ///< flushes triggered by drain barriers
-    uint64_t auditFlushRetries = 0;  ///< flushes re-issued after denial
-    uint64_t monitorCalls = 0;
-    uint64_t serviceCalls = 0;
-    uint64_t enclaveFaults = 0;
-    uint64_t modulesLoaded = 0;
+    base::StatCounter syscalls;
+    base::StatCounter auditRecords;
+    base::StatCounter auditCycles; ///< cycles producing/sending records
+    base::StatCounter auditTruncations; ///< records clamped to fit transport
+    base::StatCounter auditRingDrops;   ///< batched mode: ring full, lost
+    base::StatCounter auditBatchFlushes;  ///< LogAppendBatch calls issued
+    base::StatCounter auditFlushedRecords;///< records carried by flushes
+    base::StatCounter auditFlushSize;     ///< flushes from batch size
+    base::StatCounter auditFlushDeadline; ///< flushes from the deadline
+    base::StatCounter auditFlushBarrier;  ///< flushes from drain barriers
+    base::StatCounter auditFlushRetries;  ///< flushes re-issued after denial
+    base::StatCounter monitorCalls;
+    base::StatCounter serviceCalls;
+    base::StatCounter enclaveFaults;
+    base::StatCounter modulesLoaded;
     // ---- VeilOp ring batching (§11) ----
-    uint64_t opSubmitted = 0;       ///< ops queued in the submission ring
-    uint64_t opDoorbells = 0;       ///< OpRingDoorbell calls issued
-    uint64_t opDoorbellRetries = 0; ///< re-rings after a partial drain
-    uint64_t opSyncFallbacks = 0;   ///< deferrable ops forced sync (ring
-                                    ///< full, oversized, or mode illegal)
-    uint64_t opCompletions = 0;     ///< completions harvested
-    uint64_t opCplErrors = 0;       ///< completions with status != Ok
-    uint64_t opCplResyncs = 0;      ///< completion-header resyncs (stale
-                                    ///< or inconsistent index)
-    uint64_t opFlushSize = 0;       ///< doorbells triggered by batch size
-    uint64_t opFlushDeadline = 0;   ///< doorbells triggered by the deadline
-    uint64_t opFlushBarrier = 0;    ///< doorbells triggered by barriers
-    uint64_t opMaxDepth = 0;        ///< deepest submission queue observed
+    base::StatCounter opSubmitted;       ///< ops queued in the ring
+    base::StatCounter opDoorbells;       ///< OpRingDoorbell calls issued
+    base::StatCounter opDoorbellRetries; ///< re-rings after partial drain
+    base::StatCounter opSyncFallbacks;   ///< deferrable ops forced sync
+                                         ///< (full, oversized, or illegal)
+    base::StatCounter opCompletions;     ///< completions harvested
+    base::StatCounter opCplErrors;       ///< completions with status != Ok
+    base::StatCounter opCplResyncs;      ///< completion-header resyncs
+                                         ///< (stale or inconsistent index)
+    base::StatCounter opFlushSize;       ///< doorbells from batch size
+    base::StatCounter opFlushDeadline;   ///< doorbells from the deadline
+    base::StatCounter opFlushBarrier;    ///< doorbells from barriers
+    base::StatCounter opMaxDepth;        ///< deepest submission queue seen
     /// Per-VeilOp call counts across both transports (sync IDCB calls
     /// count at issue, batched ops at submission).
-    uint64_t veilOpCalls[core::kVeilOpCount] = {};
+    base::StatCounter veilOpCalls[core::kVeilOpCount];
 };
 
 /** The kernel. */

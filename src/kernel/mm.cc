@@ -1,5 +1,9 @@
 #include "kernel/mm.hh"
 
+#include <functional>
+#include <mutex>
+#include <thread>
+
 #include "base/log.hh"
 #include "kernel/uapi.hh"
 #include "veil/services/enc.hh" // kUserVaLo/Hi
@@ -20,29 +24,101 @@ FrameAllocator::FrameAllocator(Gpa lo, Gpa hi) : lo_(lo), hi_(hi), next_(lo)
            "FrameAllocator: bad range");
 }
 
+void
+FrameAllocator::setMulticore(bool on)
+{
+    if (on == mt_)
+        return;
+    mt_ = on;
+    if (on) {
+        // Seed stripe 0 with whatever the single-threaded free list
+        // accumulated; stripes fill organically from frees after that.
+        stripeFree_[0].insert(stripeFree_[0].end(), freeList_.begin(),
+                              freeList_.end());
+        freeList_.clear();
+    } else {
+        for (auto &stripe : stripeFree_) {
+            freeList_.insert(freeList_.end(), stripe.begin(), stripe.end());
+            stripe.clear();
+        }
+    }
+}
+
+size_t
+FrameAllocator::stripeFor() const
+{
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+           kStripes;
+}
+
+Gpa
+FrameAllocator::bumpAlloc(size_t pages)
+{
+    std::lock_guard<base::Spinlock> guard(bumpMu_);
+    if (next_ + pages * kPageSize > hi_)
+        return kPageSize - 1; // unaligned sentinel: bump region empty
+    Gpa f = next_;
+    next_ += pages * kPageSize;
+    return f;
+}
+
 Gpa
 FrameAllocator::alloc()
 {
-    if (!freeList_.empty()) {
-        Gpa f = freeList_.back();
-        freeList_.pop_back();
+    if (!mt_) {
+        if (!freeList_.empty()) {
+            Gpa f = freeList_.back();
+            freeList_.pop_back();
+            return f;
+        }
+        if (next_ >= hi_)
+            panic("FrameAllocator: out of physical frames");
+        Gpa f = next_;
+        next_ += kPageSize;
         return f;
     }
-    if (next_ >= hi_)
-        panic("FrameAllocator: out of physical frames");
-    Gpa f = next_;
-    next_ += kPageSize;
-    return f;
+    // Multicore: own stripe first, then the bump region, then steal
+    // from other stripes in index order (lock order: one stripe lock
+    // at a time, never nested).
+    size_t home = stripeFor();
+    {
+        std::lock_guard<base::Spinlock> guard(stripeMu_[home]);
+        if (!stripeFree_[home].empty()) {
+            Gpa f = stripeFree_[home].back();
+            stripeFree_[home].pop_back();
+            return f;
+        }
+    }
+    Gpa f = bumpAlloc(1);
+    if (isPageAligned(f))
+        return f;
+    for (size_t i = 0; i < kStripes; ++i) {
+        if (i == home)
+            continue;
+        std::lock_guard<base::Spinlock> guard(stripeMu_[i]);
+        if (!stripeFree_[i].empty()) {
+            Gpa stolen = stripeFree_[i].back();
+            stripeFree_[i].pop_back();
+            return stolen;
+        }
+    }
+    panic("FrameAllocator: out of physical frames");
 }
 
 Gpa
 FrameAllocator::allocRange(size_t pages)
 {
-    // Contiguous ranges come from the bump region only.
-    if (next_ + pages * kPageSize > hi_)
+    if (!mt_) {
+        // Contiguous ranges come from the bump region only.
+        if (next_ + pages * kPageSize > hi_)
+            panic("FrameAllocator: out of contiguous frames");
+        Gpa f = next_;
+        next_ += pages * kPageSize;
+        return f;
+    }
+    Gpa f = bumpAlloc(pages);
+    if (!isPageAligned(f))
         panic("FrameAllocator: out of contiguous frames");
-    Gpa f = next_;
-    next_ += pages * kPageSize;
     return f;
 }
 
@@ -50,13 +126,27 @@ void
 FrameAllocator::free(Gpa frame)
 {
     ensure(frame >= lo_ && frame < hi_, "FrameAllocator: foreign frame");
-    freeList_.push_back(frame);
+    if (!mt_) {
+        freeList_.push_back(frame);
+        return;
+    }
+    size_t home = stripeFor();
+    std::lock_guard<base::Spinlock> guard(stripeMu_[home]);
+    stripeFree_[home].push_back(frame);
 }
 
 size_t
 FrameAllocator::freeFrames() const
 {
-    return freeList_.size() + (hi_ - next_) / kPageSize;
+    if (!mt_)
+        return freeList_.size() + (hi_ - next_) / kPageSize;
+    size_t n = 0;
+    for (size_t i = 0; i < kStripes; ++i) {
+        std::lock_guard<base::Spinlock> guard(stripeMu_[i]);
+        n += stripeFree_[i].size();
+    }
+    std::lock_guard<base::Spinlock> guard(bumpMu_);
+    return n + (hi_ - next_) / kPageSize;
 }
 
 AddressSpace::AddressSpace(Machine &machine, FrameAllocator &frames)

@@ -8,19 +8,36 @@
 #ifndef VEIL_KERNEL_MM_HH_
 #define VEIL_KERNEL_MM_HH_
 
+#include <array>
 #include <map>
 #include <vector>
 
+#include "base/spinlock.hh"
 #include "snp/paging.hh"
 #include "snp/vcpu.hh"
 
 namespace veil::kern {
 
-/** Free-list physical frame allocator. */
+/**
+ * Free-list physical frame allocator.
+ *
+ * Single-threaded by default: one LIFO free list plus a bump pointer,
+ * bit-identical to the pre-multicore allocator. setMulticore(true)
+ * shards the free list into per-thread stripes (selected by a hash of
+ * the calling thread's id) with per-stripe spinlocks; the bump pointer
+ * moves behind its own lock and exhausted stripes steal from others in
+ * index order. Allocation *order* is then scheduling-dependent, but
+ * every frame is still handed out exactly once (veil_mt_test asserts
+ * disjointness under TSan).
+ */
 class FrameAllocator
 {
   public:
     FrameAllocator(snp::Gpa lo, snp::Gpa hi);
+
+    /** Toggle sharded locking. Call only while no other thread is
+     *  using the allocator. */
+    void setMulticore(bool on);
 
     snp::Gpa alloc();              ///< panics on exhaustion
     void free(snp::Gpa frame);
@@ -29,9 +46,18 @@ class FrameAllocator
     snp::Gpa lo() const { return lo_; }
     snp::Gpa hi() const { return hi_; }
 
+    static constexpr size_t kStripes = 16;
+
   private:
+    size_t stripeFor() const;
+    snp::Gpa bumpAlloc(size_t pages);
+
     snp::Gpa lo_, hi_, next_;
     std::vector<snp::Gpa> freeList_;
+    bool mt_ = false;
+    mutable base::Spinlock bumpMu_;
+    mutable std::array<base::Spinlock, kStripes> stripeMu_;
+    std::array<std::vector<snp::Gpa>, kStripes> stripeFree_;
 };
 
 /** One user mapping record (for munmap/mprotect bookkeeping). */

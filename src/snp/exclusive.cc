@@ -1,0 +1,36 @@
+#include "snp/exclusive.hh"
+
+namespace veil::snp {
+
+namespace {
+/// Whether the calling thread is a registered VCPU worker of *some*
+/// coordinator. One machine runs at a time per thread, so a plain flag
+/// suffices; begin() only uses it to decide whether to expect the
+/// caller itself among the running count.
+thread_local bool t_isWorker = false;
+} // namespace
+
+void ExclusiveCoordinator::bindWorker(bool is_worker)
+{
+    t_isWorker = is_worker;
+}
+
+bool ExclusiveCoordinator::callerRegistered()
+{
+    return t_isWorker;
+}
+
+void ExclusiveCoordinator::slowSafepoint()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    while (exclusiveActive_ || pending_.load(std::memory_order_relaxed)) {
+        ++parked_;
+        cv_.notify_all(); // wake the requester waiting on parked counts
+        cv_.wait(lk, [this] { return !exclusiveActive_; });
+        --parked_;
+        if (!pending_.load(std::memory_order_relaxed))
+            break;
+    }
+}
+
+} // namespace veil::snp

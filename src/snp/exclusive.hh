@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Safe-point / exclusive-work rendezvous for multicore mode, modeled
+ * on QEMU MTTCG's start_exclusive()/end_exclusive() protocol
+ * (DESIGN.md §12): a thread that needs a cross-VCPU invariant (e.g.
+ * host-side RMPUPDATE shootdown completion) requests exclusivity; all
+ * registered VCPU threads park at their next charge boundary; the
+ * requester runs the mutation alone, bumps the epoch, and releases.
+ *
+ * Single-threaded mode never instantiates the coordinator — the
+ * safepoint fast path is a single relaxed load that is compiled out of
+ * the per-charge hot path entirely when multicore is off.
+ */
+#ifndef VEIL_SNP_EXCLUSIVE_HH_
+#define VEIL_SNP_EXCLUSIVE_HH_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace veil::snp {
+
+/**
+ * Rendezvous coordinator. Threads running guest work register once;
+ * they must call safepoint() often (Machine::charge does) and must
+ * never hold a shard lock across a safepoint — the lock order is
+ * documented in DESIGN.md §12.
+ */
+class ExclusiveCoordinator
+{
+  public:
+    /** A worker thread enters the "running" set. */
+    void registerThread()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        ++registered_;
+        ++running_;
+    }
+
+    /** A worker thread leaves for good (end of its VCPU loop). */
+    void deregisterThread()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        --registered_;
+        --running_;
+        cv_.notify_all();
+    }
+
+    /**
+     * Fast-path check, called at every charge boundary. When an
+     * exclusive request is pending, parks until released.
+     */
+    void safepoint()
+    {
+        if (!pending_.load(std::memory_order_relaxed)) [[likely]]
+            return;
+        slowSafepoint();
+    }
+
+    /**
+     * A worker entering a blocking wait (offline VCPU waiting for
+     * StartVcpu) leaves the running set so it cannot stall exclusive
+     * requests; endQuiescent() re-joins, parking first if an exclusive
+     * section is still in progress.
+     */
+    void beginQuiescent()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        --running_;
+        cv_.notify_all();
+    }
+    void endQuiescent()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return !exclusiveActive_; });
+        ++running_;
+    }
+
+    /**
+     * Begin an exclusive section: raise the pending flag, wait until
+     * every running worker has parked. The caller may itself be a
+     * registered worker (it does not count itself). Exclusive sections
+     * do not nest and are serialized among requesters.
+     */
+    void begin()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        // While waiting for a prior exclusive section, a worker-thread
+        // requester counts as parked so that section can complete —
+        // otherwise two concurrent worker requesters deadlock waiting
+        // for each other to reach a safepoint.
+        uint32_t self = callerRegistered() ? 1 : 0;
+        parked_ += self;
+        cv_.notify_all();
+        cv_.wait(lk, [this] { return !exclusiveActive_; });
+        parked_ -= self;
+        exclusiveActive_ = true;
+        pending_.store(true, std::memory_order_relaxed);
+        cv_.wait(lk, [this, self] { return parked_ + self >= running_; });
+    }
+
+    /** End the exclusive section and wake all parked workers. */
+    void end()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        exclusiveActive_ = false;
+        pending_.store(false, std::memory_order_relaxed);
+        epoch_.fetch_add(1, std::memory_order_release);
+        cv_.notify_all();
+    }
+
+    /** Mark the calling thread as a registered worker (thread_local). */
+    static void bindWorker(bool is_worker);
+
+    /** Completed exclusive sections (for tests / stats). */
+    uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  private:
+    static bool callerRegistered();
+    void slowSafepoint();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::atomic<bool> pending_{false};
+    std::atomic<uint64_t> epoch_{0};
+    bool exclusiveActive_ = false;
+    uint32_t registered_ = 0;
+    uint32_t running_ = 0;
+    uint32_t parked_ = 0;
+};
+
+/** RAII wrapper: `ExclusiveSection x(coord); ...mutation...`. */
+class ExclusiveSection
+{
+  public:
+    explicit ExclusiveSection(ExclusiveCoordinator *c) : c_(c)
+    {
+        if (c_ != nullptr)
+            c_->begin();
+    }
+    ~ExclusiveSection()
+    {
+        if (c_ != nullptr)
+            c_->end();
+    }
+    ExclusiveSection(const ExclusiveSection &) = delete;
+    ExclusiveSection &operator=(const ExclusiveSection &) = delete;
+
+  private:
+    ExclusiveCoordinator *c_;
+};
+
+} // namespace veil::snp
+
+#endif // VEIL_SNP_EXCLUSIVE_HH_

@@ -6,6 +6,9 @@
 #if defined(__SANITIZE_ADDRESS__)
 #include <sanitizer/asan_interface.h>
 #endif
+#if defined(VEIL_FIBER_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
 
 namespace veil::snp {
 
@@ -23,6 +26,10 @@ Fiber::~Fiber()
     // shutdown protocol before destruction; a still-running fiber here
     // means its stack objects leak, which we tolerate only if the
     // process is already dying from an exception.
+#if defined(VEIL_FIBER_TSAN)
+    if (tsanFiber_ != nullptr)
+        __tsan_destroy_fiber(tsanFiber_);
+#endif
 }
 
 Fiber *
@@ -55,6 +62,9 @@ Fiber::trampoline()
     __sanitizer_start_switch_fiber(nullptr, self->schedStackBottom_,
                                    self->schedStackSize_);
 #endif
+#if defined(VEIL_FIBER_TSAN)
+    __tsan_switch_to_fiber(self->tsanSched_, 0);
+#endif
     swapcontext(&self->ctx_, &self->schedCtx_);
     // Unreachable: a finished fiber is never resumed.
     panic("Fiber: resumed after finish");
@@ -80,6 +90,14 @@ Fiber::resume()
     __sanitizer_start_switch_fiber(&schedFakeStack_, stack_.data(),
                                    stack_.size());
 #endif
+#if defined(VEIL_FIBER_TSAN)
+    if (tsanFiber_ == nullptr)
+        tsanFiber_ = __tsan_create_fiber(0);
+    // Recaptured every resume: multicore teardown may resume from a
+    // different scheduler context than the one that ran the fiber.
+    tsanSched_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsanFiber_, 0);
+#endif
     swapcontext(&schedCtx_, &ctx_);
 #if defined(__SANITIZE_ADDRESS__)
     __sanitizer_finish_switch_fiber(schedFakeStack_, nullptr, nullptr);
@@ -103,6 +121,9 @@ Fiber::yieldToScheduler()
     __sanitizer_start_switch_fiber(&self->fiberFakeStack_,
                                    self->schedStackBottom_,
                                    self->schedStackSize_);
+#endif
+#if defined(VEIL_FIBER_TSAN)
+    __tsan_switch_to_fiber(self->tsanSched_, 0);
 #endif
     swapcontext(&self->ctx_, &self->schedCtx_);
 #if defined(__SANITIZE_ADDRESS__)

@@ -5,7 +5,10 @@
  * at the corresponding vmenter(), which is exactly how the paper's
  * replicated-VCPU domain switch behaves (§5.2).
  *
- * Single-threaded and deterministic by construction.
+ * Deterministic by construction on one thread. Multicore mode runs
+ * each VCPU's fibers on that VCPU's own host thread (the thread_local
+ * current-fiber pointer keeps per-thread scheduling independent);
+ * a given fiber always resumes on the thread that started it.
  */
 #ifndef VEIL_SNP_FIBER_HH_
 #define VEIL_SNP_FIBER_HH_
@@ -16,6 +19,14 @@
 #include <functional>
 #include <memory>
 #include <vector>
+
+#if defined(__SANITIZE_THREAD__)
+#define VEIL_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VEIL_FIBER_TSAN 1
+#endif
+#endif
 
 namespace veil::snp {
 
@@ -68,6 +79,15 @@ class Fiber
     void *fiberFakeStack_ = nullptr;
     const void *schedStackBottom_ = nullptr;
     size_t schedStackSize_ = 0;
+#endif
+#if defined(VEIL_FIBER_TSAN)
+    // TSan fiber bookkeeping (__tsan_{create,switch_to,destroy}_fiber):
+    // without it TSan sees one thread's shadow stack teleporting
+    // between fiber stacks and reports bogus races. tsanSched_ is the
+    // scheduler-side fiber recaptured on every resume (the VEIL_TSAN
+    // build of the multicore battery, satellite of ISSUE 7).
+    void *tsanFiber_ = nullptr;
+    void *tsanSched_ = nullptr;
 #endif
 };
 

@@ -25,6 +25,27 @@ cryptoTraceThunk(void *ctx, crypto::CryptoEvent ev, uint64_t n)
     (void)n;
 }
 
+/**
+ * Multicore thread binding: which machine/VCPU the calling host thread
+ * drives, and which VMSA is currently executing on it. Single-threaded
+ * mode never touches this (Machine::currentVmsa_ plays that role).
+ */
+struct ThreadBind
+{
+    const void *machine = nullptr;
+    uint32_t vcpu = 0;
+    VmsaId cur = kInvalidVmsa;
+};
+thread_local ThreadBind t_bind;
+
+/** Race-free shard read (owner writes via atomic_ref as well). */
+uint64_t
+loadShardTsc(const uint64_t &tsc)
+{
+    return std::atomic_ref<uint64_t>(const_cast<uint64_t &>(tsc))
+        .load(std::memory_order_relaxed);
+}
+
 } // namespace
 
 Machine::Machine(const MachineConfig &config)
@@ -46,9 +67,90 @@ Machine::Machine(const MachineConfig &config)
     // RMPUPDATE forces a TLB shootdown before the change takes effect.
     rmp_.setInvalidateHook([this](Gpa page) { tlbFlushGpa(page); });
 
-    tracer_.configure(config.trace, config.numVcpus, &tsc_);
+    multicore_ = config.hostThreads != 0;
+    if (multicore_) {
+        tscShards_.resize(config.numVcpus);
+        for (auto &shard : tscShards_)
+            shard.nextTimerTsc = costs().timerQuantum();
+        excl_ = std::make_unique<ExclusiveCoordinator>();
+        rmp_.setMulticore(true);
+    }
+
+    // Multicore: the fallback clock for unbound (setup-phase) threads
+    // is shard 0, where host-context charges accumulate.
+    tracer_.configure(config.trace, config.numVcpus,
+                      multicore_ ? &tscShards_[0].tsc : &tsc_);
+    if (multicore_)
+        tracer_.setMulticore(true);
     if (tracer_.enabled())
         crypto::cryptoTraceHook() = {&cryptoTraceThunk, this};
+}
+
+void
+Machine::bindThread(uint32_t vcpu)
+{
+    ensure(multicore_, "bindThread: machine not in multicore mode");
+    ensure(vcpu < config_.numVcpus, "bindThread: bad vcpu");
+    ensure(t_bind.machine == nullptr, "bindThread: thread already bound");
+    t_bind = ThreadBind{this, vcpu, kInvalidVmsa};
+    boundThreads_.fetch_add(1, std::memory_order_relaxed);
+    // Note: callers must presize tracer guest contexts on one thread
+    // (tracer().presizeGuest(vmsaCount())) before binding workers.
+    excl_->registerThread();
+    ExclusiveCoordinator::bindWorker(true);
+    tracer_.bindThread(vcpu, &tscShards_[vcpu].tsc);
+}
+
+void
+Machine::unbindThread()
+{
+    ensure(t_bind.machine == this, "unbindThread: thread not bound here");
+    tracer_.unbindThread();
+    ExclusiveCoordinator::bindWorker(false);
+    excl_->deregisterThread();
+    boundThreads_.fetch_sub(1, std::memory_order_relaxed);
+    t_bind = ThreadBind{};
+}
+
+uint64_t
+Machine::tscMt() const
+{
+    if (t_bind.machine == this)
+        return loadShardTsc(tscShards_[t_bind.vcpu].tsc);
+    uint64_t max = 0;
+    for (const auto &shard : tscShards_) {
+        uint64_t v = loadShardTsc(shard.tsc);
+        if (v > max)
+            max = v;
+    }
+    return max;
+}
+
+void
+Machine::chargeMt(uint64_t cycles)
+{
+    if (t_bind.machine == this) [[likely]] {
+        TscShard &shard = tscShards_[t_bind.vcpu];
+        std::atomic_ref<uint64_t>(shard.tsc)
+            .fetch_add(cycles, std::memory_order_relaxed);
+        tracer_.onCharge(cycles);
+        // Charge boundaries are the safe points of DESIGN.md §12.
+        excl_->safepoint();
+        return;
+    }
+    // Host-context charge (no bound VCPU): account on shard 0; host
+    // threads do not participate in the safe-point protocol.
+    std::atomic_ref<uint64_t>(tscShards_[0].tsc)
+        .fetch_add(cycles, std::memory_order_relaxed);
+    tracer_.onCharge(cycles);
+}
+
+VmsaId
+Machine::currentVmsaId() const
+{
+    if (!multicore_) [[likely]]
+        return currentVmsa_;
+    return t_bind.machine == this ? t_bind.cur : kInvalidVmsa;
 }
 
 void
@@ -58,6 +160,12 @@ Machine::tlbInvlpg(Gpa cr3, Gva va)
         return;
     ++stats_.tlbFlushes;
     tracer_.instant(trace::Category::TlbFlush, va);
+    if (multicore_) {
+        tlbGen_.fetch_add(1, std::memory_order_release);
+        if (slots_.size() > 1)
+            ++stats_.tlbShootdowns;
+        return;
+    }
     Gva vpn = pageAlignDown(va);
     for (VmsaId id = 0; id < slots_.size(); ++id) {
         if (slots_[id].state.tlb.invalidatePage(cr3, vpn) &&
@@ -77,6 +185,12 @@ Machine::tlbFlushCr3(Gpa cr3)
         return;
     ++stats_.tlbFlushes;
     tracer_.instant(trace::Category::TlbFlush, cr3);
+    if (multicore_) {
+        tlbGen_.fetch_add(1, std::memory_order_release);
+        if (slots_.size() > 1)
+            ++stats_.tlbShootdowns;
+        return;
+    }
     for (VmsaId id = 0; id < slots_.size(); ++id) {
         if (slots_[id].state.tlb.invalidateCr3(cr3) && id != currentVmsa_) {
             ++stats_.tlbShootdowns;
@@ -94,6 +208,17 @@ Machine::tlbFlushGpa(Gpa page)
         return;
     ++stats_.tlbFlushes;
     tracer_.instant(trace::Category::TlbFlush, page);
+    if (multicore_) {
+        // Lock-free shootdown: bump the generation so every tagged
+        // entry, on every VCPU, stops matching. No TLB is scanned —
+        // remote VCPUs discard stale entries lazily on lookup. The
+        // architectural shootdown-completion point (RMPUPDATE) is the
+        // hypervisor's exclusive() rendezvous around the RMP mutation.
+        tlbGen_.fetch_add(1, std::memory_order_release);
+        if (slots_.size() > 1)
+            ++stats_.tlbShootdowns;
+        return;
+    }
     Gpa aligned = pageAlignDown(page);
     for (VmsaId id = 0; id < slots_.size(); ++id) {
         if (slots_[id].state.tlb.invalidateGpa(aligned) &&
@@ -113,6 +238,10 @@ Machine::tlbFlushVmsa(VmsaId id)
         return;
     ++stats_.tlbFlushes;
     tracer_.instant(trace::Category::TlbFlush, id);
+    if (multicore_) {
+        tlbGen_.fetch_add(1, std::memory_order_release);
+        return;
+    }
     slotFor(id).state.tlb.flushAll();
 }
 
@@ -126,6 +255,8 @@ Machine::~Machine()
 void
 Machine::shutdownFibers()
 {
+    // Multicore worker threads are joined by the hypervisor before the
+    // machine dies; teardown resumes leftover fibers on this thread.
     shuttingDown_ = true;
     for (auto &slot : slots_) {
         if (slot.fiber && slot.fiber->started() && !slot.fiber->finished()) {
@@ -143,6 +274,8 @@ Machine::shutdownFibers()
 VmsaId
 Machine::addVmsa(Vmsa state)
 {
+    ensure(boundThreads_.load(std::memory_order_relaxed) == 0,
+           "Machine: addVmsa while multicore workers are running");
     slots_.push_back(Slot{std::move(state), nullptr});
     return static_cast<VmsaId>(slots_.size() - 1);
 }
@@ -185,9 +318,16 @@ Machine::startFiber(VmsaId id)
 VmExit
 Machine::enter(VmsaId id)
 {
-    if (halt_.halted)
+    if (halted())
         return VmExit{ExitReason::NpfHalt, id};
     Slot &slot = slotFor(id);
+    if (multicore_) {
+        // Fibers have strict VCPU affinity: created, entered, and torn
+        // down on the VCPU's own worker thread.
+        ensure(t_bind.machine == this &&
+                   t_bind.vcpu == slot.state.vcpuId,
+               "Machine::enter: thread not bound to this VMSA's VCPU");
+    }
     if (!slot.fiber)
         startFiber(id);
     if (slot.fiber->finished())
@@ -204,30 +344,37 @@ Machine::enter(VmsaId id)
     const Vmsa &entering = slot.state;
     uint32_t run_vcpu = entering.vcpuId;
     uint8_t run_vmpl = static_cast<uint8_t>(vmplIndex(entering.vmpl));
-    uint64_t run_start = tsc_;
+    uint64_t run_start = tsc();
     tracer_.enterContext(id, run_vcpu, run_vmpl);
 
-    currentVmsa_ = id;
+    if (multicore_)
+        t_bind.cur = id;
+    else
+        currentVmsa_ = id;
     slot.fiber->resume();
-    currentVmsa_ = kInvalidVmsa;
+    if (multicore_)
+        t_bind.cur = kInvalidVmsa;
+    else
+        currentVmsa_ = kInvalidVmsa;
 
     tracer_.exitContext();
     // Residency span: this VMSA held the VCPU from VMENTER to its exit.
     tracer_.spanAt(run_vcpu, run_vmpl, trace::Category::GuestRun, run_start,
-                   tsc_, id);
+                   tsc(), id);
 
     if (slot.fiber->finished()) {
-        if (halt_.halted)
+        if (halted())
             return VmExit{ExitReason::NpfHalt, id};
         return VmExit{ExitReason::Halted, id};
     }
-    return pendingExit_;
+    return slot.pendingExit;
 }
 
 void
 Machine::guestExit(ExitReason reason)
 {
-    ensure(currentVmsa_ != kInvalidVmsa, "guestExit outside guest context");
+    VmsaId cur = currentVmsaId();
+    ensure(cur != kInvalidVmsa, "guestExit outside guest context");
     if (shuttingDown_)
         throw FiberShutdown{};
 
@@ -242,13 +389,13 @@ Machine::guestExit(ExitReason reason)
     else
         ++stats_.automaticExits;
 
-    pendingExit_ = VmExit{reason, currentVmsa_};
+    slotFor(cur).pendingExit = VmExit{reason, cur};
     Fiber::yieldToScheduler();
 
     if (shuttingDown_)
         throw FiberShutdown{};
 
-    Slot &slot = slotFor(currentVmsa_);
+    Slot &slot = slotFor(cur);
     while (slot.pendingVectors > 0) {
         // Decrement first: delivery may fault and unwind the fiber.
         --slot.pendingVectors;
@@ -269,7 +416,7 @@ Machine::injectVector(VmsaId id)
 void
 Machine::deliverVector()
 {
-    Vmsa &v = vmsaState(currentVmsa_);
+    Vmsa &v = vmsaState(currentVmsaId());
     if (v.idtHandlerVa == 0)
         return; // no IDT installed yet (early boot)
     // The CPU vectors to the handler in ring 0: fetch is exec-checked
@@ -278,7 +425,7 @@ Machine::deliverVector()
     v.cpl = Cpl::Supervisor;
     trace::SpanScope deliver(tracer_, trace::Category::IntrDeliver,
                              v.idtHandlerVa);
-    Vcpu cpu(*this, currentVmsa_);
+    Vcpu cpu(*this, currentVmsaId());
     cpu.checkExec(v.idtHandlerVa); // may throw #PF / #NPF and halt the CVM
     charge(costs().irqHandle);
     v.cpl = saved;
@@ -289,11 +436,16 @@ Machine::deliverVector()
 void
 Machine::pollTimer()
 {
-    if (!config_.interruptsEnabled || halt_.halted)
+    if (!config_.interruptsEnabled || halted())
         return;
-    if (currentVmsa_ == kInvalidVmsa)
+    VmsaId cur = currentVmsaId();
+    if (cur == kInvalidVmsa)
         return;
-    Slot &slot = slotFor(currentVmsa_);
+    Slot &slot = slotFor(cur);
+    if (multicore_) {
+        pollTimerMt(slot);
+        return;
+    }
     if (slot.state.irqMasked) {
         // Latch a due tick instead of dropping it: the context gets its
         // interrupt on unmask even if another context fires the shared
@@ -320,8 +472,36 @@ Machine::pollTimer()
 }
 
 void
+Machine::pollTimerMt(Slot &slot)
+{
+    // Per-core APIC-timer analogue: each VCPU shard carries its own
+    // deadline against its own virtual clock. Owner-thread only.
+    TscShard &shard = tscShards_[t_bind.vcpu];
+    uint64_t now = loadShardTsc(shard.tsc);
+    if (slot.state.irqMasked) {
+        if (now >= shard.nextTimerTsc && !slot.timerLatched) {
+            slot.timerLatched = true;
+            ++stats_.timerTicksLatched;
+        }
+        return;
+    }
+    if (!slot.timerLatched && now < shard.nextTimerTsc)
+        return;
+    if (now >= shard.nextTimerTsc) {
+        stats_.timerTicksCoalesced +=
+            (now - shard.nextTimerTsc) / costs().timerQuantum();
+        shard.nextTimerTsc = now + costs().timerQuantum();
+    }
+    slot.timerLatched = false;
+    ++stats_.timerInterrupts;
+    tracer_.instant(trace::Category::TimerIntr);
+    guestExit(ExitReason::AutomaticIntr);
+}
+
+void
 Machine::recordHalt(const std::string &reason, Gpa gpa, Vmpl vmpl)
 {
+    std::lock_guard<std::mutex> guard(haltMu_);
     if (halt_.halted)
         return; // first fault wins
     tracer_.instant(trace::Category::Npf, gpa);
@@ -329,6 +509,7 @@ Machine::recordHalt(const std::string &reason, Gpa gpa, Vmpl vmpl)
     halt_.reason = reason;
     halt_.gpa = gpa;
     halt_.vmpl = vmpl;
+    halted_.store(true, std::memory_order_release);
     logMessage(LogLevel::Debug, "machine", "CVM halted: " + reason);
 }
 

@@ -9,15 +9,31 @@
  * automatic exit (timer), which switches back and yields a VmExit.
  * An RMP violation (#NPF) that reaches the fiber root halts the whole
  * CVM, matching the paper's "CVM halts with continuous #NPFs" (§8.3).
+ *
+ * Execution modes (DESIGN.md §12):
+ *  - hostThreads == 0 (default): all VCPU fibers multiplex on the
+ *    calling host thread, round-robin scheduled by the hypervisor.
+ *    Simulated cycle counts are bit-identical run to run.
+ *  - hostThreads != 0: one host thread per VCPU (QEMU-MTTCG style).
+ *    Per-VCPU hot state (TSC shard, timer deadline, TLB, fiber) is
+ *    thread-local; cross-VCPU mutations go through sharded RMP locks
+ *    and the safe-point ExclusiveCoordinator. Cycle counts become
+ *    per-VCPU and scheduling-dependent; safety invariants (RMP check
+ *    ordering, attributed halts, per-VCPU ring monotonicity) hold.
  */
 #ifndef VEIL_SNP_MACHINE_HH_
 #define VEIL_SNP_MACHINE_HH_
 
+#include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "base/stat_counter.hh"
 #include "snp/cycles.hh"
+#include "snp/exclusive.hh"
 #include "snp/fiber.hh"
 #include "snp/memory.hh"
 #include "snp/psp.hh"
@@ -43,6 +59,10 @@ struct MachineConfig
     /// way. The VEIL_TLB_DISABLE environment variable (non-zero value)
     /// overrides this to false for A/B equivalence checking.
     bool tlbEnabled = true;
+    /// Multicore mode: run each VCPU's fiber loop on its own host
+    /// thread (any non-zero value enables it; one thread per VCPU).
+    /// 0 keeps the bit-deterministic single-threaded fiber scheduler.
+    uint32_t hostThreads = 0;
     /// VeilTrace observability (host-side only; zero simulated cost —
     /// see trace/trace.hh for the determinism contract).
     trace::TraceConfig trace;
@@ -74,36 +94,36 @@ struct HaltInfo
     Vmpl vmpl = Vmpl::Vmpl0;
 };
 
-/** Hardware event counters. */
+/** Hardware event counters (relaxed-atomic; see base/stat_counter.hh). */
 struct MachineStats
 {
-    uint64_t entries = 0;
-    uint64_t nonAutomaticExits = 0;
-    uint64_t automaticExits = 0;
-    uint64_t timerInterrupts = 0;
-    uint64_t rmpadjusts = 0;
-    uint64_t pvalidates = 0;
+    base::StatCounter entries;
+    base::StatCounter nonAutomaticExits;
+    base::StatCounter automaticExits;
+    base::StatCounter timerInterrupts;
+    base::StatCounter rmpadjusts;
+    base::StatCounter pvalidates;
     // Interrupt-queue accounting: every injected vector is delivered
     // (vectorsQueued counts injections that found one already pending —
     // the case the old single-slot latch silently overwrote).
-    uint64_t vectorsInjected = 0;
-    uint64_t vectorsQueued = 0;
+    base::StatCounter vectorsInjected;
+    base::StatCounter vectorsQueued;
     // Timer ticks that went due while the running context was masked:
     // latched (held for delivery on unmask) rather than dropped.
-    uint64_t timerTicksLatched = 0;
-    uint64_t timerTicksCoalesced = 0; ///< quanta merged into one delivery
+    base::StatCounter timerTicksLatched;
+    base::StatCounter timerTicksCoalesced; ///< quanta merged into one delivery
     // Guest-side resilience counters (DESIGN.md §10): bounded recovery
     // from hypervisor misbehaviour. All zero on a well-behaved host.
-    uint64_t hypercallRetries = 0;    ///< GHCB requests re-issued (sentinel)
-    uint64_t switchRetries = 0;       ///< domain switches re-issued (dropped)
-    uint64_t switchDeniedRetries = 0; ///< switches re-asked after denial
-    uint64_t idcbResends = 0;         ///< IDCB waits re-entered (misrouted)
+    base::StatCounter hypercallRetries;    ///< GHCB requests re-issued
+    base::StatCounter switchRetries;       ///< switches re-issued (dropped)
+    base::StatCounter switchDeniedRetries; ///< switches re-asked after denial
+    base::StatCounter idcbResends;         ///< IDCB waits re-entered
     // Software-TLB observability (host-side cache; counters charge no
     // simulated cycles).
-    uint64_t tlbHits = 0;
-    uint64_t tlbMisses = 0;
-    uint64_t tlbFlushes = 0;     ///< invalidation events issued
-    uint64_t tlbShootdowns = 0;  ///< remote VMSA TLBs that dropped entries
+    base::StatCounter tlbHits;
+    base::StatCounter tlbMisses;
+    base::StatCounter tlbFlushes;    ///< invalidation events issued
+    base::StatCounter tlbShootdowns; ///< remote VMSA TLBs that dropped entries
 };
 
 /** The simulated machine. */
@@ -123,12 +143,30 @@ class Machine
     const CostModel &costs() const { return config_.costs; }
     Psp &psp() { return psp_; }
 
-    uint64_t tsc() const { return tsc_; }
+    /** Whether multicore mode is on (hostThreads != 0). */
+    bool multicore() const { return multicore_; }
+
+    /**
+     * Virtual TSC. Single-threaded: the machine-global counter.
+     * Multicore: the calling thread's own VCPU shard if bound to this
+     * machine, otherwise the max over all shards (host-side readers).
+     */
+    uint64_t tsc() const
+    {
+        if (!multicore_) [[likely]]
+            return tsc_;
+        return tscMt();
+    }
+
     void charge(uint64_t cycles)
     {
-        tsc_ += cycles;
-        // Attribution only: the tracer reads, it never charges back.
-        tracer_.onCharge(cycles);
+        if (!multicore_) [[likely]] {
+            tsc_ += cycles;
+            // Attribution only: the tracer reads, it never charges back.
+            tracer_.onCharge(cycles);
+            return;
+        }
+        chargeMt(cycles);
     }
     double secondsAt(uint64_t cycles) const { return costs().seconds(cycles); }
 
@@ -138,20 +176,59 @@ class Machine
     const MachineStats &stats() const { return stats_; }
     MachineStats &stats() { return stats_; }
 
-    /** Register a VMSA slot; RMP bookkeeping is the caller's business. */
+    /** Register a VMSA slot; RMP bookkeeping is the caller's business.
+     *  Forbidden while multicore worker threads are running. */
     VmsaId addVmsa(Vmsa state);
 
     Vmsa &vmsaState(VmsaId id);
     size_t vmsaCount() const { return slots_.size(); }
 
-    /** VMENTER: run the VMSA until its next exit (hypervisor only). */
+    /** VMENTER: run the VMSA until its next exit (hypervisor only). In
+     *  multicore mode the calling thread must be bound (bindThread) to
+     *  the VMSA's vcpuId. */
     VmExit enter(VmsaId id);
 
-    bool halted() const { return halt_.halted; }
+    bool halted() const { return halted_.load(std::memory_order_acquire); }
     const HaltInfo &haltInfo() const { return halt_; }
 
-    /** The VMSA currently executing (valid only inside guest fibers). */
-    VmsaId currentVmsaId() const { return currentVmsa_; }
+    /** The VMSA currently executing (valid only inside guest fibers).
+     *  Multicore: the one executing on the *calling* thread. */
+    VmsaId currentVmsaId() const;
+
+    // ---- Multicore thread management (hypervisor worker loop) ----
+
+    /**
+     * Bind the calling host thread to @p vcpu: its TSC shard becomes
+     * the thread's time source and the thread joins the safe-point
+     * protocol. Must be paired with unbindThread() before join.
+     */
+    void bindThread(uint32_t vcpu);
+    void unbindThread();
+
+    /**
+     * Run @p fn with every bound worker thread parked at a safe point
+     * (the RMPUPDATE-shootdown rendezvous). Single-threaded mode runs
+     * @p fn directly. Callers must not hold RMP shard locks.
+     */
+    template <typename F> void exclusive(F &&fn)
+    {
+        if (!multicore_) {
+            fn();
+            return;
+        }
+        ExclusiveSection section(excl_.get());
+        fn();
+    }
+
+    /** Completed exclusive sections (multicore observability). */
+    uint64_t exclusiveEpochs() const
+    {
+        return excl_ ? excl_->epoch() : 0;
+    }
+
+    /** The rendezvous coordinator (null when single-threaded); the
+     *  hypervisor uses begin/endQuiescent around offline-VCPU waits. */
+    ExclusiveCoordinator *exclusiveCoordinator() { return excl_.get(); }
 
     // ---- Guest-fiber-side hardware services (used by Vcpu) ----
 
@@ -168,6 +245,18 @@ class Machine
 
     /** Whether the checked access path may consult the software TLB. */
     bool tlbEnabled() const { return tlbEnabled_; }
+
+    /**
+     * Multicore TLB invalidation generation. Entries are tagged with
+     * the generation observed *before* the page walk; any invalidation
+     * bumps the generation, so tagged entries stop matching without
+     * any cross-thread TLB scanning (lock-free shootdown). 0 in
+     * single-threaded mode, where invalidation scans TLBs directly.
+     */
+    uint64_t tlbGen() const
+    {
+        return tlbGen_.load(std::memory_order_acquire);
+    }
 
     /**
      * INVLPG analogue: drop (cr3, va) from every VMSA's TLB. Raised by
@@ -196,23 +285,38 @@ class Machine
      * interrupt handling into DomENC halts the CVM (§6.2, Table 2).
      * Vectors queue per-VMSA and are delivered in order; injecting on
      * top of a pending vector counts vectorsQueued instead of silently
-     * overwriting it.
+     * overwriting it. Multicore: only the owning VCPU's thread may
+     * inject (vector queues are thread-local by VCPU affinity).
      */
     void injectVector(VmsaId id);
 
   private:
+    /** Per-VCPU virtual-time shard (multicore). Owner thread writes
+     *  tsc via atomic_ref; cross-thread readers load via atomic_ref. */
+    struct alignas(64) TscShard
+    {
+        uint64_t tsc = 0;
+        uint64_t nextTimerTsc = 0; ///< owner-thread only (per-core APIC)
+    };
+
     struct Slot
     {
         Vmsa state;
         std::unique_ptr<Fiber> fiber;
         uint32_t pendingVectors = 0; ///< injected, not yet delivered
         bool timerLatched = false;   ///< tick went due while masked
+        /// Exit event from the most recent guestExit on this slot.
+        /// Written by the slot's fiber, read by enter() — same thread.
+        VmExit pendingExit{ExitReason::Halted, kInvalidVmsa};
     };
 
     Slot &slotFor(VmsaId id);
     void startFiber(VmsaId id);
     void shutdownFibers();
     void deliverVector();
+    uint64_t tscMt() const;
+    void chargeMt(uint64_t cycles);
+    void pollTimerMt(Slot &slot);
 
     MachineConfig config_;
     GuestMemory memory_;
@@ -223,11 +327,18 @@ class Machine
     uint64_t tsc_ = 0;
     uint64_t nextTimerTsc_ = 0;
     VmsaId currentVmsa_ = kInvalidVmsa;
-    VmExit pendingExit_{ExitReason::Halted, kInvalidVmsa};
     HaltInfo halt_;
+    std::atomic<bool> halted_{false};
+    std::mutex haltMu_;
     MachineStats stats_;
     bool shuttingDown_ = false;
     bool tlbEnabled_ = true;
+    // ---- Multicore state ----
+    bool multicore_ = false;
+    std::vector<TscShard> tscShards_;
+    std::unique_ptr<ExclusiveCoordinator> excl_;
+    std::atomic<uint64_t> tlbGen_{0};
+    std::atomic<uint32_t> boundThreads_{0};
 };
 
 } // namespace veil::snp

@@ -12,6 +12,7 @@ Psp::Psp(Bytes platform_key) : key_(std::move(platform_key))
 void
 Psp::setLaunchDigest(const crypto::Digest &digest)
 {
+    std::lock_guard<std::mutex> guard(mu_);
     ensure(!measured_, "Psp: launch digest already recorded");
     launchDigest_ = digest;
     measured_ = true;
@@ -30,9 +31,13 @@ Psp::reportDigest(const AttestationReport &r) const
 AttestationReport
 Psp::report(Vmpl vmpl, const ReportData &data) const
 {
-    ensure(measured_, "Psp: attestation requested before launch measurement");
     AttestationReport r;
-    r.measurement = launchDigest_;
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        ensure(measured_,
+               "Psp: attestation requested before launch measurement");
+        r.measurement = launchDigest_;
+    }
     r.requesterVmpl = static_cast<uint8_t>(vmpl);
     r.reportData = data;
     r.signature = crypto::signDigest(key_, "psp-report", reportDigest(r));

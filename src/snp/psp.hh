@@ -13,6 +13,7 @@
 #define VEIL_SNP_PSP_HH_
 
 #include <array>
+#include <mutex>
 
 #include "crypto/sha256.hh"
 #include "crypto/sig.hh"
@@ -41,6 +42,8 @@ class Psp
     /** Record the launch measurement (done once by the VM launcher). */
     void setLaunchDigest(const crypto::Digest &digest);
 
+    /** The recorded measurement. Call after launch completes (the
+     *  digest is written once, before any VCPU runs). */
     const crypto::Digest &launchDigest() const { return launchDigest_; }
 
     /** Produce a signed report for software running at @p vmpl. */
@@ -53,6 +56,10 @@ class Psp
     crypto::Digest reportDigest(const AttestationReport &r) const;
 
     Bytes key_;
+    /// PSP command serialization: concurrent VCPU threads may request
+    /// reports while the launcher records the measurement (the real PSP
+    /// mailbox is a serialized command channel too).
+    mutable std::mutex mu_;
     crypto::Digest launchDigest_{};
     bool measured_ = false;
 };

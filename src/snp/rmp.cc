@@ -8,6 +8,12 @@ namespace veil::snp {
 RmpTable::RmpTable(uint64_t page_count)
 {
     entries_.resize(page_count);
+    // Contiguous-range sharding: smallest shift so every page index
+    // maps below kShards. The entries_ vector itself is never resized
+    // after this, so only per-entry state needs locking.
+    shardShift_ = 0;
+    while (page_count > 0 && ((page_count - 1) >> shardShift_) >= kShards)
+        ++shardShift_;
 }
 
 RmpEntry &
@@ -30,6 +36,9 @@ RmpTable::entryFor(Gpa page) const
 void
 RmpTable::notifyChanged(Gpa page)
 {
+    // Called after the shard lock is dropped (lock order, DESIGN.md
+    // §12): the hook bumps the machine's TLB generation / scans TLBs
+    // and must never run under an RMP shard lock.
     if (invalidate_)
         invalidate_(pageAlignDown(page));
 }
@@ -37,42 +46,53 @@ RmpTable::notifyChanged(Gpa page)
 void
 RmpTable::hvAssign(Gpa page)
 {
-    RmpEntry &e = entryFor(page);
-    e.assigned = true;
-    e.validated = false;
-    e.vmsaPage = false;
-    for (auto &p : e.perms)
-        p = kPermNone;
+    {
+        auto lock = writeLock(page);
+        RmpEntry &e = entryFor(page);
+        e.assigned = true;
+        e.validated = false;
+        e.vmsaPage = false;
+        for (auto &p : e.perms)
+            p = kPermNone;
+    }
     notifyChanged(page);
 }
 
 void
 RmpTable::hvReclaim(Gpa page)
 {
-    RmpEntry &e = entryFor(page);
-    e = RmpEntry{};
+    {
+        auto lock = writeLock(page);
+        RmpEntry &e = entryFor(page);
+        e = RmpEntry{};
+    }
     notifyChanged(page);
 }
 
 void
 RmpTable::hvSetShared(Gpa page, bool shared)
 {
-    RmpEntry &e = entryFor(page);
-    ensure(!e.vmsaPage, "hvSetShared: VMSA pages cannot be shared");
-    // RMPUPDATE semantics: flipping a page to shared destroys its
-    // validated state, but cannot touch guestPrivate (the guest's own
-    // C-bit view). A well-behaved flow un-validates first via VeilMon;
-    // a hostile flip leaves guestPrivate set, so the guest's next
-    // access faults instead of silently using host-visible memory.
-    if (shared && !e.shared)
-        e.validated = false;
-    e.shared = shared;
+    {
+        auto lock = writeLock(page);
+        RmpEntry &e = entryFor(page);
+        ensure(!e.vmsaPage, "hvSetShared: VMSA pages cannot be shared");
+        // RMPUPDATE semantics: flipping a page to shared destroys its
+        // validated state, but cannot touch guestPrivate (the guest's
+        // own C-bit view). A well-behaved flow un-validates first via
+        // VeilMon; a hostile flip leaves guestPrivate set, so the
+        // guest's next access faults instead of silently using
+        // host-visible memory.
+        if (shared && !e.shared)
+            e.validated = false;
+        e.shared = shared;
+    }
     notifyChanged(page);
 }
 
 bool
 RmpTable::isShared(Gpa page) const
 {
+    auto lock = readLock(page);
     return entryFor(pageAlignDown(page)).shared;
 }
 
@@ -83,17 +103,20 @@ RmpTable::pvalidate(Vmpl caller, Gpa page, bool validate)
         throw NpfFault(page, caller, Access::Write,
                        "PVALIDATE is restricted to VMPL-0");
     }
-    RmpEntry &e = entryFor(page);
-    if (!e.assigned) {
-        throw NpfFault(page, caller, Access::Write,
-                       "PVALIDATE on unassigned page");
+    {
+        auto lock = writeLock(page);
+        RmpEntry &e = entryFor(page);
+        if (!e.assigned) {
+            throw NpfFault(page, caller, Access::Write,
+                           "PVALIDATE on unassigned page");
+        }
+        e.validated = validate;
+        e.guestPrivate = validate; // the guest's C-bit expectation
+        e.vmsaPage = false;
+        e.perms[0] = validate ? kPermAll : kPermNone;
+        for (int i = 1; i < kNumVmpls; ++i)
+            e.perms[i] = kPermNone;
     }
-    e.validated = validate;
-    e.guestPrivate = validate; // the guest's C-bit expectation
-    e.vmsaPage = false;
-    e.perms[0] = validate ? kPermAll : kPermNone;
-    for (int i = 1; i < kNumVmpls; ++i)
-        e.perms[i] = kPermNone;
     notifyChanged(page);
 }
 
@@ -101,34 +124,38 @@ void
 RmpTable::rmpadjust(Vmpl caller, Gpa page, Vmpl target, PermMask perms,
                     bool make_vmsa)
 {
-    RmpEntry &e = entryFor(page);
-    if (vmplIndex(target) <= vmplIndex(caller)) {
-        throw NpfFault(page, caller, Access::Write,
-                       "RMPADJUST target must be less privileged than caller");
-    }
-    if (!e.validated) {
-        throw NpfFault(page, caller, Access::Write,
-                       "RMPADJUST on non-validated page");
-    }
-    // The instruction references the page; a caller without read access
-    // takes a nested page fault (the attack path in §8.1/§8.3).
-    if (!(e.perms[vmplIndex(caller)] & PermRead)) {
-        throw NpfFault(page, caller, Access::Read,
-                       "RMPADJUST on page restricted for the caller");
-    }
-    if (make_vmsa) {
-        if (caller != Vmpl::Vmpl0) {
-            throw NpfFault(page, caller, Access::Write,
-                           "RMPADJUST.VMSA is restricted to VMPL-0");
+    {
+        auto lock = writeLock(page);
+        RmpEntry &e = entryFor(page);
+        if (vmplIndex(target) <= vmplIndex(caller)) {
+            throw NpfFault(
+                page, caller, Access::Write,
+                "RMPADJUST target must be less privileged than caller");
         }
-        e.vmsaPage = true;
-        // In-use VMSA pages are inaccessible to all lower VMPLs.
-        for (int i = 1; i < kNumVmpls; ++i)
-            e.perms[i] = kPermNone;
-        notifyChanged(page);
-        return;
+        if (!e.validated) {
+            throw NpfFault(page, caller, Access::Write,
+                           "RMPADJUST on non-validated page");
+        }
+        // The instruction references the page; a caller without read
+        // access takes a nested page fault (the attack path in
+        // §8.1/§8.3).
+        if (!(e.perms[vmplIndex(caller)] & PermRead)) {
+            throw NpfFault(page, caller, Access::Read,
+                           "RMPADJUST on page restricted for the caller");
+        }
+        if (make_vmsa) {
+            if (caller != Vmpl::Vmpl0) {
+                throw NpfFault(page, caller, Access::Write,
+                               "RMPADJUST.VMSA is restricted to VMPL-0");
+            }
+            e.vmsaPage = true;
+            // In-use VMSA pages are inaccessible to all lower VMPLs.
+            for (int i = 1; i < kNumVmpls; ++i)
+                e.perms[i] = kPermNone;
+        } else {
+            e.perms[vmplIndex(target)] = perms;
+        }
     }
-    e.perms[vmplIndex(target)] = perms;
     notifyChanged(page);
 }
 
@@ -139,14 +166,18 @@ RmpTable::clearVmsa(Vmpl caller, Gpa page)
         throw NpfFault(page, caller, Access::Write,
                        "VMSA teardown is restricted to VMPL-0");
     }
-    RmpEntry &e = entryFor(page);
-    e.vmsaPage = false;
+    {
+        auto lock = writeLock(page);
+        RmpEntry &e = entryFor(page);
+        e.vmsaPage = false;
+    }
     notifyChanged(page);
 }
 
 bool
 RmpTable::allowed(Vmpl vmpl, Gpa page, Access access, Cpl cpl) const
 {
+    auto lock = readLock(page);
     const RmpEntry &e = entryFor(pageAlignDown(page));
     if (e.shared) {
         // A legitimate page-state change un-validates first (PVALIDATE
@@ -177,24 +208,28 @@ RmpTable::allowed(Vmpl vmpl, Gpa page, Access access, Cpl cpl) const
 PermMask
 RmpTable::perms(Gpa page, Vmpl vmpl) const
 {
+    auto lock = readLock(page);
     return entryFor(page).perms[vmplIndex(vmpl)];
 }
 
 bool
 RmpTable::isValidated(Gpa page) const
 {
+    auto lock = readLock(page);
     return entryFor(page).validated;
 }
 
 bool
 RmpTable::isAssigned(Gpa page) const
 {
+    auto lock = readLock(page);
     return entryFor(page).assigned;
 }
 
 bool
 RmpTable::isVmsaPage(Gpa page) const
 {
+    auto lock = readLock(page);
     return entryFor(page).vmsaPage;
 }
 

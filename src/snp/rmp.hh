@@ -20,8 +20,11 @@
 #ifndef VEIL_SNP_RMP_HH_
 #define VEIL_SNP_RMP_HH_
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "snp/types.hh"
@@ -64,6 +67,17 @@ class RmpTable
      */
     using InvalidateFn = std::function<void(Gpa page)>;
     void setInvalidateHook(InvalidateFn fn) { invalidate_ = std::move(fn); }
+
+    /**
+     * Multicore mode (DESIGN.md §12): guard the table with sharded
+     * per-range reader/writer locks — readers (allowed(), isShared(),
+     * introspection) take the page's shard shared, mutators exclusive.
+     * Off (default), every acquisition is a no-op and the table is
+     * byte-for-byte the single-threaded one. Shard = contiguous
+     * page-index range; kShards ranges cover the guest.
+     */
+    void setMulticore(bool on) { mt_ = on; }
+    bool multicore() const { return mt_; }
 
     /** Hypervisor-side RMPUPDATE: assign a page to the guest. */
     void hvAssign(Gpa page);
@@ -110,13 +124,39 @@ class RmpTable
     /** Clear the VMSA attribute (when a VMSA is destroyed). */
     void clearVmsa(Vmpl caller, Gpa page);
 
+    /** Number of lock shards (contiguous page-index ranges). */
+    static constexpr size_t kShards = 64;
+
   private:
     RmpEntry &entryFor(Gpa page);
     const RmpEntry &entryFor(Gpa page) const;
     void notifyChanged(Gpa page);
 
+    /** The shard lock covering @p page's index range. */
+    std::shared_mutex &shardFor(Gpa page) const
+    {
+        return shards_[(pageIndex(pageAlignDown(page))) >> shardShift_];
+    }
+    /** Shared (reader) hold when multicore; empty otherwise. */
+    std::shared_lock<std::shared_mutex> readLock(Gpa page) const
+    {
+        if (!mt_) [[likely]]
+            return {};
+        return std::shared_lock<std::shared_mutex>(shardFor(page));
+    }
+    /** Exclusive (writer) hold when multicore; empty otherwise. */
+    std::unique_lock<std::shared_mutex> writeLock(Gpa page)
+    {
+        if (!mt_) [[likely]]
+            return {};
+        return std::unique_lock<std::shared_mutex>(shardFor(page));
+    }
+
     std::vector<RmpEntry> entries_;
     InvalidateFn invalidate_;
+    bool mt_ = false;
+    uint32_t shardShift_ = 0;
+    mutable std::array<std::shared_mutex, kShards> shards_;
 };
 
 } // namespace veil::snp

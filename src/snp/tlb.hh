@@ -50,6 +50,13 @@ class Tlb
         Gva vpn = 0;     ///< page-aligned guest-virtual address
         Gpa gpaPage = 0; ///< page-aligned guest-physical frame
         uint64_t pte = 0;
+        /// Invalidation generation observed *before* the walk that
+        /// produced this entry (Machine::tlbGen). Multicore mode
+        /// invalidates lock-free by bumping the machine generation, so
+        /// a lookup only hits while the tag still matches. Always 0 in
+        /// single-threaded mode (where invalidation edits TLBs
+        /// directly), keeping that path bit-identical.
+        uint64_t gen = 0;
     };
 
     /** Number of direct-mapped slots (power of two). */
@@ -60,13 +67,13 @@ class Tlb
      * every checked guest access and must not cost a function call.
      */
     const Entry *
-    lookup(Gpa cr3, Gva vpn, Cpl cpl, Access access) const
+    lookup(Gpa cr3, Gva vpn, Cpl cpl, Access access, uint64_t gen = 0) const
     {
         if (sets_.empty())
             return nullptr;
         const Entry &e = sets_[indexFor(cr3, vpn, cpl, access)];
-        if (e.valid && e.cr3 == cr3 && e.vpn == vpn && e.cpl == cpl &&
-            e.access == access)
+        if (e.valid && e.gen == gen && e.cr3 == cr3 && e.vpn == vpn &&
+            e.cpl == cpl && e.access == access)
             return &e;
         return nullptr;
     }
@@ -74,7 +81,7 @@ class Tlb
     /** Install (or replace) the slot for the key. */
     void
     insert(Gpa cr3, Gva vpn, Cpl cpl, Access access, Gpa gpa_page,
-           uint64_t pte)
+           uint64_t pte, uint64_t gen = 0)
     {
         if (sets_.empty())
             sets_.resize(kSets);
@@ -86,6 +93,7 @@ class Tlb
         e.vpn = vpn;
         e.gpaPage = gpa_page;
         e.pte = pte;
+        e.gen = gen;
     }
 
     /**

@@ -25,8 +25,15 @@ Vcpu::translateChecked(Gva va, Access access) const
 {
     Vmsa &v = vmsa();
     Gva vpn = pageAlignDown(va);
+    // Snapshot the invalidation generation *before* the lookup/walk
+    // (always 0 single-threaded): an entry only hits while its tag
+    // still matches, and an insert tagged with a pre-invalidation
+    // snapshot can never satisfy a post-invalidation lookup — the
+    // lock-free shootdown protocol of DESIGN.md §12.
+    uint64_t gen = machine_.tlbGen();
     if (machine_.tlbEnabled()) {
-        if (const Tlb::Entry *e = v.tlb.lookup(v.cr3, vpn, v.cpl, access)) {
+        if (const Tlb::Entry *e =
+                v.tlb.lookup(v.cr3, vpn, v.cpl, access, gen)) {
             ++machine_.stats().tlbHits;
             machine_.tracer().instant(trace::Category::TlbHit, vpn);
             return e->gpaPage | (va & (kPageSize - 1));
@@ -39,7 +46,7 @@ Vcpu::translateChecked(Gva va, Access access) const
     if (!machine_.rmp().allowed(v.vmpl, page, access, v.cpl))
         throw NpfFault(page, v.vmpl, access, "RMP permission violation");
     if (machine_.tlbEnabled())
-        v.tlb.insert(v.cr3, vpn, v.cpl, access, page, t.pte);
+        v.tlb.insert(v.cr3, vpn, v.cpl, access, page, t.pte, gen);
     return t.gpa;
 }
 
@@ -125,8 +132,10 @@ Vcpu::translate(Gva va, Access access) const
     // faults on it.
     Vmsa &v = vmsa();
     Gva vpn = pageAlignDown(va);
+    uint64_t gen = machine_.tlbGen(); // pre-walk snapshot (see above)
     if (machine_.tlbEnabled()) {
-        if (const Tlb::Entry *e = v.tlb.lookup(v.cr3, vpn, cpl(), access)) {
+        if (const Tlb::Entry *e =
+                v.tlb.lookup(v.cr3, vpn, cpl(), access, gen)) {
             ++machine_.stats().tlbHits;
             machine_.tracer().instant(trace::Category::TlbHit, vpn);
             return e->gpaPage | (va & (kPageSize - 1));
@@ -138,7 +147,7 @@ Vcpu::translate(Gva va, Access access) const
     Gpa page = pageAlignDown(t.gpa);
     if (machine_.tlbEnabled() &&
         machine_.rmp().allowed(vmpl(), page, access, cpl()))
-        v.tlb.insert(v.cr3, vpn, cpl(), access, page, t.pte);
+        v.tlb.insert(v.cr3, vpn, cpl(), access, page, t.pte, gen);
     return t.gpa;
 }
 

@@ -1,10 +1,39 @@
 #include "trace/trace.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace veil::trace {
+
+#if !defined(VEIL_TRACE_DISABLE)
+/**
+ * Per-thread tracer binding for multicore mode: which tracer the
+ * calling worker thread belongs to, its time source (the VCPU's TSC
+ * shard), its private host context, and the context currently charged.
+ * Single-threaded mode never consults this (cur_/tsc_ play the role).
+ */
+struct TracerThreadState
+{
+    const Tracer *owner = nullptr;
+    const uint64_t *clock = nullptr;
+    Tracer::Ctx *host = nullptr;
+    Tracer::Ctx *cur = nullptr;
+};
+
+namespace {
+thread_local TracerThreadState t_trace;
+
+uint64_t
+atomicLoad64(const uint64_t &v)
+{
+    return std::atomic_ref<uint64_t>(const_cast<uint64_t &>(v))
+        .load(std::memory_order_relaxed);
+}
+} // namespace
+#endif // !VEIL_TRACE_DISABLE
 
 const char *
 categoryName(Category c)
@@ -104,6 +133,7 @@ Tracer::configure(const TraceConfig &config, uint32_t num_vcpus,
     }
     tsc_ = tsc;
     cap_ = config.ringCapacity > 0 ? config.ringCapacity : 1;
+    numVcpus_ = num_vcpus;
     if (!enabled_)
         return;
     rings_.resize(num_vcpus + 1);
@@ -111,18 +141,96 @@ Tracer::configure(const TraceConfig &config, uint32_t num_vcpus,
         r.buf.reserve(std::min<size_t>(cap_, 4096));
 }
 
-Tracer::Ring &
-Tracer::ringFor(uint32_t vcpu)
+void
+Tracer::setMulticore(bool on)
 {
-    // Host events (and out-of-range VCPUs, defensively) share the last
-    // ring.
-    size_t idx = vcpu < rings_.size() - 1 ? vcpu : rings_.size() - 1;
-    return rings_[idx];
+    mt_ = on;
+    if (on && enabled_) {
+        mtHost_.resize(numVcpus_);
+        ringLocks_ = std::make_unique<base::Spinlock[]>(
+            rings_.empty() ? 1 : rings_.size());
+    }
 }
 
 void
-Tracer::record(Ring &ring, const Event &e)
+Tracer::presizeGuest(size_t n)
 {
+    if (!enabled_)
+        return;
+    if (guest_.size() < n)
+        guest_.resize(n);
+}
+
+void
+Tracer::bindThread(uint32_t vcpu, const uint64_t *clock)
+{
+    if (!enabled_ || !mt_)
+        return;
+    if (mtHost_.size() < numVcpus_)
+        mtHost_.resize(numVcpus_);
+    Ctx *host = &mtHost_.at(vcpu);
+    t_trace.owner = this;
+    t_trace.clock = clock;
+    t_trace.host = host;
+    t_trace.cur = host;
+}
+
+void
+Tracer::unbindThread()
+{
+    if (t_trace.owner == this)
+        t_trace = TracerThreadState{};
+}
+
+uint64_t
+Tracer::now() const
+{
+    if (mt_) {
+        const uint64_t *src = tsc_;
+        if (t_trace.owner == this && t_trace.clock != nullptr)
+            src = t_trace.clock;
+        return src != nullptr ? atomicLoad64(*src) : 0;
+    }
+    return tsc_ != nullptr ? *tsc_ : 0;
+}
+
+Tracer::Ctx *
+Tracer::currentCtx()
+{
+    if (mt_ && t_trace.owner == this && t_trace.cur != nullptr)
+        return t_trace.cur;
+    return cur_;
+}
+
+const Tracer::Ctx *
+Tracer::currentCtx() const
+{
+    return const_cast<Tracer *>(this)->currentCtx();
+}
+
+size_t
+Tracer::ringIdxFor(uint32_t vcpu) const
+{
+    // Host events (and out-of-range VCPUs, defensively) share the last
+    // ring.
+    return vcpu < rings_.size() - 1 ? vcpu : rings_.size() - 1;
+}
+
+void
+Tracer::record(size_t ring_idx, const Event &e)
+{
+    Ring &ring = rings_[ring_idx];
+    if (mt_ && ringLocks_) {
+        std::lock_guard<base::Spinlock> guard(ringLocks_[ring_idx]);
+        if (ring.buf.size() < cap_) {
+            ring.buf.push_back(e);
+            return;
+        }
+        ring.buf[ring.head] = e;
+        ring.head = (ring.head + 1) % cap_;
+        ++ring.dropped;
+        return;
+    }
     if (ring.buf.size() < cap_) {
         ring.buf.push_back(e);
         return;
@@ -134,10 +242,40 @@ Tracer::record(Ring &ring, const Event &e)
 }
 
 void
+Tracer::onChargeMt(uint64_t cycles)
+{
+    std::atomic_ref<uint64_t>(total_).fetch_add(cycles,
+                                                std::memory_order_relaxed);
+    Ctx *ctx = currentCtx();
+    size_t cat;
+    if (ctx->stack.empty()) {
+        cat = static_cast<size_t>(ctx->defaultCat);
+    } else {
+        OpenSpan &top = ctx->stack.back();
+        top.self += cycles; // context is thread-private (VCPU affinity)
+        cat = static_cast<size_t>(top.cat);
+    }
+    std::atomic_ref<uint64_t>(cyclesByCat_[cat])
+        .fetch_add(cycles, std::memory_order_relaxed);
+}
+
+void
 Tracer::enterContext(uint32_t vmsa, uint32_t vcpu, uint8_t vmpl)
 {
     if (!enabled_)
         return;
+    if (mt_ && t_trace.owner == this) {
+        // Contexts were pre-sized before workers spawned; a VMSA's
+        // context is only ever touched by its VCPU's worker thread.
+        if (vmsa >= guest_.size())
+            return;
+        Ctx &ctx = guest_[vmsa];
+        ctx.vcpu = vcpu;
+        ctx.vmpl = vmpl;
+        ctx.defaultCat = Category::GuestRun;
+        t_trace.cur = &ctx;
+        return;
+    }
     if (vmsa >= guest_.size())
         guest_.resize(vmsa + 1);
     Ctx &ctx = guest_[vmsa];
@@ -152,6 +290,10 @@ Tracer::exitContext()
 {
     if (!enabled_)
         return;
+    if (mt_ && t_trace.owner == this) {
+        t_trace.cur = t_trace.host;
+        return;
+    }
     cur_ = &host_;
 }
 
@@ -160,7 +302,8 @@ Tracer::instant(Category cat, uint64_t arg)
 {
     if (!enabled_)
         return;
-    instantAt(cur_->vcpu, cur_->vmpl, cat, arg);
+    const Ctx *ctx = currentCtx();
+    instantAt(ctx->vcpu, ctx->vmpl, cat, arg);
 }
 
 void
@@ -175,7 +318,7 @@ Tracer::instantAt(uint32_t vcpu, uint8_t vmpl, Category cat, uint64_t arg)
     e.vmpl = vmpl;
     e.tsc = now();
     e.arg = arg;
-    record(ringFor(vcpu), e);
+    record(ringIdxFor(vcpu), e);
 }
 
 void
@@ -183,7 +326,7 @@ Tracer::beginSpan(Category cat, uint64_t arg)
 {
     if (!enabled_)
         return;
-    cur_->stack.push_back(OpenSpan{cat, now(), arg, 0});
+    currentCtx()->stack.push_back(OpenSpan{cat, now(), arg, 0});
 }
 
 void
@@ -191,26 +334,36 @@ Tracer::endSpan()
 {
     if (!enabled_)
         return;
+    Ctx *cur = currentCtx();
     // Tolerate a pop on an empty stack: RAII spans unwinding through a
     // fiber teardown may fire after their context was already switched
     // away (the machine is dying; nothing to record).
-    if (cur_->stack.empty())
+    if (cur->stack.empty())
         return;
-    OpenSpan top = cur_->stack.back();
-    cur_->stack.pop_back();
+    OpenSpan top = cur->stack.back();
+    cur->stack.pop_back();
 
     Event e;
     e.cat = top.cat;
     e.kind = EventKind::Span;
-    e.vcpu = cur_->vcpu;
-    e.vmpl = cur_->vmpl;
+    e.vcpu = cur->vcpu;
+    e.vmpl = cur->vmpl;
     e.tsc = top.start;
     e.dur = now() - top.start;
     e.self = top.self;
     e.arg = top.arg;
-    record(ringFor(cur_->vcpu), e);
+    record(ringIdxFor(cur->vcpu), e);
 
     SpanHistogram &h = hist_[static_cast<size_t>(top.cat)];
+    if (mt_) {
+        std::lock_guard<base::Spinlock> guard(histLock_);
+        ++h.buckets[log2Bucket(top.self)];
+        ++h.count;
+        h.sum += top.self;
+        if (top.self > h.max)
+            h.max = top.self;
+        return;
+    }
     ++h.buckets[log2Bucket(top.self)];
     ++h.count;
     h.sum += top.self;
@@ -232,7 +385,7 @@ Tracer::spanAt(uint32_t vcpu, uint8_t vmpl, Category cat, uint64_t t0,
     e.tsc = t0;
     e.dur = t1 >= t0 ? t1 - t0 : 0;
     e.arg = arg;
-    record(ringFor(vcpu), e);
+    record(ringIdxFor(vcpu), e);
 }
 
 uint64_t

@@ -34,7 +34,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
+
+#include "base/spinlock.hh"
 
 namespace veil::trace {
 
@@ -137,6 +140,25 @@ class Tracer
 
     bool enabled() const { return enabled_; }
 
+    // ---- Multicore support (DESIGN.md §12) ----
+    //
+    // Off (the default), nothing below is consulted and every path is
+    // byte-identical to the single-threaded tracer. On, each worker
+    // thread gets its own host context + clock (bindThread), ring
+    // appends take a per-ring spinlock, and shared counters (totals,
+    // per-category cycles, histograms) use relaxed atomics — the
+    // attribution reconciliation invariant survives, per-VCPU rings
+    // stay monotonic in their own virtual time.
+
+    /** Enable thread-safe paths (call before any worker runs). */
+    void setMulticore(bool on);
+    /** Pre-size guest contexts so enterContext never reallocates while
+     *  workers run (call before spawning; @p n = VMSA count). */
+    void presizeGuest(size_t n);
+    /** Bind the calling worker thread: its VCPU track + time source. */
+    void bindThread(uint32_t vcpu, const uint64_t *clock);
+    void unbindThread();
+
     // ---- Context switching (Machine only) ----
 
     /** Enter guest context @p vmsa (on VMENTER). */
@@ -149,6 +171,10 @@ class Tracer
     {
         if (!enabled_)
             return;
+        if (mt_) {
+            onChargeMt(cycles);
+            return;
+        }
         total_ += cycles;
         Ctx &ctx = *cur_;
         if (ctx.stack.empty()) {
@@ -207,6 +233,8 @@ class Tracer
         uint64_t dropped = 0; ///< events overwritten (flight recorder)
     };
 
+    friend struct TracerThreadState;
+
     struct OpenSpan
     {
         Category cat;
@@ -223,9 +251,12 @@ class Tracer
         std::vector<OpenSpan> stack;
     };
 
-    uint64_t now() const { return tsc_ ? *tsc_ : 0; }
-    Ring &ringFor(uint32_t vcpu);
-    void record(Ring &ring, const Event &e);
+    uint64_t now() const;
+    size_t ringIdxFor(uint32_t vcpu) const;
+    void record(size_t ring_idx, const Event &e);
+    void onChargeMt(uint64_t cycles);
+    Ctx *currentCtx();
+    const Ctx *currentCtx() const;
 
     bool enabled_ = false;
     const uint64_t *tsc_ = nullptr;
@@ -237,6 +268,12 @@ class Tracer
     uint64_t total_ = 0;
     uint64_t cyclesByCat_[kCategoryCount] = {};
     SpanHistogram hist_[kCategoryCount];
+    // ---- Multicore state ----
+    bool mt_ = false;
+    uint32_t numVcpus_ = 0;
+    std::vector<Ctx> mtHost_; ///< per-worker-thread host contexts
+    std::unique_ptr<base::Spinlock[]> ringLocks_; ///< one per ring
+    base::Spinlock histLock_;
 };
 
 #else // VEIL_TRACE_DISABLE
@@ -251,6 +288,11 @@ class Tracer
 
     void configure(const TraceConfig &, uint32_t, const uint64_t *) {}
     bool enabled() const { return false; }
+
+    void setMulticore(bool) {}
+    void presizeGuest(size_t) {}
+    void bindThread(uint32_t, const uint64_t *) {}
+    void unbindThread() {}
 
     void enterContext(uint32_t, uint32_t, uint8_t) {}
     void exitContext() {}
