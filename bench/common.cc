@@ -404,6 +404,11 @@ printVmStats(const snp::Machine &m, const kern::Kernel &k)
                          ? 2 * (s.opSubmitted - s.opDoorbells)
                          : 0;
     reg.addCounter("kernel.opring.switchesSaved", saved);
+    // Physical-frame pressure: live footprint, lifetime peak, and the
+    // budget ceiling (fleet benches gate eviction behaviour on these).
+    reg.addCounter("vm.frames.inUse", k.frames().inUse());
+    reg.addCounter("vm.frames.highWater", k.frames().highWater());
+    reg.addCounter("vm.frames.total", k.frames().totalFrames());
     printRegistry(reg, "Kernel VeilOp counters");
 }
 

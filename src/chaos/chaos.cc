@@ -28,6 +28,10 @@ faultSiteName(FaultSite site)
         return "doorbell-duplicate";
       case FaultSite::ThreadPreempt:
         return "thread-preempt";
+      case FaultSite::EvictRace:
+        return "evict-race";
+      case FaultSite::CloneRmpFlip:
+        return "clone-rmp-flip";
       case FaultSite::kCount:
         break;
     }
@@ -52,6 +56,8 @@ FaultPlan::forSeed(uint64_t seed)
         /* DoorbellDrop   */ 0.05,
         /* DoorbellDuplicate */ 0.03,
         /* ThreadPreempt  */ 0.04,
+        /* EvictRace      */ 0.05,
+        /* CloneRmpFlip   */ 0.004,
     };
     static constexpr uint32_t kBudget[kFaultSiteCount] = {
         /* RelayDrop      */ 48,
@@ -65,6 +71,8 @@ FaultPlan::forSeed(uint64_t seed)
         /* DoorbellDrop   */ 48,
         /* DoorbellDuplicate */ 16,
         /* ThreadPreempt  */ 128,
+        /* EvictRace      */ 32,
+        /* CloneRmpFlip   */ 2,
     };
 
     FaultPlan plan;

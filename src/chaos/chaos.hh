@@ -56,6 +56,13 @@ enum class FaultSite : uint8_t {
                     ///< deterministic simulated stall in single-thread
                     ///< mode, a real host-thread yield in multicore
                     ///< mode (stochastic interleaving by design)
+    EvictRace,      ///< fleet evictor (§13): evict a page the CLOCK
+                    ///< hand would have spared — the host scheduler
+                    ///< racing the accessor; the session faults the
+                    ///< page straight back in
+    CloneRmpFlip,   ///< host RMPUPDATE flips a sealed template page to
+                    ///< shared at clone time: every sharer's next read
+                    ///< of that page is an attributed #NPF halt
     kCount,
 };
 

@@ -52,15 +52,50 @@ Kernel::Kernel(Machine &machine, const core::CvmLayout &layout,
     audit_.setRules(config_.auditRules);
     auditRings_.resize(layout_.numVcpus);
     opRings_.resize(layout_.numVcpus);
+    deferredFreePages_.resize(layout_.numVcpus);
+    scheduledEnclaveVmsa_.assign(layout_.numVcpus, snp::kInvalidVmsa);
+    inEnclaveSession_.assign(layout_.numVcpus, 0);
+    idcbBusy_.assign(layout_.numVcpus, 0);
 }
 
 Kernel::~Kernel() = default;
 
+namespace {
+/// Fleet worker binding: kernel entry points called on an AP's host
+/// thread resolve to that AP's VCPU, not the BSP's.
+thread_local Vcpu *t_workerCpu = nullptr;
+} // namespace
+
+void
+Kernel::bindWorkerCpu(Vcpu *cpu)
+{
+    t_workerCpu = cpu;
+}
+
+Vcpu *
+Kernel::curCpu() const
+{
+    return t_workerCpu ? t_workerCpu : cpu_;
+}
+
 Vcpu &
 Kernel::cpu()
 {
-    ensure(cpu_ != nullptr, "Kernel: not booted");
-    return *cpu_;
+    Vcpu *c = curCpu();
+    ensure(c != nullptr, "Kernel: not booted");
+    return *c;
+}
+
+void
+Kernel::conAppend(const std::string &s)
+{
+    if (!machine_.multicore()) {
+        console_ += s;
+        return;
+    }
+    kernMu_.lock();
+    console_ += s;
+    kernMu_.unlock();
 }
 
 GuestEntry
@@ -74,9 +109,21 @@ Kernel::apEntry(uint32_t vcpu)
 {
     return [this, vcpu](Vcpu &cpu) {
         // AP bring-up handshake: per-CPU areas + online marker, then
-        // the AP parks (our workloads are driven from the BSP).
+        // the AP parks — unless a fleet worker body is installed, in
+        // which case the AP becomes a session worker (§13).
         cpu.burn(50'000);
-        onlineVcpus_.insert(vcpu);
+        if (machine_.multicore()) {
+            kernMu_.lock();
+            onlineVcpus_.insert(vcpu);
+            kernMu_.unlock();
+        } else {
+            onlineVcpus_.insert(vcpu);
+        }
+        if (workerMain_) {
+            bindWorkerCpu(&cpu);
+            workerMain_(*this, cpu, vcpu);
+            bindWorkerCpu(nullptr);
+        }
     };
 }
 
@@ -165,7 +212,7 @@ Kernel::bspMain(Vcpu &cpu)
     }
 
     booted_ = true;
-    console_ += "[kernel] boot complete\n";
+    conAppend("[kernel] boot complete\n");
 
     Process &init = makeProcess("init");
     if (init_)
@@ -174,12 +221,14 @@ Kernel::bspMain(Vcpu &cpu)
 }
 
 Process &
-Kernel::makeProcess(const std::string &comm)
+Kernel::makeProcess(const std::string &comm, bool light_as)
 {
     auto proc = std::make_unique<Process>();
     proc->pid = nextPid_++;
     proc->comm = comm;
-    proc->as = std::make_unique<AddressSpace>(machine_, *frames_);
+    proc->as = light_as ? std::make_unique<AddressSpace>(machine_, *frames_,
+                                                         dataHi_, textLo_)
+                        : std::make_unique<AddressSpace>(machine_, *frames_);
     // fds 0/1/2: console.
     for (int i = 0; i < 3; ++i) {
         FdEntry e;
@@ -188,6 +237,31 @@ Kernel::makeProcess(const std::string &comm)
     }
     processes_.push_back(std::move(proc));
     return *processes_.back();
+}
+
+void
+Kernel::reapProcess(Process &proc)
+{
+    ensure(!proc.enclave || !proc.enclave->alive,
+           "reapProcess: enclave still alive");
+    // Deferred EncFreePage completions hold a Process pointer; drain
+    // them before the process (and its address space) goes away.
+    opRingBarrier();
+    // Remaining user data frames (the ocall block, plain mmaps — the
+    // enclave driver already reclaimed its own).
+    for (const auto &[lo, vma] : proc.as->vmas()) {
+        for (Gva va = vma.lo; va < vma.hi; va += kPageSize) {
+            if (auto pa = proc.as->unmapUser(va))
+                frames_->free(*pa);
+        }
+    }
+    for (auto it = processes_.begin(); it != processes_.end(); ++it) {
+        if (it->get() == &proc) {
+            processes_.erase(it); // ~AddressSpace frees the PT tree
+            return;
+        }
+    }
+    ensure(false, "reapProcess: unknown process");
 }
 
 void
@@ -219,8 +293,9 @@ Kernel::callMonitor(IdcbMessage &msg)
     // already queued in the submission ring (program order = service
     // order; a queued PageStateChange and a sync one on the same page
     // must land in submission order).
-    if (config_.veilEnabled && config_.serviceBatching && cpu_ != nullptr &&
-        opRings_[cpu_->vcpuId()].pending > 0 && auditFlushAllowed()) {
+    if (config_.veilEnabled && config_.serviceBatching &&
+        curCpu() != nullptr &&
+        opRings_[curCpu()->vcpuId()].pending > 0 && auditFlushAllowed()) {
         opRingFlush(OpFlushTrigger::Barrier);
     }
     ++stats_.monitorCalls;
@@ -229,14 +304,14 @@ Kernel::callMonitor(IdcbMessage &msg)
     Vcpu &c = cpu();
     Gpa saved_ghcb = c.vmsa().ghcbGpa;
     Cpl saved_cpl = c.cpl();
-    bool saved_busy = idcbBusy_;
-    idcbBusy_ = true;
+    uint8_t saved_busy = idcbBusy_[c.vcpuId()];
+    idcbBusy_[c.vcpuId()] = 1;
     c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
     c.setCpl(Cpl::Supervisor);
     core::idcbCall(c, layout_.osMonIdcb(c.vcpuId()), Vmpl::Vmpl0, msg);
     c.vmsa().ghcbGpa = saved_ghcb;
     c.setCpl(saved_cpl);
-    idcbBusy_ = saved_busy;
+    idcbBusy_[c.vcpuId()] = saved_busy;
 }
 
 void
@@ -247,7 +322,7 @@ Kernel::callService(IdcbMessage &msg)
     // order). The doorbell itself is exempt — it *is* the drain.
     bool doorbell = msg.op == static_cast<uint32_t>(VeilOp::OpRingDoorbell);
     if (!doorbell && config_.veilEnabled && config_.serviceBatching &&
-        cpu_ != nullptr && opRings_[cpu_->vcpuId()].pending > 0 &&
+        curCpu() != nullptr && opRings_[curCpu()->vcpuId()].pending > 0 &&
         auditFlushAllowed()) {
         opRingFlush(OpFlushTrigger::Barrier);
     }
@@ -263,15 +338,15 @@ Kernel::callService(IdcbMessage &msg)
     Vcpu &c = cpu();
     Gpa saved_ghcb = c.vmsa().ghcbGpa;
     Cpl saved_cpl = c.cpl();
-    bool saved_busy = idcbBusy_;
-    idcbBusy_ = true;
+    uint8_t saved_busy = idcbBusy_[c.vcpuId()];
+    idcbBusy_[c.vcpuId()] = 1;
     c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
     c.setCpl(Cpl::Supervisor);
     core::idcbCall(c, layout_.osSrvIdcb(c.vcpuId()), Vmpl::Vmpl1, msg,
                    doorbell ? core::kSwitchHintDoorbell : 0);
     c.vmsa().ghcbGpa = saved_ghcb;
     c.setCpl(saved_cpl);
-    idcbBusy_ = saved_busy;
+    idcbBusy_[c.vcpuId()] = saved_busy;
 }
 
 void
@@ -451,8 +526,8 @@ Kernel::invokeModule(int64_t handle)
     // Instruction fetch from the module's text (RMP-exec-checked).
     c.checkExec(it->second.entry);
     c.burn(2000);
-    console_ += strfmt("[module %lld] hello from module\n",
-                       (long long)handle);
+    conAppend(strfmt("[module %lld] hello from module\n",
+                     (long long)handle));
     return 0;
 }
 
@@ -519,6 +594,13 @@ Kernel::enclaveCreate(Process &proc, VeilEnclaveCreateArgs &args)
         return -kEACCES;
     }
 
+    // Creating the Dom-ENC VMSA re-pointed the hypervisor's
+    // (vcpu, Vmpl2) slot at the new VMSA (VeilMon registers it), so the
+    // scheduler cache no longer matches the registry. Invalidate it:
+    // the next prepEnclaveRun re-registers whichever enclave actually
+    // gets the VCPU, instead of switching into the stale slot.
+    scheduledEnclaveVmsa_[c.vcpuId()] = kInvalidVmsa;
+
     EnclaveState st;
     st.id = m.ret[0];
     st.vmsa = static_cast<VmsaId>(m.ret[1]);
@@ -551,10 +633,125 @@ Kernel::enclaveDestroy(Process &proc)
     callService(m);
     if (!okStatus(m))
         return -kEACCES;
-    proc.enclave->alive = false;
+    EnclaveState &st = *proc.enclave;
+    st.alive = false;
     for (auto &[lo, vma] : proc.as->vmas())
         const_cast<VmArea &>(vma).enclave = false;
+    if (st.snapshotId != 0) {
+        // Fleet sessions recycle by the thousand: reclaim the OS-side
+        // frames (private CoW copies — VeilS-ENC just scrubbed them —
+        // and the GHCB) so the fleet's frame budget is a steady state.
+        // Classic enclaves keep the historical leak-on-exit behaviour
+        // so their cycle-pinned teardown paths stay untouched.
+        for (const auto &[va, ref] : st.resident) {
+            if (auto leaf = proc.as->userLeaf(va)) {
+                proc.as->unmapUser(va);
+                frames_->free(*leaf & kPteAddrMask);
+            }
+        }
+        st.resident.clear();
+        st.swapStore.clear();
+        proc.as->unmapUser(st.ghcbGva);
+        pageStateChange(st.ghcbGpa, /*shared=*/false);
+        frames_->free(st.ghcbGpa);
+    }
     return 0;
+}
+
+int64_t
+Kernel::enclaveSnapshot(Process &proc, VeilSnapshotArgs &args)
+{
+    if (!config_.veilEnabled || !proc.enclave || !proc.enclave->alive)
+        return -kENOENT;
+    EnclaveState &st = *proc.enclave;
+    if (st.snapshotId != 0)
+        return -kEPERM; // clones and sealed sources cannot re-seal
+    if (!st.swapStore.empty())
+        return -kEAGAIN; // restore evicted pages before sealing
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::EncSnapshot);
+    m.args[0] = st.id;
+    callService(m);
+    if (!okStatus(m))
+        return -kEACCES;
+    // The source is now itself a CoW sharer of the sealed image: its
+    // next write to an image page takes the EncCloneFault path.
+    st.snapshotId = m.ret[0];
+    args.snapshotId = m.ret[0];
+    args.pages = m.ret[1];
+    return 0;
+}
+
+int64_t
+Kernel::enclaveClone(Process &proc, VeilCloneArgs &args)
+{
+    if (!config_.veilEnabled || proc.enclave)
+        return -kEPERM;
+    if (!isPageAligned(args.ghcbGva) || args.snapshotId == 0)
+        return -kEINVAL;
+
+    Vcpu &c = cpu();
+    // Same GHCB plumbing as enclaveCreate: fresh frame, shared via
+    // VeilMon, mapped into the clone process, switch-restricted.
+    Gpa ghcb_frame = frames_->alloc();
+    pageStateChange(ghcb_frame, /*shared=*/true);
+    proc.as->mapUser(args.ghcbGva, ghcb_frame, kPROT_READ | kPROT_WRITE);
+    {
+        Gpa saved = c.vmsa().ghcbGpa;
+        c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
+        Ghcb g;
+        g.exitCode = static_cast<uint64_t>(GhcbExit::RestrictGhcb);
+        g.info[0] = ghcb_frame;
+        c.hypercall(g);
+        c.vmsa().ghcbGpa = saved;
+    }
+
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::EncClone);
+    m.args[0] = args.snapshotId;
+    m.args[1] = proc.as->cr3();
+    m.args[2] = ghcb_frame;
+    m.args[3] = c.vcpuId();
+    callService(m);
+    if (!okStatus(m)) {
+        proc.as->unmapUser(args.ghcbGva);
+        pageStateChange(ghcb_frame, /*shared=*/false);
+        frames_->free(ghcb_frame);
+        return -kEACCES;
+    }
+
+    // Same registry/cache coherence rule as enclaveCreate: the clone's
+    // fresh VMSA now owns the hypervisor's (vcpu, Vmpl2) slot.
+    scheduledEnclaveVmsa_[c.vcpuId()] = kInvalidVmsa;
+
+    EnclaveState st;
+    st.id = m.ret[0];
+    st.vmsa = static_cast<VmsaId>(m.ret[1]);
+    st.lo = m.ret[2];
+    st.hi = m.ret[3];
+    st.ghcbGpa = ghcb_frame;
+    st.ghcbGva = args.ghcbGva;
+    st.alive = true;
+    st.snapshotId = args.snapshotId;
+    proc.enclave = st;
+
+    args.vaLo = st.lo;
+    args.vaHi = st.hi;
+    args.enclaveId = st.id;
+    args.vmsaId = st.vmsa;
+    return 0;
+}
+
+int64_t
+Kernel::enclaveSnapshotRelease(uint64_t snapshot_id)
+{
+    if (!config_.veilEnabled || snapshot_id == 0)
+        return -kEINVAL;
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::EncSnapshotRelease);
+    m.args[0] = snapshot_id;
+    callService(m);
+    return okStatus(m) ? 0 : -kENOENT;
 }
 
 int64_t
@@ -577,7 +774,7 @@ Kernel::enclaveFreePage(Process &proc, Gva va)
     // frame (and the VA mapping) must stay untouched until then.
     uint32_t seq = 0;
     if (opSubmit(m, &seq)) {
-        deferredFreePages_.push_back({seq, &proc, va, pa});
+        deferredFreePages_[cpu().vcpuId()].push_back({seq, &proc, va, pa});
         return 0;
     }
     if (config_.veilEnabled && config_.serviceBatching)
@@ -593,6 +790,7 @@ Kernel::enclaveFreePage(Process &proc, Gva va)
     cpu().readPhys(pa, swapped.data(), swapped.size());
     proc.enclave->swapStore[va] = std::move(swapped);
     proc.as->unmapUser(va);
+    proc.enclave->resident.erase(va);
     frames_->free(pa);
     return 0;
 }
@@ -635,6 +833,7 @@ Kernel::enclaveHandleFault(Process &proc, Gva va)
         }
         proc.as->mapUser(va, frame, kPROT_READ | kPROT_WRITE);
         st.swapStore.erase(swap_it);
+        st.resident[va] = 1;
         return 0;
     }
 
@@ -652,6 +851,26 @@ Kernel::enclaveHandleFault(Process &proc, Gva va)
                     (vma->prot & kPROT_EXEC ? 2 : 0);
         callService(m);
         return okStatus(m) ? 0 : -kEACCES;
+    }
+
+    if (st.snapshotId != 0) {
+        // CoW break (§13): a clone (or sealed source) wrote a shared
+        // template page. Hand VeilS-ENC a fresh frame; it copies the
+        // contents and remaps the page privately with write restored.
+        Gpa frame = frames_->alloc();
+        IdcbMessage m;
+        m.op = static_cast<uint32_t>(VeilOp::EncCloneFault);
+        m.args[0] = st.id;
+        m.args[1] = va;
+        m.args[2] = frame;
+        callService(m);
+        if (!okStatus(m)) {
+            frames_->free(frame);
+            return -kEACCES;
+        }
+        proc.as->mapUser(va, frame, kPROT_READ | kPROT_WRITE);
+        st.resident[va] = 1;
+        return 0;
     }
     return -kEFAULT;
 }
@@ -672,7 +891,7 @@ Kernel::prepEnclaveRun(Process &proc)
     Vcpu &c = cpu();
     // Scheduler hook (§6.2): when a different enclave gets the VCPU,
     // point the hypervisor's Dom-ENC slot at its VMSA.
-    if (scheduledEnclaveVmsa_ != proc.enclave->vmsa) {
+    if (scheduledEnclaveVmsa_[c.vcpuId()] != proc.enclave->vmsa) {
         Gpa saved = c.vmsa().ghcbGpa;
         c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
         Ghcb g;
@@ -682,13 +901,13 @@ Kernel::prepEnclaveRun(Process &proc)
         g.info[3] = proc.enclave->vmsa;
         c.hypercall(g);
         c.vmsa().ghcbGpa = saved;
-        scheduledEnclaveVmsa_ = proc.enclave->vmsa;
+        scheduledEnclaveVmsa_[c.vcpuId()] = proc.enclave->vmsa;
     }
     // Select the user-mapped GHCB and drop to user.
     c.vmsa().ghcbGpa = proc.enclave->ghcbGpa;
     c.setCr3(proc.as->cr3());
     c.setCpl(Cpl::User);
-    inEnclaveSession_ = true;
+    inEnclaveSession_[c.vcpuId()] = 1;
     c.burn(600);
 }
 
@@ -699,7 +918,7 @@ Kernel::finishEnclaveRun(Process &proc)
     c.vmsa().ghcbGpa = layout_.osGhcb(c.vcpuId());
     c.setCpl(Cpl::Supervisor);
     c.setCr3(0);
-    inEnclaveSession_ = false;
+    inEnclaveSession_[c.vcpuId()] = 0;
     c.burn(400);
 }
 
@@ -764,7 +983,11 @@ Kernel::auditFlushAllowed() const
     // No nested IDCB call while one is already in flight on this VCPU,
     // and no service call from inside an enclave session: ocall context
     // holds the enclave's GHCB/cr3, which a flush must not disturb.
-    return booted_ && !idcbBusy_ && !inEnclaveSession_;
+    Vcpu *c = curCpu();
+    if (!booted_ || c == nullptr)
+        return false;
+    uint32_t v = c->vcpuId();
+    return !idcbBusy_[v] && !inEnclaveSession_[v];
 }
 
 void
@@ -863,12 +1086,13 @@ Kernel::auditRingFlush(AuditFlushTrigger trigger)
 void
 Kernel::auditMaybeDeadlineFlush()
 {
-    if (!auditFlushAllowed() || cpu_ == nullptr)
+    Vcpu *c = curCpu();
+    if (!auditFlushAllowed() || c == nullptr)
         return;
-    AuditRingState &ring = auditRings_[cpu_->vcpuId()];
+    AuditRingState &ring = auditRings_[c->vcpuId()];
     if (ring.pending == 0)
         return;
-    if (cpu_->rdtsc() - ring.oldestTsc < config_.auditFlushDeadlineCycles)
+    if (c->rdtsc() - ring.oldestTsc < config_.auditFlushDeadlineCycles)
         return;
     auditRingFlush(AuditFlushTrigger::Deadline);
 }
@@ -901,8 +1125,8 @@ Kernel::opBatchingLegal() const
     // enclave GHCB/cr3 and deferring EncSyncPerms/EncFreePage there
     // would let the enclave touch not-yet-revoked frames), or while an
     // IDCB call is in flight on this VCPU.
-    return config_.veilEnabled && config_.serviceBatching && booted_ &&
-           !idcbBusy_ && !inEnclaveSession_;
+    return config_.veilEnabled && config_.serviceBatching &&
+           auditFlushAllowed();
 }
 
 uint64_t
@@ -1060,8 +1284,8 @@ Kernel::opCompletionArrived(const core::VeilOpCompletion &cpl)
 
     // Deferred EncFreePage: the frame now holds the sealed page image;
     // run the swap-out post-processing the sync path does inline.
-    for (auto it = deferredFreePages_.begin();
-         it != deferredFreePages_.end(); ++it) {
+    auto &dfp = deferredFreePages_[cpu().vcpuId()];
+    for (auto it = dfp.begin(); it != dfp.end(); ++it) {
         if (it->seq != cpl.seq)
             continue;
         if (!ok) {
@@ -1075,8 +1299,9 @@ Kernel::opCompletionArrived(const core::VeilOpCompletion &cpl)
         cpu().readPhys(it->pa, swapped.data(), swapped.size());
         p->enclave->swapStore[it->va] = std::move(swapped);
         p->as->unmapUser(it->va);
+        p->enclave->resident.erase(it->va);
         frames_->free(it->pa);
-        deferredFreePages_.erase(it);
+        dfp.erase(it);
         return;
     }
 
@@ -1094,12 +1319,13 @@ Kernel::opMaybeDeadlineFlush()
 {
     if (!config_.veilEnabled || !config_.serviceBatching)
         return;
-    if (!auditFlushAllowed() || cpu_ == nullptr)
+    Vcpu *c = curCpu();
+    if (!auditFlushAllowed() || c == nullptr)
         return;
-    OpRingState &ring = opRings_[cpu_->vcpuId()];
+    OpRingState &ring = opRings_[c->vcpuId()];
     if (ring.pending == 0)
         return;
-    if (cpu_->rdtsc() - ring.oldestTsc < config_.opFlushDeadlineCycles)
+    if (c->rdtsc() - ring.oldestTsc < config_.opFlushDeadlineCycles)
         return;
     opRingFlush(OpFlushTrigger::Deadline);
 }
@@ -1107,14 +1333,15 @@ Kernel::opMaybeDeadlineFlush()
 void
 Kernel::opRingBarrier()
 {
-    if (!config_.veilEnabled || !config_.serviceBatching || cpu_ == nullptr)
+    Vcpu *c = curCpu();
+    if (!config_.veilEnabled || !config_.serviceBatching || c == nullptr)
         return;
     opRingFlush(OpFlushTrigger::Barrier);
-    if (!deferredFreePages_.empty()) {
+    if (!deferredFreePages_[c->vcpuId()].empty()) {
         // A resync skipped a harvest round; collect the completions now.
         opHarvestCompletions();
     }
-    ensure(deferredFreePages_.empty(),
+    ensure(deferredFreePages_[c->vcpuId()].empty(),
            "opRingBarrier: deferred EncFreePage without a completion");
 }
 
@@ -1359,7 +1586,7 @@ Kernel::sysWrite(Process &p, int fd, Gva buf, uint64_t len,
         std::string text(len, '\0');
         c.read(buf, text.data(), len);
         if (console_.size() < (1u << 20))
-            console_ += text;
+            conAppend(text);
         return static_cast<int64_t>(len);
     }
     if (e->type == FdEntry::Type::Socket)
@@ -1466,11 +1693,29 @@ Kernel::sysMmap(Process &p, Gva addr, uint64_t len, int prot, int flags,
             addr + pages * kPageSize > core::kUserVaHi) {
             return -kEINVAL;
         }
+        // Enclave regions are pinned until destroy (same rule as
+        // munmap); everything else is replaced below.
+        for (size_t i = 0; i < pages; ++i) {
+            VmArea *old = p.as->findVma(addr + i * kPageSize);
+            if (old && old->enclave)
+                return -kEINVAL;
+        }
         va = addr;
     } else {
         va = p.as->allocUserRange(pages);
     }
     for (size_t i = 0; i < pages; ++i) {
+        // MAP_FIXED atomically replaces an existing *user* mapping; the
+        // old frame goes back to the allocator instead of leaking. The
+        // user-bit check matters: in a full address space the
+        // supervisor identity map aliases these GVAs, and tearing out
+        // an identity PTE would free a frame the allocator never owned.
+        if (auto old = p.as->userLeaf(va + i * kPageSize)) {
+            if (*old & snp::PteUser) {
+                p.as->unmapUser(va + i * kPageSize);
+                frames_->free(*old & snp::kPteAddrMask);
+            }
+        }
         Gpa frame = frames_->alloc();
         machine_.memory().zeroPage(frame);
         c.burn(kPageZeroCycles);
@@ -1546,7 +1791,7 @@ Kernel::sysMprotect(Process &p, Gva addr, uint64_t len, int prot)
         // Enclave-region permission changes are mediated by VeilS-ENC
         // (§6.2): requests originate from the enclave (via its GHCB /
         // ocall path) and the service bounds them to the enclave range.
-        if (!inEnclaveSession_)
+        if (!inEnclaveSession_[cpu().vcpuId()])
             return -kEACCES; // the OS itself may not touch enclave perms
         IdcbMessage m;
         m.op = static_cast<uint32_t>(VeilOp::EncMprotect);
@@ -1689,6 +1934,22 @@ Kernel::sysIoctl(Process &p, int fd, uint64_t cmd, Gva arg)
       }
       case kVeilIocEnclaveDestroy:
         return enclaveDestroy(p);
+      case kVeilIocEnclaveSnapshot: {
+          VeilSnapshotArgs a = c.readObj<VeilSnapshotArgs>(arg);
+          int64_t ret = enclaveSnapshot(p, a);
+          if (ret == 0)
+              c.writeObj(arg, a);
+          return ret;
+      }
+      case kVeilIocEnclaveClone: {
+          VeilCloneArgs a = c.readObj<VeilCloneArgs>(arg);
+          int64_t ret = enclaveClone(p, a);
+          if (ret == 0)
+              c.writeObj(arg, a);
+          return ret;
+      }
+      case kVeilIocSnapshotRelease:
+        return enclaveSnapshotRelease(c.readObj<uint64_t>(arg));
       default:
         return -kENOSYS;
     }

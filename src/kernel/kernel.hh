@@ -12,6 +12,7 @@
 
 #include <functional>
 
+#include "base/spinlock.hh"
 #include "base/stat_counter.hh"
 #include "kernel/audit.hh"
 #include "kernel/process.hh"
@@ -109,13 +110,44 @@ class Kernel
     /** The "init program": the workload driver run after boot. */
     void setInit(InitFn fn) { init_ = std::move(fn); }
 
+    /**
+     * Fleet worker body run by each hotplugged AP after its bring-up
+     * handshake (multicore fleet mode). Runs in the AP's guest fiber on
+     * the AP's host thread with that VCPU bound as the thread's kernel
+     * CPU, so syscalls and enclave sessions issued from it use the
+     * AP's own GHCB/IDCB/rings.
+     */
+    using WorkerFn = std::function<void(Kernel &, snp::Vcpu &, uint32_t)>;
+    void setWorkerMain(WorkerFn fn) { workerMain_ = std::move(fn); }
+
+    /**
+     * Bind @p cpu as the calling host thread's kernel CPU: kernel
+     * entry points invoked on this thread resolve cpu() to it instead
+     * of the BSP. Pass nullptr to unbind.
+     */
+    static void bindWorkerCpu(snp::Vcpu *cpu);
+
     // ---- Syscall interface (used by the SDK environments) ----
 
     int64_t syscall(Process &proc, uint32_t no, const uint64_t args[6]);
 
     // ---- Kernel services ----
 
-    Process &makeProcess(const std::string &comm);
+    /**
+     * @p light_as: give the process a supervisor identity map bounded
+     * to the kernel image (fleet sessions; see AddressSpace) instead of
+     * all physical memory.
+     */
+    Process &makeProcess(const std::string &comm, bool light_as = false);
+    /**
+     * Tear a finished process down and return its memory — remaining
+     * user data frames, then the whole page-table tree — to the frame
+     * allocator. The classic kernel never bothered (processes lived for
+     * the whole VM); fleet sessions churn thousands of processes, so
+     * their ~dozen frames each must come back. The enclave (if any)
+     * must already be destroyed. Invalidates @p proc.
+     */
+    void reapProcess(Process &proc);
     snp::Vcpu &cpu();
     bool booted() const { return booted_; }
     const KernelStats &stats() const { return stats_; }
@@ -123,6 +155,7 @@ class Kernel
     RamFs &fs() { return fs_; }
     NetStack &net() { return net_; }
     FrameAllocator &frames() { return *frames_; }
+    const FrameAllocator &frames() const { return *frames_; }
     const KernelConfig &config() const { return config_; }
     const core::CvmLayout &layout() const { return layout_; }
 
@@ -178,6 +211,12 @@ class Kernel
 
     int64_t enclaveCreate(Process &proc, VeilEnclaveCreateArgs &args);
     int64_t enclaveDestroy(Process &proc);
+    /** §13: seal the process's enclave as a copy-on-write template. */
+    int64_t enclaveSnapshot(Process &proc, VeilSnapshotArgs &args);
+    /** §13: instantiate a CoW clone of a sealed template. */
+    int64_t enclaveClone(Process &proc, VeilCloneArgs &args);
+    /** §13: drop the kernel's reference on a sealed template. */
+    int64_t enclaveSnapshotRelease(uint64_t snapshotId);
     /** Memory-pressure path: evict one enclave page to "disk". */
     int64_t enclaveFreePage(Process &proc, snp::Gva va);
     /** #PF handler path: restore an evicted page / sync a lazy map. */
@@ -208,6 +247,11 @@ class Kernel
   private:
     void bspMain(snp::Vcpu &cpu);
     void validateAllMemoryNative(snp::Vcpu &cpu);
+    /** The calling thread's kernel CPU (worker binding, else the BSP);
+     *  nullptr before boot. */
+    snp::Vcpu *curCpu() const;
+    /** Append to the kernel console (spinlocked in multicore mode). */
+    void conAppend(const std::string &s);
     void pageStateChange(snp::Gpa page, bool shared);
     void auditHook(Process &proc, uint32_t no, const uint64_t args[6]);
     uint64_t syscallBaseCost(uint32_t no) const;
@@ -312,14 +356,17 @@ class Kernel
 
     int nextPid_ = 1;
     uint32_t nextEphemeralPort_ = 40000;
-    uint64_t scheduledEnclaveVmsa_ = snp::kInvalidVmsa;
-    /// True while servicing an ocall from a running enclave: such
-    /// requests originate *inside* the enclave (§6.2).
-    bool inEnclaveSession_ = false;
+    /// Per-VCPU: the Dom-ENC VMSA the hypervisor's slot currently
+    /// points at (the fleet scheduler re-registers on a mismatch).
+    std::vector<snp::VmsaId> scheduledEnclaveVmsa_;
+    /// Per-VCPU: true while servicing an ocall from a running enclave —
+    /// such requests originate *inside* the enclave (§6.2).
+    std::vector<uint8_t> inEnclaveSession_;
     std::vector<AuditRingState> auditRings_; ///< one per VCPU
     std::vector<OpRingState> opRings_;       ///< one per VCPU (§11)
     /// EncFreePage post-processing (seal-capture + unmap + frame free)
-    /// deferred until the op's completion is harvested.
+    /// deferred until the op's completion is harvested. Per VCPU: the
+    /// sequence numbers are per-VCPU ring sequences.
     struct DeferredFreePage
     {
         uint32_t seq;
@@ -327,10 +374,14 @@ class Kernel
         snp::Gva va;
         snp::Gpa pa;
     };
-    std::vector<DeferredFreePage> deferredFreePages_;
-    /// True while an IDCB call is in flight on this VCPU; the timer
-    /// flush hook must not start a nested call.
-    bool idcbBusy_ = false;
+    std::vector<std::vector<DeferredFreePage>> deferredFreePages_;
+    /// Per-VCPU: true while an IDCB call is in flight; the timer flush
+    /// hook must not start a nested call.
+    std::vector<uint8_t> idcbBusy_;
+    WorkerFn workerMain_;
+    /// Guards console_ and onlineVcpus_ against concurrent fleet
+    /// workers (only taken in multicore mode).
+    mutable base::Spinlock kernMu_;
     SyscallTamper tamper_;
 };
 

@@ -6,6 +6,7 @@
 
 #include "base/log.hh"
 #include "kernel/uapi.hh"
+#include "snp/fault.hh"
 #include "veil/services/enc.hh" // kUserVaLo/Hi
 
 namespace veil::kern {
@@ -62,8 +63,21 @@ FrameAllocator::bumpAlloc(size_t pages)
     return f;
 }
 
-Gpa
-FrameAllocator::alloc()
+void
+FrameAllocator::countAlloc(size_t pages)
+{
+    uint64_t now =
+        inUse_.fetch_add(pages, std::memory_order_relaxed) + pages;
+    // Racy max-assign is fine: counters are statistics, not sync.
+    uint64_t peak = highWater_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !highWater_.compare_exchange_weak(peak, now,
+                                             std::memory_order_relaxed)) {
+    }
+}
+
+std::optional<Gpa>
+FrameAllocator::tryAllocNoCount()
 {
     if (!mt_) {
         if (!freeList_.empty()) {
@@ -72,7 +86,7 @@ FrameAllocator::alloc()
             return f;
         }
         if (next_ >= hi_)
-            panic("FrameAllocator: out of physical frames");
+            return std::nullopt;
         Gpa f = next_;
         next_ += kPageSize;
         return f;
@@ -102,7 +116,31 @@ FrameAllocator::alloc()
             return stolen;
         }
     }
-    panic("FrameAllocator: out of physical frames");
+    return std::nullopt;
+}
+
+std::optional<Gpa>
+FrameAllocator::tryAlloc()
+{
+    std::optional<Gpa> f = tryAllocNoCount();
+    if (f)
+        countAlloc(1);
+    return f;
+}
+
+Gpa
+FrameAllocator::alloc()
+{
+    std::optional<Gpa> f = tryAllocNoCount();
+    if (!f && reclaim_ && reclaim_())
+        f = tryAllocNoCount();
+    if (!f)
+        throw CvmHaltFault("FrameAllocator: out of physical frames "
+                           "(in use " +
+                           std::to_string(inUse()) + "/" +
+                           std::to_string(totalFrames()) + ")");
+    countAlloc(1);
+    return *f;
 }
 
 Gpa
@@ -111,14 +149,16 @@ FrameAllocator::allocRange(size_t pages)
     if (!mt_) {
         // Contiguous ranges come from the bump region only.
         if (next_ + pages * kPageSize > hi_)
-            panic("FrameAllocator: out of contiguous frames");
+            throw CvmHaltFault("FrameAllocator: out of contiguous frames");
         Gpa f = next_;
         next_ += pages * kPageSize;
+        countAlloc(pages);
         return f;
     }
     Gpa f = bumpAlloc(pages);
     if (!isPageAligned(f))
-        panic("FrameAllocator: out of contiguous frames");
+        throw CvmHaltFault("FrameAllocator: out of contiguous frames");
+    countAlloc(pages);
     return f;
 }
 
@@ -126,6 +166,7 @@ void
 FrameAllocator::free(Gpa frame)
 {
     ensure(frame >= lo_ && frame < hi_, "FrameAllocator: foreign frame");
+    inUse_.fetch_sub(1, std::memory_order_relaxed);
     if (!mt_) {
         freeList_.push_back(frame);
         return;
@@ -149,7 +190,8 @@ FrameAllocator::freeFrames() const
     return n + (hi_ - next_) / kPageSize;
 }
 
-AddressSpace::AddressSpace(Machine &machine, FrameAllocator &frames)
+AddressSpace::AddressSpace(Machine &machine, FrameAllocator &frames,
+                           Gpa kernel_map_hi, Gpa kernel_map_lo)
     : machine_(machine),
       frames_(frames),
       editor_(
@@ -166,7 +208,9 @@ AddressSpace::AddressSpace(Machine &machine, FrameAllocator &frames)
       mmapCursor_(kUserMmapBase)
 {
     cr3_ = editor_.createRoot();
-    buildKernelIdentity();
+    buildKernelIdentity(kernel_map_lo ? kernel_map_lo : kPageSize,
+                        kernel_map_hi ? kernel_map_hi
+                                      : machine_.memory().size());
 }
 
 AddressSpace::~AddressSpace()
@@ -175,16 +219,16 @@ AddressSpace::~AddressSpace()
 }
 
 void
-AddressSpace::buildKernelIdentity()
+AddressSpace::buildKernelIdentity(Gpa lo, Gpa hi)
 {
-    // Supervisor identity mapping of all physical memory, executable:
-    // the kernel relies on VeilS-KCI's RMP W^X, not on NX (§6.1 — the
-    // attacker may flip NX bits anyway).
+    // Supervisor identity mapping of physical memory up to @p hi,
+    // executable: the kernel relies on VeilS-KCI's RMP W^X, not on NX
+    // (§6.1 — the attacker may flip NX bits anyway).
     PageFlags f;
     f.user = false;
     f.write = true;
     f.exec = true;
-    for (Gpa p = kPageSize; p < machine_.memory().size(); p += kPageSize)
+    for (Gpa p = lo; p < hi; p += kPageSize)
         editor_.map(cr3_, p, p, f);
 }
 
@@ -247,8 +291,23 @@ AddressSpace::removeVma(Gva lo)
 Gva
 AddressSpace::allocUserRange(size_t pages)
 {
+    // The cursor is a bump allocator, but MAP_FIXED mappings (a fleet
+    // clone pins its ocall block at the template's VA) may sit anywhere
+    // in the cursor range — skip past any VMA the candidate overlaps.
     Gva va = mmapCursor_;
-    mmapCursor_ += pages * kPageSize;
+    Gva hi = va + pages * kPageSize;
+    for (auto it = vmas_.begin(); it != vmas_.end();) {
+        if (it->second.hi <= va) {
+            ++it;
+            continue;
+        }
+        if (it->second.lo >= hi)
+            break;
+        va = it->second.hi;
+        hi = va + pages * kPageSize;
+        ++it;
+    }
+    mmapCursor_ = hi;
     if (mmapCursor_ > core::kUserVaHi)
         panic("AddressSpace: user VA space exhausted");
     return va;

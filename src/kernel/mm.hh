@@ -9,7 +9,10 @@
 #define VEIL_KERNEL_MM_HH_
 
 #include <array>
+#include <atomic>
+#include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "base/spinlock.hh"
@@ -39,22 +42,67 @@ class FrameAllocator
      *  using the allocator. */
     void setMulticore(bool on);
 
-    snp::Gpa alloc();              ///< panics on exhaustion
+    /**
+     * Recoverable allocation: std::nullopt when every free list, the
+     * bump region, and (MT) every steal target are empty. Does NOT run
+     * the reclaim hook — callers that can shed memory themselves (the
+     * fleet evictor) use this to probe for pressure without recursing.
+     */
+    std::optional<snp::Gpa> tryAlloc();
+
+    /**
+     * Allocate one frame. On exhaustion, runs the reclaim hook (if
+     * installed) and retries; if the hook cannot free anything the
+     * allocator raises an attributed CvmHaltFault ("out of physical
+     * frames") instead of asserting, so fleet workloads terminate as a
+     * diagnosable halt rather than a process abort.
+     */
+    snp::Gpa alloc();
     void free(snp::Gpa frame);
     snp::Gpa allocRange(size_t pages); ///< contiguous range
     size_t freeFrames() const;
     snp::Gpa lo() const { return lo_; }
     snp::Gpa hi() const { return hi_; }
 
+    /**
+     * Memory-pressure relief valve: called (outside all allocator
+     * locks) when alloc() finds no free frame. Return true if at least
+     * one frame may have been freed and the allocation should be
+     * retried. The hook must not call alloc()/allocRange() reentrantly
+     * from the same thread.
+     */
+    void setReclaimHook(std::function<bool()> hook)
+    {
+        reclaim_ = std::move(hook);
+    }
+
+    /** Frames currently handed out (allocs minus frees). */
+    uint64_t inUse() const
+    {
+        return inUse_.load(std::memory_order_relaxed);
+    }
+    /** Peak of inUse() over the allocator's lifetime. */
+    uint64_t highWater() const
+    {
+        return highWater_.load(std::memory_order_relaxed);
+    }
+    /** Total frames the allocator arbitrates. */
+    uint64_t totalFrames() const { return (hi_ - lo_) / snp::kPageSize; }
+
     static constexpr size_t kStripes = 16;
 
   private:
     size_t stripeFor() const;
     snp::Gpa bumpAlloc(size_t pages);
+    std::optional<snp::Gpa> tryAllocNoCount();
+    void countAlloc(size_t pages);
 
     snp::Gpa lo_, hi_, next_;
     std::vector<snp::Gpa> freeList_;
     bool mt_ = false;
+    std::function<bool()> reclaim_;
+    std::atomic<uint64_t> inUse_{0};
+    std::atomic<uint64_t> highWater_{0};
     mutable base::Spinlock bumpMu_;
     mutable std::array<base::Spinlock, kStripes> stripeMu_;
     std::array<std::vector<snp::Gpa>, kStripes> stripeFree_;
@@ -77,7 +125,16 @@ struct VmArea
 class AddressSpace
 {
   public:
-    AddressSpace(snp::Machine &machine, FrameAllocator &frames);
+    /**
+     * @p kernel_map_hi / @p kernel_map_lo bound the supervisor identity
+     * map: the defaults (0, first page) cover all physical memory,
+     * matching the classic layout; fleet session processes pass the
+     * kernel-image window instead, so a thousand address spaces don't
+     * each burn ~the whole page-table budget mapping memory the session
+     * never touches from CPL0.
+     */
+    AddressSpace(snp::Machine &machine, FrameAllocator &frames,
+                 snp::Gpa kernel_map_hi = 0, snp::Gpa kernel_map_lo = 0);
     ~AddressSpace();
 
     snp::Gpa cr3() const { return cr3_; }
@@ -99,7 +156,7 @@ class AddressSpace
     snp::Gva allocUserRange(size_t pages);
 
   private:
-    void buildKernelIdentity();
+    void buildKernelIdentity(snp::Gpa lo, snp::Gpa hi);
 
     snp::Machine &machine_;
     FrameAllocator &frames_;

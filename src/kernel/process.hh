@@ -37,9 +37,16 @@ struct EnclaveState
     snp::Gva ocallGva = 0;
     snp::Gva lo = 0, hi = 0;
     bool alive = false;
+    /// Nonzero when this enclave is a CoW clone: faults on shared
+    /// template pages are resolved via EncCloneFault (§13).
+    uint64_t snapshotId = 0;
     /// "Disk" swap store for evicted (encrypted) enclave pages; the OS
     /// tracks which page belongs to which enclave VA, like SGX (§6.2).
     std::map<snp::Gva, Bytes> swapStore;
+    /// Resident private pages (VA -> CLOCK referenced flag) for the
+    /// fleet evictor: set on fault-in, cleared by the sweep hand. Pure
+    /// OS bookkeeping — maintained host-side, costs no guest cycles.
+    std::map<snp::Gva, uint8_t> resident;
 };
 
 /** A process. */

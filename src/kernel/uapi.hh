@@ -124,6 +124,9 @@ struct TimeSpec
 // ---- ioctl: the Veil enclave driver (§7 kernel module) ----
 constexpr uint64_t kVeilIocEnclaveCreate = 0xbe110001;
 constexpr uint64_t kVeilIocEnclaveDestroy = 0xbe110002;
+constexpr uint64_t kVeilIocEnclaveSnapshot = 0xbe110003;
+constexpr uint64_t kVeilIocEnclaveClone = 0xbe110004;
+constexpr uint64_t kVeilIocSnapshotRelease = 0xbe110005;
 
 /** ioctl argument for enclave creation. */
 struct VeilEnclaveCreateArgs
@@ -133,6 +136,24 @@ struct VeilEnclaveCreateArgs
     uint64_t programId = 0;  ///< host registry id of the enclave binary
     uint64_t ocallGva = 0;   ///< shared ocall block (outside the enclave)
     uint64_t ghcbGva = 0;    ///< where to map the per-thread GHCB
+    uint64_t enclaveId = 0;  ///< out: assigned id
+    uint64_t vmsaId = 0;     ///< out: Dom-ENC VMSA handle
+};
+
+/** ioctl argument for sealing the calling process's enclave (§13). */
+struct VeilSnapshotArgs
+{
+    uint64_t snapshotId = 0; ///< out: sealed template handle
+    uint64_t pages = 0;      ///< out: image pages captured
+};
+
+/** ioctl argument for instantiating a CoW clone of a snapshot (§13). */
+struct VeilCloneArgs
+{
+    uint64_t snapshotId = 0; ///< template to clone
+    uint64_t ghcbGva = 0;    ///< where to map the clone's GHCB
+    uint64_t vaLo = 0;       ///< out: enclave window (from the template)
+    uint64_t vaHi = 0;       ///< out
     uint64_t enclaveId = 0;  ///< out: assigned id
     uint64_t vmsaId = 0;     ///< out: Dom-ENC VMSA handle
 };

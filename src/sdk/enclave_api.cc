@@ -176,6 +176,63 @@ EnclaveHost::create(EnclaveProgram program, const Params &params)
     return true;
 }
 
+bool
+EnclaveHost::snapshot(EnclaveSnapshot &out)
+{
+    ensure(alive_, "EnclaveHost: snapshot before create");
+    VeilSnapshotArgs args;
+    Gva staged = env_.stageBytes(&args, sizeof(args));
+    int64_t ret = env_.sys(kSysIoctl, 0, kVeilIocEnclaveSnapshot, staged);
+    if (ret != 0)
+        return false;
+    env_.copyOut(staged, &args, sizeof(args));
+    out.snapshotId = args.snapshotId;
+    out.pages = args.pages;
+    out.cfg = cfg_;
+    out.expectedMeasurement = expected_;
+    return true;
+}
+
+bool
+EnclaveHost::createFromSnapshot(const EnclaveSnapshot &snap)
+{
+    ensure(!alive_, "EnclaveHost: already created");
+    cfg_ = snap.cfg;
+    expected_ = snap.expectedMeasurement;
+
+    // The measured config page points the enclave at the template's
+    // ocall GVA and GHCB GVA; the clone process must present the same
+    // user addresses (fresh frames — only the enclave image is shared).
+    ocallGva_ = snap.cfg.ocallGva;
+    int64_t r = env_.sys(kSysMmap, ocallGva_, kOcallPages * kPageSize,
+                         kPROT_READ | kPROT_WRITE,
+                         kMAP_ANONYMOUS | kMAP_PRIVATE | kMAP_FIXED,
+                         uint64_t(-1), 0);
+    if (r < 0)
+        return false;
+
+    VeilCloneArgs args;
+    args.snapshotId = snap.snapshotId;
+    args.ghcbGva = cfg_.ghcbGva;
+    Gva staged = env_.stageBytes(&args, sizeof(args));
+    int64_t ret = env_.sys(kSysIoctl, 0, kVeilIocEnclaveClone, staged);
+    if (ret != 0)
+        return false;
+    env_.copyOut(staged, &args, sizeof(args));
+    ensure(args.vaLo == cfg_.enclaveLo && args.vaHi == cfg_.enclaveHi,
+           "EnclaveHost: clone window disagrees with the template config");
+    enclaveId_ = args.enclaveId;
+    alive_ = true;
+    return true;
+}
+
+int64_t
+EnclaveHost::releaseSnapshot(uint64_t snapshot_id)
+{
+    Gva staged = env_.stageBytes(&snapshot_id, sizeof(snapshot_id));
+    return env_.sys(kSysIoctl, 0, kVeilIocSnapshotRelease, staged);
+}
+
 void
 EnclaveHost::writeHeader(const OcallBlock &hdr)
 {

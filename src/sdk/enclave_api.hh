@@ -35,6 +35,21 @@ class ProgramRegistry
     uint64_t next_ = 1;
 };
 
+/**
+ * Host-side handle to a sealed enclave template (§13): everything a
+ * later process needs to instantiate and verify a CoW clone without
+ * re-measuring — the template's config (VA window, ocall GVA, program
+ * id) plus the expected attestation measurement, which every clone
+ * shares with its template.
+ */
+struct EnclaveSnapshot
+{
+    uint64_t snapshotId = 0;
+    uint64_t pages = 0;
+    EnclaveConfig cfg;
+    crypto::Digest expectedMeasurement{};
+};
+
 /** Drives one enclave from the untrusted application. */
 class EnclaveHost
 {
@@ -57,6 +72,21 @@ class EnclaveHost
 
     /** Install + finalize the enclave; false on rejection. */
     bool create(EnclaveProgram program, const Params &params = {});
+
+    /** Seal this (finalized, fully resident) enclave as a CoW template. */
+    bool snapshot(EnclaveSnapshot &out);
+
+    /**
+     * Instantiate this host's enclave as a copy-on-write clone of
+     * @p snap: no image build, no measurement pass — shared frames are
+     * mapped read-only and privatized on first write (§13). The ocall
+     * block is mapped at the template's GVA (the measured config page
+     * points the enclave at it).
+     */
+    bool createFromSnapshot(const EnclaveSnapshot &snap);
+
+    /** Drop the kernel's handle reference on a sealed template. */
+    int64_t releaseSnapshot(uint64_t snapshot_id);
 
     /** Enter the enclave and run its entry to completion. */
     int64_t call();

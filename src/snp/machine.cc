@@ -274,10 +274,23 @@ Machine::shutdownFibers()
 VmsaId
 Machine::addVmsa(Vmsa state)
 {
-    ensure(boundThreads_.load(std::memory_order_relaxed) == 0,
-           "Machine: addVmsa while multicore workers are running");
-    slots_.push_back(Slot{std::move(state), nullptr});
-    return static_cast<VmsaId>(slots_.size() - 1);
+    if (boundThreads_.load(std::memory_order_relaxed) == 0) {
+        slots_.push_back(Slot{std::move(state), nullptr});
+        return static_cast<VmsaId>(slots_.size() - 1);
+    }
+    // Multicore workers running (fleet clone creating a Dom-ENC VMSA):
+    // grow the slot table inside an exclusive section so no worker
+    // observes the deque's internal map mid-mutation. Slot *references*
+    // held by parked fibers stay valid (deque push_back guarantee).
+    // The tracer's per-guest contexts must grow under the same
+    // rendezvous for the same reason.
+    VmsaId id = kInvalidVmsa;
+    exclusive([&] {
+        slots_.push_back(Slot{std::move(state), nullptr});
+        id = static_cast<VmsaId>(slots_.size() - 1);
+        tracer_.presizeGuest(slots_.size());
+    });
+    return id;
 }
 
 Machine::Slot &

@@ -93,6 +93,10 @@ categoryName(Category c)
         return "fault-inject";
       case Category::RingFlush:
         return "ring-flush";
+      case Category::FleetSched:
+        return "fleet-sched";
+      case Category::Evict:
+        return "evict";
       case Category::kCount:
         break;
     }

@@ -35,6 +35,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <deque>
 #include <vector>
 
 #include "base/spinlock.hh"
@@ -70,6 +71,8 @@ enum class Category : uint8_t {
     AuditTruncate,   ///< audit record clamped to transport (arg = size)
     FaultInject,     ///< VeilChaos fault injected by the hypervisor
     RingFlush,       ///< VeilOp ring doorbell/drain (arg = ops, §11)
+    FleetSched,      ///< fleet clone/steal/quantum switch (§13)
+    Evict,           ///< memory-pressure page evict/restore (§13)
     kCount,
 };
 
@@ -263,7 +266,11 @@ class Tracer
     size_t cap_ = 0;
     std::vector<Ring> rings_; ///< [vcpu 0..n-1, host]
     Ctx host_;
-    std::vector<Ctx> guest_;  ///< indexed by VmsaId
+    /// Indexed by VmsaId. A deque on purpose: bound worker threads
+    /// cache raw Ctx pointers (t_trace.cur), and presizeGuest() must be
+    /// able to grow the table mid-run (fleet clones create VMSAs) while
+    /// every cached pointer to an existing element stays valid.
+    std::deque<Ctx> guest_;
     Ctx *cur_ = &host_;
     uint64_t total_ = 0;
     uint64_t cyclesByCat_[kCategoryCount] = {};

@@ -112,10 +112,20 @@ CvmLayout::compute(size_t mem_bytes, uint32_t vcpus, size_t image_bytes,
     cursor += pageAlignUp(image_bytes);
     l.imageEnd = cursor;
 
+    // Fleet-scale machines (> 64 MiB) get proportionally larger VMSA
+    // and Dom-SRV heap pools: a thousand-session clone fleet needs a
+    // Dom-ENC VMSA page and protected page-table frames per clone. The
+    // classic 64 MiB layout is bit-identical to keep every pinned
+    // frame address unchanged (cycle-determinism tests).
+    size_t mem_pages = mem_bytes / kPageSize;
+    bool fleet_scale = mem_bytes > 64 * 1024 * 1024;
+    Gpa vmsa_extra = (fleet_scale ? mem_pages / 16 : 0) * kPageSize;
+    Gpa srv_heap_pages = fleet_scale ? mem_pages / 8 : 512;
+
     l.monBase = cursor;
     l.vmsaPool = cursor;
     // VMSA pool: up to 4 domains per VCPU plus enclave headroom.
-    cursor += Gpa(vcpus) * 8 * kPageSize;
+    cursor += Gpa(vcpus) * 8 * kPageSize + vmsa_extra;
     l.vmsaPoolEnd = cursor;
     cursor += 64 * kPageSize; // monitor state headroom
     l.monEnd = cursor;
@@ -133,7 +143,7 @@ CvmLayout::compute(size_t mem_bytes, uint32_t vcpus, size_t image_bytes,
     l.srvIdcbBase = cursor;
     cursor += Gpa(vcpus) * kPageSize;
     l.srvHeap = cursor;
-    cursor += 512 * kPageSize; // enclave PT frames + staging (2 MiB)
+    cursor += srv_heap_pages * kPageSize; // enclave PT frames + staging
     l.srvEnd = cursor;
 
     l.osGhcbBase = cursor;

@@ -96,6 +96,14 @@ veilOpName(VeilOp op)
         return "log-append-batch";
       case VeilOp::OpRingDoorbell:
         return "op-ring-doorbell";
+      case VeilOp::EncSnapshot:
+        return "enc-snapshot";
+      case VeilOp::EncClone:
+        return "enc-clone";
+      case VeilOp::EncCloneFault:
+        return "enc-clone-fault";
+      case VeilOp::EncSnapshotRelease:
+        return "enc-snapshot-release";
     }
     return "unknown";
 }

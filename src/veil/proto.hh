@@ -64,11 +64,23 @@ enum class VeilOp : uint32_t {
                      ///< ret[0]=requests drained, ret[1]=completions
                      ///< posted (< ret[0] when the completion ring
                      ///< filled; the rest stay queued)
+
+    // ---- VeilFleet snapshot/clone (§13) ----
+    EncSnapshot,     ///< args[0]=enclave id; seals the enclave image as
+                     ///< a copy-on-write template; ret[0]=snapshot id,
+                     ///< ret[1]=page count
+    EncClone,        ///< args[0]=snapshot id, args[1]=new process cr3,
+                     ///< args[2]=ghcb gpa, args[3]=vcpu;
+                     ///< ret[0]=enclave id, ret[1]=vmsa id,
+                     ///< ret[2]=va lo, ret[3]=va hi (from the template)
+    EncCloneFault,   ///< CoW break: args[0]=enclave id, args[1]=gva,
+                     ///< args[2]=fresh frame gpa
+    EncSnapshotRelease, ///< args[0]=snapshot id; drop the kernel's ref
 };
 
 /** Number of VeilOp values (for per-op counter arrays). */
 constexpr size_t kVeilOpCount =
-    static_cast<size_t>(VeilOp::OpRingDoorbell) + 1;
+    static_cast<size_t>(VeilOp::EncSnapshotRelease) + 1;
 
 /** Stable lower-case name for metrics ("enc-free-page", ...). */
 const char *veilOpName(VeilOp op);

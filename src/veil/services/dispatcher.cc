@@ -150,7 +150,11 @@ ServiceDispatcher::dispatch(Vcpu &cpu, IdcbMessage &msg)
       case VeilOp::EncRestorePage:
       case VeilOp::EncMprotect:
       case VeilOp::EncSyncPerms:
-      case VeilOp::EncGetMeasurement: {
+      case VeilOp::EncGetMeasurement:
+      case VeilOp::EncSnapshot:
+      case VeilOp::EncClone:
+      case VeilOp::EncCloneFault:
+      case VeilOp::EncSnapshotRelease: {
           trace::SpanScope span(machine_.tracer(),
                                 trace::Category::ServiceEnc, msg.op);
           enc_.handle(cpu, msg);

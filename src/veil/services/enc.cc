@@ -17,6 +17,12 @@ namespace {
 constexpr uint64_t kMeasureCyclesPerPage = 10 * kPageSize;
 /// AES-CTR + tag cost for evict/restore of one page.
 constexpr uint64_t kCryptCyclesPerPage = 14 * kPageSize;
+/// Snapshot sealing: per-page RMP demotion + PTE downgrade bookkeeping.
+constexpr uint64_t kSnapshotCyclesPerPage = 120;
+/// Clone instantiation: per-page read-only mapping into fresh tables.
+constexpr uint64_t kCloneMapCyclesPerPage = 60;
+/// CoW break: 4 KiB protected copy plus remap (≪ re-measuring).
+constexpr uint64_t kCloneFaultCycles = kPageSize / 2;
 } // namespace
 
 EncService::EncService(Machine &machine, const CvmLayout &layout,
@@ -77,6 +83,38 @@ EncService::liveEnclaves() const
     return n;
 }
 
+const SnapshotInfo *
+EncService::snapshot(uint64_t id) const
+{
+    auto it = snapshots_.find(id);
+    return it == snapshots_.end() ? nullptr : &it->second;
+}
+
+size_t
+EncService::liveSnapshots() const
+{
+    size_t n = 0;
+    for (const auto &[id, s] : snapshots_)
+        n += s.alive;
+    return n;
+}
+
+void
+EncService::lockMt(Vcpu &cpu)
+{
+    if (!machine_.multicore())
+        return;
+    while (!mtMu_.try_lock())
+        cpu.burn(0); // safe-point while spinning (DESIGN.md §12)
+}
+
+void
+EncService::unlockMt()
+{
+    if (machine_.multicore())
+        mtMu_.unlock();
+}
+
 PermMask
 EncService::vmpl2PermsFor(uint64_t pte) const
 {
@@ -99,6 +137,23 @@ EncService::pageTag(const EnclaveInfo &e, Gva va, uint64_t ctr,
     return h.finish();
 }
 
+void
+EncService::derivePagingKeys(EnclaveInfo &e)
+{
+    // Per-enclave paging keys from a DRBG bound to the enclave id.
+    // Clones derive *fresh* keys: sharing the template's would let one
+    // clone forge another's evicted-page tags.
+    Bytes seed = machine_.config().pspKey;
+    appendBytes(seed, "enc-paging", 10);
+    appendLe<uint64_t>(seed, e.id);
+    crypto::HmacDrbg drbg(seed);
+    Bytes key = drbg.generate(16);
+    crypto::AesKey ak;
+    std::copy(key.begin(), key.end(), ak.begin());
+    e.pagingAes.emplace(ak);
+    e.pagingMac = crypto::HmacKey(drbg.generate(32));
+}
+
 bool
 EncService::frameUsable(Gpa pa) const
 {
@@ -110,6 +165,7 @@ EncService::frameUsable(Gpa pa) const
 void
 EncService::handle(Vcpu &cpu, IdcbMessage &msg)
 {
+    lockMt(cpu);
     switch (static_cast<VeilOp>(msg.op)) {
       case VeilOp::EncCreate:
         opCreate(cpu, msg);
@@ -132,10 +188,23 @@ EncService::handle(Vcpu &cpu, IdcbMessage &msg)
       case VeilOp::EncGetMeasurement:
         opGetMeasurement(cpu, msg);
         break;
+      case VeilOp::EncSnapshot:
+        opSnapshot(cpu, msg);
+        break;
+      case VeilOp::EncClone:
+        opClone(cpu, msg);
+        break;
+      case VeilOp::EncCloneFault:
+        opCloneFault(cpu, msg);
+        break;
+      case VeilOp::EncSnapshotRelease:
+        opSnapshotRelease(cpu, msg);
+        break;
       default:
         msg.status = static_cast<uint64_t>(VeilStatus::Unsupported);
         break;
     }
+    unlockMt();
 }
 
 void
@@ -191,6 +260,8 @@ EncService::opCreate(Vcpu &cpu, IdcbMessage &msg)
     e.hi = hi;
     e.vcpu = vcpu;
     e.ghcb = ghcb;
+    e.programId = program_id;
+    e.idtHandler = idt_handler;
 
     // Clone the user page tables into protected memory.
     e.cloneCr3 = srvEditor_.createRoot();
@@ -202,16 +273,7 @@ EncService::opCreate(Vcpu &cpu, IdcbMessage &msg)
         srvEditor_.map(e.cloneCr3, va, pte & kPteAddrMask, f);
     }
 
-    // Per-enclave paging keys from a DRBG bound to the enclave id.
-    Bytes seed = machine_.config().pspKey;
-    appendBytes(seed, "enc-paging", 10);
-    appendLe<uint64_t>(seed, e.id);
-    crypto::HmacDrbg drbg(seed);
-    Bytes key = drbg.generate(16);
-    crypto::AesKey ak;
-    std::copy(key.begin(), key.end(), ak.begin());
-    e.pagingAes.emplace(ak);
-    e.pagingMac = crypto::HmacKey(drbg.generate(32));
+    derivePagingKeys(e);
 
     // Measure (contents + metadata), then revoke Dom-UNT access and
     // grant Dom-ENC access to the enclave pages.
@@ -294,6 +356,8 @@ EncService::opDestroy(Vcpu &cpu, IdcbMessage &msg)
     idcbCall(cpu, layout_.srvMonIdcb(cpu.vcpuId()), Vmpl::Vmpl0, req);
 
     e.alive = false;
+    if (e.snapshotOf)
+        snapshotDecref(cpu, e.snapshotOf);
     msg.status = static_cast<uint64_t>(VeilStatus::Ok);
 }
 
@@ -317,6 +381,12 @@ EncService::opFreePage(Vcpu &cpu, IdcbMessage &msg)
         return;
     }
     Gpa pa = *leaf & kPteAddrMask;
+    if (snapFrames_.count(pa)) {
+        // Snapshot-shared frame: encrypting it in place would corrupt
+        // every other sharer. The OS may only evict private pages.
+        msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+        return;
+    }
 
     // Integrity tag with a freshness counter, then encrypt in place.
     std::vector<uint8_t> page(kPageSize);
@@ -500,6 +570,266 @@ EncService::opGetMeasurement(Vcpu &cpu, IdcbMessage &msg)
         msg.retPayloadLen += static_cast<uint32_t>(sealed.size());
         msg.ret[0] = sealed.size();
     }
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+EncService::opSnapshot(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto it = enclaves_.find(msg.args[0]);
+    if (it == enclaves_.end() || !it->second.alive) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    EnclaveInfo &e = it->second;
+    if (e.snapshotOf) {
+        msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+        return;
+    }
+    if (!e.evicted.empty()) {
+        // The template must be fully resident so the snapshot is a
+        // complete image; the kernel restores before sealing.
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+
+    SnapshotInfo s;
+    s.id = nextSnapId_++;
+    s.lo = e.lo;
+    s.hi = e.hi;
+    s.programId = e.programId;
+    s.idtHandler = e.idtHandler;
+    s.measurement = e.measurement;
+
+    // Seal: ownership of every image frame moves from the enclave to
+    // the snapshot, and the source itself becomes a CoW sharer — its
+    // clone-table leaves lose PteWrite and the RMP drops Dom-ENC write
+    // so a stray write faults instead of mutating the template.
+    srvEditor_.forEachLeaf(e.cloneCr3, e.lo, e.hi,
+                           [&](Gva va, uint64_t pte) {
+                               SnapshotInfo::Page p;
+                               p.frame = pte & kPteAddrMask;
+                               p.pteFlags =
+                                   pte & (PteWrite | PteNx | PteUser);
+                               s.pages[va] = p;
+                           });
+    for (const auto &[va, p] : s.pages) {
+        PageFlags f;
+        f.user = true;
+        f.write = false;
+        f.exec = !(p.pteFlags & PteNx);
+        srvEditor_.protect(e.cloneCr3, va, f);
+        cpu.rmpadjust(p.frame, Vmpl::Vmpl2,
+                      vmpl2PermsFor(p.pteFlags & ~uint64_t(PteWrite)),
+                      /*warm=*/true);
+        snapFrames_.insert(p.frame);
+        cpu.burn(kSnapshotCyclesPerPage);
+    }
+    e.frames.clear();
+    e.snapshotOf = s.id;
+    s.refs = 2; // the sealed source + the kernel's snapshot handle
+
+    uint64_t id = s.id;
+    size_t pages = s.pages.size();
+    snapshots_[id] = std::move(s);
+    cpu.machine().tracer().instant(trace::Category::FleetSched, id);
+    msg.ret[0] = id;
+    msg.ret[1] = pages;
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+EncService::opClone(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto snap_it = snapshots_.find(msg.args[0]);
+    Gpa process_cr3 = msg.args[1];
+    Gpa ghcb = msg.args[2];
+    uint32_t vcpu = static_cast<uint32_t>(msg.args[3]);
+    if (snap_it == snapshots_.end() || !snap_it->second.alive) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    if (vcpu >= layout_.numVcpus || !machine_.rmp().isShared(ghcb)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+    SnapshotInfo &s = snap_it->second;
+
+    EnclaveInfo e;
+    e.id = nextId_++;
+    e.processCr3 = process_cr3;
+    e.lo = s.lo;
+    e.hi = s.hi;
+    e.vcpu = vcpu;
+    e.ghcb = ghcb;
+    e.programId = s.programId;
+    e.idtHandler = s.idtHandler;
+    e.snapshotOf = s.id;
+    e.measurement = s.measurement; // attestation equals the template's
+    derivePagingKeys(e);
+
+    // Image pages map read-only onto the shared snapshot frames; the
+    // original write bit is re-materialized per page by EncCloneFault.
+    e.cloneCr3 = srvEditor_.createRoot();
+    for (const auto &[va, p] : s.pages) {
+        PageFlags f;
+        f.user = true;
+        f.write = false;
+        f.exec = !(p.pteFlags & PteNx);
+        srvEditor_.map(e.cloneCr3, va, p.frame, f);
+        cpu.burn(kCloneMapCyclesPerPage);
+    }
+
+    // Mirror the clone process's own non-enclave user pages (ocall
+    // block; the GHCB stays shared) exactly as opCreate does.
+    std::vector<std::pair<Gva, uint64_t>> user_leaves;
+    srvEditor_.forEachLeaf(process_cr3, kUserVaLo, kUserVaHi,
+                           [&](Gva va, uint64_t pte) {
+                               if (!(pte & PteUser))
+                                   return;
+                               if (va >= s.lo && va < s.hi)
+                                   return;
+                               user_leaves.emplace_back(va, pte);
+                           });
+    cpu.burn(100 * user_leaves.size());
+    for (const auto &[va, pte] : user_leaves) {
+        Gpa pa = pte & kPteAddrMask;
+        if (allEnclaveFrames_.count(pa)) {
+            // The OS tried to alias protected memory into the clone.
+            srvEditor_.destroyRoot(e.cloneCr3);
+            msg.status = static_cast<uint64_t>(VeilStatus::VerifyFailed);
+            return;
+        }
+        PageFlags f;
+        f.user = true;
+        f.write = pte & PteWrite;
+        f.exec = !(pte & PteNx);
+        srvEditor_.map(e.cloneCr3, va, pa, f);
+        if (!machine_.rmp().isShared(pa))
+            cpu.rmpadjust(pa, Vmpl::Vmpl2, vmpl2PermsFor(pte),
+                          /*warm=*/true);
+    }
+
+    // Fresh Dom-ENC VCPU replica from the template's program identity.
+    IdcbMessage req;
+    req.op = static_cast<uint32_t>(VeilOp::CreateEnclaveVmsa);
+    req.args[0] = vcpu;
+    req.args[1] = s.programId;
+    req.args[2] = e.cloneCr3;
+    req.args[3] = ghcb;
+    req.args[4] = s.idtHandler;
+    req.args[5] = e.id;
+    idcbCall(cpu, layout_.srvMonIdcb(cpu.vcpuId()), Vmpl::Vmpl0, req);
+    if (req.status != static_cast<uint64_t>(VeilStatus::Ok)) {
+        srvEditor_.destroyRoot(e.cloneCr3);
+        msg.status = req.status;
+        return;
+    }
+    e.vmsa = static_cast<VmsaId>(req.ret[0]);
+    e.vmsaPage = req.ret[1];
+
+    ++s.refs;
+    uint64_t id = e.id;
+    enclaves_[id] = std::move(e);
+    cpu.machine().tracer().instant(trace::Category::FleetSched, id);
+    msg.ret[0] = id;
+    msg.ret[1] = enclaves_[id].vmsa;
+    msg.ret[2] = s.lo;
+    msg.ret[3] = s.hi;
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+EncService::opCloneFault(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto it = enclaves_.find(msg.args[0]);
+    Gva va = msg.args[1];
+    Gpa frame = msg.args[2];
+    if (it == enclaves_.end() || !it->second.alive ||
+        !it->second.snapshotOf) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    EnclaveInfo &e = it->second;
+    auto snap_it = snapshots_.find(e.snapshotOf);
+    ensure(snap_it != snapshots_.end(), "EncService: dangling snapshot");
+    SnapshotInfo &s = snap_it->second;
+    auto page_it = s.pages.find(va);
+    if (page_it == s.pages.end()) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    const SnapshotInfo::Page &p = page_it->second;
+    auto leaf = srvEditor_.leaf(e.cloneCr3, va);
+    if (!leaf) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    if ((*leaf & kPteAddrMask) != p.frame) {
+        // Already broken (idempotent retry after a dropped reply).
+        msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+        return;
+    }
+    if (!(p.pteFlags & PteWrite)) {
+        // Faulting on a page the image never allowed writes to is a
+        // real protection violation, not CoW.
+        msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+        return;
+    }
+    if (!frameUsable(frame)) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+
+    // Copy the shared contents into the private frame, then hand it to
+    // the clone with the image's original permissions (write restored).
+    std::vector<uint8_t> page(kPageSize);
+    cpu.readPhys(p.frame, page.data(), page.size());
+    cpu.writePhys(frame, page.data(), page.size());
+    cpu.burn(kCloneFaultCycles);
+    cpu.rmpadjust(frame, Vmpl::Vmpl2, vmpl2PermsFor(p.pteFlags | PteUser));
+    cpu.rmpadjust(frame, Vmpl::Vmpl3, kPermNone, /*warm=*/true);
+    PageFlags f;
+    f.user = true;
+    f.write = true;
+    f.exec = !(p.pteFlags & PteNx);
+    srvEditor_.map(e.cloneCr3, va, frame, f);
+    e.frames.insert(frame);
+    allEnclaveFrames_.insert(frame);
+    cpu.machine().tracer().instant(trace::Category::FleetSched, va);
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+EncService::snapshotDecref(Vcpu &cpu, uint64_t snap_id)
+{
+    auto it = snapshots_.find(snap_id);
+    ensure(it != snapshots_.end() && it->second.refs > 0,
+           "EncService: snapshot refcount underflow");
+    SnapshotInfo &s = it->second;
+    if (--s.refs > 0)
+        return;
+    // Last sharer gone: scrub the template frames and return them.
+    for (const auto &[va, p] : s.pages) {
+        cpu.zeroPhys(p.frame);
+        cpu.rmpadjust(p.frame, Vmpl::Vmpl2, kPermNone, /*warm=*/true);
+        cpu.rmpadjust(p.frame, Vmpl::Vmpl3, kPermRw, /*warm=*/true);
+        allEnclaveFrames_.erase(p.frame);
+        snapFrames_.erase(p.frame);
+    }
+    s.pages.clear();
+    s.alive = false;
+}
+
+void
+EncService::opSnapshotRelease(Vcpu &cpu, IdcbMessage &msg)
+{
+    auto it = snapshots_.find(msg.args[0]);
+    if (it == snapshots_.end() || !it->second.alive) {
+        msg.status = static_cast<uint64_t>(VeilStatus::NotFound);
+        return;
+    }
+    snapshotDecref(cpu, msg.args[0]);
     msg.status = static_cast<uint64_t>(VeilStatus::Ok);
 }
 

@@ -21,6 +21,7 @@
 #include <optional>
 #include <set>
 
+#include "base/spinlock.hh"
 #include "crypto/aes.hh"
 #include "crypto/hmac.hh"
 #include "snp/paging.hh"
@@ -43,6 +44,11 @@ struct EnclaveInfo
     snp::VmsaId vmsa = snp::kInvalidVmsa;
     snp::Gpa vmsaPage = 0;
     snp::Gpa ghcb = 0;
+    uint64_t programId = 0;
+    snp::Gva idtHandler = 0;
+    /** Nonzero when this enclave shares frames with a snapshot (as the
+     *  sealed source or as a CoW clone, §13). */
+    uint64_t snapshotOf = 0;
     crypto::Digest measurement{};
     /**
      * Cached paging-key contexts, built once at enclave creation: the
@@ -64,6 +70,33 @@ struct EnclaveInfo
     bool alive = true;
 };
 
+/**
+ * A sealed copy-on-write enclave template (§13). The snapshot owns the
+ * frames of the source enclave's image: every sharer (the sealed
+ * source plus each clone) maps them read-only from its protected clone
+ * tables; a write raises a #PF that the kernel resolves with
+ * EncCloneFault into a per-clone private copy. Frames are scrubbed and
+ * returned to Dom-UNT only when the last reference drops.
+ */
+struct SnapshotInfo
+{
+    uint64_t id = 0;
+    snp::Gva lo = 0, hi = 0;
+    uint64_t programId = 0;
+    snp::Gva idtHandler = 0;
+    crypto::Digest measurement{};
+
+    struct Page
+    {
+        snp::Gpa frame = 0;
+        uint64_t pteFlags = 0; ///< original PteWrite|PteNx|PteUser bits
+    };
+    std::map<snp::Gva, Page> pages;
+    /** Sealed source + live clones + the kernel's snapshot handle. */
+    uint64_t refs = 0;
+    bool alive = true;
+};
+
 /** The shielded-execution protected service. */
 class EncService
 {
@@ -77,6 +110,8 @@ class EncService
     /** Introspection for tests. */
     const EnclaveInfo *info(uint64_t id) const;
     size_t liveEnclaves() const;
+    const SnapshotInfo *snapshot(uint64_t id) const;
+    size_t liveSnapshots() const;
 
   private:
     void opCreate(snp::Vcpu &cpu, IdcbMessage &msg);
@@ -86,6 +121,13 @@ class EncService
     void opMprotect(snp::Vcpu &cpu, IdcbMessage &msg);
     void opSyncPerms(snp::Vcpu &cpu, IdcbMessage &msg);
     void opGetMeasurement(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opSnapshot(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opClone(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opCloneFault(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opSnapshotRelease(snp::Vcpu &cpu, IdcbMessage &msg);
+
+    void derivePagingKeys(EnclaveInfo &e);
+    void snapshotDecref(snp::Vcpu &cpu, uint64_t snap_id);
 
     snp::PermMask vmpl2PermsFor(uint64_t pte) const;
     crypto::Digest pageTag(const EnclaveInfo &e, snp::Gva va, uint64_t ctr,
@@ -103,8 +145,22 @@ class EncService
     std::vector<snp::Gpa> freeSrvFrames_;
 
     std::map<uint64_t, EnclaveInfo> enclaves_;
+    std::map<uint64_t, SnapshotInfo> snapshots_;
     std::set<snp::Gpa> allEnclaveFrames_;
+    std::set<snp::Gpa> snapFrames_; ///< frames owned by live snapshots
     uint64_t nextId_ = 1;
+    uint64_t nextSnapId_ = 1;
+
+    /**
+     * Multicore dispatch lock (§13): in MT fleet mode several Dom-SRV
+     * VCPUs dispatch ENC ops concurrently from their own host threads.
+     * Waiters spin with cpu.burn(0) so they keep hitting safe-points
+     * and cannot starve an exclusive section the holder is waiting on.
+     * No-op in single-threaded mode (default paths stay bit-identical).
+     */
+    void lockMt(snp::Vcpu &cpu);
+    void unlockMt();
+    base::Spinlock mtMu_;
 };
 
 } // namespace veil::core

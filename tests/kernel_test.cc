@@ -13,6 +13,7 @@
 #include "kernel/net.hh"
 #include "kernel/process.hh"
 #include "sdk/vm.hh"
+#include "snp/fault.hh"
 
 namespace veil::kern {
 namespace {
@@ -159,13 +160,50 @@ TEST(FrameAllocator, ContiguousRanges)
     EXPECT_THROW(fa.free(0x1000), PanicError); // foreign frame
 }
 
-TEST(FrameAllocator, ExhaustionPanics)
+TEST(FrameAllocator, ExhaustionHaltsAttributed)
 {
     LogConfig::setThreshold(LogLevel::Silent);
     FrameAllocator fa(0x10000, 0x12000); // two frames
     fa.alloc();
     fa.alloc();
-    EXPECT_THROW(fa.alloc(), PanicError);
+    // Out-of-frames is a recoverable, attributed condition (§13): a
+    // CvmHaltFault the harness reports, not a process abort.
+    EXPECT_THROW(fa.alloc(), snp::CvmHaltFault);
+}
+
+TEST(FrameAllocator, TryAllocAndCounters)
+{
+    FrameAllocator fa(0x10000, 0x13000); // three frames
+    EXPECT_EQ(fa.totalFrames(), 3u);
+    Gpa a = fa.alloc();
+    Gpa b = fa.alloc();
+    EXPECT_EQ(fa.inUse(), 2u);
+    EXPECT_EQ(fa.highWater(), 2u);
+    auto c = fa.tryAlloc();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(fa.inUse(), 3u);
+    EXPECT_FALSE(fa.tryAlloc().has_value()); // exhausted: recoverable probe
+    fa.free(a);
+    fa.free(b);
+    EXPECT_EQ(fa.inUse(), 1u);
+    EXPECT_EQ(fa.highWater(), 3u); // peak sticks
+}
+
+TEST(FrameAllocator, ReclaimHookRetriesAlloc)
+{
+    FrameAllocator fa(0x10000, 0x11000); // one frame
+    Gpa a = fa.alloc();
+    int calls = 0;
+    fa.setReclaimHook([&] {
+        ++calls;
+        if (calls > 1)
+            return false;
+        fa.free(a);
+        return true;
+    });
+    EXPECT_EQ(fa.alloc(), a); // hook freed the frame; retry succeeds
+    EXPECT_EQ(calls, 1);
+    EXPECT_THROW(fa.alloc(), snp::CvmHaltFault); // hook gives up -> halt
 }
 
 // ---- Audit ----
