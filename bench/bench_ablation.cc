@@ -26,6 +26,10 @@ using namespace veil::wl;
 
 namespace {
 
+/// UnQlite-style insert count for ablation 1. The default keeps CI
+/// fast; --huge-db selects the paper-faithful 1M-insert "huge-db" run.
+uint64_t gVkvInserts = 20000;
+
 struct BatchPoint
 {
     uint64_t batch;
@@ -41,7 +45,7 @@ runBatched(uint64_t records_per_flush)
     auto r = vm.run([&](kern::Kernel &k, kern::Process &p) {
         NativeEnv env(k, p);
         VkvParams prm;
-        prm.inserts = 20000;
+        prm.inserts = gVkvInserts;
         prm.recordsPerFlush = records_per_flush;
         prm.cyclesPerInsert = 1800;
 
@@ -74,9 +78,13 @@ int
 main(int argc, char **argv)
 {
     jsonInit(&argc, argv, "bench_ablation");
+    if (flagConsume(&argc, argv, "--huge-db"))
+        gVkvInserts = 1'000'000; // paper-faithful huge-db test
     heading("Ablation 1: system-call batching inside an enclave "
             "(§10 future work)");
-    Table t1("UnQlite-style store, 20k inserts, batched journal writes",
+    Table t1(fmt("UnQlite-style store, %lluk inserts, batched journal "
+                 "writes",
+                 (unsigned long long)(gVkvInserts / 1000)),
              {"Records/flush", "Ocalls", "Enclave overhead"});
     for (uint64_t batch : {1ULL, 4ULL, 16ULL, 64ULL, 256ULL}) {
         BatchPoint bp = runBatched(batch);

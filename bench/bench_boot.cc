@@ -6,6 +6,8 @@
  * measure a 256 MiB guest and linearly extrapolate the per-page costs
  * to the paper's 2 GB configuration (both are reported).
  */
+#include <cstdio>
+
 #include "common.hh"
 
 using namespace veil;
@@ -39,6 +41,37 @@ measureNative(size_t mem_mb)
     uint64_t boot = 0;
     vm.run([&](kern::Kernel &k, kern::Process &) { boot = k.cpu().rdtsc(); });
     return boot;
+}
+
+/** One lazy-acceptance boot, 4 KiB vs 2 MiB page-size ablation arm. */
+struct AblationSample
+{
+    uint64_t exits = 0;        ///< boot domain switches (GHCB exits)
+    uint64_t pvalidates = 0;   ///< 4 KiB PVALIDATE instructions
+    uint64_t pvalidates2m = 0; ///< PVALIDATE-2M instructions
+    uint64_t pscBatches = 0;
+    uint64_t hugeRegions = 0;
+    uint64_t bootCycles = 0;
+};
+
+AblationSample
+measureLazy(size_t mem_mb, bool huge_pages)
+{
+    VmConfig cfg = veilConfig(mem_mb);
+    cfg.lazyAccept = true;
+    cfg.machine.hugePages = huge_pages;
+    VeilVm vm(cfg);
+    vm.run([](kern::Kernel &, kern::Process &) {});
+    const snp::MachineStats &s = vm.machine().stats();
+    const auto &b = vm.monitor().bootStats();
+    AblationSample a;
+    a.exits = s.nonAutomaticExits;
+    a.pvalidates = s.pvalidates;
+    a.pvalidates2m = s.pvalidates2m;
+    a.pscBatches = b.pscBatches;
+    a.hugeRegions = b.hugeRegions;
+    a.bootCycles = b.totalCycles;
+    return a;
 }
 
 } // namespace
@@ -103,5 +136,75 @@ main(int argc, char **argv)
     note("comparable quantity is the absolute delta above, which is");
     note("entirely PVALIDATE + RMPADJUST work. One-time cost; normal");
     note("execution afterwards shows no slowdown (bench_background).");
-    return 0;
+
+    // ---- 2 MiB large-page boot ablation (DESIGN.md §14) ----
+    // Lazy-acceptance boots: with huge pages off, every OS page pays
+    // its own PageStateChange round trip + PVALIDATE; with huge pages
+    // on, grouped multi-entry PSC requests and PVALIDATE-2M cover whole
+    // regions. The reductions below are CI-gated.
+    heading("2 MiB large-page boot ablation (lazy acceptance)");
+    constexpr size_t kAblMemMb = 64;
+    AblationSample small = measureLazy(kAblMemMb, /*huge_pages=*/false);
+    AblationSample huge = measureLazy(kAblMemMb, /*huge_pages=*/true);
+    uint64_t small_pv = small.pvalidates + small.pvalidates2m;
+    uint64_t huge_pv = huge.pvalidates + huge.pvalidates2m;
+    double exit_red = huge.exits ? double(small.exits) / double(huge.exits)
+                                 : 0.0;
+    double pv_red = huge_pv ? double(small_pv) / double(huge_pv) : 0.0;
+
+    Table t3(fmt("Lazy-acceptance boot on a %zu MiB guest", kAblMemMb),
+             {"Metric", "4 KiB pages", "2 MiB pages", "Reduction"});
+    t3.addRow({"Boot domain switches (exits)",
+               fmt("%llu", (unsigned long long)small.exits),
+               fmt("%llu", (unsigned long long)huge.exits),
+               fmt("%.1fx", exit_red)});
+    t3.addRow({"PVALIDATE instructions",
+               fmt("%llu", (unsigned long long)small_pv),
+               fmt("%llu", (unsigned long long)huge_pv),
+               fmt("%.1fx", pv_red)});
+    t3.addRow({"Grouped PSC requests", "0",
+               fmt("%llu", (unsigned long long)huge.pscBatches), "-"});
+    t3.addRow({"2 MiB regions protected", "0",
+               fmt("%llu", (unsigned long long)huge.hugeRegions), "-"});
+    t3.addRow({"Monitor boot cycles",
+               fmt("%llu", (unsigned long long)small.bootCycles),
+               fmt("%llu", (unsigned long long)huge.bootCycles),
+               fmt("%.1fx", huge.bootCycles
+                                ? double(small.bootCycles) /
+                                      double(huge.bootCycles)
+                                : 0.0)});
+    t3.print();
+
+    jsonMetric("boot.ablation.exits.4k", double(small.exits));
+    jsonMetric("boot.ablation.exits.2m", double(huge.exits));
+    jsonMetric("boot.ablation.exitReduction", exit_red, "x");
+    jsonMetric("boot.ablation.pvalidates.4k", double(small_pv));
+    jsonMetric("boot.ablation.pvalidates.2m", double(huge_pv));
+    jsonMetric("boot.ablation.pvalidateReduction", pv_red, "x");
+    jsonMetric("boot.ablation.pscBatches", double(huge.pscBatches));
+    jsonMetric("boot.ablation.hugeRegions", double(huge.hugeRegions));
+
+    // Acceptance gates (ISSUE 9): the huge-page boot must save at least
+    // 5x the domain switches and 3x the PVALIDATEs of the 4 KiB boot.
+    bool ok = true;
+    if (exit_red < 5.0) {
+        std::fprintf(stderr,
+                     "bench_boot: FAIL boot domain-switch reduction "
+                     "%.2fx < 5x\n",
+                     exit_red);
+        ok = false;
+    }
+    if (pv_red < 3.0) {
+        std::fprintf(stderr,
+                     "bench_boot: FAIL PVALIDATE reduction %.2fx < 3x\n",
+                     pv_red);
+        ok = false;
+    }
+    if (huge.hugeRegions == 0 || huge.pscBatches == 0) {
+        std::fprintf(stderr, "bench_boot: FAIL huge path not exercised\n");
+        ok = false;
+    }
+    note(ok ? "ablation gates: PASS (>=5x switches, >=3x PVALIDATEs)"
+            : "ablation gates: FAIL");
+    return ok ? 0 : 1;
 }

@@ -25,6 +25,10 @@ using namespace veil::wl;
 
 namespace {
 
+/// UnQlite insert count. The default keeps CI fast; --huge-db selects
+/// the paper-faithful 1M-insert "huge-db" configuration (Table 4).
+uint64_t gUnqliteInserts = 40000;
+
 struct AppResult
 {
     uint64_t nativeCycles = 0;
@@ -138,6 +142,8 @@ int
 main(int argc, char **argv)
 {
     jsonInit(&argc, argv, "bench_enclave_apps");
+    if (flagConsume(&argc, argv, "--huge-db"))
+        gUnqliteInserts = 1'000'000; // paper-faithful huge-db test
     heading("Fig. 5 + Table 4: shielding real-world programs with "
             "VeilS-ENC (paper: 4.9% - 63.9% overhead)");
 
@@ -173,7 +179,7 @@ main(int argc, char **argv)
                  [](Env &e, const char *sfx) {
                      VkvParams prm;
                      prm.journalPath = std::string("/kv_") + sfx;
-                     prm.inserts = 40000;
+                     prm.inserts = gUnqliteInserts;
                      prm.recordsPerFlush = 24;
                      prm.cyclesPerInsert = 1800;
                      runVkv(e, prm);

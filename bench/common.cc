@@ -311,6 +311,20 @@ jsonFlush()
     }
 }
 
+bool
+flagConsume(int *argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strcmp(argv[i], flag) != 0)
+            continue;
+        for (int j = i; j + 1 < *argc; ++j)
+            argv[j] = argv[j + 1];
+        --*argc;
+        return true;
+    }
+    return false;
+}
+
 double
 overheadPct(double value, double base)
 {
@@ -334,6 +348,12 @@ vmStatsRegistry(const snp::Machine &m)
     reg.addCounter("vm.timerInterrupts", s.timerInterrupts);
     reg.addCounter("vm.rmpadjusts", s.rmpadjusts);
     reg.addCounter("vm.pvalidates", s.pvalidates);
+    reg.addCounter("vm.pvalidates2m", s.pvalidates2m);
+    reg.addCounter("vm.rmp.splits", m.rmp().splits());
+    reg.addCounter("vm.rmp.promotes", m.rmp().promotes());
+    reg.addCounter("vm.psc.batches", s.pscBatches);
+    reg.addCounter("vm.psc.batchedPages", s.pscBatchedPages);
+    reg.addCounter("vm.tlb.hits2m", s.tlbHits2m);
     reg.addCounter("tlb.hits", s.tlbHits);
     reg.addCounter("tlb.misses", s.tlbMisses);
     reg.addCounter("tlb.flushes", s.tlbFlushes);

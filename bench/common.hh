@@ -55,6 +55,12 @@ void jsonInit(int *argc, char **argv, const std::string &bench_name);
 void jsonMetric(const std::string &name, double value,
                 const std::string &unit = "");
 
+/**
+ * Consume a boolean flag (e.g. "--huge-db") from argv: returns true and
+ * shifts the remaining arguments left if present. Call after jsonInit.
+ */
+bool flagConsume(int *argc, char **argv, const char *flag);
+
 /** Write the JSON document now (idempotent; also runs atexit). */
 void jsonFlush();
 

@@ -530,14 +530,55 @@ Hypervisor::handleGhcbExit(uint32_t vcpu, VmsaId exiting)
           break;
       }
       case GhcbExit::PageStateChange: {
-          Gpa page = pageAlignDown(g.info[0]);
           bool to_shared = g.info[1] != 0;
+          // Grouped multi-entry form (ghcb.hh): info[2] entries of
+          // info[3]-selected size; 0/1 entries is the legacy encoding.
+          uint64_t count = g.info[2] > 1 ? g.info[2] : 1;
+          bool size2m = g.info[3] != 0;
+          Gpa step = size2m ? kPageSize2m : kPageSize;
+          Gpa base = size2m ? pageAlignDown2m(g.info[0])
+                            : pageAlignDown(g.info[0]);
           // Host-side RMPUPDATE needs the full shootdown-completion
           // protocol: run it as exclusive work so every VCPU thread is
           // parked at a safe point (and will observe the new TLB
           // generation on resume) before the entry changes.
-          machine_.exclusive(
-              [&] { machine_.rmp().hvSetShared(page, to_shared); });
+          machine_.exclusive([&] {
+              RmpTable &rmp = machine_.rmp();
+              for (uint64_t i = 0; i < count; ++i) {
+                  Gpa a = base + i * step;
+                  if (size2m) {
+                      if (!to_shared) {
+                          // Acceptance of unaccepted memory: the assign
+                          // IS the to-private transition (fresh entries
+                          // are already unshared). An assigned-but-
+                          // shared region demotes to per-page updates.
+                          if (!rmp.isAssigned(a)) {
+                              rmp.hvAssign2m(a);
+                          } else if (rmp.isShared(a)) {
+                              for (size_t j = 0; j < kPagesPer2m; ++j)
+                                  rmp.hvSetShared(a + j * kPageSize,
+                                                  false);
+                          }
+                      } else {
+                          for (size_t j = 0; j < kPagesPer2m; ++j)
+                              rmp.hvSetShared(a + j * kPageSize, true);
+                      }
+                  } else if (!to_shared && !rmp.isAssigned(a)) {
+                      rmp.hvAssign(a);
+                  } else {
+                      rmp.hvSetShared(a, to_shared);
+                  }
+              }
+          });
+          if (count > 1) {
+              // Extra entries ride the one exit: charge the per-entry
+              // parse/RMPUPDATE cost (never reached on the legacy
+              // single-entry path, keeping default cycles untouched).
+              machine_.charge(machine_.costs().pscPerEntry * (count - 1));
+              ++machine_.stats().pscBatches;
+              machine_.stats().pscBatchedPages +=
+                  count * (size2m ? kPagesPer2m : 1);
+          }
           ++stats_.pageStateChanges;
           break;
       }

@@ -1,5 +1,7 @@
 #include "hv/launch.hh"
 
+#include <algorithm>
+
 #include "base/log.hh"
 #include "crypto/sha256.hh"
 
@@ -19,8 +21,13 @@ launchCvm(Machine &machine, Hypervisor &hypervisor, const LaunchParams &params)
     GuestMemory &mem = machine.memory();
     RmpTable &rmp = machine.rmp();
 
-    // RMPUPDATE: assign every guest page to this CVM.
-    for (Gpa p = 0; p < mem.size(); p += kPageSize)
+    // RMPUPDATE: assign every guest page to this CVM — except, under
+    // lazy acceptance, the bulk region at/above lazyLo, which the guest
+    // accepts on demand (PSC-to-private + PVALIDATE, DESIGN.md §14).
+    Gpa assign_end = params.lazyAccept
+                         ? std::min<Gpa>(params.lazyLo, mem.size())
+                         : mem.size();
+    for (Gpa p = 0; p < assign_end; p += kPageSize)
         rmp.hvAssign(p);
 
     // LAUNCH_UPDATE: load + measure the boot image; its pages are

@@ -32,6 +32,13 @@ struct LaunchParams
     /// Additional pages the platform marks hypervisor-shared at launch
     /// (per-VCPU GHCBs configured in the boot image's metadata).
     std::vector<snp::Gpa> extraSharedPages;
+    /// Lazy acceptance (unaccepted-memory boot, DESIGN.md §14): leave
+    /// pages at/above lazyLo unassigned at launch; the guest accepts
+    /// them on demand via PageStateChange-to-private (which performs
+    /// the RMPUPDATE assign) + PVALIDATE. Off, the historical
+    /// assign-everything launch is byte-identical.
+    bool lazyAccept = false;
+    snp::Gpa lazyLo = 0;
 };
 
 /**

@@ -131,10 +131,82 @@ void
 Kernel::validateAllMemoryNative(Vcpu &cpu)
 {
     RmpTable &rmp = machine_.rmp();
-    for (Gpa p = 0; p < layout_.memEnd; p += kPageSize) {
-        if (rmp.isShared(p) || rmp.isValidated(p) || rmp.isVmsaPage(p))
+    const bool huge = machine_.hugePagesEnabled();
+    const bool lazy = config_.lazyAccept;
+
+    // Eligible for the 2 MiB fast path: whole region inside memory, no
+    // shared/VMSA/validated page, and uniformly assigned — or, under
+    // lazy acceptance, uniformly unassigned (accepted below).
+    auto region2m = [&](Gpa base, bool &unassigned) {
+        if (!isPageAligned2m(base) || base + kPageSize2m > layout_.memEnd)
+            return false;
+        bool any_assigned = false, all_assigned = true;
+        for (Gpa q = base; q < base + kPageSize2m; q += kPageSize) {
+            if (rmp.isShared(q) || rmp.isVmsaPage(q) || rmp.isValidated(q))
+                return false;
+            if (rmp.isAssigned(q))
+                any_assigned = true;
+            else
+                all_assigned = false;
+        }
+        if (all_assigned) {
+            unassigned = false;
+            return true;
+        }
+        unassigned = true;
+        return lazy && !any_assigned;
+    };
+
+    // GHCB PSC buffer capacity (entries per grouped request).
+    constexpr uint64_t kPscMaxEntries = 253;
+
+    Gpa p = 0;
+    while (p < layout_.memEnd) {
+        bool unassigned = false;
+        if (huge && region2m(p, unassigned)) {
+            if (unassigned) {
+                // Grouped acceptance: one PageStateChange request covers
+                // a run of consecutive unassigned 2 MiB regions.
+                uint64_t count = 0;
+                Gpa q = p;
+                bool run_unassigned = true;
+                while (count < kPscMaxEntries && run_unassigned &&
+                       region2m(q, run_unassigned) && run_unassigned) {
+                    ++count;
+                    q += kPageSize2m;
+                }
+                Ghcb g;
+                g.exitCode =
+                    static_cast<uint64_t>(GhcbExit::PageStateChange);
+                g.info[0] = p;
+                g.info[1] = 0; // to private (acceptance)
+                g.info[2] = count;
+                g.info[3] = 1; // 2 MiB entries
+                cpu.hypercall(g);
+                for (uint64_t i = 0; i < count; ++i)
+                    cpu.pvalidate2m(p + Gpa(i) * kPageSize2m, true);
+                p += Gpa(count) * kPageSize2m;
+                continue;
+            }
+            cpu.pvalidate2m(p, true);
+            p += kPageSize2m;
             continue;
+        }
+        if (rmp.isShared(p) || rmp.isValidated(p) || rmp.isVmsaPage(p)) {
+            p += kPageSize;
+            continue;
+        }
+        if (lazy && !rmp.isAssigned(p)) {
+            // 4 KiB acceptance: one round trip per page (the ablation
+            // baseline the grouped huge path amortizes).
+            Ghcb g;
+            g.exitCode = static_cast<uint64_t>(GhcbExit::PageStateChange);
+            g.info[0] = p;
+            g.info[1] = 0;
+            cpu.hypercall(g);
+        }
         cpu.pvalidate(p, true);
+        p += kPageSize;
     }
 }
 

@@ -49,6 +49,11 @@ struct KernelConfig
     /// serviceBatching: doorbell on the first timer tick once the
     /// oldest queued op has been pending this many cycles.
     uint64_t opFlushDeadlineCycles = 2'000'000;
+    /// Lazy acceptance (DESIGN.md §14): the launch left bulk memory
+    /// unassigned; boot accepts it via PageStateChange-to-private.
+    /// With huge pages on the requests are grouped (multi-entry 2 MiB
+    /// PSC); off, each page pays its own round trip (ablation baseline).
+    bool lazyAccept = false;
     /// Module signing key known to the kernel build (native verify
     /// path) and provisioned to VeilS-KCI.
     Bytes moduleKey = {'m', 'o', 'd', '-', 'k', 'e', 'y'};

@@ -17,6 +17,12 @@ namespace {
 /// Anonymous-mmap allocation cursor start (clear of the SDK's fixed
 /// enclave window at 0x2000000).
 constexpr Gva kUserMmapBase = 0x4000000;
+
+/// Where the calling thread's last successful cross-stripe steal came
+/// from. Resuming the scan there instead of at index 0 keeps sustained
+/// pressure from rescanning the same drained low-index stripes on
+/// every steal (O(stripes) per allocation).
+thread_local size_t t_stealCursor = 0;
 } // namespace
 
 FrameAllocator::FrameAllocator(Gpa lo, Gpa hi) : lo_(lo), hi_(hi), next_(lo)
@@ -106,13 +112,16 @@ FrameAllocator::tryAllocNoCount()
     Gpa f = bumpAlloc(1);
     if (isPageAligned(f))
         return f;
-    for (size_t i = 0; i < kStripes; ++i) {
+    for (size_t n = 0; n < kStripes; ++n) {
+        size_t i = (t_stealCursor + n) % kStripes;
         if (i == home)
             continue;
         std::lock_guard<base::Spinlock> guard(stripeMu_[i]);
         if (!stripeFree_[i].empty()) {
             Gpa stolen = stripeFree_[i].back();
             stripeFree_[i].pop_back();
+            t_stealCursor = i;
+            steals_.fetch_add(1, std::memory_order_relaxed);
             return stolen;
         }
     }
@@ -160,6 +169,46 @@ FrameAllocator::allocRange(size_t pages)
         throw CvmHaltFault("FrameAllocator: out of contiguous frames");
     countAlloc(pages);
     return f;
+}
+
+std::optional<Gpa>
+FrameAllocator::tryAllocRange(size_t pages, size_t align_pages)
+{
+    if (align_pages < 1)
+        align_pages = 1;
+    const Gpa align = Gpa(align_pages) * kPageSize;
+    if (!mt_) {
+        Gpa base = (next_ + align - 1) / align * align;
+        if (base + Gpa(pages) * kPageSize > hi_)
+            return std::nullopt;
+        for (Gpa p = next_; p < base; p += kPageSize)
+            freeList_.push_back(p);
+        next_ = base + Gpa(pages) * kPageSize;
+        countAlloc(pages);
+        return base;
+    }
+    // MT: carve the aligned range under the bump lock, then return the
+    // alignment gap to this thread's home stripe (lock order: bumpMu_
+    // released before any stripe lock is taken, one stripe at a time).
+    std::vector<Gpa> gap;
+    Gpa base;
+    {
+        std::lock_guard<base::Spinlock> guard(bumpMu_);
+        base = (next_ + align - 1) / align * align;
+        if (base + Gpa(pages) * kPageSize > hi_)
+            return std::nullopt;
+        for (Gpa p = next_; p < base; p += kPageSize)
+            gap.push_back(p);
+        next_ = base + Gpa(pages) * kPageSize;
+    }
+    if (!gap.empty()) {
+        size_t home = stripeFor();
+        std::lock_guard<base::Spinlock> guard(stripeMu_[home]);
+        stripeFree_[home].insert(stripeFree_[home].end(), gap.begin(),
+                                 gap.end());
+    }
+    countAlloc(pages);
+    return base;
 }
 
 void
@@ -228,8 +277,21 @@ AddressSpace::buildKernelIdentity(Gpa lo, Gpa hi)
     f.user = false;
     f.write = true;
     f.exec = true;
-    for (Gpa p = lo; p < hi; p += kPageSize)
-        editor_.map(cr3_, p, p, f);
+    const bool huge = machine_.hugePagesEnabled();
+    Gpa p = lo;
+    while (p < hi) {
+        // 2 MiB leaves wherever the identity map allows: GVA==GPA, so a
+        // 2 MiB-aligned slot is eligible iff the whole region fits. RMP
+        // is still checked per-4 KiB at access time, so mixed-state
+        // regions under a huge leaf stay correctly arbitrated.
+        if (huge && isPageAligned2m(p) && p + kPageSize2m <= hi) {
+            editor_.map2m(cr3_, p, p, f);
+            p += kPageSize2m;
+        } else {
+            editor_.map(cr3_, p, p, f);
+            p += kPageSize;
+        }
+    }
 }
 
 void

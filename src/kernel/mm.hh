@@ -60,6 +60,16 @@ class FrameAllocator
     snp::Gpa alloc();
     void free(snp::Gpa frame);
     snp::Gpa allocRange(size_t pages); ///< contiguous range
+
+    /**
+     * Contiguous range whose base is aligned to @p align_pages frames
+     * (512 for a 2 MiB huge-page backing). Comes from the bump region;
+     * alignment-gap frames are returned to the free lists, not leaked.
+     * std::nullopt on exhaustion — callers fall back to 4 KiB frames.
+     */
+    std::optional<snp::Gpa> tryAllocRange(size_t pages,
+                                          size_t align_pages = 1);
+
     size_t freeFrames() const;
     snp::Gpa lo() const { return lo_; }
     snp::Gpa hi() const { return hi_; }
@@ -89,6 +99,13 @@ class FrameAllocator
     /** Total frames the allocator arbitrates. */
     uint64_t totalFrames() const { return (hi_ - lo_) / snp::kPageSize; }
 
+    /** Cross-stripe steals performed (multicore observability; the
+     *  steal scan resumes at a per-thread cursor, not index 0). */
+    uint64_t steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
     static constexpr size_t kStripes = 16;
 
   private:
@@ -103,6 +120,7 @@ class FrameAllocator
     std::function<bool()> reclaim_;
     std::atomic<uint64_t> inUse_{0};
     std::atomic<uint64_t> highWater_{0};
+    std::atomic<uint64_t> steals_{0};
     mutable base::Spinlock bumpMu_;
     mutable std::array<base::Spinlock, kStripes> stripeMu_;
     std::array<std::vector<snp::Gpa>, kStripes> stripeFree_;

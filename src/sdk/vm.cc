@@ -18,6 +18,7 @@ VeilVm::VeilVm(VmConfig config)
     config_.kernel.veilEnabled = config_.veilEnabled;
     if (!config_.veilEnabled)
         config_.kernel.activateKci = false;
+    config_.kernel.lazyAccept = config_.lazyAccept;
 
     kernel_ = std::make_unique<kern::Kernel>(machine_, layout_,
                                              config_.kernel);
@@ -29,6 +30,7 @@ VeilVm::VeilVm(VmConfig config)
 
     if (config_.veilEnabled) {
         monitor_ = std::make_unique<core::VeilMon>(machine_, layout_);
+        monitor_->setLazyAccept(config_.lazyAccept);
         services_ = std::make_unique<core::ServiceDispatcher>(
             machine_, layout_, *monitor_, config_.kernel.moduleKey);
 
@@ -75,6 +77,10 @@ VeilVm::run(kern::Kernel::InitFn init)
     params.imageBase = layout_.imageBase;
     params.bootVmsaPage = layout_.vmsaPool;
     params.extraSharedPages = layout_.launchSharedPages();
+    // Everything launch touches (image, VMSA pool, GHCBs, IDCBs) sits
+    // below kernelBase, so the OS region is safe to leave unaccepted.
+    params.lazyAccept = config_.lazyAccept;
+    params.lazyLo = layout_.kernelBase;
     if (config_.veilEnabled) {
         params.bootGhcb = layout_.bootGhcb;
         params.bootIrqMasked = true;

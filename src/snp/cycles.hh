@@ -48,6 +48,24 @@ struct CostModel
     /// PVALIDATE per page.
     uint64_t pvalidatePage = 800;
 
+    // ---- 2 MiB large-page fast path (DESIGN.md §14, opt-in) ----
+    // Anchored the same way the 4 KiB costs are: one instruction, one
+    // RMP entry write, one mandatory page touch — so a 2 MiB operation
+    // costs roughly 2x its 4 KiB sibling (bigger touch, one entry)
+    // rather than 512x. These only appear on the hugepage path; with
+    // MachineConfig::hugePages off no code charges them, keeping the
+    // default cycle stream bit-identical.
+    /// PVALIDATE with the 2 MiB size bit, per region.
+    uint64_t pvalidate2m = 1700;
+    /// RMPADJUST on a 2 MiB RMP entry, including the page touch.
+    uint64_t rmpadjust2m = 7000;
+    /// RMPADJUST-2M when the region's line is already hot.
+    uint64_t rmpadjust2mWarm = 1100;
+    /// Hypervisor-side cost per extra entry in a grouped multi-entry
+    /// PageStateChange request (entry parse + RMPUPDATE issue); the
+    /// first entry rides the ordinary exit dispatch cost.
+    uint64_t pscPerEntry = 125;
+
     /// Creating and measuring a fresh VMSA (VCPU replica, §5.2).
     uint64_t vmsaInit = 9000;
 

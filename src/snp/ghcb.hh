@@ -30,7 +30,13 @@ enum class GhcbExit : uint64_t {
     /// info[1] = VMPL.
     StartVcpu = 3,
     /// Page-state change: info[0] = GPA, info[1] = 1 for shared,
-    /// 0 for private.
+    /// 0 for private. Grouped multi-entry form (lazy acceptance,
+    /// DESIGN.md §14): info[2] = number of consecutive entries (0 or 1
+    /// means the legacy single-page request, byte-identical encoding),
+    /// info[3] = 1 when the entries are 2 MiB regions (info[0] then
+    /// 2 MiB-aligned) instead of 4 KiB pages. A to-private change on an
+    /// unassigned page performs the RMPUPDATE assign (unaccepted-memory
+    /// acceptance) before flipping state.
     PageStateChange = 4,
     /// Guest console output: info[0] = GPA of shared buffer,
     /// info[1] = length.

@@ -1,6 +1,7 @@
 #include "snp/machine.hh"
 
 #include <cstdlib>
+#include <string_view>
 
 #include "base/log.hh"
 #include "crypto/stats.hh"
@@ -62,10 +63,20 @@ Machine::Machine(const MachineConfig &config)
         if (env[0] != '\0' && env[0] != '0')
             tlbEnabled_ = false;
     }
+    hugePages_ = config.hugePages;
+    if (const char *env = std::getenv("VEIL_HUGEPAGES")) {
+        if (env[0] == '\0' || env[0] == '0' ||
+            std::string_view(env) == "off")
+            hugePages_ = false;
+        else
+            hugePages_ = true;
+    }
     // Every RMP mutation invalidates by GPA across all VMSAs: RMPADJUST
     // and PVALIDATE flush the TLB on real hardware, and hypervisor-side
     // RMPUPDATE forces a TLB shootdown before the change takes effect.
     rmp_.setInvalidateHook([this](Gpa page) { tlbFlushGpa(page); });
+    rmp_.setInvalidateRangeHook(
+        [this](Gpa base, size_t pages) { tlbFlushGpaRange(base, pages); });
 
     multicore_ = config.hostThreads != 0;
     if (multicore_) {
@@ -222,6 +233,33 @@ Machine::tlbFlushGpa(Gpa page)
     Gpa aligned = pageAlignDown(page);
     for (VmsaId id = 0; id < slots_.size(); ++id) {
         if (slots_[id].state.tlb.invalidateGpa(aligned) &&
+            id != currentVmsa_) {
+            ++stats_.tlbShootdowns;
+            const Vmsa &victim = slots_[id].state;
+            tracer_.instantAt(victim.vcpuId, vmplIndex(victim.vmpl),
+                              trace::Category::TlbShootdown, aligned);
+        }
+    }
+}
+
+void
+Machine::tlbFlushGpaRange(Gpa base, size_t pages)
+{
+    if (!tlbEnabled_)
+        return;
+    ++stats_.tlbFlushes;
+    tracer_.instant(trace::Category::TlbFlush, base);
+    if (multicore_) {
+        // Same lock-free shootdown as the single-page flush: one
+        // generation bump covers the whole range.
+        tlbGen_.fetch_add(1, std::memory_order_release);
+        if (slots_.size() > 1)
+            ++stats_.tlbShootdowns;
+        return;
+    }
+    Gpa aligned = pageAlignDown(base);
+    for (VmsaId id = 0; id < slots_.size(); ++id) {
+        if (slots_[id].state.tlb.invalidateGpaRange(aligned, pages) &&
             id != currentVmsa_) {
             ++stats_.tlbShootdowns;
             const Vmsa &victim = slots_[id].state;

@@ -59,6 +59,13 @@ struct MachineConfig
     /// way. The VEIL_TLB_DISABLE environment variable (non-zero value)
     /// overrides this to false for A/B equivalence checking.
     bool tlbEnabled = true;
+    /// 2 MiB large-page fast path (DESIGN.md §14): huge RMP entries,
+    /// PS-bit leaves, 2 MiB TLB entries, and batched lazy acceptance.
+    /// Off (default), no huge-page code runs and simulated cycle counts
+    /// are bit-identical to the historical 4 KiB-only machine. The
+    /// VEIL_HUGEPAGES environment variable overrides: "0"/"off" forces
+    /// false, any other non-empty value forces true.
+    bool hugePages = false;
     /// Multicore mode: run each VCPU's fiber loop on its own host
     /// thread (any non-zero value enables it; one thread per VCPU).
     /// 0 keeps the bit-deterministic single-threaded fiber scheduler.
@@ -124,6 +131,11 @@ struct MachineStats
     base::StatCounter tlbMisses;
     base::StatCounter tlbFlushes;    ///< invalidation events issued
     base::StatCounter tlbShootdowns; ///< remote VMSA TLBs that dropped entries
+    // Large-page path (DESIGN.md §14); all zero with hugePages off.
+    base::StatCounter tlbHits2m;     ///< hits served by a 2 MiB TLB entry
+    base::StatCounter pvalidates2m;  ///< PVALIDATE-2M instructions
+    base::StatCounter pscBatches;      ///< grouped multi-entry PSC requests
+    base::StatCounter pscBatchedPages; ///< 4 KiB pages covered by them
 };
 
 /** The simulated machine. */
@@ -140,6 +152,7 @@ class Machine
     GuestMemory &memory() { return memory_; }
     const GuestMemory &memory() const { return memory_; }
     RmpTable &rmp() { return rmp_; }
+    const RmpTable &rmp() const { return rmp_; }
     const CostModel &costs() const { return config_.costs; }
     Psp &psp() { return psp_; }
 
@@ -246,6 +259,9 @@ class Machine
     /** Whether the checked access path may consult the software TLB. */
     bool tlbEnabled() const { return tlbEnabled_; }
 
+    /** Whether the 2 MiB large-page fast path is on (config + env). */
+    bool hugePagesEnabled() const { return hugePages_; }
+
     /**
      * Multicore TLB invalidation generation. Entries are tagged with
      * the generation observed *before* the page walk; any invalidation
@@ -273,6 +289,13 @@ class Machine
      * the hardware TLB flush RMPADJUST/PVALIDATE/RMPUPDATE imply.
      */
     void tlbFlushGpa(Gpa page);
+
+    /**
+     * Range variant: one shootdown for [@p base, @p base + @p pages·4K).
+     * Raised by the RMP after huge-entry mutations and smash/split
+     * demotions — 1 flush event instead of 512.
+     */
+    void tlbFlushGpaRange(Gpa base, size_t pages);
 
     /** Full flush of one VMSA's TLB (mov-cr3 semantics). */
     void tlbFlushVmsa(VmsaId id);
@@ -333,6 +356,7 @@ class Machine
     MachineStats stats_;
     bool shuttingDown_ = false;
     bool tlbEnabled_ = true;
+    bool hugePages_ = false;
     // ---- Multicore state ----
     bool multicore_ = false;
     std::vector<TscShard> tscShards_;

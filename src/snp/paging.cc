@@ -26,6 +26,7 @@ tryWalk(const GuestMemory &mem, Gpa cr3, Gva va, Access access, Cpl cpl)
 
     Gpa table = cr3;
     uint64_t entry = 0;
+    bool huge = false;
     for (int level = 3; level >= 0; --level) {
         Gpa entry_addr = table + ptIndex(va, level) * 8;
         if (!mem.contains(entry_addr, 8))
@@ -33,6 +34,11 @@ tryWalk(const GuestMemory &mem, Gpa cr3, Gva va, Access access, Cpl cpl)
         entry = mem.readObj<uint64_t>(entry_addr);
         if (!(entry & PtePresent))
             return std::nullopt;
+        if (level == 1 && (entry & PtePs)) {
+            // PS-bit 2 MiB leaf: the walk stops one level early.
+            huge = true;
+            break;
+        }
         table = entry & kPteAddrMask;
     }
 
@@ -44,8 +50,9 @@ tryWalk(const GuestMemory &mem, Gpa cr3, Gva va, Access access, Cpl cpl)
     if (access == Access::Execute && (entry & PteNx))
         return std::nullopt;
 
-    Gpa pa = (entry & kPteAddrMask) | (va & (kPageSize - 1));
-    return Translation{pa, entry};
+    Gpa pa = huge ? ((entry & kPteAddrMask2m) | (va & (kPageSize2m - 1)))
+                  : ((entry & kPteAddrMask) | (va & (kPageSize - 1)));
+    return Translation{pa, entry, huge};
 }
 
 Translation
@@ -101,18 +108,68 @@ PageTableEditor::ensureTable(Gpa table, unsigned idx)
     return frame;
 }
 
+Gpa
+PageTableEditor::ensureLeafTable(Gpa cr3, Gpa table, Gva va)
+{
+    Gpa entry_addr = table + ptIndex(va, 1) * 8;
+    uint64_t entry = mem_.readObj<uint64_t>(entry_addr);
+    if ((entry & PtePresent) && (entry & PtePs)) {
+        // Split the 2 MiB leaf: a fresh L0 table whose 512 entries
+        // replicate the region translation at 4 KiB granularity with
+        // identical attribute bits, so no access outcome changes — the
+        // caller's 4 KiB edit then lands in the new table.
+        Gpa l0 = alloc_();
+        mem_.zeroPage(l0);
+        uint64_t attrs = entry & ~(kPteAddrMask2m | uint64_t(PtePs));
+        Gpa frame = entry & kPteAddrMask2m;
+        for (unsigned i = 0; i < 512; ++i) {
+            mem_.writeObj<uint64_t>(l0 + i * 8,
+                                    attrs | (frame + Gpa(i) * kPageSize));
+        }
+        mem_.writeObj<uint64_t>(entry_addr, (l0 & kPteAddrMask) |
+                                                PtePresent | PteWrite |
+                                                PteUser);
+        // The covering 2 MiB TLB entry must not outlive the leaf it
+        // came from; INVLPG on any covered VA drops it (mixed-size
+        // invalidation, tlb.hh).
+        invalidate(cr3, pageAlignDown2m(va));
+        return l0;
+    }
+    return ensureTable(table, ptIndex(va, 1));
+}
+
 void
 PageTableEditor::map(Gpa cr3, Gva va, Gpa pa, PageFlags flags)
 {
     ensure(isPageAligned(va) && isPageAligned(pa),
            "PageTableEditor::map: unaligned");
     Gpa table = cr3;
-    for (int level = 3; level >= 1; --level)
+    for (int level = 3; level >= 2; --level)
         table = ensureTable(table, ptIndex(va, level));
+    table = ensureLeafTable(cr3, table, va);
     mem_.writeObj<uint64_t>(table + ptIndex(va, 0) * 8, flags.toPte(pa));
     // map() may replace a live leaf, so it must behave like a PTE edit
     // followed by INVLPG (populating a previously-empty slot needs no
     // flush architecturally, but the blanket rule is cheap and safe).
+    invalidate(cr3, va);
+}
+
+void
+PageTableEditor::map2m(Gpa cr3, Gva va, Gpa pa, PageFlags flags)
+{
+    ensure(isPageAligned2m(va) && isPageAligned2m(pa),
+           "PageTableEditor::map2m: unaligned");
+    Gpa table = cr3;
+    for (int level = 3; level >= 2; --level)
+        table = ensureTable(table, ptIndex(va, level));
+    Gpa entry_addr = table + ptIndex(va, 1) * 8;
+    uint64_t old = mem_.readObj<uint64_t>(entry_addr);
+    // Replacing a live L0 subtree would leak its table frame and leave
+    // stale 4 KiB entries this single invalidate cannot name; callers
+    // map huge leaves only into empty (or huge) slots.
+    ensure(!(old & PtePresent) || (old & PtePs),
+           "PageTableEditor::map2m: slot holds a 4 KiB subtree");
+    mem_.writeObj<uint64_t>(entry_addr, flags.toPte2m(pa));
     invalidate(cr3, va);
 }
 
@@ -125,6 +182,12 @@ PageTableEditor::unmap(Gpa cr3, Gva va)
             mem_.readObj<uint64_t>(table + ptIndex(va, level) * 8);
         if (!(entry & PtePresent))
             return std::nullopt;
+        if (level == 1 && (entry & PtePs)) {
+            // Unmapping one page of a huge leaf: split, then drop the
+            // 4 KiB entry from the new L0 table.
+            table = ensureLeafTable(cr3, table, va);
+            break;
+        }
         table = entry & kPteAddrMask;
     }
     Gpa leaf_addr = table + ptIndex(va, 0) * 8;
@@ -154,10 +217,36 @@ PageTableEditor::leaf(Gpa cr3, Gva va) const
             mem_.readObj<uint64_t>(table + ptIndex(va, level) * 8);
         if (!(entry & PtePresent))
             return std::nullopt;
+        if (level == 1 && (entry & PtePs)) {
+            // Synthesize the 4 KiB view of the huge leaf: region frame
+            // plus the VA's page offset, PS clear — byte-identical to
+            // what the corresponding L0 entry would hold after a split.
+            uint64_t attrs = entry & ~(kPteAddrMask2m | uint64_t(PtePs));
+            Gpa frame = (entry & kPteAddrMask2m) +
+                        (pageAlignDown(va) & (kPageSize2m - 1));
+            return attrs | frame;
+        }
         table = entry & kPteAddrMask;
     }
     uint64_t entry = mem_.readObj<uint64_t>(table + ptIndex(va, 0) * 8);
     if (!(entry & PtePresent))
+        return std::nullopt;
+    return entry;
+}
+
+std::optional<uint64_t>
+PageTableEditor::leaf2m(Gpa cr3, Gva va) const
+{
+    Gpa table = cr3;
+    for (int level = 3; level >= 2; --level) {
+        uint64_t entry =
+            mem_.readObj<uint64_t>(table + ptIndex(va, level) * 8);
+        if (!(entry & PtePresent))
+            return std::nullopt;
+        table = entry & kPteAddrMask;
+    }
+    uint64_t entry = mem_.readObj<uint64_t>(table + ptIndex(va, 1) * 8);
+    if (!(entry & PtePresent) || !(entry & PtePs))
         return std::nullopt;
     return entry;
 }
@@ -185,7 +274,9 @@ PageTableEditor::destroyLevel(Gpa table, int level)
     if (level > 0) {
         for (unsigned i = 0; i < 512; ++i) {
             uint64_t entry = mem_.readObj<uint64_t>(table + i * 8);
-            if (entry & PtePresent)
+            // A PS leaf points at a data region, not a child table.
+            if ((entry & PtePresent) &&
+                !(level == 1 && (entry & PtePs)))
                 destroyLevel(entry & kPteAddrMask, level - 1);
         }
     }

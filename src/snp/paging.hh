@@ -25,10 +25,15 @@ enum PteBits : uint64_t {
     PtePresent = 1ULL << 0,
     PteWrite = 1ULL << 1,
     PteUser = 1ULL << 2,
+    /// Page-size bit: set on a level-1 entry, the entry is a 2 MiB
+    /// leaf instead of a pointer to an L0 table (DESIGN.md §14).
+    PtePs = 1ULL << 7,
     PteNx = 1ULL << 63,
 };
 
 constexpr uint64_t kPteAddrMask = 0x000ffffffffff000ULL;
+/** Frame mask for a 2 MiB (PS-bit) leaf. */
+constexpr uint64_t kPteAddrMask2m = 0x000fffffffe00000ULL;
 
 /** Leaf mapping attributes. */
 struct PageFlags
@@ -49,6 +54,13 @@ struct PageFlags
             e |= PteNx;
         return e;
     }
+
+    /** Level-1 2 MiB leaf encoding of the same attributes. */
+    uint64_t
+    toPte2m(Gpa pa) const
+    {
+        return (toPte(0) & ~kPteAddrMask) | (pa & kPteAddrMask2m) | PtePs;
+    }
 };
 
 /** Result of a successful walk. */
@@ -56,6 +68,7 @@ struct Translation
 {
     Gpa gpa = 0;
     uint64_t pte = 0;
+    bool huge = false; ///< mapped by a 2 MiB (PS-bit) leaf
 };
 
 /**
@@ -102,8 +115,14 @@ class PageTableEditor
     /** Allocate a fresh empty root; returns the new cr3. */
     Gpa createRoot();
 
-    /** Map one page; replaces any existing mapping at @p va. */
+    /** Map one page; replaces any existing mapping at @p va. A 4 KiB
+     *  map into a region covered by a 2 MiB leaf splits the leaf into a
+     *  512-entry L0 table first (same translations, finer edit). */
     void map(Gpa cr3, Gva va, Gpa pa, PageFlags flags);
+
+    /** Map one 2 MiB region with a PS-bit leaf (@p va / @p pa 2 MiB
+     *  aligned; the level-1 slot must be empty or a huge leaf). */
+    void map2m(Gpa cr3, Gva va, Gpa pa, PageFlags flags);
 
     /** Unmap one page; returns the old PA if it was mapped. */
     std::optional<Gpa> unmap(Gpa cr3, Gva va);
@@ -111,8 +130,14 @@ class PageTableEditor
     /** Change leaf flags; throws FatalError if not mapped. */
     void protect(Gpa cr3, Gva va, PageFlags flags);
 
-    /** Leaf PTE at @p va, if present. */
+    /** Leaf PTE at @p va, if present. Inside a 2 MiB leaf this
+     *  synthesizes the 4 KiB-equivalent PTE (region frame + offset, PS
+     *  clear) so per-page callers (CoW, eviction) see exactly what a
+     *  split would yield. */
     std::optional<uint64_t> leaf(Gpa cr3, Gva va) const;
+
+    /** The raw 2 MiB leaf covering @p va, if one exists. */
+    std::optional<uint64_t> leaf2m(Gpa cr3, Gva va) const;
 
     /**
      * Visit every present leaf in [lo, hi): cb(va, pte). Used by
@@ -126,6 +151,9 @@ class PageTableEditor
 
   private:
     Gpa ensureTable(Gpa table, unsigned idx);
+    /** Level-1 descent for 4 KiB edits: creates a missing L0 table and
+     *  splits a 2 MiB leaf into one (512 replicated PTEs). */
+    Gpa ensureLeafTable(Gpa cr3, Gpa table, Gva va);
     void destroyLevel(Gpa table, int level);
     void invalidate(Gpa cr3, std::optional<Gva> va);
 

@@ -8,12 +8,20 @@ namespace veil::snp {
 RmpTable::RmpTable(uint64_t page_count)
 {
     entries_.resize(page_count);
+    huge_.resize((page_count + kPagesPer2m - 1) / kPagesPer2m, 0);
     // Contiguous-range sharding: smallest shift so every page index
     // maps below kShards. The entries_ vector itself is never resized
     // after this, so only per-entry state needs locking.
     shardShift_ = 0;
     while (page_count > 0 && ((page_count - 1) >> shardShift_) >= kShards)
         ++shardShift_;
+    // Lock-order guarantee for the large-page path (DESIGN.md §14): a
+    // shard must cover whole 2 MiB regions, so a huge-entry mutation or
+    // smash/split is a single exclusive shard acquisition — never a
+    // multi-shard (deadlock-prone) hold.
+    constexpr uint32_t kRegionShift = 9; // log2(kPagesPer2m)
+    if (shardShift_ < kRegionShift)
+        shardShift_ = kRegionShift;
 }
 
 RmpEntry &
@@ -44,10 +52,55 @@ RmpTable::notifyChanged(Gpa page)
 }
 
 void
+RmpTable::notifyChangedRange(Gpa base, size_t pages)
+{
+    // Same lock-order rule as notifyChanged: only ever called after the
+    // shard lock is dropped.
+    if (invalidateRange_) {
+        invalidateRange_(pageAlignDown(base), pages);
+        return;
+    }
+    if (invalidate_) {
+        for (size_t i = 0; i < pages; ++i)
+            invalidate_(pageAlignDown(base) + i * kPageSize);
+    }
+}
+
+bool
+RmpTable::smashLocked(Gpa page)
+{
+    // Caller holds the exclusive shard lock covering @p page; since a
+    // shard spans whole 2 MiB regions (constructor invariant), that
+    // same lock covers every page of the region — a plain store to the
+    // flag is race-free, and the per-page entries already carry the
+    // region's state, so demotion is just the flag.
+    uint64_t region = regionIndex2m(page);
+    if (region >= huge_.size() || !huge_[region])
+        return false;
+    std::atomic_ref<uint8_t>(huge_[region])
+        .store(0, std::memory_order_release);
+    splits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+RmpTable::check2mOperand(Gpa base, const char *what) const
+{
+    if (!isPageAligned2m(base))
+        panic(strfmt("%s: operand 0x%llx not 2 MiB aligned", what,
+                     (unsigned long long)base));
+    if (pageIndex(base) + kPagesPer2m > entries_.size())
+        panic(strfmt("%s: region 0x%llx beyond guest memory", what,
+                     (unsigned long long)base));
+}
+
+void
 RmpTable::hvAssign(Gpa page)
 {
+    bool smashed;
     {
         auto lock = writeLock(page);
+        smashed = smashLocked(page);
         RmpEntry &e = entryFor(page);
         e.assigned = true;
         e.validated = false;
@@ -55,25 +108,37 @@ RmpTable::hvAssign(Gpa page)
         for (auto &p : e.perms)
             p = kPermNone;
     }
-    notifyChanged(page);
+    if (smashed)
+        notifyChangedRange(pageAlignDown2m(page), kPagesPer2m);
+    else
+        notifyChanged(page);
 }
 
 void
 RmpTable::hvReclaim(Gpa page)
 {
+    bool smashed;
     {
         auto lock = writeLock(page);
+        smashed = smashLocked(page);
         RmpEntry &e = entryFor(page);
         e = RmpEntry{};
     }
-    notifyChanged(page);
+    if (smashed)
+        notifyChangedRange(pageAlignDown2m(page), kPagesPer2m);
+    else
+        notifyChanged(page);
 }
 
 void
 RmpTable::hvSetShared(Gpa page, bool shared)
 {
+    bool smashed;
     {
         auto lock = writeLock(page);
+        // A 4 KiB RMPUPDATE against a huge entry demotes it first
+        // (hardware: mismatched-size update splits the 2 MiB entry).
+        smashed = smashLocked(page);
         RmpEntry &e = entryFor(page);
         ensure(!e.vmsaPage, "hvSetShared: VMSA pages cannot be shared");
         // RMPUPDATE semantics: flipping a page to shared destroys its
@@ -86,7 +151,10 @@ RmpTable::hvSetShared(Gpa page, bool shared)
             e.validated = false;
         e.shared = shared;
     }
-    notifyChanged(page);
+    if (smashed)
+        notifyChangedRange(pageAlignDown2m(page), kPagesPer2m);
+    else
+        notifyChanged(page);
 }
 
 bool
@@ -103,8 +171,13 @@ RmpTable::pvalidate(Vmpl caller, Gpa page, bool validate)
         throw NpfFault(page, caller, Access::Write,
                        "PVALIDATE is restricted to VMPL-0");
     }
+    bool smashed;
     {
         auto lock = writeLock(page);
+        // 4 KiB PVALIDATE against a 2 MiB entry: hardware returns
+        // FAIL_SIZEMISMATCH and guests PSMASH first; we model the
+        // combined effect as an implicit split.
+        smashed = smashLocked(page);
         RmpEntry &e = entryFor(page);
         if (!e.assigned) {
             throw NpfFault(page, caller, Access::Write,
@@ -117,15 +190,22 @@ RmpTable::pvalidate(Vmpl caller, Gpa page, bool validate)
         for (int i = 1; i < kNumVmpls; ++i)
             e.perms[i] = kPermNone;
     }
-    notifyChanged(page);
+    if (smashed)
+        notifyChangedRange(pageAlignDown2m(page), kPagesPer2m);
+    else
+        notifyChanged(page);
 }
 
 void
 RmpTable::rmpadjust(Vmpl caller, Gpa page, Vmpl target, PermMask perms,
                     bool make_vmsa)
 {
+    bool smashed;
     {
         auto lock = writeLock(page);
+        // 4 KiB RMPADJUST against a 2 MiB entry splits it (hardware
+        // FAIL_SIZEMISMATCH + guest PSMASH, modelled as one step).
+        smashed = smashLocked(page);
         RmpEntry &e = entryFor(page);
         if (vmplIndex(target) <= vmplIndex(caller)) {
             throw NpfFault(
@@ -156,7 +236,10 @@ RmpTable::rmpadjust(Vmpl caller, Gpa page, Vmpl target, PermMask perms,
             e.perms[vmplIndex(target)] = perms;
         }
     }
-    notifyChanged(page);
+    if (smashed)
+        notifyChangedRange(pageAlignDown2m(page), kPagesPer2m);
+    else
+        notifyChanged(page);
 }
 
 void
@@ -166,12 +249,17 @@ RmpTable::clearVmsa(Vmpl caller, Gpa page)
         throw NpfFault(page, caller, Access::Write,
                        "VMSA teardown is restricted to VMPL-0");
     }
+    bool smashed;
     {
         auto lock = writeLock(page);
+        smashed = smashLocked(page);
         RmpEntry &e = entryFor(page);
         e.vmsaPage = false;
     }
-    notifyChanged(page);
+    if (smashed)
+        notifyChangedRange(pageAlignDown2m(page), kPagesPer2m);
+    else
+        notifyChanged(page);
 }
 
 bool
@@ -231,6 +319,138 @@ RmpTable::isVmsaPage(Gpa page) const
 {
     auto lock = readLock(page);
     return entryFor(page).vmsaPage;
+}
+
+// ---- 2 MiB entries (DESIGN.md §14) ----
+//
+// Thanks to the constructor's shard/region alignment invariant, one
+// writeLock(base) covers the whole region, so huge-entry mutations use
+// the exact locking discipline of the 4 KiB ops — no multi-shard holds,
+// and notify hooks still run only after the lock is dropped.
+
+void
+RmpTable::hvAssign2m(Gpa base)
+{
+    check2mOperand(base, "hvAssign2m");
+    {
+        auto lock = writeLock(base);
+        for (size_t i = 0; i < kPagesPer2m; ++i) {
+            RmpEntry &e = entries_[pageIndex(base) + i];
+            ensure(!e.vmsaPage, "hvAssign2m: region contains a VMSA page");
+            ensure(!e.shared, "hvAssign2m: region contains a shared page");
+            e.assigned = true;
+            e.validated = false;
+            e.vmsaPage = false;
+            for (auto &p : e.perms)
+                p = kPermNone;
+        }
+        uint64_t region = regionIndex2m(base);
+        if (!huge_[region]) {
+            std::atomic_ref<uint8_t>(huge_[region])
+                .store(1, std::memory_order_release);
+            promotes_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    notifyChangedRange(base, kPagesPer2m);
+}
+
+void
+RmpTable::pvalidate2m(Vmpl caller, Gpa base, bool validate)
+{
+    check2mOperand(base, "pvalidate2m");
+    if (caller != Vmpl::Vmpl0) {
+        throw NpfFault(base, caller, Access::Write,
+                       "PVALIDATE is restricted to VMPL-0");
+    }
+    {
+        auto lock = writeLock(base);
+        // The 2 MiB form requires a uniform region: every covered page
+        // assigned, unshared, and not a VMSA page (hardware would
+        // return FAIL_SIZEMISMATCH / FAIL_INPUT otherwise).
+        for (size_t i = 0; i < kPagesPer2m; ++i) {
+            const RmpEntry &e = entries_[pageIndex(base) + i];
+            if (!e.assigned || e.shared || e.vmsaPage) {
+                throw NpfFault(base + i * kPageSize, caller, Access::Write,
+                               "PVALIDATE-2M on non-uniform region");
+            }
+        }
+        for (size_t i = 0; i < kPagesPer2m; ++i) {
+            RmpEntry &e = entries_[pageIndex(base) + i];
+            e.validated = validate;
+            e.guestPrivate = validate;
+            e.perms[0] = validate ? kPermAll : kPermNone;
+            for (int v = 1; v < kNumVmpls; ++v)
+                e.perms[v] = kPermNone;
+        }
+        uint64_t region = regionIndex2m(base);
+        if (!huge_[region]) {
+            std::atomic_ref<uint8_t>(huge_[region])
+                .store(1, std::memory_order_release);
+            promotes_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    notifyChangedRange(base, kPagesPer2m);
+}
+
+void
+RmpTable::rmpadjust2m(Vmpl caller, Gpa base, Vmpl target, PermMask perms)
+{
+    check2mOperand(base, "rmpadjust2m");
+    {
+        auto lock = writeLock(base);
+        // The size bit must match the live RMP entry: RMPADJUST-2M on a
+        // smashed (or never-promoted) region is FAIL_SIZEMISMATCH.
+        uint64_t region = regionIndex2m(base);
+        if (!huge_[region]) {
+            throw NpfFault(base, caller, Access::Write,
+                           "RMPADJUST-2M size mismatch: region not huge");
+        }
+        if (vmplIndex(target) <= vmplIndex(caller)) {
+            throw NpfFault(
+                base, caller, Access::Write,
+                "RMPADJUST target must be less privileged than caller");
+        }
+        const RmpEntry &first = entries_[pageIndex(base)];
+        if (!first.validated) {
+            throw NpfFault(base, caller, Access::Write,
+                           "RMPADJUST on non-validated page");
+        }
+        if (!(first.perms[vmplIndex(caller)] & PermRead)) {
+            throw NpfFault(base, caller, Access::Read,
+                           "RMPADJUST on page restricted for the caller");
+        }
+        for (size_t i = 0; i < kPagesPer2m; ++i)
+            entries_[pageIndex(base) + i].perms[vmplIndex(target)] = perms;
+    }
+    notifyChangedRange(base, kPagesPer2m);
+}
+
+bool
+RmpTable::isHuge(Gpa gpa) const
+{
+    uint64_t region = regionIndex2m(gpa);
+    if (region >= huge_.size())
+        return false;
+    // Lock-free probe (TLB-insert fast path): the flag is a single
+    // byte mutated under the shard lock; atomic_ref gives a tear-free
+    // read without taking it.
+    return std::atomic_ref<const uint8_t>(huge_[region])
+               .load(std::memory_order_acquire) != 0;
+}
+
+void
+RmpTable::smash(Gpa gpa)
+{
+    Gpa base = pageAlignDown2m(gpa);
+    if (regionIndex2m(base) >= huge_.size())
+        return;
+    bool smashed;
+    {
+        auto lock = writeLock(base);
+        smashed = smashLocked(base);
+    }
+    if (smashed)
+        notifyChangedRange(base, kPagesPer2m);
 }
 
 } // namespace veil::snp

@@ -16,11 +16,22 @@
  *    restrictions and the CVM halts" behaviour (§5.1, §8.3).
  *  - VMSA pages are created via RMPADJUST with the VMSA attribute
  *    (VMPL-0 only) and become inaccessible to VMPL-1..3.
+ *  - 2 MiB RMP entries (DESIGN.md §14): a 512-page-aligned region may
+ *    be assigned/validated/adjusted as one huge entry. Representation:
+ *    the 512 per-page entries are kept byte-for-byte coherent with the
+ *    huge entry's state, plus a per-region "huge" flag — so the access
+ *    check (allowed()) is granularity-oblivious, and PSMASH-style
+ *    demotion is a flag flip plus a range TLB shootdown, never a state
+ *    rewrite. Any 4 KiB mutation (PVALIDATE, RMPADJUST, RMPUPDATE,
+ *    page-state change) landing inside a huge region smashes it first,
+ *    exactly like hardware faults a mismatched-size access into a
+ *    split.
  */
 #ifndef VEIL_SNP_RMP_HH_
 #define VEIL_SNP_RMP_HH_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -67,6 +78,18 @@ class RmpTable
      */
     using InvalidateFn = std::function<void(Gpa page)>;
     void setInvalidateHook(InvalidateFn fn) { invalidate_ = std::move(fn); }
+
+    /**
+     * Range variant, invoked (base, page count) after 2 MiB-entry
+     * mutations and smash/split demotions: one shootdown covering the
+     * whole region instead of 512 per-page hook invocations. When
+     * unset, the per-page hook is fanned out instead.
+     */
+    using InvalidateRangeFn = std::function<void(Gpa base, size_t pages)>;
+    void setInvalidateRangeHook(InvalidateRangeFn fn)
+    {
+        invalidateRange_ = std::move(fn);
+    }
 
     /**
      * Multicore mode (DESIGN.md §12): guard the table with sharded
@@ -124,6 +147,43 @@ class RmpTable
     /** Clear the VMSA attribute (when a VMSA is destroyed). */
     void clearVmsa(Vmpl caller, Gpa page);
 
+    // ---- 2 MiB entries (DESIGN.md §14) ----
+
+    /** Hypervisor RMPUPDATE of one 2 MiB-aligned region as a huge
+     *  entry (lazy-acceptance batches). */
+    void hvAssign2m(Gpa base);
+
+    /**
+     * Guest PVALIDATE with the 2 MiB size bit. Requires a 2 MiB-aligned
+     * region whose 512 pages are uniformly assigned, unshared, and not
+     * VMSA pages; promotes the region to a huge entry if it is not one
+     * already. VMPL-0 only, like the 4 KiB form.
+     */
+    void pvalidate2m(Vmpl caller, Gpa base, bool validate);
+
+    /** Guest RMPADJUST against a huge entry (whole region). */
+    void rmpadjust2m(Vmpl caller, Gpa base, Vmpl target, PermMask perms);
+
+    /** Whether @p gpa lies inside a live 2 MiB RMP entry. */
+    bool isHuge(Gpa gpa) const;
+
+    /** PSMASH: explicitly demote the huge entry covering @p gpa (no-op
+     *  when the region is not huge). The per-page entries already carry
+     *  the region's state, so only the flag and the TLB change. */
+    void smash(Gpa gpa);
+
+    /** Huge entries demoted to 512 4 KiB entries (PSMASH + implicit
+     *  4 KiB-mutation splits) over the table's lifetime. */
+    uint64_t splits() const
+    {
+        return splits_.load(std::memory_order_relaxed);
+    }
+    /** Regions promoted to huge entries over the table's lifetime. */
+    uint64_t promotes() const
+    {
+        return promotes_.load(std::memory_order_relaxed);
+    }
+
     /** Number of lock shards (contiguous page-index ranges). */
     static constexpr size_t kShards = 64;
 
@@ -131,6 +191,12 @@ class RmpTable
     RmpEntry &entryFor(Gpa page);
     const RmpEntry &entryFor(Gpa page) const;
     void notifyChanged(Gpa page);
+    void notifyChangedRange(Gpa base, size_t pages);
+    /** Demote the huge entry covering @p page under its (held) shard
+     *  lock; returns true if a live huge entry was split. */
+    bool smashLocked(Gpa page);
+    /** Validate a 2 MiB operand: alignment + in-bounds. */
+    void check2mOperand(Gpa base, const char *what) const;
 
     /** The shard lock covering @p page's index range. */
     std::shared_mutex &shardFor(Gpa page) const
@@ -153,9 +219,17 @@ class RmpTable
     }
 
     std::vector<RmpEntry> entries_;
+    /// One flag per 2 MiB region: non-zero while the region is a live
+    /// huge entry. Mutated under the region's shard lock; read via
+    /// atomic_ref so the lock-free fast-path probe (isHuge from the
+    /// TLB-insert path) never tears.
+    std::vector<uint8_t> huge_;
     InvalidateFn invalidate_;
+    InvalidateRangeFn invalidateRange_;
     bool mt_ = false;
     uint32_t shardShift_ = 0;
+    std::atomic<uint64_t> splits_{0};
+    std::atomic<uint64_t> promotes_{0};
     mutable std::array<std::shared_mutex, kShards> shards_;
 };
 

@@ -14,11 +14,19 @@ Tlb::invalidatePage(Gpa cr3, Gva vpn)
     static constexpr Cpl kCpls[] = {Cpl::Supervisor, Cpl::User};
     static constexpr Access kAccesses[] = {Access::Read, Access::Write,
                                            Access::Execute};
+    Gva vpn2m = pageAlignDown2m(vpn);
     for (Cpl cpl : kCpls) {
         for (Access access : kAccesses) {
             Entry &e = sets_[indexFor(cr3, vpn, cpl, access)];
             if (e.valid && e.cr3 == cr3 && e.vpn == vpn) {
                 e.valid = false;
+                dropped = true;
+            }
+            // INVLPG drops whichever size maps the VA: also probe the
+            // covering region's 2 MiB slot.
+            Entry &h = sets_[indexFor2m(cr3, vpn2m, cpl, access)];
+            if (h.valid && h.huge && h.cr3 == cr3 && h.vpn == vpn2m) {
+                h.valid = false;
                 dropped = true;
             }
         }
@@ -44,7 +52,27 @@ Tlb::invalidateGpa(Gpa gpa_page)
 {
     bool dropped = false;
     for (Entry &e : sets_) {
-        if (e.valid && e.gpaPage == gpa_page) {
+        // A 2 MiB entry covers the page whenever its region does —
+        // resolve which size the cached frame is before comparing.
+        Gpa frame = e.huge ? pageAlignDown2m(gpa_page) : gpa_page;
+        if (e.valid && e.gpaPage == frame) {
+            e.valid = false;
+            dropped = true;
+        }
+    }
+    return dropped;
+}
+
+bool
+Tlb::invalidateGpaRange(Gpa base, size_t pages)
+{
+    if (sets_.empty())
+        return false;
+    bool dropped = false;
+    Gpa end = base + Gpa(pages) * kPageSize;
+    for (Entry &e : sets_) {
+        Gpa span = e.huge ? kPageSize2m : kPageSize;
+        if (e.valid && e.gpaPage < end && e.gpaPage + span > base) {
             e.valid = false;
             dropped = true;
         }

@@ -44,6 +44,11 @@ class Tlb
     struct Entry
     {
         bool valid = false;
+        /// 2 MiB entry: vpn/gpaPage are 2 MiB-aligned and the entry
+        /// covers the whole region (PS-bit leaf backed by a huge RMP
+        /// entry, DESIGN.md §14). Cached only when huge pages are on,
+        /// so the default path never sees one.
+        bool huge = false;
         Cpl cpl = Cpl::Supervisor;
         Access access = Access::Read;
         Gpa cr3 = 0;     ///< address-space tag
@@ -75,7 +80,24 @@ class Tlb
         if (e.valid && e.gen == gen && e.cr3 == cr3 && e.vpn == vpn &&
             e.cpl == cpl && e.access == access)
             return &e;
+        // Second probe: the 2 MiB slot for the covering region (real
+        // TLBs probe both page sizes in parallel). Costs one extra
+        // array read on a 4 KiB miss; with huge pages off no 2 MiB
+        // entry is ever inserted, so this probe never hits.
+        Gva vpn2m = pageAlignDown2m(vpn);
+        const Entry &h = sets_[indexFor2m(cr3, vpn2m, cpl, access)];
+        if (h.valid && h.huge && h.gen == gen && h.cr3 == cr3 &&
+            h.vpn == vpn2m && h.cpl == cpl && h.access == access)
+            return &h;
         return nullptr;
+    }
+
+    /** GPA for @p va through hit @p e (size-aware offset). */
+    static Gpa
+    gpaFor(const Entry *e, Gva va)
+    {
+        return e->gpaPage |
+               (va & (e->huge ? (kPageSize2m - 1) : (kPageSize - 1)));
     }
 
     /** Install (or replace) the slot for the key. */
@@ -87,6 +109,26 @@ class Tlb
             sets_.resize(kSets);
         Entry &e = sets_[indexFor(cr3, vpn, cpl, access)];
         e.valid = true;
+        e.huge = false;
+        e.cpl = cpl;
+        e.access = access;
+        e.cr3 = cr3;
+        e.vpn = vpn;
+        e.gpaPage = gpa_page;
+        e.pte = pte;
+        e.gen = gen;
+    }
+
+    /** Install a 2 MiB entry (@p vpn / @p gpa_page 2 MiB-aligned). */
+    void
+    insert2m(Gpa cr3, Gva vpn, Cpl cpl, Access access, Gpa gpa_page,
+             uint64_t pte, uint64_t gen = 0)
+    {
+        if (sets_.empty())
+            sets_.resize(kSets);
+        Entry &e = sets_[indexFor2m(cr3, vpn, cpl, access)];
+        e.valid = true;
+        e.huge = true;
         e.cpl = cpl;
         e.access = access;
         e.cr3 = cr3;
@@ -98,15 +140,22 @@ class Tlb
 
     /**
      * INVLPG: drop every entry for (cr3, vpn) across all (cpl, access)
-     * variants. Returns true if anything was dropped.
+     * variants — both the 4 KiB slots and the 2 MiB slots of the
+     * covering region (INVLPG architecturally drops any size mapping
+     * the VA). Returns true if anything was dropped.
      */
     bool invalidatePage(Gpa cr3, Gva vpn);
 
     /** Drop every entry tagged with @p cr3. */
     bool invalidateCr3(Gpa cr3);
 
-    /** Drop every entry whose cached frame is @p gpa_page. */
+    /** Drop every entry whose cached frame covers @p gpa_page (a 2 MiB
+     *  entry matches when the page lies anywhere in its region). */
     bool invalidateGpa(Gpa gpa_page);
+
+    /** Drop every entry overlapping [@p base, @p base + @p pages·4K) —
+     *  the smash/split and huge-entry-mutation shootdown. */
+    bool invalidateGpaRange(Gpa base, size_t pages);
 
     /** Drop everything (mov-cr3 semantics). */
     bool flushAll();
@@ -121,6 +170,21 @@ class Tlb
         // one page land in six distinct, computable slots —
         // invalidatePage probes exactly those.
         uint64_t h = vpn >> kPageShift;
+        h ^= (cr3 >> kPageShift) * 0x9E3779B97F4A7C15ULL;
+        h ^= uint64_t(static_cast<uint8_t>(cpl)) * 0xD1B54A32D192ED03ULL;
+        h ^= uint64_t(static_cast<uint8_t>(access)) * 0x8CB92BA72F3D8DD7ULL;
+        h ^= h >> 32;
+        return static_cast<size_t>(h) & (kSets - 1);
+    }
+
+    static size_t
+    indexFor2m(Gpa cr3, Gva vpn, Cpl cpl, Access access)
+    {
+        // 2 MiB entries hash the region number with their own stride
+        // constant so a region's entry and the 4 KiB entries of the
+        // pages inside it land in unrelated slots; like indexFor, the
+        // six (cpl, access) variants are computable for invalidation.
+        uint64_t h = (vpn >> kPageShift2m) * 0xA24BAED4963EE407ULL;
         h ^= (cr3 >> kPageShift) * 0x9E3779B97F4A7C15ULL;
         h ^= uint64_t(static_cast<uint8_t>(cpl)) * 0xD1B54A32D192ED03ULL;
         h ^= uint64_t(static_cast<uint8_t>(access)) * 0x8CB92BA72F3D8DD7ULL;

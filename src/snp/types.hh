@@ -23,9 +23,15 @@ using VmsaId = uint32_t;
 
 constexpr VmsaId kInvalidVmsa = ~VmsaId(0);
 
-/** Page geometry (4 KiB pages only, like the paper's prototype). */
+/** Page geometry. The base page is 4 KiB like the paper's prototype;
+ *  the 2 MiB large-page fast path (RMP huge entries + PS-bit leaves,
+ *  DESIGN.md §14) is opt-in via MachineConfig::hugePages. */
 constexpr size_t kPageShift = 12;
 constexpr size_t kPageSize = size_t(1) << kPageShift;
+constexpr size_t kPageShift2m = 21;
+constexpr size_t kPageSize2m = size_t(1) << kPageShift2m;
+/** 4 KiB pages per 2 MiB region. */
+constexpr size_t kPagesPer2m = kPageSize2m / kPageSize;
 
 constexpr Gpa
 pageAlignDown(Gpa a)
@@ -49,6 +55,31 @@ constexpr bool
 isPageAligned(Gpa a)
 {
     return (a & (kPageSize - 1)) == 0;
+}
+
+constexpr Gpa
+pageAlignDown2m(Gpa a)
+{
+    return a & ~Gpa(kPageSize2m - 1);
+}
+
+constexpr Gpa
+pageAlignUp2m(Gpa a)
+{
+    return (a + kPageSize2m - 1) & ~Gpa(kPageSize2m - 1);
+}
+
+constexpr bool
+isPageAligned2m(Gpa a)
+{
+    return (a & (kPageSize2m - 1)) == 0;
+}
+
+/** Index of the 2 MiB region covering @p a. */
+constexpr uint64_t
+regionIndex2m(Gpa a)
+{
+    return a >> kPageShift2m;
 }
 
 /** Invoke @p fn(page) for every page overlapping [@p pa, @p pa+@p len). */

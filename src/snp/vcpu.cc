@@ -35,18 +35,31 @@ Vcpu::translateChecked(Gva va, Access access) const
         if (const Tlb::Entry *e =
                 v.tlb.lookup(v.cr3, vpn, v.cpl, access, gen)) {
             ++machine_.stats().tlbHits;
+            if (e->huge)
+                ++machine_.stats().tlbHits2m;
             machine_.tracer().instant(trace::Category::TlbHit, vpn);
-            return e->gpaPage | (va & (kPageSize - 1));
+            return Tlb::gpaFor(e, va);
         }
         ++machine_.stats().tlbMisses;
         machine_.tracer().instant(trace::Category::TlbMiss, vpn);
     }
     Translation t = walk(machine_.memory(), v.cr3, va, access, v.cpl);
     Gpa page = pageAlignDown(t.gpa);
+    // The RMP check is per-4K-page even under a PS-bit leaf: a huge
+    // region's 512 entries are kept state-coherent (rmp.hh), so the
+    // containing page's verdict is the region's verdict.
     if (!machine_.rmp().allowed(v.vmpl, page, access, v.cpl))
         throw NpfFault(page, v.vmpl, access, "RMP permission violation");
-    if (machine_.tlbEnabled())
-        v.tlb.insert(v.cr3, vpn, v.cpl, access, page, t.pte, gen);
+    if (machine_.tlbEnabled()) {
+        // Cache at 2 MiB only while both the leaf *and* the RMP entry
+        // are huge — after a smash, hardware refills at 4 KiB.
+        if (t.huge && machine_.rmp().isHuge(page)) {
+            v.tlb.insert2m(v.cr3, pageAlignDown2m(va), v.cpl, access,
+                           pageAlignDown2m(t.gpa), t.pte, gen);
+        } else {
+            v.tlb.insert(v.cr3, vpn, v.cpl, access, page, t.pte, gen);
+        }
+    }
     return t.gpa;
 }
 
@@ -137,8 +150,10 @@ Vcpu::translate(Gva va, Access access) const
         if (const Tlb::Entry *e =
                 v.tlb.lookup(v.cr3, vpn, cpl(), access, gen)) {
             ++machine_.stats().tlbHits;
+            if (e->huge)
+                ++machine_.stats().tlbHits2m;
             machine_.tracer().instant(trace::Category::TlbHit, vpn);
-            return e->gpaPage | (va & (kPageSize - 1));
+            return Tlb::gpaFor(e, va);
         }
         ++machine_.stats().tlbMisses;
         machine_.tracer().instant(trace::Category::TlbMiss, vpn);
@@ -146,8 +161,14 @@ Vcpu::translate(Gva va, Access access) const
     Translation t = walk(machine_.memory(), v.cr3, va, access, cpl());
     Gpa page = pageAlignDown(t.gpa);
     if (machine_.tlbEnabled() &&
-        machine_.rmp().allowed(vmpl(), page, access, cpl()))
-        v.tlb.insert(v.cr3, vpn, cpl(), access, page, t.pte, gen);
+        machine_.rmp().allowed(vmpl(), page, access, cpl())) {
+        if (t.huge && machine_.rmp().isHuge(page)) {
+            v.tlb.insert2m(v.cr3, pageAlignDown2m(va), cpl(), access,
+                           pageAlignDown2m(t.gpa), t.pte, gen);
+        } else {
+            v.tlb.insert(v.cr3, vpn, cpl(), access, page, t.pte, gen);
+        }
+    }
     return t.gpa;
 }
 
@@ -210,6 +231,26 @@ Vcpu::pvalidate(Gpa page, bool validate)
     machine_.charge(costs().pvalidatePage);
     ++machine_.stats().pvalidates;
     machine_.rmp().pvalidate(vmpl(), page, validate);
+}
+
+void
+Vcpu::pvalidate2m(Gpa base, bool validate)
+{
+    trace::SpanScope span(machine_.tracer(), trace::Category::Pvalidate,
+                          base);
+    machine_.charge(costs().pvalidate2m);
+    ++machine_.stats().pvalidates2m;
+    machine_.rmp().pvalidate2m(vmpl(), base, validate);
+}
+
+void
+Vcpu::rmpadjust2m(Gpa base, Vmpl target, PermMask perms, bool warm)
+{
+    trace::SpanScope span(machine_.tracer(), trace::Category::Rmpadjust,
+                          base);
+    machine_.charge(warm ? costs().rmpadjust2mWarm : costs().rmpadjust2m);
+    ++machine_.stats().rmpadjusts;
+    machine_.rmp().rmpadjust2m(vmpl(), base, target, perms);
 }
 
 VmsaId

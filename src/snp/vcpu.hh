@@ -86,6 +86,13 @@ class Vcpu
     /** PVALIDATE (VMPL-0 only; see RmpTable). */
     void pvalidate(Gpa page, bool validate);
 
+    /** PVALIDATE with the 2 MiB size bit (one region, one charge). */
+    void pvalidate2m(Gpa base, bool validate);
+
+    /** RMPADJUST against a 2 MiB RMP entry (whole region). */
+    void rmpadjust2m(Gpa base, Vmpl target, PermMask perms,
+                     bool warm = false);
+
     /**
      * Create a VMSA for a VCPU replica (RMPADJUST with the VMSA
      * attribute + slot registration). VMPL-0 only. The caller must

@@ -15,6 +15,10 @@ namespace {
 /// Cycle cost of the monitor's DH key generation + shared-secret
 /// computation during channel establishment (one-time, boot-path).
 constexpr uint64_t kDhComputeCycles = 3'000'000;
+
+/// Maximum entries in one grouped PageStateChange request (the GHCB
+/// spec's PSC buffer holds 253 entries).
+constexpr uint64_t kPscMaxEntries = 253;
 } // namespace
 
 VeilMon::VeilMon(Machine &machine, const CvmLayout &layout)
@@ -91,18 +95,157 @@ VeilMon::bootMain(Vcpu &cpu)
     monitorLoop(cpu);
 }
 
+int
+VeilMon::grantClass(Gpa page) const
+{
+    // 0 = Dom-MON only, 1 = service region, 2 = OS-visible.
+    if (page == 0 || layout_.inMonRegion(page))
+        return 0;
+    if (layout_.inSrvRegion(page))
+        return 1;
+    return 2;
+}
+
+bool
+VeilMon::regionEligible2m(Gpa base) const
+{
+    // A 2 MiB region takes the PVALIDATE-2M fast path only when every
+    // covered page is uniform: same grant class, no shared/VMSA pages,
+    // nothing validated yet, and uniformly assigned (lazy acceptance
+    // already ran by the time this is asked).
+    if (!isPageAligned2m(base) || base + kPageSize2m > layout_.memEnd)
+        return false;
+    const RmpTable &rmp = machine_.rmp();
+    int cls = grantClass(base);
+    for (Gpa p = base; p < base + kPageSize2m; p += kPageSize) {
+        if (rmp.isShared(p) || rmp.isVmsaPage(p) || rmp.isValidated(p))
+            return false;
+        if (!rmp.isAssigned(p))
+            return false;
+        if (grantClass(p) != cls)
+            return false;
+    }
+    return true;
+}
+
+void
+VeilMon::acceptLazyMemory(Vcpu &cpu)
+{
+    // Lazy launch left [kernelBase, memEnd) unassigned. With huge pages
+    // on, accept it with grouped multi-entry PageStateChange requests
+    // (one domain switch covers up to kPscMaxEntries 2 MiB regions);
+    // with huge pages off the per-page acceptance round trips happen in
+    // the protectDomains walk — the ablation baseline.
+    if (!machine_.hugePagesEnabled())
+        return;
+    RmpTable &rmp = machine_.rmp();
+    Gpa p = layout_.kernelBase;
+    auto region_unassigned = [&](Gpa base) {
+        if (!isPageAligned2m(base) || base + kPageSize2m > layout_.memEnd)
+            return false;
+        for (Gpa q = base; q < base + kPageSize2m; q += kPageSize)
+            if (rmp.isAssigned(q) || rmp.isShared(q))
+                return false;
+        return true;
+    };
+    while (p < layout_.memEnd) {
+        if (region_unassigned(p)) {
+            uint64_t count = 0;
+            Gpa q = p;
+            while (count < kPscMaxEntries && region_unassigned(q)) {
+                ++count;
+                q += kPageSize2m;
+            }
+            Ghcb g;
+            g.exitCode = static_cast<uint64_t>(GhcbExit::PageStateChange);
+            g.info[0] = p;
+            g.info[1] = 0; // to private (acceptance)
+            g.info[2] = count;
+            g.info[3] = 1; // 2 MiB entries
+            cpu.hypercall(g);
+            ++bootStats_.pscBatches;
+            p = q;
+        } else if (!rmp.isAssigned(p) && !rmp.isShared(p)) {
+            // Unaligned head/tail: grouped 4 KiB entries up to the next
+            // huge-eligible boundary.
+            uint64_t count = 0;
+            Gpa q = p;
+            while (count < kPscMaxEntries && q < layout_.memEnd &&
+                   !rmp.isAssigned(q) && !rmp.isShared(q) &&
+                   !region_unassigned(q)) {
+                ++count;
+                q += kPageSize;
+            }
+            Ghcb g;
+            g.exitCode = static_cast<uint64_t>(GhcbExit::PageStateChange);
+            g.info[0] = p;
+            g.info[1] = 0;
+            g.info[2] = count;
+            g.info[3] = 0;
+            cpu.hypercall(g);
+            ++bootStats_.pscBatches;
+            p = q;
+        } else {
+            p += kPageSize;
+        }
+    }
+}
+
 void
 VeilMon::protectDomains(Vcpu &cpu)
 {
     RmpTable &rmp = machine_.rmp();
     uint64_t pv_cycles = 0;
     uint64_t ra_cycles = 0;
+    const bool huge = machine_.hugePagesEnabled();
 
-    for (Gpa p = 0; p < layout_.memEnd; p += kPageSize) {
-        if (rmp.isShared(p))
-            continue; // pre-shared GHCB pages stay hypervisor-visible
-        if (rmp.isVmsaPage(p))
-            continue; // boot VMSA
+    if (lazyAccept_)
+        acceptLazyMemory(cpu);
+
+    Gpa p = 0;
+    while (p < layout_.memEnd) {
+        if (huge && regionEligible2m(p)) {
+            // PVALIDATE-2M + RMPADJUST-2M: one instruction pair covers
+            // the whole region (DESIGN.md §14).
+            uint64_t t = cpu.rdtsc();
+            cpu.pvalidate2m(p, true);
+            pv_cycles += cpu.rdtsc() - t;
+            t = cpu.rdtsc();
+            switch (grantClass(p)) {
+              case 0:
+                break; // Dom-MON only: no grants below VMPL-0
+              case 1:
+                cpu.rmpadjust2m(p, Vmpl::Vmpl1, kPermRw);
+                break;
+              default:
+                cpu.rmpadjust2m(p, Vmpl::Vmpl1, kPermRw);
+                cpu.rmpadjust2m(p, Vmpl::Vmpl3, kPermAll, /*warm=*/true);
+                break;
+            }
+            ra_cycles += cpu.rdtsc() - t;
+            bootStats_.pagesProtected += kPagesPer2m;
+            ++bootStats_.hugeRegions;
+            p += kPageSize2m;
+            continue;
+        }
+
+        if (rmp.isShared(p)) {
+            p += kPageSize; // pre-shared GHCB pages stay hv-visible
+            continue;
+        }
+        if (rmp.isVmsaPage(p)) {
+            p += kPageSize; // boot VMSA
+            continue;
+        }
+        if (lazyAccept_ && !rmp.isAssigned(p)) {
+            // 4 KiB lazy acceptance: one PageStateChange round trip per
+            // page (what the huge path's grouped requests amortize).
+            Ghcb g;
+            g.exitCode = static_cast<uint64_t>(GhcbExit::PageStateChange);
+            g.info[0] = p;
+            g.info[1] = 0;
+            cpu.hypercall(g);
+        }
         if (!rmp.isValidated(p)) {
             uint64_t t = cpu.rdtsc();
             cpu.pvalidate(p, true);
@@ -122,6 +265,7 @@ VeilMon::protectDomains(Vcpu &cpu)
         }
         ra_cycles += cpu.rdtsc() - t;
         ++bootStats_.pagesProtected;
+        p += kPageSize;
     }
 
     bootStats_.pvalidateCycles = pv_cycles;
@@ -250,23 +394,77 @@ VeilMon::opPageStateChange(Vcpu &cpu, IdcbMessage &msg)
 {
     Gpa page = msg.args[0];
     bool to_shared = msg.args[1] != 0;
-    if (!osPageAllowed(page)) {
+    uint64_t count = msg.args[2] > 1 ? msg.args[2] : 1;
+    bool size2m = msg.args[3] != 0;
+
+    // Sanitize the whole size-tagged request (§8.1): the entry count is
+    // capped at the GHCB PSC buffer size, 2 MiB operands must be
+    // region-aligned, and EVERY covered 4 KiB page must individually
+    // pass osPageAllowed — a malicious OS must not smuggle a protected
+    // page inside a large entry.
+    Gpa step = size2m ? kPageSize2m : kPageSize;
+    if (count > kPscMaxEntries || (size2m && !isPageAligned2m(page)) ||
+        !isPageAligned(page) || page + count * step < page) {
         msg.status = static_cast<uint64_t>(VeilStatus::Denied);
         return;
     }
+    for (Gpa p = page; p < page + count * step; p += kPageSize) {
+        if (!osPageAllowed(p)) {
+            msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+            return;
+        }
+    }
+
     Ghcb g;
     g.exitCode = static_cast<uint64_t>(GhcbExit::PageStateChange);
     g.info[0] = page;
     g.info[1] = to_shared ? 1 : 0;
+
+    if (count <= 1 && !size2m) {
+        // Legacy single-page form: exact historical sequence.
+        if (to_shared) {
+            if (machine_.rmp().isValidated(page))
+                cpu.pvalidate(page, false);
+            cpu.hypercall(g);
+        } else {
+            cpu.hypercall(g);
+            cpu.pvalidate(page, true);
+            cpu.rmpadjust(page, Vmpl::Vmpl1, kPermRw, /*warm=*/true);
+            cpu.rmpadjust(page, Vmpl::Vmpl3, kPermAll, /*warm=*/true);
+        }
+        msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+        return;
+    }
+
+    g.info[2] = count;
+    g.info[3] = size2m ? 1 : 0;
+    RmpTable &rmp = machine_.rmp();
     if (to_shared) {
-        if (machine_.rmp().isValidated(page))
-            cpu.pvalidate(page, false);
+        for (uint64_t i = 0; i < count; ++i) {
+            Gpa base = page + i * step;
+            if (size2m && rmp.isHuge(base) && rmp.isValidated(base)) {
+                cpu.pvalidate2m(base, false);
+                continue;
+            }
+            for (Gpa p = base; p < base + step; p += kPageSize)
+                if (rmp.isValidated(p))
+                    cpu.pvalidate(p, false);
+        }
         cpu.hypercall(g);
     } else {
         cpu.hypercall(g);
-        cpu.pvalidate(page, true);
-        cpu.rmpadjust(page, Vmpl::Vmpl1, kPermRw, /*warm=*/true);
-        cpu.rmpadjust(page, Vmpl::Vmpl3, kPermAll, /*warm=*/true);
+        for (uint64_t i = 0; i < count; ++i) {
+            Gpa base = page + i * step;
+            if (size2m) {
+                cpu.pvalidate2m(base, true);
+                cpu.rmpadjust2m(base, Vmpl::Vmpl1, kPermRw, /*warm=*/true);
+                cpu.rmpadjust2m(base, Vmpl::Vmpl3, kPermAll, /*warm=*/true);
+            } else {
+                cpu.pvalidate(base, true);
+                cpu.rmpadjust(base, Vmpl::Vmpl1, kPermRw, /*warm=*/true);
+                cpu.rmpadjust(base, Vmpl::Vmpl3, kPermAll, /*warm=*/true);
+            }
+        }
     }
     msg.status = static_cast<uint64_t>(VeilStatus::Ok);
 }

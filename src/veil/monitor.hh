@@ -38,6 +38,10 @@ struct MonitorBootStats
     uint64_t rmpadjustCycles = 0;
     uint64_t vmsaSetupCycles = 0;
     uint64_t pagesProtected = 0;
+    /// Grouped PageStateChange requests issued during lazy acceptance.
+    uint64_t pscBatches = 0;
+    /// 2 MiB regions protected via the PVALIDATE-2M fast path.
+    uint64_t hugeRegions = 0;
 };
 
 /** Factory for the Dom-ENC VMSA entry of a given enclave. */
@@ -61,6 +65,15 @@ class VeilMon
 
     /** Enclave runtime entry factory (provided by the SDK layer). */
     void setEnclaveEntryFactory(EnclaveEntryFactory factory);
+
+    /**
+     * Lazy-acceptance boot (DESIGN.md §14): the launch left the OS
+     * region (at/above kernelBase) unassigned; the monitor accepts it
+     * during protectDomains — grouped multi-entry PageStateChange
+     * requests when huge pages are on, one round trip per page
+     * otherwise (the ablation baseline).
+     */
+    void setLazyAccept(bool on) { lazyAccept_ = on; }
 
     /** Boot VMSA entry point (simulated RIP of the boot image). */
     void bootMain(snp::Vcpu &cpu);
@@ -92,6 +105,9 @@ class VeilMon
 
   private:
     void protectDomains(snp::Vcpu &cpu);
+    void acceptLazyMemory(snp::Vcpu &cpu);
+    bool regionEligible2m(snp::Gpa base) const;
+    int grantClass(snp::Gpa page) const;
     void createVcpuDomains(snp::Vcpu &cpu, uint32_t vcpu, bool boot_vcpu);
     void monitorLoop(snp::Vcpu &cpu);
     void dispatch(snp::Vcpu &cpu, IdcbMessage &msg);
@@ -118,6 +134,7 @@ class VeilMon
     snp::Gpa nextVmsaPage_ = 0;
     std::vector<snp::Gpa> freeVmsaPages_;
     std::set<uint32_t> bootedVcpus_;
+    bool lazyAccept_ = false;
     MonitorBootStats bootStats_;
     std::optional<crypto::SessionKeys> channelKeys_;
     std::unique_ptr<SecureChannel> sealChannel_;

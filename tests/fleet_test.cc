@@ -8,6 +8,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "base/log.hh"
 #include "fleet/fleet.hh"
 #include "sdk/vm.hh"
@@ -25,6 +27,9 @@ VmConfig
 fleetVmConfig(uint32_t vcpus = 2, uint32_t host_threads = 0)
 {
     LogConfig::setThreshold(LogLevel::Silent);
+    // This suite controls MachineConfig::hugePages per test; drop the
+    // A/B env escape so every run is deterministic.
+    unsetenv("VEIL_HUGEPAGES");
     VmConfig cfg;
     cfg.machine.memBytes = 64 * 1024 * 1024;
     cfg.machine.numVcpus = vcpus;
@@ -133,6 +138,46 @@ TEST(FleetClone, CowIsolatesClonesFromEachOther)
         fm.releaseTemplate(k);
     });
     EXPECT_TRUE(run.terminated);
+}
+
+TEST(FleetClone, HugePageModeIsByteIdenticalTo4kMode)
+{
+    // CoW writes into a template sealed inside promoted 2 MiB regions
+    // force RMP smashes on the huge fast path; the clone's observable
+    // state evolution must nonetheless match the 4 KiB mode byte for
+    // byte — splits are a representation change, never a behavior one.
+    auto run_calls = [](bool huge) {
+        VmConfig cfg = fleetVmConfig(1);
+        cfg.machine.hugePages = huge;
+        VeilVm vm(cfg);
+        FleetConfig fc = smallFleet();
+        FleetManager fm(vm, fc);
+        struct
+        {
+            std::vector<int64_t> calls;
+            crypto::Digest measurement{};
+        } out;
+        auto run = vm.run([&](Kernel &k, Process &) {
+            ASSERT_TRUE(fm.sealTemplate(k));
+            Process &cp = k.makeProcess("clone", /*light_as=*/true);
+            cp.audited = false;
+            NativeEnv cenv(k, cp);
+            EnclaveHost clone(cenv, vm.programs());
+            ASSERT_TRUE(clone.createFromSnapshot(fm.snapshot()));
+            out.measurement = clone.fetchMeasurement();
+            for (int i = 0; i < 8; ++i)
+                out.calls.push_back(clone.call());
+            EXPECT_EQ(clone.destroy(), 0);
+            fm.releaseTemplate(k);
+        });
+        EXPECT_TRUE(run.terminated);
+        return out;
+    };
+    auto huge = run_calls(true);
+    auto base = run_calls(false);
+    ASSERT_EQ(huge.calls.size(), base.calls.size());
+    EXPECT_EQ(huge.calls, base.calls);
+    EXPECT_EQ(huge.measurement, base.measurement);
 }
 
 TEST(FleetClone, SnapshotReleaseStopsNewClones)

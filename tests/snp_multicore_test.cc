@@ -364,6 +364,21 @@ TEST(Multicore, StripedFrameAllocatorNeverDoubleAllocates)
 
     EXPECT_EQ(doubleAllocs.load(), 0u);
     EXPECT_EQ(alloc.freeFrames(), kFrames);
+
+    // The workers parked every frame in their own stripes and the bump
+    // region is long gone, so draining the whole pool from this one
+    // thread must cross stripes: every frame outside our home stripe
+    // comes back through the steal path, and the rotating steal cursor
+    // counts each theft.
+    uint64_t steals0 = alloc.steals();
+    std::vector<Gpa> drained;
+    while (auto f = alloc.tryAlloc())
+        drained.push_back(*f);
+    EXPECT_EQ(drained.size(), kFrames);
+    EXPECT_GT(alloc.steals(), steals0);
+    for (Gpa f : drained)
+        alloc.free(f);
+    EXPECT_EQ(alloc.freeFrames(), kFrames);
 }
 
 TEST(Multicore, ExclusiveSectionsAreMutuallyExclusive)

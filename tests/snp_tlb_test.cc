@@ -26,6 +26,7 @@ namespace {
 // hit-rate/shootdown assertions, so drop it before any Machine exists.
 const bool kEnvCleared = [] {
     unsetenv("VEIL_TLB_DISABLE");
+    unsetenv("VEIL_HUGEPAGES");
     return true;
 }();
 
@@ -374,6 +375,113 @@ TEST(TlbEquivalenceTest, FullVeilBootCyclesIdenticalTlbOnOff)
         return tsc;
     };
     EXPECT_EQ(boot_tsc(true), boot_tsc(false));
+}
+
+/**
+ * Same transparency requirement for the mixed-size TLB: a hugepage +
+ * lazy-acceptance boot caches 2 MiB entries and takes smash-driven
+ * range shootdowns, and none of that may perturb the cycle model.
+ */
+TEST(TlbEquivalenceTest, HugePageBootCyclesIdenticalTlbOnOff)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    auto boot_tsc = [](bool tlb_enabled) {
+        sdk::VmConfig cfg;
+        cfg.machine.memBytes = 32 * 1024 * 1024;
+        cfg.machine.numVcpus = 1;
+        cfg.machine.tlbEnabled = tlb_enabled;
+        cfg.machine.hugePages = true;
+        cfg.lazyAccept = true;
+        cfg.veilEnabled = true;
+        sdk::VeilVm vm(cfg);
+        uint64_t tsc = 0;
+        vm.run([&](kern::Kernel &k, kern::Process &) {
+            tsc = k.cpu().rdtsc();
+        });
+        return tsc;
+    };
+    EXPECT_EQ(boot_tsc(true), boot_tsc(false));
+}
+
+/**
+ * Mixed-size invalidation equivalence: the fixed sequence from above
+ * run over a 2 MiB leaf — INVLPG-driven splits, a GPA shootdown landing
+ * mid-huge-page, and CR3 flushes — must behave identically (same final
+ * TSC, same faults) with the TLB on and off.
+ */
+std::pair<uint64_t, uint64_t>
+runMixedSizeSequence(bool tlb_enabled)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    MachineConfig cfg;
+    cfg.memBytes = 16 * 1024 * 1024;
+    cfg.numVcpus = 1;
+    cfg.interruptsEnabled = true;
+    cfg.costs.timerHz = 100000;
+    cfg.tlbEnabled = tlb_enabled;
+    cfg.hugePages = true;
+    Machine m(cfg);
+    constexpr Gpa kRegion = 0x800000;
+    for (Gpa p = 0; p < kRegion; p += kPageSize) {
+        m.rmp().hvAssign(p);
+        m.rmp().pvalidate(Vmpl::Vmpl0, p, true);
+    }
+    m.rmp().hvAssign2m(kRegion);
+    m.rmp().pvalidate2m(Vmpl::Vmpl0, kRegion, true);
+    Gpa next_frame = 0x100000;
+    PageTableEditor editor(
+        m.memory(),
+        [&next_frame] {
+            Gpa f = next_frame;
+            next_frame += kPageSize;
+            return f;
+        },
+        [](Gpa) {},
+        [&m](Gpa cr3, std::optional<Gva> va) {
+            if (va)
+                m.tlbInvlpg(cr3, *va);
+            else
+                m.tlbFlushCr3(cr3);
+        });
+    Gpa cr3 = editor.createRoot();
+    constexpr Gva kVa2m = 0x400000;
+    editor.map2m(cr3, kVa2m, kRegion, PageFlags{true, true, false});
+
+    Vmsa v;
+    v.vmpl = Vmpl::Vmpl0;
+    v.cr3 = cr3;
+    v.entry = [&](Vcpu &cpu) {
+        for (int round = 0; round < 20; ++round) {
+            // Strided reads across the huge leaf (one shared TLB entry).
+            for (int i = 0; i < 64; ++i)
+                cpu.readObj<uint64_t>(kVa2m + Gva(i) * 0x1000);
+            cpu.setCr3(0);
+            cpu.readObj<uint64_t>(kRegion);
+            cpu.setCr3(cr3);
+        }
+        // INVLPG path: unmap one 4 KiB page — splits the 2 MiB leaf.
+        editor.unmap(cr3, kVa2m + 0x5000);
+        EXPECT_THROW(cpu.readObj<uint64_t>(kVa2m + 0x5000),
+                     GuestPageFault);
+        EXPECT_NO_THROW(cpu.readObj<uint64_t>(kVa2m));
+        // GPA shootdown mid-huge-page: RMP smash revokes validation.
+        m.rmp().pvalidate(Vmpl::Vmpl0, kRegion + 0x9000, false);
+        EXPECT_THROW(cpu.readObj<uint64_t>(kVa2m + 0x9000), NpfFault);
+        EXPECT_NO_THROW(cpu.readObj<uint64_t>(kVa2m + 0xa000));
+    };
+    VmsaId id = m.addVmsa(std::move(v));
+    while (m.enter(id).reason == ExitReason::AutomaticIntr) {
+    }
+    return {m.tsc(), m.stats().timerInterrupts};
+}
+
+TEST(TlbEquivalenceTest, MixedSizeSequenceCyclesIdenticalTlbOnOff)
+{
+    auto [tsc_on, intr_on] = runMixedSizeSequence(true);
+    auto [tsc_off, intr_off] = runMixedSizeSequence(false);
+    EXPECT_EQ(tsc_on, tsc_off);
+    EXPECT_EQ(intr_on, intr_off);
+    EXPECT_GT(intr_on, 0u) << "sequence too short to exercise the timer";
 }
 
 } // namespace
