@@ -49,6 +49,9 @@ main(int argc, char **argv)
     failures += printBattery(
         "VeilChaos: hostile-hypervisor resilience (DESIGN.md §10)",
         runChaosAttacks());
+    failures += printBattery(
+        "Attestation & session provisioning (DESIGN.md §15)",
+        runAttestationAttacks());
 
     note("");
     if (failures == 0) {

@@ -1,0 +1,65 @@
+#include "attest/keys.hh"
+
+#include <cstring>
+
+namespace veil::attest {
+
+namespace {
+
+crypto::AsymKeyPair
+deriveKey(const Bytes &seed, const char *label, uint64_t tcb)
+{
+    Bytes material = seed;
+    appendBytes(material, label, std::strlen(label));
+    appendLe<uint64_t>(material, tcb);
+    crypto::HmacDrbg drbg(material);
+    return crypto::asymGenerate(drbg);
+}
+
+Certificate
+issue(CertRole role, uint64_t tcb, const crypto::AsymKeyPair &subject,
+      const crypto::AsymKeyPair &issuer)
+{
+    Certificate c;
+    c.role = static_cast<uint32_t>(role);
+    c.tcbVersion = tcb;
+    std::memcpy(c.subjectPublic, subject.publicKey.data(), 32);
+    c.signature = crypto::asymSign(issuer, kCertDomain, certDigest(c));
+    return c;
+}
+
+} // namespace
+
+PlatformKeys::PlatformKeys(const Bytes &seed, uint64_t tcb_version)
+    : root_(deriveKey(seed, "veil-ark", 0)),
+      signing_(deriveKey(seed, "veil-ask", 0)),
+      chip_(deriveKey(seed, "veil-vcek", tcb_version)),
+      tcbVersion_(tcb_version)
+{
+    chain_.root = issue(CertRole::PlatformRoot, 0, root_, root_);
+    chain_.signing = issue(CertRole::Signing, 0, signing_, root_);
+    chain_.chip = issue(CertRole::Chip, tcbVersion_, chip_, signing_);
+}
+
+AttestationReport
+PlatformKeys::signReport(uint8_t requester_vmpl,
+                         const crypto::Digest &measurement,
+                         const ReportData &data) const
+{
+    AttestationReport r;
+    r.version = kReportVersion;
+    r.requesterVmpl = requester_vmpl;
+    r.tcbVersion = tcbVersion_;
+    r.measurement = measurement;
+    r.reportData = data;
+    r.signature = crypto::asymSign(chip_, kReportDomain, reportDigest(r));
+    return r;
+}
+
+Bytes
+rootPublicFromSeed(const Bytes &seed)
+{
+    return deriveKey(seed, "veil-ark", 0).publicKey;
+}
+
+} // namespace veil::attest

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Platform key provisioning: derives the ARK/ASK/VCEK-analog key
+ * hierarchy from the platform seed and issues the certificate chain.
+ * Used by the simulated PSP (the signer) and by provisioning code that
+ * needs only the public root (the verifier's trust anchor). Keeping
+ * derivation here — outside the PSP — lets a remote party obtain the
+ * root public key the way it would from the silicon vendor's published
+ * certificates, without ever touching the machine's PSP object.
+ */
+#ifndef VEIL_ATTEST_KEYS_HH_
+#define VEIL_ATTEST_KEYS_HH_
+
+#include "attest/report.hh"
+#include "crypto/drbg.hh"
+
+namespace veil::attest {
+
+/** The platform's signing hierarchy at one TCB version. */
+class PlatformKeys
+{
+  public:
+    /**
+     * Deterministically derive the hierarchy from @p seed at
+     * @p tcb_version. Root and signing keys are TCB-independent; the
+     * chip key is re-derived per TCB version (VCEK semantics: a
+     * firmware update rotates the endorsement key).
+     */
+    PlatformKeys(const Bytes &seed, uint64_t tcb_version);
+
+    /** The certificate chain a verifier walks (issued once, cached). */
+    const CertChain &certChain() const { return chain_; }
+
+    /** Public half of the trust anchor. */
+    const Bytes &rootPublic() const { return root_.publicKey; }
+
+    uint64_t tcbVersion() const { return tcbVersion_; }
+
+    /** Sign a report with the chip (VCEK) key; stamps tcbVersion. */
+    AttestationReport signReport(uint8_t requester_vmpl,
+                                 const crypto::Digest &measurement,
+                                 const ReportData &data) const;
+
+  private:
+    crypto::AsymKeyPair root_;
+    crypto::AsymKeyPair signing_;
+    crypto::AsymKeyPair chip_;
+    uint64_t tcbVersion_;
+    CertChain chain_;
+};
+
+/**
+ * The platform root public key for @p seed — the out-of-band trust
+ * anchor (what the silicon vendor publishes). Derivable without
+ * instantiating the full hierarchy.
+ */
+Bytes rootPublicFromSeed(const Bytes &seed);
+
+} // namespace veil::attest
+
+#endif // VEIL_ATTEST_KEYS_HH_

@@ -1,0 +1,27 @@
+#include "attest/report.hh"
+
+namespace veil::attest {
+
+crypto::Digest
+certDigest(const Certificate &c)
+{
+    crypto::Sha256 h;
+    h.update(&c.role, sizeof(c.role));
+    h.update(&c.tcbVersion, sizeof(c.tcbVersion));
+    h.update(c.subjectPublic, sizeof(c.subjectPublic));
+    return h.finish();
+}
+
+crypto::Digest
+reportDigest(const AttestationReport &r)
+{
+    crypto::Sha256 h;
+    h.update(&r.version, sizeof(r.version));
+    h.update(&r.requesterVmpl, 1);
+    h.update(&r.tcbVersion, sizeof(r.tcbVersion));
+    h.update(r.measurement.data(), r.measurement.size());
+    h.update(r.reportData.data(), r.reportData.size());
+    return h.finish();
+}
+
+} // namespace veil::attest

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Attestation wire formats (§5.1): the signed report and the platform
+ * certificate chain, modeled on SNP's ARK → ASK → VCEK hierarchy.
+ *
+ *  - PlatformRoot (ARK analog): the self-signed platform root. Its
+ *    public key is the only out-of-band trust anchor a verifier needs.
+ *  - Signing (ASK analog): the intermediate SEV signing key, certified
+ *    by the root.
+ *  - Chip (VCEK analog): the versioned chip endorsement key, certified
+ *    by the signing key and bound to a TCB version. Reports are signed
+ *    with this key; a platform at TCB version N has a *different* chip
+ *    key than the same platform at N-1, so presenting a stale chain is
+ *    detectable (rollback check).
+ *
+ * Everything here is POD so the structures can cross the simulated
+ * wire (IDCB payloads) by memcpy. All consumers — the PSP that signs,
+ * the monitor that requests, and the out-of-process verifier — share
+ * these definitions; nothing else is shared.
+ */
+#ifndef VEIL_ATTEST_REPORT_HH_
+#define VEIL_ATTEST_REPORT_HH_
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/sha256.hh"
+#include "crypto/sig.hh"
+
+namespace veil::attest {
+
+/** Free-form data the requester binds into the report. */
+using ReportData = std::array<uint8_t, 64>;
+
+/** Report wire-format version understood by this verifier. */
+constexpr uint32_t kReportVersion = 2;
+
+/** Platform TCB version shipped by default (see MachineConfig). */
+constexpr uint64_t kDefaultTcbVersion = 3;
+
+/** Role of a certificate's subject key in the chain. */
+enum class CertRole : uint32_t {
+    None = 0,
+    PlatformRoot = 1, ///< ARK analog, self-signed trust anchor
+    Signing = 2,      ///< ASK analog, certified by the root
+    Chip = 3,         ///< VCEK analog, versioned, signs reports
+};
+
+/** One certificate: a role-tagged public key signed by its issuer. */
+struct Certificate
+{
+    uint32_t role = 0;           ///< CertRole
+    uint32_t reserved = 0;
+    uint64_t tcbVersion = 0;     ///< nonzero only for CertRole::Chip
+    uint8_t subjectPublic[32] = {};
+    crypto::AsymSignature signature = {}; ///< by the issuer (root: self)
+};
+
+/** The full platform chain, root first. */
+struct CertChain
+{
+    Certificate root;
+    Certificate signing;
+    Certificate chip;
+};
+
+/** A signed attestation report (§3, §5.1). */
+struct AttestationReport
+{
+    uint32_t version = kReportVersion;
+    uint8_t requesterVmpl = 0; ///< VMPL of the requesting software
+    uint8_t pad[3] = {};
+    uint64_t tcbVersion = 0;   ///< platform TCB at signing time
+    crypto::Digest measurement{};  ///< SHA-256 of the boot disk image
+    ReportData reportData{};       ///< e.g. DH public key material
+    crypto::AsymSignature signature{}; ///< by the chip (VCEK) key
+};
+
+/** Canonical digest of a certificate's signed fields. */
+crypto::Digest certDigest(const Certificate &c);
+
+/** Canonical digest of a report's signed fields. */
+crypto::Digest reportDigest(const AttestationReport &r);
+
+/** Signature domains (fed into the Schnorr challenge). */
+constexpr const char kCertDomain[] = "veil-cert";
+constexpr const char kReportDomain[] = "psp-report";
+
+} // namespace veil::attest
+
+#endif // VEIL_ATTEST_REPORT_HH_

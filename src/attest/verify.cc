@@ -1,0 +1,128 @@
+#include "attest/verify.hh"
+
+#include <cstring>
+
+namespace veil::attest {
+
+const char *
+verifyResultName(VerifyResult r)
+{
+    switch (r) {
+      case VerifyResult::Ok:
+        return "ok";
+      case VerifyResult::BadRootKey:
+        return "bad-root-key";
+      case VerifyResult::BadChainRole:
+        return "bad-chain-role";
+      case VerifyResult::BadChainSignature:
+        return "bad-chain-signature";
+      case VerifyResult::TcbMismatch:
+        return "tcb-mismatch";
+      case VerifyResult::TcbRolledBack:
+        return "tcb-rolled-back";
+      case VerifyResult::BadReportVersion:
+        return "bad-report-version";
+      case VerifyResult::BadReportSignature:
+        return "bad-report-signature";
+      case VerifyResult::MeasurementMismatch:
+        return "measurement-mismatch";
+      case VerifyResult::VmplMismatch:
+        return "vmpl-mismatch";
+    }
+    return "unknown";
+}
+
+namespace {
+
+Bytes
+subjectKey(const Certificate &c)
+{
+    return Bytes(c.subjectPublic, c.subjectPublic + 32);
+}
+
+crypto::Digest
+chainDigest(const CertChain &chain)
+{
+    crypto::Sha256 h;
+    h.update(&chain, sizeof(chain));
+    return h.finish();
+}
+
+} // namespace
+
+Verifier::Verifier(Bytes trusted_root_public, VerifyPolicy policy)
+    : rootPublic_(std::move(trusted_root_public)), policy_(policy)
+{
+}
+
+VerifyResult
+Verifier::verifyChain(const CertChain &chain) const
+{
+    crypto::Digest digest = chainDigest(chain);
+    if (cacheValid_ && digest == cachedChainDigest_)
+        return VerifyResult::Ok;
+
+    // 1. The root must be the pinned anchor (constant-time compare:
+    //    not secret, but keeps the secret-comparison idiom uniform).
+    if (rootPublic_.size() != 32 ||
+        !ctEqual(chain.root.subjectPublic, rootPublic_.data(), 32)) {
+        return VerifyResult::BadRootKey;
+    }
+    // 2. Roles in chain order; a truncated or shuffled chain (e.g. a
+    //    zeroed chip slot) fails here before any signature math.
+    if (chain.root.role != static_cast<uint32_t>(CertRole::PlatformRoot) ||
+        chain.signing.role != static_cast<uint32_t>(CertRole::Signing) ||
+        chain.chip.role != static_cast<uint32_t>(CertRole::Chip)) {
+        return VerifyResult::BadChainRole;
+    }
+    // 3. Signature walk: root self-signed, then down the chain.
+    Bytes root_key = subjectKey(chain.root);
+    if (!crypto::asymVerify(root_key, kCertDomain, certDigest(chain.root),
+                            chain.root.signature) ||
+        !crypto::asymVerify(root_key, kCertDomain, certDigest(chain.signing),
+                            chain.signing.signature) ||
+        !crypto::asymVerify(subjectKey(chain.signing), kCertDomain,
+                            certDigest(chain.chip), chain.chip.signature)) {
+        return VerifyResult::BadChainSignature;
+    }
+    // 4. The chip certificate itself must not be older than the floor.
+    if (chain.chip.tcbVersion < policy_.minTcbVersion)
+        return VerifyResult::TcbRolledBack;
+
+    cachedChainDigest_ = digest;
+    cacheValid_ = true;
+    return VerifyResult::Ok;
+}
+
+VerifyResult
+Verifier::verify(const AttestationReport &report, const CertChain &chain) const
+{
+    VerifyResult chain_result = verifyChain(chain);
+    if (chain_result != VerifyResult::Ok)
+        return chain_result;
+
+    if (report.version != kReportVersion)
+        return VerifyResult::BadReportVersion;
+    // The report must have been signed at exactly the TCB the chip
+    // certificate endorses — a new-chain/old-report splice fails here —
+    // and at or above the policy floor (rollback).
+    if (report.tcbVersion != chain.chip.tcbVersion)
+        return VerifyResult::TcbMismatch;
+    if (report.tcbVersion < policy_.minTcbVersion)
+        return VerifyResult::TcbRolledBack;
+    if (!crypto::asymVerify(subjectKey(chain.chip), kReportDomain,
+                            reportDigest(report), report.signature)) {
+        return VerifyResult::BadReportSignature;
+    }
+    if (policy_.checkMeasurement &&
+        !ctEqual(report.measurement.data(),
+                 policy_.expectedMeasurement.data(),
+                 report.measurement.size())) {
+        return VerifyResult::MeasurementMismatch;
+    }
+    if (policy_.checkVmpl && report.requesterVmpl != policy_.requiredVmpl)
+        return VerifyResult::VmplMismatch;
+    return VerifyResult::Ok;
+}
+
+} // namespace veil::attest

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The standalone remote-attestation verifier (§5.1). Everything a
+ * relying party needs to decide whether a report is genuine, given
+ * only (a) the platform root public key and (b) a policy: expected
+ * measurement, required requester VMPL, and the minimum acceptable
+ * TCB version. No access to the attested machine is required or
+ * possible — this library depends only on the crypto layer and the
+ * shared wire formats, so it can run out of process.
+ *
+ * Verification walks the chain exactly like an SNP verifier walks
+ * ARK → ASK → VCEK: root must be self-signed and match the pinned
+ * anchor, each link must carry the right role and a valid issuer
+ * signature, the report must be signed by the chip key, and the
+ * report's TCB version must match the chip certificate's and be at
+ * least the policy floor (rollback detection).
+ */
+#ifndef VEIL_ATTEST_VERIFY_HH_
+#define VEIL_ATTEST_VERIFY_HH_
+
+#include <string>
+
+#include "attest/report.hh"
+
+namespace veil::attest {
+
+/** Why verification failed (Ok on success). */
+enum class VerifyResult {
+    Ok = 0,
+    BadRootKey,          ///< chain root != pinned trust anchor
+    BadChainRole,        ///< certificate role out of order / missing
+    BadChainSignature,   ///< an issuer signature failed
+    TcbMismatch,         ///< report TCB != chip-certificate TCB
+    TcbRolledBack,       ///< TCB below the policy floor
+    BadReportVersion,    ///< unknown report wire version
+    BadReportSignature,  ///< chip-key signature over the report failed
+    MeasurementMismatch, ///< launch measurement != expected
+    VmplMismatch,        ///< requester VMPL != required VMPL
+};
+
+/** Stable name for logs and tables ("ok", "bad-chain-signature", ...). */
+const char *verifyResultName(VerifyResult r);
+
+/** Relying-party policy. */
+struct VerifyPolicy
+{
+    crypto::Digest expectedMeasurement{};
+    bool checkMeasurement = true;
+    uint8_t requiredVmpl = 0;
+    bool checkVmpl = true;
+    /// Reports (and chip certificates) below this TCB version are
+    /// rejected as rolled back. 0 accepts any version.
+    uint64_t minTcbVersion = 0;
+};
+
+/** A reusable verifier: pinned root + policy. */
+class Verifier
+{
+  public:
+    Verifier(Bytes trusted_root_public, VerifyPolicy policy);
+
+    /** Chain walk only (no report). */
+    VerifyResult verifyChain(const CertChain &chain) const;
+
+    /** Full verification: chain walk + report checks under the policy. */
+    VerifyResult verify(const AttestationReport &report,
+                        const CertChain &chain) const;
+
+    const VerifyPolicy &policy() const { return policy_; }
+
+  private:
+    Bytes rootPublic_;
+    VerifyPolicy policy_;
+    /// Chain-walk cache: platforms present the same chain for every
+    /// session, so remember the last good chain (by digest) and skip
+    /// straight to the per-report checks — the handshake-throughput
+    /// analog of the channel's HMAC midstates.
+    mutable crypto::Digest cachedChainDigest_{};
+    mutable bool cacheValid_ = false;
+};
+
+} // namespace veil::attest
+
+#endif // VEIL_ATTEST_VERIFY_HH_

@@ -48,6 +48,14 @@ loadLe(const uint8_t *p)
     return v; // Host is little-endian x86-64; documented assumption.
 }
 
+/** Write a little-endian integer into raw memory (inverse of loadLe). */
+template <typename T>
+void
+storeLe(uint8_t *p, T value)
+{
+    std::memcpy(p, &value, sizeof(T)); // Host is little-endian x86-64.
+}
+
 /** Append a raw buffer. */
 inline void
 appendBytes(Bytes &out, const void *data, size_t len)

@@ -43,8 +43,15 @@ dhSharedSecret(const BigInt &secret, const Bytes &their_public)
 {
     const BigInt &p = groupPrime();
     BigInt their = BigInt::fromBytes(their_public);
-    if (their.isZero() || BigInt::cmp(their, p) >= 0)
-        fatal("dhSharedSecret: peer public key out of range");
+    // Reject degenerate peer publics, not just out-of-range ones: 0 and
+    // 1 fix the shared secret at 0/1, and p-1 (order 2) forces it into
+    // {1, p-1} — a small-subgroup attack where the untrusted relay
+    // substitutes the public key and then knows the session keys. The
+    // live range is 2 <= pub <= p-2.
+    if (BigInt::cmp(their, BigInt(1)) <= 0 ||
+        BigInt::cmp(their, BigInt::sub(p, BigInt(1))) >= 0) {
+        fatal("dhSharedSecret: degenerate or out-of-range peer public key");
+    }
     BigInt shared = BigInt::modExp(their, secret, p);
     return shared.toBytes(32);
 }

@@ -1,5 +1,9 @@
 #include "crypto/sig.hh"
 
+#include "crypto/dh.hh"
+#include "crypto/drbg.hh"
+#include "crypto/sha256.hh"
+
 namespace veil::crypto {
 
 Signature
@@ -22,6 +26,139 @@ verifyDigest(const Bytes &key, const std::string &domain, const Digest &digest,
 {
     Signature expect = signDigest(key, domain, digest);
     return ctEqual(expect.data(), sig.data(), sig.size());
+}
+
+// ---- Schnorr over the dh.hh group ----
+//
+// Group: Z_p^* with p the dh.hh 256-bit prime and generator g. The
+// exponent ring is Z_{p-1} (composite order — simulation strength, per
+// the dh.hh parameter note). Sign:
+//   k   <- deterministic nonce in [2, p-2]
+//   r   = g^k mod p
+//   e   = SHA256(domain || 0x00 || r || y || digest) mod (p-1)
+//   s   = (k + e*x) mod (p-1)
+// Verify: g^s == r * y^e (mod p).
+
+namespace {
+
+const BigInt &
+schnorrPrime()
+{
+    static const BigInt p = BigInt::fromHex(kGroupPrimeHex);
+    return p;
+}
+
+const BigInt &
+schnorrOrder()
+{
+    static const BigInt q = BigInt::sub(schnorrPrime(), BigInt(1));
+    return q;
+}
+
+BigInt
+challenge(const std::string &domain, const Bytes &r, const Bytes &y,
+          const Digest &digest)
+{
+    Sha256 h;
+    h.update(domain.data(), domain.size());
+    uint8_t sep = 0x00;
+    h.update(&sep, 1);
+    h.update(r.data(), r.size());
+    h.update(y.data(), y.size());
+    h.update(digest.data(), digest.size());
+    Digest e = h.finish();
+    Bytes eb(e.begin(), e.end());
+    return BigInt::mod(BigInt::fromBytes(eb), schnorrOrder());
+}
+
+/** Group-element range check: 2 <= v <= p-2 (rejects the degenerate
+ *  order-1/order-2 elements 0, 1 and p-1, mirroring dhSharedSecret). */
+bool
+elementInRange(const BigInt &v)
+{
+    return BigInt::cmp(v, BigInt(1)) > 0 &&
+           BigInt::cmp(v, BigInt::sub(schnorrPrime(), BigInt(1))) < 0;
+}
+
+} // namespace
+
+AsymKeyPair
+asymGenerate(HmacDrbg &drbg)
+{
+    const BigInt &p = schnorrPrime();
+    AsymKeyPair kp;
+    for (;;) {
+        Bytes raw = drbg.generate(32);
+        kp.secret = BigInt::fromBytes(raw);
+        if (BigInt::cmp(kp.secret, BigInt(2)) >= 0 &&
+            BigInt::cmp(kp.secret, BigInt::sub(p, BigInt(1))) < 0) {
+            break;
+        }
+    }
+    kp.publicKey =
+        BigInt::modExp(BigInt(kGroupGenerator), kp.secret, p).toBytes(32);
+    return kp;
+}
+
+AsymSignature
+asymSign(const AsymKeyPair &key, const std::string &domain,
+         const Digest &digest)
+{
+    const BigInt &p = schnorrPrime();
+    const BigInt &q = schnorrOrder();
+
+    // Deterministic nonce: DRBG over (secret || domain || digest).
+    Bytes seed = key.secret.toBytes(32);
+    appendBytes(seed, domain.data(), domain.size());
+    appendBytes(seed, digest.data(), digest.size());
+    HmacDrbg drbg(seed);
+    BigInt k;
+    for (;;) {
+        Bytes raw = drbg.generate(32);
+        k = BigInt::fromBytes(raw);
+        if (BigInt::cmp(k, BigInt(2)) >= 0 &&
+            BigInt::cmp(k, BigInt::sub(p, BigInt(1))) < 0) {
+            break;
+        }
+    }
+
+    Bytes r = BigInt::modExp(BigInt(kGroupGenerator), k, p).toBytes(32);
+    BigInt e = challenge(domain, r, key.publicKey, digest);
+    BigInt s = BigInt::mod(BigInt::add(k, BigInt::mul(e, key.secret)), q);
+
+    AsymSignature sig{};
+    Bytes sb = s.toBytes(32);
+    std::copy(r.begin(), r.end(), sig.begin());
+    std::copy(sb.begin(), sb.end(), sig.begin() + 32);
+    return sig;
+}
+
+bool
+asymVerify(const Bytes &public_key, const std::string &domain,
+           const Digest &digest, const AsymSignature &sig)
+{
+    const BigInt &p = schnorrPrime();
+    if (public_key.size() != 32)
+        return false;
+    BigInt y = BigInt::fromBytes(public_key);
+    if (!elementInRange(y))
+        return false;
+
+    Bytes rb(sig.begin(), sig.begin() + 32);
+    Bytes sb(sig.begin() + 32, sig.end());
+    BigInt r = BigInt::fromBytes(rb);
+    BigInt s = BigInt::fromBytes(sb);
+    // r must be a live group element; s is an exponent mod p-1 (reject
+    // the non-canonical high range to keep signatures non-malleable).
+    if (r.isZero() || BigInt::cmp(r, p) >= 0)
+        return false;
+    if (BigInt::cmp(s, schnorrOrder()) >= 0)
+        return false;
+
+    BigInt e = challenge(domain, rb, public_key, digest);
+    BigInt lhs = BigInt::modExp(BigInt(kGroupGenerator), s, p);
+    BigInt rhs = BigInt::mod(BigInt::mul(r, BigInt::modExp(y, e, p)), p);
+    return lhs == rhs;
 }
 
 } // namespace veil::crypto

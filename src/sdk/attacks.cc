@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstring>
 
+#include "attest/keys.hh"
 #include "base/log.hh"
 #include "base/rng.hh"
 #include "chaos/chaos.hh"
+#include "crypto/dh.hh"
+#include "crypto/drbg.hh"
 #include "sdk/remote.hh"
 #include "sdk/vm.hh"
 #include "snp/fault.hh"
@@ -617,6 +620,216 @@ runChaosAttacks()
                          ? "halted: " + f.haltReason +
                                (f.auditLeaked ? "; AUDIT TEXT LEAKED" : "")
                          : "ring flip did not fault the producer";
+        out.push_back(o);
+    }
+
+    return out;
+}
+
+// ---- DESIGN.md §15: attestation & session-provisioning battery ----
+
+namespace {
+
+/** Drive the raw EstablishChannel handshake the way the untrusted
+ *  relay sees it; fills @p resp on success and returns the status. */
+uint64_t
+rawEstablish(Kernel &k, const Bytes &user_pub, core::ChannelResponse &resp)
+{
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::EstablishChannel);
+    std::memcpy(m.payload, user_pub.data(), user_pub.size());
+    m.payloadLen = static_cast<uint32_t>(user_pub.size());
+    k.callMonitor(m);
+    if (m.status == static_cast<uint64_t>(VeilStatus::Ok) &&
+        m.retPayloadLen == sizeof(resp)) {
+        std::memcpy(&resp, m.retPayload, sizeof(resp));
+    }
+    return m.status;
+}
+
+/** The verifier RemoteUser would run, for a VM with this config. */
+attest::Verifier
+userVerifier(const VeilVm &vm, uint64_t min_tcb)
+{
+    attest::VerifyPolicy policy;
+    policy.expectedMeasurement = crypto::Sha256::hash(vm.bootImage());
+    policy.requiredVmpl = 0;
+    policy.minTcbVersion = min_tcb;
+    return attest::Verifier(
+        attest::rootPublicFromSeed(vm.config().machine.pspKey), policy);
+}
+
+} // namespace
+
+std::vector<AttackOutcome>
+runAttestationAttacks()
+{
+    std::vector<AttackOutcome> out;
+
+    out.push_back(attackInVm(
+        "Relay tampers with the signed attestation report",
+        "Chip-key (VCEK) signature over all report fields",
+        [](VeilVm &vm, Kernel &k, Process &, std::string &detail) {
+            crypto::HmacDrbg d(Bytes{'u'});
+            crypto::DhKeyPair user = crypto::dhGenerate(d);
+            core::ChannelResponse resp{};
+            ensure(rawEstablish(k, user.publicKey, resp) ==
+                       static_cast<uint64_t>(VeilStatus::Ok),
+                   "handshake failed");
+            // The relay rewrites the measurement to the image the user
+            // expects (hiding a modified boot) — it cannot re-sign.
+            resp.report.measurement[0] ^= 1;
+            attest::Verifier v = userVerifier(vm, 0);
+            attest::VerifyResult r = v.verify(resp.report, resp.chain);
+            detail = std::string("verifier: ") + verifyResultName(r);
+            return r == attest::VerifyResult::Ok;
+        }));
+
+    out.push_back(attackInVm(
+        "Relay substitutes a self-issued certificate chain",
+        "Root pinned to the platform trust anchor",
+        [](VeilVm &vm, Kernel &k, Process &, std::string &detail) {
+            crypto::HmacDrbg d(Bytes{'u'});
+            crypto::DhKeyPair user = crypto::dhGenerate(d);
+            core::ChannelResponse resp{};
+            ensure(rawEstablish(k, user.publicKey, resp) ==
+                       static_cast<uint64_t>(VeilStatus::Ok),
+                   "handshake failed");
+            // The attacker owns a consistent hierarchy (their own seed)
+            // and re-signs a report claiming the expected measurement.
+            Bytes evil_seed{'e', 'v', 'i', 'l'};
+            attest::PlatformKeys evil(evil_seed,
+                                      vm.config().machine.tcbVersion);
+            resp.chain = evil.certChain();
+            resp.report = evil.signReport(
+                0, crypto::Sha256::hash(vm.bootImage()),
+                resp.report.reportData);
+            attest::Verifier v = userVerifier(vm, 0);
+            attest::VerifyResult r = v.verify(resp.report, resp.chain);
+            detail = std::string("verifier: ") + verifyResultName(r);
+            return r == attest::VerifyResult::Ok;
+        }));
+
+    {
+        // A genuinely downgraded platform: TCB N-1 keys sign a
+        // self-consistent report + chain. Against a verifier whose
+        // policy floor is N, this must surface as rollback.
+        AttackOutcome o{"Rolled-back platform TCB presented as current",
+                        "Per-TCB chip key + verifier policy floor", "",
+                        false};
+        VmConfig cfg = attackConfig();
+        cfg.machine.tcbVersion = attest::kDefaultTcbVersion - 1;
+        VeilVm vm(cfg);
+        attest::VerifyResult r = attest::VerifyResult::Ok;
+        vm.run([&](Kernel &k, Process &) {
+            crypto::HmacDrbg d(Bytes{'u'});
+            crypto::DhKeyPair user = crypto::dhGenerate(d);
+            core::ChannelResponse resp{};
+            ensure(rawEstablish(k, user.publicKey, resp) ==
+                       static_cast<uint64_t>(VeilStatus::Ok),
+                   "handshake failed");
+            attest::Verifier v =
+                userVerifier(vm, attest::kDefaultTcbVersion);
+            r = v.verify(resp.report, resp.chain);
+        });
+        o.defended = r == attest::VerifyResult::TcbRolledBack;
+        o.observed = std::string("verifier: ") + verifyResultName(r);
+        out.push_back(o);
+    }
+
+    out.push_back(attackInVm(
+        "Modified boot image attested honestly",
+        "Launch measurement vs audited image",
+        [](VeilVm &vm, Kernel &k, Process &, std::string &detail) {
+            crypto::HmacDrbg d(Bytes{'u'});
+            crypto::DhKeyPair user = crypto::dhGenerate(d);
+            core::ChannelResponse resp{};
+            ensure(rawEstablish(k, user.publicKey, resp) ==
+                       static_cast<uint64_t>(VeilStatus::Ok),
+                   "handshake failed");
+            // The user audited a different image than the one running:
+            // their policy carries the audited digest.
+            attest::VerifyPolicy policy;
+            policy.expectedMeasurement =
+                crypto::Sha256::hash("the-audited-image", 17);
+            attest::Verifier v(
+                attest::rootPublicFromSeed(vm.config().machine.pspKey),
+                policy);
+            attest::VerifyResult r = v.verify(resp.report, resp.chain);
+            detail = std::string("verifier: ") + verifyResultName(r);
+            return r == attest::VerifyResult::Ok;
+        }));
+
+    out.push_back(attackInVm(
+        "Relay substitutes a degenerate DH public key",
+        "Monitor rejects pub <= 1 and pub >= p-1",
+        [](VeilVm &vm, Kernel &k, Process &, std::string &detail) {
+            // pub = p-1 confines the shared secret to {1, p-1}: the
+            // relay would know the session keys without breaking DH.
+            crypto::BigInt p =
+                crypto::BigInt::fromHex(crypto::kGroupPrimeHex);
+            Bytes evil =
+                crypto::BigInt::sub(p, crypto::BigInt(1)).toBytes(32);
+            core::ChannelResponse resp{};
+            uint64_t st = rawEstablish(k, evil, resp);
+            bool keyed = vm.monitor().sessionActive();
+            detail = keyed ? "monitor derived keys from a forced secret"
+                           : "monitor refused the handshake";
+            return st == static_cast<uint64_t>(VeilStatus::Ok) || keyed;
+        }));
+
+    out.push_back(attackInVm(
+        "OS re-establishes the channel over a live session",
+        "Session-generation gating; owner-sealed teardown only",
+        [](VeilVm &vm, Kernel &k, Process &, std::string &detail) {
+            RemoteUser u1(vm, 1);
+            ensure(u1.establishChannel(k), "legitimate handshake failed");
+            crypto::HmacDrbg d(Bytes{'e'});
+            crypto::DhKeyPair evil = crypto::dhGenerate(d);
+            core::ChannelResponse resp{};
+            uint64_t st = rawEstablish(k, evil.publicKey, resp);
+            bool clobbered =
+                st == static_cast<uint64_t>(VeilStatus::Ok);
+            // The live session must still work end to end.
+            bool query_ok =
+                u1.queryLogs(k, core::LogQueryCmd::Stats, 0).has_value();
+            detail = clobbered ? "second establish accepted"
+                               : (query_ok ? "denied; session intact"
+                                           : "denied but session broken");
+            return clobbered || !query_ok;
+        }));
+
+    {
+        // VeilChaos arm: the same clobber attempt while the hypervisor
+        // drops relays. The handshake's bounded retry must absorb the
+        // faults and the gating verdicts must be unchanged.
+        AttackOutcome o{"Clobber attempt under a relay-dropping HV",
+                        "Bounded retry + session gating", "", false};
+        VeilVm vm(attackConfig());
+        chaos::FaultInjector inj(chaos::FaultPlan::single(
+            chaos::FaultSite::RelayDrop, 0.3, /*seed=*/31, /*budget=*/8));
+        vm.hypervisor().setFaultInjector(&inj);
+        vm.hypervisor().setExitCap(200'000);
+        RemoteUser u1(vm, 1);
+        bool established = false, clobber_denied = false, query_ok = false;
+        auto run = vm.run([&](Kernel &k, Process &) {
+            established = u1.establishChannel(k);
+            crypto::HmacDrbg d(Bytes{'e'});
+            crypto::DhKeyPair evil = crypto::dhGenerate(d);
+            core::ChannelResponse resp{};
+            clobber_denied =
+                rawEstablish(k, evil.publicKey, resp) !=
+                static_cast<uint64_t>(VeilStatus::Ok);
+            query_ok =
+                u1.queryLogs(k, core::LogQueryCmd::Stats, 0).has_value();
+        });
+        o.defended = run.terminated && established && clobber_denied &&
+                     query_ok && inj.stats().totalInjected() >= 1;
+        o.observed = o.defended
+                         ? "absorbed " +
+                               std::to_string(inj.stats().totalInjected()) +
+                               " dropped relay(s); gating held"
+                         : "handshake or gating failed under faults";
         out.push_back(o);
     }
 

@@ -41,6 +41,16 @@ std::vector<AttackOutcome> runPaperValidationAttacks();
  */
 std::vector<AttackOutcome> runChaosAttacks();
 
+/**
+ * DESIGN.md §15: attestation & session-provisioning battery. The
+ * attacker is the untrusted relay (compromised OS / network): forged
+ * reports, substituted certificate chains, rolled-back TCBs, modified
+ * boot images, degenerate DH key substitution, and channel-clobber
+ * attempts against a live session — including one arm under a
+ * relay-dropping hypervisor (VeilChaos).
+ */
+std::vector<AttackOutcome> runAttestationAttacks();
+
 } // namespace veil::sdk
 
 #endif // VEIL_SDK_ATTACKS_HH_

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "attest/keys.hh"
 #include "base/log.hh"
 #include "crypto/drbg.hh"
 
@@ -12,18 +13,43 @@ using core::IdcbMessage;
 using core::VeilOp;
 using core::VeilStatus;
 
-RemoteUser::RemoteUser(VeilVm &vm, uint64_t seed) : vm_(vm)
+namespace {
+
+/** The relying party's policy for this VM: the boot image it audited,
+ *  reports from VMPL-0 only, and no TCB below the provisioned one. */
+attest::VerifyPolicy
+policyFor(const VeilVm &vm)
+{
+    attest::VerifyPolicy policy;
+    policy.expectedMeasurement = crypto::Sha256::hash(vm.bootImage());
+    policy.checkMeasurement = true;
+    policy.requiredVmpl = 0;
+    policy.checkVmpl = true;
+    policy.minTcbVersion = vm.config().machine.tcbVersion;
+    return policy;
+}
+
+} // namespace
+
+RemoteUser::RemoteUser(VeilVm &vm, uint64_t seed)
+    : vm_(vm),
+      // The trust anchor comes from the platform seed the way a real
+      // verifier gets the ARK: out of band from the vendor, never from
+      // the attested machine.
+      verifier_(attest::rootPublicFromSeed(vm.config().machine.pspKey),
+                policyFor(vm))
 {
     Bytes seed_bytes;
     appendLe<uint64_t>(seed_bytes, seed);
     crypto::HmacDrbg drbg(seed_bytes);
     keyPair_ = crypto::dhGenerate(drbg);
-    expectedBootDigest_ = crypto::Sha256::hash(vm.bootImage());
 }
 
 bool
 RemoteUser::establishChannel(kern::Kernel &kernel)
 {
+    lastVerify_ = attest::VerifyResult::Ok;
+
     IdcbMessage m;
     m.op = static_cast<uint32_t>(VeilOp::EstablishChannel);
     std::memcpy(m.payload, keyPair_.publicKey.data(), 32);
@@ -36,32 +62,65 @@ RemoteUser::establishChannel(kern::Kernel &kernel)
     core::ChannelResponse resp;
     std::memcpy(&resp, m.retPayload, sizeof(resp));
 
-    // 1. Platform signature.
-    if (!vm_.machine().psp().verify(resp.report))
+    // 1. Chain walk + signature + policy (measurement, VMPL, TCB) —
+    //    entirely local, against the pinned root.
+    lastVerify_ = verifier_.verify(resp.report, resp.chain);
+    if (lastVerify_ != attest::VerifyResult::Ok)
         return false;
-    // 2. Boot image measurement matches what we audited.
-    if (resp.report.measurement != expectedBootDigest_)
+
+    // 2. Key binding: reportData = monitor pub ||
+    //    SHA256(our pub || session generation || boot quote). Both
+    //    halves compare in constant time — the comparison sits on the
+    //    accept path of attacker-supplied bytes.
+    if (!ctEqual(resp.report.reportData.data(), resp.monitorPublic, 32))
         return false;
-    // 3. The report was requested by VMPL-0 software (VeilMon itself).
-    if (resp.report.requesterVmpl != 0)
+    crypto::Sha256 binding;
+    binding.update(keyPair_.publicKey.data(), keyPair_.publicKey.size());
+    uint8_t gen_le[8];
+    storeLe<uint64_t>(gen_le, resp.sessionGeneration);
+    binding.update(gen_le, sizeof(gen_le));
+    binding.update(resp.bootQuote, sizeof(resp.bootQuote));
+    crypto::Digest bind_hash = binding.finish();
+    if (!ctEqual(resp.report.reportData.data() + 32, bind_hash.data(), 32))
         return false;
-    // 4. Key binding: reportData = monitor pub || SHA256(our pub).
-    if (std::memcmp(resp.report.reportData.data(), resp.monitorPublic, 32) !=
-        0) {
-        return false;
-    }
-    Bytes our_pub = keyPair_.publicKey;
-    crypto::Digest our_hash = crypto::Sha256::hash(our_pub);
-    if (std::memcmp(resp.report.reportData.data() + 32, our_hash.data(),
-                    32) != 0) {
-        return false;
-    }
 
     Bytes mon_pub(resp.monitorPublic, resp.monitorPublic + 32);
-    Bytes shared = crypto::dhSharedSecret(keyPair_.secret, mon_pub);
+    Bytes shared;
+    try {
+        shared = crypto::dhSharedSecret(keyPair_.secret, mon_pub);
+    } catch (const FatalError &) {
+        // Degenerate monitor public can only appear here if the relay
+        // forged the response — and then the binding above already
+        // failed — but never trust, always check.
+        return false;
+    }
     crypto::SessionKeys keys = crypto::deriveSessionKeys(shared);
     channel_ = std::make_unique<core::SecureChannel>(keys,
                                                      /*initiator=*/true);
+    sessionGen_ = resp.sessionGeneration;
+    std::memcpy(bootQuote_.data(), resp.bootQuote, sizeof(resp.bootQuote));
+    return true;
+}
+
+bool
+RemoteUser::teardownChannel(kern::Kernel &kernel)
+{
+    if (channel_ == nullptr)
+        return false;
+    Bytes plain(core::kTeardownMagic,
+                core::kTeardownMagic + sizeof(core::kTeardownMagic));
+    appendLe<uint64_t>(plain, sessionGen_);
+    Bytes sealed = channel_->seal(plain);
+
+    IdcbMessage m;
+    m.op = static_cast<uint32_t>(VeilOp::ChannelTeardown);
+    ensure(sealed.size() <= core::kIdcbPayloadMax, "RemoteUser: oversize");
+    std::memcpy(m.payload, sealed.data(), sealed.size());
+    m.payloadLen = static_cast<uint32_t>(sealed.size());
+    kernel.callMonitor(m);
+    if (m.status != static_cast<uint64_t>(VeilStatus::Ok))
+        return false;
+    channel_.reset();
     return true;
 }
 
@@ -88,23 +147,46 @@ RemoteUser::queryLogs(kern::Kernel &kernel, core::LogQueryCmd cmd,
 }
 
 std::vector<std::string>
-RemoteUser::retrieveAllRecords(kern::Kernel &kernel)
+RemoteUser::retrieveAllRecords(kern::Kernel &kernel, bool *parse_error)
 {
+    if (parse_error != nullptr)
+        *parse_error = false;
     std::vector<std::string> out;
     for (;;) {
         auto resp = queryLogs(kernel, core::LogQueryCmd::Fetch, 1 << 20);
-        if (!resp || resp->size() < 16)
+        if (!resp)
             break;
+        if (resp->size() < 16) {
+            // Shorter than the records-count + start-offset header:
+            // an authenticated-but-malformed reply, not "done".
+            if (parse_error != nullptr)
+                *parse_error = true;
+            break;
+        }
         size_t off = 16; // records count + start offset header
         size_t before = out.size();
+        bool malformed = false;
         while (off + 4 <= resp->size()) {
             uint32_t len = loadLe<uint32_t>(resp->data() + off);
             off += 4;
-            if (off + len > resp->size())
+            if (off + len > resp->size()) {
+                // A length prefix that overruns the reply is stream
+                // corruption. Silently dropping the tail here once let
+                // a lossy relay masquerade as a clean retrieval.
+                malformed = true;
                 break;
+            }
             out.emplace_back(reinterpret_cast<const char *>(resp->data() + off),
                              len);
             off += len;
+        }
+        if (!malformed && off != resp->size()) {
+            malformed = true; // trailing garbage shorter than a prefix
+        }
+        if (malformed) {
+            if (parse_error != nullptr)
+                *parse_error = true;
+            break;
         }
         if (out.size() == before)
             break; // no forward progress: retrieved everything

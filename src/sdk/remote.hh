@@ -1,15 +1,19 @@
 /**
  * @file
- * RemoteUser: the attesting party outside the cloud (§5.1). Verifies
- * the SEV launch report against the expected boot-image measurement,
- * completes the DH handshake bound into the report, and then talks to
- * the protected services over the sealed channel — always relayed
- * through the untrusted kernel, which can drop or corrupt but not
- * forge or read messages.
+ * RemoteUser: the attesting party outside the cloud (§5.1, §15).
+ * Holds only what a real relying party would: the platform root
+ * public key (the vendor-published trust anchor) and a verification
+ * policy. Verifies the report + certificate chain with the standalone
+ * attest::Verifier — never by asking the attested machine — completes
+ * the DH handshake bound into the report, and then talks to the
+ * protected services over the sealed channel, always relayed through
+ * the untrusted kernel, which can drop or corrupt but not forge or
+ * read messages.
  */
 #ifndef VEIL_SDK_REMOTE_HH_
 #define VEIL_SDK_REMOTE_HH_
 
+#include "attest/verify.hh"
 #include "sdk/vm.hh"
 #include "veil/channel.hh"
 #include "veil/services/log.hh"
@@ -24,11 +28,30 @@ class RemoteUser
 
     /**
      * Attestation + channel establishment, relayed through the kernel.
-     * Returns false if the report fails verification.
+     * Returns false if the report fails verification (the reason is
+     * kept in lastVerifyResult()) or the monitor refuses because a
+     * session is already live.
      */
     bool establishChannel(kern::Kernel &kernel);
 
+    /**
+     * End the live session with a sealed teardown proof so the next
+     * establishChannel (by us or another user) can succeed. Returns
+     * false if there is no session or the monitor refused the proof.
+     */
+    bool teardownChannel(kern::Kernel &kernel);
+
     bool channelUp() const { return channel_ != nullptr; }
+
+    /** Why the last establishChannel verification failed (Ok if it
+     *  succeeded; Ok also when it failed before verification ran). */
+    attest::VerifyResult lastVerifyResult() const { return lastVerify_; }
+
+    /** Session generation reported by the monitor at establishment. */
+    uint64_t sessionGeneration() const { return sessionGen_; }
+
+    /** Measured-boot quote the monitor bound into the report. */
+    const crypto::Digest &bootQuote() const { return bootQuote_; }
 
     /**
      * Query VeilS-LOG through the untrusted relay. Returns the
@@ -37,8 +60,15 @@ class RemoteUser
     std::optional<Bytes> queryLogs(kern::Kernel &kernel,
                                    core::LogQueryCmd cmd, uint64_t arg);
 
-    /** Fetch + decode stored records via repeated Fetch queries. */
-    std::vector<std::string> retrieveAllRecords(kern::Kernel &kernel);
+    /**
+     * Fetch + decode stored records via repeated Fetch queries. A
+     * malformed record stream (e.g. a truncated length-prefixed tail)
+     * is a hard parse failure: the records parsed so far are still
+     * returned, and *parse_error (when given) is set — callers must
+     * not mistake a corrupted stream for a complete retrieval.
+     */
+    std::vector<std::string> retrieveAllRecords(kern::Kernel &kernel,
+                                                bool *parse_error = nullptr);
 
     /** Verify a sealed enclave measurement blob from VeilS-ENC. */
     bool verifySealedMeasurement(const Bytes &sealed,
@@ -48,8 +78,11 @@ class RemoteUser
   private:
     VeilVm &vm_;
     crypto::DhKeyPair keyPair_;
-    crypto::Digest expectedBootDigest_;
+    attest::Verifier verifier_;
     std::unique_ptr<core::SecureChannel> channel_;
+    attest::VerifyResult lastVerify_ = attest::VerifyResult::Ok;
+    uint64_t sessionGen_ = 0;
+    crypto::Digest bootQuote_{};
 };
 
 } // namespace veil::sdk

@@ -53,7 +53,7 @@ Machine::Machine(const MachineConfig &config)
     : config_(config),
       memory_(config.memBytes),
       rmp_(config.memBytes / kPageSize),
-      psp_(config.pspKey)
+      psp_(config.pspKey, config.tcbVersion)
 {
     ensure(config.numVcpus >= 1, "Machine: need at least one VCPU");
     nextTimerTsc_ = costs().timerQuantum();

@@ -73,8 +73,13 @@ struct MachineConfig
     /// VeilTrace observability (host-side only; zero simulated cost —
     /// see trace/trace.hh for the determinism contract).
     trace::TraceConfig trace;
-    /// Platform (PSP) signing key.
+    /// Platform (PSP) provisioning seed: the ARK/ASK/VCEK-analog
+    /// signing hierarchy is derived from it (attest::PlatformKeys).
     Bytes pspKey = {0x50, 0x53, 0x50, 0x2d, 0x6b, 0x65, 0x79};
+    /// Platform TCB version: selects the versioned chip (VCEK analog)
+    /// signing key and is stamped into every attestation report, so a
+    /// verifier with a minimum-TCB policy detects rollback.
+    uint64_t tcbVersion = attest::kDefaultTcbVersion;
 };
 
 /** Why control returned to the hypervisor. */

@@ -1,12 +1,22 @@
 #include "snp/psp.hh"
 
+#include "attest/verify.hh"
 #include "base/log.hh"
 
 namespace veil::snp {
 
-Psp::Psp(Bytes platform_key) : key_(std::move(platform_key))
+namespace {
+const Bytes &
+checkedSeed(const Bytes &seed)
 {
-    ensure(!key_.empty(), "Psp: empty platform key");
+    ensure(!seed.empty(), "Psp: empty platform seed");
+    return seed;
+}
+} // namespace
+
+Psp::Psp(Bytes platform_seed, uint64_t tcb_version)
+    : keys_(checkedSeed(platform_seed), tcb_version)
+{
 }
 
 void
@@ -18,37 +28,28 @@ Psp::setLaunchDigest(const crypto::Digest &digest)
     measured_ = true;
 }
 
-crypto::Digest
-Psp::reportDigest(const AttestationReport &r) const
-{
-    crypto::Sha256 h;
-    h.update(r.measurement.data(), r.measurement.size());
-    h.update(&r.requesterVmpl, 1);
-    h.update(r.reportData.data(), r.reportData.size());
-    return h.finish();
-}
-
 AttestationReport
 Psp::report(Vmpl vmpl, const ReportData &data) const
 {
-    AttestationReport r;
+    crypto::Digest measurement;
     {
         std::lock_guard<std::mutex> guard(mu_);
         ensure(measured_,
                "Psp: attestation requested before launch measurement");
-        r.measurement = launchDigest_;
+        measurement = launchDigest_;
     }
-    r.requesterVmpl = static_cast<uint8_t>(vmpl);
-    r.reportData = data;
-    r.signature = crypto::signDigest(key_, "psp-report", reportDigest(r));
-    return r;
+    return keys_.signReport(static_cast<uint8_t>(vmpl), measurement, data);
 }
 
 bool
 Psp::verify(const AttestationReport &report) const
 {
-    return crypto::verifyDigest(key_, "psp-report", reportDigest(report),
-                                report.signature);
+    attest::VerifyPolicy policy;
+    policy.checkMeasurement = false;
+    policy.checkVmpl = false;
+    attest::Verifier verifier(keys_.rootPublic(), policy);
+    return verifier.verify(report, keys_.certChain()) ==
+           attest::VerifyResult::Ok;
 }
 
 } // namespace veil::snp

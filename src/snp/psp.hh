@@ -5,9 +5,12 @@
  * VMPL of the requesting software and 64 bytes of requester data (used
  * by VeilMon to bind its DH public key, §5.1).
  *
- * Substitution note: reports are authenticated with HMAC-SHA256 under a
- * provisioned platform key instead of the real VCEK ECDSA chain; the
- * remote-verifier logic is otherwise identical.
+ * Reports are signed with the platform's versioned chip key (the VCEK
+ * analog) from the attest-layer hierarchy, and the PSP exports the
+ * ARK → ASK → VCEK-style certificate chain alongside every report.
+ * Only the root *public* key ever leaves the platform; remote parties
+ * verify out of process with attest::Verifier and never touch this
+ * object.
  */
 #ifndef VEIL_SNP_PSP_HH_
 #define VEIL_SNP_PSP_HH_
@@ -15,29 +18,23 @@
 #include <array>
 #include <mutex>
 
+#include "attest/keys.hh"
 #include "crypto/sha256.hh"
-#include "crypto/sig.hh"
 #include "snp/types.hh"
 
 namespace veil::snp {
 
 /** Free-form data the requester binds into the report. */
-using ReportData = std::array<uint8_t, 64>;
+using ReportData = attest::ReportData;
 
 /** A signed attestation report (§3, §5.1). */
-struct AttestationReport
-{
-    crypto::Digest measurement{};  ///< SHA-256 of the boot disk image
-    uint8_t requesterVmpl = 0;     ///< VMPL of the requesting software
-    ReportData reportData{};       ///< e.g. DH public key material
-    crypto::Signature signature{}; ///< platform signature
-};
+using AttestationReport = attest::AttestationReport;
 
 /** The platform security processor for one machine. */
 class Psp
 {
   public:
-    explicit Psp(Bytes platform_key);
+    Psp(Bytes platform_seed, uint64_t tcb_version);
 
     /** Record the launch measurement (done once by the VM launcher). */
     void setLaunchDigest(const crypto::Digest &digest);
@@ -49,13 +46,25 @@ class Psp
     /** Produce a signed report for software running at @p vmpl. */
     AttestationReport report(Vmpl vmpl, const ReportData &data) const;
 
-    /** Remote-user verification against the platform key. */
+    /** The platform certificate chain served with every report. */
+    const attest::CertChain &certChain() const { return keys_.certChain(); }
+
+    /** Public trust anchor (what the vendor publishes). */
+    const Bytes &rootPublicKey() const { return keys_.rootPublic(); }
+
+    /** Current platform TCB version. */
+    uint64_t tcbVersion() const { return keys_.tcbVersion(); }
+
+    /**
+     * Convenience full verification against this platform's own chain
+     * (signature + chain walk only, no measurement/VMPL policy). Tests
+     * and in-TCB consumers only; remote parties build an
+     * attest::Verifier from the published root key instead.
+     */
     bool verify(const AttestationReport &report) const;
 
   private:
-    crypto::Digest reportDigest(const AttestationReport &r) const;
-
-    Bytes key_;
+    attest::PlatformKeys keys_;
     /// PSP command serialization: concurrent VCPU threads may request
     /// reports while the launcher records the measurement (the real PSP
     /// mailbox is a serialized command channel too).

@@ -1,0 +1,68 @@
+#include "veil/mboot.hh"
+
+#include "base/log.hh"
+
+namespace veil::core {
+
+namespace {
+
+crypto::Digest
+extendOne(const crypto::Digest &prev, const crypto::Digest &digest)
+{
+    crypto::Sha256 h;
+    h.update(prev.data(), prev.size());
+    h.update(digest.data(), digest.size());
+    return h.finish();
+}
+
+} // namespace
+
+MeasuredBoot::MeasuredBoot() : pcrs_(kNumPcrs)
+{
+}
+
+void
+MeasuredBoot::extend(uint32_t pcr, const std::string &label,
+                     const crypto::Digest &digest)
+{
+    ensure(pcr < kNumPcrs, "MeasuredBoot: PCR index out of range");
+    pcrs_[pcr] = extendOne(pcrs_[pcr], digest);
+    log_.push_back({pcr, label, digest});
+}
+
+void
+MeasuredBoot::extendBytes(uint32_t pcr, const std::string &label,
+                          const void *data, size_t len)
+{
+    extend(pcr, label, crypto::Sha256::hash(data, len));
+}
+
+const crypto::Digest &
+MeasuredBoot::pcr(uint32_t index) const
+{
+    ensure(index < kNumPcrs, "MeasuredBoot: PCR index out of range");
+    return pcrs_[index];
+}
+
+crypto::Digest
+MeasuredBoot::quote() const
+{
+    crypto::Sha256 h;
+    for (const crypto::Digest &p : pcrs_)
+        h.update(p.data(), p.size());
+    return h.finish();
+}
+
+bool
+MeasuredBoot::replayMatches() const
+{
+    std::vector<crypto::Digest> replay(kNumPcrs);
+    for (const Event &e : log_) {
+        if (e.pcr >= kNumPcrs)
+            return false;
+        replay[e.pcr] = extendOne(replay[e.pcr], e.digest);
+    }
+    return replay == pcrs_;
+}
+
+} // namespace veil::core

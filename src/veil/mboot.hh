@@ -1,0 +1,80 @@
+/**
+ * @file
+ * vTPM-style measured boot inside VMPL-0 (e-vTPM / SNPGuard
+ * architecture): a bank of PCR-like extend-only registers that VeilMon
+ * extends at each boot milestone, plus the event log that explains
+ * them. The bank lives in monitor (Dom-MON) state — sealed inside the
+ * CVM, never exposed to the OS — and its quote (a digest over all
+ * registers) is bound into the attestation report's report-data field
+ * at channel establishment, so a remote verifier learns not just *what
+ * image* was measured at launch but *what boot path* the monitor
+ * actually took.
+ *
+ * Host-side only: extending registers costs zero simulated cycles, so
+ * measured boot never perturbs the calibrated cycle model.
+ */
+#ifndef VEIL_VEIL_MBOOT_HH_
+#define VEIL_VEIL_MBOOT_HH_
+
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hh"
+
+namespace veil::core {
+
+/** The measured-boot register bank and event log. */
+class MeasuredBoot
+{
+  public:
+    static constexpr size_t kNumPcrs = 8;
+
+    // Register allocation (documented, fixed):
+    //  0 — platform: launch digest as recorded by the PSP
+    //  1 — config: CVM layout geometry (memory map, VCPU count)
+    //  2 — domains: privilege-domain carving results (§5.1)
+    //  3 — vcpus: every VMSA replica set created (boot + AP boot)
+    //  4 — services: monitor wiring (service/enclave entries)
+    static constexpr uint32_t kPcrPlatform = 0;
+    static constexpr uint32_t kPcrConfig = 1;
+    static constexpr uint32_t kPcrDomains = 2;
+    static constexpr uint32_t kPcrVcpus = 3;
+    static constexpr uint32_t kPcrServices = 4;
+
+    /** One extend event, for audit/replay. */
+    struct Event
+    {
+        uint32_t pcr;
+        std::string label;
+        crypto::Digest digest;
+    };
+
+    MeasuredBoot();
+
+    /** TPM-style extend: pcr = SHA256(pcr || digest); logged. */
+    void extend(uint32_t pcr, const std::string &label,
+                const crypto::Digest &digest);
+
+    /** Extend with SHA256(@p data). */
+    void extendBytes(uint32_t pcr, const std::string &label,
+                     const void *data, size_t len);
+
+    const crypto::Digest &pcr(uint32_t index) const;
+
+    /** Digest over the whole bank — what gets bound into reports. */
+    crypto::Digest quote() const;
+
+    const std::vector<Event> &eventLog() const { return log_; }
+
+    /** Replay the event log from zeroed registers; true iff it
+     *  reproduces the current bank (log integrity self-check). */
+    bool replayMatches() const;
+
+  private:
+    std::vector<crypto::Digest> pcrs_;
+    std::vector<Event> log_;
+};
+
+} // namespace veil::core
+
+#endif // VEIL_VEIL_MBOOT_HH_

@@ -85,13 +85,39 @@ void
 VeilMon::bootMain(Vcpu &cpu)
 {
     ensure(kernelBsp_ && serviceEntry_, "VeilMon: entries not wired");
+
+    // Measured boot (§15): record the platform launch measurement and
+    // the CVM geometry before any domain is carved. Host-side state —
+    // zero simulated cycles, so the calibrated boot costs are exact.
+    mboot_.extend(MeasuredBoot::kPcrPlatform, "launch-digest",
+                  machine_.psp().launchDigest());
+    Bytes geometry;
+    appendLe<uint64_t>(geometry, layout_.kernelBase);
+    appendLe<uint64_t>(geometry, layout_.memEnd);
+    appendLe<uint64_t>(geometry, layout_.srvBase);
+    appendLe<uint64_t>(geometry, layout_.monBase);
+    appendLe<uint32_t>(geometry, layout_.numVcpus);
+    mboot_.extendBytes(MeasuredBoot::kPcrConfig, "cvm-layout",
+                       geometry.data(), geometry.size());
+
     uint64_t t0 = cpu.rdtsc();
     protectDomains(cpu);
     uint64_t t1 = cpu.rdtsc();
+
+    Bytes carved;
+    appendLe<uint64_t>(carved, bootStats_.pagesProtected);
+    appendLe<uint64_t>(carved, bootStats_.hugeRegions);
+    appendLe<uint64_t>(carved, lazyAccept_ ? 1 : 0);
+    mboot_.extendBytes(MeasuredBoot::kPcrDomains, "domains-protected",
+                       carved.data(), carved.size());
+
     createVcpuDomains(cpu, 0, true);
     uint64_t t2 = cpu.rdtsc();
     bootStats_.vmsaSetupCycles = t2 - t1;
     bootStats_.totalCycles = t2 - t0;
+
+    mboot_.extendBytes(MeasuredBoot::kPcrServices, "services-wired",
+                       "dispatcher", 10);
     monitorLoop(cpu);
 }
 
@@ -288,6 +314,12 @@ VeilMon::hvRegisterVmsa(Vcpu &cpu, uint32_t vcpu, Vmpl vmpl, VmsaId id,
 void
 VeilMon::createVcpuDomains(Vcpu &cpu, uint32_t vcpu, bool boot_vcpu)
 {
+    Bytes who;
+    appendLe<uint32_t>(who, vcpu);
+    appendLe<uint32_t>(who, boot_vcpu ? 1 : 0);
+    mboot_.extendBytes(MeasuredBoot::kPcrVcpus, "vcpu-domains", who.data(),
+                       who.size());
+
     // Dom-SRV replica.
     Gpa srv_page = allocVmsaPage();
     VmsaId srv = cpu.createVmsa(srv_page, vcpu, Vmpl::Vmpl1,
@@ -359,6 +391,9 @@ VeilMon::dispatch(Vcpu &cpu, IdcbMessage &msg)
         break;
       case VeilOp::EstablishChannel:
         opEstablishChannel(cpu, msg);
+        break;
+      case VeilOp::ChannelTeardown:
+        opChannelTeardown(cpu, msg);
         break;
       case VeilOp::CreateEnclaveVmsa:
         opCreateEnclaveVmsa(cpu, msg);
@@ -497,6 +532,15 @@ VeilMon::opEstablishChannel(Vcpu &cpu, IdcbMessage &msg)
         msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
         return;
     }
+    // Session gating (§15): while a user session holds the channel, a
+    // re-issued EstablishChannel — e.g. from a malicious OS trying to
+    // desync the live session's keys — is refused outright. The owner
+    // ends a session with a sealed ChannelTeardown proof; only then is
+    // the next establishment accepted, under a fresh generation.
+    if (sessionActive_) {
+        msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+        return;
+    }
     Bytes user_pub(msg.payload, msg.payload + 32);
 
     // Deterministic DRBG seeded from platform-secret material.
@@ -511,26 +555,79 @@ VeilMon::opEstablishChannel(Vcpu &cpu, IdcbMessage &msg)
     try {
         shared = crypto::dhSharedSecret(kp.secret, user_pub);
     } catch (const FatalError &) {
+        // Degenerate or out-of-range peer public (e.g. 1 or p-1
+        // substituted by the relay to force a predictable secret).
         msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
         return;
     }
+
+    uint64_t gen = sessionGen_ + 1;
+    crypto::Digest quote = mboot_.quote();
+
+    // Bind our public key, the peer's key, the session generation, and
+    // the measured-boot quote into the signed report: reportData =
+    // monitor pub || SHA256(user pub || generation || quote). A relay
+    // that tampers with any response field breaks this hash, and the
+    // hash is covered by the chip-key signature.
+    ReportData rd{};
+    std::memcpy(rd.data(), kp.publicKey.data(), 32);
+    crypto::Sha256 binding;
+    binding.update(user_pub.data(), user_pub.size());
+    uint8_t gen_le[8];
+    storeLe<uint64_t>(gen_le, gen);
+    binding.update(gen_le, sizeof(gen_le));
+    binding.update(quote.data(), quote.size());
+    crypto::Digest bind_hash = binding.finish();
+    std::memcpy(rd.data() + 32, bind_hash.data(), 32);
+    AttestationReport report = cpu.attest(rd);
+
     channelKeys_ = crypto::deriveSessionKeys(shared);
     sealChannel_ =
         std::make_unique<SecureChannel>(*channelKeys_, /*initiator=*/false);
-
-    // Bind our public key and the peer's key hash into the report.
-    ReportData rd{};
-    std::memcpy(rd.data(), kp.publicKey.data(), 32);
-    crypto::Digest peer_hash = crypto::Sha256::hash(user_pub);
-    std::memcpy(rd.data() + 32, peer_hash.data(), 32);
-    AttestationReport report = cpu.attest(rd);
+    sessionGen_ = gen;
+    sessionActive_ = true;
 
     ChannelResponse resp{};
     resp.report = report;
+    resp.chain = machine_.psp().certChain();
     std::memcpy(resp.monitorPublic, kp.publicKey.data(), 32);
+    std::memcpy(resp.bootQuote, quote.data(), 32);
+    resp.sessionGeneration = gen;
     static_assert(sizeof(ChannelResponse) <= kIdcbRetPayloadMax);
     std::memcpy(msg.retPayload, &resp, sizeof(resp));
     msg.retPayloadLen = sizeof(resp);
+    msg.status = static_cast<uint64_t>(VeilStatus::Ok);
+}
+
+void
+VeilMon::opChannelTeardown(Vcpu &cpu, IdcbMessage &msg)
+{
+    if (!sessionActive_ || sealChannel_ == nullptr) {
+        msg.status = static_cast<uint64_t>(VeilStatus::Denied);
+        return;
+    }
+    if (msg.payloadLen == 0 || msg.payloadLen > kIdcbPayloadMax) {
+        msg.status = static_cast<uint64_t>(VeilStatus::BadArgs);
+        return;
+    }
+    // Only the session owner can end the session: the proof must open
+    // under the live channel keys and name the live generation. A
+    // failed open leaves the channel state (including the replay
+    // window) untouched, so a hostile OS cannot tear down or desync
+    // the session by guessing.
+    Bytes sealed(msg.payload, msg.payload + msg.payloadLen);
+    auto plain = sealChannel_->open(sealed);
+    if (!plain || plain->size() != sizeof(kTeardownMagic) + 8 ||
+        std::memcmp(plain->data(), kTeardownMagic,
+                    sizeof(kTeardownMagic)) != 0 ||
+        loadLe<uint64_t>(plain->data() + sizeof(kTeardownMagic)) !=
+            sessionGen_) {
+        msg.status = static_cast<uint64_t>(VeilStatus::VerifyFailed);
+        return;
+    }
+    sealChannel_.reset();
+    channelKeys_.reset();
+    sessionActive_ = false;
     msg.status = static_cast<uint64_t>(VeilStatus::Ok);
 }
 

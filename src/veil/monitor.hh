@@ -26,6 +26,7 @@
 #include "hv/hypervisor.hh"
 #include "veil/channel.hh"
 #include "veil/layout.hh"
+#include "veil/mboot.hh"
 #include "veil/proto.hh"
 
 namespace veil::core {
@@ -101,6 +102,21 @@ class VeilMon
      *  OS-supplied page may be handed to the requested operation. */
     bool osPageAllowed(snp::Gpa page) const;
 
+    /**
+     * Session generation of the secure user channel: 0 before the
+     * first EstablishChannel, then the 1-based generation of the
+     * current (or, after teardown, most recent) session. A new
+     * EstablishChannel is only accepted while no session is live —
+     * the OS cannot clobber an established channel (§15).
+     */
+    uint64_t sessionGeneration() const { return sessionGen_; }
+
+    /** True while a user session holds the channel. */
+    bool sessionActive() const { return sessionActive_; }
+
+    /** The vTPM-style measured-boot register bank (§15). */
+    const MeasuredBoot &measuredBoot() const { return mboot_; }
+
     const CvmLayout &layout() const { return layout_; }
 
   private:
@@ -117,6 +133,7 @@ class VeilMon
     void opPageStateChange(snp::Vcpu &cpu, IdcbMessage &msg);
     void opBootVcpu(snp::Vcpu &cpu, IdcbMessage &msg);
     void opEstablishChannel(snp::Vcpu &cpu, IdcbMessage &msg);
+    void opChannelTeardown(snp::Vcpu &cpu, IdcbMessage &msg);
     void opCreateEnclaveVmsa(snp::Vcpu &cpu, IdcbMessage &msg);
     void opDestroyEnclaveVmsa(snp::Vcpu &cpu, IdcbMessage &msg);
 
@@ -139,14 +156,32 @@ class VeilMon
     std::optional<crypto::SessionKeys> channelKeys_;
     std::unique_ptr<SecureChannel> sealChannel_;
     uint64_t channelNonce_ = 0;
+    uint64_t sessionGen_ = 0;
+    bool sessionActive_ = false;
+    MeasuredBoot mboot_;
 };
 
-/** Serialized EstablishChannel response (report + monitor DH public). */
+/**
+ * Serialized EstablishChannel response: the signed report, the
+ * platform certificate chain (SNP extended-report style: the host
+ * serves the certs alongside the report so the verifier needs no
+ * side channel), the monitor's DH public, the measured-boot quote,
+ * and the session generation. Everything except the raw report
+ * signature is integrity-bound: reportData carries the monitor public
+ * directly and a hash covering (user public || generation || quote).
+ */
 struct ChannelResponse
 {
     snp::AttestationReport report;
+    attest::CertChain chain;
     uint8_t monitorPublic[32];
+    uint8_t bootQuote[32];
+    uint64_t sessionGeneration;
 };
+
+/** Plaintext teardown proof sealed by the session owner. */
+constexpr char kTeardownMagic[8] = {'V', 'E', 'I', 'L',
+                                    'T', 'D', 'W', 'N'};
 
 } // namespace veil::core
 

@@ -104,6 +104,8 @@ veilOpName(VeilOp op)
         return "enc-clone-fault";
       case VeilOp::EncSnapshotRelease:
         return "enc-snapshot-release";
+      case VeilOp::ChannelTeardown:
+        return "channel-teardown";
     }
     return "unknown";
 }

@@ -76,11 +76,16 @@ enum class VeilOp : uint32_t {
     EncCloneFault,   ///< CoW break: args[0]=enclave id, args[1]=gva,
                      ///< args[2]=fresh frame gpa
     EncSnapshotRelease, ///< args[0]=snapshot id; drop the kernel's ref
+
+    // ---- Session provisioning (§15) ----
+    ChannelTeardown, ///< payload = sealed teardown proof from the live
+                     ///< session's owner; ends the session so a new
+                     ///< EstablishChannel may succeed
 };
 
 /** Number of VeilOp values (for per-op counter arrays). */
 constexpr size_t kVeilOpCount =
-    static_cast<size_t>(VeilOp::EncSnapshotRelease) + 1;
+    static_cast<size_t>(VeilOp::ChannelTeardown) + 1;
 
 /** Stable lower-case name for metrics ("enc-free-page", ...). */
 const char *veilOpName(VeilOp op);

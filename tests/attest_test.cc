@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Standalone attestation-verifier tests (§5.1, §15): certificate-chain
+ * validation as a table of directed mutations (each must map to one
+ * specific VerifyResult), report policy checks (measurement, VMPL, TCB
+ * rollback and splice), trust-anchor provisioning, and the vTPM-style
+ * measured-boot register bank. Everything here runs without a Machine:
+ * the verifier sees only bytes and the pinned root, exactly like a
+ * relying party outside the cloud.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "attest/keys.hh"
+#include "attest/verify.hh"
+#include "veil/mboot.hh"
+
+namespace veil::attest {
+namespace {
+
+Bytes
+platformSeed()
+{
+    return Bytes{'p', 'l', 'a', 't', '-', 's', 'e', 'e', 'd'};
+}
+
+struct Fixture
+{
+    PlatformKeys keys{platformSeed(), kDefaultTcbVersion};
+    crypto::Digest measurement = crypto::Sha256::hash("boot-image", 10);
+    ReportData rd{};
+
+    AttestationReport report;
+    CertChain chain;
+    VerifyPolicy policy;
+
+    Fixture()
+    {
+        rd[0] = 0xa5;
+        rd[63] = 0x5a;
+        report = keys.signReport(/*requester_vmpl=*/0, measurement, rd);
+        chain = keys.certChain();
+        policy.expectedMeasurement = measurement;
+        policy.requiredVmpl = 0;
+        policy.minTcbVersion = kDefaultTcbVersion;
+    }
+
+    VerifyResult run() const
+    {
+        Verifier v(keys.rootPublic(), policy);
+        return v.verify(report, chain);
+    }
+};
+
+// ---- Table-driven chain validation ----
+
+struct ChainCase
+{
+    const char *name;
+    std::function<void(Fixture &)> mutate;
+    VerifyResult expected;
+};
+
+class ChainValidation : public ::testing::TestWithParam<ChainCase>
+{
+};
+
+TEST_P(ChainValidation, MutationMapsToExpectedResult)
+{
+    Fixture f;
+    GetParam().mutate(f);
+    EXPECT_EQ(f.run(), GetParam().expected)
+        << "got " << verifyResultName(f.run());
+}
+
+const ChainCase kChainCases[] = {
+    {"valid", [](Fixture &) {}, VerifyResult::Ok},
+    {"wrong_root_key",
+     [](Fixture &f) { f.chain.root.subjectPublic[0] ^= 1; },
+     VerifyResult::BadRootKey},
+    {"root_role_missing",
+     [](Fixture &f) {
+         f.chain.root.role = static_cast<uint32_t>(CertRole::None);
+     },
+     VerifyResult::BadChainRole},
+    {"shuffled_chain",
+     [](Fixture &f) { std::swap(f.chain.signing, f.chain.chip); },
+     VerifyResult::BadChainRole},
+    {"zeroed_chip_slot",
+     [](Fixture &f) { f.chain.chip = Certificate{}; },
+     VerifyResult::BadChainRole},
+    {"root_self_signature_broken",
+     [](Fixture &f) { f.chain.root.signature[7] ^= 1; },
+     VerifyResult::BadChainSignature},
+    {"signing_cert_forged",
+     [](Fixture &f) { f.chain.signing.signature[0] ^= 1; },
+     VerifyResult::BadChainSignature},
+    {"chip_cert_forged",
+     [](Fixture &f) { f.chain.chip.signature[63] ^= 1; },
+     VerifyResult::BadChainSignature},
+    {"chip_key_substituted",
+     [](Fixture &f) {
+         // Attacker swaps in a key they control but cannot re-issue
+         // the certificate: the signing signature no longer covers it.
+         f.chain.chip.subjectPublic[5] ^= 1;
+     },
+     VerifyResult::BadChainSignature},
+    {"chip_tcb_edited",
+     [](Fixture &f) {
+         // Bumping the advertised TCB invalidates the issuer signature
+         // (tcbVersion is a signed field) — editing is not rollback.
+         f.chain.chip.tcbVersion += 1;
+     },
+     VerifyResult::BadChainSignature},
+    {"report_signature_forged",
+     [](Fixture &f) { f.report.signature[1] ^= 1; },
+     VerifyResult::BadReportSignature},
+    {"report_data_tampered",
+     [](Fixture &f) { f.report.reportData[0] ^= 1; },
+     VerifyResult::BadReportSignature},
+    {"measurement_tampered_in_report",
+     [](Fixture &f) { f.report.measurement[0] ^= 1; },
+     VerifyResult::BadReportSignature},
+    {"wrong_report_version",
+     [](Fixture &f) { f.report.version = kReportVersion + 1; },
+     VerifyResult::BadReportVersion},
+    {"tcb_floor_above_platform",
+     [](Fixture &f) { f.policy.minTcbVersion = kDefaultTcbVersion + 1; },
+     VerifyResult::TcbRolledBack},
+    {"wrong_vmpl_required",
+     [](Fixture &f) { f.policy.requiredVmpl = 1; },
+     VerifyResult::VmplMismatch},
+    {"unexpected_measurement",
+     [](Fixture &f) {
+         f.policy.expectedMeasurement = crypto::Sha256::hash("evil", 4);
+     },
+     VerifyResult::MeasurementMismatch},
+};
+
+INSTANTIATE_TEST_SUITE_P(Mutations, ChainValidation,
+                         ::testing::ValuesIn(kChainCases),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+// ---- Rollback: a genuinely old platform, not an edited chain ----
+
+TEST(Attest, StaleChainAndReportAreRollbackNotForgery)
+{
+    // TCB N-1 material is self-consistent (it verifies under a floor
+    // of N-1); presenting it to a verifier pinned at floor N is the
+    // rollback attack and must fail as such.
+    PlatformKeys stale(platformSeed(), kDefaultTcbVersion - 1);
+    crypto::Digest m = crypto::Sha256::hash("boot-image", 10);
+    AttestationReport report = stale.signReport(0, m, ReportData{});
+
+    VerifyPolicy lenient;
+    lenient.expectedMeasurement = m;
+    lenient.minTcbVersion = kDefaultTcbVersion - 1;
+    Verifier accepts(stale.rootPublic(), lenient);
+    EXPECT_EQ(accepts.verify(report, stale.certChain()), VerifyResult::Ok);
+
+    VerifyPolicy current = lenient;
+    current.minTcbVersion = kDefaultTcbVersion;
+    Verifier rejects(stale.rootPublic(), current);
+    EXPECT_EQ(rejects.verify(report, stale.certChain()),
+              VerifyResult::TcbRolledBack);
+}
+
+TEST(Attest, OldReportUnderNewChainIsTcbSplice)
+{
+    // Replay: a report signed at TCB N-1 presented with the TCB-N
+    // chain. The chip keys differ per TCB, and the TCB cross-check
+    // fires before any signature math.
+    PlatformKeys fresh(platformSeed(), kDefaultTcbVersion);
+    PlatformKeys stale(platformSeed(), kDefaultTcbVersion - 1);
+    crypto::Digest m = crypto::Sha256::hash("boot-image", 10);
+    AttestationReport old_report = stale.signReport(0, m, ReportData{});
+
+    VerifyPolicy policy;
+    policy.expectedMeasurement = m;
+    policy.minTcbVersion = 0;
+    Verifier v(fresh.rootPublic(), policy);
+    EXPECT_EQ(v.verify(old_report, fresh.certChain()),
+              VerifyResult::TcbMismatch);
+}
+
+// ---- Trust-anchor provisioning ----
+
+TEST(Attest, RootPublicDerivesFromSeedAlone)
+{
+    // The verifier's anchor comes from the seed out of band — it must
+    // match the PSP's root exactly, and differ across platforms.
+    PlatformKeys keys(platformSeed(), kDefaultTcbVersion);
+    EXPECT_EQ(rootPublicFromSeed(platformSeed()), keys.rootPublic());
+    Bytes other_seed = platformSeed();
+    other_seed[0] ^= 1;
+    EXPECT_NE(rootPublicFromSeed(other_seed), keys.rootPublic());
+}
+
+TEST(Attest, RootAndSigningKeysAreTcbIndependent)
+{
+    PlatformKeys a(platformSeed(), kDefaultTcbVersion);
+    PlatformKeys b(platformSeed(), kDefaultTcbVersion - 1);
+    EXPECT_EQ(a.rootPublic(), b.rootPublic());
+    EXPECT_EQ(Bytes(a.certChain().signing.subjectPublic,
+                    a.certChain().signing.subjectPublic + 32),
+              Bytes(b.certChain().signing.subjectPublic,
+                    b.certChain().signing.subjectPublic + 32));
+    // VCEK semantics: the chip key rotates with the TCB.
+    EXPECT_NE(Bytes(a.certChain().chip.subjectPublic,
+                    a.certChain().chip.subjectPublic + 32),
+              Bytes(b.certChain().chip.subjectPublic,
+                    b.certChain().chip.subjectPublic + 32));
+}
+
+TEST(Attest, ChainWalkCacheStillRejectsMutations)
+{
+    // The chain-walk cache keys on the chain digest: a prior good walk
+    // must never whitelist a subsequently mutated chain.
+    Fixture f;
+    Verifier v(f.keys.rootPublic(), f.policy);
+    EXPECT_EQ(v.verify(f.report, f.chain), VerifyResult::Ok);
+    CertChain bad = f.chain;
+    bad.chip.signature[0] ^= 1;
+    EXPECT_EQ(v.verify(f.report, bad), VerifyResult::BadChainSignature);
+    // And the original chain still passes afterwards.
+    EXPECT_EQ(v.verify(f.report, f.chain), VerifyResult::Ok);
+}
+
+// ---- Measured boot (vTPM-style PCR bank, §15) ----
+
+TEST(MeasuredBoot, ExtendIsOrderSensitiveAndLogged)
+{
+    core::MeasuredBoot a, b;
+    crypto::Digest d1 = crypto::Sha256::hash("one", 3);
+    crypto::Digest d2 = crypto::Sha256::hash("two", 3);
+    a.extend(0, "one", d1);
+    a.extend(0, "two", d2);
+    b.extend(0, "two", d2);
+    b.extend(0, "one", d1);
+    EXPECT_NE(a.pcr(0), b.pcr(0)); // extend order is part of the value
+    EXPECT_NE(a.quote(), b.quote());
+    EXPECT_EQ(a.eventLog().size(), 2u);
+    EXPECT_TRUE(a.replayMatches());
+    EXPECT_TRUE(b.replayMatches());
+}
+
+TEST(MeasuredBoot, QuoteCoversAllRegisters)
+{
+    core::MeasuredBoot a, b;
+    crypto::Digest d = crypto::Sha256::hash("x", 1);
+    EXPECT_EQ(a.quote(), b.quote()); // both pristine
+    b.extend(core::MeasuredBoot::kNumPcrs - 1, "late-bank", d);
+    EXPECT_NE(a.quote(), b.quote());
+}
+
+} // namespace
+} // namespace veil::attest

@@ -520,6 +520,30 @@ TEST(Dh, RejectsOutOfRangePublic)
     EXPECT_THROW(dhSharedSecret(kp.secret, huge), FatalError);
 }
 
+TEST(Dh, RejectsDegenerateSmallSubgroupPublic)
+{
+    // Regression: pub = 1 and pub = p-1 used to pass the range check
+    // and pin the shared secret into a tiny, attacker-known set (a
+    // small-subgroup key-substitution attack by the untrusted relay).
+    LogConfig::setThreshold(LogLevel::Silent);
+    HmacDrbg d(Bytes{'x'});
+    DhKeyPair kp = dhGenerate(d);
+
+    Bytes one = BigInt(1).toBytes(32);
+    EXPECT_THROW(dhSharedSecret(kp.secret, one), FatalError);
+
+    BigInt p = BigInt::fromHex(kGroupPrimeHex);
+    Bytes p_minus_1 = BigInt::sub(p, BigInt(1)).toBytes(32);
+    EXPECT_THROW(dhSharedSecret(kp.secret, p_minus_1), FatalError);
+
+    // p itself (== 0 mod p) and anything above stay rejected too.
+    EXPECT_THROW(dhSharedSecret(kp.secret, p.toBytes(32)), FatalError);
+
+    // The smallest live element is still accepted.
+    Bytes two = BigInt(2).toBytes(32);
+    EXPECT_EQ(dhSharedSecret(kp.secret, two).size(), 32u);
+}
+
 TEST(Dh, SessionKeyDerivationIsDeterministic)
 {
     Bytes secret(32, 0x42);
@@ -543,6 +567,61 @@ TEST(Sig, SignVerifyAndDomainSeparation)
     EXPECT_FALSE(verifyDigest(other_key, "module", d, s));
     s[0] ^= 1;
     EXPECT_FALSE(verifyDigest(key, "module", d, s));
+}
+
+TEST(AsymSig, SignVerifyRoundTrip)
+{
+    HmacDrbg d(Bytes{'k'});
+    AsymKeyPair kp = asymGenerate(d);
+    EXPECT_EQ(kp.publicKey.size(), 32u);
+    Digest m = Sha256::hash("report", 6);
+    AsymSignature sig = asymSign(kp, "psp-report", m);
+    EXPECT_TRUE(asymVerify(kp.publicKey, "psp-report", m, sig));
+}
+
+TEST(AsymSig, DeterministicNonce)
+{
+    // RFC-6979-style nonces: same key + domain + digest => same
+    // signature (the simulator's reproducibility contract).
+    HmacDrbg d(Bytes{'k'});
+    AsymKeyPair kp = asymGenerate(d);
+    Digest m = Sha256::hash("report", 6);
+    EXPECT_EQ(asymSign(kp, "psp-report", m), asymSign(kp, "psp-report", m));
+}
+
+TEST(AsymSig, RejectsTamperDomainAndWrongKey)
+{
+    HmacDrbg d1(Bytes{'1'}), d2(Bytes{'2'});
+    AsymKeyPair kp = asymGenerate(d1);
+    AsymKeyPair other = asymGenerate(d2);
+    Digest m = Sha256::hash("report", 6);
+    AsymSignature sig = asymSign(kp, "psp-report", m);
+
+    // Wrong domain, wrong digest, wrong key, flipped bit: all refused.
+    EXPECT_FALSE(asymVerify(kp.publicKey, "veil-cert", m, sig));
+    Digest m2 = Sha256::hash("other", 5);
+    EXPECT_FALSE(asymVerify(kp.publicKey, "psp-report", m2, sig));
+    EXPECT_FALSE(asymVerify(other.publicKey, "psp-report", m, sig));
+    for (size_t at : {size_t{0}, size_t{31}, size_t{32}, size_t{63}}) {
+        AsymSignature bad = sig;
+        bad[at] ^= 1;
+        EXPECT_FALSE(asymVerify(kp.publicKey, "psp-report", m, bad));
+    }
+}
+
+TEST(AsymSig, RejectsDegeneratePublicKey)
+{
+    HmacDrbg d(Bytes{'k'});
+    AsymKeyPair kp = asymGenerate(d);
+    Digest m = Sha256::hash("report", 6);
+    AsymSignature sig = asymSign(kp, "psp-report", m);
+
+    BigInt p = BigInt::fromHex(kGroupPrimeHex);
+    for (const BigInt &y :
+         {BigInt(0), BigInt(1), BigInt::sub(p, BigInt(1)), p}) {
+        EXPECT_FALSE(asymVerify(y.toBytes(32), "psp-report", m, sig));
+    }
+    EXPECT_FALSE(asymVerify(Bytes{}, "psp-report", m, sig));
 }
 
 } // namespace

@@ -88,6 +88,29 @@ INSTANTIATE_TEST_SUITE_P(VeilChaos, ChaosAttacks,
                              return "Attack" + std::to_string(info.param);
                          });
 
+std::vector<AttackOutcome> &
+attestationResults()
+{
+    static std::vector<AttackOutcome> results = runAttestationAttacks();
+    return results;
+}
+
+class AttestationAttacks : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(AttestationAttacks, Defended)
+{
+    const AttackOutcome &o = attestationResults().at(GetParam());
+    EXPECT_TRUE(o.defended) << o.attack << " — " << o.observed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Session, AttestationAttacks,
+                         ::testing::Range<size_t>(0, 7),
+                         [](const auto &info) {
+                             return "Attack" + std::to_string(info.param);
+                         });
+
 TEST(PaperValidation, BothConcreteAttacksHaltTheCvm)
 {
     auto &results = validationResults();
@@ -100,9 +123,10 @@ TEST(PaperValidation, BothConcreteAttacksHaltTheCvm)
 
 TEST(BatterySizes, MatchPaperTables)
 {
-    EXPECT_EQ(frameworkResults().size(), 10u); // Table 1 rows (+1 extra)
-    EXPECT_EQ(enclaveResults().size(), 9u);    // Table 2 rows
-    EXPECT_EQ(chaosResults().size(), 5u);      // DESIGN.md §10 battery
+    EXPECT_EQ(frameworkResults().size(), 10u);   // Table 1 rows (+1 extra)
+    EXPECT_EQ(enclaveResults().size(), 9u);      // Table 2 rows
+    EXPECT_EQ(chaosResults().size(), 5u);        // DESIGN.md §10 battery
+    EXPECT_EQ(attestationResults().size(), 7u);  // DESIGN.md §15 battery
 }
 
 } // namespace

@@ -173,11 +173,57 @@ TEST(MonitorEdge, MultipleChannelsRotateKeys)
     vm.run([&](kern::Kernel &k, kern::Process &) {
         ASSERT_TRUE(u1.establishChannel(k));
         auto keys1 = *vm.monitor().channelKeys();
+        EXPECT_EQ(u1.sessionGeneration(), 1u);
+        // A second establish while u1's session is live must be
+        // refused — this is the §15 clobber fix.
+        EXPECT_FALSE(u2.establishChannel(k));
+        // After the owner tears the session down, the next user gets a
+        // fresh generation and fresh keys.
+        ASSERT_TRUE(u1.teardownChannel(k));
         ASSERT_TRUE(u2.establishChannel(k));
         auto keys2 = *vm.monitor().channelKeys();
+        EXPECT_EQ(u2.sessionGeneration(), 2u);
         // Fresh DH secrets per handshake (nonce-seeded DRBG).
         EXPECT_NE(Bytes(keys1.encKey.begin(), keys1.encKey.end()),
                   Bytes(keys2.encKey.begin(), keys2.encKey.end()));
+    });
+}
+
+TEST(MonitorEdge, TeardownRequiresSealedProofFromSessionOwner)
+{
+    LogConfig::setThreshold(LogLevel::Silent);
+    sdk::VmConfig cfg;
+    cfg.machine.memBytes = 32 * 1024 * 1024;
+    cfg.machine.numVcpus = 1;
+    sdk::VeilVm vm(cfg);
+    sdk::RemoteUser u1(vm, 1);
+    vm.run([&](kern::Kernel &k, kern::Process &) {
+        // Teardown before any session exists: refused.
+        {
+            IdcbMessage m;
+            m.op = static_cast<uint32_t>(VeilOp::ChannelTeardown);
+            m.payloadLen = 16;
+            k.callMonitor(m);
+            EXPECT_EQ(m.status, static_cast<uint64_t>(VeilStatus::Denied));
+        }
+        ASSERT_TRUE(u1.establishChannel(k));
+        // A hostile OS sends garbage it could not have sealed: the
+        // proof fails to open, and the live session is untouched.
+        {
+            IdcbMessage m;
+            m.op = static_cast<uint32_t>(VeilOp::ChannelTeardown);
+            m.payloadLen = 64;
+            for (uint32_t i = 0; i < m.payloadLen; ++i)
+                m.payload[i] = static_cast<uint8_t>(i * 7 + 1);
+            k.callMonitor(m);
+            EXPECT_EQ(m.status,
+                      static_cast<uint64_t>(VeilStatus::VerifyFailed));
+        }
+        EXPECT_TRUE(vm.monitor().sessionActive());
+        // The failed forgery must not have desynced the channel: the
+        // genuine owner's sealed proof still opens and ends the session.
+        EXPECT_TRUE(u1.teardownChannel(k));
+        EXPECT_FALSE(vm.monitor().sessionActive());
     });
 }
 
